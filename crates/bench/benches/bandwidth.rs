@@ -1,0 +1,64 @@
+//! Table 3 / Fig. 13 micro-benchmark: the communication-bound primitives (batched EHL
+//! equality exchange, RecoverEnc, batched comparison) whose per-depth message counts make
+//! up the bandwidth figures, plus a whole-query measurement that reports bytes/depth via
+//! the metered channel.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_bench::runners::{measure_query, prepare_dataset};
+use sectopk_bench::BenchScale;
+use sectopk_core::QueryConfig;
+use sectopk_crypto::keys::MasterKeys;
+use sectopk_datasets::{DatasetKind, QueryWorkload};
+use sectopk_ehl::EhlEncoder;
+use sectopk_protocols::TwoClouds;
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let master = MasterKeys::generate(128, 5, &mut rng).unwrap();
+    let encoder = EhlEncoder::new(&master.ehl_keys);
+    let pk = master.paillier_public.clone();
+
+    let mut group = c.benchmark_group("table3_fig13_bandwidth");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    // The per-depth message pattern is dominated by m² equality exchanges (m ∈ 2..8).
+    for &m in &[2usize, 4, 8] {
+        let encodings: Vec<_> = (0..m)
+            .map(|i| encoder.encode(&(i as u64).to_be_bytes(), &pk, &mut rng).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("eq_batch_m_squared", m), &m, |b, &m| {
+            let mut clouds = TwoClouds::new(&master, 13).unwrap();
+            b.iter(|| {
+                let pairs: Vec<_> = (0..m)
+                    .flat_map(|i| (0..m).map(move |j| (i, j)))
+                    .filter(|(i, j)| i != j)
+                    .map(|(i, j)| (&encodings[i], &encodings[j]))
+                    .collect();
+                black_box(clouds.eq_batch(&pairs, "bench", None).unwrap())
+            })
+        });
+    }
+
+    group.bench_function("whole_query_bytes_per_depth", |b| {
+        let scale = BenchScale::smoke();
+        let (owner, relation, er) =
+            prepare_dataset(DatasetKind::Synthetic, scale.query_rows, &scale, 13);
+        let query = QueryWorkload::fixed(relation.num_attributes(), 4, 5, 13);
+        b.iter(|| {
+            let perf =
+                measure_query(&owner, &relation, &er, &query, &QueryConfig::full(), &scale, 13);
+            black_box(perf.bytes_per_depth)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bandwidth);
+criterion_main!(benches);

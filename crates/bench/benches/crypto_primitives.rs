@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the cryptographic substrate: Paillier, Damgård–Jurik, SHA-256 /
+//! HMAC and the EHL equality test.  These are the unit costs every per-depth figure of
+//! the paper decomposes into.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_crypto::damgard_jurik::DjPublicKey;
+use sectopk_crypto::hmac::hmac_sha256;
+use sectopk_crypto::paillier::generate_keypair;
+use sectopk_crypto::prf::PrfKey;
+use sectopk_crypto::sha256::sha256;
+use sectopk_ehl::EhlEncoder;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (pk, sk) = generate_keypair(256, &mut rng).unwrap();
+    let dj = DjPublicKey::from_paillier(&pk);
+    let keys: Vec<PrfKey> = (0..5u8).map(|i| PrfKey([i; 32])).collect();
+    let encoder = EhlEncoder::new(&keys);
+
+    let mut group = c.benchmark_group("crypto_primitives");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("sha256_1kb", |b| {
+        let data = vec![0xabu8; 1024];
+        b.iter(|| sha256(black_box(&data)))
+    });
+    group.bench_function("hmac_sha256_64b", |b| {
+        let data = [0x5au8; 64];
+        b.iter(|| hmac_sha256(b"key", black_box(&data)))
+    });
+    group.bench_function("paillier_encrypt_256", |b| {
+        b.iter(|| pk.encrypt_u64(black_box(123_456), &mut rng).unwrap())
+    });
+    group.bench_function("paillier_decrypt_256", |b| {
+        let c = pk.encrypt_u64(987, &mut rng).unwrap();
+        b.iter(|| sk.decrypt_u64(black_box(&c)).unwrap())
+    });
+    group.bench_function("paillier_homomorphic_add", |b| {
+        let x = pk.encrypt_u64(1, &mut rng).unwrap();
+        let y = pk.encrypt_u64(2, &mut rng).unwrap();
+        b.iter(|| pk.add(black_box(&x), black_box(&y)))
+    });
+    group.bench_function("dj_layered_encrypt", |b| {
+        let inner = pk.encrypt_u64(42, &mut rng).unwrap();
+        b.iter(|| dj.encrypt_ciphertext(black_box(&inner), &mut rng).unwrap())
+    });
+    group.bench_function("dj_select_exponentiation", |b| {
+        let inner = pk.encrypt_u64(42, &mut rng).unwrap();
+        let layered = dj.encrypt_u64(1, &mut rng).unwrap();
+        b.iter(|| dj.mul_by_ciphertext(black_box(&layered), black_box(&inner)))
+    });
+    group.bench_function("ehl_plus_encode", |b| {
+        b.iter(|| encoder.encode(black_box(b"object-1234"), &pk, &mut rng).unwrap())
+    });
+    group.bench_function("ehl_plus_eq_test", |b| {
+        let x = encoder.encode(b"a", &pk, &mut rng).unwrap();
+        let y = encoder.encode(b"b", &pk, &mut rng).unwrap();
+        b.iter(|| x.eq_test(black_box(&y), &pk, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 8 micro-benchmark: the `Enc(R)` database-encryption procedure on (scaled-down)
+//! versions of the four evaluation datasets.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_core::DataOwner;
+use sectopk_datasets::{generate, DatasetKind};
+
+fn bench_encryption(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let owner = DataOwner::new(128, 5, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("fig8_database_encryption");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    for kind in DatasetKind::ALL {
+        let relation = generate(&kind.spec().with_rows(24), 8);
+        group.bench_with_input(BenchmarkId::new("enc_r", kind.name()), &relation, |b, relation| {
+            b.iter(|| black_box(owner.encrypt(relation, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encryption);
+criterion_main!(benches);

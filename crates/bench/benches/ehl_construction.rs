@@ -1,0 +1,48 @@
+//! Fig. 7 micro-benchmark: constructing EHL (Bloom-style, H = 23) vs EHL+ encodings.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_crypto::paillier::generate_keypair;
+use sectopk_crypto::prf::PrfKey;
+use sectopk_ehl::{EhlEncoder, DEFAULT_BUCKETS};
+
+fn bench_ehl(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let (pk, _) = generate_keypair(256, &mut rng).unwrap();
+    let keys: Vec<PrfKey> = (0..5u8).map(|i| PrfKey([i + 1; 32])).collect();
+    let encoder = EhlEncoder::new(&keys);
+
+    let mut group = c.benchmark_group("fig7_ehl_construction");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    for &batch in &[10usize, 25] {
+        group.bench_with_input(BenchmarkId::new("ehl_bloom", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                for i in 0..batch {
+                    black_box(
+                        encoder
+                            .encode_bloom(&(i as u64).to_be_bytes(), DEFAULT_BUCKETS, &pk, &mut rng)
+                            .unwrap(),
+                    );
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ehl_plus", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                for i in 0..batch {
+                    black_box(encoder.encode(&(i as u64).to_be_bytes(), &pk, &mut rng).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ehl);
+criterion_main!(benches);

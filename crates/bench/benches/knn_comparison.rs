@@ -1,0 +1,54 @@
+//! §11.3 micro-benchmark: one SecTopK query versus one secure-kNN baseline query on the
+//! same (small) relation.  The baseline's cost is O(n·m) per query, so even at this tiny
+//! scale the gap is visible and grows linearly with n.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_bench::runners::{measure_query, prepare_dataset};
+use sectopk_bench::BenchScale;
+use sectopk_core::QueryConfig;
+use sectopk_datasets::{DatasetKind, QueryWorkload};
+use sectopk_knn::{encrypt_for_knn, sknn_query};
+
+fn bench_knn_comparison(c: &mut Criterion) {
+    let scale = BenchScale::smoke();
+    let mut rng = StdRng::seed_from_u64(113);
+
+    let mut group = c.benchmark_group("sec11_3_knn_comparison");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+
+    for &rows in &[8usize, 16] {
+        let (owner, relation, er) = prepare_dataset(DatasetKind::Synthetic, rows, &scale, 113);
+        let query = QueryWorkload::fixed(relation.num_attributes(), 2, 3, 113);
+        group.bench_with_input(BenchmarkId::new("sectopk_qry_e", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(measure_query(
+                    &owner,
+                    &relation,
+                    &er,
+                    &query,
+                    &QueryConfig::dup_elim(),
+                    &scale,
+                    113,
+                ))
+            })
+        });
+
+        let db = encrypt_for_knn(&relation, owner.keys(), &mut rng).unwrap();
+        let upper = vec![2_000u64; relation.num_attributes()];
+        group.bench_with_input(BenchmarkId::new("sknn_baseline", rows), &rows, |b, _| {
+            let mut clouds = owner.setup_clouds(113).unwrap();
+            b.iter(|| black_box(sknn_query(&mut clouds, &db, &upper, 3).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn_comparison);
+criterion_main!(benches);

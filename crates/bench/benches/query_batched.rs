@@ -1,0 +1,59 @@
+//! Fig. 11 micro-benchmark: the batched query `Qry_Ba`, varying k and the batching
+//! parameter p.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sectopk_bench::runners::{measure_query, prepare_dataset};
+use sectopk_bench::BenchScale;
+use sectopk_core::QueryConfig;
+use sectopk_datasets::{DatasetKind, QueryWorkload};
+
+fn bench_query_batched(c: &mut Criterion) {
+    let scale = BenchScale::smoke();
+    let (owner, relation, er) = prepare_dataset(DatasetKind::Diabetes, scale.query_rows, &scale, 11);
+    let m_attrs = relation.num_attributes();
+
+    let mut group = c.benchmark_group("fig11_qry_ba");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+
+    for &k in &[2usize, 10] {
+        let query = QueryWorkload::fixed(m_attrs, 2, k, 11);
+        group.bench_with_input(BenchmarkId::new("vary_k", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(measure_query(
+                    &owner,
+                    &relation,
+                    &er,
+                    &query,
+                    &QueryConfig::batched(2),
+                    &scale,
+                    11,
+                ))
+            })
+        });
+    }
+    for &p in &[1usize, 2, 3] {
+        let query = QueryWorkload::fixed(m_attrs, 2, 3, 11);
+        group.bench_with_input(BenchmarkId::new("vary_p", p), &p, |b, &p| {
+            b.iter(|| {
+                black_box(measure_query(
+                    &owner,
+                    &relation,
+                    &er,
+                    &query,
+                    &QueryConfig::batched(p),
+                    &scale,
+                    11,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_batched);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 12 micro-benchmark: the three query variants side by side on the same dataset
+//! and query (the relative ordering Qry_Ba ≤ Qry_E ≤ Qry_F is the reproduced claim).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sectopk_bench::runners::{measure_query, prepare_dataset};
+use sectopk_bench::BenchScale;
+use sectopk_core::QueryConfig;
+use sectopk_datasets::{DatasetKind, QueryWorkload};
+
+fn bench_variants(c: &mut Criterion) {
+    let scale = BenchScale::smoke();
+    let (owner, relation, er) = prepare_dataset(DatasetKind::Pamap, scale.query_rows, &scale, 12);
+    let query = QueryWorkload::fixed(relation.num_attributes(), 2, 3, 12);
+
+    let mut group = c.benchmark_group("fig12_variant_comparison");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+
+    group.bench_function("qry_f", |b| {
+        b.iter(|| {
+            black_box(measure_query(&owner, &relation, &er, &query, &QueryConfig::full(), &scale, 12))
+        })
+    });
+    group.bench_function("qry_e", |b| {
+        b.iter(|| {
+            black_box(measure_query(
+                &owner,
+                &relation,
+                &er,
+                &query,
+                &QueryConfig::dup_elim(),
+                &scale,
+                12,
+            ))
+        })
+    });
+    group.bench_function("qry_ba", |b| {
+        b.iter(|| {
+            black_box(measure_query(
+                &owner,
+                &relation,
+                &er,
+                &query,
+                &QueryConfig::batched(2),
+                &scale,
+                12,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Fig. 9 micro-benchmark: the full-privacy query `Qry_F`, time per depth, varying k and m.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sectopk_bench::runners::{measure_query, prepare_dataset};
+use sectopk_bench::BenchScale;
+use sectopk_core::QueryConfig;
+use sectopk_datasets::{DatasetKind, QueryWorkload};
+
+fn bench_query_full(c: &mut Criterion) {
+    let scale = BenchScale::smoke();
+    let (owner, relation, er) = prepare_dataset(DatasetKind::Synthetic, scale.query_rows, &scale, 9);
+    let m_attrs = relation.num_attributes();
+
+    let mut group = c.benchmark_group("fig9_qry_f");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+
+    for &k in &[2usize, 10] {
+        let query = QueryWorkload::fixed(m_attrs, 2, k, 9);
+        group.bench_with_input(BenchmarkId::new("vary_k", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(measure_query(
+                    &owner,
+                    &relation,
+                    &er,
+                    &query,
+                    &QueryConfig::full(),
+                    &scale,
+                    9,
+                ))
+            })
+        });
+    }
+    for &m in &[2usize, 3] {
+        let query = QueryWorkload::fixed(m_attrs, m, 3, 9);
+        group.bench_with_input(BenchmarkId::new("vary_m", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(measure_query(
+                    &owner,
+                    &relation,
+                    &er,
+                    &query,
+                    &QueryConfig::full(),
+                    &scale,
+                    9,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_full);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Fig. 14 micro-benchmark: the secure top-k join operator `./sec` as a function of the
+//! number of carried attributes.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sectopk_core::{encrypt_for_join, join_token, top_k_join, JoinQuery};
+use sectopk_crypto::MasterKeys;
+use sectopk_protocols::TwoClouds;
+use sectopk_storage::{ObjectId, Relation, Row};
+
+fn join_relation(rows: usize, attributes: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Relation::from_rows(
+        (0..rows)
+            .map(|i| {
+                let mut values = vec![rng.gen_range(0..6u64)];
+                values.extend((1..attributes).map(|_| rng.gen_range(0..500u64)));
+                Row { id: ObjectId(i as u64), values }
+            })
+            .collect(),
+    )
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(14);
+    let keys = MasterKeys::generate(128, 4, &mut rng).unwrap();
+    let r1 = join_relation(6, 4, 21);
+    let r2 = join_relation(9, 5, 22);
+    let enc_r1 = encrypt_for_join(&r1, &keys, "join/left", &mut rng).unwrap();
+    let enc_r2 = encrypt_for_join(&r2, &keys, "join/right", &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("fig14_topk_join");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+
+    for &carried in &[1usize, 3] {
+        let query = JoinQuery { join_left: 0, join_right: 0, score_left: 1, score_right: 1, k: 3 };
+        let carry_left: Vec<usize> = (0..carried).collect();
+        let carry_right: Vec<usize> = (0..carried).collect();
+        let token = join_token(&keys, 4, 5, &query, &carry_left, &carry_right).unwrap();
+        let mut clouds = TwoClouds::new(&keys, 14).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("carried_attributes", carried * 2),
+            &carried,
+            |b, _| {
+                b.iter(|| black_box(top_k_join(&mut clouds, &enc_r1, &enc_r2, &token).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! `figures` — regenerate the rows/series of every table and figure of the paper's
+//! evaluation (§11, §12.4.1).
+//!
+//! ```text
+//! cargo run --release -p sectopk-bench --bin figures -- --list
+//! cargo run --release -p sectopk-bench --bin figures -- --experiment fig9
+//! cargo run --release -p sectopk-bench --bin figures -- --all
+//! cargo run --release -p sectopk-bench --bin figures -- --all --paper-scale   # hours!
+//! cargo run --release -p sectopk-bench --bin figures -- --experiment table3 --json
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use sectopk_bench::{runners, BenchScale, Table};
+
+struct Experiment {
+    key: &'static str,
+    description: &'static str,
+    run: fn(&BenchScale) -> Vec<Table>,
+}
+
+fn experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            key: "fig7",
+            description: "EHL vs EHL+ construction time and size",
+            run: |s| vec![runners::fig7_ehl_construction(s)],
+        },
+        Experiment {
+            key: "fig8",
+            description: "Database encryption time and size per dataset",
+            run: |s| vec![runners::fig8_dataset_encryption(s)],
+        },
+        Experiment {
+            key: "fig9",
+            description: "Qry_F time per depth, varying k and m",
+            run: |s| vec![runners::fig9a_qry_f_vary_k(s), runners::fig9b_qry_f_vary_m(s)],
+        },
+        Experiment {
+            key: "fig10",
+            description: "Qry_E time per depth, varying k and m",
+            run: |s| vec![runners::fig10a_qry_e_vary_k(s), runners::fig10b_qry_e_vary_m(s)],
+        },
+        Experiment {
+            key: "fig11",
+            description: "Qry_Ba time per depth, varying k and m",
+            run: |s| vec![runners::fig11a_qry_ba_vary_k(s), runners::fig11b_qry_ba_vary_m(s)],
+        },
+        Experiment {
+            key: "fig11c",
+            description: "Qry_Ba time per depth, varying the batching parameter p",
+            run: |s| vec![runners::fig11c_qry_ba_vary_p(s)],
+        },
+        Experiment {
+            key: "fig12",
+            description: "Qry_F vs Qry_E vs Qry_Ba comparison",
+            run: |s| vec![runners::fig12_variant_comparison(s)],
+        },
+        Experiment {
+            key: "table3",
+            description: "Communication bandwidth and latency per dataset",
+            run: |s| vec![runners::table3_bandwidth(s)],
+        },
+        Experiment {
+            key: "fig13",
+            description: "Bandwidth per depth (vs m) and total bandwidth (vs k)",
+            run: |s| vec![runners::fig13_bandwidth(s)],
+        },
+        Experiment {
+            key: "knn",
+            description: "SecTopK vs secure-kNN baseline (§11.3)",
+            run: |s| vec![runners::knn_comparison(s)],
+        },
+        Experiment {
+            key: "fig14",
+            description: "Top-k join time vs number of carried attributes",
+            run: |s| vec![runners::fig14_topk_join(s)],
+        },
+    ]
+}
+
+fn print_help() {
+    println!("figures — regenerate the paper's evaluation tables and figures\n");
+    println!("USAGE:");
+    println!("  figures --list                     list the available experiments");
+    println!("  figures --experiment <key> [...]   run one or more experiments");
+    println!("  figures --all                      run every experiment");
+    println!("\nOPTIONS:");
+    println!("  --paper-scale   use the paper's full dataset sizes (very slow)");
+    println!("  --smoke         use the minimal smoke-test scale");
+    println!("  --json          emit JSON instead of plain-text tables");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+
+    let mut scale = BenchScale::laptop();
+    if args.iter().any(|a| a == "--paper-scale") {
+        scale = BenchScale::paper();
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        scale = BenchScale::smoke();
+    }
+    let as_json = args.iter().any(|a| a == "--json");
+
+    let all = experiments();
+    if args.iter().any(|a| a == "--list") {
+        println!("available experiments:");
+        for e in &all {
+            println!("  {:<8} {}", e.key, e.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Collect the requested experiment keys.
+    let mut requested: Vec<&Experiment> = Vec::new();
+    if args.iter().any(|a| a == "--all") {
+        requested = all.iter().collect();
+    } else {
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if arg == "--experiment" || arg == "-e" {
+                match iter.next() {
+                    Some(key) => match all.iter().find(|e| e.key == key.as_str()) {
+                        Some(e) => requested.push(e),
+                        None => {
+                            eprintln!("unknown experiment '{key}'; use --list");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    None => {
+                        eprintln!("--experiment needs a key; use --list");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+    }
+    if requested.is_empty() {
+        eprintln!("nothing to run; use --all, --experiment <key>, or --list");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "# scale: {} rows / max depth {} / {}-bit modulus (use --paper-scale for the full workload)",
+        scale.query_rows, scale.max_depth, scale.modulus_bits
+    );
+    for e in requested {
+        eprintln!("# running {} — {}", e.key, e.description);
+        for table in (e.run)(&scale) {
+            if as_json {
+                println!("{}", table.to_json());
+            } else {
+                println!("{}", table.render());
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,20 @@
+//! # sectopk-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the paper's
+//! evaluation (§11 and §12.4.1).  The measurement logic lives in [`runners`] so that the
+//! `figures` binary (which prints the same rows/series the paper reports) and the
+//! Criterion micro-benchmarks share one code path; [`scale`] holds the knobs that map the
+//! paper-scale workloads onto laptop-scale ones.
+//!
+//! Run `cargo run --release -p sectopk-bench --bin figures -- --help` for the experiment
+//! index, or `cargo bench` for the Criterion micro-benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runners;
+pub mod scale;
+
+pub use report::Table;
+pub use scale::BenchScale;

@@ -1,0 +1,119 @@
+//! Minimal tabular reporting: every experiment produces a [`Table`] that is printed in
+//! the same rows/series layout as the corresponding figure or table of the paper, and can
+//! be dumped as JSON for plotting.
+
+use serde::{Deserialize, Serialize};
+
+/// A printable table of benchmark results.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Table {
+    /// Experiment identifier (e.g. "Fig. 9a").
+    pub id: String,
+    /// Human-readable caption.
+    pub caption: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a new table.
+    pub fn new(id: &str, caption: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            caption: caption.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are stringified by the caller).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity must match the header");
+        self.rows.push(cells);
+    }
+
+    /// Render the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("== {} — {} ==\n", self.id, self.caption);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialize the table as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+/// Format a seconds value compactly.
+pub fn fmt_secs(v: f64) -> String {
+    if v >= 1.0 {
+        format!("{v:.2} s")
+    } else {
+        format!("{:.1} ms", v * 1000.0)
+    }
+}
+
+/// Format a byte count as mebibytes.
+pub fn fmt_mb(bytes: u64) -> String {
+    format!("{:.3} MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Fig. X", "test", &["k", "time"]);
+        t.push_row(vec!["2".into(), "1.5 s".into()]);
+        t.push_row(vec!["20".into(), "15.0 s".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("Fig. X"));
+        assert!(rendered.contains("k"));
+        assert!(rendered.lines().count() >= 5);
+        // JSON round trip.
+        let parsed: Table = serde_json::from_str(&t.to_json()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn mismatched_rows_are_rejected() {
+        let mut t = Table::new("x", "y", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(2.0), "2.00 s");
+        assert_eq!(fmt_secs(0.0205), "20.5 ms");
+        assert_eq!(fmt_mb(2 * 1024 * 1024), "2.000 MB");
+    }
+}

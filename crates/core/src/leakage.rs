@@ -1,0 +1,105 @@
+//! Executable leakage profiles (§9 and §10 of the paper).
+//!
+//! Theorem 9.2 states that SecTopK is CQA-secure with respect to the leakage functions
+//! `L_Setup = (|R|, M)`, `L¹_Query = (QP, D_q)` (query pattern and halting depth, for S1)
+//! and `L²_Query = {EP^d}` (per-depth equality patterns, for S2).  The optimisations add
+//! the uniqueness pattern `UP^d` for S1 (`Qry_E`, §10.1) and the paper discusses how
+//! batching dilutes it (§10.2).
+//!
+//! This module turns those statements into checkable predicates over the
+//! [`sectopk_protocols::LeakageLedger`]s that the sub-protocols populate: after a query,
+//! each cloud's recorded view must contain *only* event kinds allowed by its profile.
+//! (The realisations of EncSort / EncCompare additionally reveal comparison outcomes of
+//! anonymous items to S1 and blinded signs to S2 — see DESIGN.md — so those kinds are
+//! part of the allowed sets.)
+
+use sectopk_protocols::TwoClouds;
+
+use crate::query::QueryVariant;
+
+/// The event kinds each party is allowed to observe for a query variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeakageProfile {
+    /// Event kinds S1's view may contain.
+    pub s1_allowed: &'static [&'static str],
+    /// Event kinds S2's view may contain.
+    pub s2_allowed: &'static [&'static str],
+}
+
+/// S1's view under full privacy: the query pattern, the halting depth, and the
+/// comparison outcomes of the (anonymous) sorting / halting comparisons.
+pub const S1_FULL: &[&str] = &["query_issued", "halting_depth", "comparison_bit"];
+
+/// S1's view under the SecDupElim / batching optimisations: additionally the per-depth
+/// uniqueness pattern.
+pub const S1_OPTIMIZED: &[&str] =
+    &["query_issued", "halting_depth", "comparison_bit", "unique_count"];
+
+/// S2's view: the per-depth equality patterns plus the blinded comparison signs.
+pub const S2_ALL: &[&str] = &["equality_bit", "blinded_sign"];
+
+/// The leakage profile of a query variant.
+pub fn profile_for(variant: QueryVariant) -> LeakageProfile {
+    match variant {
+        QueryVariant::Full => LeakageProfile { s1_allowed: S1_FULL, s2_allowed: S2_ALL },
+        QueryVariant::DupElim | QueryVariant::Batched { .. } => {
+            LeakageProfile { s1_allowed: S1_OPTIMIZED, s2_allowed: S2_ALL }
+        }
+    }
+}
+
+/// Check both clouds' recorded views against the profile of `variant`.
+///
+/// Returns `Err` with a description of the first offending observation, which makes test
+/// failures actionable.
+pub fn check_leakage(clouds: &TwoClouds, variant: QueryVariant) -> Result<(), String> {
+    let profile = profile_for(variant);
+    for event in clouds.s1_ledger().events() {
+        if !profile.s1_allowed.contains(&event.kind()) {
+            return Err(format!(
+                "S1 observed a '{}' event, which the {} leakage profile does not allow: {event:?}",
+                event.kind(),
+                variant.name()
+            ));
+        }
+    }
+    for event in clouds.s2_ledger().events() {
+        if !profile.s2_allowed.contains(&event.kind()) {
+            return Err(format!(
+                "S2 observed a '{}' event, which the {} leakage profile does not allow: {event:?}",
+                event.kind(),
+                variant.name()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The equality-pattern summary S2 is allowed to learn at one depth: how many of the
+/// pairwise tests came back equal (the paper's `EP^d` matrix up to the hidden
+/// permutation).
+pub fn s2_equality_pattern_summary(clouds: &TwoClouds) -> (usize, usize) {
+    let ledger = clouds.s2_ledger();
+    let total = ledger.count_kind("equality_bit");
+    let equal = ledger
+        .events()
+        .iter()
+        .filter(|e| matches!(e, sectopk_protocols::LeakageEvent::EqualityBit { equal: true, .. }))
+        .count();
+    (equal, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_between_variants() {
+        let full = profile_for(QueryVariant::Full);
+        let opt = profile_for(QueryVariant::DupElim);
+        assert!(!full.s1_allowed.contains(&"unique_count"));
+        assert!(opt.s1_allowed.contains(&"unique_count"));
+        assert_eq!(full.s2_allowed, opt.s2_allowed);
+        assert_eq!(profile_for(QueryVariant::Batched { p: 4 }).s1_allowed, S1_OPTIMIZED);
+    }
+}

@@ -1,0 +1,69 @@
+//! # sectopk-core
+//!
+//! The primary contribution of *"Top-k Query Processing on Encrypted Databases with
+//! Strong Security Guarantees"* (Meng, Zhu, Kollios; ICDE 2018): **SecTopK**, an
+//! adaptively CQA-secure scheme for answering top-k ranking queries over an outsourced,
+//! probabilistically encrypted relation using two non-colluding semi-honest clouds.
+//!
+//! The crate stitches the lower layers together:
+//!
+//! | Paper component | Module |
+//! |---|---|
+//! | `SecTopK = (Enc, Token, SecQuery)` facade (Definition 4.1) | [`scheme`] |
+//! | Plaintext NRA baseline (Algorithm 1) | [`nra`] |
+//! | Secure query processing `Qry_F` / `Qry_E` / `Qry_Ba` (Algorithm 3, §10) | [`query`] |
+//! | Result interpretation by the key holder | [`results`] |
+//! | Leakage profiles of Theorem 9.2 as executable checks | [`leakage`] |
+//! | Secure top-k join `./sec` (§12) | [`join`] |
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use sectopk_core::{sec_query, resolve_results, DataOwner, QueryConfig};
+//! use sectopk_storage::{ObjectId, Relation, Row, TopKQuery};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! // Data owner: generate keys and outsource an encrypted relation.
+//! let owner = DataOwner::new(128, 3, &mut rng).unwrap();
+//! let relation = Relation::from_rows(vec![
+//!     Row { id: ObjectId(1), values: vec![10, 3] },
+//!     Row { id: ObjectId(2), values: vec![8, 8] },
+//!     Row { id: ObjectId(3), values: vec![5, 7] },
+//! ]);
+//! let (er, _) = owner.encrypt(&relation, &mut rng).unwrap();
+//!
+//! // Client: top-1 by attr0 + attr1.
+//! let client = owner.authorize_client();
+//! let token = client.token(2, &TopKQuery::sum(vec![0, 1], 1)).unwrap();
+//!
+//! // Clouds: run the secure query.
+//! let mut clouds = owner.setup_clouds(42).unwrap();
+//! let outcome = sec_query(&mut clouds, &er, &token, &QueryConfig::dup_elim()).unwrap();
+//!
+//! // Key holder: identify the encrypted answer.
+//! let ids: Vec<ObjectId> = relation.rows().iter().map(|r| r.id).collect();
+//! let resolved = resolve_results(&outcome.top_k, &ids, owner.keys(), &mut rng).unwrap();
+//! assert_eq!(resolved[0].object, Some(ObjectId(2))); // 8 + 8 = 16 is the highest score
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod join;
+pub mod leakage;
+pub mod nra;
+pub mod query;
+pub mod results;
+pub mod scheme;
+
+pub use join::{
+    encrypt_for_join, join_token, top_k_join, JoinEncryptedRelation, JoinOutcome, JoinQuery,
+    JoinToken,
+};
+pub use leakage::{check_leakage, profile_for, LeakageProfile};
+pub use nra::{nra_top_k, NraOutcome};
+pub use query::{sec_query, QueryConfig, QueryOutcome, QueryStats, QueryVariant};
+pub use results::{resolve_results, resolved_object_ids, ResolvedResult};
+pub use scheme::{AuthorizedClient, DataOwner};

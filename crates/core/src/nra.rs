@@ -1,0 +1,207 @@
+//! The plaintext No-Random-Access (NRA) algorithm of Fagin, Lotem and Naor (Algorithm 1
+//! of the paper), used as the correctness oracle and as the algorithmic baseline whose
+//! halting depth the secure protocol is compared against.
+//!
+//! NRA scans the `m` sorted attribute lists depth by depth, maintaining for every seen
+//! object a lower bound `W^d(o)` (sum of its known scores) and an upper bound `B^d(o)`
+//! (known scores plus the current "bottom" score of every list where the object has not
+//! been seen yet).  It halts as soon as the `k` largest lower bounds dominate the upper
+//! bound of every other object (and of any still-unseen object).
+
+use std::collections::HashMap;
+
+use sectopk_storage::{ObjectId, Relation, Score};
+
+/// Outcome of a plaintext NRA run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NraOutcome {
+    /// The top-k object ids with their lower-bound scores at halting time, best first.
+    pub top_k: Vec<(ObjectId, u128)>,
+    /// Number of depths scanned before the halting condition held (1-based; equals `n`
+    /// if the algorithm had to scan the whole relation).
+    pub halting_depth: usize,
+}
+
+/// Per-object bookkeeping of the NRA scan.
+#[derive(Clone, Debug, Default)]
+struct Bounds {
+    lower: u128,
+    /// Which of the `m` queried lists this object has been seen in.
+    seen: Vec<bool>,
+}
+
+/// Run the plaintext NRA algorithm for a top-`k` query over `attributes` (with optional
+/// `weights`; empty means binary weights) on `relation`.
+pub fn nra_top_k(
+    relation: &Relation,
+    attributes: &[usize],
+    weights: &[Score],
+    k: usize,
+) -> NraOutcome {
+    let m = attributes.len();
+    assert!(m > 0, "NRA needs at least one scoring attribute");
+    let sorted = relation.sorted_lists();
+    let n = relation.len();
+    let k = k.min(n);
+    let weight = |j: usize| -> u128 {
+        if weights.is_empty() {
+            1
+        } else {
+            weights[j] as u128
+        }
+    };
+
+    let mut bounds: HashMap<ObjectId, Bounds> = HashMap::new();
+    let mut bottoms: Vec<u128> = vec![0; m];
+
+    for depth in 0..n {
+        // Sorted access to every queried list at this depth.
+        for (j, &attr) in attributes.iter().enumerate() {
+            let item = sorted.item(attr, depth).expect("depth < n");
+            bottoms[j] = weight(j) * item.score as u128;
+            let entry = bounds.entry(item.object).or_insert_with(|| Bounds {
+                lower: 0,
+                seen: vec![false; m],
+            });
+            entry.lower += weight(j) * item.score as u128;
+            entry.seen[j] = true;
+        }
+
+        if bounds.len() < k || k == 0 {
+            continue;
+        }
+
+        // Upper bound of a seen object: lower bound + bottoms of the lists it has not
+        // been seen in.  Upper bound of an unseen object: sum of all bottoms.
+        let upper = |b: &Bounds| -> u128 {
+            b.lower
+                + b.seen
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &s)| !s)
+                    .map(|(j, _)| bottoms[j])
+                    .sum::<u128>()
+        };
+
+        // Current top-k by lower bound (ties broken by id for determinism).
+        let mut by_lower: Vec<(&ObjectId, &Bounds)> = bounds.iter().collect();
+        by_lower.sort_by(|a, b| b.1.lower.cmp(&a.1.lower).then(a.0.cmp(b.0)));
+        let top: Vec<(ObjectId, u128)> =
+            by_lower[..k].iter().map(|(id, b)| (**id, b.lower)).collect();
+        let m_k = top[k - 1].1;
+
+        let everyone_else_dominated = by_lower[k..].iter().all(|(_, b)| upper(b) <= m_k);
+        let unseen_bound: u128 = bottoms.iter().sum();
+        let unseen_dominated = bounds.len() == n || unseen_bound <= m_k;
+
+        if everyone_else_dominated && unseen_dominated {
+            return NraOutcome { top_k: top, halting_depth: depth + 1 };
+        }
+    }
+
+    // Scanned everything: lower bounds are now exact scores.
+    let mut by_lower: Vec<(&ObjectId, &Bounds)> = bounds.iter().collect();
+    by_lower.sort_by(|a, b| b.1.lower.cmp(&a.1.lower).then(a.0.cmp(b.0)));
+    NraOutcome {
+        top_k: by_lower[..k.min(by_lower.len())]
+            .iter()
+            .map(|(id, b)| (**id, b.lower))
+            .collect(),
+        halting_depth: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sectopk_storage::Row;
+
+    fn fig3_relation() -> Relation {
+        Relation::new(
+            vec!["r1".into(), "r2".into(), "r3".into()],
+            vec![
+                Row { id: ObjectId(1), values: vec![10, 3, 2] },
+                Row { id: ObjectId(2), values: vec![8, 8, 0] },
+                Row { id: ObjectId(3), values: vec![5, 7, 6] },
+                Row { id: ObjectId(4), values: vec![3, 2, 8] },
+                Row { id: ObjectId(5), values: vec![1, 1, 1] },
+            ],
+        )
+    }
+
+    #[test]
+    fn fig3_top2_halts_at_depth_3() {
+        // The worked example of Fig. 3 halts after depth 3 with X3 and X2 as the top-2.
+        let r = fig3_relation();
+        let outcome = nra_top_k(&r, &[0, 1, 2], &[], 2);
+        assert_eq!(outcome.halting_depth, 3);
+        let ids: Vec<ObjectId> = outcome.top_k.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![ObjectId(3), ObjectId(2)]);
+    }
+
+    #[test]
+    fn results_match_exact_top_k_on_random_relations() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(20_24);
+        for trial in 0..30 {
+            let n = rng.gen_range(1..40);
+            let m = rng.gen_range(1..5);
+            let rows: Vec<Row> = (0..n)
+                .map(|i| Row {
+                    id: ObjectId(i as u64),
+                    values: (0..m).map(|_| rng.gen_range(0..50)).collect(),
+                })
+                .collect();
+            let relation = Relation::from_rows(rows);
+            let attrs: Vec<usize> = (0..m).collect();
+            let k = rng.gen_range(1..=n.min(10));
+            let nra = nra_top_k(&relation, &attrs, &[], k);
+            let exact = relation.plaintext_top_k(&attrs, &[], k);
+
+            // The score *multiset* of the result must match the exact top-k (ties may be
+            // broken differently, but NRA guarantees a valid top-k set).
+            let nra_scores: Vec<u128> = nra
+                .top_k
+                .iter()
+                .map(|(id, _)| relation.aggregate_score(*id, &attrs, &[]).unwrap())
+                .collect();
+            let exact_scores: Vec<u128> = exact.iter().map(|(_, s)| *s).collect();
+            let mut a = nra_scores.clone();
+            let mut b = exact_scores.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "trial {trial}: NRA must return a valid top-k set");
+            assert!(nra.halting_depth <= n);
+        }
+    }
+
+    #[test]
+    fn weighted_queries_are_supported() {
+        let r = fig3_relation();
+        // Weight attribute 2 heavily: X4 (value 8) should win.
+        let outcome = nra_top_k(&r, &[0, 2], &[1, 10], 1);
+        assert_eq!(outcome.top_k[0].0, ObjectId(4));
+        // The reported value is a lower bound on X4's true weighted score (3 + 80 = 83).
+        assert!(outcome.top_k[0].1 <= 83);
+        assert!(outcome.top_k[0].1 >= 80, "X4's attr-2 contribution alone is 80");
+    }
+
+    #[test]
+    fn k_larger_than_relation_is_clamped() {
+        let r = fig3_relation();
+        let outcome = nra_top_k(&r, &[0], &[], 100);
+        assert_eq!(outcome.top_k.len(), 5);
+        assert_eq!(outcome.halting_depth, 5);
+    }
+
+    #[test]
+    fn single_attribute_halts_early() {
+        // With one attribute the first k depths already determine the answer.
+        let r = fig3_relation();
+        let outcome = nra_top_k(&r, &[0], &[], 2);
+        assert_eq!(outcome.halting_depth, 2);
+        let ids: Vec<ObjectId> = outcome.top_k.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![ObjectId(1), ObjectId(2)]);
+    }
+}

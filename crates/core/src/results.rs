@@ -1,0 +1,122 @@
+//! Owner/client-side interpretation of encrypted query results.
+//!
+//! SecQuery returns encrypted items `(EHL(o), Enc(W), Enc(B))`.  The clouds never learn
+//! which objects these are; the party holding the secret keys (the data owner, or a
+//! client that the owner authorised for decryption) identifies them by re-encoding
+//! candidate object ids under the EHL keys and testing equality, and decrypts the bound
+//! ciphertexts directly.  This mirrors the paper's deployment, where the client takes the
+//! encrypted answers back to the key holder (or fetches the matching records via ORAM,
+//! §4).
+
+use num_bigint::BigInt;
+use rand::{CryptoRng, RngCore};
+
+use sectopk_crypto::keys::MasterKeys;
+use sectopk_crypto::Result;
+use sectopk_ehl::EhlEncoder;
+use sectopk_protocols::ScoredItem;
+use sectopk_storage::ObjectId;
+
+/// A decrypted query answer: the object and the worst/best bounds the protocol reported
+/// for it at halting time (signed: neutralised placeholder entries decode to −1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedResult {
+    /// The identified object, or `None` for a neutralised placeholder entry (these can
+    /// only reach the top-k when the relation has fewer than `k` distinct objects).
+    pub object: Option<ObjectId>,
+    /// Lower bound (worst score) at halting time.
+    pub worst: i64,
+    /// Upper bound (best score) at halting time.
+    pub best: i64,
+}
+
+/// Identify and decrypt every item of a query result using the data owner's keys.
+///
+/// `candidates` is the universe of object ids the owner knows about (all row ids of the
+/// outsourced relation).  Identification costs one EHL encoding and one equality test per
+/// candidate per result item — an owner-side, non-interactive computation.
+pub fn resolve_results<R: RngCore + CryptoRng>(
+    items: &[ScoredItem],
+    candidates: &[ObjectId],
+    keys: &MasterKeys,
+    rng: &mut R,
+) -> Result<Vec<ResolvedResult>> {
+    let encoder = EhlEncoder::new(&keys.ehl_keys);
+    let pk = &keys.paillier_public;
+    let sk = &keys.paillier_secret;
+
+    // Pre-encode every candidate once (k result items all compare against the same set).
+    let encoded: Vec<(ObjectId, sectopk_ehl::EhlPlus)> = candidates
+        .iter()
+        .map(|&id| Ok((id, encoder.encode(&id.to_bytes(), pk, rng)?)))
+        .collect::<Result<Vec<_>>>()?;
+
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let mut object = None;
+        for (id, cand) in &encoded {
+            if sk.is_zero(&item.ehl.eq_test(cand, pk, rng))? {
+                object = Some(*id);
+                break;
+            }
+        }
+        let worst = signed_to_i64(&sk.decrypt_signed(&item.worst)?);
+        let best = signed_to_i64(&sk.decrypt_signed(&item.best)?);
+        out.push(ResolvedResult { object, worst, best });
+    }
+    Ok(out)
+}
+
+/// Convenience: just the identified object ids, in result order, skipping placeholders.
+pub fn resolved_object_ids(results: &[ResolvedResult]) -> Vec<ObjectId> {
+    results.iter().filter_map(|r| r.object).collect()
+}
+
+fn signed_to_i64(v: &BigInt) -> i64 {
+    i64::try_from(v.clone()).unwrap_or(if v < &BigInt::from(0) { i64::MIN } else { i64::MAX })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sectopk_crypto::paillier::MIN_MODULUS_BITS;
+
+    #[test]
+    fn resolves_known_objects_and_flags_placeholders() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let keys = MasterKeys::generate(MIN_MODULUS_BITS, 3, &mut rng).unwrap();
+        let encoder = EhlEncoder::new(&keys.ehl_keys);
+        let pk = &keys.paillier_public;
+
+        let real = ScoredItem {
+            ehl: encoder.encode(&ObjectId(7).to_bytes(), pk, &mut rng).unwrap(),
+            worst: pk.encrypt_u64(18, &mut rng).unwrap(),
+            best: pk.encrypt_u64(18, &mut rng).unwrap(),
+        };
+        let placeholder = ScoredItem {
+            ehl: encoder.encode(b"garbage-not-an-id", pk, &mut rng).unwrap(),
+            worst: pk.encrypt(&pk.sentinel_z(), &mut rng).unwrap(),
+            best: pk.encrypt(&pk.sentinel_z(), &mut rng).unwrap(),
+        };
+
+        let candidates: Vec<ObjectId> = (0..10).map(ObjectId).collect();
+        let resolved =
+            resolve_results(&[real, placeholder], &candidates, &keys, &mut rng).unwrap();
+        assert_eq!(resolved[0].object, Some(ObjectId(7)));
+        assert_eq!(resolved[0].worst, 18);
+        assert_eq!(resolved[1].object, None);
+        assert_eq!(resolved[1].worst, -1);
+        assert_eq!(resolved_object_ids(&resolved), vec![ObjectId(7)]);
+    }
+
+    #[test]
+    fn out_of_range_bounds_saturate() {
+        assert_eq!(signed_to_i64(&BigInt::from(5)), 5);
+        assert_eq!(signed_to_i64(&BigInt::from(-5)), -5);
+        let huge = BigInt::from(u128::MAX);
+        assert_eq!(signed_to_i64(&huge), i64::MAX);
+        assert_eq!(signed_to_i64(&-huge), i64::MIN);
+    }
+}

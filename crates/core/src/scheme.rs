@@ -1,0 +1,127 @@
+//! The `SecTopK = (Enc, Token, SecQuery)` scheme facade (Definition 4.1).
+//!
+//! This module wires the lower layers together the way the paper's deployment does:
+//!
+//! 1. the **data owner** generates keys and encrypts its relation ([`DataOwner`]),
+//! 2. an **authorized client** turns a SQL-like top-k query into a token
+//!    ([`AuthorizedClient`]),
+//! 3. the **clouds** run [`crate::query::sec_query`] on the encrypted relation and return
+//!    the encrypted answer, which the key holder interprets with
+//!    [`crate::results::resolve_results`].
+
+use rand::{CryptoRng, RngCore};
+
+use sectopk_crypto::keys::MasterKeys;
+use sectopk_crypto::paillier::DEFAULT_MODULUS_BITS;
+use sectopk_crypto::{Result, DEFAULT_EHL_KEYS};
+use sectopk_protocols::TwoClouds;
+use sectopk_storage::{
+    encrypt_relation, encrypt_relation_parallel, generate_token, EncryptedRelation,
+    EncryptionStats, QueryToken, Relation, TopKQuery,
+};
+
+/// The data owner: holds the master keys, encrypts relations, and authorises clients.
+#[derive(Clone, Debug)]
+pub struct DataOwner {
+    keys: MasterKeys,
+}
+
+impl DataOwner {
+    /// Create a data owner with freshly generated keys.
+    ///
+    /// `modulus_bits` controls the Paillier modulus size (the paper's experiments use a
+    /// 128-bit security level; tests use smaller moduli for speed) and `ehl_keys` the
+    /// number `s` of EHL PRF keys (the paper uses `s = 5`).
+    pub fn new<R: RngCore + CryptoRng>(
+        modulus_bits: usize,
+        ehl_keys: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        Ok(DataOwner { keys: MasterKeys::generate(modulus_bits, ehl_keys, rng)? })
+    }
+
+    /// Create a data owner with the library defaults (256-bit modulus, `s = 5`).
+    pub fn with_defaults<R: RngCore + CryptoRng>(rng: &mut R) -> Result<Self> {
+        Self::new(DEFAULT_MODULUS_BITS, DEFAULT_EHL_KEYS, rng)
+    }
+
+    /// The owner's key material (needed to set up the clouds and to resolve results).
+    pub fn keys(&self) -> &MasterKeys {
+        &self.keys
+    }
+
+    /// `Enc(λ, R)`: encrypt a relation for outsourcing (Algorithm 2), single-threaded.
+    pub fn encrypt<R: RngCore + CryptoRng>(
+        &self,
+        relation: &Relation,
+        rng: &mut R,
+    ) -> Result<(EncryptedRelation, EncryptionStats)> {
+        encrypt_relation(relation, &self.keys, rng)
+    }
+
+    /// `Enc(λ, R)` with one worker thread per attribute list (the setup measured in
+    /// Fig. 7a / Fig. 8a uses heavy parallelism).
+    pub fn encrypt_parallel<R: RngCore + CryptoRng>(
+        &self,
+        relation: &Relation,
+        rng: &mut R,
+    ) -> Result<(EncryptedRelation, EncryptionStats)> {
+        encrypt_relation_parallel(relation, &self.keys, rng)
+    }
+
+    /// Hand an authorized client the key material it needs for token generation.
+    pub fn authorize_client(&self) -> AuthorizedClient {
+        AuthorizedClient { keys: self.keys.clone() }
+    }
+
+    /// Instantiate the two-cloud execution context: S1 receives the public keys, S2 the
+    /// decryption keys (Figure 1).
+    pub fn setup_clouds(&self, seed: u64) -> Result<TwoClouds> {
+        TwoClouds::new(&self.keys, seed)
+    }
+}
+
+/// An authorized client: can turn queries into tokens (and, in this reproduction, asks
+/// the owner to resolve encrypted results — see `crate::results`).
+#[derive(Clone, Debug)]
+pub struct AuthorizedClient {
+    keys: MasterKeys,
+}
+
+impl AuthorizedClient {
+    /// `Token(K, q)`: build the query token for a relation with `num_attributes` columns.
+    pub fn token(&self, num_attributes: usize, query: &TopKQuery) -> std::result::Result<QueryToken, String> {
+        generate_token(&self.keys.prp_key, num_attributes, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sectopk_crypto::paillier::MIN_MODULUS_BITS;
+    use sectopk_storage::{ObjectId, Row};
+
+    #[test]
+    fn owner_encrypts_and_client_builds_tokens() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let owner = DataOwner::new(MIN_MODULUS_BITS, 3, &mut rng).unwrap();
+        let relation = Relation::from_rows(vec![
+            Row { id: ObjectId(1), values: vec![3, 9] },
+            Row { id: ObjectId(2), values: vec![5, 1] },
+        ]);
+        let (er, stats) = owner.encrypt(&relation, &mut rng).unwrap();
+        assert_eq!(er.setup_leakage(), (2, 2));
+        assert_eq!(stats.num_attributes, 2);
+
+        let client = owner.authorize_client();
+        let token = client.token(2, &TopKQuery::sum(vec![0, 1], 1)).unwrap();
+        assert_eq!(token.k, 1);
+        assert_eq!(token.num_attributes(), 2);
+        assert!(client.token(2, &TopKQuery::sum(vec![5], 1)).is_err());
+
+        let clouds = owner.setup_clouds(3).unwrap();
+        assert_eq!(clouds.pk().n(), owner.keys().paillier_public.n());
+    }
+}

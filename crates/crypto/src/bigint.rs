@@ -1,0 +1,222 @@
+//! Multi-precision helpers shared by the Paillier and Damgård–Jurik implementations.
+//!
+//! `num-bigint` provides the raw arbitrary-precision arithmetic (see DESIGN.md §3 for the
+//! dependency justification); this module adds the number-theoretic operations the
+//! cryptosystems need: modular inverse, random sampling in `Z_N` and `Z_N^*`, the
+//! symmetric ("signed") plaintext representation used for score comparisons, and L-function
+//! style exact divisions.
+
+use num_bigint::{BigInt, BigUint, RandBigInt, Sign};
+use num_integer::Integer;
+use num_traits::{One, Signed, Zero};
+use rand::{CryptoRng, RngCore};
+
+use crate::error::{CryptoError, Result};
+
+/// Compute the modular inverse of `a` modulo `m`, if it exists.
+pub fn mod_inverse(a: &BigUint, m: &BigUint) -> Result<BigUint> {
+    if m.is_zero() {
+        return Err(CryptoError::NotInvertible);
+    }
+    let a = BigInt::from_biguint(Sign::Plus, a.clone() % m);
+    let m_int = BigInt::from_biguint(Sign::Plus, m.clone());
+    let e = a.extended_gcd(&m_int);
+    if !e.gcd.is_one() {
+        return Err(CryptoError::NotInvertible);
+    }
+    // extended_gcd guarantees a*x + m*y = gcd; normalise x into [0, m).
+    let mut x = e.x % &m_int;
+    if x.is_negative() {
+        x += &m_int;
+    }
+    Ok(x.to_biguint().expect("normalised to non-negative"))
+}
+
+/// Sample a uniformly random element of `Z_m` (i.e. `[0, m)`).
+pub fn random_below<R: RngCore + CryptoRng>(rng: &mut R, m: &BigUint) -> BigUint {
+    assert!(!m.is_zero(), "modulus must be positive");
+    rng.gen_biguint_below(m)
+}
+
+/// Sample a uniformly random element of `Z_m^*` (invertible residues).
+///
+/// For an RSA-style modulus the failure probability per draw is negligible, but the loop
+/// makes the function correct for any modulus > 1.
+pub fn random_invertible<R: RngCore + CryptoRng>(rng: &mut R, m: &BigUint) -> BigUint {
+    assert!(m > &BigUint::one(), "modulus must exceed 1");
+    loop {
+        let candidate = rng.gen_biguint_below(m);
+        if candidate.is_zero() {
+            continue;
+        }
+        if candidate.gcd(m).is_one() {
+            return candidate;
+        }
+    }
+}
+
+/// Sample a random integer with exactly `bits` bits (most significant bit forced to 1).
+pub fn random_exact_bits<R: RngCore + CryptoRng>(rng: &mut R, bits: u64) -> BigUint {
+    assert!(bits >= 2, "need at least 2 bits");
+    let mut x = rng.gen_biguint(bits);
+    x.set_bit(bits - 1, true);
+    x
+}
+
+/// Interpret `x ∈ Z_n` in the symmetric (signed) representation: values greater than
+/// `n/2` are mapped to the negative number `x - n`.
+///
+/// The paper's SecDedup sub-protocol replaces a duplicate's worst score with
+/// `Z = N − 1 ≡ −1 (mod N)` so that it sorts below every genuine score (§8.2.3, Fig. 3);
+/// all plaintext comparisons therefore happen in this representation.
+pub fn to_signed(x: &BigUint, n: &BigUint) -> BigInt {
+    let half = n >> 1u32;
+    if x > &half {
+        BigInt::from_biguint(Sign::Plus, x.clone()) - BigInt::from_biguint(Sign::Plus, n.clone())
+    } else {
+        BigInt::from_biguint(Sign::Plus, x.clone())
+    }
+}
+
+/// Map a signed integer back into `Z_n`.
+pub fn from_signed(x: &BigInt, n: &BigUint) -> BigUint {
+    let n_int = BigInt::from_biguint(Sign::Plus, n.clone());
+    let mut r = x % &n_int;
+    if r.is_negative() {
+        r += &n_int;
+    }
+    r.to_biguint().expect("normalised to non-negative")
+}
+
+/// Exact division `(u - 1) / n`, the `L` function of the Paillier / Damgård–Jurik
+/// cryptosystems.  Panics if `u ≢ 1 (mod n)` — callers guarantee this by construction.
+pub fn l_function(u: &BigUint, n: &BigUint) -> BigUint {
+    debug_assert!(((u - BigUint::one()) % n).is_zero(), "L-function input must be ≡ 1 mod n");
+    (u - BigUint::one()) / n
+}
+
+/// Convert an arbitrary byte string (e.g. an HMAC tag) to an element of `Z_m` by
+/// interpreting it as a big-endian integer and reducing.
+pub fn bytes_to_element(bytes: &[u8], m: &BigUint) -> BigUint {
+    BigUint::from_bytes_be(bytes) % m
+}
+
+/// A small deterministic factorial, used by the Damgård–Jurik decryption recursion
+/// (the `k!` terms are tiny because `s` is tiny).
+pub fn factorial(k: u64) -> BigUint {
+    let mut acc = BigUint::one();
+    for i in 2..=k {
+        acc *= BigUint::from(i);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn mod_inverse_round_trips() {
+        let m = BigUint::from(10007u32); // prime
+        for a in [1u32, 2, 3, 17, 5000, 10006] {
+            let a = BigUint::from(a);
+            let inv = mod_inverse(&a, &m).unwrap();
+            assert_eq!((a * inv) % &m, BigUint::one());
+        }
+    }
+
+    #[test]
+    fn mod_inverse_rejects_non_invertible() {
+        let m = BigUint::from(12u32);
+        assert_eq!(mod_inverse(&BigUint::from(4u32), &m), Err(CryptoError::NotInvertible));
+        assert_eq!(mod_inverse(&BigUint::from(6u32), &m), Err(CryptoError::NotInvertible));
+        assert!(mod_inverse(&BigUint::from(5u32), &m).is_ok());
+    }
+
+    #[test]
+    fn mod_inverse_zero_modulus() {
+        assert_eq!(
+            mod_inverse(&BigUint::from(3u32), &BigUint::zero()),
+            Err(CryptoError::NotInvertible)
+        );
+    }
+
+    #[test]
+    fn random_below_is_in_range() {
+        let mut r = rng();
+        let m = BigUint::from(1_000_000u64);
+        for _ in 0..200 {
+            assert!(random_below(&mut r, &m) < m);
+        }
+    }
+
+    #[test]
+    fn random_invertible_is_invertible() {
+        let mut r = rng();
+        let m = BigUint::from(3u32 * 5 * 7 * 11);
+        for _ in 0..100 {
+            let x = random_invertible(&mut r, &m);
+            assert!(x.gcd(&m).is_one());
+            assert!(!x.is_zero());
+        }
+    }
+
+    #[test]
+    fn random_exact_bits_has_correct_length() {
+        let mut r = rng();
+        for bits in [8u64, 16, 64, 128, 256] {
+            for _ in 0..10 {
+                let x = random_exact_bits(&mut r, bits);
+                assert_eq!(x.bits(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        let n = BigUint::from(1000u32);
+        for v in [0i64, 1, 2, 499, 500] {
+            let unsigned = BigUint::from(v as u64);
+            assert_eq!(to_signed(&unsigned, &n), BigInt::from(v));
+        }
+        // 501..999 map to negatives.
+        assert_eq!(to_signed(&BigUint::from(999u32), &n), BigInt::from(-1));
+        assert_eq!(to_signed(&BigUint::from(501u32), &n), BigInt::from(-499));
+        // Round trip.
+        for v in [-499i64, -1, 0, 1, 500] {
+            let b = BigInt::from(v);
+            assert_eq!(to_signed(&from_signed(&b, &n), &n), b);
+        }
+    }
+
+    #[test]
+    fn l_function_divides_exactly() {
+        let n = BigUint::from(77u32);
+        let u = BigUint::one() + BigUint::from(5u32) * &n;
+        assert_eq!(l_function(&u, &n), BigUint::from(5u32));
+    }
+
+    #[test]
+    fn bytes_to_element_reduces() {
+        let m = BigUint::from(97u32);
+        let e = bytes_to_element(&[0xff; 32], &m);
+        assert!(e < m);
+        // Deterministic for the same bytes.
+        assert_eq!(e, bytes_to_element(&[0xff; 32], &m));
+    }
+
+    #[test]
+    fn factorial_small_values() {
+        assert_eq!(factorial(0), BigUint::one());
+        assert_eq!(factorial(1), BigUint::one());
+        assert_eq!(factorial(2), BigUint::from(2u32));
+        assert_eq!(factorial(5), BigUint::from(120u32));
+        assert_eq!(factorial(10), BigUint::from(3_628_800u64));
+    }
+}

@@ -1,0 +1,415 @@
+//! The Damgård–Jurik generalized Paillier cryptosystem (PKC'01), specialised to the
+//! single extra layer (`s = 2`) that SecTopK needs (§3.3 of the paper).
+//!
+//! With `s = 2` the message space is `Z_{N²}` — exactly the ciphertext space of plain
+//! Paillier under the same modulus — which allows a Paillier ciphertext to be treated as
+//! a plaintext of the outer layer.  The single homomorphic identity the paper relies on:
+//!
+//! ```text
+//! E2(Enc(m1))^Enc(m2) = E2(Enc(m1) · Enc(m2)) = E2(Enc(m1 + m2))
+//! ```
+//!
+//! is exercised directly by the sub-protocols SecWorst / SecBest / SecUpdate (Algorithms
+//! 4, 6 and 9) and verified by the unit tests below.
+
+use num_bigint::BigUint;
+use num_traits::{One, Zero};
+use rand::{CryptoRng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::bigint::{factorial, l_function, mod_inverse, random_invertible, to_signed};
+use crate::error::{CryptoError, Result};
+use crate::paillier::{Ciphertext, PaillierPublicKey, PaillierSecretKey};
+
+/// The Damgård–Jurik exponent used throughout the paper: one extra layer over Paillier.
+pub const DJ_S: u32 = 2;
+
+/// A layered (Damgård–Jurik, `s = 2`) ciphertext: an element of `Z_{N³}^*` encrypting an
+/// element of `Z_{N²}` — typically an inner Paillier ciphertext.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq, Hash)]
+pub struct LayeredCiphertext(pub(crate) BigUint);
+
+impl LayeredCiphertext {
+    /// Raw group element backing this ciphertext.
+    pub fn as_biguint(&self) -> &BigUint {
+        &self.0
+    }
+
+    /// Serialized length in bytes (for channel bandwidth accounting).
+    pub fn byte_len(&self) -> usize {
+        ((self.0.bits() as usize) + 7) / 8
+    }
+}
+
+/// Public (encryption) half of the Damgård–Jurik scheme, derived from a Paillier public
+/// key: same modulus `N`, ciphertexts live in `Z_{N^{s+1}}`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DjPublicKey {
+    paillier: PaillierPublicKey,
+    /// `N²` — the message-space modulus of the outer layer.
+    n_s: BigUint,
+    /// `N³` — the ciphertext-space modulus of the outer layer.
+    n_s_plus_1: BigUint,
+}
+
+impl DjPublicKey {
+    /// Build the outer-layer public key from the shared Paillier public key.
+    pub fn from_paillier(pk: &PaillierPublicKey) -> Self {
+        let n = pk.n();
+        let n_s = n * n;
+        let n_s_plus_1 = &n_s * n;
+        DjPublicKey { paillier: pk.clone(), n_s, n_s_plus_1 }
+    }
+
+    /// The shared modulus `N`.
+    pub fn n(&self) -> &BigUint {
+        self.paillier.n()
+    }
+
+    /// The outer message-space modulus `N²`.
+    pub fn n_s(&self) -> &BigUint {
+        &self.n_s
+    }
+
+    /// The outer ciphertext-space modulus `N³`.
+    pub fn n_s_plus_1(&self) -> &BigUint {
+        &self.n_s_plus_1
+    }
+
+    /// The inner Paillier public key.
+    pub fn paillier(&self) -> &PaillierPublicKey {
+        &self.paillier
+    }
+
+    /// Encrypt an arbitrary message `m ∈ Z_{N²}` under the outer layer:
+    /// `E2(m) = (1+N)^m · r^{N²} mod N³`.
+    pub fn encrypt<R: RngCore + CryptoRng>(&self, m: &BigUint, rng: &mut R) -> Result<LayeredCiphertext> {
+        if m >= &self.n_s {
+            return Err(CryptoError::PlaintextOutOfRange);
+        }
+        let r = random_invertible(rng, self.n());
+        Ok(self.encrypt_with_randomness(m, &r))
+    }
+
+    /// Encrypt a small constant (e.g. the `E2(1)` used on line 6 of Algorithm 4).
+    pub fn encrypt_u64<R: RngCore + CryptoRng>(&self, m: u64, rng: &mut R) -> Result<LayeredCiphertext> {
+        self.encrypt(&BigUint::from(m), rng)
+    }
+
+    /// Encrypt an inner Paillier ciphertext: the "doubly encrypted" `E2(Enc(m))` object
+    /// the sub-protocols exchange.
+    pub fn encrypt_ciphertext<R: RngCore + CryptoRng>(
+        &self,
+        inner: &Ciphertext,
+        rng: &mut R,
+    ) -> Result<LayeredCiphertext> {
+        self.encrypt(inner.as_biguint(), rng)
+    }
+
+    /// Deterministic encryption with caller-supplied randomness.
+    pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> LayeredCiphertext {
+        // (1+N)^m mod N^3 — computed by modular exponentiation (the base is small enough
+        // that binary exponentiation over Z_{N^3} is perfectly fast for s = 2).
+        let g = self.n() + BigUint::one();
+        let g_m = g.modpow(m, &self.n_s_plus_1);
+        let r_ns = r.modpow(&self.n_s, &self.n_s_plus_1);
+        LayeredCiphertext((g_m * r_ns) % &self.n_s_plus_1)
+    }
+
+    /// Homomorphic addition in the outer layer: `E2(a) · E2(b) = E2(a + b mod N²)`.
+    pub fn add(&self, a: &LayeredCiphertext, b: &LayeredCiphertext) -> LayeredCiphertext {
+        LayeredCiphertext((&a.0 * &b.0) % &self.n_s_plus_1)
+    }
+
+    /// Scalar multiplication in the outer layer: `E2(a)^k = E2(k · a mod N²)`.
+    ///
+    /// This is the operation that realises the paper's layered identity when `k` is an
+    /// inner Paillier ciphertext: `E2(Enc(m1))^{Enc(m2)} = E2(Enc(m1+m2))`.
+    pub fn mul_plain(&self, a: &LayeredCiphertext, k: &BigUint) -> LayeredCiphertext {
+        LayeredCiphertext(a.0.modpow(k, &self.n_s_plus_1))
+    }
+
+    /// Scalar multiplication by an inner Paillier ciphertext (sugar over [`Self::mul_plain`]).
+    pub fn mul_by_ciphertext(&self, a: &LayeredCiphertext, k: &Ciphertext) -> LayeredCiphertext {
+        self.mul_plain(a, k.as_biguint())
+    }
+
+    /// Homomorphic negation in the outer layer.
+    pub fn negate(&self, a: &LayeredCiphertext) -> LayeredCiphertext {
+        let inv = mod_inverse(&a.0, &self.n_s_plus_1)
+            .expect("layered ciphertext is invertible for honestly generated keys");
+        LayeredCiphertext(inv)
+    }
+
+    /// Subtraction in the outer layer: `E2(a) / E2(b) = E2(a − b mod N²)`.
+    pub fn sub(&self, a: &LayeredCiphertext, b: &LayeredCiphertext) -> LayeredCiphertext {
+        self.add(a, &self.negate(b))
+    }
+
+    /// Re-randomize a layered ciphertext.
+    pub fn rerandomize<R: RngCore + CryptoRng>(
+        &self,
+        a: &LayeredCiphertext,
+        rng: &mut R,
+    ) -> LayeredCiphertext {
+        let r = random_invertible(rng, self.n());
+        let r_ns = r.modpow(&self.n_s, &self.n_s_plus_1);
+        LayeredCiphertext((&a.0 * r_ns) % &self.n_s_plus_1)
+    }
+
+    /// Sanity-check a layered ciphertext received from the network.
+    pub fn validate(&self, a: &LayeredCiphertext) -> Result<()> {
+        if a.0.is_zero() || a.0 >= self.n_s_plus_1 {
+            Err(CryptoError::CiphertextOutOfRange)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Secret (decryption) half of the Damgård–Jurik scheme.  Wraps the Paillier secret key —
+/// the crypto cloud S2 holds both.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DjSecretKey {
+    paillier: PaillierSecretKey,
+    public: DjPublicKey,
+}
+
+impl DjSecretKey {
+    /// Derive the outer-layer secret key from the Paillier secret key.
+    pub fn from_paillier(sk: &PaillierSecretKey) -> Self {
+        let public = DjPublicKey::from_paillier(sk.public_key());
+        DjSecretKey { paillier: sk.clone(), public }
+    }
+
+    /// The matching public key.
+    pub fn public_key(&self) -> &DjPublicKey {
+        &self.public
+    }
+
+    /// The inner Paillier secret key.
+    pub fn paillier(&self) -> &PaillierSecretKey {
+        &self.paillier
+    }
+
+    /// Decrypt a layered ciphertext to its message in `Z_{N²}`.
+    ///
+    /// Uses the standard Damgård–Jurik decryption: raise to `λ`, extract the exponent
+    /// `i = m·λ mod N²` from `(1+N)^{mλ}` by the recursive algorithm, then divide by `λ`.
+    pub fn decrypt(&self, c: &LayeredCiphertext) -> Result<BigUint> {
+        self.public.validate(c)?;
+        let n = self.public.n();
+        let n_s = self.public.n_s();
+        let n_s_plus_1 = self.public.n_s_plus_1();
+        let lambda = self.lambda();
+
+        let a = c.0.modpow(lambda, n_s_plus_1);
+        let i = extract_exponent(&a, n, DJ_S)?;
+        let lambda_inv = mod_inverse(lambda, n_s)?;
+        Ok((i * lambda_inv) % n_s)
+    }
+
+    /// Decrypt a layered ciphertext whose message is an inner Paillier ciphertext,
+    /// returning that inner ciphertext (the operation at the heart of RecoverEnc).
+    pub fn decrypt_to_ciphertext(&self, c: &LayeredCiphertext) -> Result<Ciphertext> {
+        let raw = self.decrypt(c)?;
+        if raw.is_zero() {
+            // An inner plaintext of zero is not a valid Paillier ciphertext; the
+            // protocols never produce it for honest executions.
+            return Err(CryptoError::DecryptionFailed);
+        }
+        Ok(Ciphertext::from_biguint(raw))
+    }
+
+    /// Fully decrypt a doubly encrypted value: outer DJ layer, then inner Paillier layer.
+    pub fn decrypt_both_layers(&self, c: &LayeredCiphertext) -> Result<BigUint> {
+        let inner = self.decrypt_to_ciphertext(c)?;
+        self.paillier.decrypt(&inner)
+    }
+
+    /// Fully decrypt into the signed representation.
+    pub fn decrypt_both_layers_signed(&self, c: &LayeredCiphertext) -> Result<num_bigint::BigInt> {
+        Ok(to_signed(&self.decrypt_both_layers(c)?, self.public.n()))
+    }
+
+    fn lambda(&self) -> &BigUint {
+        // λ is private to the Paillier key; re-expose it through a crate-internal
+        // accessor to avoid duplicating key material.
+        self.paillier.lambda_for_dj()
+    }
+}
+
+/// Extract `i` from `a = (1+N)^i mod N^{s+1}` where `i < N^s`, using the iterative
+/// algorithm from the Damgård–Jurik paper (Theorem 1).
+fn extract_exponent(a: &BigUint, n: &BigUint, s: u32) -> Result<BigUint> {
+    let mut i = BigUint::zero();
+    for j in 1..=s {
+        let n_j = n.pow(j);
+        let n_j_plus_1 = n.pow(j + 1);
+        // t1 = L(a mod N^{j+1})
+        let a_mod = a % &n_j_plus_1;
+        if !(&a_mod % n).is_one() {
+            return Err(CryptoError::DecryptionFailed);
+        }
+        let mut t1 = l_function(&a_mod, n) % &n_j;
+        let mut t2 = i.clone();
+        let mut i_k = i.clone();
+        for k in 2..=j {
+            // i_k counts down: i, i-1, i-2, ...
+            if i_k.is_zero() {
+                i_k = &n_j - BigUint::one();
+            } else {
+                i_k -= BigUint::one();
+            }
+            t2 = (&t2 * &i_k) % &n_j;
+            let k_fact_inv = mod_inverse(&factorial(k as u64), &n_j)?;
+            let term = (&t2 * n.pow(k - 1) % &n_j) * k_fact_inv % &n_j;
+            t1 = ((&t1 + &n_j) - term) % &n_j;
+        }
+        i = t1;
+    }
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paillier::{generate_keypair, MIN_MODULUS_BITS};
+    use num_bigint::BigInt;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (DjPublicKey, DjSecretKey, PaillierPublicKey, PaillierSecretKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let (pk, sk) = generate_keypair(MIN_MODULUS_BITS, &mut rng).unwrap();
+        let dj_pk = DjPublicKey::from_paillier(&pk);
+        let dj_sk = DjSecretKey::from_paillier(&sk);
+        (dj_pk, dj_sk, pk, sk, rng)
+    }
+
+    #[test]
+    fn round_trip_small_values() {
+        let (dj_pk, dj_sk, _pk, _sk, mut rng) = setup();
+        for m in [0u64, 1, 2, 255, 1_000_000, u64::MAX] {
+            let c = dj_pk.encrypt_u64(m, &mut rng).unwrap();
+            assert_eq!(dj_sk.decrypt(&c).unwrap(), BigUint::from(m), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn round_trip_values_larger_than_n() {
+        let (dj_pk, dj_sk, pk, _sk, mut rng) = setup();
+        // Messages in [N, N²) exercise the second extraction round.
+        let m = pk.n() + BigUint::from(12345u64);
+        let c = dj_pk.encrypt(&m, &mut rng).unwrap();
+        assert_eq!(dj_sk.decrypt(&c).unwrap(), m);
+
+        let m2 = dj_pk.n_s() - BigUint::one();
+        let c2 = dj_pk.encrypt(&m2, &mut rng).unwrap();
+        assert_eq!(dj_sk.decrypt(&c2).unwrap(), m2);
+    }
+
+    #[test]
+    fn rejects_plaintext_outside_message_space() {
+        let (dj_pk, _dj_sk, _pk, _sk, mut rng) = setup();
+        let too_big = dj_pk.n_s().clone();
+        assert!(matches!(
+            dj_pk.encrypt(&too_big, &mut rng),
+            Err(CryptoError::PlaintextOutOfRange)
+        ));
+    }
+
+    #[test]
+    fn outer_layer_homomorphic_addition() {
+        let (dj_pk, dj_sk, _pk, _sk, mut rng) = setup();
+        let a = dj_pk.encrypt_u64(1_000, &mut rng).unwrap();
+        let b = dj_pk.encrypt_u64(2_345, &mut rng).unwrap();
+        let sum = dj_pk.add(&a, &b);
+        assert_eq!(dj_sk.decrypt(&sum).unwrap(), BigUint::from(3_345u64));
+    }
+
+    #[test]
+    fn outer_layer_scalar_multiplication() {
+        let (dj_pk, dj_sk, _pk, _sk, mut rng) = setup();
+        let a = dj_pk.encrypt_u64(21, &mut rng).unwrap();
+        let doubled = dj_pk.mul_plain(&a, &BigUint::from(2u32));
+        assert_eq!(dj_sk.decrypt(&doubled).unwrap(), BigUint::from(42u64));
+    }
+
+    #[test]
+    fn layered_encryption_round_trip() {
+        let (dj_pk, dj_sk, pk, sk, mut rng) = setup();
+        let inner = pk.encrypt_u64(777, &mut rng).unwrap();
+        let layered = dj_pk.encrypt_ciphertext(&inner, &mut rng).unwrap();
+        let recovered = dj_sk.decrypt_to_ciphertext(&layered).unwrap();
+        assert_eq!(sk.decrypt_u64(&recovered).unwrap(), 777);
+        assert_eq!(dj_sk.decrypt_both_layers(&layered).unwrap(), BigUint::from(777u64));
+    }
+
+    #[test]
+    fn paper_identity_e2_enc_m1_pow_enc_m2() {
+        // E2(Enc(m1))^{Enc(m2)}  ~  E2(Enc(m1 + m2))   — the only homomorphic property the
+        // construction relies on (§3.3).
+        let (dj_pk, dj_sk, pk, _sk, mut rng) = setup();
+        let m1 = 1_234u64;
+        let m2 = 8_766u64;
+        let enc_m1 = pk.encrypt_u64(m1, &mut rng).unwrap();
+        let enc_m2 = pk.encrypt_u64(m2, &mut rng).unwrap();
+
+        let layered = dj_pk.encrypt_ciphertext(&enc_m1, &mut rng).unwrap();
+        let combined = dj_pk.mul_by_ciphertext(&layered, &enc_m2);
+
+        assert_eq!(
+            dj_sk.decrypt_both_layers(&combined).unwrap(),
+            BigUint::from(m1 + m2)
+        );
+    }
+
+    #[test]
+    fn select_between_ciphertexts_with_encrypted_bit() {
+        // The SecWorst/SecBest trick (Algorithm 4 line 6):
+        //   E2(t)^{Enc(x)} · (E2(1) / E2(t))^{Enc(0)}  =  E2( t·Enc(x) + (1−t)·Enc(0) )
+        // decrypting to Enc(x) when t = 1 and Enc(0) when t = 0.
+        let (dj_pk, dj_sk, pk, _sk, mut rng) = setup();
+        let enc_x = pk.encrypt_u64(555, &mut rng).unwrap();
+        let enc_zero = pk.encrypt_u64(0, &mut rng).unwrap();
+
+        for t in [0u64, 1] {
+            let e2_t = dj_pk.encrypt_u64(t, &mut rng).unwrap();
+            let e2_one = dj_pk.encrypt_u64(1, &mut rng).unwrap();
+            let one_minus_t = dj_pk.sub(&e2_one, &e2_t);
+
+            let left = dj_pk.mul_by_ciphertext(&e2_t, &enc_x);
+            let right = dj_pk.mul_by_ciphertext(&one_minus_t, &enc_zero);
+            let selected = dj_pk.add(&left, &right);
+
+            let value = dj_sk.decrypt_both_layers(&selected).unwrap();
+            let expected = if t == 1 { 555u64 } else { 0 };
+            assert_eq!(value, BigUint::from(expected), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn rerandomize_preserves_message() {
+        let (dj_pk, dj_sk, _pk, _sk, mut rng) = setup();
+        let a = dj_pk.encrypt_u64(31337, &mut rng).unwrap();
+        let b = dj_pk.rerandomize(&a, &mut rng);
+        assert_ne!(a, b);
+        assert_eq!(dj_sk.decrypt(&b).unwrap(), BigUint::from(31337u64));
+    }
+
+    #[test]
+    fn signed_full_decryption() {
+        let (dj_pk, dj_sk, pk, _sk, mut rng) = setup();
+        let inner = pk.encrypt_i64(-42, &mut rng).unwrap();
+        let layered = dj_pk.encrypt_ciphertext(&inner, &mut rng).unwrap();
+        assert_eq!(dj_sk.decrypt_both_layers_signed(&layered).unwrap(), BigInt::from(-42));
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        let (dj_pk, _dj_sk, _pk, _sk, _rng) = setup();
+        assert!(dj_pk.validate(&LayeredCiphertext(BigUint::zero())).is_err());
+        assert!(dj_pk.validate(&LayeredCiphertext(dj_pk.n_s_plus_1().clone())).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type shared by the cryptographic substrate.
+
+use std::fmt;
+
+/// Errors surfaced by the cryptographic layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// The requested key length is too small to be meaningful / secure enough to test.
+    KeySizeTooSmall {
+        /// Requested modulus bit-length.
+        requested: usize,
+        /// Minimum supported modulus bit-length.
+        minimum: usize,
+    },
+    /// A ciphertext was presented under the wrong modulus / key.
+    CiphertextOutOfRange,
+    /// A plaintext does not fit in the scheme's message space.
+    PlaintextOutOfRange,
+    /// A value that must be invertible modulo N was not (probability ≈ 1/p of happening
+    /// with honestly generated keys; indicates corrupted inputs).
+    NotInvertible,
+    /// Decryption produced an inconsistent intermediate value (wrong key or corrupted
+    /// ciphertext).
+    DecryptionFailed,
+    /// Prime generation exhausted its iteration budget.
+    PrimeGenerationFailed,
+    /// A serialized key or ciphertext could not be parsed.
+    Malformed(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::KeySizeTooSmall { requested, minimum } => write!(
+                f,
+                "requested modulus of {requested} bits is below the supported minimum of {minimum} bits"
+            ),
+            CryptoError::CiphertextOutOfRange => {
+                write!(f, "ciphertext is not an element of the expected group")
+            }
+            CryptoError::PlaintextOutOfRange => {
+                write!(f, "plaintext does not fit in the message space")
+            }
+            CryptoError::NotInvertible => {
+                write!(f, "value is not invertible modulo N (corrupted input or wrong key)")
+            }
+            CryptoError::DecryptionFailed => write!(f, "decryption failed (wrong key or corrupted ciphertext)"),
+            CryptoError::PrimeGenerationFailed => write!(f, "prime generation exhausted its iteration budget"),
+            CryptoError::Malformed(what) => write!(f, "malformed serialized value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+/// Convenient result alias for the crypto crate.
+pub type Result<T> = std::result::Result<T, CryptoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CryptoError::KeySizeTooSmall { requested: 64, minimum: 128 };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("128"));
+        assert!(CryptoError::DecryptionFailed.to_string().contains("decryption"));
+        assert!(CryptoError::Malformed("key".into()).to_string().contains("key"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CryptoError::NotInvertible, CryptoError::NotInvertible);
+        assert_ne!(CryptoError::NotInvertible, CryptoError::DecryptionFailed);
+    }
+}

@@ -1,0 +1,174 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1), built on the from-scratch [`crate::sha256`]
+//! implementation.
+//!
+//! HMAC-SHA-256 is the pseudo-random function the paper uses to hash object identifiers
+//! into the Encrypted Hash List (§5): `EHL+[i] = Enc(HMAC(k_i, o) mod N)`.
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// The byte length of an HMAC-SHA-256 tag.
+pub const TAG_LEN: usize = DIGEST_LEN;
+
+/// A reusable HMAC-SHA-256 instance bound to one key.
+///
+/// Creating the instance precomputes the inner/outer padded keys, so evaluating the PRF
+/// on many messages (as the EHL encoder does for every object in a relation) only costs
+/// two compression-function invocations of state cloning per message.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    /// SHA-256 state primed with `key ⊕ ipad`.
+    inner: Sha256,
+    /// SHA-256 state primed with `key ⊕ opad`.
+    outer: Sha256,
+}
+
+impl std::fmt::Debug for HmacSha256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("HmacSha256 { .. }")
+    }
+}
+
+impl HmacSha256 {
+    /// Create an HMAC instance for `key`.  Keys longer than the SHA-256 block size are
+    /// hashed first, as the standard requires.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = Sha256::digest(key);
+            key_block[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+
+        HmacSha256 { inner, outer }
+    }
+
+    /// Compute the HMAC tag of `message`.
+    pub fn mac(&self, message: &[u8]) -> [u8; TAG_LEN] {
+        let mut inner = self.inner.clone();
+        inner.update(message);
+        let inner_digest = inner.finalize();
+
+        let mut outer = self.outer.clone();
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Verify a tag in constant time with respect to the tag contents.
+    pub fn verify(&self, message: &[u8], tag: &[u8]) -> bool {
+        if tag.len() != TAG_LEN {
+            return false;
+        }
+        let expected = self.mac(message);
+        let mut diff = 0u8;
+        for (a, b) in expected.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+/// One-shot HMAC-SHA-256.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; TAG_LEN] {
+    HmacSha256::new(key).mac(message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // Test vectors from RFC 4231.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_and_data() {
+        let key = [0xaau8; 131];
+        let msg = b"This is a test using a larger than block-size key and a larger than \
+block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        let tag = hmac_sha256(&key, msg);
+        assert_eq!(
+            hex(&tag),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn reusable_instance_matches_one_shot() {
+        let mac = HmacSha256::new(b"secret-key");
+        for i in 0..50u32 {
+            let msg = format!("object-{i}");
+            assert_eq!(mac.mac(msg.as_bytes()), hmac_sha256(b"secret-key", msg.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let mac = HmacSha256::new(b"k");
+        let tag = mac.mac(b"msg");
+        assert!(mac.verify(b"msg", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!mac.verify(b"msg", &bad));
+        assert!(!mac.verify(b"msg", &tag[..31]));
+        assert!(!mac.verify(b"other", &tag));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

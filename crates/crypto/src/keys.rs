@@ -1,0 +1,183 @@
+//! Key material for the SecTopK scheme.
+//!
+//! Algorithm 2 of the paper has the data owner generate (a) a Paillier key pair
+//! `(pk_p, sk_p)`, (b) `s` secret HMAC keys `κ_1, …, κ_s` for the EHL, and (c) a key `K`
+//! for the pseudo-random permutation `P` that shuffles the attribute lists.  The owner
+//! uploads `(pk_p, sk_p)` to the crypto cloud S2 and only `pk_p` to S1; authorized
+//! clients receive `K` (and the EHL keys when they need to encode query-side objects).
+//!
+//! This module groups those pieces into an owner-side [`MasterKeys`] bundle and the two
+//! cloud-side views [`S1Keys`] and [`S2Keys`].
+
+use rand::{CryptoRng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::damgard_jurik::{DjPublicKey, DjSecretKey};
+use crate::error::Result;
+use crate::paillier::{generate_keypair, PaillierPublicKey, PaillierSecretKey, DEFAULT_MODULUS_BITS};
+use crate::prf::PrfKey;
+
+/// Number of HMAC keys (`s`) used by the EHL+ structure in the paper's experiments (§11.1).
+pub const DEFAULT_EHL_KEYS: usize = 5;
+
+/// The data owner's complete key material.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MasterKeys {
+    /// Paillier public key (shared with both clouds and the clients).
+    pub paillier_public: PaillierPublicKey,
+    /// Paillier secret key (uploaded to the crypto cloud S2 only).
+    pub paillier_secret: PaillierSecretKey,
+    /// The `s` PRF keys `κ_1, …, κ_s` used by the EHL encoder.
+    pub ehl_keys: Vec<PrfKey>,
+    /// The PRP key `K` used to permute attribute lists; shared with authorized clients.
+    pub prp_key: PrfKey,
+}
+
+impl MasterKeys {
+    /// Generate a full key bundle with the given Paillier modulus size and `s` EHL keys.
+    pub fn generate<R: RngCore + CryptoRng>(
+        modulus_bits: usize,
+        ehl_key_count: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let (paillier_public, paillier_secret) = generate_keypair(modulus_bits, rng)?;
+        let master = PrfKey::random(rng);
+        let ehl_keys = master.derive_family("ehl", ehl_key_count);
+        let prp_key = master.derive(b"prp");
+        Ok(MasterKeys { paillier_public, paillier_secret, ehl_keys, prp_key })
+    }
+
+    /// Generate a key bundle with the library defaults (256-bit N, s = 5).
+    pub fn generate_default<R: RngCore + CryptoRng>(rng: &mut R) -> Result<Self> {
+        Self::generate(DEFAULT_MODULUS_BITS, DEFAULT_EHL_KEYS, rng)
+    }
+
+    /// The view of the primary cloud S1: public key material only.
+    pub fn s1_view(&self) -> S1Keys {
+        S1Keys {
+            paillier_public: self.paillier_public.clone(),
+            dj_public: DjPublicKey::from_paillier(&self.paillier_public),
+        }
+    }
+
+    /// The view of the crypto cloud S2: public *and* secret decryption keys, but none of
+    /// the data-owner-side EHL / PRP keys (S2 never encodes or locates objects).
+    pub fn s2_view(&self) -> S2Keys {
+        S2Keys {
+            paillier_public: self.paillier_public.clone(),
+            paillier_secret: self.paillier_secret.clone(),
+            dj_public: DjPublicKey::from_paillier(&self.paillier_public),
+            dj_secret: DjSecretKey::from_paillier(&self.paillier_secret),
+        }
+    }
+
+    /// The view handed to an authorized client: the PRP key for token generation plus the
+    /// Paillier public key for decrypting nothing / verifying sizes (clients receive
+    /// encrypted results and ask the owner or a dedicated service for final decryption in
+    /// the paper's deployment; tests use the owner's secret key directly).
+    pub fn client_view(&self) -> ClientKeys {
+        ClientKeys {
+            prp_key: self.prp_key.clone(),
+            ehl_keys: self.ehl_keys.clone(),
+            paillier_public: self.paillier_public.clone(),
+        }
+    }
+
+    /// Number of EHL PRF keys (`s`).
+    pub fn ehl_key_count(&self) -> usize {
+        self.ehl_keys.len()
+    }
+}
+
+/// Key material visible to the primary cloud S1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct S1Keys {
+    /// Paillier public key.
+    pub paillier_public: PaillierPublicKey,
+    /// Damgård–Jurik public key (derived from the Paillier public key).
+    pub dj_public: DjPublicKey,
+}
+
+/// Key material visible to the crypto cloud S2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct S2Keys {
+    /// Paillier public key.
+    pub paillier_public: PaillierPublicKey,
+    /// Paillier secret key.
+    pub paillier_secret: PaillierSecretKey,
+    /// Damgård–Jurik public key.
+    pub dj_public: DjPublicKey,
+    /// Damgård–Jurik secret key.
+    pub dj_secret: DjSecretKey,
+}
+
+/// Key material held by an authorized client.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClientKeys {
+    /// PRP key `K` for mapping attribute indices to permuted list indices.
+    pub prp_key: PrfKey,
+    /// EHL PRF keys (needed when the client must encode objects, e.g. for joins).
+    pub ehl_keys: Vec<PrfKey>,
+    /// Paillier public key.
+    pub paillier_public: PaillierPublicKey,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paillier::MIN_MODULUS_BITS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generate_produces_consistent_views() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let keys = MasterKeys::generate(MIN_MODULUS_BITS, 4, &mut rng).unwrap();
+        assert_eq!(keys.ehl_key_count(), 4);
+
+        let s1 = keys.s1_view();
+        let s2 = keys.s2_view();
+        let client = keys.client_view();
+
+        assert_eq!(s1.paillier_public.n(), s2.paillier_public.n());
+        assert_eq!(client.paillier_public.n(), s1.paillier_public.n());
+        assert_eq!(s1.dj_public.n(), s2.dj_public.n());
+    }
+
+    #[test]
+    fn s2_can_decrypt_what_s1_encrypts() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let keys = MasterKeys::generate(MIN_MODULUS_BITS, 3, &mut rng).unwrap();
+        let s1 = keys.s1_view();
+        let s2 = keys.s2_view();
+        let c = s1.paillier_public.encrypt_u64(314, &mut rng).unwrap();
+        assert_eq!(s2.paillier_secret.decrypt_u64(&c).unwrap(), 314);
+
+        let layered = s1.dj_public.encrypt_u64(159, &mut rng).unwrap();
+        assert_eq!(
+            s2.dj_secret.decrypt(&layered).unwrap(),
+            num_bigint::BigUint::from(159u64)
+        );
+    }
+
+    #[test]
+    fn ehl_keys_are_pairwise_distinct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let keys = MasterKeys::generate(MIN_MODULUS_BITS, 5, &mut rng).unwrap();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert_ne!(keys.ehl_keys[i].as_bytes(), keys.ehl_keys[j].as_bytes());
+            }
+        }
+        assert_ne!(keys.prp_key.as_bytes(), keys.ehl_keys[0].as_bytes());
+    }
+
+    #[test]
+    fn distinct_generations_use_distinct_keys() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = MasterKeys::generate(MIN_MODULUS_BITS, 2, &mut rng).unwrap();
+        let b = MasterKeys::generate(MIN_MODULUS_BITS, 2, &mut rng).unwrap();
+        assert_ne!(a.paillier_public.n(), b.paillier_public.n());
+        assert_ne!(a.prp_key.as_bytes(), b.prp_key.as_bytes());
+    }
+}

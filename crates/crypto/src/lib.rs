@@ -1,0 +1,55 @@
+//! # sectopk-crypto
+//!
+//! Cryptographic substrate for the reproduction of *"Top-k Query Processing on Encrypted
+//! Databases with Strong Security Guarantees"* (Meng, Zhu, Kollios; ICDE 2018).
+//!
+//! Everything the paper's construction relies on below the data-structure level lives
+//! here and is implemented from scratch (on top of `num-bigint` for raw multi-precision
+//! arithmetic — see `DESIGN.md` for the dependency policy):
+//!
+//! * [`sha256`] / [`hmac`] — SHA-256 and HMAC-SHA-256, the PRF instantiation of the EHL.
+//! * [`prime`] — Miller–Rabin prime generation for key generation.
+//! * [`paillier`] — the additively homomorphic Paillier cryptosystem (§3.3).
+//! * [`damgard_jurik`] — the generalized Paillier (Damgård–Jurik) scheme with one extra
+//!   layer, providing the `E2(Enc(m1))^{Enc(m2)} = E2(Enc(m1+m2))` identity.
+//! * [`prf`] / [`prp`] — keyed PRFs and (keyed + ephemeral) pseudo-random permutations.
+//! * [`keys`] — the data-owner / S1 / S2 / client key bundles of Algorithm 2.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use sectopk_crypto::paillier::generate_keypair;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let (pk, sk) = generate_keypair(256, &mut rng).unwrap();
+//! let a = pk.encrypt_u64(20, &mut rng).unwrap();
+//! let b = pk.encrypt_u64(22, &mut rng).unwrap();
+//! let sum = pk.add(&a, &b);
+//! assert_eq!(sk.decrypt_u64(&sum).unwrap(), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod damgard_jurik;
+pub mod error;
+pub mod hmac;
+pub mod keys;
+pub mod paillier;
+pub mod prf;
+pub mod prime;
+pub mod prp;
+pub mod sha256;
+
+pub use damgard_jurik::{DjPublicKey, DjSecretKey, LayeredCiphertext};
+pub use error::{CryptoError, Result};
+pub use keys::{ClientKeys, MasterKeys, S1Keys, S2Keys, DEFAULT_EHL_KEYS};
+pub use paillier::{
+    generate_keypair, Ciphertext, PaillierPublicKey, PaillierSecretKey, DEFAULT_MODULUS_BITS,
+    MIN_MODULUS_BITS,
+};
+pub use prf::{Prf, PrfKey, PRF_KEY_LEN};
+pub use prp::{KeyedPrp, RandomPermutation};

@@ -1,0 +1,440 @@
+//! The Paillier cryptosystem (Paillier, EUROCRYPT'99) — the additively homomorphic
+//! encryption scheme every SecTopK score is encrypted under (§3.3 of the paper).
+//!
+//! Properties used by the protocols:
+//!
+//! * **Addition**:              `Enc(x) · Enc(y) = Enc(x + y)`
+//! * **Scalar multiplication**: `Enc(x)^a       = Enc(a · x)`
+//! * Semantic security (ciphertexts are re-randomizable), which Lemma 5.1 relies on.
+//!
+//! The implementation uses the standard simplification `g = N + 1`, so encryption is
+//! `Enc(m) = (1 + mN) · r^N mod N²` and decryption is `L(c^λ mod N²) · μ mod N` with
+//! `λ = lcm(p−1, q−1)` and `μ = λ⁻¹ mod N`.
+
+use num_bigint::BigUint;
+use num_integer::Integer;
+use num_traits::{One, Zero};
+use rand::{CryptoRng, RngCore};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+use crate::bigint::{l_function, mod_inverse, random_invertible, to_signed};
+use crate::error::{CryptoError, Result};
+use crate::prime::generate_safe_factor_pair;
+
+/// Minimum supported modulus size.  Far below any secure size — it exists so that unit
+/// tests and the worked Fig. 3 example can run instantly — but large enough that the
+/// score arithmetic of the protocols never wraps.
+pub const MIN_MODULUS_BITS: usize = 128;
+
+/// Default modulus size used by the library constructors when the caller does not choose
+/// one (matches the "256-bit N" configuration the paper quotes for the EHL+ false-positive
+/// analysis; benches print the size they use).
+pub const DEFAULT_MODULUS_BITS: usize = 256;
+
+/// Public parameters of a Paillier key pair: the modulus `N`, `N²`, and `g = N + 1`.
+///
+/// Cheap to clone (the big integers live behind an [`Arc`]) because every ciphertext
+/// operation needs access to `N²`.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct PaillierPublicKey {
+    inner: Arc<PublicInner>,
+}
+
+#[derive(Debug, Serialize, Deserialize, PartialEq, Eq)]
+struct PublicInner {
+    n: BigUint,
+    n_squared: BigUint,
+    /// Bit length requested at key generation time.
+    modulus_bits: usize,
+}
+
+/// The Paillier secret key: `λ = lcm(p−1, q−1)` and `μ = λ⁻¹ mod N`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PaillierSecretKey {
+    lambda: BigUint,
+    mu: BigUint,
+    public: PaillierPublicKey,
+}
+
+/// A Paillier ciphertext, an element of `Z_{N²}^*`.
+///
+/// Ciphertexts deliberately do **not** implement `PartialEq` on the underlying plaintext
+/// — two encryptions of the same message are different group elements; the paper's `∼`
+/// relation (equal plaintexts) is only decidable with the secret key.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq, Hash)]
+pub struct Ciphertext(pub(crate) BigUint);
+
+impl Ciphertext {
+    /// Raw group element backing this ciphertext.
+    pub fn as_biguint(&self) -> &BigUint {
+        &self.0
+    }
+
+    /// Construct a ciphertext from a raw group element (used by the serialization layer
+    /// and the Damgård–Jurik layered encryption).
+    pub fn from_biguint(raw: BigUint) -> Self {
+        Ciphertext(raw)
+    }
+
+    /// Serialized length in bytes; used by the bandwidth accounting of the two-cloud
+    /// channel (§11.2.5).
+    pub fn byte_len(&self) -> usize {
+        ((self.0.bits() as usize) + 7) / 8
+    }
+}
+
+impl PaillierPublicKey {
+    /// The modulus `N`.
+    pub fn n(&self) -> &BigUint {
+        &self.inner.n
+    }
+
+    /// `N²`, the ciphertext-space modulus.
+    pub fn n_squared(&self) -> &BigUint {
+        &self.inner.n_squared
+    }
+
+    /// Bit length of `N` requested at key generation.
+    pub fn modulus_bits(&self) -> usize {
+        self.inner.modulus_bits
+    }
+
+    /// The sentinel value `Z = N − 1 ≡ −1 (mod N)` that SecDedup assigns to duplicated
+    /// objects' worst scores (§8.2.3); in the signed interpretation it sorts below every
+    /// genuine score.
+    pub fn sentinel_z(&self) -> BigUint {
+        self.n() - BigUint::one()
+    }
+
+    /// Encrypt `m ∈ Z_N` with fresh randomness.
+    pub fn encrypt<R: RngCore + CryptoRng>(&self, m: &BigUint, rng: &mut R) -> Result<Ciphertext> {
+        if m >= self.n() {
+            return Err(CryptoError::PlaintextOutOfRange);
+        }
+        let r = random_invertible(rng, self.n());
+        Ok(self.encrypt_with_randomness(m, &r))
+    }
+
+    /// Encrypt a small unsigned integer (convenience for scores).
+    pub fn encrypt_u64<R: RngCore + CryptoRng>(&self, m: u64, rng: &mut R) -> Result<Ciphertext> {
+        self.encrypt(&BigUint::from(m), rng)
+    }
+
+    /// Encrypt a signed integer using the symmetric representation.
+    pub fn encrypt_i64<R: RngCore + CryptoRng>(&self, m: i64, rng: &mut R) -> Result<Ciphertext> {
+        let unsigned = crate::bigint::from_signed(&num_bigint::BigInt::from(m), self.n());
+        self.encrypt(&unsigned, rng)
+    }
+
+    /// Deterministic encryption with caller-provided randomness `r ∈ Z_N^*`
+    /// (used by the tests that check the homomorphic identities exactly).
+    pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
+        let n = self.n();
+        let n2 = self.n_squared();
+        // g^m = (1 + N)^m = 1 + mN (mod N^2)
+        let g_m = (BigUint::one() + m * n) % n2;
+        let r_n = r.modpow(n, n2);
+        Ciphertext((g_m * r_n) % n2)
+    }
+
+    /// The "trivial" encryption of zero with randomness 1.  Useful as the identity for
+    /// homomorphic accumulation (`Enc(Σ xᵢ) = Π Enc(xᵢ)`).
+    pub fn one_ciphertext(&self) -> Ciphertext {
+        Ciphertext(BigUint::one())
+    }
+
+    /// Homomorphic addition: `Enc(a) ⊞ Enc(b) = Enc(a + b)`.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Ciphertext((&a.0 * &b.0) % self.n_squared())
+    }
+
+    /// Homomorphic addition of a plaintext constant: `Enc(a) ⊞ k = Enc(a + k)`.
+    pub fn add_plain(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
+        let g_k = (BigUint::one() + (k % self.n()) * self.n()) % self.n_squared();
+        Ciphertext((&a.0 * g_k) % self.n_squared())
+    }
+
+    /// Homomorphic subtraction: `Enc(a) ⊟ Enc(b) = Enc(a − b)`.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let b_inv = self.negate(b);
+        self.add(a, &b_inv)
+    }
+
+    /// Homomorphic negation: `Enc(a) ↦ Enc(−a)` (inverse in the ciphertext group).
+    pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
+        let inv = mod_inverse(&a.0, self.n_squared())
+            .expect("ciphertext is invertible modulo N² for honestly generated keys");
+        Ciphertext(inv)
+    }
+
+    /// Scalar multiplication: `Enc(a)^k = Enc(k · a)`.
+    pub fn mul_plain(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
+        Ciphertext(a.0.modpow(k, self.n_squared()))
+    }
+
+    /// Re-randomize a ciphertext: multiply by a fresh encryption of zero.  The output
+    /// decrypts to the same plaintext but is computationally unlinkable to the input,
+    /// which is what the sub-protocols rely on when S2 returns items to S1.
+    pub fn rerandomize<R: RngCore + CryptoRng>(&self, a: &Ciphertext, rng: &mut R) -> Ciphertext {
+        let r = random_invertible(rng, self.n());
+        let r_n = r.modpow(self.n(), self.n_squared());
+        Ciphertext((&a.0 * r_n) % self.n_squared())
+    }
+
+    /// Check that a ciphertext is an element of `Z_{N²}` (cheap sanity check used when
+    /// deserializing messages received from the other cloud).
+    pub fn validate(&self, a: &Ciphertext) -> Result<()> {
+        if a.0.is_zero() || a.0 >= *self.n_squared() {
+            Err(CryptoError::CiphertextOutOfRange)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl PaillierSecretKey {
+    /// The matching public key.
+    pub fn public_key(&self) -> &PaillierPublicKey {
+        &self.public
+    }
+
+    /// Decrypt a ciphertext to an element of `Z_N`.
+    pub fn decrypt(&self, c: &Ciphertext) -> Result<BigUint> {
+        self.public.validate(c)?;
+        let n = self.public.n();
+        let n2 = self.public.n_squared();
+        let u = c.0.modpow(&self.lambda, n2);
+        let l = l_function(&u, n);
+        Ok((l * &self.mu) % n)
+    }
+
+    /// Decrypt into the symmetric (signed) representation used for score comparisons.
+    pub fn decrypt_signed(&self, c: &Ciphertext) -> Result<num_bigint::BigInt> {
+        Ok(to_signed(&self.decrypt(c)?, self.public.n()))
+    }
+
+    /// Decrypt a ciphertext known to hold a small value, as a `u64`.
+    pub fn decrypt_u64(&self, c: &Ciphertext) -> Result<u64> {
+        let m = self.decrypt(c)?;
+        let digits = m.to_u64_digits();
+        match digits.len() {
+            0 => Ok(0),
+            1 => Ok(digits[0]),
+            _ => Err(CryptoError::DecryptionFailed),
+        }
+    }
+
+    /// Returns `true` iff the ciphertext decrypts to zero — the primitive S2 applies to
+    /// the blinded EHL differences it receives from S1 in SecWorst / SecBest / SecDedup.
+    pub fn is_zero(&self, c: &Ciphertext) -> Result<bool> {
+        Ok(self.decrypt(c)?.is_zero())
+    }
+
+    /// Crate-internal: expose λ so the Damgård–Jurik layer (same trust domain — both keys
+    /// are held by the crypto cloud S2) can decrypt without regenerating key material.
+    pub(crate) fn lambda_for_dj(&self) -> &BigUint {
+        &self.lambda
+    }
+}
+
+/// Generate a Paillier key pair with a modulus of (about) `modulus_bits` bits.
+pub fn generate_keypair<R: RngCore + CryptoRng>(
+    modulus_bits: usize,
+    rng: &mut R,
+) -> Result<(PaillierPublicKey, PaillierSecretKey)> {
+    if modulus_bits < MIN_MODULUS_BITS {
+        return Err(CryptoError::KeySizeTooSmall {
+            requested: modulus_bits,
+            minimum: MIN_MODULUS_BITS,
+        });
+    }
+    let prime_bits = (modulus_bits / 2) as u64;
+    let (p, q) = generate_safe_factor_pair(prime_bits, rng)?;
+    let n = &p * &q;
+    let n_squared = &n * &n;
+    let p_minus = &p - BigUint::one();
+    let q_minus = &q - BigUint::one();
+    let lambda = p_minus.lcm(&q_minus);
+    let mu = mod_inverse(&lambda, &n)?;
+
+    let public = PaillierPublicKey {
+        inner: Arc::new(PublicInner { n, n_squared, modulus_bits }),
+    };
+    let secret = PaillierSecretKey { lambda, mu, public: public.clone() };
+    Ok((public, secret))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use num_bigint::BigInt;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (PaillierPublicKey, PaillierSecretKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (pk, sk) = generate_keypair(MIN_MODULUS_BITS, &mut rng).unwrap();
+        (pk, sk, rng)
+    }
+
+    #[test]
+    fn round_trip_small_values() {
+        let (pk, sk, mut rng) = setup();
+        for m in [0u64, 1, 2, 17, 1000, u32::MAX as u64, u64::MAX] {
+            let c = pk.encrypt_u64(m, &mut rng).unwrap();
+            assert_eq!(sk.decrypt_u64(&c).unwrap(), m, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn round_trip_random_group_elements() {
+        let (pk, sk, mut rng) = setup();
+        for _ in 0..20 {
+            let m = crate::bigint::random_below(&mut rng, pk.n());
+            let c = pk.encrypt(&m, &mut rng).unwrap();
+            assert_eq!(sk.decrypt(&c).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_plaintext() {
+        let (pk, _sk, mut rng) = setup();
+        let too_big = pk.n().clone();
+        assert_eq!(pk.encrypt(&too_big, &mut rng), Err(CryptoError::PlaintextOutOfRange));
+    }
+
+    #[test]
+    fn rejects_too_small_keys() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            generate_keypair(64, &mut rng),
+            Err(CryptoError::KeySizeTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (pk, sk, mut rng) = setup();
+        let a = pk.encrypt_u64(1234, &mut rng).unwrap();
+        let b = pk.encrypt_u64(8766, &mut rng).unwrap();
+        let sum = pk.add(&a, &b);
+        assert_eq!(sk.decrypt_u64(&sum).unwrap(), 10_000);
+    }
+
+    #[test]
+    fn homomorphic_addition_wraps_modulo_n() {
+        let (pk, sk, mut rng) = setup();
+        let almost_n = pk.n() - BigUint::from(3u32);
+        let a = pk.encrypt(&almost_n, &mut rng).unwrap();
+        let b = pk.encrypt_u64(5, &mut rng).unwrap();
+        let sum = pk.add(&a, &b);
+        assert_eq!(sk.decrypt_u64(&sum).unwrap(), 2);
+    }
+
+    #[test]
+    fn homomorphic_scalar_multiplication() {
+        let (pk, sk, mut rng) = setup();
+        let a = pk.encrypt_u64(111, &mut rng).unwrap();
+        let scaled = pk.mul_plain(&a, &BigUint::from(9u32));
+        assert_eq!(sk.decrypt_u64(&scaled).unwrap(), 999);
+    }
+
+    #[test]
+    fn homomorphic_subtraction_and_negation() {
+        let (pk, sk, mut rng) = setup();
+        let a = pk.encrypt_u64(50, &mut rng).unwrap();
+        let b = pk.encrypt_u64(80, &mut rng).unwrap();
+        let diff = pk.sub(&a, &b);
+        assert_eq!(sk.decrypt_signed(&diff).unwrap(), BigInt::from(-30));
+        let neg = pk.negate(&a);
+        assert_eq!(sk.decrypt_signed(&neg).unwrap(), BigInt::from(-50));
+    }
+
+    #[test]
+    fn add_plain_matches_add() {
+        let (pk, sk, mut rng) = setup();
+        let a = pk.encrypt_u64(7, &mut rng).unwrap();
+        let c = pk.add_plain(&a, &BigUint::from(35u32));
+        assert_eq!(sk.decrypt_u64(&c).unwrap(), 42);
+    }
+
+    #[test]
+    fn rerandomization_preserves_plaintext_and_changes_ciphertext() {
+        let (pk, sk, mut rng) = setup();
+        let a = pk.encrypt_u64(99, &mut rng).unwrap();
+        let b = pk.rerandomize(&a, &mut rng);
+        assert_ne!(a, b, "re-randomized ciphertext must differ");
+        assert_eq!(sk.decrypt_u64(&b).unwrap(), 99);
+    }
+
+    #[test]
+    fn encryption_is_probabilistic() {
+        let (pk, _sk, mut rng) = setup();
+        let a = pk.encrypt_u64(5, &mut rng).unwrap();
+        let b = pk.encrypt_u64(5, &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn signed_encryption_round_trip() {
+        let (pk, sk, mut rng) = setup();
+        for v in [-1_000_000i64, -1, 0, 1, 123_456_789] {
+            let c = pk.encrypt_i64(v, &mut rng).unwrap();
+            assert_eq!(sk.decrypt_signed(&c).unwrap(), BigInt::from(v));
+        }
+    }
+
+    #[test]
+    fn sentinel_z_is_minus_one() {
+        let (pk, sk, mut rng) = setup();
+        let z = pk.sentinel_z();
+        let c = pk.encrypt(&z, &mut rng).unwrap();
+        assert_eq!(sk.decrypt_signed(&c).unwrap(), BigInt::from(-1));
+    }
+
+    #[test]
+    fn is_zero_detects_equality_of_plaintexts() {
+        let (pk, sk, mut rng) = setup();
+        let a = pk.encrypt_u64(77, &mut rng).unwrap();
+        let b = pk.encrypt_u64(77, &mut rng).unwrap();
+        let diff = pk.sub(&a, &b);
+        assert!(sk.is_zero(&diff).unwrap());
+        let c = pk.encrypt_u64(78, &mut rng).unwrap();
+        assert!(!sk.is_zero(&pk.sub(&a, &c)).unwrap());
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        let (pk, _sk, _rng) = setup();
+        assert!(pk.validate(&Ciphertext(BigUint::zero())).is_err());
+        assert!(pk.validate(&Ciphertext(pk.n_squared().clone())).is_err());
+        assert!(pk.validate(&Ciphertext(BigUint::one())).is_ok());
+    }
+
+    #[test]
+    fn accumulating_with_one_ciphertext_identity() {
+        let (pk, sk, mut rng) = setup();
+        let mut acc = pk.one_ciphertext();
+        let mut expected = 0u64;
+        for v in [3u64, 5, 11, 20] {
+            let c = pk.encrypt_u64(v, &mut rng).unwrap();
+            acc = pk.add(&acc, &c);
+            expected += v;
+        }
+        assert_eq!(sk.decrypt_u64(&acc).unwrap(), expected);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (pk, sk, mut rng) = setup();
+        let c = pk.encrypt_u64(123, &mut rng).unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let c2: Ciphertext = serde_json::from_str(&json).unwrap();
+        assert_eq!(sk.decrypt_u64(&c2).unwrap(), 123);
+
+        let pk_json = serde_json::to_string(&pk).unwrap();
+        let pk2: PaillierPublicKey = serde_json::from_str(&pk_json).unwrap();
+        assert_eq!(pk2.n(), pk.n());
+    }
+}

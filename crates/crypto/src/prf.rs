@@ -1,0 +1,192 @@
+//! Keyed pseudo-random functions built on HMAC-SHA-256.
+//!
+//! The EHL+ encoder (§5) maps an object identifier into `Z_N` as
+//! `o_i ← HMAC(k_i, o) mod N`; this module provides that mapping plus helpers for
+//! deriving independent sub-keys from a master secret (the data owner generates
+//! `κ_1, …, κ_s` for the EHL and a PRP key `K` in Algorithm 2).
+
+use num_bigint::BigUint;
+use serde::{Deserialize, Serialize};
+
+use crate::bigint::bytes_to_element;
+use crate::hmac::{hmac_sha256, HmacSha256};
+
+/// Length of a PRF key in bytes.
+pub const PRF_KEY_LEN: usize = 32;
+
+/// A 256-bit PRF key.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrfKey(pub [u8; PRF_KEY_LEN]);
+
+impl std::fmt::Debug for PrfKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.write_str("PrfKey(..)")
+    }
+}
+
+impl PrfKey {
+    /// Sample a fresh random key.
+    pub fn random<R: rand::RngCore + rand::CryptoRng>(rng: &mut R) -> Self {
+        let mut key = [0u8; PRF_KEY_LEN];
+        rng.fill_bytes(&mut key);
+        PrfKey(key)
+    }
+
+    /// Deterministically derive a labelled sub-key: `HMAC(master, label)`.
+    ///
+    /// Used to expand one master secret into the `s` EHL keys and the PRP key without the
+    /// data owner having to store a whole key ring.
+    pub fn derive(&self, label: &[u8]) -> PrfKey {
+        PrfKey(hmac_sha256(&self.0, label))
+    }
+
+    /// Derive the numbered family `label‖i` of sub-keys.
+    pub fn derive_family(&self, label: &str, count: usize) -> Vec<PrfKey> {
+        (0..count)
+            .map(|i| self.derive(format!("{label}/{i}").as_bytes()))
+            .collect()
+    }
+
+    /// Raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; PRF_KEY_LEN] {
+        &self.0
+    }
+}
+
+/// A pseudo-random function `F_k : {0,1}* → Z_m` instantiated as
+/// `HMAC-SHA-256(k, ·) mod m` (the EHL+ hashing map from §5).
+#[derive(Clone, Debug)]
+pub struct Prf {
+    mac: HmacSha256,
+}
+
+impl Prf {
+    /// Instantiate the PRF with `key`.
+    pub fn new(key: &PrfKey) -> Self {
+        Prf { mac: HmacSha256::new(&key.0) }
+    }
+
+    /// Raw 32-byte PRF output.
+    pub fn eval_bytes(&self, input: &[u8]) -> [u8; 32] {
+        self.mac.mac(input)
+    }
+
+    /// PRF output reduced into `Z_m` (`m` must be non-zero).
+    pub fn eval_mod(&self, input: &[u8], m: &BigUint) -> BigUint {
+        bytes_to_element(&self.eval_bytes(input), m)
+    }
+
+    /// PRF output reduced into `[0, m)` for a machine-word modulus — the bucket-index map
+    /// of the original (Bloom-filter style) EHL: `HMAC(κ_i, o) mod H`.
+    pub fn eval_mod_usize(&self, input: &[u8], m: usize) -> usize {
+        assert!(m > 0, "modulus must be positive");
+        let bytes = self.eval_bytes(input);
+        // Use the top 16 bytes as a big-endian integer; the bias for the small H values
+        // used by EHL (tens of buckets) is ≪ 2^-100.
+        let mut acc: u128 = 0;
+        for b in &bytes[..16] {
+            acc = (acc << 8) | *b as u128;
+        }
+        (acc % (m as u128)) as usize
+    }
+
+    /// PRF output as a `u64` (used for deterministic seeds).
+    pub fn eval_u64(&self, input: &[u8]) -> u64 {
+        let bytes = self.eval_bytes(input);
+        u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use num_traits::Zero;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> PrfKey {
+        PrfKey([7u8; PRF_KEY_LEN])
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let prf = Prf::new(&key());
+        assert_eq!(prf.eval_bytes(b"object-1"), prf.eval_bytes(b"object-1"));
+        assert_ne!(prf.eval_bytes(b"object-1"), prf.eval_bytes(b"object-2"));
+    }
+
+    #[test]
+    fn different_keys_give_different_outputs() {
+        let a = Prf::new(&PrfKey([1u8; 32]));
+        let b = Prf::new(&PrfKey([2u8; 32]));
+        assert_ne!(a.eval_bytes(b"x"), b.eval_bytes(b"x"));
+    }
+
+    #[test]
+    fn eval_mod_is_in_range() {
+        let prf = Prf::new(&key());
+        let m = BigUint::from(1_000_003u64);
+        for i in 0..100u32 {
+            let v = prf.eval_mod(&i.to_be_bytes(), &m);
+            assert!(v < m);
+        }
+    }
+
+    #[test]
+    fn eval_mod_usize_covers_buckets() {
+        let prf = Prf::new(&key());
+        let h = 23usize;
+        let mut seen = vec![false; h];
+        for i in 0..2000u32 {
+            let v = prf.eval_mod_usize(&i.to_be_bytes(), h);
+            assert!(v < h);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "2000 PRF outputs should cover all 23 buckets");
+    }
+
+    #[test]
+    fn derived_keys_are_distinct_and_deterministic() {
+        let master = key();
+        let k1 = master.derive(b"ehl/0");
+        let k2 = master.derive(b"ehl/1");
+        assert_ne!(k1.0, k2.0);
+        assert_eq!(master.derive(b"ehl/0").0, k1.0);
+
+        let family = master.derive_family("ehl", 5);
+        assert_eq!(family.len(), 5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert_ne!(family[i].0, family[j].0, "derived keys must be pairwise distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn random_keys_differ() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = PrfKey::random(&mut rng);
+        let b = PrfKey::random(&mut rng);
+        assert_ne!(a.0, b.0);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let k = key();
+        assert_eq!(format!("{k:?}"), "PrfKey(..)");
+    }
+
+    #[test]
+    fn eval_u64_is_stable() {
+        let prf = Prf::new(&key());
+        assert_eq!(prf.eval_u64(b"seed"), prf.eval_u64(b"seed"));
+        assert_ne!(prf.eval_u64(b"seed"), prf.eval_u64(b"seed2"));
+    }
+
+    #[test]
+    fn eval_mod_handles_modulus_one() {
+        let prf = Prf::new(&key());
+        assert!(prf.eval_mod(b"x", &BigUint::from(1u32)).is_zero());
+    }
+}

@@ -1,0 +1,299 @@
+//! A from-scratch implementation of the SHA-256 hash function (FIPS 180-4).
+//!
+//! The paper instantiates the pseudo-random functions used by the Encrypted Hash List
+//! (EHL / EHL+) with HMAC-SHA-256 (§5, §11).  This module provides the underlying
+//! compression function and streaming hasher; [`crate::hmac`] builds HMAC on top of it.
+//!
+//! The implementation is deliberately simple and allocation-free in the hot path; it is
+//! validated in the unit tests against the NIST FIPS 180-4 example vectors.
+
+/// Size of a SHA-256 digest in bytes.
+pub const DIGEST_LEN: usize = 32;
+
+/// Size of a SHA-256 message block in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// Initial hash values (first 32 bits of the fractional parts of the square roots of the
+/// first 8 primes).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+    0x5be0cd19,
+];
+
+/// Round constants (first 32 bits of the fractional parts of the cube roots of the first
+/// 64 primes).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+/// A streaming SHA-256 hasher.
+///
+/// ```
+/// use sectopk_crypto::sha256::Sha256;
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// let digest = h.finalize();
+/// assert_eq!(hex(&digest),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+/// fn hex(bytes: &[u8]) -> String {
+///     bytes.iter().map(|b| format!("{b:02x}")).collect()
+/// }
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Partially filled block buffer.
+    buffer: [u8; BLOCK_LEN],
+    /// Number of valid bytes in `buffer`.
+    buffer_len: usize,
+    /// Total number of message bytes processed so far.
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Sha256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sha256")
+            .field("total_len", &self.total_len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sha256 {
+    /// Create a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0u8; BLOCK_LEN],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Feed `data` into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut input = data;
+
+        // Fill a partially-filled buffer first.
+        if self.buffer_len > 0 {
+            let take = (BLOCK_LEN - self.buffer_len).min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == BLOCK_LEN {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+
+        // Process whole blocks directly from the input.
+        while input.len() >= BLOCK_LEN {
+            let (block, rest) = input.split_at(BLOCK_LEN);
+            let mut tmp = [0u8; BLOCK_LEN];
+            tmp.copy_from_slice(block);
+            self.compress(&tmp);
+            input = rest;
+        }
+
+        // Stash the tail.
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffer_len = input.len();
+        }
+    }
+
+    /// Finish the computation and return the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+
+        // Append the 0x80 terminator.
+        let mut pad = [0u8; BLOCK_LEN * 2];
+        pad[0] = 0x80;
+        // Number of zero bytes so that (buffer_len + 1 + zeros + 8) % 64 == 0.
+        let pad_len = if self.buffer_len < 56 {
+            56 - self.buffer_len
+        } else {
+            120 - self.buffer_len
+        };
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        self.update_no_count(&pad[..pad_len + 8].to_vec());
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Convenience one-shot hash.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Like `update`, but does not advance the message length counter (used only for the
+    /// final padding, whose bytes are not part of the message).
+    fn update_no_count(&mut self, data: &[u8]) {
+        let saved = self.total_len;
+        self.update(data);
+        self.total_len = saved;
+    }
+
+    /// The SHA-256 compression function operating on one 64-byte block.
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256 of `data`.
+pub fn sha256(data: &[u8]) -> [u8; DIGEST_LEN] {
+    Sha256::digest(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_message() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn fips_vector_448_bits() {
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn fips_vector_896_bits() {
+        let msg = b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+        assert_eq!(
+            hex(&sha256(msg)),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha256(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for chunk_size in [1usize, 3, 7, 63, 64, 65, 100, 999] {
+            let mut h = Sha256::new();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), Sha256::digest(&data), "chunk {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Lengths around the 55/56/64 byte padding boundaries.
+        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129] {
+            let data = vec![0xabu8; len];
+            let d1 = Sha256::digest(&data);
+            let mut h = Sha256::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(d1, h.finalize(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        let a = sha256(b"object-1");
+        let b = sha256(b"object-2");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,84 @@
+//! The two worked examples of the paper, as ready-made relations.
+
+use sectopk_storage::{ObjectId, Relation, Row};
+
+/// The 5-object, 3-attribute table used in the Fig. 3 walk-through of SecWorst / SecBest
+/// / SecDedup (objects X1..X5 are ids 1..5).
+pub fn fig3_relation() -> Relation {
+    Relation::new(
+        vec!["r1".into(), "r2".into(), "r3".into()],
+        vec![
+            Row { id: ObjectId(1), values: vec![10, 3, 2] },
+            Row { id: ObjectId(2), values: vec![8, 8, 0] },
+            Row { id: ObjectId(3), values: vec![5, 7, 6] },
+            Row { id: ObjectId(4), values: vec![3, 2, 8] },
+            Row { id: ObjectId(5), values: vec![1, 1, 1] },
+        ],
+    )
+}
+
+/// The encrypted `patients` heart-disease table of Example 1.1 / Table 1.
+///
+/// Attributes: age, id number, trestbps (resting blood pressure), chol (serum
+/// cholesterol), thalach (maximum heart rate).  The patient names of Table 1 map to the
+/// object ids returned here, in order: Bob=1, Celvin=2, David=3, Emma=4, Flora=5.
+pub fn patients_relation() -> Relation {
+    Relation::new(
+        vec!["age".into(), "id".into(), "trestbps".into(), "chol".into(), "thalach".into()],
+        vec![
+            Row { id: ObjectId(1), values: vec![38, 121, 110, 196, 166] }, // Bob
+            Row { id: ObjectId(2), values: vec![43, 222, 120, 201, 160] }, // Celvin
+            Row { id: ObjectId(3), values: vec![60, 285, 100, 248, 142] }, // David
+            Row { id: ObjectId(4), values: vec![36, 956, 120, 267, 112] }, // Emma
+            Row { id: ObjectId(5), values: vec![43, 756, 100, 223, 127] }, // Flora
+        ],
+    )
+}
+
+/// The display names of the patients in [`patients_relation`], indexed by object id.
+pub fn patient_name(id: ObjectId) -> &'static str {
+    match id.0 {
+        1 => "Bob",
+        2 => "Celvin",
+        3 => "David",
+        4 => "Emma",
+        5 => "Flora",
+        _ => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape_and_scores() {
+        let r = fig3_relation();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.num_attributes(), 3);
+        // Total scores: X3 = 18 is the maximum (Fig. 3c's top-2 is X3, X2).
+        let top = r.plaintext_top_k(&[0, 1, 2], &[], 2);
+        assert_eq!(top[0].0, ObjectId(3));
+        assert_eq!(top[1].0, ObjectId(2));
+    }
+
+    #[test]
+    fn patients_example_top2_is_david_and_emma() {
+        // Example 1.1: top-2 by chol + thalach are David and Emma.
+        let r = patients_relation();
+        let chol = r.attribute_index("chol").unwrap();
+        let thalach = r.attribute_index("thalach").unwrap();
+        let top = r.plaintext_top_k(&[chol, thalach], &[], 2);
+        let names: Vec<&str> = top.iter().map(|(id, _)| patient_name(*id)).collect();
+        assert_eq!(names, vec!["David", "Emma"]);
+    }
+
+    #[test]
+    fn patient_names_cover_all_rows() {
+        let r = patients_relation();
+        for row in r.rows() {
+            assert_ne!(patient_name(row.id), "unknown");
+        }
+        assert_eq!(patient_name(ObjectId(99)), "unknown");
+    }
+}

@@ -1,0 +1,213 @@
+//! Deterministic generators for the four evaluation datasets of §11.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use sectopk_storage::{ObjectId, Relation, Row, Score};
+
+/// The four datasets of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// `insurance`: 5 822 customers × 13 attributes (COIL 2000 benchmark shape).
+    Insurance,
+    /// `diabetes`: 101 767 patient records × 10 attributes.
+    Diabetes,
+    /// `PAMAP`: 376 416 physical-activity-monitoring records × 15 attributes.
+    Pamap,
+    /// `synthetic`: 1 000 000 records × 10 attributes with Gaussian values.
+    Synthetic,
+}
+
+impl DatasetKind {
+    /// All four datasets, in the order the paper's figures list them.
+    pub const ALL: [DatasetKind; 4] =
+        [DatasetKind::Insurance, DatasetKind::Diabetes, DatasetKind::Pamap, DatasetKind::Synthetic];
+
+    /// The dataset's name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Insurance => "insurance",
+            DatasetKind::Diabetes => "diabetes",
+            DatasetKind::Pamap => "PAMAP",
+            DatasetKind::Synthetic => "synthetic",
+        }
+    }
+
+    /// The full (paper-scale) specification.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            DatasetKind::Insurance => DatasetSpec { kind: *self, rows: 5_822, attributes: 13 },
+            DatasetKind::Diabetes => DatasetSpec { kind: *self, rows: 101_767, attributes: 10 },
+            DatasetKind::Pamap => DatasetSpec { kind: *self, rows: 376_416, attributes: 15 },
+            DatasetKind::Synthetic => DatasetSpec { kind: *self, rows: 1_000_000, attributes: 10 },
+        }
+    }
+}
+
+/// A dataset's size parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which dataset shape to generate.
+    pub kind: DatasetKind,
+    /// Number of rows `n`.
+    pub rows: usize,
+    /// Number of attributes `M`.
+    pub attributes: usize,
+}
+
+impl DatasetSpec {
+    /// Scale the row count by `factor` (attributes are kept — the protocols' per-depth
+    /// cost depends on `m`, which queries choose, not on `M`).
+    pub fn scaled(&self, factor: f64) -> DatasetSpec {
+        assert!(factor > 0.0, "scale factor must be positive");
+        DatasetSpec {
+            kind: self.kind,
+            rows: ((self.rows as f64 * factor).round() as usize).max(1),
+            attributes: self.attributes,
+        }
+    }
+
+    /// A small instance with exactly `rows` rows (for tests and laptop benches).
+    pub fn with_rows(&self, rows: usize) -> DatasetSpec {
+        DatasetSpec { kind: self.kind, rows: rows.max(1), attributes: self.attributes }
+    }
+}
+
+/// A simple Box–Muller Gaussian sampler (kept local so the crate needs no extra
+/// dependencies beyond `rand`).
+struct Gaussian {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Distribution<f64> for Gaussian {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Generate the relation described by `spec`, deterministically from `seed`.
+pub fn generate(spec: &DatasetSpec, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed ^ hash_kind(spec.kind));
+    let rows: Vec<Row> = (0..spec.rows)
+        .map(|i| Row {
+            id: ObjectId(i as u64),
+            values: (0..spec.attributes).map(|a| sample_value(spec.kind, a, &mut rng)).collect(),
+        })
+        .collect();
+    let names = (0..spec.attributes)
+        .map(|a| format!("{}_{a}", spec.kind.name()))
+        .collect();
+    Relation::new(names, rows)
+}
+
+fn hash_kind(kind: DatasetKind) -> u64 {
+    match kind {
+        DatasetKind::Insurance => 0x1111,
+        DatasetKind::Diabetes => 0x2222,
+        DatasetKind::Pamap => 0x3333,
+        DatasetKind::Synthetic => 0x4444,
+    }
+}
+
+/// Sample one attribute value with the dataset's characteristic distribution.
+fn sample_value(kind: DatasetKind, attribute: usize, rng: &mut StdRng) -> Score {
+    match kind {
+        // insurance: mostly small categorical / ordinal codes (0..10), a few larger
+        // numeric columns — heavy duplication across objects, which stresses SecDedup.
+        DatasetKind::Insurance => {
+            if attribute % 4 == 0 {
+                rng.gen_range(0..=9)
+            } else {
+                rng.gen_range(0..=40)
+            }
+        }
+        // diabetes: lab values and counts with a skewed (roughly log-normal) shape.
+        DatasetKind::Diabetes => {
+            let g = Gaussian { mean: 3.0, std_dev: 0.8 }.sample(rng);
+            g.exp().clamp(0.0, 500.0) as Score
+        }
+        // PAMAP: wide-range sensor readings (heart rate, IMU magnitudes, temperature).
+        DatasetKind::Pamap => {
+            let g = Gaussian { mean: 500.0, std_dev: 220.0 }.sample(rng);
+            g.clamp(0.0, 2_000.0) as Score
+        }
+        // synthetic: Gaussian values as described in §11 ("takes values from Gaussian
+        // distribution").
+        DatasetKind::Synthetic => {
+            let g = Gaussian { mean: 500.0, std_dev: 150.0 }.sample(rng);
+            g.clamp(0.0, 1_000.0) as Score
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_specs_match_section_11() {
+        assert_eq!(DatasetKind::Insurance.spec().rows, 5_822);
+        assert_eq!(DatasetKind::Insurance.spec().attributes, 13);
+        assert_eq!(DatasetKind::Diabetes.spec().rows, 101_767);
+        assert_eq!(DatasetKind::Diabetes.spec().attributes, 10);
+        assert_eq!(DatasetKind::Pamap.spec().rows, 376_416);
+        assert_eq!(DatasetKind::Pamap.spec().attributes, 15);
+        assert_eq!(DatasetKind::Synthetic.spec().rows, 1_000_000);
+        assert_eq!(DatasetKind::Synthetic.spec().attributes, 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = DatasetKind::Diabetes.spec().with_rows(50);
+        let a = generate(&spec, 9);
+        let b = generate(&spec, 9);
+        let c = generate(&spec, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a.num_attributes(), 10);
+    }
+
+    #[test]
+    fn scaling_preserves_attributes_and_scales_rows() {
+        let spec = DatasetKind::Pamap.spec().scaled(0.01);
+        assert_eq!(spec.attributes, 15);
+        assert_eq!(spec.rows, 3_764);
+        assert_eq!(DatasetKind::Synthetic.spec().scaled(1e-9).rows, 1);
+    }
+
+    #[test]
+    fn insurance_has_heavy_value_duplication() {
+        // Small categorical domains ⇒ many ties, which is what makes the dataset
+        // interesting for SecDedup.
+        let r = generate(&DatasetKind::Insurance.spec().with_rows(200), 1);
+        let first_attr: std::collections::HashSet<Score> =
+            r.rows().iter().map(|row| row.values[0]).collect();
+        assert!(first_attr.len() <= 10);
+    }
+
+    #[test]
+    fn value_ranges_are_sane() {
+        for kind in DatasetKind::ALL {
+            let r = generate(&kind.spec().with_rows(100), 3);
+            for row in r.rows() {
+                for &v in &row.values {
+                    assert!(v <= 2_000, "{}: value {v} out of expected range", kind.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_four_names_are_distinct() {
+        let names: std::collections::HashSet<&str> =
+            DatasetKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,126 @@
+//! Query workload generation following the methodology of §11.2.1: "for each query, we
+//! randomly choose the number of attributes m that are used for the ranking function
+//! ranging from 2 to 8, and we also vary k between 2 and 20".
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use sectopk_storage::TopKQuery;
+
+/// Parameters of a random query workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of queries to generate.
+    pub queries: usize,
+    /// Inclusive range of the number of scoring attributes `m`.
+    pub m_range: (usize, usize),
+    /// Inclusive range of `k`.
+    pub k_range: (usize, usize),
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        // The paper's ranges: m ∈ [2, 8], k ∈ [2, 20].
+        WorkloadSpec { queries: 10, m_range: (2, 8), k_range: (2, 20) }
+    }
+}
+
+/// A generated workload of top-k queries over a relation with `num_attributes` columns.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryWorkload {
+    /// The generated queries.
+    pub queries: Vec<TopKQuery>,
+}
+
+impl QueryWorkload {
+    /// Generate a workload for a relation with `num_attributes` attributes.
+    pub fn generate(spec: &WorkloadSpec, num_attributes: usize, seed: u64) -> Self {
+        assert!(num_attributes >= 1, "relation needs at least one attribute");
+        assert!(spec.m_range.0 >= 1 && spec.m_range.0 <= spec.m_range.1);
+        assert!(spec.k_range.0 >= 1 && spec.k_range.0 <= spec.k_range.1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = (0..spec.queries)
+            .map(|_| {
+                let m = rng
+                    .gen_range(spec.m_range.0..=spec.m_range.1)
+                    .min(num_attributes);
+                let mut attrs: Vec<usize> = (0..num_attributes).collect();
+                attrs.shuffle(&mut rng);
+                attrs.truncate(m);
+                attrs.sort_unstable();
+                let k = rng.gen_range(spec.k_range.0..=spec.k_range.1);
+                TopKQuery::sum(attrs, k)
+            })
+            .collect();
+        QueryWorkload { queries }
+    }
+
+    /// A fixed-parameter workload (one query with exactly `m` attributes and the given
+    /// `k`), the configuration most of the paper's figures sweep over.
+    pub fn fixed(num_attributes: usize, m: usize, k: usize, seed: u64) -> TopKQuery {
+        assert!(m >= 1 && m <= num_attributes, "m must be in [1, M]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut attrs: Vec<usize> = (0..num_attributes).collect();
+        attrs.shuffle(&mut rng);
+        attrs.truncate(m);
+        attrs.sort_unstable();
+        TopKQuery::sum(attrs, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_queries_respect_the_spec() {
+        let spec = WorkloadSpec { queries: 25, m_range: (2, 5), k_range: (2, 9) };
+        let w = QueryWorkload::generate(&spec, 10, 77);
+        assert_eq!(w.queries.len(), 25);
+        for q in &w.queries {
+            assert!(q.num_attributes() >= 2 && q.num_attributes() <= 5);
+            assert!(q.k >= 2 && q.k <= 9);
+            assert!(q.validate(10).is_ok());
+        }
+    }
+
+    #[test]
+    fn m_is_clamped_to_the_relation_width() {
+        let spec = WorkloadSpec { queries: 5, m_range: (4, 8), k_range: (2, 3) };
+        let w = QueryWorkload::generate(&spec, 3, 1);
+        for q in &w.queries {
+            assert!(q.num_attributes() <= 3);
+            assert!(q.validate(3).is_ok());
+        }
+    }
+
+    #[test]
+    fn fixed_workload_is_deterministic() {
+        let a = QueryWorkload::fixed(10, 3, 5, 42);
+        let b = QueryWorkload::fixed(10, 3, 5, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.num_attributes(), 3);
+        assert_eq!(a.k, 5);
+    }
+
+    #[test]
+    fn generation_is_seeded() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(
+            QueryWorkload::generate(&spec, 8, 5),
+            QueryWorkload::generate(&spec, 8, 5)
+        );
+        assert_ne!(
+            QueryWorkload::generate(&spec, 8, 5),
+            QueryWorkload::generate(&spec, 8, 6)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be in")]
+    fn fixed_rejects_oversized_m() {
+        let _ = QueryWorkload::fixed(2, 5, 1, 0);
+    }
+}

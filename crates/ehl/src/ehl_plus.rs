@@ -1,0 +1,226 @@
+//! The space-efficient encrypted hash list **EHL+** (§5 of the paper).
+//!
+//! An `EHL+(o)` stores `s` Paillier encryptions `Enc(HMAC(k_i, o) mod N)`, one per PRF
+//! key.  Its only job is to let the clouds *homomorphically* test equality of the
+//! underlying objects: the randomized operation `⊖` produces an encryption of `0` when
+//! the objects are equal and of a value uniformly distributed in `Z_N` (w.h.p.) when they
+//! are not (Lemma 5.2).  The false positive rate is at most `n²/Nˢ`, negligible for the
+//! key sizes the paper considers.
+
+use num_bigint::BigUint;
+use rand::{CryptoRng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use sectopk_crypto::bigint::random_invertible;
+use sectopk_crypto::paillier::{Ciphertext, PaillierPublicKey};
+
+/// An EHL+ encoding of one object: `s` Paillier ciphertexts of the object's PRF images.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct EhlPlus {
+    blocks: Vec<Ciphertext>,
+}
+
+impl EhlPlus {
+    /// Build an EHL+ from its constituent ciphertext blocks.
+    pub fn from_blocks(blocks: Vec<Ciphertext>) -> Self {
+        assert!(!blocks.is_empty(), "EHL+ needs at least one block");
+        EhlPlus { blocks }
+    }
+
+    /// Number of blocks (`s`, the number of PRF keys).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if there are no blocks (never the case for a well-formed EHL+).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The underlying ciphertext blocks.
+    pub fn blocks(&self) -> &[Ciphertext] {
+        &self.blocks
+    }
+
+    /// Serialized size in bytes — what travels over the inter-cloud channel.
+    pub fn byte_len(&self) -> usize {
+        self.blocks.iter().map(Ciphertext::byte_len).sum()
+    }
+
+    /// The randomized equality operation `⊖` (Equation 1, adapted to EHL+):
+    ///
+    /// ```text
+    /// EHL(x) ⊖ EHL(y) = Π_i ( EHL(x)[i] · EHL(y)[i]^{-1} )^{r_i}
+    /// ```
+    ///
+    /// Returns `Enc(0)` when `x = y` and an encryption of a (w.h.p. non-zero) random
+    /// group element otherwise.  The caller (S1) sends the result to S2, which holds the
+    /// secret key and reports only the zero / non-zero bit.
+    pub fn eq_test<R: RngCore + CryptoRng>(
+        &self,
+        other: &EhlPlus,
+        pk: &PaillierPublicKey,
+        rng: &mut R,
+    ) -> Ciphertext {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "EHL+ structures under comparison must use the same number of PRF keys"
+        );
+        let mut acc = pk.one_ciphertext();
+        for (a, b) in self.blocks.iter().zip(other.blocks.iter()) {
+            let diff = pk.sub(a, b);
+            let r = random_invertible(rng, pk.n());
+            let masked = pk.mul_plain(&diff, &r);
+            acc = pk.add(&acc, &masked);
+        }
+        acc
+    }
+
+    /// The blockwise operation `⊙`: homomorphically add the blinding vector `α ∈ Z_Nˢ`
+    /// to the encoded PRF images (`c_i ← EHL[i] · Enc(α_i)`).  Used by SecDedup /
+    /// SecFilter to blind object encodings before shipping them to the other cloud.
+    pub fn blind(&self, alphas: &[BigUint], pk: &PaillierPublicKey) -> EhlPlus {
+        assert_eq!(alphas.len(), self.len(), "blinding vector must have one entry per block");
+        let blocks = self
+            .blocks
+            .iter()
+            .zip(alphas.iter())
+            .map(|(c, a)| pk.add_plain(c, a))
+            .collect();
+        EhlPlus { blocks }
+    }
+
+    /// Remove a blinding previously applied with [`Self::blind`] (`c_i ← c_i · Enc(−α_i)`).
+    pub fn unblind(&self, alphas: &[BigUint], pk: &PaillierPublicKey) -> EhlPlus {
+        assert_eq!(alphas.len(), self.len(), "blinding vector must have one entry per block");
+        let blocks = self
+            .blocks
+            .iter()
+            .zip(alphas.iter())
+            .map(|(c, a)| {
+                let neg = pk.n() - (a % pk.n());
+                pk.add_plain(c, &(neg % pk.n()))
+            })
+            .collect();
+        EhlPlus { blocks }
+    }
+
+    /// Blockwise multiplication with a vector of ciphertexts (the paper's
+    /// `Enc(x) ⊙ EHL(y)` with both operands encrypted).
+    pub fn mul_blocks(&self, others: &[Ciphertext], pk: &PaillierPublicKey) -> EhlPlus {
+        assert_eq!(others.len(), self.len(), "operand must have one ciphertext per block");
+        let blocks = self
+            .blocks
+            .iter()
+            .zip(others.iter())
+            .map(|(c, o)| pk.add(c, o))
+            .collect();
+        EhlPlus { blocks }
+    }
+
+    /// Re-randomize every block (fresh ciphertexts, same plaintexts).  Applied whenever a
+    /// cloud returns items so that the receiving cloud cannot link them to its own inputs.
+    pub fn rerandomize<R: RngCore + CryptoRng>(
+        &self,
+        pk: &PaillierPublicKey,
+        rng: &mut R,
+    ) -> EhlPlus {
+        let blocks = self.blocks.iter().map(|c| pk.rerandomize(c, rng)).collect();
+        EhlPlus { blocks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::EhlEncoder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sectopk_crypto::paillier::generate_keypair;
+    use sectopk_crypto::prf::PrfKey;
+
+    fn setup() -> (PaillierPublicKey, sectopk_crypto::paillier::PaillierSecretKey, EhlEncoder, StdRng) {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let (pk, sk) = generate_keypair(128, &mut rng).unwrap();
+        let keys: Vec<PrfKey> = (0..4u8).map(|i| PrfKey([i + 1; 32])).collect();
+        let encoder = EhlEncoder::new(&keys);
+        (pk, sk, encoder, rng)
+    }
+
+    #[test]
+    fn equality_test_is_zero_for_same_object() {
+        let (pk, sk, encoder, mut rng) = setup();
+        let a = encoder.encode(b"object-17", &pk, &mut rng).unwrap();
+        let b = encoder.encode(b"object-17", &pk, &mut rng).unwrap();
+        assert_ne!(a, b, "two encodings of the same object are different ciphertexts");
+        let result = a.eq_test(&b, &pk, &mut rng);
+        assert!(sk.is_zero(&result).unwrap());
+    }
+
+    #[test]
+    fn equality_test_is_nonzero_for_different_objects() {
+        let (pk, sk, encoder, mut rng) = setup();
+        let a = encoder.encode(b"object-17", &pk, &mut rng).unwrap();
+        for other in ["object-18", "object-170", "x", ""] {
+            let b = encoder.encode(other.as_bytes(), &pk, &mut rng).unwrap();
+            let result = a.eq_test(&b, &pk, &mut rng);
+            assert!(!sk.is_zero(&result).unwrap(), "{other} must not collide");
+        }
+    }
+
+    #[test]
+    fn equality_test_is_randomized() {
+        let (pk, _sk, encoder, mut rng) = setup();
+        let a = encoder.encode(b"o", &pk, &mut rng).unwrap();
+        let b = encoder.encode(b"p", &pk, &mut rng).unwrap();
+        let r1 = a.eq_test(&b, &pk, &mut rng);
+        let r2 = a.eq_test(&b, &pk, &mut rng);
+        assert_ne!(r1, r2, "⊖ must be a randomized operation");
+    }
+
+    #[test]
+    fn blind_then_unblind_restores_equality() {
+        let (pk, sk, encoder, mut rng) = setup();
+        let a = encoder.encode(b"object-9", &pk, &mut rng).unwrap();
+        let b = encoder.encode(b"object-9", &pk, &mut rng).unwrap();
+        let alphas: Vec<BigUint> = (0..a.len())
+            .map(|_| sectopk_crypto::bigint::random_below(&mut rng, pk.n()))
+            .collect();
+        let blinded = a.blind(&alphas, &pk);
+        // Blinded encoding no longer matches.
+        let r = blinded.eq_test(&b, &pk, &mut rng);
+        assert!(!sk.is_zero(&r).unwrap());
+        // Unblinding restores it.
+        let restored = blinded.unblind(&alphas, &pk);
+        let r2 = restored.eq_test(&b, &pk, &mut rng);
+        assert!(sk.is_zero(&r2).unwrap());
+    }
+
+    #[test]
+    fn rerandomize_preserves_equality_semantics() {
+        let (pk, sk, encoder, mut rng) = setup();
+        let a = encoder.encode(b"object-1", &pk, &mut rng).unwrap();
+        let a2 = a.rerandomize(&pk, &mut rng);
+        assert_ne!(a, a2);
+        let b = encoder.encode(b"object-1", &pk, &mut rng).unwrap();
+        assert!(sk.is_zero(&a2.eq_test(&b, &pk, &mut rng)).unwrap());
+    }
+
+    #[test]
+    fn byte_len_is_positive_and_additive() {
+        let (pk, _sk, encoder, mut rng) = setup();
+        let a = encoder.encode(b"object-1", &pk, &mut rng).unwrap();
+        assert!(a.byte_len() > 0);
+        assert!(a.byte_len() <= a.len() * ((pk.n_squared().bits() as usize + 7) / 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of PRF keys")]
+    fn eq_test_requires_matching_lengths() {
+        let (pk, _sk, encoder, mut rng) = setup();
+        let a = encoder.encode(b"x", &pk, &mut rng).unwrap();
+        let short = EhlPlus::from_blocks(a.blocks()[..2].to_vec());
+        let _ = a.eq_test(&short, &pk, &mut rng);
+    }
+}

@@ -1,0 +1,226 @@
+//! `SecBest` (Algorithm 6): the per-depth best-score (upper-bound) computation.
+//!
+//! At depth `d`, for the item `E(I_i) = ⟨EHL(o_i), Enc(x_i)⟩` appearing in list `i`, the
+//! NRA upper bound is
+//!
+//! ```text
+//! B(o_i) = x_i + Σ_{j ≠ i} ( x_j(o_i)   if o_i already appeared in list j at depth ≤ d
+//!                            x_j^d      otherwise — the "bottom" score last seen in L_j )
+//! ```
+//!
+//! S1 scans the prefix of every other list seen so far, asks S2 for the equality bits
+//! (the designed equality-pattern leakage), selects the matching score with the
+//! Damgård–Jurik trick, and — when no depth matched — adds the current bottom score,
+//! again by a selection whose selector bit (`1 − Σ_l t_l`) is known to S2 because S2
+//! decrypted every `t_l` itself (Algorithm 6 lines 8-12).
+
+use sectopk_crypto::damgard_jurik::LayeredCiphertext;
+use sectopk_crypto::paillier::Ciphertext;
+use sectopk_crypto::prp::RandomPermutation;
+use sectopk_crypto::Result;
+use sectopk_ehl::EhlPlus;
+use sectopk_storage::EncryptedItem;
+
+use crate::context::TwoClouds;
+
+impl TwoClouds {
+    /// Encrypt, on behalf of S2, a vector of bits that S2 legitimately learned earlier in
+    /// the same protocol (e.g. "this object matched none of the scanned depths").  The
+    /// ciphertexts travel S2 → S1 and are accounted on the channel.
+    pub(crate) fn s2_encrypt_bits(&mut self, bits: &[bool]) -> Result<Vec<LayeredCiphertext>> {
+        let dj_pk = self.s2.keys.dj_public.clone();
+        let mut out = Vec::with_capacity(bits.len());
+        for &b in bits {
+            out.push(dj_pk.encrypt_u64(u64::from(b), &mut self.s2.rng)?);
+        }
+        let bytes: usize = out.iter().map(LayeredCiphertext::byte_len).sum();
+        self.send_to_s1(bytes, out.len());
+        Ok(out)
+    }
+
+    /// Compute the encrypted best (upper-bound) score of `item`, which appears in the
+    /// queried list `own_list` at depth `depth`, given the prefixes `seen[j]` (depths
+    /// `0..=depth`) of every queried list — Protocol 8.2 / Algorithm 6.
+    pub fn sec_best(
+        &mut self,
+        item: &EncryptedItem,
+        own_list: usize,
+        seen: &[Vec<EncryptedItem>],
+        depth: usize,
+    ) -> Result<Ciphertext> {
+        let pk = self.s1.keys.paillier_public.clone();
+        let mut best = item.score.clone();
+
+        for (j, list_prefix) in seen.iter().enumerate() {
+            if j == own_list {
+                continue;
+            }
+            if list_prefix.is_empty() {
+                continue;
+            }
+
+            // ---- S1: permute the scanned prefix and ask for the equality bits. ---------
+            let perm = RandomPermutation::sample(list_prefix.len(), &mut self.s1.rng);
+            let refs: Vec<&EncryptedItem> = list_prefix.iter().collect();
+            let permuted: Vec<&EncryptedItem> = perm.permute(&refs);
+            let pairs: Vec<(&EhlPlus, &EhlPlus)> =
+                permuted.iter().map(|other| (&item.ehl, &other.ehl)).collect();
+            let batch = self.eq_batch(&pairs, "sec_best", Some(depth))?;
+
+            // ---- S1: add the matching score (if any). -----------------------------------
+            let scores: Vec<Ciphertext> = permuted.iter().map(|o| o.score.clone()).collect();
+            let selected = self.select_scores(&batch.e2_bits, &scores)?;
+            for s in &selected {
+                best = pk.add(&best, s);
+            }
+
+            // ---- S2 phase: it knows whether any depth matched; if none did, the bottom
+            //      (last seen) score of the list is the contribution (Algorithm 6 line 10).
+            let unseen = !batch.s2_bits.iter().any(|&b| b);
+            let e2_unseen = self.s2_encrypt_bits(&[unseen])?;
+            let bottom = list_prefix
+                .last()
+                .expect("non-empty prefix")
+                .score
+                .clone();
+            let bottom_contribution = self.select_scores(&e2_unseen, &[bottom])?;
+            best = pk.add(&best, &bottom_contribution[0]);
+        }
+
+        Ok(pk.rerandomize(&best, &mut self.s1.rng))
+    }
+
+    /// Compute the best scores of all `m` items at depth `d` (Algorithm 3 line 6).
+    ///
+    /// `seen[j]` must contain the items of queried list `j` at depths `0..=depth`.
+    pub fn sec_best_depth(
+        &mut self,
+        depth_items: &[EncryptedItem],
+        seen: &[Vec<EncryptedItem>],
+        depth: usize,
+    ) -> Result<Vec<Ciphertext>> {
+        assert_eq!(depth_items.len(), seen.len(), "one seen-prefix per queried list");
+        let mut bests = Vec::with_capacity(depth_items.len());
+        for (i, item) in depth_items.iter().enumerate() {
+            bests.push(self.sec_best(item, i, seen, depth)?);
+        }
+        Ok(bests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sectopk_crypto::keys::MasterKeys;
+    use sectopk_crypto::paillier::MIN_MODULUS_BITS;
+    use sectopk_ehl::EhlEncoder;
+    use sectopk_storage::ObjectId;
+
+    fn make_item(
+        object: ObjectId,
+        score: u64,
+        encoder: &EhlEncoder,
+        pk: &sectopk_crypto::PaillierPublicKey,
+        rng: &mut StdRng,
+    ) -> EncryptedItem {
+        EncryptedItem {
+            ehl: encoder.encode(&object.to_bytes(), pk, rng).unwrap(),
+            score: pk.encrypt_u64(score, rng).unwrap(),
+        }
+    }
+
+    fn setup() -> (MasterKeys, TwoClouds, EhlEncoder, StdRng) {
+        let mut rng = StdRng::seed_from_u64(71);
+        let master = MasterKeys::generate(MIN_MODULUS_BITS, 3, &mut rng).unwrap();
+        let clouds = TwoClouds::new(&master, 8).unwrap();
+        let encoder = EhlEncoder::new(&master.ehl_keys);
+        (master, clouds, encoder, rng)
+    }
+
+    /// Build the Fig. 3 sorted lists (R1, R2, R3) down to `depth` (1-based).
+    fn fig3_prefixes(
+        depth: usize,
+        encoder: &EhlEncoder,
+        pk: &sectopk_crypto::PaillierPublicKey,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<EncryptedItem>> {
+        let r1 = [(1u64, 10u64), (2, 8), (3, 5), (4, 3), (5, 1)];
+        let r2 = [(2u64, 8u64), (3, 7), (1, 3), (4, 2), (5, 1)];
+        let r3 = [(4u64, 8u64), (3, 6), (1, 2), (5, 1), (2, 0)];
+        [r1, r2, r3]
+            .iter()
+            .map(|list| {
+                list[..depth]
+                    .iter()
+                    .map(|&(o, x)| make_item(ObjectId(o), x, encoder, pk, rng))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fig3_depth1_best_scores() {
+        // Fig. 3a: upper bounds after depth 1 are 26 for X1, X2 and X4
+        // (own score + the other two lists' bottoms).
+        let (master, mut clouds, encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        let seen = fig3_prefixes(1, &encoder, pk, &mut rng);
+        let depth_items: Vec<EncryptedItem> = seen.iter().map(|l| l[0].clone()).collect();
+        let bests = clouds.sec_best_depth(&depth_items, &seen, 1).unwrap();
+        let values: Vec<u64> = bests
+            .iter()
+            .map(|c| master.paillier_secret.decrypt_u64(c).unwrap())
+            .collect();
+        assert_eq!(values, vec![26, 26, 26]);
+    }
+
+    #[test]
+    fn fig3_depth2_best_scores() {
+        // Fig. 3b: at depth 2 the items are X2/8 (R1), X3/7 (R2), X3/6 (R3).
+        // X2: 8 + 8 (seen in R2 depth1) + 6 (bottom of R3)            = 22
+        // X3 in R2: 7 + 8 (bottom R1) + 6 (seen in R3 depth 2)        = 21
+        // X3 in R3: 6 + 8 (bottom R1) + 7 (seen in R2 depth 2)        = 21
+        let (master, mut clouds, encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        let seen = fig3_prefixes(2, &encoder, pk, &mut rng);
+        let depth_items: Vec<EncryptedItem> = seen.iter().map(|l| l[1].clone()).collect();
+        let bests = clouds.sec_best_depth(&depth_items, &seen, 2).unwrap();
+        let values: Vec<u64> = bests
+            .iter()
+            .map(|c| master.paillier_secret.decrypt_u64(c).unwrap())
+            .collect();
+        assert_eq!(values, vec![22, 21, 21]);
+    }
+
+    #[test]
+    fn unseen_lists_contribute_their_bottom() {
+        // Object 9 appears only in list 0; lists 1 and 2 contribute their bottoms.
+        let (master, mut clouds, encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        let seen = vec![
+            vec![make_item(ObjectId(9), 50, &encoder, pk, &mut rng)],
+            vec![
+                make_item(ObjectId(1), 40, &encoder, pk, &mut rng),
+                make_item(ObjectId(2), 30, &encoder, pk, &mut rng),
+            ],
+            vec![make_item(ObjectId(3), 7, &encoder, pk, &mut rng)],
+        ];
+        let item = seen[0][0].clone();
+        let best = clouds.sec_best(&item, 0, &seen, 1).unwrap();
+        // 50 + bottom(list1)=30 + bottom(list2)=7 = 87.
+        assert_eq!(master.paillier_secret.decrypt_u64(&best).unwrap(), 87);
+    }
+
+    #[test]
+    fn leakage_is_limited_to_equality_bits() {
+        let (_master, mut clouds, encoder, mut rng) = setup();
+        let pk = clouds.pk().clone();
+        let seen = fig3_prefixes(2, &encoder, &pk, &mut rng);
+        let depth_items: Vec<EncryptedItem> = seen.iter().map(|l| l[1].clone()).collect();
+        let _ = clouds.sec_best_depth(&depth_items, &seen, 2).unwrap();
+        assert!(clouds.s2_ledger().only_contains(&["equality_bit"]));
+        assert!(clouds.s1_ledger().is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Metered inter-cloud channel.
+//!
+//! The paper's §11.2.5 evaluates the communication *bandwidth* (bytes exchanged between
+//! S1 and S2 per depth and in total) and the resulting *latency* under an assumed link
+//! speed (50 Mbps between the two clouds).  Both clouds run in-process in this
+//! reproduction, so every protocol message is routed through a [`ChannelMetrics`] value
+//! that records message counts, ciphertext counts and byte volumes; the figures/table
+//! harness reads these counters to regenerate Table 3 and Fig. 13.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of a protocol message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Primary cloud S1 → crypto cloud S2.
+    S1ToS2,
+    /// Crypto cloud S2 → primary cloud S1.
+    S2ToS1,
+}
+
+/// Accumulated communication statistics for one protocol execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelMetrics {
+    /// Number of messages sent from S1 to S2.
+    pub messages_s1_to_s2: u64,
+    /// Number of messages sent from S2 to S1.
+    pub messages_s2_to_s1: u64,
+    /// Total ciphertexts shipped (both directions).
+    pub ciphertexts: u64,
+    /// Total payload bytes shipped (both directions).
+    pub bytes: u64,
+    /// Number of protocol round trips (an S1→S2 message followed by the S2→S1 reply).
+    pub rounds: u64,
+}
+
+impl ChannelMetrics {
+    /// A fresh, zeroed metric set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one message of `bytes` bytes carrying `ciphertexts` ciphertexts.
+    pub fn record(&mut self, direction: Direction, bytes: usize, ciphertexts: usize) {
+        match direction {
+            Direction::S1ToS2 => self.messages_s1_to_s2 += 1,
+            Direction::S2ToS1 => {
+                self.messages_s2_to_s1 += 1;
+                // A reply closes a round trip.
+                self.rounds += 1;
+            }
+        }
+        self.bytes += bytes as u64;
+        self.ciphertexts += ciphertexts as u64;
+    }
+
+    /// Total number of messages in both directions.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_s1_to_s2 + self.messages_s2_to_s1
+    }
+
+    /// Bandwidth in mebibytes.
+    pub fn megabytes(&self) -> f64 {
+        self.bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Estimated network latency in seconds if the two clouds were connected by a link of
+    /// `link_mbps` megabits per second (the paper assumes a standard 50 Mbps setting for
+    /// Table 3) plus `rtt_ms` milliseconds of per-round-trip delay.
+    pub fn latency_seconds(&self, link_mbps: f64, rtt_ms: f64) -> f64 {
+        assert!(link_mbps > 0.0, "link speed must be positive");
+        let transfer = (self.bytes as f64 * 8.0) / (link_mbps * 1_000_000.0);
+        let rtts = self.rounds as f64 * (rtt_ms / 1000.0);
+        transfer + rtts
+    }
+
+    /// The difference `self − earlier`, used to attribute traffic to one depth or one
+    /// sub-protocol ("bandwidth per depth" in Fig. 13a).
+    pub fn since(&self, earlier: &ChannelMetrics) -> ChannelMetrics {
+        ChannelMetrics {
+            messages_s1_to_s2: self.messages_s1_to_s2 - earlier.messages_s1_to_s2,
+            messages_s2_to_s1: self.messages_s2_to_s1 - earlier.messages_s2_to_s1,
+            ciphertexts: self.ciphertexts - earlier.ciphertexts,
+            bytes: self.bytes - earlier.bytes,
+            rounds: self.rounds - earlier.rounds,
+        }
+    }
+
+    /// Merge another metric set into this one.
+    pub fn merge(&mut self, other: &ChannelMetrics) {
+        self.messages_s1_to_s2 += other.messages_s1_to_s2;
+        self.messages_s2_to_s1 += other.messages_s2_to_s1;
+        self.ciphertexts += other.ciphertexts;
+        self.bytes += other.bytes;
+        self.rounds += other.rounds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_counts_rounds() {
+        let mut m = ChannelMetrics::new();
+        m.record(Direction::S1ToS2, 100, 2);
+        m.record(Direction::S2ToS1, 50, 1);
+        m.record(Direction::S1ToS2, 10, 0);
+        assert_eq!(m.messages_s1_to_s2, 2);
+        assert_eq!(m.messages_s2_to_s1, 1);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.bytes, 160);
+        assert_eq!(m.ciphertexts, 3);
+        assert_eq!(m.rounds, 1);
+    }
+
+    #[test]
+    fn latency_scales_with_link_speed() {
+        let mut m = ChannelMetrics::new();
+        m.record(Direction::S1ToS2, 1_000_000, 10);
+        m.record(Direction::S2ToS1, 1_000_000, 10);
+        let fast = m.latency_seconds(100.0, 0.0);
+        let slow = m.latency_seconds(50.0, 0.0);
+        assert!((slow - 2.0 * fast).abs() < 1e-9);
+        // Adding RTT increases latency by rounds * rtt.
+        let with_rtt = m.latency_seconds(50.0, 10.0);
+        assert!((with_rtt - slow - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_isolates_a_window() {
+        let mut m = ChannelMetrics::new();
+        m.record(Direction::S1ToS2, 10, 1);
+        let snapshot = m;
+        m.record(Direction::S2ToS1, 20, 2);
+        let delta = m.since(&snapshot);
+        assert_eq!(delta.bytes, 20);
+        assert_eq!(delta.ciphertexts, 2);
+        assert_eq!(delta.messages_s1_to_s2, 0);
+        assert_eq!(delta.rounds, 1);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = ChannelMetrics::new();
+        a.record(Direction::S1ToS2, 5, 1);
+        let mut b = ChannelMetrics::new();
+        b.record(Direction::S2ToS1, 7, 2);
+        a.merge(&b);
+        assert_eq!(a.bytes, 12);
+        assert_eq!(a.total_messages(), 2);
+    }
+
+    #[test]
+    fn megabytes_conversion() {
+        let mut m = ChannelMetrics::new();
+        m.record(Direction::S1ToS2, 2 * 1024 * 1024, 1);
+        assert!((m.megabytes() - 2.0).abs() < 1e-9);
+    }
+}

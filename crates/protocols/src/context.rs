@@ -1,0 +1,175 @@
+//! The two-cloud execution context.
+//!
+//! The paper's architecture (§3.2) has a primary cloud S1 (stores the encrypted relation,
+//! holds only public keys) and a crypto cloud S2 (holds the Paillier / Damgård–Jurik
+//! secret keys, stores no data).  Both parties are semi-honest and non-colluding.  In
+//! this reproduction both run in-process inside a [`TwoClouds`] value; every message that
+//! would cross the network is accounted in the [`ChannelMetrics`] and every observation a
+//! party makes beyond its own inputs is recorded in its [`LeakageLedger`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_crypto::damgard_jurik::DjPublicKey;
+use sectopk_crypto::keys::{MasterKeys, S1Keys, S2Keys};
+use sectopk_crypto::paillier::{
+    generate_keypair, PaillierPublicKey, PaillierSecretKey,
+};
+use sectopk_crypto::Result;
+
+use crate::channel::{ChannelMetrics, Direction};
+use crate::ledger::LeakageLedger;
+
+/// State held by the primary cloud S1 during protocol execution.
+#[derive(Debug)]
+pub struct S1State {
+    /// Public key material shared by the data owner.
+    pub keys: S1Keys,
+    /// S1's *own* Paillier key pair, used only to transport blinding randomness through
+    /// S2 in SecDedup / SecFilter (Algorithm 7 line 7, Algorithm 12 line 3).
+    pub own_public: PaillierPublicKey,
+    /// Secret half of S1's own key pair.
+    pub own_secret: PaillierSecretKey,
+    /// S1's local randomness.
+    pub rng: StdRng,
+    /// Everything S1 observed beyond its inputs.
+    pub ledger: LeakageLedger,
+}
+
+/// State held by the crypto cloud S2 during protocol execution.
+#[derive(Debug)]
+pub struct S2State {
+    /// Public and secret key material uploaded by the data owner.
+    pub keys: S2Keys,
+    /// S2's local randomness.
+    pub rng: StdRng,
+    /// Everything S2 observed beyond its inputs.
+    pub ledger: LeakageLedger,
+}
+
+/// The in-process simulation of the two non-colluding clouds plus the metered channel
+/// connecting them.
+#[derive(Debug)]
+pub struct TwoClouds {
+    /// The primary cloud S1.
+    pub s1: S1State,
+    /// The crypto cloud S2.
+    pub s2: S2State,
+    /// Communication accounting.
+    pub channel: ChannelMetrics,
+}
+
+impl TwoClouds {
+    /// Set up the two clouds from the data owner's key bundle.  `seed` makes every
+    /// random choice of both parties reproducible (useful for tests and benches).
+    pub fn new(master: &MasterKeys, seed: u64) -> Result<Self> {
+        let mut s1_rng = StdRng::seed_from_u64(seed ^ 0x5151_5151_5151_5151);
+        let s2_rng = StdRng::seed_from_u64(seed ^ 0x5252_5252_5252_5252);
+
+        // S1's own key pair is used to transport blinding randomness through S2 (SecDedup,
+        // SecFilter).  The composed masks are sums (≤ 2N) or products (≤ N²) of values in
+        // Z_N computed homomorphically under S1's modulus N', so N' must be large enough
+        // that those compositions never wrap: 2·|N| + 64 bits.
+        let own_bits = master.paillier_public.modulus_bits() * 2 + 64;
+        let (own_public, own_secret) = generate_keypair(own_bits, &mut s1_rng)?;
+
+        Ok(TwoClouds {
+            s1: S1State {
+                keys: master.s1_view(),
+                own_public,
+                own_secret,
+                rng: s1_rng,
+                ledger: LeakageLedger::new(),
+            },
+            s2: S2State { keys: master.s2_view(), rng: s2_rng, ledger: LeakageLedger::new() },
+            channel: ChannelMetrics::new(),
+        })
+    }
+
+    /// The shared Paillier public key (every score and EHL block is encrypted under it).
+    pub fn pk(&self) -> &PaillierPublicKey {
+        &self.s1.keys.paillier_public
+    }
+
+    /// The shared Damgård–Jurik public key.
+    pub fn dj_pk(&self) -> &DjPublicKey {
+        &self.s1.keys.dj_public
+    }
+
+    /// Communication statistics accumulated so far.
+    pub fn channel(&self) -> &ChannelMetrics {
+        &self.channel
+    }
+
+    /// S1's leakage ledger.
+    pub fn s1_ledger(&self) -> &LeakageLedger {
+        &self.s1.ledger
+    }
+
+    /// S2's leakage ledger.
+    pub fn s2_ledger(&self) -> &LeakageLedger {
+        &self.s2.ledger
+    }
+
+    /// Reset the channel metrics and both ledgers (e.g. between queries).
+    pub fn reset_accounting(&mut self) {
+        self.channel = ChannelMetrics::new();
+        self.s1.ledger.clear();
+        self.s2.ledger.clear();
+    }
+
+    /// Record a message from S1 to S2 of `bytes` bytes carrying `ciphertexts` ciphertexts.
+    pub(crate) fn send_to_s2(&mut self, bytes: usize, ciphertexts: usize) {
+        self.channel.record(Direction::S1ToS2, bytes, ciphertexts);
+    }
+
+    /// Record a message from S2 to S1 of `bytes` bytes carrying `ciphertexts` ciphertexts.
+    pub(crate) fn send_to_s1(&mut self, bytes: usize, ciphertexts: usize) {
+        self.channel.record(Direction::S2ToS1, bytes, ciphertexts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sectopk_crypto::paillier::MIN_MODULUS_BITS;
+
+    #[test]
+    fn setup_shares_the_owner_keys() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let master = MasterKeys::generate(MIN_MODULUS_BITS, 3, &mut rng).unwrap();
+        let clouds = TwoClouds::new(&master, 7).unwrap();
+        assert_eq!(clouds.pk().n(), master.paillier_public.n());
+        assert_eq!(clouds.dj_pk().n(), master.paillier_public.n());
+        // S1's own key pair must be a *different* modulus.
+        assert_ne!(clouds.s1.own_public.n(), master.paillier_public.n());
+        assert_eq!(clouds.channel().total_messages(), 0);
+        assert!(clouds.s1_ledger().is_empty());
+        assert!(clouds.s2_ledger().is_empty());
+    }
+
+    #[test]
+    fn accounting_and_reset() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let master = MasterKeys::generate(MIN_MODULUS_BITS, 2, &mut rng).unwrap();
+        let mut clouds = TwoClouds::new(&master, 3).unwrap();
+        clouds.send_to_s2(128, 2);
+        clouds.send_to_s1(64, 1);
+        assert_eq!(clouds.channel().bytes, 192);
+        assert_eq!(clouds.channel().rounds, 1);
+        clouds.reset_accounting();
+        assert_eq!(clouds.channel().total_messages(), 0);
+    }
+
+    #[test]
+    fn same_seed_gives_reproducible_randomness() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let master = MasterKeys::generate(MIN_MODULUS_BITS, 2, &mut rng).unwrap();
+        let mut a = TwoClouds::new(&master, 42).unwrap();
+        let mut b = TwoClouds::new(&master, 42).unwrap();
+        let pk = a.pk().clone();
+        let ca = pk.encrypt_u64(5, &mut a.s1.rng).unwrap();
+        let cb = pk.encrypt_u64(5, &mut b.s1.rng).unwrap();
+        assert_eq!(ca, cb);
+    }
+}

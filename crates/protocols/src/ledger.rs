@@ -1,0 +1,193 @@
+//! Leakage ledgers.
+//!
+//! The CQA security analysis of §9 is phrased in terms of *leakage functions*: the only
+//! information each cloud may learn during a query is
+//!
+//! * S1: the query pattern `QP` and the halting depth `D_q` (plus, for the optimized
+//!   `Qry_E`, the per-depth uniqueness pattern `UP^d`),
+//! * S2: the per-depth equality pattern `EP^d` — a permuted binary matrix saying how many
+//!   (anonymous) items at that depth coincide.
+//!
+//! Every sub-protocol in this crate records what it reveals to each party in that party's
+//! [`LeakageLedger`].  The integration tests then assert that the recorded views contain
+//! *nothing but* the events allowed by the corresponding leakage profile — an executable
+//! rendition of Theorem 9.2.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One observation made by a cloud during protocol execution.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeakageEvent {
+    /// The party learned an equality bit between two (permuted, anonymous) items.
+    /// Part of the equality pattern `EP^d` revealed to S2.
+    EqualityBit {
+        /// Which sub-protocol produced the bit (e.g. "sec_worst", "sec_dedup").
+        context: String,
+        /// Depth of the scan when the bit was observed, if applicable.
+        depth: Option<usize>,
+        /// The observed bit (true ⇔ the two anonymous items hide the same object).
+        equal: bool,
+    },
+    /// The party learned the outcome of a comparison between two blinded values
+    /// (EncCompare / EncSort comparator).  Revealed to S1.
+    ComparisonBit {
+        /// Which sub-protocol produced the bit.
+        context: String,
+        /// The observed ordering bit.
+        less_or_equal: bool,
+    },
+    /// The party learned the sign of a blinded, randomly flipped difference.
+    /// Revealed to S2 by the comparison sub-protocol; the flip makes it uniform.
+    BlindedSign {
+        /// Which sub-protocol produced it.
+        context: String,
+    },
+    /// The party learned how many distinct objects appear in a permuted item list
+    /// (the uniqueness pattern `UP^d` of the `SecDupElim` optimisation, §10.1).
+    UniqueCount {
+        /// Depth of the scan.
+        depth: usize,
+        /// Number of distinct (anonymous) objects.
+        count: usize,
+    },
+    /// The party learned the halting depth of a query (part of `L¹_Query`).
+    HaltingDepth(usize),
+    /// The party learned that a query with this (hashed) token was issued — the query
+    /// pattern `QP`.
+    QueryIssued {
+        /// Opaque token fingerprint (reveals only query repetition).
+        token_fingerprint: u64,
+    },
+    /// The party learned how many joined tuples satisfied the equi-join condition
+    /// (SecJoin / SecFilter, §12.4).
+    JoinMatchCount(usize),
+}
+
+impl LeakageEvent {
+    /// A short machine-friendly label for the event kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LeakageEvent::EqualityBit { .. } => "equality_bit",
+            LeakageEvent::ComparisonBit { .. } => "comparison_bit",
+            LeakageEvent::BlindedSign { .. } => "blinded_sign",
+            LeakageEvent::UniqueCount { .. } => "unique_count",
+            LeakageEvent::HaltingDepth(_) => "halting_depth",
+            LeakageEvent::QueryIssued { .. } => "query_issued",
+            LeakageEvent::JoinMatchCount(_) => "join_match_count",
+        }
+    }
+}
+
+/// The record of everything one party observed beyond its own inputs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LeakageLedger {
+    events: Vec<LeakageEvent>,
+}
+
+impl LeakageLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an observation.
+    pub fn record(&mut self, event: LeakageEvent) {
+        self.events.push(event);
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[LeakageEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Histogram of event kinds (used by the leakage-profile tests).
+    pub fn kind_histogram(&self) -> BTreeMap<&'static str, usize> {
+        let mut hist = BTreeMap::new();
+        for e in &self.events {
+            *hist.entry(e.kind()).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// True when every recorded event kind is in `allowed` — the executable form of
+    /// "the party's view is simulatable from the leakage profile".
+    pub fn only_contains(&self, allowed: &[&str]) -> bool {
+        self.events.iter().all(|e| allowed.contains(&e.kind()))
+    }
+
+    /// Count the events of one kind.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.events.iter().filter(|e| e.kind() == kind).count()
+    }
+
+    /// Clear the ledger (e.g. between queries).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_inspect() {
+        let mut ledger = LeakageLedger::new();
+        assert!(ledger.is_empty());
+        ledger.record(LeakageEvent::EqualityBit {
+            context: "sec_worst".into(),
+            depth: Some(3),
+            equal: true,
+        });
+        ledger.record(LeakageEvent::HaltingDepth(7));
+        ledger.record(LeakageEvent::EqualityBit {
+            context: "sec_dedup".into(),
+            depth: Some(3),
+            equal: false,
+        });
+        assert_eq!(ledger.len(), 3);
+        assert_eq!(ledger.count_kind("equality_bit"), 2);
+        assert_eq!(ledger.kind_histogram()["halting_depth"], 1);
+    }
+
+    #[test]
+    fn only_contains_enforces_profiles() {
+        let mut ledger = LeakageLedger::new();
+        ledger.record(LeakageEvent::ComparisonBit { context: "enc_sort".into(), less_or_equal: true });
+        assert!(ledger.only_contains(&["comparison_bit", "halting_depth"]));
+        assert!(!ledger.only_contains(&["equality_bit"]));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ledger = LeakageLedger::new();
+        ledger.record(LeakageEvent::JoinMatchCount(5));
+        ledger.clear();
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn kinds_are_stable_labels() {
+        assert_eq!(LeakageEvent::HaltingDepth(1).kind(), "halting_depth");
+        assert_eq!(
+            LeakageEvent::UniqueCount { depth: 1, count: 2 }.kind(),
+            "unique_count"
+        );
+        assert_eq!(
+            LeakageEvent::QueryIssued { token_fingerprint: 9 }.kind(),
+            "query_issued"
+        );
+        assert_eq!(LeakageEvent::BlindedSign { context: "x".into() }.kind(), "blinded_sign");
+    }
+}

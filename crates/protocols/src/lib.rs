@@ -1,0 +1,44 @@
+//! # sectopk-protocols
+//!
+//! The two-cloud secure sub-protocols of the SecTopK construction (§8 of *"Top-k Query
+//! Processing on Encrypted Databases with Strong Security Guarantees"*): the primary
+//! cloud S1 holds the encrypted relation and only public keys, the crypto cloud S2 holds
+//! the decryption keys and no data, and every computation on plaintext-sensitive values
+//! happens through the message exchanges implemented here.
+//!
+//! * [`context::TwoClouds`] — the in-process simulation of the two parties, the metered
+//!   [`channel::ChannelMetrics`] between them and the per-party [`ledger::LeakageLedger`].
+//! * [`primitives`] — batched EHL equality tests, `RecoverEnc` (Algorithm 5), encrypted
+//!   selection, and the `EncCompare` realisation.
+//! * [`sort`] — `EncSort` as a Batcher network of encrypted compare-exchange gates.
+//! * [`worst`] / [`best`] — `SecWorst` (Algorithm 4) and `SecBest` (Algorithm 6).
+//! * [`dedup`] — `SecDedup` (Algorithm 7) and the optimized `SecDupElim` (§10.1).
+//! * [`update`] — `SecUpdate` (Algorithm 9) in keep-length (`Qry_F`) and eliminate
+//!   (`Qry_E`) variants.
+//! * [`join`] — `SecJoin` and `SecFilter` (Algorithms 11 and 12) for top-k joins (§12).
+//!
+//! All of these are usable as stand-alone building blocks, as the paper points out.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod best;
+pub mod channel;
+pub mod context;
+pub mod dedup;
+pub mod items;
+pub mod join;
+pub mod ledger;
+pub mod primitives;
+pub mod sort;
+pub mod update;
+pub mod worst;
+
+pub use channel::{ChannelMetrics, Direction};
+pub use context::{S1State, S2State, TwoClouds};
+pub use dedup::EncryptedBlinding;
+pub use items::{rand_blind, rand_unblind, rerandomize_item, ItemBlinding, ScoredItem};
+pub use join::{EncryptedTuple, JoinSpec, JoinedTuple};
+pub use ledger::{LeakageEvent, LeakageLedger};
+pub use primitives::EqBatch;
+pub use update::UpdateMode;

@@ -1,0 +1,341 @@
+//! `SecUpdate` (Algorithm 9): merging the current depth's items `Γ^d` into the global
+//! list `T^{d-1}` to obtain `T^d`.
+//!
+//! Semantics (the NRA bookkeeping the protocol must realise obliviously):
+//!
+//! * if a fresh item's object is already tracked, the tracked entry's worst score grows
+//!   by the fresh local worst and its best score is replaced by the fresh (tighter) best;
+//!   the appended copy must be neutralised so the object is not counted twice;
+//! * if the object is new, the fresh item is appended as-is.
+//!
+//! Only S2 can tell which case applies (it decrypts the `⊖` equality tests — the designed
+//! equality-pattern leakage); all of S1's updates are homomorphic selections driven by
+//! the `E2(t)` bits S2 returns, exactly as in Algorithm 9.
+//!
+//! Two variants mirror the paper's query modes:
+//! * **keep-length** (`Qry_F`): every fresh item is appended; duplicates are appended as
+//!   neutralised garbage (worst = best = −1, random id), so S1 learns nothing about how
+//!   many objects were new;
+//! * **eliminate** (`Qry_E`, §10.1): duplicates are simply not appended, which keeps `T`
+//!   small but reveals the per-depth uniqueness pattern to S1.
+
+use num_bigint::BigUint;
+
+use sectopk_crypto::bigint::random_below;
+use sectopk_crypto::damgard_jurik::LayeredCiphertext;
+use sectopk_crypto::paillier::Ciphertext;
+use sectopk_crypto::Result;
+use sectopk_ehl::EhlPlus;
+
+use crate::context::TwoClouds;
+use crate::items::ScoredItem;
+use crate::ledger::LeakageEvent;
+
+/// Which update variant to run (mirrors `SecDedup` vs `SecDupElim`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Append neutralised duplicates so the length of `T` is data-independent (`Qry_F`).
+    KeepLength,
+    /// Drop duplicates, revealing the uniqueness pattern to S1 (`Qry_E`).
+    Eliminate,
+}
+
+impl TwoClouds {
+    /// Merge the per-depth items `fresh` (already de-duplicated within the depth) into
+    /// the tracked list `tracked`, returning the new `T^d`.
+    pub fn sec_update(
+        &mut self,
+        tracked: Vec<ScoredItem>,
+        fresh: &[ScoredItem],
+        depth: usize,
+        mode: UpdateMode,
+    ) -> Result<Vec<ScoredItem>> {
+        let pk = self.s1.keys.paillier_public.clone();
+        if fresh.is_empty() {
+            return Ok(tracked);
+        }
+        if tracked.is_empty() {
+            // Nothing to merge into: every fresh item starts a new entry.
+            return Ok(fresh.to_vec());
+        }
+
+        let t_len = tracked.len();
+        let f_len = fresh.len();
+
+        // ---- S1 → S2: equality tests between every fresh item and every tracked item. --
+        let mut pairs: Vec<(&EhlPlus, &EhlPlus)> = Vec::with_capacity(t_len * f_len);
+        for fresh_item in fresh {
+            for tracked_item in &tracked {
+                pairs.push((&fresh_item.ehl, &tracked_item.ehl));
+            }
+        }
+        let batch = self.eq_batch(&pairs, "sec_update", Some(depth))?;
+        let bit_at = |i: usize, j: usize| -> &LayeredCiphertext { &batch.e2_bits[i * t_len + j] };
+
+        // ---- S1: add the matched fresh worst score into each tracked entry. -------------
+        // For tracked entry j: worst_j += Σ_i t_ij · fresh_i.worst.
+        let mut select_bits = Vec::with_capacity(t_len * f_len);
+        let mut select_scores = Vec::with_capacity(t_len * f_len);
+        for i in 0..f_len {
+            for j in 0..t_len {
+                select_bits.push(bit_at(i, j).clone());
+                select_scores.push(fresh[i].worst.clone());
+            }
+        }
+        let selected_worst = self.select_scores(&select_bits, &select_scores)?;
+
+        // For the best score: best_j := (Σ_i t_ij · fresh_i.best) + (1 − matched_j) · best_j,
+        // where matched_j is known to S2 (it decrypted every t_ij).
+        let mut select_best_scores = Vec::with_capacity(t_len * f_len);
+        for i in 0..f_len {
+            for _j in 0..t_len {
+                select_best_scores.push(fresh[i].best.clone());
+            }
+        }
+        let selected_best = self.select_scores(&select_bits, &select_best_scores)?;
+
+        let tracked_unmatched: Vec<bool> = (0..t_len)
+            .map(|j| !(0..f_len).any(|i| batch.s2_bits[i * t_len + j]))
+            .collect();
+        let e2_tracked_unmatched = self.s2_encrypt_bits(&tracked_unmatched)?;
+        let old_best: Vec<Ciphertext> = tracked.iter().map(|t| t.best.clone()).collect();
+        let kept_old_best = self.select_scores(&e2_tracked_unmatched, &old_best)?;
+
+        let mut new_tracked = Vec::with_capacity(t_len + f_len);
+        for (j, tracked_item) in tracked.iter().enumerate() {
+            let mut worst = tracked_item.worst.clone();
+            let mut best = kept_old_best[j].clone();
+            for i in 0..f_len {
+                worst = pk.add(&worst, &selected_worst[i * t_len + j]);
+                best = pk.add(&best, &selected_best[i * t_len + j]);
+            }
+            new_tracked.push(ScoredItem {
+                ehl: tracked_item.ehl.rerandomize(&pk, &mut self.s1.rng),
+                worst: pk.rerandomize(&worst, &mut self.s1.rng),
+                best: pk.rerandomize(&best, &mut self.s1.rng),
+            });
+        }
+
+        // ---- Appending the fresh items. --------------------------------------------------
+        // matched_i (does fresh item i duplicate a tracked entry?) is known to S2.
+        let fresh_matched: Vec<bool> =
+            (0..f_len).map(|i| (0..t_len).any(|j| batch.s2_bits[i * t_len + j])).collect();
+
+        match mode {
+            UpdateMode::Eliminate => {
+                let new_count = fresh_matched.iter().filter(|&&m| !m).count();
+                self.s1.ledger.record(LeakageEvent::UniqueCount { depth, count: new_count });
+                // S2 indicates which (already permuted and re-randomized) fresh items are
+                // new; only those are appended.
+                for (i, fresh_item) in fresh.iter().enumerate() {
+                    if !fresh_matched[i] {
+                        new_tracked.push(fresh_item.clone());
+                    }
+                }
+            }
+            UpdateMode::KeepLength => {
+                // Append every fresh item, but duplicates are neutralised obliviously:
+                //   worst/best := not_matched ? value : Z  (= −1)
+                //   EHL block  += matched · ρ              (random ρ ⇒ garbage id)
+                let fresh_unmatched: Vec<bool> = fresh_matched.iter().map(|&m| !m).collect();
+                let e2_unmatched = self.s2_encrypt_bits(&fresh_unmatched)?;
+                let e2_matched = self.s2_encrypt_bits(&fresh_matched)?;
+
+                let sentinel = pk.encrypt(&pk.sentinel_z(), &mut self.s1.rng)?;
+                let worst_if_new: Vec<Ciphertext> = fresh.iter().map(|f| f.worst.clone()).collect();
+                let best_if_new: Vec<Ciphertext> = fresh.iter().map(|f| f.best.clone()).collect();
+                let sentinels: Vec<Ciphertext> = (0..f_len).map(|_| sentinel.clone()).collect();
+
+                let appended_worst =
+                    self.select_between(&e2_unmatched, &worst_if_new, &sentinels)?;
+                let appended_best = self.select_between(&e2_unmatched, &best_if_new, &sentinels)?;
+
+                // Garbage-ify the EHL of matched items: every block gets + (matched · ρ).
+                let ehl_blocks = fresh[0].ehl.len();
+                let mut noise_bits = Vec::with_capacity(f_len * ehl_blocks);
+                let mut noise_values = Vec::with_capacity(f_len * ehl_blocks);
+                for e2_m in &e2_matched {
+                    for _ in 0..ehl_blocks {
+                        noise_bits.push(e2_m.clone());
+                        let rho = random_below(&mut self.s1.rng, pk.n());
+                        noise_values.push(pk.encrypt(&rho, &mut self.s1.rng)?);
+                    }
+                }
+                let noise = self.select_scores(&noise_bits, &noise_values)?;
+
+                for (i, fresh_item) in fresh.iter().enumerate() {
+                    let blocks: Vec<Ciphertext> = fresh_item
+                        .ehl
+                        .blocks()
+                        .iter()
+                        .enumerate()
+                        .map(|(b, block)| pk.add(block, &noise[i * ehl_blocks + b]))
+                        .collect();
+                    new_tracked.push(ScoredItem {
+                        ehl: EhlPlus::from_blocks(blocks).rerandomize(&pk, &mut self.s1.rng),
+                        worst: pk.rerandomize(&appended_worst[i], &mut self.s1.rng),
+                        best: pk.rerandomize(&appended_best[i], &mut self.s1.rng),
+                    });
+                }
+            }
+        }
+
+        Ok(new_tracked)
+    }
+
+    /// Homomorphically apply a plaintext weight to a score ciphertext (`Enc(w · x)`), the
+    /// preprocessing step §7 prescribes for non-binary scoring weights.
+    pub fn apply_weight(&self, score: &Ciphertext, weight: u64) -> Ciphertext {
+        let pk = &self.s1.keys.paillier_public;
+        pk.mul_plain(score, &BigUint::from(weight))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sectopk_crypto::keys::MasterKeys;
+    use sectopk_crypto::paillier::MIN_MODULUS_BITS;
+    use sectopk_ehl::EhlEncoder;
+    use std::collections::BTreeMap;
+
+    fn setup() -> (MasterKeys, TwoClouds, EhlEncoder, StdRng) {
+        let mut rng = StdRng::seed_from_u64(505);
+        let master = MasterKeys::generate(MIN_MODULUS_BITS, 3, &mut rng).unwrap();
+        let clouds = TwoClouds::new(&master, 55).unwrap();
+        let encoder = EhlEncoder::new(&master.ehl_keys);
+        (master, clouds, encoder, rng)
+    }
+
+    fn item(
+        object: &str,
+        worst: i64,
+        best: i64,
+        encoder: &EhlEncoder,
+        pk: &sectopk_crypto::PaillierPublicKey,
+        rng: &mut StdRng,
+    ) -> ScoredItem {
+        ScoredItem {
+            ehl: encoder.encode(object.as_bytes(), pk, rng).unwrap(),
+            worst: pk.encrypt_i64(worst, rng).unwrap(),
+            best: pk.encrypt_i64(best, rng).unwrap(),
+        }
+    }
+
+    /// Decrypt the tracked list into `{object -> (worst, best)}` for the objects named in
+    /// `candidates`; neutralised entries match no candidate and are reported under "?".
+    fn snapshot(
+        items: &[ScoredItem],
+        candidates: &[&str],
+        master: &MasterKeys,
+        encoder: &EhlEncoder,
+        rng: &mut StdRng,
+    ) -> BTreeMap<String, (i64, i64)> {
+        let pk = &master.paillier_public;
+        let sk = &master.paillier_secret;
+        let mut out = BTreeMap::new();
+        for it in items {
+            let w = i64::try_from(sk.decrypt_signed(&it.worst).unwrap()).unwrap();
+            let b = i64::try_from(sk.decrypt_signed(&it.best).unwrap()).unwrap();
+            let mut name = "?".to_string();
+            for cand in candidates {
+                let fresh = encoder.encode(cand.as_bytes(), pk, rng).unwrap();
+                if sk.is_zero(&it.ehl.eq_test(&fresh, pk, rng)).unwrap() {
+                    name = (*cand).to_string();
+                    break;
+                }
+            }
+            out.insert(format!("{name}:{w}:{b}"), (w, b));
+        }
+        out
+    }
+
+    #[test]
+    fn new_objects_are_appended_unchanged() {
+        let (master, mut clouds, encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        let tracked = vec![item("A", 10, 26, &encoder, pk, &mut rng)];
+        let fresh = vec![item("B", 8, 22, &encoder, pk, &mut rng)];
+        let out = clouds.sec_update(tracked, &fresh, 1, UpdateMode::KeepLength).unwrap();
+        assert_eq!(out.len(), 2);
+        let snap = snapshot(&out, &["A", "B"], &master, &encoder, &mut rng);
+        assert!(snap.contains_key("A:10:26"));
+        assert!(snap.contains_key("B:8:22"));
+    }
+
+    #[test]
+    fn matched_objects_accumulate_worst_and_refresh_best() {
+        let (master, mut clouds, encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        // A is tracked with W=10, B=26; it reappears with local worst 3 and fresh best 23.
+        let tracked = vec![
+            item("A", 10, 26, &encoder, pk, &mut rng),
+            item("C", 8, 26, &encoder, pk, &mut rng),
+        ];
+        let fresh = vec![item("A", 3, 23, &encoder, pk, &mut rng)];
+        let out = clouds.sec_update(tracked, &fresh, 2, UpdateMode::KeepLength).unwrap();
+        assert_eq!(out.len(), 3, "keep-length appends the (neutralised) duplicate");
+        let snap = snapshot(&out, &["A", "C"], &master, &encoder, &mut rng);
+        // A: worst 10+3 = 13, best replaced by 23.  C untouched.
+        assert!(snap.contains_key("A:13:23"), "snapshot: {snap:?}");
+        assert!(snap.contains_key("C:8:26"), "snapshot: {snap:?}");
+        // The neutralised appended copy has sentinel scores and a garbage id.
+        assert!(snap.contains_key("?:-1:-1"), "snapshot: {snap:?}");
+    }
+
+    #[test]
+    fn eliminate_mode_drops_duplicates_and_counts_new_objects() {
+        let (master, mut clouds, encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        let tracked = vec![item("A", 5, 20, &encoder, pk, &mut rng)];
+        let fresh = vec![
+            item("A", 2, 18, &encoder, pk, &mut rng),
+            item("B", 7, 19, &encoder, pk, &mut rng),
+        ];
+        let out = clouds.sec_update(tracked, &fresh, 3, UpdateMode::Eliminate).unwrap();
+        assert_eq!(out.len(), 2);
+        let snap = snapshot(&out, &["A", "B"], &master, &encoder, &mut rng);
+        assert!(snap.contains_key("A:7:18"), "snapshot: {snap:?}");
+        assert!(snap.contains_key("B:7:19"), "snapshot: {snap:?}");
+        assert_eq!(clouds.s1_ledger().count_kind("unique_count"), 1);
+    }
+
+    #[test]
+    fn empty_edges() {
+        let (master, mut clouds, encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        let tracked = vec![item("A", 1, 2, &encoder, pk, &mut rng)];
+        // Empty fresh: unchanged.
+        let out = clouds.sec_update(tracked.clone(), &[], 0, UpdateMode::KeepLength).unwrap();
+        assert_eq!(out.len(), 1);
+        // Empty tracked: fresh becomes the new list.
+        let fresh = vec![item("B", 3, 4, &encoder, pk, &mut rng)];
+        let out = clouds.sec_update(Vec::new(), &fresh, 0, UpdateMode::Eliminate).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn weights_scale_scores() {
+        let (master, clouds, _encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        let c = pk.encrypt_u64(6, &mut rng).unwrap();
+        let scaled = clouds.apply_weight(&c, 7);
+        assert_eq!(master.paillier_secret.decrypt_u64(&scaled).unwrap(), 42);
+    }
+
+    #[test]
+    fn s2_leakage_is_equality_pattern_only() {
+        let (master, mut clouds, encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        let tracked = vec![
+            item("A", 1, 9, &encoder, pk, &mut rng),
+            item("B", 2, 9, &encoder, pk, &mut rng),
+        ];
+        let fresh = vec![item("B", 4, 8, &encoder, pk, &mut rng)];
+        let _ = clouds.sec_update(tracked, &fresh, 1, UpdateMode::KeepLength).unwrap();
+        assert!(clouds.s2_ledger().only_contains(&["equality_bit"]));
+        assert!(clouds.s1_ledger().is_empty());
+    }
+}

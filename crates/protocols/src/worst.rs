@@ -1,0 +1,174 @@
+//! `SecWorst` (Algorithm 4): the per-depth worst-score (lower-bound) computation.
+//!
+//! At depth `d`, for the item `E(I_i) = ⟨EHL(o_i), Enc(x_i)⟩` of list `i`, the worst
+//! score *based on the current depth only* is
+//!
+//! ```text
+//! W(o_i) = x_i + Σ_{j ≠ i, o_j = o_i at depth d} x_j
+//! ```
+//!
+//! i.e. the sum of the object's scores over every list where it appears at this depth.
+//! S1 cannot evaluate the condition `o_j = o_i` itself; it sends the randomly permuted
+//! `⊖` results to S2, which decrypts them (learning only the equality pattern) and
+//! replies with `E2(t_j)`; S1 then evaluates the Damgård–Jurik selection
+//! `E2(t_j)^{Enc(x_j)} · (E2(1)·E2(t_j)^{-1})^{Enc(0)}` and recovers `Enc(t_j · x_j)`
+//! via `RecoverEnc` — exactly the steps of Algorithm 4.
+
+use sectopk_crypto::paillier::Ciphertext;
+use sectopk_crypto::prp::RandomPermutation;
+use sectopk_crypto::Result;
+use sectopk_ehl::EhlPlus;
+use sectopk_storage::EncryptedItem;
+
+use crate::context::TwoClouds;
+
+impl TwoClouds {
+    /// Compute the encrypted *local* worst score of one item against the other items `h`
+    /// seen at the same depth — Protocol 8.1 / Algorithm 4.
+    pub fn sec_worst(
+        &mut self,
+        item: &EncryptedItem,
+        others: &[&EncryptedItem],
+        depth: usize,
+    ) -> Result<Ciphertext> {
+        let pk = self.s1.keys.paillier_public.clone();
+        if others.is_empty() {
+            // No other lists: the worst score is the item's own (re-randomized) score.
+            return Ok(pk.rerandomize(&item.score, &mut self.s1.rng));
+        }
+
+        // ---- S1: permute the comparison targets so S2 cannot attribute equality bits to
+        //      particular lists (Algorithm 4, line 2). -----------------------------------
+        let perm = RandomPermutation::sample(others.len(), &mut self.s1.rng);
+        let permuted: Vec<&EncryptedItem> = perm.permute(&others.to_vec());
+
+        let pairs: Vec<(&EhlPlus, &EhlPlus)> =
+            permuted.iter().map(|other| (&item.ehl, &other.ehl)).collect();
+        let batch = self.eq_batch(&pairs, "sec_worst", Some(depth))?;
+
+        // ---- S1: select each matching score and sum them up (lines 6-8). ----------------
+        let scores: Vec<Ciphertext> = permuted.iter().map(|o| o.score.clone()).collect();
+        let selected = self.select_scores(&batch.e2_bits, &scores)?;
+
+        let mut worst = item.score.clone();
+        for s in &selected {
+            worst = pk.add(&worst, s);
+        }
+        Ok(pk.rerandomize(&worst, &mut self.s1.rng))
+    }
+
+    /// Compute the local worst scores of **all** `m` items appearing at depth `d`
+    /// (one per queried list) — the way Algorithm 3 line 5 invokes SecWorst.
+    pub fn sec_worst_depth(
+        &mut self,
+        depth_items: &[EncryptedItem],
+        depth: usize,
+    ) -> Result<Vec<Ciphertext>> {
+        let mut worsts = Vec::with_capacity(depth_items.len());
+        for (i, item) in depth_items.iter().enumerate() {
+            let others: Vec<&EncryptedItem> = depth_items
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, it)| it)
+                .collect();
+            worsts.push(self.sec_worst(item, &others, depth)?);
+        }
+        Ok(worsts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sectopk_crypto::keys::MasterKeys;
+    use sectopk_crypto::paillier::MIN_MODULUS_BITS;
+    use sectopk_ehl::EhlEncoder;
+    use sectopk_storage::ObjectId;
+
+    fn make_item(
+        object: ObjectId,
+        score: u64,
+        encoder: &EhlEncoder,
+        pk: &sectopk_crypto::PaillierPublicKey,
+        rng: &mut StdRng,
+    ) -> EncryptedItem {
+        EncryptedItem {
+            ehl: encoder.encode(&object.to_bytes(), pk, rng).unwrap(),
+            score: pk.encrypt_u64(score, rng).unwrap(),
+        }
+    }
+
+    fn setup() -> (MasterKeys, TwoClouds, EhlEncoder, StdRng) {
+        let mut rng = StdRng::seed_from_u64(61);
+        let master = MasterKeys::generate(MIN_MODULUS_BITS, 3, &mut rng).unwrap();
+        let clouds = TwoClouds::new(&master, 6).unwrap();
+        let encoder = EhlEncoder::new(&master.ehl_keys);
+        (master, clouds, encoder, rng)
+    }
+
+    #[test]
+    fn fig3_depth1_worst_scores() {
+        // Fig. 3a: at depth 1 the items are X1/10 (R1), X2/8 (R2), X4/8 (R3); no object
+        // repeats, so every local worst score equals the item's own score.
+        let (master, mut clouds, encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        let items = vec![
+            make_item(ObjectId(1), 10, &encoder, pk, &mut rng),
+            make_item(ObjectId(2), 8, &encoder, pk, &mut rng),
+            make_item(ObjectId(4), 8, &encoder, pk, &mut rng),
+        ];
+        let worsts = clouds.sec_worst_depth(&items, 1).unwrap();
+        let values: Vec<u64> = worsts
+            .iter()
+            .map(|c| master.paillier_secret.decrypt_u64(c).unwrap())
+            .collect();
+        assert_eq!(values, vec![10, 8, 8]);
+    }
+
+    #[test]
+    fn repeated_object_sums_its_scores() {
+        // If the same object appears in two lists at this depth, both copies get the sum.
+        let (master, mut clouds, encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        let items = vec![
+            make_item(ObjectId(7), 5, &encoder, pk, &mut rng),
+            make_item(ObjectId(7), 9, &encoder, pk, &mut rng),
+            make_item(ObjectId(8), 3, &encoder, pk, &mut rng),
+        ];
+        let worsts = clouds.sec_worst_depth(&items, 2).unwrap();
+        let values: Vec<u64> = worsts
+            .iter()
+            .map(|c| master.paillier_secret.decrypt_u64(c).unwrap())
+            .collect();
+        assert_eq!(values, vec![14, 14, 3]);
+    }
+
+    #[test]
+    fn single_list_worst_is_own_score() {
+        let (master, mut clouds, encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        let item = make_item(ObjectId(1), 42, &encoder, pk, &mut rng);
+        let worst = clouds.sec_worst(&item, &[], 0).unwrap();
+        assert_eq!(master.paillier_secret.decrypt_u64(&worst).unwrap(), 42);
+        assert_eq!(clouds.channel().total_messages(), 0);
+    }
+
+    #[test]
+    fn s2_sees_only_equality_bits() {
+        let (master, mut clouds, encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        let items = vec![
+            make_item(ObjectId(1), 1, &encoder, pk, &mut rng),
+            make_item(ObjectId(2), 2, &encoder, pk, &mut rng),
+            make_item(ObjectId(1), 3, &encoder, pk, &mut rng),
+        ];
+        let _ = clouds.sec_worst_depth(&items, 4).unwrap();
+        assert!(clouds.s2_ledger().only_contains(&["equality_bit"]));
+        assert!(clouds.s1_ledger().is_empty());
+        // m items, each compared against m−1 others.
+        assert_eq!(clouds.s2_ledger().count_kind("equality_bit"), 6);
+    }
+}

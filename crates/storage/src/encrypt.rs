@@ -1,0 +1,285 @@
+//! Database encryption — the `Enc(R)` procedure of Algorithm 2.
+//!
+//! For each attribute the relation is sorted by local score; every item
+//! `I = ⟨o, x⟩` becomes `E(I) = ⟨EHL(o), Enc(x)⟩`; finally the `M` encrypted lists are
+//! permuted with the data owner's PRP `P_K` so that their storage position reveals
+//! nothing about which attribute they rank.
+//!
+//! Encryption of different items is embarrassingly parallel (the paper uses 64 threads
+//! in §11.1); [`encrypt_relation_parallel`] splits the per-list work across a scoped
+//! thread pool.
+
+use rand::rngs::StdRng;
+use rand::{CryptoRng, Rng, RngCore, SeedableRng};
+
+use sectopk_crypto::keys::MasterKeys;
+use sectopk_crypto::prp::KeyedPrp;
+use sectopk_crypto::Result;
+use sectopk_ehl::EhlEncoder;
+
+use crate::encrypted::{EncryptedItem, EncryptedList, EncryptedRelation};
+use crate::relation::{DataItem, Relation, SortedLists};
+
+/// Statistics about one database-encryption run (drives Fig. 7 / Fig. 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncryptionStats {
+    /// Number of objects encrypted.
+    pub num_objects: usize,
+    /// Number of attributes (lists) encrypted.
+    pub num_attributes: usize,
+    /// Total number of Paillier encryptions performed.
+    pub paillier_encryptions: usize,
+    /// Serialized size of the encrypted relation in bytes.
+    pub encrypted_bytes: usize,
+}
+
+/// Encrypt a relation with the data owner's keys (single-threaded).
+pub fn encrypt_relation<R: RngCore + CryptoRng>(
+    relation: &Relation,
+    keys: &MasterKeys,
+    rng: &mut R,
+) -> Result<(EncryptedRelation, EncryptionStats)> {
+    let sorted = relation.sorted_lists();
+    let encoder = EhlEncoder::new(&keys.ehl_keys);
+    let m = sorted.num_lists();
+
+    let mut encrypted_lists = Vec::with_capacity(m);
+    for i in 0..m {
+        encrypted_lists.push(encrypt_list(sorted.list(i), &encoder, keys, rng)?);
+    }
+
+    Ok(assemble(relation, keys, encrypted_lists))
+}
+
+/// Encrypt a relation using one worker thread per attribute list (bounded by the number
+/// of lists).  Thread-level parallelism mirrors the paper's setup-phase measurement.
+pub fn encrypt_relation_parallel<R: RngCore + CryptoRng>(
+    relation: &Relation,
+    keys: &MasterKeys,
+    rng: &mut R,
+) -> Result<(EncryptedRelation, EncryptionStats)> {
+    let sorted = relation.sorted_lists();
+    let m = sorted.num_lists();
+    if m <= 1 {
+        return encrypt_relation(relation, keys, rng);
+    }
+
+    // Derive one independent RNG per worker from the caller's RNG so results stay
+    // reproducible for a seeded caller.
+    let seeds: Vec<u64> = (0..m).map(|_| rng.gen()).collect();
+
+    let results: Vec<Result<EncryptedList>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(m);
+        for (i, seed) in seeds.iter().enumerate() {
+            let list = sorted.list(i);
+            let keys_ref = keys;
+            let seed = *seed;
+            handles.push(scope.spawn(move |_| {
+                let mut local_rng = StdRng::seed_from_u64(seed);
+                let encoder = EhlEncoder::new(&keys_ref.ehl_keys);
+                encrypt_list(list, &encoder, keys_ref, &mut local_rng)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("encryption worker panicked")).collect()
+    })
+    .expect("thread scope failed");
+
+    let mut encrypted_lists = Vec::with_capacity(m);
+    for r in results {
+        encrypted_lists.push(r?);
+    }
+    Ok(assemble(relation, keys, encrypted_lists))
+}
+
+/// Encrypt one sorted list.
+fn encrypt_list<R: RngCore + CryptoRng>(
+    list: &[DataItem],
+    encoder: &EhlEncoder,
+    keys: &MasterKeys,
+    rng: &mut R,
+) -> Result<EncryptedList> {
+    let pk = &keys.paillier_public;
+    let mut items = Vec::with_capacity(list.len());
+    for item in list {
+        let ehl = encoder.encode(&item.object.to_bytes(), pk, rng)?;
+        let score = pk.encrypt_u64(item.score, rng)?;
+        items.push(EncryptedItem { ehl, score });
+    }
+    Ok(EncryptedList::new(items))
+}
+
+/// Permute the encrypted lists with the owner's PRP and collect statistics.
+fn assemble(
+    relation: &Relation,
+    keys: &MasterKeys,
+    encrypted_lists: Vec<EncryptedList>,
+) -> (EncryptedRelation, EncryptionStats) {
+    let m = encrypted_lists.len();
+    let prp = KeyedPrp::new(&keys.prp_key, m);
+    let mut permuted: Vec<Option<EncryptedList>> = vec![None; m];
+    for (i, list) in encrypted_lists.into_iter().enumerate() {
+        permuted[prp.apply(i)] = Some(list);
+    }
+    let lists: Vec<EncryptedList> =
+        permuted.into_iter().map(|l| l.expect("PRP is a bijection")).collect();
+
+    let er = EncryptedRelation::new(lists, relation.len());
+    let stats = EncryptionStats {
+        num_objects: relation.len(),
+        num_attributes: m,
+        // One Paillier encryption per EHL block plus one per score, per item, per list.
+        paillier_encryptions: relation.len() * m * (keys.ehl_key_count() + 1),
+        encrypted_bytes: er.byte_len(),
+    };
+    (er, stats)
+}
+
+/// Re-derive the sorted-lists view used during encryption (exposed so that protocol-level
+/// tests can cross-check the plaintext content of `ER` without re-sorting by hand).
+pub fn sorted_view(relation: &Relation) -> SortedLists {
+    relation.sorted_lists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{ObjectId, Row};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sectopk_crypto::paillier::MIN_MODULUS_BITS;
+
+    fn small_relation() -> Relation {
+        Relation::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                Row { id: ObjectId(1), values: vec![10, 3, 2] },
+                Row { id: ObjectId(2), values: vec![8, 8, 0] },
+                Row { id: ObjectId(3), values: vec![5, 7, 6] },
+                Row { id: ObjectId(4), values: vec![3, 2, 8] },
+                Row { id: ObjectId(5), values: vec![1, 1, 1] },
+            ],
+        )
+    }
+
+    fn master_keys(rng: &mut StdRng) -> MasterKeys {
+        MasterKeys::generate(MIN_MODULUS_BITS, 3, rng).unwrap()
+    }
+
+    #[test]
+    fn encryption_has_right_shape() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let keys = master_keys(&mut rng);
+        let relation = small_relation();
+        let (er, stats) = encrypt_relation(&relation, &keys, &mut rng).unwrap();
+        assert_eq!(er.num_attributes(), 3);
+        assert_eq!(er.num_objects(), 5);
+        assert_eq!(er.setup_leakage(), (5, 3));
+        assert_eq!(stats.num_objects, 5);
+        assert_eq!(stats.paillier_encryptions, 5 * 3 * 4);
+        assert!(stats.encrypted_bytes > 0);
+        for list in er.lists() {
+            assert_eq!(list.len(), 5);
+        }
+    }
+
+    #[test]
+    fn scores_decrypt_to_sorted_plaintext_lists() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let keys = master_keys(&mut rng);
+        let relation = small_relation();
+        let (er, _) = encrypt_relation(&relation, &keys, &mut rng).unwrap();
+
+        let sorted = relation.sorted_lists();
+        let prp = KeyedPrp::new(&keys.prp_key, 3);
+        for logical in 0..3 {
+            let stored = prp.apply(logical);
+            let encrypted = er.list(stored);
+            for (depth, item) in sorted.list(logical).iter().enumerate() {
+                let score = keys
+                    .paillier_secret
+                    .decrypt_u64(&encrypted.item(depth).unwrap().score)
+                    .unwrap();
+                assert_eq!(score, item.score, "list {logical}, depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn ehl_encodings_identify_objects() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let keys = master_keys(&mut rng);
+        let relation = small_relation();
+        let (er, _) = encrypt_relation(&relation, &keys, &mut rng).unwrap();
+
+        let encoder = EhlEncoder::new(&keys.ehl_keys);
+        let pk = &keys.paillier_public;
+        let sk = &keys.paillier_secret;
+        let sorted = relation.sorted_lists();
+        let prp = KeyedPrp::new(&keys.prp_key, 3);
+
+        // The EHL at (list 0, depth 0) must match a freshly encoded copy of the same
+        // object and must not match a different object.
+        let logical = 0usize;
+        let stored = prp.apply(logical);
+        let expected_object = sorted.item(logical, 0).unwrap().object;
+        let fresh_same = encoder.encode(&expected_object.to_bytes(), pk, &mut rng).unwrap();
+        let fresh_other = encoder.encode(&ObjectId(999).to_bytes(), pk, &mut rng).unwrap();
+        let stored_ehl = &er.list(stored).item(0).unwrap().ehl;
+        assert!(sk.is_zero(&stored_ehl.eq_test(&fresh_same, pk, &mut rng)).unwrap());
+        assert!(!sk.is_zero(&stored_ehl.eq_test(&fresh_other, pk, &mut rng)).unwrap());
+    }
+
+    #[test]
+    fn parallel_and_serial_encryption_agree_on_structure() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let keys = master_keys(&mut rng);
+        let relation = small_relation();
+        let (serial, s_stats) = encrypt_relation(&relation, &keys, &mut rng).unwrap();
+        let (parallel, p_stats) = encrypt_relation_parallel(&relation, &keys, &mut rng).unwrap();
+        assert_eq!(serial.num_attributes(), parallel.num_attributes());
+        assert_eq!(serial.num_objects(), parallel.num_objects());
+        assert_eq!(s_stats.paillier_encryptions, p_stats.paillier_encryptions);
+
+        // Ciphertexts differ (fresh randomness) but decrypt to the same scores.
+        let sk = &keys.paillier_secret;
+        for list_idx in 0..3 {
+            for depth in 0..5 {
+                let a = sk
+                    .decrypt_u64(&serial.list(list_idx).item(depth).unwrap().score)
+                    .unwrap();
+                let b = sk
+                    .decrypt_u64(&parallel.list(list_idx).item(depth).unwrap().score)
+                    .unwrap();
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn single_attribute_relation_uses_serial_path() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let keys = master_keys(&mut rng);
+        let relation = Relation::new(
+            vec!["only".into()],
+            vec![
+                Row { id: ObjectId(1), values: vec![4] },
+                Row { id: ObjectId(2), values: vec![9] },
+            ],
+        );
+        let (er, _) = encrypt_relation_parallel(&relation, &keys, &mut rng).unwrap();
+        assert_eq!(er.num_attributes(), 1);
+        assert_eq!(er.num_objects(), 2);
+    }
+
+    #[test]
+    fn two_encryptions_of_same_relation_are_different_ciphertexts() {
+        // Probabilistic encryption: Theorem 6.1's indistinguishability needs fresh
+        // randomness every time.
+        let mut rng = StdRng::seed_from_u64(55);
+        let keys = master_keys(&mut rng);
+        let relation = small_relation();
+        let (a, _) = encrypt_relation(&relation, &keys, &mut rng).unwrap();
+        let (b, _) = encrypt_relation(&relation, &keys, &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+}

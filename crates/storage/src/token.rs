@@ -1,0 +1,191 @@
+//! Query description and token generation (§7 of the paper).
+//!
+//! The client's SQL-like query `SELECT * FROM ER ORDER BY F_W(·) STOP AFTER k` names a
+//! subset `M` of attributes (and optionally non-binary weights).  `Token(K, q)` maps each
+//! chosen attribute index `i` through the data owner's PRP `P_K` so that S1 learns *which
+//! encrypted lists to scan* but not which logical attributes they correspond to.
+
+use serde::{Deserialize, Serialize};
+
+use sectopk_crypto::prf::PrfKey;
+use sectopk_crypto::prp::KeyedPrp;
+
+use crate::relation::Score;
+
+/// A client-side top-k query over a subset of attributes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopKQuery {
+    /// Indices (in the *logical*, unpermuted relation) of the scoring attributes `M`.
+    pub attributes: Vec<usize>,
+    /// Optional per-attribute weights; empty means binary weights (plain sum), matching
+    /// the presentation in §7.
+    pub weights: Vec<Score>,
+    /// Number of results requested.
+    pub k: usize,
+}
+
+impl TopKQuery {
+    /// A plain-sum top-k query over `attributes`.
+    pub fn sum(attributes: Vec<usize>, k: usize) -> Self {
+        TopKQuery { attributes, weights: Vec::new(), k }
+    }
+
+    /// A weighted top-k query; `weights` must have one entry per attribute.
+    pub fn weighted(attributes: Vec<usize>, weights: Vec<Score>, k: usize) -> Self {
+        assert_eq!(
+            attributes.len(),
+            weights.len(),
+            "weighted query needs one weight per attribute"
+        );
+        TopKQuery { attributes, weights, k }
+    }
+
+    /// Number of scoring attributes `m`.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The weight applied to the `j`-th *chosen* attribute (1 for binary weights).
+    pub fn weight(&self, j: usize) -> Score {
+        if self.weights.is_empty() {
+            1
+        } else {
+            self.weights[j]
+        }
+    }
+
+    /// Basic sanity checks against a relation with `num_attributes` columns.
+    pub fn validate(&self, num_attributes: usize) -> Result<(), String> {
+        if self.attributes.is_empty() {
+            return Err("query must name at least one scoring attribute".into());
+        }
+        if self.k == 0 {
+            return Err("k must be at least 1".into());
+        }
+        if let Some(&bad) = self.attributes.iter().find(|&&a| a >= num_attributes) {
+            return Err(format!(
+                "attribute index {bad} out of range for a relation with {num_attributes} attributes"
+            ));
+        }
+        let mut sorted = self.attributes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != self.attributes.len() {
+            return Err("query names the same attribute twice".into());
+        }
+        if !self.weights.is_empty() && self.weights.len() != self.attributes.len() {
+            return Err("weights, when given, must match the number of attributes".into());
+        }
+        Ok(())
+    }
+}
+
+/// The query token sent to S1: the PRP images of the chosen attributes plus `k` (and the
+/// weights, which S1 applies homomorphically by scalar multiplication before running the
+/// protocol, as described in §7).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryToken {
+    /// Permuted list indices `{P_K(i)}` for the scoring attributes, in query order.
+    pub permuted_lists: Vec<usize>,
+    /// Per-attribute weights (empty ⇒ binary weights).
+    pub weights: Vec<Score>,
+    /// Number of results requested.
+    pub k: usize,
+}
+
+impl QueryToken {
+    /// Number of scoring attributes `m`.
+    pub fn num_attributes(&self) -> usize {
+        self.permuted_lists.len()
+    }
+
+    /// The weight applied to the `j`-th list of the token (1 for binary weights).
+    pub fn weight(&self, j: usize) -> Score {
+        if self.weights.is_empty() {
+            1
+        } else {
+            self.weights[j]
+        }
+    }
+}
+
+/// Generate the token for `query` with the client's PRP key `K` over a relation with
+/// `num_attributes` columns — the `Token(K, q)` algorithm of the scheme.
+pub fn generate_token(
+    prp_key: &PrfKey,
+    num_attributes: usize,
+    query: &TopKQuery,
+) -> Result<QueryToken, String> {
+    query.validate(num_attributes)?;
+    let prp = KeyedPrp::new(prp_key, num_attributes);
+    let permuted_lists = query.attributes.iter().map(|&i| prp.apply(i)).collect();
+    Ok(QueryToken { permuted_lists, weights: query.weights.clone(), k: query.k })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_query_and_weighted_query() {
+        let q = TopKQuery::sum(vec![0, 2], 5);
+        assert_eq!(q.num_attributes(), 2);
+        assert_eq!(q.weight(0), 1);
+        let w = TopKQuery::weighted(vec![1, 3], vec![4, 9], 2);
+        assert_eq!(w.weight(1), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per attribute")]
+    fn weighted_query_arity_mismatch_panics() {
+        TopKQuery::weighted(vec![0, 1], vec![1], 3);
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert!(TopKQuery::sum(vec![0], 1).validate(3).is_ok());
+        assert!(TopKQuery::sum(vec![], 1).validate(3).is_err());
+        assert!(TopKQuery::sum(vec![0], 0).validate(3).is_err());
+        assert!(TopKQuery::sum(vec![5], 1).validate(3).is_err());
+        assert!(TopKQuery::sum(vec![0, 0], 1).validate(3).is_err());
+        let mut bad = TopKQuery::sum(vec![0, 1], 1);
+        bad.weights = vec![2];
+        assert!(bad.validate(3).is_err());
+    }
+
+    #[test]
+    fn token_applies_the_keyed_prp() {
+        let key = PrfKey([42u8; 32]);
+        let m = 10;
+        let query = TopKQuery::sum(vec![0, 3, 7], 4);
+        let token = generate_token(&key, m, &query).unwrap();
+        assert_eq!(token.k, 4);
+        assert_eq!(token.num_attributes(), 3);
+        let prp = KeyedPrp::new(&key, m);
+        assert_eq!(token.permuted_lists, vec![prp.apply(0), prp.apply(3), prp.apply(7)]);
+        // Permuted indices stay within range and are distinct.
+        let mut sorted = token.permuted_lists.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+        assert!(sorted.iter().all(|&i| i < m));
+    }
+
+    #[test]
+    fn token_generation_is_deterministic_per_key() {
+        let key = PrfKey([1u8; 32]);
+        let query = TopKQuery::sum(vec![1, 2], 3);
+        let a = generate_token(&key, 8, &query).unwrap();
+        let b = generate_token(&key, 8, &query).unwrap();
+        assert_eq!(a, b);
+        let other = generate_token(&PrfKey([2u8; 32]), 8, &query).unwrap();
+        // Overwhelmingly likely to differ for an 8-element domain.
+        assert_ne!(a.permuted_lists, other.permuted_lists);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_at_token_time() {
+        let key = PrfKey([1u8; 32]);
+        assert!(generate_token(&key, 4, &TopKQuery::sum(vec![9], 1)).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Leakage audit: run the same query under each processing variant and print exactly
+//! what each cloud observed, next to the leakage profile Theorem 9.2 allows.
+//!
+//! ```text
+//! cargo run --release -p sectopk-examples --example leakage_audit
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_core::{check_leakage, profile_for, sec_query, DataOwner, QueryConfig, QueryVariant};
+use sectopk_datasets::fig3_relation;
+use sectopk_storage::TopKQuery;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let relation = fig3_relation();
+    let owner = DataOwner::new(128, 4, &mut rng).expect("key generation");
+    let (er, _) = owner.encrypt(&relation, &mut rng).expect("encryption");
+    let token = owner
+        .authorize_client()
+        .token(relation.num_attributes(), &TopKQuery::sum(vec![0, 1, 2], 2))
+        .expect("token");
+
+    println!("setup leakage L_Setup(R) = (|R|, M) = {:?}\n", er.setup_leakage());
+
+    for (config, variant) in [
+        (QueryConfig::full(), QueryVariant::Full),
+        (QueryConfig::dup_elim(), QueryVariant::DupElim),
+        (QueryConfig::batched(2), QueryVariant::Batched { p: 2 }),
+    ] {
+        let mut clouds = owner.setup_clouds(123).expect("cloud setup");
+        let outcome = sec_query(&mut clouds, &er, &token, &config).expect("query");
+
+        let profile = profile_for(variant);
+        println!("==== {} ====", variant.name());
+        println!(
+            "  halting depth: {} (halted: {})",
+            outcome.stats.depths_scanned, outcome.stats.halted
+        );
+        println!("  allowed S1 view: {:?}", profile.s1_allowed);
+        println!("  observed S1 view: {:?}", clouds.s1_ledger().kind_histogram());
+        println!("  allowed S2 view: {:?}", profile.s2_allowed);
+        println!("  observed S2 view: {:?}", clouds.s2_ledger().kind_histogram());
+        match check_leakage(&clouds, variant) {
+            Ok(()) => println!("  OK: recorded views are within the allowed leakage profile"),
+            Err(e) => println!("  VIOLATION: {e}"),
+        }
+        let (equal, total) = sectopk_core::leakage::s2_equality_pattern_summary(&clouds);
+        println!("  S2 equality pattern: {equal}/{total} pairwise tests were 'equal'");
+        println!(
+            "  channel: {:.3} MB, {} messages, {} rounds\n",
+            clouds.channel().megabytes(),
+            clouds.channel().total_messages(),
+            clouds.channel().rounds
+        );
+    }
+}

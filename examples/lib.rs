@@ -1,0 +1,56 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example is a small, self-contained binary; the only thing they share is the
+//! pretty-printing of query outcomes, which lives here.
+
+use sectopk_core::{QueryOutcome, ResolvedResult};
+
+/// Render a resolved result list as a small table.
+pub fn format_results(results: &[ResolvedResult]) -> String {
+    let mut out = String::from("rank | object       | worst (lower bound) | best (upper bound)\n");
+    out.push_str("-----+--------------+---------------------+-------------------\n");
+    for (i, r) in results.iter().enumerate() {
+        let name = match r.object {
+            Some(id) => format!("{id}"),
+            None => "(placeholder)".to_string(),
+        };
+        out.push_str(&format!("{:>4} | {:<12} | {:>19} | {:>18}\n", i + 1, name, r.worst, r.best));
+    }
+    out
+}
+
+/// Render the execution statistics of a query outcome.
+pub fn format_stats(outcome: &QueryOutcome) -> String {
+    let s = &outcome.stats;
+    format!(
+        "depths scanned: {} (halted: {}), time: {:.3}s ({:.3}s/depth), \
+bandwidth: {:.3} MB over {} messages ({} rounds), tracked list size: {}",
+        s.depths_scanned,
+        s.halted,
+        s.total_seconds,
+        s.seconds_per_depth(),
+        s.channel.megabytes(),
+        s.channel.total_messages(),
+        s.channel.rounds,
+        s.final_tracked_len,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sectopk_core::ResolvedResult;
+    use sectopk_storage::ObjectId;
+
+    #[test]
+    fn formatting_includes_objects_and_placeholders() {
+        let rows = vec![
+            ResolvedResult { object: Some(ObjectId(3)), worst: 18, best: 18 },
+            ResolvedResult { object: None, worst: -1, best: -1 },
+        ];
+        let table = format_results(&rows);
+        assert!(table.contains("o3"));
+        assert!(table.contains("(placeholder)"));
+        assert!(table.contains("18"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: outsource a small relation and run one secure top-k query.
+//!
+//! ```text
+//! cargo run --release -p sectopk-examples --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_core::{resolve_results, sec_query, DataOwner, QueryConfig};
+use sectopk_examples::{format_results, format_stats};
+use sectopk_storage::{ObjectId, Relation, Row, TopKQuery};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // --- Data owner ---------------------------------------------------------------------
+    // Generate keys (a small 128-bit modulus keeps the example instant; production
+    // deployments would use 2048+ bits) and encrypt the relation.
+    println!("[owner]   generating keys and encrypting the relation…");
+    let owner = DataOwner::new(128, 4, &mut rng).expect("key generation");
+    let relation = Relation::new(
+        vec!["price".into(), "rating".into(), "freshness".into()],
+        vec![
+            Row { id: ObjectId(1), values: vec![30, 9, 4] },
+            Row { id: ObjectId(2), values: vec![80, 7, 9] },
+            Row { id: ObjectId(3), values: vec![55, 8, 8] },
+            Row { id: ObjectId(4), values: vec![10, 3, 2] },
+            Row { id: ObjectId(5), values: vec![95, 9, 1] },
+            Row { id: ObjectId(6), values: vec![40, 6, 7] },
+        ],
+    );
+    let (er, stats) = owner.encrypt(&relation, &mut rng).expect("relation encryption");
+    println!(
+        "[owner]   outsourced {} objects × {} attributes ({} bytes of ciphertext)",
+        stats.num_objects, stats.num_attributes, stats.encrypted_bytes
+    );
+
+    // --- Authorized client ---------------------------------------------------------------
+    // SELECT * FROM ER ORDER BY rating + freshness STOP AFTER 3
+    let client = owner.authorize_client();
+    let query = TopKQuery::sum(vec![1, 2], 3);
+    let token = client.token(relation.num_attributes(), &query).expect("token generation");
+    println!(
+        "[client]  token generated for top-{} over {} attributes",
+        token.k,
+        token.num_attributes()
+    );
+
+    // --- The two clouds -------------------------------------------------------------------
+    let mut clouds = owner.setup_clouds(42).expect("cloud setup");
+    let outcome =
+        sec_query(&mut clouds, &er, &token, &QueryConfig::dup_elim()).expect("secure query");
+    println!("[clouds]  {}", format_stats(&outcome));
+
+    // --- Result interpretation by the key holder -----------------------------------------
+    let candidates: Vec<ObjectId> = relation.rows().iter().map(|r| r.id).collect();
+    let resolved =
+        resolve_results(&outcome.top_k, &candidates, owner.keys(), &mut rng).expect("resolution");
+    println!("\nTop-3 by rating + freshness:\n{}", format_results(&resolved));
+
+    // Cross-check against the plaintext answer (only possible because this example owns
+    // the plaintext; the clouds never see it).
+    let expected = relation.plaintext_top_k(&[1, 2], &[], 3);
+    println!(
+        "plaintext oracle: {:?}",
+        expected.iter().map(|(id, s)| (id.0, *s)).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,123 @@
+//! A fine-grained trace of the Fig. 3 worked example: the per-depth worst/best scores of
+//! the paper's walk-through (Figs. 3a–3c) reproduced with the actual sub-protocols.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_core::DataOwner;
+use sectopk_crypto::paillier::PaillierPublicKey;
+use sectopk_datasets::fig3_relation;
+use sectopk_ehl::EhlEncoder;
+use sectopk_storage::{EncryptedItem, ObjectId};
+use sectopk_tests::{TEST_EHL_KEYS, TEST_MODULUS_BITS};
+
+/// Build the three Fig. 3 sorted lists (R1, R2, R3) as encrypted items, down to `depth`.
+fn fig3_encrypted_prefixes(
+    depth: usize,
+    encoder: &EhlEncoder,
+    pk: &PaillierPublicKey,
+    rng: &mut StdRng,
+) -> Vec<Vec<EncryptedItem>> {
+    let relation = fig3_relation();
+    let sorted = relation.sorted_lists();
+    (0..3)
+        .map(|list| {
+            (0..depth)
+                .map(|d| {
+                    let item = sorted.item(list, d).unwrap();
+                    EncryptedItem {
+                        ehl: encoder.encode(&item.object.to_bytes(), pk, rng).unwrap(),
+                        score: pk.encrypt_u64(item.score, rng).unwrap(),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn fig3_per_depth_bounds_match_the_paper() {
+    let mut rng = StdRng::seed_from_u64(3333);
+    let owner = DataOwner::new(TEST_MODULUS_BITS, TEST_EHL_KEYS, &mut rng).unwrap();
+    let keys = owner.keys();
+    let encoder = EhlEncoder::new(&keys.ehl_keys);
+    let pk = keys.paillier_public.clone();
+    let sk = &keys.paillier_secret;
+    let mut clouds = owner.setup_clouds(3).unwrap();
+
+    // ---- Depth 1 (Fig. 3a): items X1/10, X2/8, X4/8; lower bounds 10, 8, 8; upper 26. --
+    let seen1 = fig3_encrypted_prefixes(1, &encoder, &pk, &mut rng);
+    let depth1: Vec<EncryptedItem> = seen1.iter().map(|l| l[0].clone()).collect();
+    let worst1 = clouds.sec_worst_depth(&depth1, 0).unwrap();
+    let best1 = clouds.sec_best_depth(&depth1, &seen1, 0).unwrap();
+    let worst1: Vec<u64> = worst1.iter().map(|c| sk.decrypt_u64(c).unwrap()).collect();
+    let best1: Vec<u64> = best1.iter().map(|c| sk.decrypt_u64(c).unwrap()).collect();
+    assert_eq!(worst1, vec![10, 8, 8], "Fig. 3a lower bounds");
+    assert_eq!(best1, vec![26, 26, 26], "Fig. 3a upper bounds");
+
+    // ---- Depth 2 (Fig. 3b): items X2/8, X3/7, X3/6. -------------------------------------
+    // Lower bounds at this depth: X2 = 8, X3 = 7 + 6 = 13 (both copies).
+    // Upper bounds: X2 = 22, X3 = 21.
+    let seen2 = fig3_encrypted_prefixes(2, &encoder, &pk, &mut rng);
+    let depth2: Vec<EncryptedItem> = seen2.iter().map(|l| l[1].clone()).collect();
+    let worst2 = clouds.sec_worst_depth(&depth2, 1).unwrap();
+    let best2 = clouds.sec_best_depth(&depth2, &seen2, 1).unwrap();
+    let worst2: Vec<u64> = worst2.iter().map(|c| sk.decrypt_u64(c).unwrap()).collect();
+    let best2: Vec<u64> = best2.iter().map(|c| sk.decrypt_u64(c).unwrap()).collect();
+    assert_eq!(worst2, vec![8, 13, 13], "Fig. 3b per-depth lower bounds");
+    assert_eq!(best2, vec![22, 21, 21], "Fig. 3b upper bounds");
+
+    // ---- Depth 3 (Fig. 3c): items X3/5, X1/3, X1/2. --------------------------------------
+    // X3's local worst at depth 3 is 5; X1 appears in R2 (3) and R3 (2) → 5 for both copies.
+    let seen3 = fig3_encrypted_prefixes(3, &encoder, &pk, &mut rng);
+    let depth3: Vec<EncryptedItem> = seen3.iter().map(|l| l[2].clone()).collect();
+    let worst3 = clouds.sec_worst_depth(&depth3, 2).unwrap();
+    let worst3: Vec<u64> = worst3.iter().map(|c| sk.decrypt_u64(c).unwrap()).collect();
+    assert_eq!(worst3, vec![5, 5, 5], "Fig. 3c per-depth lower bounds");
+
+    // Best scores at depth 3: every object has now been seen in every list, so the upper
+    // bound equals its exact total: X3 = 18, X1 = 15.
+    let best3 = clouds.sec_best_depth(&depth3, &seen3, 2).unwrap();
+    let best3: Vec<u64> = best3.iter().map(|c| sk.decrypt_u64(c).unwrap()).collect();
+    assert_eq!(best3, vec![18, 15, 15], "Fig. 3c upper bounds");
+}
+
+#[test]
+fn fig3_dedup_keeps_one_copy_per_object_at_depth_two() {
+    // At depth 2 the items are X2 (once) and X3 (twice); SecDedup must leave exactly one
+    // live copy of each, as shown in the T² table of Fig. 3b.
+    let mut rng = StdRng::seed_from_u64(4444);
+    let owner = DataOwner::new(TEST_MODULUS_BITS, TEST_EHL_KEYS, &mut rng).unwrap();
+    let keys = owner.keys();
+    let encoder = EhlEncoder::new(&keys.ehl_keys);
+    let pk = keys.paillier_public.clone();
+    let sk = &keys.paillier_secret;
+    let mut clouds = owner.setup_clouds(4).unwrap();
+
+    let seen2 = fig3_encrypted_prefixes(2, &encoder, &pk, &mut rng);
+    let depth2: Vec<EncryptedItem> = seen2.iter().map(|l| l[1].clone()).collect();
+    let worst = clouds.sec_worst_depth(&depth2, 1).unwrap();
+    let best = clouds.sec_best_depth(&depth2, &seen2, 1).unwrap();
+    let gamma: Vec<sectopk_protocols::ScoredItem> = depth2
+        .iter()
+        .zip(worst.into_iter().zip(best.into_iter()))
+        .map(|(item, (w, b))| sectopk_protocols::ScoredItem {
+            ehl: item.ehl.clone(),
+            worst: w,
+            best: b,
+        })
+        .collect();
+    let deduped = clouds.sec_dedup(gamma, 1).unwrap();
+    assert_eq!(deduped.len(), 3);
+
+    // Count how many surviving entries match X3 (id 3): exactly one.
+    let x3 = encoder.encode(&ObjectId(3).to_bytes(), &pk, &mut rng).unwrap();
+    let mut x3_matches = 0;
+    for item in &deduped {
+        if sk.is_zero(&item.ehl.eq_test(&x3, &pk, &mut rng)).unwrap() {
+            x3_matches += 1;
+            assert_eq!(sk.decrypt_u64(&item.worst).unwrap(), 13);
+        }
+    }
+    assert_eq!(x3_matches, 1, "exactly one live copy of X3 after SecDedup");
+}

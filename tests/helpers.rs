@@ -1,0 +1,103 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! Every end-to-end test follows the same pattern: a data owner encrypts a small
+//! relation, the clouds run one of the secure query variants, the owner resolves the
+//! encrypted result, and the resolved object ids are checked to form a *valid* top-k set
+//! (same score multiset as the exact plaintext answer — NRA only guarantees set validity,
+//! not a particular tie-break order).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_core::{resolve_results, resolved_object_ids, sec_query, DataOwner, QueryConfig};
+use sectopk_protocols::TwoClouds;
+use sectopk_storage::{EncryptedRelation, ObjectId, Relation, Score, TopKQuery};
+
+/// Paillier modulus size used by the integration tests (small = fast; the protocols are
+/// parameterised over it, see DESIGN.md).
+pub const TEST_MODULUS_BITS: usize = 128;
+
+/// Number of EHL PRF keys used by the integration tests.
+pub const TEST_EHL_KEYS: usize = 3;
+
+/// Everything a test needs to run secure queries against one relation.
+pub struct Harness {
+    /// The data owner (key holder).
+    pub owner: DataOwner,
+    /// The plaintext relation (kept for oracle comparisons).
+    pub relation: Relation,
+    /// The outsourced encrypted relation.
+    pub er: EncryptedRelation,
+    /// The two-cloud execution context.
+    pub clouds: TwoClouds,
+    /// Test-local randomness.
+    pub rng: StdRng,
+}
+
+/// Build a harness around `relation`.
+pub fn harness(relation: Relation, seed: u64) -> Harness {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let owner = DataOwner::new(TEST_MODULUS_BITS, TEST_EHL_KEYS, &mut rng)
+        .expect("key generation succeeds");
+    let (er, _) = owner.encrypt(&relation, &mut rng).expect("relation encryption succeeds");
+    let clouds = owner.setup_clouds(seed ^ 0xABCD).expect("cloud setup succeeds");
+    Harness { owner, relation, er, clouds, rng }
+}
+
+/// Run a secure query end to end and return the resolved object ids (plus the outcome).
+pub fn run_query(
+    h: &mut Harness,
+    query: &TopKQuery,
+    config: &QueryConfig,
+) -> (Vec<ObjectId>, sectopk_core::QueryOutcome) {
+    h.clouds.reset_accounting();
+    let client = h.owner.authorize_client();
+    let token = client
+        .token(h.relation.num_attributes(), query)
+        .expect("query validates against the relation");
+    let outcome = sec_query(&mut h.clouds, &h.er, &token, config).expect("secure query succeeds");
+    let candidates: Vec<ObjectId> = h.relation.rows().iter().map(|r| r.id).collect();
+    let resolved = resolve_results(&outcome.top_k, &candidates, h.owner.keys(), &mut h.rng)
+        .expect("result resolution succeeds");
+    (resolved_object_ids(&resolved), outcome)
+}
+
+/// Assert that `returned` is a valid top-k answer for the query: it must contain `k`
+/// distinct objects whose exact aggregate scores form the same multiset as the exact
+/// plaintext top-k (ties may be broken differently by the secure protocol).
+pub fn assert_valid_top_k(
+    relation: &Relation,
+    attributes: &[usize],
+    weights: &[Score],
+    k: usize,
+    returned: &[ObjectId],
+    context: &str,
+) {
+    let expected = relation.plaintext_top_k(attributes, weights, k);
+    assert_eq!(
+        returned.len(),
+        expected.len(),
+        "{context}: expected {} results, got {:?}",
+        expected.len(),
+        returned
+    );
+    let mut seen = std::collections::HashSet::new();
+    for id in returned {
+        assert!(seen.insert(*id), "{context}: object {id} returned twice");
+    }
+    let mut returned_scores: Vec<u128> = returned
+        .iter()
+        .map(|&id| {
+            relation
+                .aggregate_score(id, attributes, weights)
+                .unwrap_or_else(|| panic!("{context}: unknown object {id} in result"))
+        })
+        .collect();
+    let mut expected_scores: Vec<u128> = expected.iter().map(|(_, s)| *s).collect();
+    returned_scores.sort_unstable();
+    expected_scores.sort_unstable();
+    assert_eq!(
+        returned_scores, expected_scores,
+        "{context}: returned objects {returned:?} do not form a valid top-{k} set"
+    );
+}

@@ -1,0 +1,103 @@
+//! The three query variants (Qry_F, Qry_E, Qry_Ba) must return the same (valid) top-k
+//! answers — the optimisations of §10 trade privacy and speed, never correctness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sectopk_core::QueryConfig;
+use sectopk_datasets::{fig3_relation, DatasetKind};
+use sectopk_storage::{ObjectId, Relation, Row, TopKQuery};
+use sectopk_tests::{assert_valid_top_k, harness, run_query};
+
+fn score_set(relation: &Relation, attrs: &[usize], ids: &[ObjectId]) -> Vec<u128> {
+    let mut scores: Vec<u128> =
+        ids.iter().map(|&id| relation.aggregate_score(id, attrs, &[]).unwrap()).collect();
+    scores.sort_unstable();
+    scores
+}
+
+#[test]
+fn all_three_variants_agree_on_fig3() {
+    let relation = fig3_relation();
+    let attrs = vec![0, 1, 2];
+    let query = TopKQuery::sum(attrs.clone(), 2);
+
+    let mut h = harness(relation.clone(), 21);
+    let (full_ids, full) = run_query(&mut h, &query, &QueryConfig::full());
+    let (elim_ids, elim) = run_query(&mut h, &query, &QueryConfig::dup_elim());
+    let (batched_ids, batched) = run_query(&mut h, &query, &QueryConfig::batched(2));
+
+    for (ids, name) in [(&full_ids, "Qry_F"), (&elim_ids, "Qry_E"), (&batched_ids, "Qry_Ba")] {
+        assert_valid_top_k(&relation, &attrs, &[], 2, ids, name);
+    }
+    assert_eq!(score_set(&relation, &attrs, &full_ids), score_set(&relation, &attrs, &elim_ids));
+    assert_eq!(score_set(&relation, &attrs, &full_ids), score_set(&relation, &attrs, &batched_ids));
+
+    // Qry_F keeps the tracked list at m·d items; Qry_E keeps only distinct objects.
+    assert!(full.stats.final_tracked_len >= elim.stats.final_tracked_len);
+    // The batched variant runs fewer halting checks per scanned depth.
+    assert!(batched.stats.halting_checks <= elim.stats.halting_checks);
+}
+
+#[test]
+fn variants_agree_on_a_duplicate_heavy_dataset() {
+    // The insurance-shaped generator produces heavily duplicated attribute values, which
+    // exercises SecDedup / SecDupElim where the variants differ the most.
+    let spec = DatasetKind::Insurance.spec().with_rows(8);
+    let relation = sectopk_datasets::generate(&spec, 5);
+    let attrs = vec![0, 1];
+    let query = TopKQuery::sum(attrs.clone(), 3);
+
+    let mut h = harness(relation.clone(), 22);
+    let (full_ids, _) = run_query(&mut h, &query, &QueryConfig::full());
+    let (elim_ids, _) = run_query(&mut h, &query, &QueryConfig::dup_elim());
+    let (batched_ids, _) = run_query(&mut h, &query, &QueryConfig::batched(3));
+
+    assert_valid_top_k(&relation, &attrs, &[], 3, &full_ids, "insurance Qry_F");
+    assert_valid_top_k(&relation, &attrs, &[], 3, &elim_ids, "insurance Qry_E");
+    assert_valid_top_k(&relation, &attrs, &[], 3, &batched_ids, "insurance Qry_Ba");
+}
+
+#[test]
+fn variants_agree_on_random_relations() {
+    let mut rng = StdRng::seed_from_u64(33);
+    for trial in 0..3 {
+        let n = rng.gen_range(6..10);
+        let rows: Vec<Row> = (0..n)
+            .map(|i| Row {
+                id: ObjectId(i as u64),
+                values: (0..2).map(|_| rng.gen_range(0..20)).collect(),
+            })
+            .collect();
+        let relation = Relation::from_rows(rows);
+        let attrs = vec![0, 1];
+        let k = 2;
+        let query = TopKQuery::sum(attrs.clone(), k);
+
+        let mut h = harness(relation.clone(), 700 + trial);
+        let (a, _) = run_query(&mut h, &query, &QueryConfig::full());
+        let (b, _) = run_query(&mut h, &query, &QueryConfig::dup_elim());
+        let (c, _) = run_query(&mut h, &query, &QueryConfig::batched(2));
+        assert_eq!(score_set(&relation, &attrs, &a), score_set(&relation, &attrs, &b), "trial {trial}");
+        assert_eq!(score_set(&relation, &attrs, &a), score_set(&relation, &attrs, &c), "trial {trial}");
+        assert_valid_top_k(&relation, &attrs, &[], k, &a, &format!("trial {trial}"));
+    }
+}
+
+#[test]
+fn batching_parameter_does_not_change_results() {
+    let relation = fig3_relation();
+    let attrs = vec![0, 1, 2];
+    let query = TopKQuery::sum(attrs.clone(), 2);
+    let mut h = harness(relation.clone(), 44);
+    let mut previous: Option<Vec<u128>> = None;
+    for p in [1usize, 2, 4, 5] {
+        let (ids, _) = run_query(&mut h, &query, &QueryConfig::batched(p));
+        assert_valid_top_k(&relation, &attrs, &[], 2, &ids, &format!("p = {p}"));
+        let scores = score_set(&relation, &attrs, &ids);
+        if let Some(prev) = &previous {
+            assert_eq!(prev, &scores, "results must not depend on p");
+        }
+        previous = Some(scores);
+    }
+}
