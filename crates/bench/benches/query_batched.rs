@@ -12,7 +12,8 @@ use sectopk_datasets::{DatasetKind, QueryWorkload};
 
 fn bench_query_batched(c: &mut Criterion) {
     let scale = BenchScale::smoke();
-    let (owner, relation, er) = prepare_dataset(DatasetKind::Diabetes, scale.query_rows, &scale, 11);
+    let (owner, relation, er) =
+        prepare_dataset(DatasetKind::Diabetes, scale.query_rows, &scale, 11);
     let m_attrs = relation.num_attributes();
 
     let mut group = c.benchmark_group("fig11_qry_ba");

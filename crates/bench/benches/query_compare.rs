@@ -22,7 +22,15 @@ fn bench_variants(c: &mut Criterion) {
 
     group.bench_function("qry_f", |b| {
         b.iter(|| {
-            black_box(measure_query(&owner, &relation, &er, &query, &QueryConfig::full(), &scale, 12))
+            black_box(measure_query(
+                &owner,
+                &relation,
+                &er,
+                &query,
+                &QueryConfig::full(),
+                &scale,
+                12,
+            ))
         })
     });
     group.bench_function("qry_e", |b| {

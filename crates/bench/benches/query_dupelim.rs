@@ -11,7 +11,8 @@ use sectopk_datasets::{DatasetKind, QueryWorkload};
 
 fn bench_query_dupelim(c: &mut Criterion) {
     let scale = BenchScale::smoke();
-    let (owner, relation, er) = prepare_dataset(DatasetKind::Insurance, scale.query_rows, &scale, 10);
+    let (owner, relation, er) =
+        prepare_dataset(DatasetKind::Insurance, scale.query_rows, &scale, 10);
     let m_attrs = relation.num_attributes();
 
     let mut group = c.benchmark_group("fig10_qry_e");

@@ -11,7 +11,8 @@ use sectopk_datasets::{DatasetKind, QueryWorkload};
 
 fn bench_query_full(c: &mut Criterion) {
     let scale = BenchScale::smoke();
-    let (owner, relation, er) = prepare_dataset(DatasetKind::Synthetic, scale.query_rows, &scale, 9);
+    let (owner, relation, er) =
+        prepare_dataset(DatasetKind::Synthetic, scale.query_rows, &scale, 9);
     let m_attrs = relation.num_attributes();
 
     let mut group = c.benchmark_group("fig9_qry_f");

@@ -47,9 +47,7 @@ fn bench_join(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("carried_attributes", carried * 2),
             &carried,
-            |b, _| {
-                b.iter(|| black_box(top_k_join(&mut clouds, &enc_r1, &enc_r2, &token).unwrap()))
-            },
+            |b, _| b.iter(|| black_box(top_k_join(&mut clouds, &enc_r1, &enc_r2, &token).unwrap())),
         );
     }
     group.finish();

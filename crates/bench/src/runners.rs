@@ -57,9 +57,8 @@ pub fn prepare_dataset(
     let relation = generate(&spec, seed);
     let owner = DataOwner::new(scale.modulus_bits, scale.ehl_keys, &mut rng)
         .expect("key generation succeeds");
-    let (er, _) = owner
-        .encrypt_parallel(&relation, &mut rng)
-        .expect("relation encryption succeeds");
+    let (er, _) =
+        owner.encrypt_parallel(&relation, &mut rng).expect("relation encryption succeeds");
     (owner, relation, er)
 }
 
@@ -73,10 +72,8 @@ pub fn measure_query(
     scale: &BenchScale,
     seed: u64,
 ) -> QueryPerf {
-    let token = owner
-        .authorize_client()
-        .token(relation.num_attributes(), query)
-        .expect("query validates");
+    let token =
+        owner.authorize_client().token(relation.num_attributes(), query).expect("query validates");
     let mut clouds = owner.setup_clouds(seed).expect("cloud setup succeeds");
     let config = config.with_max_depth(scale.max_depth.min(relation.len()));
     let outcome = sec_query(&mut clouds, er, &token, &config).expect("secure query succeeds");
@@ -99,8 +96,8 @@ pub fn measure_query(
 /// EHL+ (`s` encryptions), reporting construction time and ciphertext size.
 pub fn fig7_ehl_construction(scale: &BenchScale) -> Table {
     let mut rng = StdRng::seed_from_u64(7);
-    let keys = MasterKeys::generate(scale.modulus_bits, scale.ehl_keys, &mut rng)
-        .expect("key generation");
+    let keys =
+        MasterKeys::generate(scale.modulus_bits, scale.ehl_keys, &mut rng).expect("key generation");
     let encoder = EhlEncoder::new(&keys.ehl_keys);
     let pk = &keys.paillier_public;
 
@@ -154,8 +151,8 @@ pub fn fig8_dataset_encryption(scale: &BenchScale) -> Table {
         let rows = kind.spec().rows.min(scale.encryption_rows);
         let relation = generate(&kind.spec().with_rows(rows), 8);
         let mut rng = StdRng::seed_from_u64(8);
-        let owner = DataOwner::new(scale.modulus_bits, scale.ehl_keys, &mut rng)
-            .expect("key generation");
+        let owner =
+            DataOwner::new(scale.modulus_bits, scale.ehl_keys, &mut rng).expect("key generation");
         let started = Instant::now();
         let (_, stats) = owner.encrypt_parallel(&relation, &mut rng).expect("encryption");
         let elapsed = started.elapsed().as_secs_f64();
@@ -230,22 +227,50 @@ fn query_figure(
 
 /// Fig. 9a: Qry_F time per depth varying k (m = 3).
 pub fn fig9a_qry_f_vary_k(scale: &BenchScale) -> Table {
-    query_figure("Fig. 9a", "Qry_F time per depth, varying k (m = 3)", QueryVariant::Full, scale, true, 0)
+    query_figure(
+        "Fig. 9a",
+        "Qry_F time per depth, varying k (m = 3)",
+        QueryVariant::Full,
+        scale,
+        true,
+        0,
+    )
 }
 
 /// Fig. 9b: Qry_F time per depth varying m (k = 5).
 pub fn fig9b_qry_f_vary_m(scale: &BenchScale) -> Table {
-    query_figure("Fig. 9b", "Qry_F time per depth, varying m (k = 5)", QueryVariant::Full, scale, false, 0)
+    query_figure(
+        "Fig. 9b",
+        "Qry_F time per depth, varying m (k = 5)",
+        QueryVariant::Full,
+        scale,
+        false,
+        0,
+    )
 }
 
 /// Fig. 10a: Qry_E time per depth varying k (m = 3).
 pub fn fig10a_qry_e_vary_k(scale: &BenchScale) -> Table {
-    query_figure("Fig. 10a", "Qry_E time per depth, varying k (m = 3)", QueryVariant::DupElim, scale, true, 0)
+    query_figure(
+        "Fig. 10a",
+        "Qry_E time per depth, varying k (m = 3)",
+        QueryVariant::DupElim,
+        scale,
+        true,
+        0,
+    )
 }
 
 /// Fig. 10b: Qry_E time per depth varying m (k = 5).
 pub fn fig10b_qry_e_vary_m(scale: &BenchScale) -> Table {
-    query_figure("Fig. 10b", "Qry_E time per depth, varying m (k = 5)", QueryVariant::DupElim, scale, false, 0)
+    query_figure(
+        "Fig. 10b",
+        "Qry_E time per depth, varying m (k = 5)",
+        QueryVariant::DupElim,
+        scale,
+        false,
+        0,
+    )
 }
 
 /// Fig. 11a: Qry_Ba time per depth varying k (m = 3, p scaled from the paper's 150).
@@ -283,24 +308,14 @@ pub fn fig11c_qry_ba_vary_p(scale: &BenchScale) -> Table {
     );
     // The paper sweeps p from 200 to 550 at full scale; proportionally smaller here.
     let base = batching_parameter(scale);
-    let p_values: Vec<usize> = [1usize, 2, 3, 4]
-        .iter()
-        .map(|mult| (base * mult).max(1))
-        .collect();
+    let p_values: Vec<usize> = [1usize, 2, 3, 4].iter().map(|mult| (base * mult).max(1)).collect();
     for kind in DatasetKind::ALL {
         let (owner, relation, er) = prepare_dataset(kind, scale.query_rows, scale, 11);
         let m_attrs = relation.num_attributes();
         let query = QueryWorkload::fixed(m_attrs, 3.min(m_attrs), 5, 11);
         for &p in &p_values {
-            let perf = measure_query(
-                &owner,
-                &relation,
-                &er,
-                &query,
-                &QueryConfig::batched(p),
-                scale,
-                11,
-            );
+            let perf =
+                measure_query(&owner, &relation, &er, &query, &QueryConfig::batched(p), scale, 11);
             table.push_row(vec![
                 kind.name().to_string(),
                 p.to_string(),
@@ -369,8 +384,7 @@ pub fn table3_bandwidth(scale: &BenchScale) -> Table {
     for kind in DatasetKind::ALL {
         let (owner, relation, er) = prepare_dataset(kind, scale.query_rows, scale, 13);
         let m_attrs = relation.num_attributes();
-        let query =
-            QueryWorkload::fixed(m_attrs, 4.min(m_attrs), 20.min(scale.query_rows), 13);
+        let query = QueryWorkload::fixed(m_attrs, 4.min(m_attrs), 20.min(scale.query_rows), 13);
         let perf = measure_query(&owner, &relation, &er, &query, &QueryConfig::full(), scale, 13);
         table.push_row(vec![
             kind.name().to_string(),
@@ -390,7 +404,8 @@ pub fn fig13_bandwidth(scale: &BenchScale) -> Table {
         "Communication on the synthetic dataset (Qry_F): per-depth vs m, total vs k",
         &["sweep", "value", "bytes / depth", "total bandwidth"],
     );
-    let (owner, relation, er) = prepare_dataset(DatasetKind::Synthetic, scale.query_rows, scale, 14);
+    let (owner, relation, er) =
+        prepare_dataset(DatasetKind::Synthetic, scale.query_rows, scale, 14);
     let m_attrs = relation.num_attributes();
 
     for &m in &M_SWEEP {
@@ -425,7 +440,14 @@ pub fn knn_comparison(scale: &BenchScale) -> Table {
     let mut table = Table::new(
         "§11.3",
         "SecTopK (Qry_E) vs secure-kNN baseline [21], k = 10",
-        &["rows", "SecTopK time", "SecTopK bandwidth", "kNN time", "kNN bandwidth", "kNN secure mults"],
+        &[
+            "rows",
+            "SecTopK time",
+            "SecTopK bandwidth",
+            "kNN time",
+            "kNN bandwidth",
+            "kNN secure mults",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(113);
     for &rows in &[scale.knn_rows / 2, scale.knn_rows] {
@@ -473,8 +495,8 @@ pub fn fig14_topk_join(scale: &BenchScale) -> Table {
         &["carried attrs", "time", "bandwidth", "matching pairs"],
     );
     let mut rng = StdRng::seed_from_u64(14);
-    let keys = MasterKeys::generate(scale.modulus_bits, scale.ehl_keys, &mut rng)
-        .expect("key generation");
+    let keys =
+        MasterKeys::generate(scale.modulus_bits, scale.ehl_keys, &mut rng).expect("key generation");
 
     // R1: join_rows.0 tuples × 10 attributes, R2: join_rows.1 tuples × 15 attributes, as
     // in §12.4.1 (scaled).  Join keys drawn from a small domain so matches exist.
@@ -487,8 +509,8 @@ pub fn fig14_topk_join(scale: &BenchScale) -> Table {
         let query = JoinQuery { join_left: 0, join_right: 0, score_left: 1, score_right: 1, k: 5 };
         let carry_left: Vec<usize> = (0..carried.min(10)).collect();
         let carry_right: Vec<usize> = (0..carried.min(15)).collect();
-        let token = join_token(&keys, 10, 15, &query, &carry_left, &carry_right)
-            .expect("join token");
+        let token =
+            join_token(&keys, 10, 15, &query, &carry_left, &carry_right).expect("join token");
         let mut clouds = TwoClouds::new(&keys, 14).expect("cloud setup");
         let started = Instant::now();
         let outcome = top_k_join(&mut clouds, &enc_r1, &enc_r2, &token).expect("secure join");
@@ -544,9 +566,11 @@ mod tests {
     #[test]
     fn query_perf_is_measured() {
         let scale = smoke();
-        let (owner, relation, er) = prepare_dataset(DatasetKind::Insurance, scale.query_rows, &scale, 1);
+        let (owner, relation, er) =
+            prepare_dataset(DatasetKind::Insurance, scale.query_rows, &scale, 1);
         let query = QueryWorkload::fixed(relation.num_attributes(), 2, 2, 1);
-        let perf = measure_query(&owner, &relation, &er, &query, &QueryConfig::dup_elim(), &scale, 1);
+        let perf =
+            measure_query(&owner, &relation, &er, &query, &QueryConfig::dup_elim(), &scale, 1);
         assert!(perf.seconds_per_depth > 0.0);
         assert!(perf.total_bytes > 0);
         assert!(perf.depths >= 1 && perf.depths <= scale.max_depth);

@@ -1,0 +1,26 @@
+//! Fast standalone smoke test: scale presets are sane and `Table` round-trips JSON.
+
+use sectopk_bench::{BenchScale, Table};
+
+#[test]
+fn scale_presets_are_ordered() {
+    let smoke = BenchScale::smoke();
+    let laptop = BenchScale::laptop();
+    let paper = BenchScale::paper();
+    assert!(smoke.query_rows <= laptop.query_rows);
+    assert!(laptop.query_rows <= paper.query_rows);
+    assert!(smoke.max_depth >= 1);
+}
+
+#[test]
+fn table_renders_and_roundtrips_json() {
+    let mut table = Table::new("smoke", "a tiny table", &["k", "seconds"]);
+    table.push_row(vec!["1".to_string(), "0.25".to_string()]);
+    table.push_row(vec!["2".to_string(), "0.5".to_string()]);
+
+    let rendered = table.render();
+    assert!(rendered.contains("seconds"));
+
+    let parsed: Table = serde_json::from_str(&table.to_json()).expect("parse back");
+    assert_eq!(parsed, table);
+}

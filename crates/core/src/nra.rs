@@ -59,10 +59,9 @@ pub fn nra_top_k(
         for (j, &attr) in attributes.iter().enumerate() {
             let item = sorted.item(attr, depth).expect("depth < n");
             bottoms[j] = weight(j) * item.score as u128;
-            let entry = bounds.entry(item.object).or_insert_with(|| Bounds {
-                lower: 0,
-                seen: vec![false; m],
-            });
+            let entry = bounds
+                .entry(item.object)
+                .or_insert_with(|| Bounds { lower: 0, seen: vec![false; m] });
             entry.lower += weight(j) * item.score as u128;
             entry.seen[j] = true;
         }
@@ -103,10 +102,7 @@ pub fn nra_top_k(
     let mut by_lower: Vec<(&ObjectId, &Bounds)> = bounds.iter().collect();
     by_lower.sort_by(|a, b| b.1.lower.cmp(&a.1.lower).then(a.0.cmp(b.0)));
     NraOutcome {
-        top_k: by_lower[..k.min(by_lower.len())]
-            .iter()
-            .map(|(id, b)| (**id, b.lower))
-            .collect(),
+        top_k: by_lower[..k.min(by_lower.len())].iter().map(|(id, b)| (**id, b.lower)).collect(),
         halting_depth: n,
     }
 }

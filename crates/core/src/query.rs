@@ -185,11 +185,7 @@ pub fn sec_query(
         //      homomorphically as §7 prescribes). -----------------------------------------
         let mut depth_items: Vec<EncryptedItem> = Vec::with_capacity(m);
         for (j, &list_idx) in token.permuted_lists.iter().enumerate() {
-            let raw = er
-                .list(list_idx)
-                .item(depth)
-                .expect("depth < n for every list")
-                .clone();
+            let raw = er.list(list_idx).item(depth).expect("depth < n for every list").clone();
             let weighted_score = if token.weight(j) == 1 {
                 raw.score.clone()
             } else {
@@ -205,7 +201,7 @@ pub fn sec_query(
         let bests = clouds.sec_best_depth(&depth_items, &seen, depth)?;
         let gamma: Vec<ScoredItem> = depth_items
             .iter()
-            .zip(worsts.into_iter().zip(bests.into_iter()))
+            .zip(worsts.into_iter().zip(bests))
             .map(|(item, (worst, best))| ScoredItem { ehl: item.ehl.clone(), worst, best })
             .collect();
 
@@ -218,7 +214,8 @@ pub fn sec_query(
         // ---- SecUpdate into the global (or batch) list (Algorithm 3 line 8). -------------
         match config.variant {
             QueryVariant::Batched { .. } => {
-                batch_tracked = clouds.sec_update(batch_tracked, &gamma, depth, UpdateMode::Eliminate)?;
+                batch_tracked =
+                    clouds.sec_update(batch_tracked, &gamma, depth, UpdateMode::Eliminate)?;
             }
             _ => {
                 tracked = clouds.sec_update(tracked, &gamma, depth, update_mode)?;
@@ -247,11 +244,14 @@ pub fn sec_query(
                 // object (the sum of the current bottom scores of the scanned lists).
                 let mut candidate_bests: Vec<Ciphertext> =
                     tracked[k..].iter().map(|it| it.best.clone()).collect();
-                let bottoms: Vec<Ciphertext> =
-                    seen.iter().map(|l| l.last().expect("scanned at least one depth").score.clone()).collect();
+                let bottoms: Vec<Ciphertext> = seen
+                    .iter()
+                    .map(|l| l.last().expect("scanned at least one depth").score.clone())
+                    .collect();
                 candidate_bests.push(clouds.sum_ciphertexts(&bottoms));
 
-                let dominated = clouds.batch_compare_leq(&candidate_bests, &w_k, "halting_check")?;
+                let dominated =
+                    clouds.batch_compare_leq(&candidate_bests, &w_k, "halting_check")?;
                 if dominated.iter().all(|&d| d) {
                     halted = true;
                 }
@@ -282,10 +282,7 @@ pub fn sec_query(
             )?;
         }
         tracked = clouds.enc_sort_by_worst_desc(tracked)?;
-        clouds
-            .s1
-            .ledger
-            .record(LeakageEvent::HaltingDepth(stats.depths_scanned));
+        clouds.s1.ledger.record(LeakageEvent::HaltingDepth(stats.depths_scanned));
     }
 
     let top_k: Vec<ScoredItem> = tracked.iter().take(k).cloned().collect();

@@ -102,8 +102,7 @@ mod tests {
         };
 
         let candidates: Vec<ObjectId> = (0..10).map(ObjectId).collect();
-        let resolved =
-            resolve_results(&[real, placeholder], &candidates, &keys, &mut rng).unwrap();
+        let resolved = resolve_results(&[real, placeholder], &candidates, &keys, &mut rng).unwrap();
         assert_eq!(resolved[0].object, Some(ObjectId(7)));
         assert_eq!(resolved[0].worst, 18);
         assert_eq!(resolved[1].object, None);

@@ -90,7 +90,11 @@ pub struct AuthorizedClient {
 
 impl AuthorizedClient {
     /// `Token(K, q)`: build the query token for a relation with `num_attributes` columns.
-    pub fn token(&self, num_attributes: usize, query: &TopKQuery) -> std::result::Result<QueryToken, String> {
+    pub fn token(
+        &self,
+        num_attributes: usize,
+        query: &TopKQuery,
+    ) -> std::result::Result<QueryToken, String> {
         generate_token(&self.keys.prp_key, num_attributes, query)
     }
 }

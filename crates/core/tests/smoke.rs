@@ -1,0 +1,29 @@
+//! Fast standalone smoke test: one `sec_query` end to end on a 3-row relation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sectopk_core::{resolve_results, sec_query, DataOwner, QueryConfig};
+use sectopk_storage::{ObjectId, Relation, Row, TopKQuery};
+
+#[test]
+fn sec_query_top_1_on_three_rows() {
+    let mut rng = StdRng::seed_from_u64(0xC04E);
+    let owner = DataOwner::new(128, 3, &mut rng).expect("owner setup");
+    let relation = Relation::from_rows(vec![
+        Row { id: ObjectId(1), values: vec![10, 3] },
+        Row { id: ObjectId(2), values: vec![8, 8] },
+        Row { id: ObjectId(3), values: vec![5, 7] },
+    ]);
+    let (er, _) = owner.encrypt(&relation, &mut rng).expect("encrypt");
+
+    let client = owner.authorize_client();
+    let token = client.token(2, &TopKQuery::sum(vec![0, 1], 1)).expect("token");
+
+    let mut clouds = owner.setup_clouds(42).expect("clouds");
+    let outcome = sec_query(&mut clouds, &er, &token, &QueryConfig::dup_elim()).expect("query");
+
+    let ids: Vec<ObjectId> = relation.rows().iter().map(|r| r.id).collect();
+    let resolved = resolve_results(&outcome.top_k, &ids, owner.keys(), &mut rng).expect("resolve");
+    // 8 + 8 = 16 is the highest aggregate score.
+    assert_eq!(resolved[0].object, Some(ObjectId(2)));
+}

@@ -37,7 +37,7 @@ impl LayeredCiphertext {
 
     /// Serialized length in bytes (for channel bandwidth accounting).
     pub fn byte_len(&self) -> usize {
-        ((self.0.bits() as usize) + 7) / 8
+        (self.0.bits() as usize).div_ceil(8)
     }
 }
 
@@ -83,7 +83,11 @@ impl DjPublicKey {
 
     /// Encrypt an arbitrary message `m ∈ Z_{N²}` under the outer layer:
     /// `E2(m) = (1+N)^m · r^{N²} mod N³`.
-    pub fn encrypt<R: RngCore + CryptoRng>(&self, m: &BigUint, rng: &mut R) -> Result<LayeredCiphertext> {
+    pub fn encrypt<R: RngCore + CryptoRng>(
+        &self,
+        m: &BigUint,
+        rng: &mut R,
+    ) -> Result<LayeredCiphertext> {
         if m >= &self.n_s {
             return Err(CryptoError::PlaintextOutOfRange);
         }
@@ -92,7 +96,11 @@ impl DjPublicKey {
     }
 
     /// Encrypt a small constant (e.g. the `E2(1)` used on line 6 of Algorithm 4).
-    pub fn encrypt_u64<R: RngCore + CryptoRng>(&self, m: u64, rng: &mut R) -> Result<LayeredCiphertext> {
+    pub fn encrypt_u64<R: RngCore + CryptoRng>(
+        &self,
+        m: u64,
+        rng: &mut R,
+    ) -> Result<LayeredCiphertext> {
         self.encrypt(&BigUint::from(m), rng)
     }
 
@@ -313,10 +321,7 @@ mod tests {
     fn rejects_plaintext_outside_message_space() {
         let (dj_pk, _dj_sk, _pk, _sk, mut rng) = setup();
         let too_big = dj_pk.n_s().clone();
-        assert!(matches!(
-            dj_pk.encrypt(&too_big, &mut rng),
-            Err(CryptoError::PlaintextOutOfRange)
-        ));
+        assert!(matches!(dj_pk.encrypt(&too_big, &mut rng), Err(CryptoError::PlaintextOutOfRange)));
     }
 
     #[test]
@@ -359,10 +364,7 @@ mod tests {
         let layered = dj_pk.encrypt_ciphertext(&enc_m1, &mut rng).unwrap();
         let combined = dj_pk.mul_by_ciphertext(&layered, &enc_m2);
 
-        assert_eq!(
-            dj_sk.decrypt_both_layers(&combined).unwrap(),
-            BigUint::from(m1 + m2)
-        );
+        assert_eq!(dj_sk.decrypt_both_layers(&combined).unwrap(), BigUint::from(m1 + m2));
     }
 
     #[test]

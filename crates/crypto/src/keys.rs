@@ -14,7 +14,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::damgard_jurik::{DjPublicKey, DjSecretKey};
 use crate::error::Result;
-use crate::paillier::{generate_keypair, PaillierPublicKey, PaillierSecretKey, DEFAULT_MODULUS_BITS};
+use crate::paillier::{
+    generate_keypair, PaillierPublicKey, PaillierSecretKey, DEFAULT_MODULUS_BITS,
+};
 use crate::prf::PrfKey;
 
 /// Number of HMAC keys (`s`) used by the EHL+ structure in the paper's experiments (§11.1).
@@ -154,10 +156,7 @@ mod tests {
         assert_eq!(s2.paillier_secret.decrypt_u64(&c).unwrap(), 314);
 
         let layered = s1.dj_public.encrypt_u64(159, &mut rng).unwrap();
-        assert_eq!(
-            s2.dj_secret.decrypt(&layered).unwrap(),
-            num_bigint::BigUint::from(159u64)
-        );
+        assert_eq!(s2.dj_secret.decrypt(&layered).unwrap(), num_bigint::BigUint::from(159u64));
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl Ciphertext {
     /// Serialized length in bytes; used by the bandwidth accounting of the two-cloud
     /// channel (§11.2.5).
     pub fn byte_len(&self) -> usize {
-        ((self.0.bits() as usize) + 7) / 8
+        (self.0.bits() as usize).div_ceil(8)
     }
 }
 
@@ -258,9 +258,7 @@ pub fn generate_keypair<R: RngCore + CryptoRng>(
     let lambda = p_minus.lcm(&q_minus);
     let mu = mod_inverse(&lambda, &n)?;
 
-    let public = PaillierPublicKey {
-        inner: Arc::new(PublicInner { n, n_squared, modulus_bits }),
-    };
+    let public = PaillierPublicKey { inner: Arc::new(PublicInner { n, n_squared, modulus_bits }) };
     let secret = PaillierSecretKey { lambda, mu, public: public.clone() };
     Ok((public, secret))
 }
@@ -307,10 +305,7 @@ mod tests {
     #[test]
     fn rejects_too_small_keys() {
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(matches!(
-            generate_keypair(64, &mut rng),
-            Err(CryptoError::KeySizeTooSmall { .. })
-        ));
+        assert!(matches!(generate_keypair(64, &mut rng), Err(CryptoError::KeySizeTooSmall { .. })));
     }
 
     #[test]

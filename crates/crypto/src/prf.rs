@@ -43,9 +43,7 @@ impl PrfKey {
 
     /// Derive the numbered family `label‖i` of sub-keys.
     pub fn derive_family(&self, label: &str, count: usize) -> Vec<PrfKey> {
-        (0..count)
-            .map(|i| self.derive(format!("{label}/{i}").as_bytes()))
-            .collect()
+        (0..count).map(|i| self.derive(format!("{label}/{i}").as_bytes())).collect()
     }
 
     /// Raw key bytes.

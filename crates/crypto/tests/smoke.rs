@@ -1,0 +1,16 @@
+//! Fast standalone smoke test: `cargo test -q -p sectopk-crypto` must be meaningful in
+//! isolation (CI runs each crate's suite separately on partial rebuilds).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sectopk_crypto::paillier::generate_keypair;
+
+#[test]
+fn paillier_128_bit_keygen_add_decrypt_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x51301);
+    let (pk, sk) = generate_keypair(128, &mut rng).expect("keygen");
+    let a = pk.encrypt_u64(20, &mut rng).expect("encrypt 20");
+    let b = pk.encrypt_u64(22, &mut rng).expect("encrypt 22");
+    let sum = pk.add(&a, &b);
+    assert_eq!(sk.decrypt_u64(&sum).expect("decrypt"), 42);
+}

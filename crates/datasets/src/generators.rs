@@ -100,9 +100,7 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> Relation {
             values: (0..spec.attributes).map(|a| sample_value(spec.kind, a, &mut rng)).collect(),
         })
         .collect();
-    let names = (0..spec.attributes)
-        .map(|a| format!("{}_{a}", spec.kind.name()))
-        .collect();
+    let names = (0..spec.attributes).map(|a| format!("{}_{a}", spec.kind.name())).collect();
     Relation::new(names, rows)
 }
 
@@ -121,7 +119,7 @@ fn sample_value(kind: DatasetKind, attribute: usize, rng: &mut StdRng) -> Score 
         // insurance: mostly small categorical / ordinal codes (0..10), a few larger
         // numeric columns — heavy duplication across objects, which stresses SecDedup.
         DatasetKind::Insurance => {
-            if attribute % 4 == 0 {
+            if attribute.is_multiple_of(4) {
                 rng.gen_range(0..=9)
             } else {
                 rng.gen_range(0..=40)

@@ -43,9 +43,7 @@ impl QueryWorkload {
         let mut rng = StdRng::seed_from_u64(seed);
         let queries = (0..spec.queries)
             .map(|_| {
-                let m = rng
-                    .gen_range(spec.m_range.0..=spec.m_range.1)
-                    .min(num_attributes);
+                let m = rng.gen_range(spec.m_range.0..=spec.m_range.1).min(num_attributes);
                 let mut attrs: Vec<usize> = (0..num_attributes).collect();
                 attrs.shuffle(&mut rng);
                 attrs.truncate(m);
@@ -108,14 +106,8 @@ mod tests {
     #[test]
     fn generation_is_seeded() {
         let spec = WorkloadSpec::default();
-        assert_eq!(
-            QueryWorkload::generate(&spec, 8, 5),
-            QueryWorkload::generate(&spec, 8, 5)
-        );
-        assert_ne!(
-            QueryWorkload::generate(&spec, 8, 5),
-            QueryWorkload::generate(&spec, 8, 6)
-        );
+        assert_eq!(QueryWorkload::generate(&spec, 8, 5), QueryWorkload::generate(&spec, 8, 5));
+        assert_ne!(QueryWorkload::generate(&spec, 8, 5), QueryWorkload::generate(&spec, 8, 6));
     }
 
     #[test]

@@ -1,0 +1,18 @@
+//! Fast standalone smoke test: tiny dataset generation plus the Fig. 3 fixture.
+
+use sectopk_datasets::{fig3_relation, generate, DatasetKind};
+
+#[test]
+fn tiny_generation_and_fig3_shape() {
+    let spec = DatasetKind::Synthetic.spec().with_rows(8);
+    let relation = generate(&spec, 99);
+    assert_eq!(relation.len(), 8);
+    assert_eq!(relation.num_attributes(), spec.attributes);
+    // Deterministic for the same seed.
+    assert_eq!(generate(&spec, 99), relation);
+
+    // The Fig. 3 worked example: 5 objects (X1..X5) ranked on 3 attributes.
+    let fig3 = fig3_relation();
+    assert_eq!(fig3.len(), 5);
+    assert_eq!(fig3.num_attributes(), 3);
+}

@@ -88,12 +88,8 @@ mod tests {
     use sectopk_crypto::paillier::generate_keypair;
     use sectopk_crypto::prf::PrfKey;
 
-    fn setup() -> (
-        PaillierPublicKey,
-        sectopk_crypto::paillier::PaillierSecretKey,
-        EhlEncoder,
-        StdRng,
-    ) {
+    fn setup(
+    ) -> (PaillierPublicKey, sectopk_crypto::paillier::PaillierSecretKey, EhlEncoder, StdRng) {
         let mut rng = StdRng::seed_from_u64(1010);
         let (pk, sk) = generate_keypair(128, &mut rng).unwrap();
         let keys: Vec<PrfKey> = (0..3u8).map(|i| PrfKey([i + 10; 32])).collect();
@@ -155,9 +151,7 @@ mod tests {
                     }
                     a == b
                 };
-                let zero = sk
-                    .is_zero(&encodings[i].eq_test(&encodings[j], &pk, &mut rng))
-                    .unwrap();
+                let zero = sk.is_zero(&encodings[i].eq_test(&encodings[j], &pk, &mut rng)).unwrap();
                 assert_eq!(zero, same_pattern, "pair ({i},{j})");
                 found_collision |= same_pattern;
             }

@@ -82,12 +82,8 @@ impl EhlPlus {
     /// SecFilter to blind object encodings before shipping them to the other cloud.
     pub fn blind(&self, alphas: &[BigUint], pk: &PaillierPublicKey) -> EhlPlus {
         assert_eq!(alphas.len(), self.len(), "blinding vector must have one entry per block");
-        let blocks = self
-            .blocks
-            .iter()
-            .zip(alphas.iter())
-            .map(|(c, a)| pk.add_plain(c, a))
-            .collect();
+        let blocks =
+            self.blocks.iter().zip(alphas.iter()).map(|(c, a)| pk.add_plain(c, a)).collect();
         EhlPlus { blocks }
     }
 
@@ -110,12 +106,7 @@ impl EhlPlus {
     /// `Enc(x) ⊙ EHL(y)` with both operands encrypted).
     pub fn mul_blocks(&self, others: &[Ciphertext], pk: &PaillierPublicKey) -> EhlPlus {
         assert_eq!(others.len(), self.len(), "operand must have one ciphertext per block");
-        let blocks = self
-            .blocks
-            .iter()
-            .zip(others.iter())
-            .map(|(c, o)| pk.add(c, o))
-            .collect();
+        let blocks = self.blocks.iter().zip(others.iter()).map(|(c, o)| pk.add(c, o)).collect();
         EhlPlus { blocks }
     }
 
@@ -140,7 +131,8 @@ mod tests {
     use sectopk_crypto::paillier::generate_keypair;
     use sectopk_crypto::prf::PrfKey;
 
-    fn setup() -> (PaillierPublicKey, sectopk_crypto::paillier::PaillierSecretKey, EhlEncoder, StdRng) {
+    fn setup(
+    ) -> (PaillierPublicKey, sectopk_crypto::paillier::PaillierSecretKey, EhlEncoder, StdRng) {
         let mut rng = StdRng::seed_from_u64(4242);
         let (pk, sk) = generate_keypair(128, &mut rng).unwrap();
         let keys: Vec<PrfKey> = (0..4u8).map(|i| PrfKey([i + 1; 32])).collect();
@@ -184,9 +176,8 @@ mod tests {
         let (pk, sk, encoder, mut rng) = setup();
         let a = encoder.encode(b"object-9", &pk, &mut rng).unwrap();
         let b = encoder.encode(b"object-9", &pk, &mut rng).unwrap();
-        let alphas: Vec<BigUint> = (0..a.len())
-            .map(|_| sectopk_crypto::bigint::random_below(&mut rng, pk.n()))
-            .collect();
+        let alphas: Vec<BigUint> =
+            (0..a.len()).map(|_| sectopk_crypto::bigint::random_below(&mut rng, pk.n())).collect();
         let blinded = a.blind(&alphas, &pk);
         // Blinded encoding no longer matches.
         let r = blinded.eq_test(&b, &pk, &mut rng);
@@ -212,7 +203,7 @@ mod tests {
         let (pk, _sk, encoder, mut rng) = setup();
         let a = encoder.encode(b"object-1", &pk, &mut rng).unwrap();
         assert!(a.byte_len() > 0);
-        assert!(a.byte_len() <= a.len() * ((pk.n_squared().bits() as usize + 7) / 8));
+        assert!(a.byte_len() <= a.len() * (pk.n_squared().bits() as usize).div_ceil(8));
     }
 
     #[test]

@@ -77,10 +77,8 @@ impl EhlEncoder {
         for pos in self.bloom_positions(object, h) {
             bits[pos] = 1;
         }
-        let encrypted = bits
-            .into_iter()
-            .map(|b| pk.encrypt_u64(b, rng))
-            .collect::<Result<Vec<_>>>()?;
+        let encrypted =
+            bits.into_iter().map(|b| pk.encrypt_u64(b, rng)).collect::<Result<Vec<_>>>()?;
         Ok(EhlBloom::from_bits(encrypted))
     }
 }

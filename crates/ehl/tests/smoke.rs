@@ -1,0 +1,23 @@
+//! Fast standalone smoke test: EHL encode + equality test at tiny parameters.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sectopk_crypto::paillier::generate_keypair;
+use sectopk_crypto::prf::PrfKey;
+use sectopk_ehl::EhlEncoder;
+
+#[test]
+fn ehl_encode_and_equality_test() {
+    let mut rng = StdRng::seed_from_u64(0x3441);
+    let (pk, sk) = generate_keypair(128, &mut rng).expect("keygen");
+    let keys: Vec<PrfKey> = (0..3u8).map(|i| PrfKey([i + 1; 32])).collect();
+    let encoder = EhlEncoder::new(&keys);
+
+    let alpha = encoder.encode(b"object-a", &pk, &mut rng).expect("encode a");
+    let alpha2 = encoder.encode(b"object-a", &pk, &mut rng).expect("encode a again");
+    let beta = encoder.encode(b"object-b", &pk, &mut rng).expect("encode b");
+
+    // Same object -> the homomorphic equality test decrypts to zero; different -> nonzero.
+    assert!(sk.is_zero(&alpha.eq_test(&alpha2, &pk, &mut rng)).expect("eq same"));
+    assert!(!sk.is_zero(&alpha.eq_test(&beta, &pk, &mut rng)).expect("eq diff"));
+}

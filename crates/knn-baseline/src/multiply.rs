@@ -110,10 +110,7 @@ mod tests {
         let pk = &keys.paillier_public;
         let pairs: Vec<(Ciphertext, Ciphertext)> = (1u64..=5)
             .map(|i| {
-                (
-                    pk.encrypt_u64(i, &mut rng).unwrap(),
-                    pk.encrypt_u64(i + 10, &mut rng).unwrap(),
-                )
+                (pk.encrypt_u64(i, &mut rng).unwrap(), pk.encrypt_u64(i + 10, &mut rng).unwrap())
             })
             .collect();
         let products = secure_multiply_batch(&mut clouds, &pairs).unwrap();

@@ -38,10 +38,7 @@ impl KnnEncryptedDatabase {
 
     /// Total serialized size in bytes.
     pub fn byte_len(&self) -> usize {
-        self.records
-            .iter()
-            .map(|r| r.iter().map(Ciphertext::byte_len).sum::<usize>())
-            .sum()
+        self.records.iter().map(|r| r.iter().map(Ciphertext::byte_len).sum::<usize>()).sum()
     }
 }
 
@@ -54,11 +51,8 @@ pub fn encrypt_for_knn<R: RngCore + CryptoRng>(
     let pk = &keys.paillier_public;
     let mut records = Vec::with_capacity(relation.len());
     for row in relation.rows() {
-        let encrypted: Vec<Ciphertext> = row
-            .values
-            .iter()
-            .map(|&v| pk.encrypt_u64(v, rng))
-            .collect::<Result<Vec<_>>>()?;
+        let encrypted: Vec<Ciphertext> =
+            row.values.iter().map(|&v| pk.encrypt_u64(v, rng)).collect::<Result<Vec<_>>>()?;
         records.push(encrypted);
     }
     Ok(KnnEncryptedDatabase { records })

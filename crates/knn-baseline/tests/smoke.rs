@@ -1,0 +1,28 @@
+//! Fast standalone smoke test: one SkNN query on a 3-row database.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sectopk_crypto::keys::MasterKeys;
+use sectopk_crypto::paillier::MIN_MODULUS_BITS;
+use sectopk_knn::{encrypt_for_knn, sknn_query};
+use sectopk_protocols::TwoClouds;
+use sectopk_storage::{ObjectId, Relation, Row};
+
+#[test]
+fn sknn_finds_the_nearest_record() {
+    let mut rng = StdRng::seed_from_u64(0x6A);
+    let master = MasterKeys::generate(MIN_MODULUS_BITS, 2, &mut rng).expect("keygen");
+    let mut clouds = TwoClouds::new(&master, 11).expect("clouds");
+
+    let relation = Relation::from_rows(vec![
+        Row { id: ObjectId(0), values: vec![1, 1] },
+        Row { id: ObjectId(1), values: vec![9, 9] },
+        Row { id: ObjectId(2), values: vec![5, 4] },
+    ]);
+    let db = encrypt_for_knn(&relation, &master, &mut rng).expect("encrypt");
+
+    // Nearest to (10, 10) is record 1, then record 2.
+    let outcome = sknn_query(&mut clouds, &db, &[10, 10], 2).expect("query");
+    assert_eq!(outcome.nearest, vec![1, 2]);
+    assert!(outcome.secure_multiplications > 0);
+}

@@ -78,11 +78,7 @@ impl TwoClouds {
             //      (last seen) score of the list is the contribution (Algorithm 6 line 10).
             let unseen = !batch.s2_bits.iter().any(|&b| b);
             let e2_unseen = self.s2_encrypt_bits(&[unseen])?;
-            let bottom = list_prefix
-                .last()
-                .expect("non-empty prefix")
-                .score
-                .clone();
+            let bottom = list_prefix.last().expect("non-empty prefix").score.clone();
             let bottom_contribution = self.select_scores(&e2_unseen, &[bottom])?;
             best = pk.add(&best, &bottom_contribution[0]);
         }
@@ -169,10 +165,8 @@ mod tests {
         let seen = fig3_prefixes(1, &encoder, pk, &mut rng);
         let depth_items: Vec<EncryptedItem> = seen.iter().map(|l| l[0].clone()).collect();
         let bests = clouds.sec_best_depth(&depth_items, &seen, 1).unwrap();
-        let values: Vec<u64> = bests
-            .iter()
-            .map(|c| master.paillier_secret.decrypt_u64(c).unwrap())
-            .collect();
+        let values: Vec<u64> =
+            bests.iter().map(|c| master.paillier_secret.decrypt_u64(c).unwrap()).collect();
         assert_eq!(values, vec![26, 26, 26]);
     }
 
@@ -187,10 +181,8 @@ mod tests {
         let seen = fig3_prefixes(2, &encoder, pk, &mut rng);
         let depth_items: Vec<EncryptedItem> = seen.iter().map(|l| l[1].clone()).collect();
         let bests = clouds.sec_best_depth(&depth_items, &seen, 2).unwrap();
-        let values: Vec<u64> = bests
-            .iter()
-            .map(|c| master.paillier_secret.decrypt_u64(c).unwrap())
-            .collect();
+        let values: Vec<u64> =
+            bests.iter().map(|c| master.paillier_secret.decrypt_u64(c).unwrap()).collect();
         assert_eq!(values, vec![22, 21, 21]);
     }
 

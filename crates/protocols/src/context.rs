@@ -12,9 +12,7 @@ use rand::SeedableRng;
 
 use sectopk_crypto::damgard_jurik::DjPublicKey;
 use sectopk_crypto::keys::{MasterKeys, S1Keys, S2Keys};
-use sectopk_crypto::paillier::{
-    generate_keypair, PaillierPublicKey, PaillierSecretKey,
-};
+use sectopk_crypto::paillier::{generate_keypair, PaillierPublicKey, PaillierSecretKey};
 use sectopk_crypto::Result;
 
 use crate::channel::{ChannelMetrics, Direction};

@@ -88,7 +88,11 @@ impl TwoClouds {
 
     /// `SecDupElim`: like [`Self::sec_dedup`] but duplicates are removed, so the output
     /// may be shorter.  S1 learns the number of distinct objects (`UP^d`).
-    pub fn sec_dup_elim(&mut self, items: Vec<ScoredItem>, depth: usize) -> Result<Vec<ScoredItem>> {
+    pub fn sec_dup_elim(
+        &mut self,
+        items: Vec<ScoredItem>,
+        depth: usize,
+    ) -> Result<Vec<ScoredItem>> {
         self.dedup_inner(items, depth, DedupMode::Eliminate)
     }
 
@@ -122,7 +126,11 @@ impl TwoClouds {
         for item in &items {
             let blinding = ItemBlinding::sample(item.ehl.len(), &pk, &mut self.s1.rng);
             blinded_items.push(rand_blind(item, &blinding, &pk));
-            encrypted_blindings.push(EncryptedBlinding::encrypt(&blinding, &own_pk, &mut self.s1.rng)?);
+            encrypted_blindings.push(EncryptedBlinding::encrypt(
+                &blinding,
+                &own_pk,
+                &mut self.s1.rng,
+            )?);
         }
 
         // Permute items, blindings and the matrix consistently with π.
@@ -220,10 +228,14 @@ impl TwoClouds {
                         .zip(extra.alphas.iter())
                         .map(|(c, a)| own_pk.rerandomize(&own_pk.add_plain(c, a), &mut self.s2.rng))
                         .collect(),
-                    beta: own_pk
-                        .rerandomize(&own_pk.add_plain(&received_blinding.beta, &extra.beta), &mut self.s2.rng),
-                    gamma: own_pk
-                        .rerandomize(&own_pk.add_plain(&received_blinding.gamma, &extra.gamma), &mut self.s2.rng),
+                    beta: own_pk.rerandomize(
+                        &own_pk.add_plain(&received_blinding.beta, &extra.beta),
+                        &mut self.s2.rng,
+                    ),
+                    gamma: own_pk.rerandomize(
+                        &own_pk.add_plain(&received_blinding.gamma, &extra.gamma),
+                        &mut self.s2.rng,
+                    ),
                 };
                 processed.push((reblinded, updated_blinding));
             }
@@ -233,10 +245,8 @@ impl TwoClouds {
         let pi_prime = RandomPermutation::sample(processed.len(), &mut self.s2.rng);
         let returned = pi_prime.permute(&processed);
 
-        let reply_bytes: usize = returned
-            .iter()
-            .map(|(item, blinding)| item.byte_len() + blinding.byte_len())
-            .sum();
+        let reply_bytes: usize =
+            returned.iter().map(|(item, blinding)| item.byte_len() + blinding.byte_len()).sum();
         self.send_to_s1(reply_bytes, returned.len() * (2 + 2));
 
         if mode == DedupMode::Eliminate {
@@ -247,18 +257,12 @@ impl TwoClouds {
         // ================= S1: unblind ================================================
         let mut output = Vec::with_capacity(returned.len());
         for (item, blinding) in &returned {
-            let alphas: Vec<BigUint> = blinding
-                .alphas
-                .iter()
-                .map(|c| own_sk.decrypt(c))
-                .collect::<Result<Vec<_>>>()?;
+            let alphas: Vec<BigUint> =
+                blinding.alphas.iter().map(|c| own_sk.decrypt(c)).collect::<Result<Vec<_>>>()?;
             let beta = own_sk.decrypt(&blinding.beta)?;
             let gamma = own_sk.decrypt(&blinding.gamma)?;
-            let restored = crate::items::rand_unblind(
-                item,
-                &ItemBlinding { alphas, beta, gamma },
-                &pk,
-            );
+            let restored =
+                crate::items::rand_unblind(item, &ItemBlinding { alphas, beta, gamma }, &pk);
             output.push(restored);
         }
         Ok(output)
@@ -301,7 +305,9 @@ mod tests {
     fn decrypt_worsts(items: &[ScoredItem], master: &MasterKeys) -> Vec<i64> {
         items
             .iter()
-            .map(|it| i64::try_from(master.paillier_secret.decrypt_signed(&it.worst).unwrap()).unwrap())
+            .map(|it| {
+                i64::try_from(master.paillier_secret.decrypt_signed(&it.worst).unwrap()).unwrap()
+            })
             .collect()
     }
 
@@ -387,14 +393,15 @@ mod tests {
         let mut worsts = decrypt_worsts(&out, &master);
         worsts.sort_unstable();
         assert_eq!(worsts, vec![1, 3, 5]);
-        let out2 = clouds.sec_dup_elim(
-            vec![
-                item("P", 1, 2, &encoder, pk, &mut rng),
-                item("Q", 3, 4, &encoder, pk, &mut rng),
-            ],
-            3,
-        )
-        .unwrap();
+        let out2 = clouds
+            .sec_dup_elim(
+                vec![
+                    item("P", 1, 2, &encoder, pk, &mut rng),
+                    item("Q", 3, 4, &encoder, pk, &mut rng),
+                ],
+                3,
+            )
+            .unwrap();
         assert_eq!(out2.len(), 2);
     }
 

@@ -75,7 +75,11 @@ impl ItemBlinding {
 /// `Rand(E(I), α, β, γ)` — Algorithm 8: homomorphically add the blinding masks to every
 /// component of the item.  Blinding commutes with the homomorphic operations, so a party
 /// holding only ciphertexts can still apply it.
-pub fn rand_blind(item: &ScoredItem, blinding: &ItemBlinding, pk: &PaillierPublicKey) -> ScoredItem {
+pub fn rand_blind(
+    item: &ScoredItem,
+    blinding: &ItemBlinding,
+    pk: &PaillierPublicKey,
+) -> ScoredItem {
     ScoredItem {
         ehl: item.ehl.blind(&blinding.alphas, pk),
         worst: pk.add_plain(&item.worst, &blinding.beta),
@@ -84,7 +88,11 @@ pub fn rand_blind(item: &ScoredItem, blinding: &ItemBlinding, pk: &PaillierPubli
 }
 
 /// Remove a blinding previously applied with [`rand_blind`].
-pub fn rand_unblind(item: &ScoredItem, blinding: &ItemBlinding, pk: &PaillierPublicKey) -> ScoredItem {
+pub fn rand_unblind(
+    item: &ScoredItem,
+    blinding: &ItemBlinding,
+    pk: &PaillierPublicKey,
+) -> ScoredItem {
     let neg = |x: &BigUint| (pk.n() - (x % pk.n())) % pk.n();
     ScoredItem {
         ehl: item.ehl.unblind(&blinding.alphas, pk),
@@ -115,12 +123,8 @@ mod tests {
     use sectopk_crypto::prf::PrfKey;
     use sectopk_ehl::EhlEncoder;
 
-    fn setup() -> (
-        PaillierPublicKey,
-        sectopk_crypto::paillier::PaillierSecretKey,
-        EhlEncoder,
-        StdRng,
-    ) {
+    fn setup(
+    ) -> (PaillierPublicKey, sectopk_crypto::paillier::PaillierSecretKey, EhlEncoder, StdRng) {
         let mut rng = StdRng::seed_from_u64(808);
         let (pk, sk) = generate_keypair(128, &mut rng).unwrap();
         let keys: Vec<PrfKey> = (0..3u8).map(|i| PrfKey([i + 1; 32])).collect();

@@ -206,8 +206,7 @@ impl TwoClouds {
         let shipping_order = pi.permute(&(0..blinded.len()).collect::<Vec<usize>>());
 
         let msg_bytes: usize = blinded.iter().map(BlindedTuple::byte_len).sum();
-        let msg_ciphertexts: usize =
-            blinded.iter().map(|b| 2 + 2 * b.tuple.attributes.len()).sum();
+        let msg_ciphertexts: usize = blinded.iter().map(|b| 2 + 2 * b.tuple.attributes.len()).sum();
         self.send_to_s2(msg_bytes, msg_ciphertexts);
 
         // ---- S2: drop zero-score tuples, re-blind and re-permute the survivors. ---------
@@ -228,15 +227,17 @@ impl TwoClouds {
             let gamma = random_invertible(&mut self.s2.rng, pk.n());
             let gamma_inv = mod_inverse(&gamma, pk.n())?;
             let score = pk.mul_plain(&b.tuple.score, &gamma);
-            let r_tilde = own_pk.rerandomize(&own_pk.mul_plain(&b.r_inv, &gamma_inv), &mut self.s2.rng);
+            let r_tilde =
+                own_pk.rerandomize(&own_pk.mul_plain(&b.r_inv, &gamma_inv), &mut self.s2.rng);
 
             let mut attributes = Vec::with_capacity(b.tuple.attributes.len());
             let mut masks_tilde = Vec::with_capacity(b.tuple.attributes.len());
             for (a, mask_cipher) in b.tuple.attributes.iter().zip(b.masks.iter()) {
                 let extra = random_below(&mut self.s2.rng, pk.n());
                 attributes.push(pk.rerandomize(&pk.add_plain(a, &extra), &mut self.s2.rng));
-                masks_tilde
-                    .push(own_pk.rerandomize(&own_pk.add_plain(mask_cipher, &extra), &mut self.s2.rng));
+                masks_tilde.push(
+                    own_pk.rerandomize(&own_pk.add_plain(mask_cipher, &extra), &mut self.s2.rng),
+                );
             }
             survivors.push(Survivor {
                 tuple: JoinedTuple { score, attributes },
@@ -357,8 +358,7 @@ mod tests {
 
         // Carried attributes unblind to the original values (left key, left score, right score).
         for t in &filtered {
-            let attrs: Vec<u64> =
-                t.attributes.iter().map(|a| sk.decrypt_u64(a).unwrap()).collect();
+            let attrs: Vec<u64> = t.attributes.iter().map(|a| sk.decrypt_u64(a).unwrap()).collect();
             assert!(
                 attrs == vec![2, 20, 5] || attrs == vec![3, 30, 7],
                 "unexpected carried attributes {attrs:?}"
@@ -382,14 +382,13 @@ mod tests {
     fn leakage_is_equality_bits_and_match_count_only() {
         let (_master, mut clouds, encoder, mut rng) = setup();
         let pk = clouds.pk().clone();
-        let left = vec![tuple(&[4, 1], &encoder, &pk, &mut rng), tuple(&[5, 2], &encoder, &pk, &mut rng)];
+        let left =
+            vec![tuple(&[4, 1], &encoder, &pk, &mut rng), tuple(&[5, 2], &encoder, &pk, &mut rng)];
         let right = vec![tuple(&[5, 3], &encoder, &pk, &mut rng)];
         let spec = JoinSpec { left_key: 0, right_key: 0, left_score: 1, right_score: 1 };
         let joined = clouds.sec_join(&left, &right, &spec, &[0], &[0]).unwrap();
         let _ = clouds.sec_filter(joined).unwrap();
-        assert!(clouds
-            .s2_ledger()
-            .only_contains(&["equality_bit", "join_match_count"]));
+        assert!(clouds.s2_ledger().only_contains(&["equality_bit", "join_match_count"]));
         assert!(clouds.s1_ledger().only_contains(&["join_match_count"]));
     }
 

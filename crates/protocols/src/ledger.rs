@@ -164,7 +164,10 @@ mod tests {
     #[test]
     fn only_contains_enforces_profiles() {
         let mut ledger = LeakageLedger::new();
-        ledger.record(LeakageEvent::ComparisonBit { context: "enc_sort".into(), less_or_equal: true });
+        ledger.record(LeakageEvent::ComparisonBit {
+            context: "enc_sort".into(),
+            less_or_equal: true,
+        });
         assert!(ledger.only_contains(&["comparison_bit", "halting_depth"]));
         assert!(!ledger.only_contains(&["equality_bit"]));
     }
@@ -180,14 +183,8 @@ mod tests {
     #[test]
     fn kinds_are_stable_labels() {
         assert_eq!(LeakageEvent::HaltingDepth(1).kind(), "halting_depth");
-        assert_eq!(
-            LeakageEvent::UniqueCount { depth: 1, count: 2 }.kind(),
-            "unique_count"
-        );
-        assert_eq!(
-            LeakageEvent::QueryIssued { token_fingerprint: 9 }.kind(),
-            "query_issued"
-        );
+        assert_eq!(LeakageEvent::UniqueCount { depth: 1, count: 2 }.kind(), "unique_count");
+        assert_eq!(LeakageEvent::QueryIssued { token_fingerprint: 9 }.kind(), "query_issued");
         assert_eq!(LeakageEvent::BlindedSign { context: "x".into() }.kind(), "blinded_sign");
     }
 }

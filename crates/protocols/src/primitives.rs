@@ -102,10 +102,7 @@ impl TwoClouds {
     /// `RecoverEnc` (Algorithm 5), batched: strip the outer Damgård–Jurik layer from each
     /// `E2(Enc(c_i))`, returning the inner Paillier ciphertexts to S1 while hiding the
     /// inner plaintexts from S2 behind additive blinding.
-    pub fn recover_enc_batch(
-        &mut self,
-        layered: &[LayeredCiphertext],
-    ) -> Result<Vec<Ciphertext>> {
+    pub fn recover_enc_batch(&mut self, layered: &[LayeredCiphertext]) -> Result<Vec<Ciphertext>> {
         if layered.is_empty() {
             return Ok(Vec::new());
         }
@@ -193,10 +190,8 @@ impl TwoClouds {
         for ((bit, x), y) in e2_bits.iter().zip(if_true.iter()).zip(if_false.iter()) {
             let e2_one = dj_pk.encrypt_u64(1, &mut self.s1.rng)?;
             let one_minus_t = dj_pk.sub(&e2_one, bit);
-            let chosen = dj_pk.add(
-                &dj_pk.mul_by_ciphertext(bit, x),
-                &dj_pk.mul_by_ciphertext(&one_minus_t, y),
-            );
+            let chosen = dj_pk
+                .add(&dj_pk.mul_by_ciphertext(bit, x), &dj_pk.mul_by_ciphertext(&one_minus_t, y));
             layered.push(chosen);
         }
         self.recover_enc_batch(&layered)
@@ -353,13 +348,10 @@ mod tests {
         let same_a = encoder.encode(b"x", pk, &mut rng).unwrap();
         let same_b = encoder.encode(b"x", pk, &mut rng).unwrap();
         let other = encoder.encode(b"y", pk, &mut rng).unwrap();
-        let batch = clouds
-            .eq_batch(&[(&same_a, &same_b), (&same_a, &other)], "test", None)
-            .unwrap();
-        let scores = vec![
-            pk.encrypt_u64(111, &mut rng).unwrap(),
-            pk.encrypt_u64(222, &mut rng).unwrap(),
-        ];
+        let batch =
+            clouds.eq_batch(&[(&same_a, &same_b), (&same_a, &other)], "test", None).unwrap();
+        let scores =
+            vec![pk.encrypt_u64(111, &mut rng).unwrap(), pk.encrypt_u64(222, &mut rng).unwrap()];
         let selected = clouds.select_scores(&batch.e2_bits, &scores).unwrap();
         assert_eq!(master.paillier_secret.decrypt_u64(&selected[0]).unwrap(), 111);
         assert_eq!(master.paillier_secret.decrypt_u64(&selected[1]).unwrap(), 0);
@@ -373,14 +365,10 @@ mod tests {
         let a2 = encoder.encode(b"p", pk, &mut rng).unwrap();
         let b = encoder.encode(b"q", pk, &mut rng).unwrap();
         let batch = clouds.eq_batch(&[(&a, &a2), (&a, &b)], "test", None).unwrap();
-        let if_true = vec![
-            pk.encrypt_u64(10, &mut rng).unwrap(),
-            pk.encrypt_u64(10, &mut rng).unwrap(),
-        ];
-        let if_false = vec![
-            pk.encrypt_u64(77, &mut rng).unwrap(),
-            pk.encrypt_u64(77, &mut rng).unwrap(),
-        ];
+        let if_true =
+            vec![pk.encrypt_u64(10, &mut rng).unwrap(), pk.encrypt_u64(10, &mut rng).unwrap()];
+        let if_false =
+            vec![pk.encrypt_u64(77, &mut rng).unwrap(), pk.encrypt_u64(77, &mut rng).unwrap()];
         let chosen = clouds.select_between(&batch.e2_bits, &if_true, &if_false).unwrap();
         assert_eq!(master.paillier_secret.decrypt_u64(&chosen[0]).unwrap(), 10);
         assert_eq!(master.paillier_secret.decrypt_u64(&chosen[1]).unwrap(), 77);
@@ -407,10 +395,8 @@ mod tests {
         let (master, mut clouds, _encoder, mut rng) = setup();
         let pk = &master.paillier_public;
         let threshold = pk.encrypt_u64(50, &mut rng).unwrap();
-        let values: Vec<Ciphertext> = [10u64, 50, 90, 0, 51]
-            .iter()
-            .map(|&v| pk.encrypt_u64(v, &mut rng).unwrap())
-            .collect();
+        let values: Vec<Ciphertext> =
+            [10u64, 50, 90, 0, 51].iter().map(|&v| pk.encrypt_u64(v, &mut rng).unwrap()).collect();
         let flags = clouds.batch_compare_leq(&values, &threshold, "test").unwrap();
         assert_eq!(flags, vec![true, true, false, true, false]);
         // One round trip for the whole batch.

@@ -76,10 +76,10 @@ impl TwoClouds {
         // For tracked entry j: worst_j += Σ_i t_ij · fresh_i.worst.
         let mut select_bits = Vec::with_capacity(t_len * f_len);
         let mut select_scores = Vec::with_capacity(t_len * f_len);
-        for i in 0..f_len {
+        for (i, fresh_item) in fresh.iter().enumerate() {
             for j in 0..t_len {
                 select_bits.push(bit_at(i, j).clone());
-                select_scores.push(fresh[i].worst.clone());
+                select_scores.push(fresh_item.worst.clone());
             }
         }
         let selected_worst = self.select_scores(&select_bits, &select_scores)?;
@@ -87,16 +87,15 @@ impl TwoClouds {
         // For the best score: best_j := (Σ_i t_ij · fresh_i.best) + (1 − matched_j) · best_j,
         // where matched_j is known to S2 (it decrypted every t_ij).
         let mut select_best_scores = Vec::with_capacity(t_len * f_len);
-        for i in 0..f_len {
+        for fresh_item in fresh {
             for _j in 0..t_len {
-                select_best_scores.push(fresh[i].best.clone());
+                select_best_scores.push(fresh_item.best.clone());
             }
         }
         let selected_best = self.select_scores(&select_bits, &select_best_scores)?;
 
-        let tracked_unmatched: Vec<bool> = (0..t_len)
-            .map(|j| !(0..f_len).any(|i| batch.s2_bits[i * t_len + j]))
-            .collect();
+        let tracked_unmatched: Vec<bool> =
+            (0..t_len).map(|j| !(0..f_len).any(|i| batch.s2_bits[i * t_len + j])).collect();
         let e2_tracked_unmatched = self.s2_encrypt_bits(&tracked_unmatched)?;
         let old_best: Vec<Ciphertext> = tracked.iter().map(|t| t.best.clone()).collect();
         let kept_old_best = self.select_scores(&e2_tracked_unmatched, &old_best)?;
@@ -329,10 +328,8 @@ mod tests {
     fn s2_leakage_is_equality_pattern_only() {
         let (master, mut clouds, encoder, mut rng) = setup();
         let pk = &master.paillier_public;
-        let tracked = vec![
-            item("A", 1, 9, &encoder, pk, &mut rng),
-            item("B", 2, 9, &encoder, pk, &mut rng),
-        ];
+        let tracked =
+            vec![item("A", 1, 9, &encoder, pk, &mut rng), item("B", 2, 9, &encoder, pk, &mut rng)];
         let fresh = vec![item("B", 4, 8, &encoder, pk, &mut rng)];
         let _ = clouds.sec_update(tracked, &fresh, 1, UpdateMode::KeepLength).unwrap();
         assert!(clouds.s2_ledger().only_contains(&["equality_bit"]));

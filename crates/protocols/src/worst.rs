@@ -40,7 +40,7 @@ impl TwoClouds {
         // ---- S1: permute the comparison targets so S2 cannot attribute equality bits to
         //      particular lists (Algorithm 4, line 2). -----------------------------------
         let perm = RandomPermutation::sample(others.len(), &mut self.s1.rng);
-        let permuted: Vec<&EncryptedItem> = perm.permute(&others.to_vec());
+        let permuted: Vec<&EncryptedItem> = perm.permute(others);
 
         let pairs: Vec<(&EhlPlus, &EhlPlus)> =
             permuted.iter().map(|other| (&item.ehl, &other.ehl)).collect();
@@ -66,12 +66,8 @@ impl TwoClouds {
     ) -> Result<Vec<Ciphertext>> {
         let mut worsts = Vec::with_capacity(depth_items.len());
         for (i, item) in depth_items.iter().enumerate() {
-            let others: Vec<&EncryptedItem> = depth_items
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, it)| it)
-                .collect();
+            let others: Vec<&EncryptedItem> =
+                depth_items.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, it)| it).collect();
             worsts.push(self.sec_worst(item, &others, depth)?);
         }
         Ok(worsts)
@@ -121,10 +117,8 @@ mod tests {
             make_item(ObjectId(4), 8, &encoder, pk, &mut rng),
         ];
         let worsts = clouds.sec_worst_depth(&items, 1).unwrap();
-        let values: Vec<u64> = worsts
-            .iter()
-            .map(|c| master.paillier_secret.decrypt_u64(c).unwrap())
-            .collect();
+        let values: Vec<u64> =
+            worsts.iter().map(|c| master.paillier_secret.decrypt_u64(c).unwrap()).collect();
         assert_eq!(values, vec![10, 8, 8]);
     }
 
@@ -139,10 +133,8 @@ mod tests {
             make_item(ObjectId(8), 3, &encoder, pk, &mut rng),
         ];
         let worsts = clouds.sec_worst_depth(&items, 2).unwrap();
-        let values: Vec<u64> = worsts
-            .iter()
-            .map(|c| master.paillier_secret.decrypt_u64(c).unwrap())
-            .collect();
+        let values: Vec<u64> =
+            worsts.iter().map(|c| master.paillier_secret.decrypt_u64(c).unwrap()).collect();
         assert_eq!(values, vec![14, 14, 3]);
     }
 

@@ -68,21 +68,20 @@ pub fn encrypt_relation_parallel<R: RngCore + CryptoRng>(
     // reproducible for a seeded caller.
     let seeds: Vec<u64> = (0..m).map(|_| rng.gen()).collect();
 
-    let results: Vec<Result<EncryptedList>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<EncryptedList>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(m);
         for (i, seed) in seeds.iter().enumerate() {
             let list = sorted.list(i);
             let keys_ref = keys;
             let seed = *seed;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local_rng = StdRng::seed_from_u64(seed);
                 let encoder = EhlEncoder::new(&keys_ref.ehl_keys);
                 encrypt_list(list, &encoder, keys_ref, &mut local_rng)
             }));
         }
         handles.into_iter().map(|h| h.join().expect("encryption worker panicked")).collect()
-    })
-    .expect("thread scope failed");
+    });
 
     let mut encrypted_lists = Vec::with_capacity(m);
     for r in results {
@@ -244,12 +243,9 @@ mod tests {
         let sk = &keys.paillier_secret;
         for list_idx in 0..3 {
             for depth in 0..5 {
-                let a = sk
-                    .decrypt_u64(&serial.list(list_idx).item(depth).unwrap().score)
-                    .unwrap();
-                let b = sk
-                    .decrypt_u64(&parallel.list(list_idx).item(depth).unwrap().score)
-                    .unwrap();
+                let a = sk.decrypt_u64(&serial.list(list_idx).item(depth).unwrap().score).unwrap();
+                let b =
+                    sk.decrypt_u64(&parallel.list(list_idx).item(depth).unwrap().score).unwrap();
                 assert_eq!(a, b);
             }
         }

@@ -139,7 +139,12 @@ impl Relation {
     /// `F_W(o) = Σ w_i · x_i(o)` restricted to `attributes` (§3.1).  `weights` must be
     /// either empty (binary weights, i.e. a plain sum) or have one entry per attribute in
     /// `attributes`.
-    pub fn aggregate_score(&self, id: ObjectId, attributes: &[usize], weights: &[Score]) -> Option<u128> {
+    pub fn aggregate_score(
+        &self,
+        id: ObjectId,
+        attributes: &[usize],
+        weights: &[Score],
+    ) -> Option<u128> {
         let row = self.row(id)?;
         let mut total: u128 = 0;
         for (j, &attr) in attributes.iter().enumerate() {
@@ -152,7 +157,12 @@ impl Relation {
     /// The exact plaintext top-k result: object ids of the `k` highest aggregate scores,
     /// highest first, ties broken by object id for determinism.  This is the correctness
     /// oracle every secure query path is tested against.
-    pub fn plaintext_top_k(&self, attributes: &[usize], weights: &[Score], k: usize) -> Vec<(ObjectId, u128)> {
+    pub fn plaintext_top_k(
+        &self,
+        attributes: &[usize],
+        weights: &[Score],
+        k: usize,
+    ) -> Vec<(ObjectId, u128)> {
         let mut scored: Vec<(ObjectId, u128)> = self
             .rows
             .iter()

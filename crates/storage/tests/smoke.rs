@@ -1,0 +1,38 @@
+//! Fast standalone smoke test: encrypt a 3-row relation and check its shape plus that
+//! scores round-trip through the owner's secret key.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sectopk_crypto::keys::MasterKeys;
+use sectopk_crypto::paillier::MIN_MODULUS_BITS;
+use sectopk_storage::{encrypt_relation, ObjectId, Relation, Row, TopKQuery};
+
+#[test]
+fn relation_encrypts_and_token_validates() {
+    let mut rng = StdRng::seed_from_u64(0x570);
+    let keys = MasterKeys::generate(MIN_MODULUS_BITS, 2, &mut rng).expect("keygen");
+    let relation = Relation::from_rows(vec![
+        Row { id: ObjectId(1), values: vec![10, 3] },
+        Row { id: ObjectId(2), values: vec![8, 8] },
+        Row { id: ObjectId(3), values: vec![5, 7] },
+    ]);
+    let (er, stats) = encrypt_relation(&relation, &keys, &mut rng).expect("encrypt");
+    assert_eq!(er.num_objects(), 3);
+    assert_eq!(er.num_attributes(), 2);
+    assert!(stats.encrypted_bytes > 0);
+
+    // Every stored score must decrypt to one of the plaintext values.
+    let sk = &keys.paillier_secret;
+    let all_scores: Vec<u64> =
+        relation.rows().iter().flat_map(|r| r.values.iter().copied()).collect();
+    for list in er.lists() {
+        for depth in 0..list.len() {
+            let score = sk.decrypt_u64(&list.item(depth).unwrap().score).expect("decrypt");
+            assert!(all_scores.contains(&score), "unexpected score {score}");
+        }
+    }
+
+    let query = TopKQuery::sum(vec![0, 1], 1);
+    assert!(query.validate(relation.num_attributes()).is_ok());
+    assert!(query.validate(1).is_err(), "attribute 1 is out of range for a 1-column relation");
+}

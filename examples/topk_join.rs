@@ -70,11 +70,8 @@ fn main() {
     println!("rank | customer | amount | bonus | score");
     println!("-----+----------+--------+-------+------");
     for (rank, tuple) in outcome.top_k.iter().enumerate() {
-        let attrs: Vec<u64> = tuple
-            .attributes
-            .iter()
-            .map(|a| keys.paillier_secret.decrypt_u64(a).unwrap())
-            .collect();
+        let attrs: Vec<u64> =
+            tuple.attributes.iter().map(|a| keys.paillier_secret.decrypt_u64(a).unwrap()).collect();
         let score = keys.paillier_secret.decrypt_u64(&tuple.score).unwrap();
         println!(
             "{:>4} | {:>8} | {:>6} | {:>5} | {:>5}",

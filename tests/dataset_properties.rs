@@ -11,8 +11,8 @@ use sectopk_storage::{ObjectId, Relation, Row};
 /// Strategy: a small random relation (n ∈ [1, 25], M ∈ [1, 5], values < 100).
 fn relation_strategy() -> impl Strategy<Value = Relation> {
     (1usize..=25, 1usize..=5).prop_flat_map(|(n, m)| {
-        proptest::collection::vec(proptest::collection::vec(0u64..100, m..=m), n..=n)
-            .prop_map(move |matrix| {
+        proptest::collection::vec(proptest::collection::vec(0u64..100, m..=m), n..=n).prop_map(
+            move |matrix| {
                 Relation::from_rows(
                     matrix
                         .into_iter()
@@ -20,7 +20,8 @@ fn relation_strategy() -> impl Strategy<Value = Relation> {
                         .map(|(i, values)| Row { id: ObjectId(i as u64), values })
                         .collect(),
                 )
-            })
+            },
+        )
     })
 }
 
@@ -94,7 +95,7 @@ proptest! {
     ) {
         let attrs: Vec<usize> = (0..relation.num_attributes()).collect();
         let top = relation.plaintext_top_k(&attrs, &[], k);
-        prop_assert!(top.len() <= k.min(relation.len()).max(0));
+        prop_assert!(top.len() <= k.min(relation.len()));
         for w in top.windows(2) {
             prop_assert!(w[0].1 >= w[1].1);
         }

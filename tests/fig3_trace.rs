@@ -100,7 +100,7 @@ fn fig3_dedup_keeps_one_copy_per_object_at_depth_two() {
     let best = clouds.sec_best_depth(&depth2, &seen2, 1).unwrap();
     let gamma: Vec<sectopk_protocols::ScoredItem> = depth2
         .iter()
-        .zip(worst.into_iter().zip(best.into_iter()))
+        .zip(worst.into_iter().zip(best))
         .map(|(item, (w, b))| sectopk_protocols::ScoredItem {
             ehl: item.ehl.clone(),
             worst: w,

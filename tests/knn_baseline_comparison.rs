@@ -42,7 +42,8 @@ fn baseline_and_sectopk_agree_on_sum_scores() {
 
     // SecTopK answer.
     let mut h = harness(relation.clone(), 55);
-    let (topk_ids, _) = run_query(&mut h, &TopKQuery::sum(attrs.clone(), k), &QueryConfig::dup_elim());
+    let (topk_ids, _) =
+        run_query(&mut h, &TopKQuery::sum(attrs.clone(), k), &QueryConfig::dup_elim());
     assert_valid_top_k(&relation, &attrs, &[], k, &topk_ids, "SecTopK");
 
     // Baseline answer: k nearest to the upper bound (50, 50).
@@ -96,8 +97,5 @@ fn sectopk_per_depth_bandwidth_is_independent_of_n() {
     assert_eq!(small.stats.depths_scanned, 2);
     assert_eq!(large.stats.depths_scanned, 2);
     let ratio = large.stats.bytes_per_depth() / small.stats.bytes_per_depth();
-    assert!(
-        ratio < 2.0,
-        "per-depth bandwidth should not scale with n (ratio {ratio:.2})"
-    );
+    assert!(ratio < 2.0, "per-depth bandwidth should not scale with n (ratio {ratio:.2})");
 }

@@ -76,10 +76,7 @@ fn s2_equality_pattern_counts_are_bounded_by_the_scan() {
     // Per depth: SecWorst m(m−1), SecBest ≤ m(m−1)·d, SecDedup m(m−1)/2, SecUpdate ≤ m·|T|
     // with |T| ≤ m·d.  A generous global bound:
     let bound = d * (m * m + m * m * d + m * m + m * m * d) + n * n;
-    assert!(
-        total <= bound,
-        "S2 saw {total} equality bits, more than the structural bound {bound}"
-    );
+    assert!(total <= bound, "S2 saw {total} equality bits, more than the structural bound {bound}");
 }
 
 #[test]

@@ -78,8 +78,16 @@ fn variants_agree_on_random_relations() {
         let (a, _) = run_query(&mut h, &query, &QueryConfig::full());
         let (b, _) = run_query(&mut h, &query, &QueryConfig::dup_elim());
         let (c, _) = run_query(&mut h, &query, &QueryConfig::batched(2));
-        assert_eq!(score_set(&relation, &attrs, &a), score_set(&relation, &attrs, &b), "trial {trial}");
-        assert_eq!(score_set(&relation, &attrs, &a), score_set(&relation, &attrs, &c), "trial {trial}");
+        assert_eq!(
+            score_set(&relation, &attrs, &a),
+            score_set(&relation, &attrs, &b),
+            "trial {trial}"
+        );
+        assert_eq!(
+            score_set(&relation, &attrs, &a),
+            score_set(&relation, &attrs, &c),
+            "trial {trial}"
+        );
         assert_valid_top_k(&relation, &attrs, &[], k, &a, &format!("trial {trial}"));
     }
 }

@@ -12,11 +12,7 @@ use sectopk_tests::{TEST_EHL_KEYS, TEST_MODULUS_BITS};
 
 /// Plaintext reference: all matching (left, right) row pairs with their join scores,
 /// sorted by score descending.
-fn plaintext_join_scores(
-    left: &Relation,
-    right: &Relation,
-    q: &JoinQuery,
-) -> Vec<u64> {
+fn plaintext_join_scores(left: &Relation, right: &Relation, q: &JoinQuery) -> Vec<u64> {
     let mut scores = Vec::new();
     for l in left.rows() {
         for r in right.rows() {
@@ -66,11 +62,8 @@ fn join_example_from_section_12() {
     assert_eq!(outcome.matching_pairs, expected.len());
     assert_eq!(outcome.pairs_considered, 6);
 
-    let scores: Vec<u64> = outcome
-        .top_k
-        .iter()
-        .map(|t| keys.paillier_secret.decrypt_u64(&t.score).unwrap())
-        .collect();
+    let scores: Vec<u64> =
+        outcome.top_k.iter().map(|t| keys.paillier_secret.decrypt_u64(&t.score).unwrap()).collect();
     assert_eq!(scores, expected[..2.min(expected.len())].to_vec());
 }
 
@@ -131,12 +124,12 @@ fn join_leaks_only_equality_bits_and_match_count() {
     let token = join_token(&keys, 2, 2, &q, &[], &[]).unwrap();
     let _ = top_k_join(&mut clouds, &enc_left, &enc_right, &token).unwrap();
 
-    assert!(clouds
-        .s2_ledger()
-        .only_contains(&["equality_bit", "join_match_count", "blinded_sign"]));
-    assert!(clouds
-        .s1_ledger()
-        .only_contains(&["join_match_count", "comparison_bit"]));
+    assert!(clouds.s2_ledger().only_contains(&[
+        "equality_bit",
+        "join_match_count",
+        "blinded_sign"
+    ]));
+    assert!(clouds.s1_ledger().only_contains(&["join_match_count", "comparison_bit"]));
     // Both parties learned the same match count (1), and nothing about which pair it was.
     assert_eq!(clouds.s1_ledger().count_kind("join_match_count"), 1);
 }

@@ -1,0 +1,256 @@
+//! Offline workalike of the subset of the `criterion` benchmarking API this workspace
+//! uses (see `vendor/README.md` for the vendoring policy).
+//!
+//! Compiles the same bench sources and runs them with a simple
+//! warmup + timed-samples loop, reporting mean / min / max per benchmark to stdout.
+//! It performs no statistical analysis, HTML reporting, or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `name` at parameter `parameter`.
+    pub fn new<P: fmt::Display>(name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId { name: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Identifier from a parameter only.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to every benchmark closure; `iter` runs and times the routine.
+pub struct Bencher<'a> {
+    samples: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    group: &'a str,
+    id: String,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, printing a one-line summary.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up until the warmup budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        let run_start = Instant::now();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+            if run_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len().max(1) as u32;
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        println!(
+            "{}/{}: {} samples, mean {:?}, min {:?}, max {:?}",
+            self.group,
+            self.id,
+            times.len(),
+            mean,
+            min,
+            max
+        );
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of samples.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Set the measurement-time budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Set the warmup-time budget.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Set the reported throughput (accepted and ignored).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            group: &self.name,
+            id: id.to_string(),
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            group: &self.name,
+            id: id.to_string(),
+        };
+        f(&mut bencher, input);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput annotation (accepted and ignored by this workalike).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+    default_measurement_time: Duration,
+    default_warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+            default_measurement_time: Duration::from_secs(1),
+            default_warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse CLI configuration (accepted and ignored by this workalike).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            measurement_time: self.default_measurement_time,
+            warm_up_time: self.default_warm_up_time,
+            _criterion: self,
+        }
+    }
+
+    /// Run one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.to_string();
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Define a benchmark group function that runs each target against a shared
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, invoking every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        group.bench_function("id", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert!(ran >= 3);
+    }
+}

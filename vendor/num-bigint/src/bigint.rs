@@ -1,0 +1,468 @@
+//! Signed arbitrary-precision integers: a sign plus a [`BigUint`] magnitude.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use num_integer::{ExtendedGcd, Integer};
+use num_traits::{One, Signed, ToPrimitive, Zero};
+
+use crate::biguint::{BigUint, ParseBigIntError};
+
+/// The sign of a [`BigInt`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// Negative.
+    Minus,
+    /// Zero.
+    NoSign,
+    /// Positive.
+    Plus,
+}
+
+/// An arbitrary-precision signed integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// Build from an explicit sign and magnitude (the sign of a zero magnitude is
+    /// normalized to [`Sign::NoSign`]).
+    pub fn from_biguint(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt { sign: Sign::NoSign, mag }
+        } else if sign == Sign::NoSign {
+            BigInt { sign: Sign::Plus, mag }
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Convert to a [`BigUint`] if non-negative.
+    pub fn to_biguint(&self) -> Option<BigUint> {
+        match self.sign {
+            Sign::Minus => None,
+            _ => Some(self.mag.clone()),
+        }
+    }
+
+    /// Modular exponentiation; the exponent must be non-negative and the base is
+    /// reduced into `[0, modulus)` first.
+    pub fn modpow(&self, exponent: &BigInt, modulus: &BigInt) -> BigInt {
+        assert!(exponent.sign != Sign::Minus, "modpow: negative exponent");
+        assert!(modulus.sign == Sign::Plus, "modpow: modulus must be positive");
+        let base = self.mod_floor(modulus);
+        BigInt::from_biguint(Sign::Plus, base.mag.modpow(&exponent.mag, &modulus.mag))
+    }
+
+    fn add_ref(&self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::NoSign, _) => other.clone(),
+            (_, Sign::NoSign) => self.clone(),
+            (a, b) if a == b => BigInt::from_biguint(a, &self.mag + &other.mag),
+            _ => match self.mag.cmp(&other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_biguint(self.sign, &self.mag - &other.mag),
+                Ordering::Less => BigInt::from_biguint(other.sign, &other.mag - &self.mag),
+            },
+        }
+    }
+
+    fn sub_ref(&self, other: &BigInt) -> BigInt {
+        self.add_ref(&other.neg_ref())
+    }
+
+    fn mul_ref(&self, other: &BigInt) -> BigInt {
+        let sign = match (self.sign, other.sign) {
+            (Sign::NoSign, _) | (_, Sign::NoSign) => return BigInt::zero(),
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        BigInt::from_biguint(sign, &self.mag * &other.mag)
+    }
+
+    /// Truncated division (quotient rounds toward zero, remainder keeps the sign of
+    /// the dividend) — the semantics of `/` and `%` on upstream `BigInt`.
+    fn div_rem_ref(&self, other: &BigInt) -> (BigInt, BigInt) {
+        let (q_mag, r_mag) = self.mag.div_rem(&other.mag);
+        let q_sign = match (self.sign, other.sign) {
+            (Sign::NoSign, _) => Sign::NoSign,
+            (a, b) if a == b => Sign::Plus,
+            _ => Sign::Minus,
+        };
+        (BigInt::from_biguint(q_sign, q_mag), BigInt::from_biguint(self.sign, r_mag))
+    }
+
+    fn div_core(&self, other: &BigInt) -> BigInt {
+        self.div_rem_ref(other).0
+    }
+
+    fn rem_core(&self, other: &BigInt) -> BigInt {
+        self.div_rem_ref(other).1
+    }
+
+    fn neg_ref(&self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+            Sign::NoSign => Sign::NoSign,
+        };
+        BigInt { sign, mag: self.mag.clone() }
+    }
+}
+
+impl Zero for BigInt {
+    fn zero() -> Self {
+        BigInt { sign: Sign::NoSign, mag: BigUint::zero() }
+    }
+    fn is_zero(&self) -> bool {
+        self.sign == Sign::NoSign
+    }
+}
+
+impl One for BigInt {
+    fn one() -> Self {
+        BigInt { sign: Sign::Plus, mag: BigUint::one() }
+    }
+    fn is_one(&self) -> bool {
+        self.sign == Sign::Plus && self.mag.is_one()
+    }
+}
+
+impl Signed for BigInt {
+    fn abs(&self) -> Self {
+        BigInt::from_biguint(Sign::Plus, self.mag.clone())
+    }
+    fn signum(&self) -> Self {
+        match self.sign {
+            Sign::Plus => BigInt::one(),
+            Sign::NoSign => BigInt::zero(),
+            Sign::Minus => -BigInt::one(),
+        }
+    }
+    fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+    fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+}
+
+impl ToPrimitive for BigInt {
+    fn to_u64(&self) -> Option<u64> {
+        match self.sign {
+            Sign::Minus => None,
+            _ => self.mag.to_u64(),
+        }
+    }
+    fn to_i64(&self) -> Option<i64> {
+        let mag = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Minus => {
+                if mag <= i64::MAX as u64 + 1 {
+                    Some((mag as i64).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+            _ => i64::try_from(mag).ok(),
+        }
+    }
+}
+
+impl Integer for BigInt {
+    fn gcd(&self, other: &Self) -> Self {
+        BigInt::from_biguint(Sign::Plus, self.mag.gcd(&other.mag))
+    }
+    fn lcm(&self, other: &Self) -> Self {
+        BigInt::from_biguint(Sign::Plus, self.mag.lcm(&other.mag))
+    }
+    fn extended_gcd(&self, other: &Self) -> ExtendedGcd<Self> {
+        let (mut old_r, mut r) = (self.clone(), other.clone());
+        let (mut old_x, mut x) = (BigInt::one(), BigInt::zero());
+        let (mut old_y, mut y) = (BigInt::zero(), BigInt::one());
+        while !r.is_zero() {
+            let q = &old_r / &r;
+            let next_r = &old_r - &(&q * &r);
+            old_r = std::mem::replace(&mut r, next_r);
+            let next_x = &old_x - &(&q * &x);
+            old_x = std::mem::replace(&mut x, next_x);
+            let next_y = &old_y - &(&q * &y);
+            old_y = std::mem::replace(&mut y, next_y);
+        }
+        if old_r.is_negative() {
+            ExtendedGcd { gcd: -old_r, x: -old_x, y: -old_y }
+        } else {
+            ExtendedGcd { gcd: old_r, x: old_x, y: old_y }
+        }
+    }
+    fn is_even(&self) -> bool {
+        self.mag.is_even()
+    }
+    fn div_rem(&self, other: &Self) -> (Self, Self) {
+        self.div_rem_ref(other)
+    }
+    fn div_floor(&self, other: &Self) -> Self {
+        let (q, r) = self.div_rem_ref(other);
+        if r.is_zero() || (r.sign == other.sign) {
+            q
+        } else {
+            q - BigInt::one()
+        }
+    }
+    fn mod_floor(&self, other: &Self) -> Self {
+        let r = self.rem_core(other);
+        if r.is_zero() || r.sign == other.sign {
+            r
+        } else {
+            r + other.clone()
+        }
+    }
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                if v < 0 {
+                    BigInt::from_biguint(Sign::Minus, BigUint::from(v.unsigned_abs() as u64))
+                } else {
+                    BigInt::from_biguint(Sign::Plus, BigUint::from(v as u64))
+                }
+            }
+        }
+    )*};
+}
+impl_from_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_from_uint_for_bigint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                BigInt::from_biguint(Sign::Plus, BigUint::from(v))
+            }
+        }
+    )*};
+}
+impl_from_uint_for_bigint!(u8, u16, u32, u64, usize);
+
+impl From<u128> for BigInt {
+    fn from(v: u128) -> Self {
+        BigInt::from_biguint(Sign::Plus, BigUint::from(v))
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        if v < 0 {
+            BigInt::from_biguint(Sign::Minus, BigUint::from(v.unsigned_abs()))
+        } else {
+            BigInt::from_biguint(Sign::Plus, BigUint::from(v as u128))
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(v: BigUint) -> Self {
+        BigInt::from_biguint(Sign::Plus, v)
+    }
+}
+
+/// Error for checked conversions out of big integers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TryFromBigIntError;
+
+impl fmt::Display for TryFromBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("big integer out of target range")
+    }
+}
+
+impl std::error::Error for TryFromBigIntError {}
+
+macro_rules! impl_try_from_bigint {
+    ($($t:ty),*) => {$(
+        impl TryFrom<&BigInt> for $t {
+            type Error = TryFromBigIntError;
+            fn try_from(v: &BigInt) -> Result<Self, Self::Error> {
+                v.to_i64()
+                    .and_then(|x| <$t>::try_from(x).ok())
+                    .ok_or(TryFromBigIntError)
+            }
+        }
+        impl TryFrom<BigInt> for $t {
+            type Error = TryFromBigIntError;
+            fn try_from(v: BigInt) -> Result<Self, Self::Error> {
+                <$t>::try_from(&v)
+            }
+        }
+    )*};
+}
+impl_try_from_bigint!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_try_from_bigint_unsigned {
+    ($($t:ty),*) => {$(
+        impl TryFrom<&BigInt> for $t {
+            type Error = TryFromBigIntError;
+            fn try_from(v: &BigInt) -> Result<Self, Self::Error> {
+                v.to_u64()
+                    .and_then(|x| <$t>::try_from(x).ok())
+                    .ok_or(TryFromBigIntError)
+            }
+        }
+        impl TryFrom<BigInt> for $t {
+            type Error = TryFromBigIntError;
+            fn try_from(v: BigInt) -> Result<Self, Self::Error> {
+                <$t>::try_from(&v)
+            }
+        }
+    )*};
+}
+impl_try_from_bigint_unsigned!(u8, u16, u32, u64, usize);
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => match self.sign {
+                Sign::Minus => other.mag.cmp(&self.mag),
+                Sign::NoSign => Ordering::Equal,
+                Sign::Plus => self.mag.cmp(&other.mag),
+            },
+            non_eq => non_eq,
+        }
+    }
+}
+
+macro_rules! forward_int_binop {
+    ($trait:ident, $method:ident, $core:ident) => {
+        impl std::ops::$trait<&BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                self.$core(rhs)
+            }
+        }
+        impl std::ops::$trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$core(&rhs)
+            }
+        }
+        impl std::ops::$trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$core(rhs)
+            }
+        }
+        impl std::ops::$trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$core(&rhs)
+            }
+        }
+    };
+}
+
+forward_int_binop!(Add, add, add_ref);
+forward_int_binop!(Sub, sub, sub_ref);
+forward_int_binop!(Mul, mul, mul_ref);
+forward_int_binop!(Div, div, div_core);
+forward_int_binop!(Rem, rem, rem_core);
+
+macro_rules! forward_int_assign {
+    ($trait:ident, $method:ident, $core:ident) => {
+        impl std::ops::$trait<&BigInt> for BigInt {
+            fn $method(&mut self, rhs: &BigInt) {
+                *self = self.$core(rhs);
+            }
+        }
+        impl std::ops::$trait<BigInt> for BigInt {
+            fn $method(&mut self, rhs: BigInt) {
+                *self = self.$core(&rhs);
+            }
+        }
+    };
+}
+
+forward_int_assign!(AddAssign, add_assign, add_ref);
+forward_int_assign!(SubAssign, sub_assign, sub_ref);
+forward_int_assign!(MulAssign, mul_assign, mul_ref);
+forward_int_assign!(DivAssign, div_assign, div_core);
+forward_int_assign!(RemAssign, rem_assign, rem_core);
+
+impl std::ops::Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        self.neg_ref()
+    }
+}
+
+impl std::ops::Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        self.neg_ref()
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            f.write_str("-")?;
+        }
+        fmt::Display::fmt(&self.mag, f)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix('-') {
+            Ok(BigInt::from_biguint(Sign::Minus, rest.parse()?))
+        } else {
+            Ok(BigInt::from_biguint(Sign::Plus, s.parse()?))
+        }
+    }
+}
+
+impl serde::Serialize for BigInt {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl serde::Deserialize for BigInt {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => {
+                s.parse().map_err(|_| serde::Error::custom("invalid BigInt literal"))
+            }
+            serde::Value::U64(n) => Ok(BigInt::from(*n)),
+            serde::Value::I64(n) => Ok(BigInt::from(*n)),
+            _ => Err(serde::Error::custom("expected a BigInt string")),
+        }
+    }
+}

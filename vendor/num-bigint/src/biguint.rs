@@ -1,0 +1,666 @@
+//! Arbitrary-precision unsigned integers: `Vec<u64>` limbs, little-endian, normalized
+//! (no trailing zero limbs; zero is the empty vector).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use num_integer::{ExtendedGcd, Integer};
+use num_traits::{One, ToPrimitive, Zero};
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian 64-bit limbs with no trailing zeros.
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    pub(crate) fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// The number of significant bits (`0` for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() as u64 * 64 - top.leading_zeros() as u64,
+        }
+    }
+
+    /// Read the bit at position `bit` (little-endian, 0-based).
+    pub fn bit(&self, bit: u64) -> bool {
+        let limb = (bit / 64) as usize;
+        limb < self.limbs.len() && (self.limbs[limb] >> (bit % 64)) & 1 == 1
+    }
+
+    /// Set or clear the bit at position `bit`, growing the representation as needed.
+    pub fn set_bit(&mut self, bit: u64, value: bool) {
+        let limb = (bit / 64) as usize;
+        if value {
+            if limb >= self.limbs.len() {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= 1 << (bit % 64);
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !(1 << (bit % 64));
+            while self.limbs.last() == Some(&0) {
+                self.limbs.pop();
+            }
+        }
+    }
+
+    /// Number of trailing zero bits, or `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            if limb != 0 {
+                return Some(i as u64 * 64 + limb.trailing_zeros() as u64);
+            }
+        }
+        None
+    }
+
+    /// Interpret big-endian bytes as an integer.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut acc = BigUint::default();
+        for &b in bytes {
+            acc = (acc << 8u32) + BigUint::from(b);
+        }
+        acc
+    }
+
+    /// Interpret little-endian bytes as an integer.
+    pub fn from_bytes_le(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.chunks(8) {
+            let mut limb = [0u8; 8];
+            limb[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(limb));
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// The little-endian 64-bit digits of the value (empty for zero).
+    pub fn to_u64_digits(&self) -> Vec<u64> {
+        self.limbs.clone()
+    }
+
+    /// Big-endian byte representation (empty-input-safe; zero encodes as `[0]`).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.limbs.is_empty() {
+            return vec![0];
+        }
+        let mut out: Vec<u8> = self.limbs.iter().rev().flat_map(|l| l.to_be_bytes()).collect();
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len() - 1);
+        out.drain(..first_nonzero);
+        out
+    }
+
+    /// Little-endian byte representation (zero encodes as `[0]`).
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        let mut out = self.to_bytes_be();
+        out.reverse();
+        out
+    }
+
+    /// `self ^ exp` by repeated squaring.
+    pub fn pow(&self, exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Modular exponentiation `self ^ exponent mod modulus`.
+    pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow: zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        let mut base = self % modulus;
+        let mut acc = BigUint::one();
+        let nbits = exponent.bits();
+        for i in 0..nbits {
+            if exponent.bit(i) {
+                acc = &(&acc * &base) % modulus;
+            }
+            if i + 1 < nbits {
+                base = &(&base * &base) % modulus;
+            }
+        }
+        acc
+    }
+
+    /// Integer square root (largest `r` with `r*r <= self`), by Newton's method.
+    pub fn sqrt(&self) -> BigUint {
+        if self.limbs.len() <= 1 {
+            let v = self.to_u64().unwrap_or(0);
+            // The f64 estimate can land one off in either direction near u64::MAX
+            // (the conversion rounds across perfect squares); correct it exactly.
+            let mut r = (v as f64).sqrt() as u64;
+            while r as u128 * r as u128 > v as u128 {
+                r -= 1;
+            }
+            while (r as u128 + 1) * (r as u128 + 1) <= v as u128 {
+                r += 1;
+            }
+            return BigUint::from(r);
+        }
+        // Initial guess: 2^(ceil(bits/2)).
+        let mut x = BigUint::one() << (self.bits().div_ceil(2) + 1);
+        loop {
+            // x' = (x + self / x) / 2
+            let next = (&x + self / &x) >> 1u32;
+            if next >= x {
+                return x;
+            }
+            x = next;
+        }
+    }
+
+    /// Truncated division with remainder.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_small(divisor.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    fn div_rem_small(&self, divisor: u64) -> (BigUint, u64) {
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let cur = (rem << 64) | limb as u128;
+            quotient[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        (BigUint::from_limbs(quotient), rem as u64)
+    }
+
+    /// Knuth Algorithm D (TAOCP 4.3.1) with 64-bit limbs.
+    fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        // Normalize: shift so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().expect("nonzero divisor").leading_zeros();
+        let u = self << shift; // dividend, n + m limbs
+        let v = divisor << shift; // divisor, n limbs
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un = u.limbs;
+        un.push(0); // extra headroom limb u_{m+n}
+        let vn = &v.limbs;
+        let v_top = vn[n - 1] as u128;
+        let v_next = vn[n - 2] as u128;
+
+        let mut q = vec![0u64; m + 1];
+        for j in (0..=m).rev() {
+            // Estimate q_hat from the top two dividend limbs against the top divisor limb.
+            // Knuth's clamp keeps q_hat <= B-1 so q_hat * v_next cannot overflow u128.
+            let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let (mut q_hat, mut r_hat) = if un[j + n] as u128 == v_top {
+                ((1u128 << 64) - 1, un[j + n - 1] as u128 + v_top)
+            } else {
+                (top / v_top, top % v_top)
+            };
+            // Refine q_hat down using the second divisor limb (at most twice).
+            while r_hat >> 64 == 0 && q_hat * v_next > ((r_hat << 64) | un[j + n - 2] as u128) {
+                q_hat -= 1;
+                r_hat += v_top;
+            }
+            // Multiply-subtract: un[j..j+n+1] -= q_hat * vn.
+            let mut borrow: i128 = 0;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let product = q_hat * vn[i] as u128 + carry;
+                carry = product >> 64;
+                let sub = un[j + i] as i128 - (product as u64) as i128 + borrow;
+                un[j + i] = sub as u64;
+                borrow = sub >> 64;
+            }
+            let sub = un[j + n] as i128 - carry as i128 + borrow;
+            un[j + n] = sub as u64;
+            if sub < 0 {
+                // q_hat was one too large: add the divisor back.
+                q_hat -= 1;
+                let mut carry: u128 = 0;
+                for i in 0..n {
+                    let sum = un[j + i] as u128 + vn[i] as u128 + carry;
+                    un[j + i] = sum as u64;
+                    carry = sum >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = q_hat as u64;
+        }
+        un.truncate(n);
+        let rem = BigUint::from_limbs(un) >> shift;
+        (BigUint::from_limbs(q), rem)
+    }
+
+    pub(crate) fn add_ref(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u128 = 0;
+        for (i, &limb) in long.iter().enumerate() {
+            let sum = limb as u128 + short.get(i).copied().unwrap_or(0) as u128 + carry;
+            out.push(sum as u64);
+            carry = sum >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Panics on underflow, matching upstream `BigUint` subtraction.
+    pub(crate) fn sub_ref(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow: i128 = 0;
+        for i in 0..self.limbs.len() {
+            let diff =
+                self.limbs[i] as i128 - other.limbs.get(i).copied().unwrap_or(0) as i128 + borrow;
+            out.push(diff as u64);
+            borrow = diff >> 64;
+        }
+        debug_assert_eq!(borrow, 0);
+        BigUint::from_limbs(out)
+    }
+
+    pub(crate) fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    pub(crate) fn shl_bits(&self, bits: u64) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &limb in &self.limbs {
+                out.push((limb << bit_shift) | carry);
+                carry = limb >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    pub(crate) fn shr_bits(&self, bits: u64) -> BigUint {
+        let limb_shift = (bits / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let high = if i + 1 < src.len() { src[i + 1] << (64 - bit_shift) } else { 0 };
+                out.push((src[i] >> bit_shift) | high);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Zero for BigUint {
+    fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+    fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+}
+
+impl One for BigUint {
+    fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+    fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+}
+
+impl ToPrimitive for BigUint {
+    fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+    fn to_i64(&self) -> Option<i64> {
+        self.to_u64().and_then(|v| i64::try_from(v).ok())
+    }
+}
+
+impl Integer for BigUint {
+    fn gcd(&self, other: &Self) -> Self {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+    fn lcm(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        self / self.gcd(other) * other
+    }
+    fn extended_gcd(&self, _other: &Self) -> ExtendedGcd<Self> {
+        unimplemented!("extended_gcd needs signed coefficients; use BigInt")
+    }
+    fn is_even(&self) -> bool {
+        self.limbs.first().map(|l| l & 1 == 0).unwrap_or(true)
+    }
+    fn div_rem(&self, other: &Self) -> (Self, Self) {
+        BigUint::div_rem(self, other)
+    }
+    fn div_floor(&self, other: &Self) -> Self {
+        self / other
+    }
+    fn mod_floor(&self, other: &Self) -> Self {
+        self % other
+    }
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigUint {
+            fn from(v: $t) -> Self {
+                BigUint::from_limbs(vec![v as u64])
+            }
+        }
+    )*};
+}
+impl_from_uint!(u8, u16, u32, u64, usize);
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<bool> for BigUint {
+    fn from(v: bool) -> Self {
+        BigUint::from_limbs(vec![v as u64])
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+// Binary operators: implement the four owned/borrowed combinations by delegating to the
+// reference-based core routines.
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $core:ident) => {
+        impl std::ops::$trait<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                self.$core(rhs)
+            }
+        }
+        impl std::ops::$trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$core(&rhs)
+            }
+        }
+        impl std::ops::$trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$core(rhs)
+            }
+        }
+        impl std::ops::$trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$core(&rhs)
+            }
+        }
+    };
+}
+
+impl BigUint {
+    fn div_core(&self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+    fn rem_core(&self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+forward_binop!(Add, add, add_ref);
+forward_binop!(Sub, sub, sub_ref);
+forward_binop!(Mul, mul, mul_ref);
+forward_binop!(Div, div, div_core);
+forward_binop!(Rem, rem, rem_core);
+
+macro_rules! forward_assign {
+    ($trait:ident, $method:ident, $core:ident) => {
+        impl std::ops::$trait<&BigUint> for BigUint {
+            fn $method(&mut self, rhs: &BigUint) {
+                *self = self.$core(rhs);
+            }
+        }
+        impl std::ops::$trait<BigUint> for BigUint {
+            fn $method(&mut self, rhs: BigUint) {
+                *self = self.$core(&rhs);
+            }
+        }
+    };
+}
+
+forward_assign!(AddAssign, add_assign, add_ref);
+forward_assign!(SubAssign, sub_assign, sub_ref);
+forward_assign!(MulAssign, mul_assign, mul_ref);
+forward_assign!(DivAssign, div_assign, div_core);
+forward_assign!(RemAssign, rem_assign, rem_core);
+
+macro_rules! impl_shifts {
+    ($($t:ty),*) => {$(
+        impl std::ops::Shl<$t> for &BigUint {
+            type Output = BigUint;
+            fn shl(self, bits: $t) -> BigUint {
+                self.shl_bits(bits as u64)
+            }
+        }
+        impl std::ops::Shl<$t> for BigUint {
+            type Output = BigUint;
+            fn shl(self, bits: $t) -> BigUint {
+                self.shl_bits(bits as u64)
+            }
+        }
+        impl std::ops::Shr<$t> for &BigUint {
+            type Output = BigUint;
+            fn shr(self, bits: $t) -> BigUint {
+                self.shr_bits(bits as u64)
+            }
+        }
+        impl std::ops::Shr<$t> for BigUint {
+            type Output = BigUint;
+            fn shr(self, bits: $t) -> BigUint {
+                self.shr_bits(bits as u64)
+            }
+        }
+        impl std::ops::ShlAssign<$t> for BigUint {
+            fn shl_assign(&mut self, bits: $t) {
+                *self = self.shl_bits(bits as u64);
+            }
+        }
+        impl std::ops::ShrAssign<$t> for BigUint {
+            fn shr_assign(&mut self, bits: $t) {
+                *self = self.shr_bits(bits as u64);
+            }
+        }
+    )*};
+}
+impl_shifts!(u8, u16, u32, u64, usize, i32);
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off 19-decimal-digit chunks (largest power of ten fitting in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_small(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut out = chunks.last().expect("nonzero has chunks").to_string();
+        for chunk in chunks.iter().rev().skip(1) {
+            out.push_str(&format!("{chunk:019}"));
+        }
+        f.write_str(&out)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error parsing a [`BigUint`] / [`crate::BigInt`] from a string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBigIntError;
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid big integer literal")
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigUint {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBigIntError);
+        }
+        let mut acc = BigUint::zero();
+        let ten = BigUint::from(10u64);
+        for c in s.chars() {
+            let digit = c.to_digit(10).ok_or(ParseBigIntError)?;
+            acc = acc * &ten + BigUint::from(digit as u64);
+        }
+        Ok(acc)
+    }
+}
+
+impl serde::Serialize for BigUint {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl serde::Deserialize for BigUint {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => {
+                s.parse().map_err(|_| serde::Error::custom("invalid BigUint literal"))
+            }
+            serde::Value::U64(n) => Ok(BigUint::from(*n)),
+            _ => Err(serde::Error::custom("expected a BigUint string")),
+        }
+    }
+}
+
+impl std::iter::Sum for BigUint {
+    fn sum<I: Iterator<Item = BigUint>>(iter: I) -> Self {
+        iter.fold(BigUint::zero(), |acc, x| acc + x)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a BigUint> for BigUint {
+    fn sum<I: Iterator<Item = &'a BigUint>>(iter: I) -> Self {
+        iter.fold(BigUint::zero(), |acc, x| acc + x)
+    }
+}
+
+impl std::iter::Product for BigUint {
+    fn product<I: Iterator<Item = BigUint>>(iter: I) -> Self {
+        iter.fold(BigUint::one(), |acc, x| acc * x)
+    }
+}

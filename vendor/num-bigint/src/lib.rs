@@ -1,0 +1,219 @@
+//! Offline workalike of the subset of `num-bigint 0.4` this workspace uses
+//! (see `vendor/README.md` for the vendoring policy).
+//!
+//! Implements [`BigUint`] / [`BigInt`] from scratch on 64-bit limbs: schoolbook
+//! add/sub/mul, Knuth Algorithm D division, square-and-multiply `modpow`, Euclidean
+//! GCD / extended GCD, decimal formatting/parsing, and the `rand` / `serde`
+//! integrations (`RandBigInt`, string-based serialization) the workspace relies on.
+
+mod bigint;
+mod biguint;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::{BigUint, ParseBigIntError};
+
+use num_traits::Zero;
+use rand::RngCore;
+
+/// Random sampling of big integers, implemented for every [`rand::RngCore`].
+pub trait RandBigInt {
+    /// A uniformly random integer with at most `bits` bits.
+    fn gen_biguint(&mut self, bits: u64) -> BigUint;
+    /// A uniformly random integer in `[0, bound)`.
+    fn gen_biguint_below(&mut self, bound: &BigUint) -> BigUint;
+    /// A uniformly random integer in `[low, high)`.
+    fn gen_biguint_range(&mut self, low: &BigUint, high: &BigUint) -> BigUint;
+}
+
+impl<R: RngCore + ?Sized> RandBigInt for R {
+    fn gen_biguint(&mut self, bits: u64) -> BigUint {
+        let limbs = bits.div_ceil(64);
+        let mut out = Vec::with_capacity(limbs as usize);
+        for _ in 0..limbs {
+            out.push(self.next_u64());
+        }
+        // Mask the top limb down to the requested bit count.
+        let extra = (limbs * 64 - bits) as u32;
+        if extra > 0 {
+            if let Some(top) = out.last_mut() {
+                *top >>= extra;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    fn gen_biguint_below(&mut self, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "gen_biguint_below: zero bound");
+        let bits = bound.bits();
+        // Rejection sampling: uniform `bits`-bit draws until one lands below `bound`.
+        loop {
+            let candidate = self.gen_biguint(bits);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    fn gen_biguint_range(&mut self, low: &BigUint, high: &BigUint) -> BigUint {
+        assert!(low < high, "gen_biguint_range: empty range");
+        low + self.gen_biguint_below(&(high - low))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use num_integer::Integer;
+    use num_traits::{One, Zero};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn arithmetic_matches_u128() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let x = rng.next_u64() as u128 * 7 + rng.next_u64() as u128;
+            let y = (rng.next_u64() as u128) | 1;
+            assert_eq!(b(x) + b(y), b(x + y));
+            if x >= y {
+                assert_eq!(b(x) - b(y), b(x - y));
+            }
+            assert_eq!(b(x >> 64) * b(y), b((x >> 64) * y));
+            assert_eq!(b(x) / b(y), b(x / y));
+            assert_eq!(b(x) % b(y), b(x % y));
+        }
+    }
+
+    #[test]
+    fn knuth_division_edge_cases() {
+        // Divisor top limb with high bit set, add-back path, multi-limb remainders.
+        let big = (BigUint::one() << 192u32) - BigUint::one();
+        let div = (BigUint::one() << 128u32) - (BigUint::one() << 5u32);
+        let (q, r) = big.div_rem(&div);
+        assert_eq!(&q * &div + &r, big);
+        assert!(r < div);
+
+        let a = BigUint::from_bytes_be(&[0xff; 40]);
+        let d = BigUint::from_bytes_be(&[0x80, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(&q * &d + &r, a);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn division_random_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..500 {
+            let a = rng.gen_biguint(300);
+            let mut d = rng.gen_biguint(140);
+            if d.is_zero() {
+                d = BigUint::one();
+            }
+            let (q, r) = a.div_rem(&d);
+            assert_eq!(&q * &d + &r, a);
+            assert!(r < d);
+        }
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        assert_eq!(
+            b(4).modpow(&b(13), &b(497)),
+            b(445) // 4^13 mod 497, classic test vector
+        );
+        assert_eq!(b(2).modpow(&b(0), &b(7)), b(1));
+        assert_eq!(b(0).modpow(&b(5), &b(7)), b(0));
+        // Fermat: a^(p-1) = 1 mod p.
+        let p = b(1_000_000_007);
+        assert_eq!(b(123_456).modpow(&(&p - BigUint::one()), &p), b(1));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let cases = [
+            BigUint::zero(),
+            b(1),
+            b(10_000_000_000_000_000_000),
+            b(123_456_789_012_345_678_901_234_567_890),
+            (BigUint::one() << 200u32) + b(12345),
+        ];
+        for v in cases {
+            let s = v.to_string();
+            assert_eq!(s.parse::<BigUint>().unwrap(), v);
+        }
+        assert_eq!(b(10_000_000_000_000_000_000u128).to_string(), "10000000000000000000");
+    }
+
+    #[test]
+    fn signed_arithmetic() {
+        let a = BigInt::from(-17i64);
+        let m = BigInt::from(5i64);
+        assert_eq!(&a % &m, BigInt::from(-2i64)); // truncated remainder
+        assert_eq!(a.mod_floor(&m), BigInt::from(3i64));
+        assert_eq!(&a / &m, BigInt::from(-3i64)); // truncated quotient
+        assert_eq!(BigInt::from(-4i64) + BigInt::from(7i64), BigInt::from(3i64));
+        assert_eq!(BigInt::from(-4i64) * BigInt::from(-5i64), BigInt::from(20i64));
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        let a = BigInt::from(240i64);
+        let m = BigInt::from(46i64);
+        let e = a.extended_gcd(&m);
+        assert_eq!(e.gcd, BigInt::from(2i64));
+        assert_eq!(&a * &e.x + &m * &e.y, e.gcd);
+    }
+
+    #[test]
+    fn bits_and_bit_ops() {
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(b(1).bits(), 1);
+        assert_eq!(b(255).bits(), 8);
+        assert_eq!((BigUint::one() << 130u32).bits(), 131);
+        let mut x = BigUint::zero();
+        x.set_bit(130, true);
+        assert_eq!(x, BigUint::one() << 130u32);
+        x.set_bit(130, false);
+        assert!(x.is_zero());
+        assert_eq!((BigUint::one() << 66u32).trailing_zeros(), Some(66));
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v = BigUint::from_bytes_be(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+        assert_eq!(BigUint::from_bytes_le(&v.to_bytes_le()), v);
+    }
+
+    #[test]
+    fn sqrt_is_floor() {
+        for v in [0u128, 1, 2, 3, 4, 15, 16, 17, u64::MAX as u128, 1 << 80, (1 << 80) + 1] {
+            let r = b(v).sqrt();
+            assert!(&r * &r <= b(v));
+            let r1 = &r + BigUint::one();
+            assert!(&r1 * &r1 > b(v));
+        }
+    }
+
+    #[test]
+    fn random_sampling_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let bound = (BigUint::one() << 100u32) + b(12345);
+        for _ in 0..200 {
+            assert!(rng.gen_biguint_below(&bound) < bound);
+            assert!(rng.gen_biguint(80).bits() <= 80);
+        }
+    }
+
+    #[test]
+    fn gcd_lcm_biguint() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(4).lcm(&b(6)), b(12));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline workalike of the subset of `num-integer` this workspace uses
+//! (see `vendor/README.md` for the vendoring policy).
+
+/// The result of an extended GCD computation: `a*x + b*y = gcd`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtendedGcd<T> {
+    /// The greatest common divisor.
+    pub gcd: T,
+    /// Bézout coefficient of the first operand.
+    pub x: T,
+    /// Bézout coefficient of the second operand.
+    pub y: T,
+}
+
+/// Integer-specific operations (GCD/LCM, parity, Euclidean-style division).
+pub trait Integer: Sized {
+    /// Greatest common divisor.
+    fn gcd(&self, other: &Self) -> Self;
+    /// Least common multiple.
+    fn lcm(&self, other: &Self) -> Self;
+    /// Extended GCD: returns `gcd` along with Bézout coefficients `x`, `y`.
+    fn extended_gcd(&self, other: &Self) -> ExtendedGcd<Self>;
+    /// Is the value even?
+    fn is_even(&self) -> bool;
+    /// Is the value odd?
+    fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+    /// Simultaneous truncated quotient and remainder.
+    fn div_rem(&self, other: &Self) -> (Self, Self);
+    /// Floored division.
+    fn div_floor(&self, other: &Self) -> Self;
+    /// Remainder of floored division (always has the divisor's sign / is non-negative
+    /// for a positive divisor).
+    fn mod_floor(&self, other: &Self) -> Self;
+}
+
+macro_rules! impl_integer_uint {
+    ($($t:ty),*) => {$(
+        impl Integer for $t {
+            fn gcd(&self, other: &Self) -> Self {
+                let (mut a, mut b) = (*self, *other);
+                while b != 0 {
+                    let r = a % b;
+                    a = b;
+                    b = r;
+                }
+                a
+            }
+            fn lcm(&self, other: &Self) -> Self {
+                if *self == 0 || *other == 0 { return 0; }
+                self / self.gcd(other) * other
+            }
+            fn extended_gcd(&self, _other: &Self) -> ExtendedGcd<Self> {
+                // Unsigned Bézout coefficients are not representable in general;
+                // the workspace only calls this on signed big integers.
+                unimplemented!("extended_gcd on unsigned primitives is unused")
+            }
+            fn is_even(&self) -> bool { self % 2 == 0 }
+            fn div_rem(&self, other: &Self) -> (Self, Self) { (self / other, self % other) }
+            fn div_floor(&self, other: &Self) -> Self { self / other }
+            fn mod_floor(&self, other: &Self) -> Self { self % other }
+        }
+    )*};
+}
+impl_integer_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_integer_int {
+    ($($t:ty),*) => {$(
+        impl Integer for $t {
+            fn gcd(&self, other: &Self) -> Self {
+                let (mut a, mut b) = (self.unsigned_abs(), other.unsigned_abs());
+                while b != 0 {
+                    let r = a % b;
+                    a = b;
+                    b = r;
+                }
+                a as $t
+            }
+            fn lcm(&self, other: &Self) -> Self {
+                if *self == 0 || *other == 0 { return 0; }
+                (self / self.gcd(other) * other).abs()
+            }
+            fn extended_gcd(&self, other: &Self) -> ExtendedGcd<Self> {
+                let (mut old_r, mut r) = (*self, *other);
+                let (mut old_x, mut x) = (1, 0);
+                let (mut old_y, mut y) = (0, 1);
+                while r != 0 {
+                    let q = old_r / r;
+                    (old_r, r) = (r, old_r - q * r);
+                    (old_x, x) = (x, old_x - q * x);
+                    (old_y, y) = (y, old_y - q * y);
+                }
+                if old_r < 0 {
+                    ExtendedGcd { gcd: -old_r, x: -old_x, y: -old_y }
+                } else {
+                    ExtendedGcd { gcd: old_r, x: old_x, y: old_y }
+                }
+            }
+            fn is_even(&self) -> bool { self % 2 == 0 }
+            fn div_rem(&self, other: &Self) -> (Self, Self) { (self / other, self % other) }
+            fn div_floor(&self, other: &Self) -> Self { self.div_euclid(*other) }
+            fn mod_floor(&self, other: &Self) -> Self { self.rem_euclid(*other) }
+        }
+    )*};
+}
+impl_integer_int!(i8, i16, i32, i64, i128, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(12u64.gcd(&18), 6);
+        assert_eq!(4u32.lcm(&6), 12);
+        assert_eq!(0u64.gcd(&5), 5);
+    }
+
+    #[test]
+    fn extended_gcd_bezout() {
+        let e = 240i64.extended_gcd(&46);
+        assert_eq!(e.gcd, 2);
+        assert_eq!(240 * e.x + 46 * e.y, e.gcd);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(4u64.is_even());
+        assert!(5i32.is_odd());
+    }
+}

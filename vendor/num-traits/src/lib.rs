@@ -1,0 +1,115 @@
+//! Offline workalike of the subset of `num-traits` this workspace uses
+//! (see `vendor/README.md` for the vendoring policy).
+
+/// Additive identity.
+pub trait Zero: Sized {
+    /// The value `0`.
+    fn zero() -> Self;
+    /// Is this the additive identity?
+    fn is_zero(&self) -> bool;
+}
+
+/// Multiplicative identity.
+pub trait One: Sized {
+    /// The value `1`.
+    fn one() -> Self;
+    /// Is this the multiplicative identity?
+    fn is_one(&self) -> bool;
+}
+
+/// Sign predicates and operations for signed numbers.
+pub trait Signed {
+    /// Absolute value.
+    fn abs(&self) -> Self;
+    /// `+1`, `0`, or `-1` according to sign.
+    fn signum(&self) -> Self;
+    /// Strictly positive?
+    fn is_positive(&self) -> bool;
+    /// Strictly negative?
+    fn is_negative(&self) -> bool;
+}
+
+/// Checked conversion into primitive integers / floats.
+pub trait ToPrimitive {
+    /// Convert to `u64` if the value fits.
+    fn to_u64(&self) -> Option<u64>;
+    /// Convert to `i64` if the value fits.
+    fn to_i64(&self) -> Option<i64>;
+    /// Convert to `usize` if the value fits.
+    fn to_usize(&self) -> Option<usize> {
+        self.to_u64().and_then(|v| usize::try_from(v).ok())
+    }
+    /// Convert to `u32` if the value fits.
+    fn to_u32(&self) -> Option<u32> {
+        self.to_u64().and_then(|v| u32::try_from(v).ok())
+    }
+    /// Convert to `f64` (possibly lossy).
+    fn to_f64(&self) -> Option<f64> {
+        self.to_i64().map(|v| v as f64)
+    }
+}
+
+macro_rules! impl_identities_int {
+    ($($t:ty),*) => {$(
+        impl Zero for $t {
+            fn zero() -> Self { 0 }
+            fn is_zero(&self) -> bool { *self == 0 }
+        }
+        impl One for $t {
+            fn one() -> Self { 1 }
+            fn is_one(&self) -> bool { *self == 1 }
+        }
+        impl ToPrimitive for $t {
+            fn to_u64(&self) -> Option<u64> { u64::try_from(*self).ok() }
+            fn to_i64(&self) -> Option<i64> { i64::try_from(*self).ok() }
+        }
+    )*};
+}
+impl_identities_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_identities_float {
+    ($($t:ty),*) => {$(
+        impl Zero for $t {
+            fn zero() -> Self { 0.0 }
+            fn is_zero(&self) -> bool { *self == 0.0 }
+        }
+        impl One for $t {
+            fn one() -> Self { 1.0 }
+            fn is_one(&self) -> bool { *self == 1.0 }
+        }
+    )*};
+}
+impl_identities_float!(f32, f64);
+
+macro_rules! impl_signed_int {
+    ($($t:ty),*) => {$(
+        impl Signed for $t {
+            fn abs(&self) -> Self { <$t>::abs(*self) }
+            fn signum(&self) -> Self { <$t>::signum(*self) }
+            fn is_positive(&self) -> bool { *self > 0 }
+            fn is_negative(&self) -> bool { *self < 0 }
+        }
+    )*};
+}
+impl_signed_int!(i8, i16, i32, i64, i128, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert!(0u64.is_zero());
+        assert!(1u32.is_one());
+        assert!(!2i64.is_zero());
+        assert_eq!(u64::zero(), 0);
+        assert_eq!(i32::one(), 1);
+    }
+
+    #[test]
+    fn signed_predicates() {
+        assert!((-3i64).is_negative());
+        assert!(3i64.is_positive());
+        assert_eq!((-3i32).abs(), 3);
+    }
+}

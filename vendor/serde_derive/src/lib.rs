@@ -1,0 +1,448 @@
+//! Offline workalike of serde's `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are unavailable;
+//! this macro parses the item declaration directly from the `proc_macro` token stream.
+//! It supports what the workspace actually derives on: non-generic structs with named
+//! fields, tuple structs, unit structs, and enums whose variants are unit, tuple, or
+//! struct-like.  Field `#[...]` attributes and doc comments are skipped.  The generated
+//! impls target the vendored `serde` crate's `Value`-tree data model:
+//!
+//! * named struct  -> `Value::Map` keyed by field name
+//! * tuple struct  -> `Value::Seq` of the fields
+//! * unit  variant -> `Value::Str(variant_name)`
+//! * data  variant -> `Value::Map { variant_name: payload }` (externally tagged)
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skip `#[...]` attribute groups (including expanded doc comments).
+fn skip_attributes(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive: expected [...] after '#', got {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip a `pub` / `pub(crate)` visibility prefix.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parse the field names out of a `{ ... }` named-fields group.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected ':' after field `{name}`, got {other:?}"),
+        }
+        names.push(name);
+        // Skip the type: everything up to a top-level comma.  Angle-bracket generics in
+        // types contain no top-level commas at this token depth because `proc_macro`
+        // does not group them, so track `<`/`>` nesting explicitly.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+/// Count the fields of a `( ... )` tuple group.
+fn parse_tuple_arity(group: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for tok in group {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "serde_derive (vendored): generic type `{name}` is not supported; \
+                 extend vendor/serde_derive if the workspace needs it"
+            );
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_arity(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            let mut variants = Vec::new();
+            let mut body_tokens = body.into_iter().peekable();
+            loop {
+                skip_attributes(&mut body_tokens);
+                let vname = match body_tokens.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => break,
+                    other => panic!("serde_derive: expected variant name, got {other:?}"),
+                };
+                let fields = match body_tokens.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let g = g.stream();
+                        body_tokens.next();
+                        Fields::Named(parse_named_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let g = g.stream();
+                        body_tokens.next();
+                        Fields::Tuple(parse_tuple_arity(g))
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip a possible `= discriminant` and the trailing comma.
+                let mut depth = 0i32;
+                while let Some(tok) = body_tokens.peek() {
+                    match tok {
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            body_tokens.next();
+                            break;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            depth += 1;
+                            body_tokens.next();
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '>' => {
+                            depth -= 1;
+                            body_tokens.next();
+                        }
+                        _ => {
+                            body_tokens.next();
+                        }
+                    }
+                }
+                variants.push(Variant { name: vname, fields });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// `#[derive(Serialize)]` — lower a type into the vendored serde `Value` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(n) => {
+                    let entries: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", entries.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\
+                                     \"{vn}\".to_string(), \
+                                     ::serde::Value::Seq(vec![{vals}])\
+                                 )]),",
+                                binds = binds.join(", "),
+                                vals = vals.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                                     \"{vn}\".to_string(), \
+                                     ::serde::Value::Map(vec![{entries}])\
+                                 )]),",
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]` — rebuild a type from the vendored serde `Value` tree.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                     v.get(\"{f}\")\
+                                      .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?\
+                                 )?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Map(_) => Ok({name} {{ {} }}),\n\
+                             other => Err(::serde::Error::invalid_type(\"struct map\", other)),\n\
+                         }}",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_value(\
+                                     items.get({i})\
+                                          .ok_or_else(|| ::serde::Error::custom(\"tuple struct too short\"))?\
+                                 )?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Seq(items) if items.len() == {n} => \
+                                 Ok({name}({})),\n\
+                             ::serde::Value::Seq(_) => \
+                                 Err(::serde::Error::custom(\"wrong tuple struct arity\")),\n\
+                             other => Err(::serde::Error::invalid_type(\"tuple seq\", other)),\n\
+                         }}",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!(
+                    "match v {{\n\
+                         ::serde::Value::Null => Ok({name}),\n\
+                         other => Err(::serde::Error::invalid_type(\"null\", other)),\n\
+                     }}"
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                             items.get({i}).ok_or_else(|| \
+                                                 ::serde::Error::custom(\"variant payload too short\"))?\
+                                         )?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match payload {{\n\
+                                     ::serde::Value::Seq(items) if items.len() == {n} => \
+                                         Ok({name}::{vn}({})),\n\
+                                     other => Err(::serde::Error::invalid_type(\"variant seq\", other)),\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                             payload.get(\"{f}\")\
+                                                 .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?\
+                                         )?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::Error::custom(\
+                                     format!(\"unknown variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => Err(::serde::Error::custom(\
+                                         format!(\"unknown variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::invalid_type(\"enum tag\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,7 @@
+//! Offline placeholder for `thiserror` (see `vendor/README.md`).
+//!
+//! The workspace declares `thiserror` in `[workspace.dependencies]` for future error
+//! types, but no crate currently uses it: the crypto layer hand-implements
+//! `std::fmt::Display` + `std::error::Error` on its error enums instead.  If a crate
+//! starts needing `#[derive(Error)]`, extend this placeholder with a derive macro the
+//! way `vendor/serde_derive` does.
