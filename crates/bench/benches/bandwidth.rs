@@ -2,26 +2,129 @@
 //! equality exchange, RecoverEnc, batched comparison) whose per-depth message counts make
 //! up the bandwidth figures, plus a whole-query measurement that reports bytes/depth via
 //! the metered channel.
+//!
+//! Since the transport refactor the channel records *measured* wire sizes (binary codec
+//! framing included) instead of `byte_len()` estimates, and this bench additionally
+//! compares batched vs. unbatched `SecDedup` — one `Dedup` message per depth versus one
+//! `EqTest` round per matrix pair — writing the rounds/bytes baseline to
+//! `BENCH_transport.json` at the workspace root.
 
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Serialize;
 
 use sectopk_bench::runners::{measure_query, prepare_dataset};
 use sectopk_bench::BenchScale;
 use sectopk_core::QueryConfig;
 use sectopk_crypto::keys::MasterKeys;
+use sectopk_crypto::paillier::PaillierPublicKey;
 use sectopk_datasets::{DatasetKind, QueryWorkload};
 use sectopk_ehl::EhlEncoder;
-use sectopk_protocols::TwoClouds;
+use sectopk_protocols::{ScoredItem, TransportKind, TwoClouds};
+
+/// Per-configuration measurement of one `SecDedup` execution.
+#[derive(Clone, Copy, Debug, Serialize)]
+struct DedupCost {
+    depth_items: usize,
+    batched: bool,
+    rounds: u64,
+    bytes: u64,
+    messages: u64,
+}
+
+fn dedup_items(
+    count: usize,
+    encoder: &EhlEncoder,
+    pk: &PaillierPublicKey,
+    rng: &mut StdRng,
+) -> Vec<ScoredItem> {
+    (0..count)
+        .map(|i| ScoredItem {
+            // Every third item repeats an object so the dedup path has real work.
+            ehl: encoder
+                .encode(&((i % ((count / 3).max(1))) as u64).to_be_bytes(), pk, rng)
+                .unwrap(),
+            worst: pk.encrypt_u64(i as u64, rng).unwrap(),
+            best: pk.encrypt_u64(i as u64 + 10, rng).unwrap(),
+        })
+        .collect()
+}
+
+fn measure_dedup(master: &MasterKeys, depth_items: usize, batched: bool) -> DedupCost {
+    let mut rng = StdRng::seed_from_u64(depth_items as u64);
+    let encoder = EhlEncoder::new(&master.ehl_keys);
+    let pk = master.paillier_public.clone();
+    let mut clouds =
+        TwoClouds::with_transport(master, 7, TransportKind::InProcess, batched).unwrap();
+    let items = dedup_items(depth_items, &encoder, &pk, &mut rng);
+    let out = clouds.sec_dedup(items, 0).unwrap();
+    assert_eq!(out.len(), depth_items);
+    let metrics = clouds.channel();
+    DedupCost {
+        depth_items,
+        batched,
+        rounds: metrics.rounds,
+        bytes: metrics.bytes,
+        messages: metrics.total_messages(),
+    }
+}
+
+/// Run batched vs. unbatched `SecDedup` at depths 10/50/100 once each, print the
+/// comparison, and record the baseline to `BENCH_transport.json`.
+fn record_transport_baseline(master: &MasterKeys) {
+    let mut results: Vec<DedupCost> = Vec::new();
+    println!(
+        "\nSecDedup rounds/bytes, batched (one Dedup message) vs unbatched (EqTest per pair):"
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12}",
+        "items", "rounds(b)", "rounds(u)", "bytes(b)", "bytes(u)"
+    );
+    for &depth_items in &[10usize, 50, 100] {
+        let batched = measure_dedup(master, depth_items, true);
+        let unbatched = measure_dedup(master, depth_items, false);
+        assert!(
+            batched.rounds < unbatched.rounds,
+            "batching must strictly reduce rounds at depth {depth_items}"
+        );
+        println!(
+            "{:>6} {:>10} {:>10} {:>12} {:>12}",
+            depth_items, batched.rounds, unbatched.rounds, batched.bytes, unbatched.bytes
+        );
+        results.push(batched);
+        results.push(unbatched);
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json");
+    let json = serde_json::to_string_pretty(&results).expect("serialize baseline");
+    if let Err(e) = std::fs::write(path, json + "\n") {
+        eprintln!("could not record BENCH_transport.json: {e}");
+    } else {
+        println!("baseline recorded to BENCH_transport.json\n");
+    }
+}
 
 fn bench_bandwidth(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(13);
     let master = MasterKeys::generate(128, 5, &mut rng).unwrap();
     let encoder = EhlEncoder::new(&master.ehl_keys);
     let pk = master.paillier_public.clone();
+
+    // One-shot rounds/bytes comparison + baseline file (uses a lighter 3-key EHL so the
+    // unbatched depth-100 run stays quick).  Gated behind an env var so routine bench
+    // runs stay fast and do not rewrite the committed baseline.
+    let mut baseline_rng = StdRng::seed_from_u64(31);
+    let baseline_master = MasterKeys::generate(128, 3, &mut baseline_rng).unwrap();
+    if std::env::var("SECTOPK_RECORD_BASELINE").is_ok() {
+        record_transport_baseline(&baseline_master);
+    } else {
+        println!(
+            "\n(set SECTOPK_RECORD_BASELINE=1 to re-run the batched-vs-unbatched SecDedup \
+             sweep at depths 10/50/100 and rewrite BENCH_transport.json)"
+        );
+    }
 
     let mut group = c.benchmark_group("table3_fig13_bandwidth");
     group.sample_size(10);
@@ -45,6 +148,19 @@ fn bench_bandwidth(c: &mut Criterion) {
             })
         });
     }
+
+    // Timed batched dedup at the smallest comparison depth (the unbatched variants are
+    // measured once above — their cost is dominated by the per-pair round trips).
+    group.bench_function("sec_dedup_batched_depth10", |b| {
+        let mut clouds = TwoClouds::new(&baseline_master, 7).unwrap();
+        let bench_encoder = EhlEncoder::new(&baseline_master.ehl_keys);
+        let bench_pk = baseline_master.paillier_public.clone();
+        let mut item_rng = StdRng::seed_from_u64(10);
+        b.iter(|| {
+            let items = dedup_items(10, &bench_encoder, &bench_pk, &mut item_rng);
+            black_box(clouds.sec_dedup(items, 0).unwrap())
+        })
+    });
 
     group.bench_function("whole_query_bytes_per_depth", |b| {
         let scale = BenchScale::smoke();

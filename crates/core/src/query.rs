@@ -179,7 +179,7 @@ pub fn sec_query(
 
     for depth in 0..max_depth {
         let depth_started = Instant::now();
-        let channel_before = *clouds.channel();
+        let channel_before = clouds.channel();
 
         // ---- Sorted access: the item of every token list at this depth (weights applied
         //      homomorphically as §7 prescribes). -----------------------------------------
@@ -290,7 +290,7 @@ pub fn sec_query(
     stats.halted = halted;
     stats.final_tracked_len = tracked.len();
     stats.total_seconds = started.elapsed().as_secs_f64();
-    stats.channel = *clouds.channel();
+    stats.channel = clouds.channel();
     let _ = pk;
 
     Ok(QueryOutcome { top_k, stats })

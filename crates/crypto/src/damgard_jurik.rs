@@ -26,7 +26,7 @@ pub const DJ_S: u32 = 2;
 
 /// A layered (Damgård–Jurik, `s = 2`) ciphertext: an element of `Z_{N³}^*` encrypting an
 /// element of `Z_{N²}` — typically an inner Paillier ciphertext.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct LayeredCiphertext(pub(crate) BigUint);
 
 impl LayeredCiphertext {
@@ -38,6 +38,31 @@ impl LayeredCiphertext {
     /// Serialized length in bytes (for channel bandwidth accounting).
     pub fn byte_len(&self) -> usize {
         (self.0.bits() as usize).div_ceil(8)
+    }
+
+    /// The canonical wire form: the group element as a big-endian byte string.
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        self.0.to_bytes_be()
+    }
+
+    /// Parse the canonical big-endian wire form produced by [`Self::to_bytes_be`].
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        LayeredCiphertext(BigUint::from_bytes_be(bytes))
+    }
+}
+
+// Same wire form as the inner Paillier [`Ciphertext`]: a big-endian byte string, so the
+// metered channel measures exactly `byte_len` bytes per shipped ciphertext.
+impl Serialize for LayeredCiphertext {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Bytes(self.to_bytes_be())
+    }
+}
+
+impl Deserialize for LayeredCiphertext {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        crate::encoding::bytes_from_value(v, "LayeredCiphertext")
+            .map(|b| LayeredCiphertext::from_bytes_be(&b))
     }
 }
 

@@ -1,0 +1,73 @@
+//! Byte-string (de)serialization helpers shared by the ciphertext wire formats.
+//!
+//! Ciphertexts serialize as [`serde::Value::Bytes`] (raw big-endian byte strings) so the
+//! binary wire codec of the transport layer ships them verbatim.  When a value has been
+//! round-tripped through JSON instead (which has no byte-string type), the bytes come
+//! back as a lowercase hex [`serde::Value::Str`]; the helpers here accept both.
+
+/// Extract a byte string from a serialized value: either raw [`serde::Value::Bytes`] or
+/// a hex [`serde::Value::Str`] (the JSON rendering of bytes).
+pub fn bytes_from_value(
+    v: &serde::Value,
+    what: &str,
+) -> std::result::Result<Vec<u8>, serde::Error> {
+    match v {
+        serde::Value::Bytes(b) => Ok(b.clone()),
+        serde::Value::Str(s) => hex_decode(s)
+            .ok_or_else(|| serde::Error::custom(format!("invalid hex byte string for {what}"))),
+        other => Err(serde::Error::invalid_type("byte string", other)),
+    }
+}
+
+/// Decode a lowercase/uppercase hex string into bytes; `None` on any malformed input.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+/// Encode bytes as a lowercase hex string (the inverse of [`hex_decode`]).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let cases: &[&[u8]] = &[b"", b"\x00", b"\xff\x00\xab", b"hello world"];
+        for &c in cases {
+            assert_eq!(hex_decode(&hex_encode(c)).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn hex_decode_rejects_garbage() {
+        assert!(hex_decode("abc").is_none(), "odd length");
+        assert!(hex_decode("zz").is_none(), "non-hex digit");
+    }
+
+    #[test]
+    fn bytes_from_value_accepts_both_forms() {
+        let raw = serde::Value::Bytes(vec![1, 2, 255]);
+        assert_eq!(bytes_from_value(&raw, "t").unwrap(), vec![1, 2, 255]);
+        let hexed = serde::Value::Str("0102ff".into());
+        assert_eq!(bytes_from_value(&hexed, "t").unwrap(), vec![1, 2, 255]);
+        assert!(bytes_from_value(&serde::Value::U64(5), "t").is_err());
+    }
+}

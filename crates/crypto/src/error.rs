@@ -26,6 +26,9 @@ pub enum CryptoError {
     PrimeGenerationFailed,
     /// A serialized key or ciphertext could not be parsed.
     Malformed(String),
+    /// The other protocol party reported a failure, or a transport-level exchange
+    /// (serialization, channel, thread) broke down.
+    Protocol(String),
 }
 
 impl fmt::Display for CryptoError {
@@ -47,6 +50,7 @@ impl fmt::Display for CryptoError {
             CryptoError::DecryptionFailed => write!(f, "decryption failed (wrong key or corrupted ciphertext)"),
             CryptoError::PrimeGenerationFailed => write!(f, "prime generation exhausted its iteration budget"),
             CryptoError::Malformed(what) => write!(f, "malformed serialized value: {what}"),
+            CryptoError::Protocol(what) => write!(f, "protocol failure: {what}"),
         }
     }
 }

@@ -35,6 +35,7 @@
 
 pub mod bigint;
 pub mod damgard_jurik;
+pub mod encoding;
 pub mod error;
 pub mod hmac;
 pub mod keys;

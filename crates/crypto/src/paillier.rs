@@ -62,7 +62,7 @@ pub struct PaillierSecretKey {
 /// Ciphertexts deliberately do **not** implement `PartialEq` on the underlying plaintext
 /// — two encryptions of the same message are different group elements; the paper's `∼`
 /// relation (equal plaintexts) is only decidable with the secret key.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Ciphertext(pub(crate) BigUint);
 
 impl Ciphertext {
@@ -81,6 +81,31 @@ impl Ciphertext {
     /// channel (§11.2.5).
     pub fn byte_len(&self) -> usize {
         (self.0.bits() as usize).div_ceil(8)
+    }
+
+    /// The canonical wire form: the group element as a big-endian byte string.
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        self.0.to_bytes_be()
+    }
+
+    /// Parse the canonical big-endian wire form produced by [`Self::to_bytes_be`].
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        Ciphertext(BigUint::from_bytes_be(bytes))
+    }
+}
+
+// Ciphertexts cross the inter-cloud wire on every protocol round, so they serialize as
+// raw big-endian byte strings (not decimal text): the measured message sizes then match
+// the `byte_len` accounting the paper's Table 3 is computed from.
+impl Serialize for Ciphertext {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Bytes(self.to_bytes_be())
+    }
+}
+
+impl Deserialize for Ciphertext {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        crate::encoding::bytes_from_value(v, "Ciphertext").map(|b| Ciphertext::from_bytes_be(&b))
     }
 }
 

@@ -37,29 +37,17 @@ pub fn secure_multiply_batch(
     let pk = clouds.pk().clone();
 
     // ---- S1: blind both operands of every pair. --------------------------------------
-    let mut blinded = Vec::with_capacity(pairs.len() * 2);
+    let mut blinded = Vec::with_capacity(pairs.len());
     let mut masks = Vec::with_capacity(pairs.len());
     for (a, b) in pairs {
         let r_a = random_below(&mut clouds.s1.rng, pk.n());
         let r_b = random_below(&mut clouds.s1.rng, pk.n());
-        blinded.push(pk.add_plain(a, &r_a));
-        blinded.push(pk.add_plain(b, &r_b));
+        blinded.push((pk.add_plain(a, &r_a), pk.add_plain(b, &r_b)));
         masks.push((r_a, r_b));
     }
-    let bytes: usize = blinded.iter().map(Ciphertext::byte_len).sum();
-    clouds.channel.record(sectopk_protocols::Direction::S1ToS2, bytes, blinded.len());
 
-    // ---- S2: decrypt, multiply, re-encrypt. -------------------------------------------
-    let sk = clouds.s2.keys.paillier_secret.clone();
-    let mut replies = Vec::with_capacity(pairs.len());
-    for chunk in blinded.chunks(2) {
-        let x = sk.decrypt(&chunk[0])?;
-        let y = sk.decrypt(&chunk[1])?;
-        let product = (x * y) % pk.n();
-        replies.push(pk.encrypt(&product, &mut clouds.s2.rng)?);
-    }
-    let reply_bytes: usize = replies.iter().map(Ciphertext::byte_len).sum();
-    clouds.channel.record(sectopk_protocols::Direction::S2ToS1, reply_bytes, replies.len());
+    // ---- transport: S2 decrypts, multiplies, re-encrypts (one metered round trip). ----
+    let replies = clouds.mul_blinded(blinded)?;
 
     // ---- S1: strip the cross terms. -----------------------------------------------------
     let mut out = Vec::with_capacity(pairs.len());

@@ -88,7 +88,7 @@ pub fn sknn_query(
         db.num_attributes(),
         "query point must have one coordinate per attribute"
     );
-    let channel_before = *clouds.channel();
+    let channel_before = clouds.channel();
     let pk = clouds.pk().clone();
     let n = db.len();
     let m = db.num_attributes();

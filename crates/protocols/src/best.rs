@@ -8,11 +8,13 @@
 //!                            x_j^d      otherwise — the "bottom" score last seen in L_j )
 //! ```
 //!
-//! S1 scans the prefix of every other list seen so far, asks S2 for the equality bits
-//! (the designed equality-pattern leakage), selects the matching score with the
-//! Damgård–Jurik trick, and — when no depth matched — adds the current bottom score,
-//! again by a selection whose selector bit (`1 − Σ_l t_l`) is known to S2 because S2
-//! decrypted every `t_l` itself (Algorithm 6 lines 8-12).
+//! S1 scans the prefix of every other list seen so far and asks S2 for the equality bits
+//! (the designed equality-pattern leakage).  The "no depth matched" selector that gates
+//! the bottom-score fallback (Algorithm 6 lines 8-12) is requested as the
+//! `row_unmatched` aggregate of the same equality exchange: S2 derives `E2(¬∨_l t_l)`
+//! from the bits it already decrypted, so the whole per-list decision costs no extra
+//! round.  With batching, all lists and all items of one depth share one equality round
+//! and one `RecoverEnc` round.
 
 use sectopk_crypto::damgard_jurik::LayeredCiphertext;
 use sectopk_crypto::paillier::Ciphertext;
@@ -22,22 +24,10 @@ use sectopk_ehl::EhlPlus;
 use sectopk_storage::EncryptedItem;
 
 use crate::context::TwoClouds;
+use crate::primitives::EqPlan;
+use crate::transport::EqWants;
 
 impl TwoClouds {
-    /// Encrypt, on behalf of S2, a vector of bits that S2 legitimately learned earlier in
-    /// the same protocol (e.g. "this object matched none of the scanned depths").  The
-    /// ciphertexts travel S2 → S1 and are accounted on the channel.
-    pub(crate) fn s2_encrypt_bits(&mut self, bits: &[bool]) -> Result<Vec<LayeredCiphertext>> {
-        let dj_pk = self.s2.keys.dj_public.clone();
-        let mut out = Vec::with_capacity(bits.len());
-        for &b in bits {
-            out.push(dj_pk.encrypt_u64(u64::from(b), &mut self.s2.rng)?);
-        }
-        let bytes: usize = out.iter().map(LayeredCiphertext::byte_len).sum();
-        self.send_to_s1(bytes, out.len());
-        Ok(out)
-    }
-
     /// Compute the encrypted best (upper-bound) score of `item`, which appears in the
     /// queried list `own_list` at depth `depth`, given the prefixes `seen[j]` (depths
     /// `0..=depth`) of every queried list — Protocol 8.2 / Algorithm 6.
@@ -48,42 +38,8 @@ impl TwoClouds {
         seen: &[Vec<EncryptedItem>],
         depth: usize,
     ) -> Result<Ciphertext> {
-        let pk = self.s1.keys.paillier_public.clone();
-        let mut best = item.score.clone();
-
-        for (j, list_prefix) in seen.iter().enumerate() {
-            if j == own_list {
-                continue;
-            }
-            if list_prefix.is_empty() {
-                continue;
-            }
-
-            // ---- S1: permute the scanned prefix and ask for the equality bits. ---------
-            let perm = RandomPermutation::sample(list_prefix.len(), &mut self.s1.rng);
-            let refs: Vec<&EncryptedItem> = list_prefix.iter().collect();
-            let permuted: Vec<&EncryptedItem> = perm.permute(&refs);
-            let pairs: Vec<(&EhlPlus, &EhlPlus)> =
-                permuted.iter().map(|other| (&item.ehl, &other.ehl)).collect();
-            let batch = self.eq_batch(&pairs, "sec_best", Some(depth))?;
-
-            // ---- S1: add the matching score (if any). -----------------------------------
-            let scores: Vec<Ciphertext> = permuted.iter().map(|o| o.score.clone()).collect();
-            let selected = self.select_scores(&batch.e2_bits, &scores)?;
-            for s in &selected {
-                best = pk.add(&best, s);
-            }
-
-            // ---- S2 phase: it knows whether any depth matched; if none did, the bottom
-            //      (last seen) score of the list is the contribution (Algorithm 6 line 10).
-            let unseen = !batch.s2_bits.iter().any(|&b| b);
-            let e2_unseen = self.s2_encrypt_bits(&[unseen])?;
-            let bottom = list_prefix.last().expect("non-empty prefix").score.clone();
-            let bottom_contribution = self.select_scores(&e2_unseen, &[bottom])?;
-            best = pk.add(&best, &bottom_contribution[0]);
-        }
-
-        Ok(pk.rerandomize(&best, &mut self.s1.rng))
+        let jobs = vec![(item, own_list)];
+        Ok(self.best_many(&jobs, seen, depth)?.pop().expect("one job in, one score out"))
     }
 
     /// Compute the best scores of all `m` items at depth `d` (Algorithm 3 line 6).
@@ -96,11 +52,84 @@ impl TwoClouds {
         depth: usize,
     ) -> Result<Vec<Ciphertext>> {
         assert_eq!(depth_items.len(), seen.len(), "one seen-prefix per queried list");
-        let mut bests = Vec::with_capacity(depth_items.len());
-        for (i, item) in depth_items.iter().enumerate() {
-            bests.push(self.sec_best(item, i, seen, depth)?);
+        let jobs: Vec<(&EncryptedItem, usize)> =
+            depth_items.iter().enumerate().map(|(i, item)| (item, i)).collect();
+        self.best_many(&jobs, seen, depth)
+    }
+
+    /// Shared driver: one equality plan per (item, other-list) pair — all shipped in one
+    /// batched round — then one combined selection/recovery round.
+    fn best_many(
+        &mut self,
+        jobs: &[(&EncryptedItem, usize)],
+        seen: &[Vec<EncryptedItem>],
+        depth: usize,
+    ) -> Result<Vec<Ciphertext>> {
+        let pk = self.s1.keys.paillier_public.clone();
+
+        // One entry per scanned (job, list): the permuted prefix scores and the bottom.
+        struct Scan {
+            job: usize,
+            scores: Vec<Ciphertext>,
+            bottom: Ciphertext,
         }
-        Ok(bests)
+
+        let mut plans = Vec::new();
+        let mut scans: Vec<Scan> = Vec::new();
+        for (job_idx, (item, own_list)) in jobs.iter().enumerate() {
+            for (j, list_prefix) in seen.iter().enumerate() {
+                if j == *own_list || list_prefix.is_empty() {
+                    continue;
+                }
+                // ---- S1: permute the scanned prefix and plan its equality row. --------
+                let perm = RandomPermutation::sample(list_prefix.len(), &mut self.s1.rng);
+                let refs: Vec<&EncryptedItem> = list_prefix.iter().collect();
+                let permuted: Vec<&EncryptedItem> = perm.permute(&refs);
+                let pairs: Vec<(&EhlPlus, &EhlPlus)> =
+                    permuted.iter().map(|other| (&item.ehl, &other.ehl)).collect();
+                let diffs = self.eq_diffs(&pairs);
+                plans.push(EqPlan {
+                    cols: diffs.len(),
+                    diffs,
+                    context: "sec_best",
+                    depth: Some(depth),
+                    want: EqWants { row_unmatched: true, ..EqWants::none() },
+                });
+                scans.push(Scan {
+                    job: job_idx,
+                    scores: permuted.iter().map(|o| o.score.clone()).collect(),
+                    bottom: list_prefix.last().expect("non-empty prefix").score.clone(),
+                });
+            }
+        }
+        let outcomes = self.run_eq_plans(plans)?;
+
+        // ---- S1: combined selection — per scan: the matching scores, gated by the
+        //      equality bits, plus the bottom score gated by the "unseen" aggregate. ----
+        let mut all_bits: Vec<LayeredCiphertext> = Vec::new();
+        let mut all_values: Vec<Ciphertext> = Vec::new();
+        for (scan, outcome) in scans.iter().zip(outcomes.iter()) {
+            all_bits.extend(outcome.bits.iter().cloned());
+            all_values.extend(scan.scores.iter().cloned());
+            // The single matrix row yields one `E2(¬∨ t)` bit (Algorithm 6 line 10).
+            let unseen =
+                outcome.aggregates.row_unmatched.first().expect("row_unmatched was requested");
+            all_bits.push(unseen.clone());
+            all_values.push(scan.bottom.clone());
+        }
+        let selected = self.select_scores(&all_bits, &all_values)?;
+
+        // ---- S1: sum the slices back into per-job best scores. -------------------------
+        let mut bests: Vec<Ciphertext> = jobs.iter().map(|(item, _)| item.score.clone()).collect();
+        let mut offset = 0usize;
+        for scan in &scans {
+            let span = scan.scores.len() + 1;
+            for s in &selected[offset..offset + span] {
+                bests[scan.job] = pk.add(&bests[scan.job], s);
+            }
+            offset += span;
+        }
+        Ok(bests.into_iter().map(|b| pk.rerandomize(&b, &mut self.s1.rng)).collect())
     }
 }
 
@@ -203,6 +232,17 @@ mod tests {
         let best = clouds.sec_best(&item, 0, &seen, 1).unwrap();
         // 50 + bottom(list1)=30 + bottom(list2)=7 = 87.
         assert_eq!(master.paillier_secret.decrypt_u64(&best).unwrap(), 87);
+    }
+
+    #[test]
+    fn whole_depth_costs_two_rounds_when_batched() {
+        let (_master, mut clouds, encoder, mut rng) = setup();
+        let pk = clouds.pk().clone();
+        let seen = fig3_prefixes(2, &encoder, &pk, &mut rng);
+        let depth_items: Vec<EncryptedItem> = seen.iter().map(|l| l[1].clone()).collect();
+        let _ = clouds.sec_best_depth(&depth_items, &seen, 2).unwrap();
+        // One batched equality round + one combined RecoverEnc round for the whole depth.
+        assert_eq!(clouds.channel().rounds, 2);
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub struct ChannelMetrics {
     pub bytes: u64,
     /// Number of protocol round trips (an S1→S2 message followed by the S2→S1 reply).
     pub rounds: u64,
+    /// Requests sent by S1 that have not yet been answered.  A reply counts as a round
+    /// only when it closes one of these — multi-part replies and unsolicited S2 pushes
+    /// no longer inflate the round count.
+    pub outstanding_requests: u64,
 }
 
 impl ChannelMetrics {
@@ -42,11 +46,18 @@ impl ChannelMetrics {
     /// Record one message of `bytes` bytes carrying `ciphertexts` ciphertexts.
     pub fn record(&mut self, direction: Direction, bytes: usize, ciphertexts: usize) {
         match direction {
-            Direction::S1ToS2 => self.messages_s1_to_s2 += 1,
+            Direction::S1ToS2 => {
+                self.messages_s1_to_s2 += 1;
+                self.outstanding_requests += 1;
+            }
             Direction::S2ToS1 => {
                 self.messages_s2_to_s1 += 1;
-                // A reply closes a round trip.
-                self.rounds += 1;
+                // A reply closes a round trip only if a request is actually outstanding;
+                // additional reply parts ride on the already-counted round.
+                if self.outstanding_requests > 0 {
+                    self.outstanding_requests -= 1;
+                    self.rounds += 1;
+                }
             }
         }
         self.bytes += bytes as u64;
@@ -82,6 +93,7 @@ impl ChannelMetrics {
             ciphertexts: self.ciphertexts - earlier.ciphertexts,
             bytes: self.bytes - earlier.bytes,
             rounds: self.rounds - earlier.rounds,
+            outstanding_requests: 0,
         }
     }
 
@@ -111,6 +123,25 @@ mod tests {
         assert_eq!(m.bytes, 160);
         assert_eq!(m.ciphertexts, 3);
         assert_eq!(m.rounds, 1);
+    }
+
+    #[test]
+    fn multi_part_replies_and_pushes_do_not_inflate_rounds() {
+        let mut m = ChannelMetrics::new();
+        // One request answered by a three-part reply: still one round trip.
+        m.record(Direction::S1ToS2, 10, 1);
+        m.record(Direction::S2ToS1, 5, 0);
+        m.record(Direction::S2ToS1, 5, 0);
+        m.record(Direction::S2ToS1, 5, 0);
+        assert_eq!(m.rounds, 1);
+        // An unsolicited S2 push is not a round either.
+        m.record(Direction::S2ToS1, 5, 0);
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.messages_s2_to_s1, 4);
+        // The next proper exchange counts normally.
+        m.record(Direction::S1ToS2, 10, 1);
+        m.record(Direction::S2ToS1, 5, 0);
+        assert_eq!(m.rounds, 2);
     }
 
     #[test]

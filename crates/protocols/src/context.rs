@@ -2,21 +2,30 @@
 //!
 //! The paper's architecture (§3.2) has a primary cloud S1 (stores the encrypted relation,
 //! holds only public keys) and a crypto cloud S2 (holds the Paillier / Damgård–Jurik
-//! secret keys, stores no data).  Both parties are semi-honest and non-colluding.  In
-//! this reproduction both run in-process inside a [`TwoClouds`] value; every message that
-//! would cross the network is accounted in the [`ChannelMetrics`] and every observation a
-//! party makes beyond its own inputs is recorded in its [`LeakageLedger`].
+//! secret keys, stores no data).  Both parties are semi-honest and non-colluding.
+//!
+//! A [`TwoClouds`] value holds S1's state directly and reaches S2 **only** through a
+//! [`Transport`](crate::transport::Transport): every S1 ↔ S2 exchange is a typed,
+//! serializable [`S1Request`] / [`S2Response`](crate::transport::S2Response) round trip,
+//! metered in the transport's [`ChannelMetrics`] and reflected in the per-party
+//! [`LeakageLedger`]s.  The transport is selected by [`TransportKind`] (or the
+//! `SECTOPK_TRANSPORT` environment variable): in-process for speed, or a real
+//! thread-backed message channel.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sectopk_crypto::damgard_jurik::DjPublicKey;
-use sectopk_crypto::keys::{MasterKeys, S1Keys, S2Keys};
+use sectopk_crypto::keys::{MasterKeys, S1Keys};
 use sectopk_crypto::paillier::{generate_keypair, PaillierPublicKey, PaillierSecretKey};
 use sectopk_crypto::Result;
 
-use crate::channel::{ChannelMetrics, Direction};
+use crate::channel::ChannelMetrics;
+use crate::engine::S2Engine;
 use crate::ledger::LeakageLedger;
+use crate::transport::{
+    ChannelTransport, InProcessTransport, S1Request, S2Response, Transport, TransportKind,
+};
 
 /// State held by the primary cloud S1 during protocol execution.
 #[derive(Debug)]
@@ -34,35 +43,35 @@ pub struct S1State {
     pub ledger: LeakageLedger,
 }
 
-/// State held by the crypto cloud S2 during protocol execution.
-#[derive(Debug)]
-pub struct S2State {
-    /// Public and secret key material uploaded by the data owner.
-    pub keys: S2Keys,
-    /// S2's local randomness.
-    pub rng: StdRng,
-    /// Everything S2 observed beyond its inputs.
-    pub ledger: LeakageLedger,
-}
-
-/// The in-process simulation of the two non-colluding clouds plus the metered channel
-/// connecting them.
+/// The two non-colluding clouds: S1's state plus the metered transport to the S2 engine.
 #[derive(Debug)]
 pub struct TwoClouds {
     /// The primary cloud S1.
     pub s1: S1State,
-    /// The crypto cloud S2.
-    pub s2: S2State,
-    /// Communication accounting.
-    pub channel: ChannelMetrics,
+    /// The message channel to the crypto cloud S2 (which owns all S2 state).
+    transport: Box<dyn Transport>,
+    /// Whether multi-item exchanges are shipped as single messages (round-trip
+    /// batching).  `false` degrades to one message per pair — the pre-batching wire
+    /// pattern, kept for the bandwidth benchmarks.
+    batching: bool,
 }
 
 impl TwoClouds {
-    /// Set up the two clouds from the data owner's key bundle.  `seed` makes every
-    /// random choice of both parties reproducible (useful for tests and benches).
+    /// Set up the two clouds from the data owner's key bundle with the transport chosen
+    /// by the `SECTOPK_TRANSPORT` environment variable (in-process by default) and
+    /// batching enabled.  `seed` makes every random choice of both parties reproducible.
     pub fn new(master: &MasterKeys, seed: u64) -> Result<Self> {
+        Self::with_transport(master, seed, TransportKind::from_env(), true)
+    }
+
+    /// Set up the two clouds with an explicit transport and batching policy.
+    pub fn with_transport(
+        master: &MasterKeys,
+        seed: u64,
+        kind: TransportKind,
+        batching: bool,
+    ) -> Result<Self> {
         let mut s1_rng = StdRng::seed_from_u64(seed ^ 0x5151_5151_5151_5151);
-        let s2_rng = StdRng::seed_from_u64(seed ^ 0x5252_5252_5252_5252);
 
         // S1's own key pair is used to transport blinding randomness through S2 (SecDedup,
         // SecFilter).  The composed masks are sums (≤ 2N) or products (≤ N²) of values in
@@ -70,6 +79,15 @@ impl TwoClouds {
         // that those compositions never wrap: 2·|N| + 64 bits.
         let own_bits = master.paillier_public.modulus_bits() * 2 + 64;
         let (own_public, own_secret) = generate_keypair(own_bits, &mut s1_rng)?;
+
+        // S2 receives the owner's secret-key view and S1's published own public key; it
+        // lives behind the transport from here on.
+        let engine =
+            S2Engine::new(master.s2_view(), own_public.clone(), seed ^ 0x5252_5252_5252_5252);
+        let transport: Box<dyn Transport> = match kind {
+            TransportKind::InProcess => Box::new(InProcessTransport::new(engine)),
+            TransportKind::Channel => Box::new(ChannelTransport::new(engine)),
+        };
 
         Ok(TwoClouds {
             s1: S1State {
@@ -79,8 +97,8 @@ impl TwoClouds {
                 rng: s1_rng,
                 ledger: LeakageLedger::new(),
             },
-            s2: S2State { keys: master.s2_view(), rng: s2_rng, ledger: LeakageLedger::new() },
-            channel: ChannelMetrics::new(),
+            transport,
+            batching,
         })
     }
 
@@ -94,9 +112,19 @@ impl TwoClouds {
         &self.s1.keys.dj_public
     }
 
-    /// Communication statistics accumulated so far.
-    pub fn channel(&self) -> &ChannelMetrics {
-        &self.channel
+    /// Which transport implementation carries the S1 ↔ S2 messages.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport.kind()
+    }
+
+    /// Whether round-trip batching is enabled.
+    pub fn batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Communication statistics accumulated so far (metered at the transport boundary).
+    pub fn channel(&self) -> ChannelMetrics {
+        self.transport.metrics()
     }
 
     /// S1's leakage ledger.
@@ -104,26 +132,21 @@ impl TwoClouds {
         &self.s1.ledger
     }
 
-    /// S2's leakage ledger.
-    pub fn s2_ledger(&self) -> &LeakageLedger {
-        &self.s2.ledger
+    /// A snapshot of S2's leakage ledger, fetched through the transport's control plane.
+    pub fn s2_ledger(&self) -> LeakageLedger {
+        self.transport.s2_ledger()
     }
 
     /// Reset the channel metrics and both ledgers (e.g. between queries).
     pub fn reset_accounting(&mut self) {
-        self.channel = ChannelMetrics::new();
+        self.transport.reset_metrics();
+        self.transport.reset_s2();
         self.s1.ledger.clear();
-        self.s2.ledger.clear();
     }
 
-    /// Record a message from S1 to S2 of `bytes` bytes carrying `ciphertexts` ciphertexts.
-    pub(crate) fn send_to_s2(&mut self, bytes: usize, ciphertexts: usize) {
-        self.channel.record(Direction::S1ToS2, bytes, ciphertexts);
-    }
-
-    /// Record a message from S2 to S1 of `bytes` bytes carrying `ciphertexts` ciphertexts.
-    pub(crate) fn send_to_s1(&mut self, bytes: usize, ciphertexts: usize) {
-        self.channel.record(Direction::S2ToS1, bytes, ciphertexts);
+    /// Ship one request to S2 and return its response (one metered round trip).
+    pub(crate) fn round(&mut self, request: S1Request) -> Result<S2Response> {
+        self.transport.round_trip(request)
     }
 }
 
@@ -144,6 +167,7 @@ mod tests {
         assert_eq!(clouds.channel().total_messages(), 0);
         assert!(clouds.s1_ledger().is_empty());
         assert!(clouds.s2_ledger().is_empty());
+        assert!(clouds.batching());
     }
 
     #[test]
@@ -151,12 +175,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let master = MasterKeys::generate(MIN_MODULUS_BITS, 2, &mut rng).unwrap();
         let mut clouds = TwoClouds::new(&master, 3).unwrap();
-        clouds.send_to_s2(128, 2);
-        clouds.send_to_s1(64, 1);
-        assert_eq!(clouds.channel().bytes, 192);
+        let a = clouds.pk().clone().encrypt_u64(1, &mut clouds.s1.rng).unwrap();
+        let b = clouds.pk().clone().encrypt_u64(2, &mut clouds.s1.rng).unwrap();
+        let _ = clouds.enc_compare(&a, &b, "test").unwrap();
+        assert!(clouds.channel().bytes > 0);
         assert_eq!(clouds.channel().rounds, 1);
+        assert!(!clouds.s2_ledger().is_empty());
         clouds.reset_accounting();
         assert_eq!(clouds.channel().total_messages(), 0);
+        assert!(clouds.s1_ledger().is_empty());
+        assert!(clouds.s2_ledger().is_empty());
     }
 
     #[test]
@@ -169,5 +197,16 @@ mod tests {
         let ca = pk.encrypt_u64(5, &mut a.s1.rng).unwrap();
         let cb = pk.encrypt_u64(5, &mut b.s1.rng).unwrap();
         assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn explicit_transport_selection() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let master = MasterKeys::generate(MIN_MODULUS_BITS, 2, &mut rng).unwrap();
+        let a = TwoClouds::with_transport(&master, 1, TransportKind::InProcess, true).unwrap();
+        assert_eq!(a.transport_kind(), TransportKind::InProcess);
+        let b = TwoClouds::with_transport(&master, 1, TransportKind::Channel, false).unwrap();
+        assert_eq!(b.transport_kind(), TransportKind::Channel);
+        assert!(!b.batching());
     }
 }

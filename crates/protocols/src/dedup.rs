@@ -1,4 +1,4 @@
-//! `SecDedup` (Algorithm 7) and the optimized `SecDupElim` (§10.1).
+//! `SecDedup` (Algorithm 7) and the optimized `SecDupElim` (§10.1) — the S1 side.
 //!
 //! The same object can appear in several queried lists at the same depth; its worst/best
 //! scores would then be counted several times when the per-depth items are merged into
@@ -7,12 +7,17 @@
 //! 1. S1 computes the pairwise `⊖` equality matrix of the items, blinds every item with
 //!    fresh randomness (`Rand`, Algorithm 8), encrypts that randomness under **its own**
 //!    key pair `pk'` and ships matrix + blinded items + encrypted randomness to S2 under
-//!    a random permutation `π`.
+//!    a random permutation `π` — as a single [`crate::transport::S1Request::Dedup`]
+//!    message when batching is enabled, or as one
+//!    [`crate::transport::S1Request::EqTest`] round per matrix entry followed by the
+//!    item exchange when it is not (the pre-batching wire pattern the bandwidth bench
+//!    compares against).
 //! 2. S2 decrypts the matrix (learning only the permuted equality pattern `EP^d`), keeps
 //!    the first copy of every duplicate group and *replaces* the others by garbage items
 //!    whose worst/best scores unblind to the sentinel `Z = −1`, re-randomizes and
 //!    re-blinds every kept item, updates the encrypted randomness accordingly, applies a
-//!    second permutation `π'` and returns everything.
+//!    second permutation `π'` and returns everything (see
+//!    [`crate::engine::S2Engine`]).
 //! 3. S1 decrypts the randomness with `sk'`, unblinds, and obtains a list in which every
 //!    object survives exactly once — without learning which positions were replaced.
 //!
@@ -23,15 +28,14 @@
 use num_bigint::BigUint;
 use serde::{Deserialize, Serialize};
 
-use sectopk_crypto::bigint::random_below;
 use sectopk_crypto::paillier::{Ciphertext, PaillierPublicKey};
 use sectopk_crypto::prp::RandomPermutation;
-use sectopk_crypto::Result;
-use sectopk_ehl::EhlPlus;
+use sectopk_crypto::{CryptoError, Result};
 
 use crate::context::TwoClouds;
 use crate::items::{rand_blind, ItemBlinding, ScoredItem};
 use crate::ledger::LeakageEvent;
+use crate::transport::{DedupRequest, S1Request, S2Response};
 
 /// The blinding randomness of one item, encrypted under S1's own key `pk'` so it can
 /// round-trip through S2 (the `H_i` values of Algorithm 7).
@@ -46,12 +50,6 @@ pub struct EncryptedBlinding {
 }
 
 impl EncryptedBlinding {
-    fn byte_len(&self) -> usize {
-        self.alphas.iter().map(Ciphertext::byte_len).sum::<usize>()
-            + self.beta.byte_len()
-            + self.gamma.byte_len()
-    }
-
     fn encrypt<R: rand::RngCore + rand::CryptoRng>(
         blinding: &ItemBlinding,
         own_pk: &PaillierPublicKey,
@@ -69,21 +67,12 @@ impl EncryptedBlinding {
     }
 }
 
-/// Which variant of the de-duplication protocol to run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum DedupMode {
-    /// Keep the list length, neutralising duplicates (full privacy, Algorithm 7).
-    Replace,
-    /// Remove duplicates, revealing the uniqueness pattern to S1 (§10.1).
-    Eliminate,
-}
-
 impl TwoClouds {
     /// `SecDedup`: return a list of the same length in which at most one copy of every
     /// object carries real scores; the remaining copies have garbage ids and sentinel
     /// (−1) scores so they can never reach the top-k.
     pub fn sec_dedup(&mut self, items: Vec<ScoredItem>, depth: usize) -> Result<Vec<ScoredItem>> {
-        self.dedup_inner(items, depth, DedupMode::Replace)
+        self.dedup_inner(items, depth, false)
     }
 
     /// `SecDupElim`: like [`Self::sec_dedup`] but duplicates are removed, so the output
@@ -93,14 +82,14 @@ impl TwoClouds {
         items: Vec<ScoredItem>,
         depth: usize,
     ) -> Result<Vec<ScoredItem>> {
-        self.dedup_inner(items, depth, DedupMode::Eliminate)
+        self.dedup_inner(items, depth, true)
     }
 
     fn dedup_inner(
         &mut self,
         items: Vec<ScoredItem>,
         depth: usize,
-        mode: DedupMode,
+        eliminate: bool,
     ) -> Result<Vec<ScoredItem>> {
         let l = items.len();
         if l <= 1 {
@@ -137,126 +126,66 @@ impl TwoClouds {
         let pi = RandomPermutation::sample(l, &mut self.s1.rng);
         let permuted_items = pi.permute(&blinded_items);
         let permuted_blindings = pi.permute(&encrypted_blindings);
-        let permuted_matrix: Vec<((usize, usize), Ciphertext)> = matrix_entries
+        let (pair_indices, matrix): (Vec<(usize, usize)>, Vec<Ciphertext>) = matrix_entries
             .into_iter()
             .map(|((i, j), c)| {
                 let (a, b) = (pi.apply(i), pi.apply(j));
                 (if a < b { (a, b) } else { (b, a) }, c)
             })
-            .collect();
+            .unzip();
 
-        let msg_bytes: usize = permuted_items.iter().map(ScoredItem::byte_len).sum::<usize>()
-            + permuted_blindings.iter().map(EncryptedBlinding::byte_len).sum::<usize>()
-            + permuted_matrix.iter().map(|(_, c)| c.byte_len()).sum::<usize>();
-        let msg_ciphertexts = permuted_matrix.len()
-            + permuted_items.len() * (permuted_items[0].ehl.len() + 2)
-            + permuted_blindings.iter().map(|b| b.alphas.len() + 2).sum::<usize>();
-        self.send_to_s2(msg_bytes, msg_ciphertexts);
-
-        // ================= S2: decrypt matrix, neutralise duplicates ==================
-        let sk = self.s2.keys.paillier_secret.clone();
-        let mut equal = vec![vec![false; l]; l];
-        for ((a, b), c) in &permuted_matrix {
-            let is_eq = sk.is_zero(c)?;
-            self.s2.ledger.record(LeakageEvent::EqualityBit {
-                context: "sec_dedup".into(),
-                depth: Some(depth),
-                equal: is_eq,
-            });
-            equal[*a][*b] = is_eq;
-            equal[*b][*a] = is_eq;
-        }
-
-        // The first (lowest permuted index) member of every duplicate group survives.
-        let mut is_duplicate = vec![false; l];
-        for a in 0..l {
-            if is_duplicate[a] {
-                continue;
+        // ================= transport: one message, or one round per pair ===============
+        let request = if self.batching() {
+            DedupRequest {
+                items: permuted_items,
+                blindings: permuted_blindings,
+                pair_indices,
+                matrix: Some(matrix),
+                eliminate,
+                depth,
             }
-            for b in (a + 1)..l {
-                if equal[a][b] {
-                    is_duplicate[b] = true;
+        } else {
+            // Stream the matrix entry by entry (the pre-batching wire pattern); the
+            // engine accumulates the decrypted bits for the closing Dedup message and
+            // replies with a bare ack — S2 consumes the bits itself, so an encrypted
+            // reply would be wasted bandwidth.
+            for diff in matrix {
+                match self.round(S1Request::EqTest {
+                    diff,
+                    context: "sec_dedup".to_string(),
+                    depth: Some(depth),
+                    accumulate: true,
+                    reply_bit: false,
+                })? {
+                    S2Response::Ack => {}
+                    other => return Err(crate::primitives::unexpected(&other, "Ack")),
                 }
             }
-        }
-        let unique_count = is_duplicate.iter().filter(|&&d| !d).count();
-
-        let z = pk.sentinel_z();
-        let mut processed: Vec<(ScoredItem, EncryptedBlinding)> = Vec::with_capacity(l);
-        for idx in 0..l {
-            let received_item = &permuted_items[idx];
-            let received_blinding = &permuted_blindings[idx];
-
-            if is_duplicate[idx] {
-                if mode == DedupMode::Eliminate {
-                    continue;
-                }
-                // Replace: fresh garbage id, scores that will unblind to Z = −1.
-                let beta2 = random_below(&mut self.s2.rng, pk.n());
-                let gamma2 = random_below(&mut self.s2.rng, pk.n());
-                let garbage_blocks: Vec<Ciphertext> = (0..received_item.ehl.len())
-                    .map(|_| {
-                        let garbage = random_below(&mut self.s2.rng, pk.n());
-                        pk.encrypt(&garbage, &mut self.s2.rng)
-                    })
-                    .collect::<Result<Vec<_>>>()?;
-                let replaced = ScoredItem {
-                    ehl: EhlPlus::from_blocks(garbage_blocks),
-                    worst: pk.encrypt(&((&z + &beta2) % pk.n()), &mut self.s2.rng)?,
-                    best: pk.encrypt(&((&z + &gamma2) % pk.n()), &mut self.s2.rng)?,
-                };
-                let new_blinding = EncryptedBlinding {
-                    alphas: (0..received_item.ehl.len())
-                        .map(|_| own_pk.encrypt(&BigUint::from(0u32), &mut self.s2.rng))
-                        .collect::<Result<Vec<_>>>()?,
-                    beta: own_pk.encrypt(&beta2, &mut self.s2.rng)?,
-                    gamma: own_pk.encrypt(&gamma2, &mut self.s2.rng)?,
-                };
-                processed.push((replaced, new_blinding));
-            } else {
-                // Keep: layer fresh blinding on top (so S1 cannot tell kept from replaced)
-                // and update the encrypted randomness accordingly.
-                let extra = ItemBlinding::sample(received_item.ehl.len(), &pk, &mut self.s2.rng);
-                let mut reblinded = rand_blind(received_item, &extra, &pk);
-                // Fresh ciphertexts so S1 cannot correlate with what it sent.
-                reblinded = crate::items::rerandomize_item(&reblinded, &pk, &mut self.s2.rng);
-
-                let updated_blinding = EncryptedBlinding {
-                    alphas: received_blinding
-                        .alphas
-                        .iter()
-                        .zip(extra.alphas.iter())
-                        .map(|(c, a)| own_pk.rerandomize(&own_pk.add_plain(c, a), &mut self.s2.rng))
-                        .collect(),
-                    beta: own_pk.rerandomize(
-                        &own_pk.add_plain(&received_blinding.beta, &extra.beta),
-                        &mut self.s2.rng,
-                    ),
-                    gamma: own_pk.rerandomize(
-                        &own_pk.add_plain(&received_blinding.gamma, &extra.gamma),
-                        &mut self.s2.rng,
-                    ),
-                };
-                processed.push((reblinded, updated_blinding));
+            DedupRequest {
+                items: permuted_items,
+                blindings: permuted_blindings,
+                pair_indices,
+                matrix: None,
+                eliminate,
+                depth,
             }
+        };
+        let (returned_items, returned_blindings) = match self.round(S1Request::Dedup(request))? {
+            S2Response::Dedup { items, blindings } => (items, blindings),
+            other => return Err(crate::primitives::unexpected(&other, "Dedup")),
+        };
+        if returned_items.len() != returned_blindings.len() {
+            return Err(CryptoError::Protocol("dedup reply arity mismatch".into()));
         }
 
-        // Second permutation π' before returning.
-        let pi_prime = RandomPermutation::sample(processed.len(), &mut self.s2.rng);
-        let returned = pi_prime.permute(&processed);
-
-        let reply_bytes: usize =
-            returned.iter().map(|(item, blinding)| item.byte_len() + blinding.byte_len()).sum();
-        self.send_to_s1(reply_bytes, returned.len() * (2 + 2));
-
-        if mode == DedupMode::Eliminate {
+        if eliminate {
             // The shorter list reveals the uniqueness pattern to S1 (§10.1).
-            self.s1.ledger.record(LeakageEvent::UniqueCount { depth, count: unique_count });
+            self.s1.ledger.record(LeakageEvent::UniqueCount { depth, count: returned_items.len() });
         }
 
         // ================= S1: unblind ================================================
-        let mut output = Vec::with_capacity(returned.len());
-        for (item, blinding) in &returned {
+        let mut output = Vec::with_capacity(returned_items.len());
+        for (item, blinding) in returned_items.iter().zip(returned_blindings.iter()) {
             let alphas: Vec<BigUint> =
                 blinding.alphas.iter().map(|c| own_sk.decrypt(c)).collect::<Result<Vec<_>>>()?;
             let beta = own_sk.decrypt(&blinding.beta)?;
@@ -272,6 +201,7 @@ impl TwoClouds {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::TransportKind;
     use num_bigint::BigInt;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -323,11 +253,36 @@ mod tests {
         ];
         let out = clouds.sec_dedup(items, 2).unwrap();
         assert_eq!(out.len(), 3, "SecDedup keeps the list length");
+        // The whole exchange is a single round trip when batched.
+        assert_eq!(clouds.channel().rounds, 1);
 
         let mut worsts = decrypt_worsts(&out, &master);
         worsts.sort_unstable();
         // Exactly one copy of X1 (16) and one of X2 (13) survive; the duplicate is −1.
         assert_eq!(worsts, vec![-1, 13, 16]);
+    }
+
+    #[test]
+    fn unbatched_dedup_pays_one_round_per_pair() {
+        let mut rng = StdRng::seed_from_u64(405);
+        let master = MasterKeys::generate(MIN_MODULUS_BITS, 3, &mut rng).unwrap();
+        let mut clouds =
+            TwoClouds::with_transport(&master, 44, TransportKind::InProcess, false).unwrap();
+        let encoder = EhlEncoder::new(&master.ehl_keys);
+        let pk = &master.paillier_public;
+        let items = vec![
+            item("A", 1, 2, &encoder, pk, &mut rng),
+            item("A", 1, 2, &encoder, pk, &mut rng),
+            item("B", 3, 4, &encoder, pk, &mut rng),
+            item("C", 5, 6, &encoder, pk, &mut rng),
+        ];
+        let out = clouds.sec_dedup(items, 0).unwrap();
+        assert_eq!(out.len(), 4);
+        // 4 items ⇒ 6 matrix pairs ⇒ 6 EqTest rounds + the item exchange.
+        assert_eq!(clouds.channel().rounds, 7);
+        let mut worsts = decrypt_worsts(&out, &master);
+        worsts.sort_unstable();
+        assert_eq!(worsts, vec![-1, 1, 3, 5]);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! The crypto cloud S2 as a request-processing engine.
+//!
+//! All S2-side protocol logic lives here: the engine owns the decryption keys, S2's
+//! randomness, its [`LeakageLedger`] and the per-session protocol state (the equality
+//! bits accumulated by unbatched [`S1Request::EqTest`] rounds).  Sub-protocol code on
+//! the S1 side can only reach it through a [`crate::transport::Transport`], so
+//! everything S2 observes is an explicit message — the executable counterpart of the
+//! paper's non-collusion assumption (§3.2).
+
+use num_bigint::BigUint;
+
+use sectopk_crypto::bigint::{mod_inverse, random_below, random_invertible};
+use sectopk_crypto::keys::S2Keys;
+use sectopk_crypto::paillier::{Ciphertext, PaillierPublicKey};
+use sectopk_crypto::prp::RandomPermutation;
+use sectopk_crypto::{CryptoError, Result};
+use sectopk_ehl::EhlPlus;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dedup::EncryptedBlinding;
+use crate::items::{rand_blind, rerandomize_item, ItemBlinding, ScoredItem};
+use crate::ledger::{LeakageEvent, LeakageLedger};
+use crate::transport::{DedupRequest, EqAggregates, EqWants, FilterTuple, S1Request, S2Response};
+
+/// The crypto cloud S2: keys, randomness, ledger, and the request handler.
+#[derive(Debug)]
+pub struct S2Engine {
+    keys: S2Keys,
+    /// S1's *own* public key `pk'`, published at setup time; S2 uses it to transport
+    /// blinding randomness back to S1 in SecDedup / SecFilter (Algorithms 7 and 12).
+    s1_own_public: PaillierPublicKey,
+    rng: StdRng,
+    ledger: LeakageLedger,
+    /// Equality bits accumulated from unbatched [`S1Request::EqTest`] rounds, consumed
+    /// by the next [`S1Request::EqAggregate`] or matrix-less [`S1Request::Dedup`].
+    pending_eq: Vec<bool>,
+}
+
+impl S2Engine {
+    /// Build the engine from the owner's S2 key view, S1's published own public key, and
+    /// a seed for S2's local randomness.
+    pub fn new(keys: S2Keys, s1_own_public: PaillierPublicKey, rng_seed: u64) -> Self {
+        S2Engine {
+            keys,
+            s1_own_public,
+            rng: StdRng::seed_from_u64(rng_seed),
+            ledger: LeakageLedger::new(),
+            pending_eq: Vec::new(),
+        }
+    }
+
+    /// Everything S2 has observed beyond its inputs.
+    pub fn ledger(&self) -> &LeakageLedger {
+        &self.ledger
+    }
+
+    /// Clear the ledger and the per-session protocol state (e.g. between queries).
+    pub fn reset(&mut self) {
+        self.ledger.clear();
+        self.pending_eq.clear();
+    }
+
+    /// Process one request and produce the response that travels back to S1.
+    pub fn handle(&mut self, request: &S1Request) -> Result<S2Response> {
+        match request {
+            S1Request::EqTest { diff, context, depth, accumulate, reply_bit } => {
+                let bit = self.observe_eq_bit(diff, context, *depth)?;
+                if *accumulate {
+                    self.pending_eq.push(bit);
+                }
+                if *reply_bit {
+                    let e2 = self.keys.dj_public.encrypt_u64(u64::from(bit), &mut self.rng)?;
+                    Ok(S2Response::EqBit(e2))
+                } else {
+                    Ok(S2Response::Ack)
+                }
+            }
+            S1Request::EqMatrix { diffs, cols, context, depth, want } => {
+                if *cols == 0 || diffs.len() % cols != 0 {
+                    return Err(CryptoError::Protocol(format!(
+                        "equality matrix of {} entries is not a multiple of {cols} columns",
+                        diffs.len()
+                    )));
+                }
+                let mut bits = Vec::with_capacity(diffs.len());
+                for diff in diffs {
+                    bits.push(self.observe_eq_bit(diff, context, *depth)?);
+                }
+                let mut e2_bits = Vec::with_capacity(bits.len());
+                for &bit in &bits {
+                    e2_bits.push(self.keys.dj_public.encrypt_u64(u64::from(bit), &mut self.rng)?);
+                }
+                let aggregates = self.derive_aggregates(&bits, *cols, *want)?;
+                Ok(S2Response::EqBits { bits: e2_bits, aggregates })
+            }
+            S1Request::EqAggregate { rows, cols, want } => {
+                if *cols == 0 {
+                    return Err(CryptoError::Protocol(
+                        "EqAggregate over a zero-column matrix".into(),
+                    ));
+                }
+                let count = rows * cols;
+                if self.pending_eq.len() != count {
+                    return Err(CryptoError::Protocol(format!(
+                        "EqAggregate over {count} bits but {} were streamed",
+                        self.pending_eq.len()
+                    )));
+                }
+                let bits = std::mem::take(&mut self.pending_eq);
+                let aggregates = self.derive_aggregates(&bits, *cols, *want)?;
+                Ok(S2Response::EqAggregates(aggregates))
+            }
+            S1Request::Compare { blinded, context } => {
+                let sk = self.keys.paillier_secret.clone();
+                let mut signs = Vec::with_capacity(blinded.len());
+                for c in blinded {
+                    let v = sk.decrypt_signed(c)?;
+                    self.ledger.record(LeakageEvent::BlindedSign { context: context.clone() });
+                    signs.push(match v.sign() {
+                        num_bigint::Sign::Minus => -1i8,
+                        num_bigint::Sign::NoSign => 0,
+                        num_bigint::Sign::Plus => 1,
+                    });
+                }
+                Ok(S2Response::Signs(signs))
+            }
+            S1Request::Recover { blinded } => {
+                let dj_sk = self.keys.dj_secret.clone();
+                let mut inner = Vec::with_capacity(blinded.len());
+                for b in blinded {
+                    inner.push(dj_sk.decrypt_to_ciphertext(b)?);
+                }
+                Ok(S2Response::Recovered(inner))
+            }
+            S1Request::Dedup(dedup) => self.handle_dedup(dedup),
+            S1Request::Filter { tuples } => self.handle_filter(tuples),
+            S1Request::MulBlinded { pairs } => {
+                let pk = self.keys.paillier_public.clone();
+                let sk = self.keys.paillier_secret.clone();
+                let mut products = Vec::with_capacity(pairs.len());
+                for (a, b) in pairs {
+                    let x = sk.decrypt(a)?;
+                    let y = sk.decrypt(b)?;
+                    products.push(pk.encrypt(&((x * y) % pk.n()), &mut self.rng)?);
+                }
+                Ok(S2Response::Products(products))
+            }
+            S1Request::Batch(requests) => {
+                let mut responses = Vec::with_capacity(requests.len());
+                for req in requests {
+                    if matches!(req, S1Request::Batch(_)) {
+                        // One level of batching is all the protocols need; rejecting
+                        // nesting keeps the handler's recursion bounded.
+                        return Err(CryptoError::Protocol("nested Batch requests".into()));
+                    }
+                    responses.push(self.handle(req)?);
+                }
+                Ok(S2Response::Batch(responses))
+            }
+        }
+    }
+
+    /// Decrypt one `⊖` equality ciphertext and record the observation (the equality
+    /// pattern `EP^d` is S2's designed leakage).
+    fn observe_eq_bit(
+        &mut self,
+        diff: &Ciphertext,
+        context: &str,
+        depth: Option<usize>,
+    ) -> Result<bool> {
+        let equal = self.keys.paillier_secret.is_zero(diff)?;
+        self.ledger.record(LeakageEvent::EqualityBit {
+            context: context.to_string(),
+            depth,
+            equal,
+        });
+        Ok(equal)
+    }
+
+    /// Derive the requested row/column aggregates of a row-major bit matrix.
+    fn derive_aggregates(
+        &mut self,
+        bits: &[bool],
+        cols: usize,
+        want: EqWants,
+    ) -> Result<EqAggregates> {
+        let mut aggregates = EqAggregates::default();
+        if want.is_empty() {
+            return Ok(aggregates);
+        }
+        let rows = bits.len() / cols;
+        let row_any: Vec<bool> =
+            (0..rows).map(|i| bits[i * cols..(i + 1) * cols].iter().any(|&b| b)).collect();
+        let dj_pk = self.keys.dj_public.clone();
+        if want.row_matched {
+            for &m in &row_any {
+                aggregates.row_matched.push(dj_pk.encrypt_u64(u64::from(m), &mut self.rng)?);
+            }
+        }
+        if want.row_unmatched {
+            for &m in &row_any {
+                aggregates.row_unmatched.push(dj_pk.encrypt_u64(u64::from(!m), &mut self.rng)?);
+            }
+        }
+        if want.col_unmatched {
+            for j in 0..cols {
+                let any = (0..rows).any(|i| bits[i * cols + j]);
+                aggregates.col_unmatched.push(dj_pk.encrypt_u64(u64::from(!any), &mut self.rng)?);
+            }
+        }
+        if want.row_matched_plain {
+            aggregates.row_matched_plain = row_any;
+        }
+        Ok(aggregates)
+    }
+
+    /// The S2 phase of `SecDedup` / `SecDupElim` (Algorithm 7 / §10.1): decrypt the
+    /// permuted equality matrix, neutralise (or drop) duplicates, layer fresh blinding
+    /// and a second permutation on the survivors.
+    fn handle_dedup(&mut self, request: &DedupRequest) -> Result<S2Response> {
+        let l = request.items.len();
+        if request.blindings.len() != l {
+            return Err(CryptoError::Protocol("one blinding per dedup item required".into()));
+        }
+
+        // Obtain the equality bits: inline matrix (batched) or the bits streamed ahead
+        // through per-pair EqTest rounds (unbatched).
+        let bits: Vec<bool> = match &request.matrix {
+            Some(matrix) => {
+                if matrix.len() != request.pair_indices.len() {
+                    return Err(CryptoError::Protocol("dedup matrix arity mismatch".into()));
+                }
+                let mut bits = Vec::with_capacity(matrix.len());
+                for diff in matrix {
+                    bits.push(self.observe_eq_bit(diff, "sec_dedup", Some(request.depth))?);
+                }
+                bits
+            }
+            None => {
+                if self.pending_eq.len() != request.pair_indices.len() {
+                    return Err(CryptoError::Protocol(format!(
+                        "dedup expects {} streamed equality bits, found {}",
+                        request.pair_indices.len(),
+                        self.pending_eq.len()
+                    )));
+                }
+                std::mem::take(&mut self.pending_eq)
+            }
+        };
+
+        let mut equal = vec![vec![false; l]; l];
+        for (&(a, b), &is_eq) in request.pair_indices.iter().zip(bits.iter()) {
+            if a >= l || b >= l {
+                return Err(CryptoError::Protocol("dedup pair index out of range".into()));
+            }
+            equal[a][b] = is_eq;
+            equal[b][a] = is_eq;
+        }
+
+        // The first (lowest permuted index) member of every duplicate group survives.
+        let mut is_duplicate = vec![false; l];
+        for a in 0..l {
+            if is_duplicate[a] {
+                continue;
+            }
+            for b in (a + 1)..l {
+                if equal[a][b] {
+                    is_duplicate[b] = true;
+                }
+            }
+        }
+
+        let pk = self.keys.paillier_public.clone();
+        let own_pk = self.s1_own_public.clone();
+        let z = pk.sentinel_z();
+        let mut processed: Vec<(ScoredItem, EncryptedBlinding)> = Vec::with_capacity(l);
+        for ((received_item, received_blinding), &duplicate) in
+            request.items.iter().zip(request.blindings.iter()).zip(is_duplicate.iter())
+        {
+            if duplicate {
+                if request.eliminate {
+                    continue;
+                }
+                // Replace: fresh garbage id, scores that will unblind to Z = −1.
+                let beta2 = random_below(&mut self.rng, pk.n());
+                let gamma2 = random_below(&mut self.rng, pk.n());
+                let garbage_blocks: Vec<Ciphertext> = (0..received_item.ehl.len())
+                    .map(|_| {
+                        let garbage = random_below(&mut self.rng, pk.n());
+                        pk.encrypt(&garbage, &mut self.rng)
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let replaced = ScoredItem {
+                    ehl: EhlPlus::from_blocks(garbage_blocks),
+                    worst: pk.encrypt(&((&z + &beta2) % pk.n()), &mut self.rng)?,
+                    best: pk.encrypt(&((&z + &gamma2) % pk.n()), &mut self.rng)?,
+                };
+                let new_blinding = EncryptedBlinding {
+                    alphas: (0..received_item.ehl.len())
+                        .map(|_| own_pk.encrypt(&BigUint::from(0u32), &mut self.rng))
+                        .collect::<Result<Vec<_>>>()?,
+                    beta: own_pk.encrypt(&beta2, &mut self.rng)?,
+                    gamma: own_pk.encrypt(&gamma2, &mut self.rng)?,
+                };
+                processed.push((replaced, new_blinding));
+            } else {
+                // Keep: layer fresh blinding on top (so S1 cannot tell kept from replaced)
+                // and update the encrypted randomness accordingly.
+                let extra = ItemBlinding::sample(received_item.ehl.len(), &pk, &mut self.rng);
+                let mut reblinded = rand_blind(received_item, &extra, &pk);
+                // Fresh ciphertexts so S1 cannot correlate with what it sent.
+                reblinded = rerandomize_item(&reblinded, &pk, &mut self.rng);
+
+                let updated_blinding = EncryptedBlinding {
+                    alphas: received_blinding
+                        .alphas
+                        .iter()
+                        .zip(extra.alphas.iter())
+                        .map(|(c, a)| own_pk.rerandomize(&own_pk.add_plain(c, a), &mut self.rng))
+                        .collect(),
+                    beta: own_pk.rerandomize(
+                        &own_pk.add_plain(&received_blinding.beta, &extra.beta),
+                        &mut self.rng,
+                    ),
+                    gamma: own_pk.rerandomize(
+                        &own_pk.add_plain(&received_blinding.gamma, &extra.gamma),
+                        &mut self.rng,
+                    ),
+                };
+                processed.push((reblinded, updated_blinding));
+            }
+        }
+
+        // Second permutation π' before returning.
+        let pi_prime = RandomPermutation::sample(processed.len(), &mut self.rng);
+        let returned = pi_prime.permute(&processed);
+        let (items, blindings) = returned.into_iter().unzip();
+        Ok(S2Response::Dedup { items, blindings })
+    }
+
+    /// The S2 phase of `SecFilter` (Algorithm 12): drop blinded all-zero tuples,
+    /// re-blind and re-permute the survivors, updating S1's encrypted unblinders.
+    fn handle_filter(&mut self, tuples: &[FilterTuple]) -> Result<S2Response> {
+        let pk = self.keys.paillier_public.clone();
+        let own_pk = self.s1_own_public.clone();
+        let sk = self.keys.paillier_secret.clone();
+
+        let mut survivors: Vec<FilterTuple> = Vec::new();
+        for t in tuples {
+            if sk.is_zero(&t.score)? {
+                continue; // did not satisfy the join condition
+            }
+            // Multiplicative re-blinding of the score with γ; additive re-blinding of the
+            // attributes with Γ; the unblinders under pk' are updated homomorphically.
+            let gamma = random_invertible(&mut self.rng, pk.n());
+            let gamma_inv = mod_inverse(&gamma, pk.n())?;
+            let score = pk.mul_plain(&t.score, &gamma);
+            let score_unblinder = own_pk
+                .rerandomize(&own_pk.mul_plain(&t.score_unblinder, &gamma_inv), &mut self.rng);
+
+            let mut attributes = Vec::with_capacity(t.attributes.len());
+            let mut attribute_masks = Vec::with_capacity(t.attributes.len());
+            for (a, mask_cipher) in t.attributes.iter().zip(t.attribute_masks.iter()) {
+                let extra = random_below(&mut self.rng, pk.n());
+                attributes.push(pk.rerandomize(&pk.add_plain(a, &extra), &mut self.rng));
+                attribute_masks.push(
+                    own_pk.rerandomize(&own_pk.add_plain(mask_cipher, &extra), &mut self.rng),
+                );
+            }
+            survivors.push(FilterTuple { score, attributes, score_unblinder, attribute_masks });
+        }
+        self.ledger.record(LeakageEvent::JoinMatchCount(survivors.len()));
+        if !survivors.is_empty() {
+            let pi_prime = RandomPermutation::sample(survivors.len(), &mut self.rng);
+            survivors = pi_prime.permute(&survivors);
+        }
+        Ok(S2Response::Filter { survivors })
+    }
+}

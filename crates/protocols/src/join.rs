@@ -6,14 +6,15 @@
 //! condition `R1.t1 = R2.t2` the same way the top-k protocols test object equality.
 //!
 //! * `SecJoin` combines every pair of tuples (in random order), obtains the encrypted
-//!   join indicator from S2, and homomorphically produces the joined tuple whose score
-//!   and carried attributes are multiplied by that indicator — non-matching combinations
-//!   become all-zero tuples.
+//!   join indicator from S2 through one equality-matrix exchange, and homomorphically
+//!   produces the joined tuple whose score and carried attributes are multiplied by that
+//!   indicator — non-matching combinations become all-zero tuples.
 //! * `SecFilter` removes those all-zero tuples without revealing to S1 which combinations
 //!   matched: S1 blinds the tuples (multiplicatively for the score, additively for the
-//!   attributes), S2 discards the zero scores, re-blinds, permutes and returns the rest;
-//!   S1 finally removes the blinding.  Both parties learn only the number of surviving
-//!   tuples (the `JoinMatchCount` leakage recorded in the ledgers).
+//!   attributes) and ships them as one [`crate::transport::S1Request::Filter`] message;
+//!   S2 discards the zero scores, re-blinds, permutes and returns the rest; S1 finally
+//!   removes the blinding.  Both parties learn only the number of surviving tuples (the
+//!   `JoinMatchCount` leakage recorded in the ledgers).
 
 use num_bigint::BigUint;
 use serde::{Deserialize, Serialize};
@@ -27,6 +28,8 @@ use sectopk_storage::EncryptedItem;
 
 use crate::context::TwoClouds;
 use crate::ledger::LeakageEvent;
+use crate::primitives::EqPlan;
+use crate::transport::{EqWants, FilterTuple, S1Request, S2Response};
 
 /// One tuple of a relation encrypted for joining: every attribute is a
 /// `⟨EHL(value), Enc(value)⟩` pair (Algorithm 10).
@@ -80,23 +83,6 @@ pub struct JoinSpec {
     pub right_score: usize,
 }
 
-/// S1-side blinding bookkeeping for one tuple during `SecFilter`.
-struct BlindedTuple {
-    tuple: JoinedTuple,
-    /// `Enc_pk'(r⁻¹)` — the multiplicative unblinder for the score, under S1's own key.
-    r_inv: Ciphertext,
-    /// `Enc_pk'(R_l)` — the additive masks of the attributes, under S1's own key.
-    masks: Vec<Ciphertext>,
-}
-
-impl BlindedTuple {
-    fn byte_len(&self) -> usize {
-        self.tuple.byte_len()
-            + self.r_inv.byte_len()
-            + self.masks.iter().map(Ciphertext::byte_len).sum::<usize>()
-    }
-}
-
 impl TwoClouds {
     /// `SecJoin` (Algorithm 11): combine every pair of tuples from the two encrypted
     /// relations in random order, producing one [`JoinedTuple`] per pair whose score and
@@ -127,47 +113,54 @@ impl TwoClouds {
         let perm = RandomPermutation::sample(pair_indices.len(), &mut self.s1.rng);
         let pair_indices = perm.permute(&pair_indices);
 
-        // ---- Equality of the join keys for every pair. --------------------------------
+        // ---- Equality of the join keys for every pair (one matrix exchange). ----------
         let pairs: Vec<(&EhlPlus, &EhlPlus)> = pair_indices
             .iter()
             .map(|&(i, j)| (&left[i].cells[spec.left_key].ehl, &right[j].cells[spec.right_key].ehl))
             .collect();
-        let batch = self.eq_batch(&pairs, "sec_join", None)?;
+        let diffs = self.eq_diffs(&pairs);
+        let outcome = self
+            .run_eq_plans(vec![EqPlan {
+                cols: diffs.len(),
+                diffs,
+                context: "sec_join",
+                depth: None,
+                want: EqWants::none(),
+            }])?
+            .pop()
+            .expect("one plan in, one outcome out");
 
-        // ---- Score and carried attributes, gated by the join indicator. ----------------
+        // ---- Score and carried attributes, gated by the join indicator — one combined
+        //      selection so the whole join costs a single RecoverEnc round. -------------
         // score_ij = b_ij · (x_{t3}(i) + x_{t4}(j))
-        let combined_scores: Vec<Ciphertext> = pair_indices
-            .iter()
-            .map(|&(i, j)| {
-                pk.add(
-                    &left[i].cells[spec.left_score].score,
-                    &right[j].cells[spec.right_score].score,
-                )
-            })
-            .collect();
-        let gated_scores = self.select_scores(&batch.e2_bits, &combined_scores)?;
-
         let carried_per_tuple = carry_left.len() + carry_right.len();
-        let mut carried_bits = Vec::with_capacity(pair_indices.len() * carried_per_tuple);
-        let mut carried_values = Vec::with_capacity(pair_indices.len() * carried_per_tuple);
+        let mut gate_bits = Vec::with_capacity(pair_indices.len() * (1 + carried_per_tuple));
+        let mut gate_values = Vec::with_capacity(gate_bits.capacity());
         for (pair_pos, &(i, j)) in pair_indices.iter().enumerate() {
+            gate_bits.push(outcome.bits[pair_pos].clone());
+            gate_values.push(pk.add(
+                &left[i].cells[spec.left_score].score,
+                &right[j].cells[spec.right_score].score,
+            ));
             for &a in carry_left {
-                carried_bits.push(batch.e2_bits[pair_pos].clone());
-                carried_values.push(left[i].cells[a].score.clone());
+                gate_bits.push(outcome.bits[pair_pos].clone());
+                gate_values.push(left[i].cells[a].score.clone());
             }
             for &a in carry_right {
-                carried_bits.push(batch.e2_bits[pair_pos].clone());
-                carried_values.push(right[j].cells[a].score.clone());
+                gate_bits.push(outcome.bits[pair_pos].clone());
+                gate_values.push(right[j].cells[a].score.clone());
             }
         }
-        let gated_attributes = self.select_scores(&carried_bits, &carried_values)?;
+        let gated = self.select_scores(&gate_bits, &gate_values)?;
 
+        let stride = 1 + carried_per_tuple;
         let mut joined = Vec::with_capacity(pair_indices.len());
         for pair_pos in 0..pair_indices.len() {
-            let attributes = gated_attributes
-                [pair_pos * carried_per_tuple..(pair_pos + 1) * carried_per_tuple]
-                .to_vec();
-            joined.push(JoinedTuple { score: gated_scores[pair_pos].clone(), attributes });
+            let base = pair_pos * stride;
+            joined.push(JoinedTuple {
+                score: gated[base].clone(),
+                attributes: gated[base + 1..base + stride].to_vec(),
+            });
         }
         Ok(joined)
     }
@@ -184,101 +177,42 @@ impl TwoClouds {
         let own_sk = self.s1.own_secret.clone();
 
         // ---- S1: blind (score multiplicatively, attributes additively) and permute. ----
-        let mut blinded: Vec<BlindedTuple> = Vec::with_capacity(tuples.len());
+        let mut blinded: Vec<FilterTuple> = Vec::with_capacity(tuples.len());
         for t in &tuples {
             let r = random_invertible(&mut self.s1.rng, pk.n());
             let r_inv_value = mod_inverse(&r, pk.n())?;
             let score = pk.mul_plain(&t.score, &r);
-            let mut masks = Vec::with_capacity(t.attributes.len());
+            let mut attribute_masks = Vec::with_capacity(t.attributes.len());
             let mut attributes = Vec::with_capacity(t.attributes.len());
             for a in &t.attributes {
                 let mask = random_below(&mut self.s1.rng, pk.n());
                 attributes.push(pk.add_plain(a, &mask));
-                masks.push(own_pk.encrypt(&mask, &mut self.s1.rng)?);
+                attribute_masks.push(own_pk.encrypt(&mask, &mut self.s1.rng)?);
             }
-            blinded.push(BlindedTuple {
-                tuple: JoinedTuple { score, attributes },
-                r_inv: own_pk.encrypt(&r_inv_value, &mut self.s1.rng)?,
-                masks,
+            blinded.push(FilterTuple {
+                score,
+                attributes,
+                score_unblinder: own_pk.encrypt(&r_inv_value, &mut self.s1.rng)?,
+                attribute_masks,
             });
         }
         let pi = RandomPermutation::sample(blinded.len(), &mut self.s1.rng);
-        let shipping_order = pi.permute(&(0..blinded.len()).collect::<Vec<usize>>());
+        let shipped = pi.permute(&blinded);
 
-        let msg_bytes: usize = blinded.iter().map(BlindedTuple::byte_len).sum();
-        let msg_ciphertexts: usize = blinded.iter().map(|b| 2 + 2 * b.tuple.attributes.len()).sum();
-        self.send_to_s2(msg_bytes, msg_ciphertexts);
-
-        // ---- S2: drop zero-score tuples, re-blind and re-permute the survivors. ---------
-        let sk = self.s2.keys.paillier_secret.clone();
-        struct Survivor {
-            tuple: JoinedTuple,
-            r_tilde: Ciphertext,
-            masks_tilde: Vec<Ciphertext>,
-        }
-        let mut survivors: Vec<Survivor> = Vec::new();
-        for &idx in &shipping_order {
-            let b = &blinded[idx];
-            if sk.is_zero(&b.tuple.score)? {
-                continue; // did not satisfy the join condition
-            }
-            // Multiplicative re-blinding of the score with γ; additive re-blinding of the
-            // attributes with Γ; the unblinders under pk' are updated homomorphically.
-            let gamma = random_invertible(&mut self.s2.rng, pk.n());
-            let gamma_inv = mod_inverse(&gamma, pk.n())?;
-            let score = pk.mul_plain(&b.tuple.score, &gamma);
-            let r_tilde =
-                own_pk.rerandomize(&own_pk.mul_plain(&b.r_inv, &gamma_inv), &mut self.s2.rng);
-
-            let mut attributes = Vec::with_capacity(b.tuple.attributes.len());
-            let mut masks_tilde = Vec::with_capacity(b.tuple.attributes.len());
-            for (a, mask_cipher) in b.tuple.attributes.iter().zip(b.masks.iter()) {
-                let extra = random_below(&mut self.s2.rng, pk.n());
-                attributes.push(pk.rerandomize(&pk.add_plain(a, &extra), &mut self.s2.rng));
-                masks_tilde.push(
-                    own_pk.rerandomize(&own_pk.add_plain(mask_cipher, &extra), &mut self.s2.rng),
-                );
-            }
-            survivors.push(Survivor {
-                tuple: JoinedTuple { score, attributes },
-                r_tilde,
-                masks_tilde,
-            });
-        }
-        let match_count = survivors.len();
-        self.s2.ledger.record(LeakageEvent::JoinMatchCount(match_count));
-        if !survivors.is_empty() {
-            let pi_prime = RandomPermutation::sample(survivors.len(), &mut self.s2.rng);
-            let order = pi_prime.permute(&(0..survivors.len()).collect::<Vec<usize>>());
-            let mut reordered = Vec::with_capacity(survivors.len());
-            for &i in &order {
-                reordered.push(Survivor {
-                    tuple: survivors[i].tuple.clone(),
-                    r_tilde: survivors[i].r_tilde.clone(),
-                    masks_tilde: survivors[i].masks_tilde.clone(),
-                });
-            }
-            survivors = reordered;
-        }
-
-        let reply_bytes: usize = survivors
-            .iter()
-            .map(|s| {
-                s.tuple.byte_len()
-                    + s.r_tilde.byte_len()
-                    + s.masks_tilde.iter().map(Ciphertext::byte_len).sum::<usize>()
-            })
-            .sum();
-        self.send_to_s1(reply_bytes, survivors.iter().map(|s| 2 + 2 * s.masks_tilde.len()).sum());
-        self.s1.ledger.record(LeakageEvent::JoinMatchCount(match_count));
+        // ---- transport: S2 drops zero-score tuples, re-blinds and re-permutes. ---------
+        let survivors = match self.round(S1Request::Filter { tuples: shipped })? {
+            S2Response::Filter { survivors } => survivors,
+            other => return Err(crate::primitives::unexpected(&other, "Filter")),
+        };
+        self.s1.ledger.record(LeakageEvent::JoinMatchCount(survivors.len()));
 
         // ---- S1: remove the blinding. ----------------------------------------------------
         let mut output = Vec::with_capacity(survivors.len());
         for s in &survivors {
-            let r_tilde: BigUint = own_sk.decrypt(&s.r_tilde)?;
-            let score = pk.mul_plain(&s.tuple.score, &r_tilde);
-            let mut attributes = Vec::with_capacity(s.tuple.attributes.len());
-            for (a, mask_cipher) in s.tuple.attributes.iter().zip(s.masks_tilde.iter()) {
+            let r_tilde: BigUint = own_sk.decrypt(&s.score_unblinder)?;
+            let score = pk.mul_plain(&s.score, &r_tilde);
+            let mut attributes = Vec::with_capacity(s.attributes.len());
+            for (a, mask_cipher) in s.attributes.iter().zip(s.attribute_masks.iter()) {
                 let mask = own_sk.decrypt(mask_cipher)?;
                 let neg = (pk.n() - (&mask % pk.n())) % pk.n();
                 attributes.push(pk.add_plain(a, &neg));
@@ -390,6 +324,20 @@ mod tests {
         let _ = clouds.sec_filter(joined).unwrap();
         assert!(clouds.s2_ledger().only_contains(&["equality_bit", "join_match_count"]));
         assert!(clouds.s1_ledger().only_contains(&["join_match_count"]));
+    }
+
+    #[test]
+    fn join_and_filter_cost_three_rounds_when_batched() {
+        let (_master, mut clouds, encoder, mut rng) = setup();
+        let pk = clouds.pk().clone();
+        let left =
+            vec![tuple(&[4, 1], &encoder, &pk, &mut rng), tuple(&[5, 2], &encoder, &pk, &mut rng)];
+        let right = vec![tuple(&[5, 3], &encoder, &pk, &mut rng)];
+        let spec = JoinSpec { left_key: 0, right_key: 0, left_score: 1, right_score: 1 };
+        let joined = clouds.sec_join(&left, &right, &spec, &[0], &[0]).unwrap();
+        let _ = clouds.sec_filter(joined).unwrap();
+        // Equality matrix + combined RecoverEnc + the filter exchange.
+        assert_eq!(clouds.channel().rounds, 3);
     }
 
     #[test]

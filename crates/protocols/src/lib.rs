@@ -6,8 +6,16 @@
 //! the decryption keys and no data, and every computation on plaintext-sensitive values
 //! happens through the message exchanges implemented here.
 //!
-//! * [`context::TwoClouds`] — the in-process simulation of the two parties, the metered
-//!   [`channel::ChannelMetrics`] between them and the per-party [`ledger::LeakageLedger`].
+//! * [`context::TwoClouds`] — S1's state plus the metered [`transport::Transport`] to
+//!   the S2 engine, with the [`channel::ChannelMetrics`] accounting and the per-party
+//!   [`ledger::LeakageLedger`].
+//! * [`transport`] — the typed [`transport::S1Request`] / [`transport::S2Response`]
+//!   message layer, round-trip batching, and the in-process / threaded channel
+//!   implementations.
+//! * [`engine`] — the crypto cloud S2 as a request-processing engine (all S2-side
+//!   protocol logic, keys and randomness).
+//! * [`wire`] — the binary codec every message is measured (and, on the threaded
+//!   transport, actually shipped) in.
 //! * [`primitives`] — batched EHL equality tests, `RecoverEnc` (Algorithm 5), encrypted
 //!   selection, and the `EncCompare` realisation.
 //! * [`sort`] — `EncSort` as a Batcher network of encrypted compare-exchange gates.
@@ -26,19 +34,27 @@ pub mod best;
 pub mod channel;
 pub mod context;
 pub mod dedup;
+pub mod engine;
 pub mod items;
 pub mod join;
 pub mod ledger;
 pub mod primitives;
 pub mod sort;
+pub mod transport;
 pub mod update;
+pub mod wire;
 pub mod worst;
 
 pub use channel::{ChannelMetrics, Direction};
-pub use context::{S1State, S2State, TwoClouds};
+pub use context::{S1State, TwoClouds};
 pub use dedup::EncryptedBlinding;
+pub use engine::S2Engine;
 pub use items::{rand_blind, rand_unblind, rerandomize_item, ItemBlinding, ScoredItem};
 pub use join::{EncryptedTuple, JoinSpec, JoinedTuple};
 pub use ledger::{LeakageEvent, LeakageLedger};
 pub use primitives::EqBatch;
+pub use transport::{
+    ChannelTransport, InProcessTransport, S1Request, S2Response, Transport, TransportKind,
+    TRANSPORT_ENV,
+};
 pub use update::UpdateMode;

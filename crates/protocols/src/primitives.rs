@@ -1,13 +1,17 @@
-//! Low-level two-party primitives shared by all sub-protocols:
+//! Low-level two-party primitives shared by all sub-protocols — the S1 side.  Every
+//! exchange here is a typed [`S1Request`] round trip through the transport; the matching
+//! S2 logic lives in [`crate::engine::S2Engine`].
 //!
 //! * batched EHL equality tests (the `⊖` → decrypt → `E2(t)` exchange at the heart of
-//!   SecWorst / SecBest / SecDedup / SecUpdate / SecJoin),
+//!   SecWorst / SecBest / SecDedup / SecUpdate / SecJoin), with optional row/column
+//!   aggregates derived by S2 from the bits it legitimately decrypted,
 //! * `RecoverEnc` (Algorithm 5) — stripping the outer Damgård–Jurik layer without letting
 //!   S2 see the inner plaintext,
 //! * encrypted selection `Enc(t·x)` from `E2(t)` and `Enc(x)`,
 //! * `EncCompare` — the encrypted comparison of [11], realised here as a
 //!   blind-flip-and-scale protocol (see the SECURITY note below),
-//! * a batched comparison against a common threshold (used by the halting check).
+//! * a batched comparison against a common threshold (used by the halting check),
+//! * the blinded-product exchange the SkNN baseline builds its SM protocol from.
 //!
 //! # SECURITY note on the comparison realisation
 //!
@@ -27,76 +31,194 @@ use rand::Rng;
 
 use sectopk_crypto::damgard_jurik::LayeredCiphertext;
 use sectopk_crypto::paillier::Ciphertext;
-use sectopk_crypto::Result;
+use sectopk_crypto::{CryptoError, Result};
 use sectopk_ehl::EhlPlus;
 
 use crate::context::TwoClouds;
 use crate::ledger::LeakageEvent;
+use crate::transport::{EqAggregates, EqWants, S1Request, S2Response};
 
 /// Upper bound (exclusive) for the random comparison scale α.  Keeping α small bounds
 /// the blinded magnitude by `α · |a − b| < 2^16 · 2^80 ≪ N/2`, so the signed
 /// interpretation never wraps for the score ranges the protocols produce.
 const COMPARE_SCALE_BOUND: u64 = 1 << 16;
 
-/// Result of a batched EHL equality exchange.
-///
-/// `e2_bits[i]` is what S1 receives (an outer-layer encryption of the bit), and
-/// `s2_bits[i]` is the bit as decrypted by S2 — the equality-pattern knowledge that the
-/// leakage profile `L²_Query` explicitly grants to S2.  Protocol code may use `s2_bits`
-/// **only** inside S2-side phases.
+/// Result of a batched EHL equality exchange: the outer-layer encryptions `E2(t_i)`
+/// returned to S1.  The plaintext bits are known only to S2 (its `EP^d` leakage) and
+/// never cross back to S1-side protocol code.
 #[derive(Debug, Clone)]
 pub struct EqBatch {
     /// Outer-layer encryptions `E2(t_i)` returned to S1.
     pub e2_bits: Vec<LayeredCiphertext>,
-    /// The plaintext bits as known to S2 (part of S2's allowed leakage).
-    pub s2_bits: Vec<bool>,
+}
+
+/// One equality-matrix exchange prepared on the S1 side: the randomized `⊖` ciphertexts
+/// in row-major order plus the aggregates S2 should derive.
+#[derive(Debug, Clone)]
+pub(crate) struct EqPlan {
+    /// Row-major `⊖` ciphertexts (`diffs.len() % cols == 0`).
+    pub diffs: Vec<Ciphertext>,
+    /// Number of matrix columns.
+    pub cols: usize,
+    /// Calling sub-protocol (ledger context).
+    pub context: &'static str,
+    /// Scan depth, if applicable.
+    pub depth: Option<usize>,
+    /// Aggregates to request.
+    pub want: EqWants,
+}
+
+/// The outcome of one [`EqPlan`]: the `E2(t_ij)` bits plus any requested aggregates.
+#[derive(Debug, Clone)]
+pub(crate) struct EqOutcome {
+    /// `E2(t_ij)` in row-major order.
+    pub bits: Vec<LayeredCiphertext>,
+    /// The requested aggregates.
+    pub aggregates: EqAggregates,
+}
+
+/// The error raised when S2 answers with the wrong response kind (shared by every
+/// request site in the crate).
+pub(crate) fn unexpected(response: &S2Response, expected: &str) -> CryptoError {
+    CryptoError::Protocol(format!("expected {expected} response, got {response:?}"))
 }
 
 impl TwoClouds {
+    /// Run any number of independent equality-matrix exchanges.  With batching enabled
+    /// they all travel in a single round trip ([`S1Request::Batch`]); without it, every
+    /// matrix entry becomes its own [`S1Request::EqTest`] round followed by one
+    /// aggregate round — the pre-batching wire pattern.
+    pub(crate) fn run_eq_plans(&mut self, plans: Vec<EqPlan>) -> Result<Vec<EqOutcome>> {
+        let plans: Vec<EqPlan> = plans.into_iter().filter(|p| !p.diffs.is_empty()).collect();
+        if plans.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        if self.batching() {
+            let mut requests: Vec<S1Request> = plans
+                .into_iter()
+                .map(|p| S1Request::EqMatrix {
+                    diffs: p.diffs,
+                    cols: p.cols,
+                    context: p.context.to_string(),
+                    depth: p.depth,
+                    want: p.want,
+                })
+                .collect();
+            let responses: Vec<S2Response> = if requests.len() == 1 {
+                vec![self.round(requests.pop().expect("one request"))?]
+            } else {
+                match self.round(S1Request::Batch(requests))? {
+                    S2Response::Batch(responses) => responses,
+                    other => return Err(unexpected(&other, "Batch")),
+                }
+            };
+            responses
+                .into_iter()
+                .map(|r| match r {
+                    S2Response::EqBits { bits, aggregates } => Ok(EqOutcome { bits, aggregates }),
+                    other => Err(unexpected(&other, "EqBits")),
+                })
+                .collect()
+        } else {
+            let mut outcomes = Vec::with_capacity(plans.len());
+            for plan in plans {
+                // S2 only needs to remember the streamed bits when an aggregate request
+                // will consume them afterwards.
+                let accumulate = !plan.want.is_empty();
+                let mut bits = Vec::with_capacity(plan.diffs.len());
+                for diff in &plan.diffs {
+                    match self.round(S1Request::EqTest {
+                        diff: diff.clone(),
+                        context: plan.context.to_string(),
+                        depth: plan.depth,
+                        accumulate,
+                        reply_bit: true,
+                    })? {
+                        S2Response::EqBit(bit) => bits.push(bit),
+                        other => return Err(unexpected(&other, "EqBit")),
+                    }
+                }
+                let aggregates = if accumulate {
+                    match self.round(S1Request::EqAggregate {
+                        rows: bits.len() / plan.cols,
+                        cols: plan.cols,
+                        want: plan.want,
+                    })? {
+                        S2Response::EqAggregates(aggregates) => aggregates,
+                        other => return Err(unexpected(&other, "EqAggregates")),
+                    }
+                } else {
+                    EqAggregates::default()
+                };
+                outcomes.push(EqOutcome { bits, aggregates });
+            }
+            Ok(outcomes)
+        }
+    }
+
+    /// Ship an element-wise exchange through the transport: one request carrying all
+    /// `items` when batching is enabled, or one request per item (the pre-batching wire
+    /// pattern) when it is not.  `build` constructs the request for a chunk and
+    /// `extract` pulls the per-element payload out of the matching response; the reply
+    /// arity is checked against the input in both modes.
+    fn round_elementwise<T, U>(
+        &mut self,
+        items: Vec<T>,
+        build: impl Fn(Vec<T>) -> S1Request,
+        extract: impl Fn(S2Response) -> Result<Vec<U>>,
+    ) -> Result<Vec<U>> {
+        let expected = items.len();
+        if expected == 0 {
+            return Ok(Vec::new());
+        }
+        let out = if self.batching() {
+            extract(self.round(build(items))?)?
+        } else {
+            let mut out = Vec::with_capacity(expected);
+            for item in items {
+                out.extend(extract(self.round(build(vec![item]))?)?);
+            }
+            out
+        };
+        if out.len() != expected {
+            return Err(CryptoError::Protocol(format!(
+                "element-wise exchange arity mismatch: sent {expected}, received {}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Compute the randomized `⊖` differences of `pairs` with S1's randomness.
+    pub(crate) fn eq_diffs(&mut self, pairs: &[(&EhlPlus, &EhlPlus)]) -> Vec<Ciphertext> {
+        let pk = self.s1.keys.paillier_public.clone();
+        pairs.iter().map(|(a, b)| a.eq_test(b, &pk, &mut self.s1.rng)).collect()
+    }
+
     /// Batched EHL equality test: for every pair `(a_i, b_i)` S1 computes the randomized
-    /// `a_i ⊖ b_i`, ships the batch to S2, S2 decrypts each and replies with `E2(t_i)`
-    /// where `t_i = 1` iff the pair hides the same object.
+    /// `a_i ⊖ b_i`, ships the batch to S2, S2 decrypts each (learning the equality bit,
+    /// its designed leakage) and replies with `E2(t_i)` where `t_i = 1` iff the pair
+    /// hides the same object.
     ///
     /// `context` labels the calling sub-protocol and `depth` the scan depth for the
     /// equality-pattern bookkeeping.
     pub fn eq_batch(
         &mut self,
         pairs: &[(&EhlPlus, &EhlPlus)],
-        context: &str,
+        context: &'static str,
         depth: Option<usize>,
     ) -> Result<EqBatch> {
         if pairs.is_empty() {
-            return Ok(EqBatch { e2_bits: Vec::new(), s2_bits: Vec::new() });
+            return Ok(EqBatch { e2_bits: Vec::new() });
         }
-
-        // ---- S1: compute the randomized differences and send them. -------------------
-        let pk = self.s1.keys.paillier_public.clone();
-        let mut diffs = Vec::with_capacity(pairs.len());
-        for (a, b) in pairs {
-            diffs.push(a.eq_test(b, &pk, &mut self.s1.rng));
-        }
-        let bytes: usize = diffs.iter().map(Ciphertext::byte_len).sum();
-        self.send_to_s2(bytes, diffs.len());
-
-        // ---- S2: decrypt, learn the equality bits (allowed leakage), reply with E2(t).
-        let dj_pk = self.s2.keys.dj_public.clone();
-        let sk = self.s2.keys.paillier_secret.clone();
-        let mut e2_bits = Vec::with_capacity(diffs.len());
-        let mut s2_bits = Vec::with_capacity(diffs.len());
-        for diff in &diffs {
-            let equal = sk.is_zero(diff)?;
-            self.s2.ledger.record(LeakageEvent::EqualityBit {
-                context: context.to_string(),
-                depth,
-                equal,
-            });
-            s2_bits.push(equal);
-            e2_bits.push(dj_pk.encrypt_u64(u64::from(equal), &mut self.s2.rng)?);
-        }
-        let reply_bytes: usize = e2_bits.iter().map(LayeredCiphertext::byte_len).sum();
-        self.send_to_s1(reply_bytes, e2_bits.len());
-
-        Ok(EqBatch { e2_bits, s2_bits })
+        let diffs = self.eq_diffs(pairs);
+        let cols = diffs.len();
+        let outcome = self
+            .run_eq_plans(vec![EqPlan { diffs, cols, context, depth, want: EqWants::none() }])?
+            .pop()
+            .expect("one plan in, one outcome out");
+        Ok(EqBatch { e2_bits: outcome.bits })
     }
 
     /// `RecoverEnc` (Algorithm 5), batched: strip the outer Damgård–Jurik layer from each
@@ -119,17 +241,16 @@ impl TwoClouds {
             blinded.push(dj_pk.mul_by_ciphertext(l, &enc_r));
             masks.push(r);
         }
-        let bytes: usize = blinded.iter().map(LayeredCiphertext::byte_len).sum();
-        self.send_to_s2(bytes, blinded.len());
 
-        // ---- S2: strip the outer layer and return the (blinded) inner ciphertexts. ----
-        let dj_sk = self.s2.keys.dj_secret.clone();
-        let mut inner = Vec::with_capacity(blinded.len());
-        for b in &blinded {
-            inner.push(dj_sk.decrypt_to_ciphertext(b)?);
-        }
-        let reply_bytes: usize = inner.iter().map(Ciphertext::byte_len).sum();
-        self.send_to_s1(reply_bytes, inner.len());
+        // ---- transport: S2 strips the outer layer from the (blinded) ciphertexts. ----
+        let inner: Vec<Ciphertext> = self.round_elementwise(
+            blinded,
+            |blinded| S1Request::Recover { blinded },
+            |response| match response {
+                S2Response::Recovered(inner) => Ok(inner),
+                other => Err(unexpected(&other, "Recovered")),
+            },
+        )?;
 
         // ---- S1: remove the blinding homomorphically. ----------------------------------
         let recovered = inner
@@ -204,7 +325,8 @@ impl TwoClouds {
         Ok(outcomes[0])
     }
 
-    /// Batched comparison `f_i := (a_i ≤ b_i)` in one round trip.
+    /// Batched comparison `f_i := (a_i ≤ b_i)` in one round trip (one round trip *per
+    /// pair* when batching is disabled).
     pub fn compare_many(
         &mut self,
         pairs: &[(Ciphertext, Ciphertext)],
@@ -225,19 +347,16 @@ impl TwoClouds {
             blinded.push(pk.mul_plain(&diff, &alpha));
             flips.push(flip);
         }
-        let bytes: usize = blinded.iter().map(Ciphertext::byte_len).sum();
-        self.send_to_s2(bytes, blinded.len());
 
-        // ---- S2: decrypt each blinded difference and return its sign. -----------------
-        let sk = self.s2.keys.paillier_secret.clone();
-        let mut signs = Vec::with_capacity(blinded.len());
-        for c in &blinded {
-            let v = sk.decrypt_signed(c)?;
-            self.s2.ledger.record(LeakageEvent::BlindedSign { context: context.to_string() });
-            signs.push(v.sign());
-        }
-        // The reply is one sign trit per pair; count it as one byte each.
-        self.send_to_s1(signs.len(), 0);
+        // ---- transport: S2 decrypts each blinded difference and returns its sign. -----
+        let signs: Vec<i8> = self.round_elementwise(
+            blinded,
+            |blinded| S1Request::Compare { blinded, context: context.to_string() },
+            |response| match response {
+                S2Response::Signs(signs) => Ok(signs),
+                other => Err(unexpected(&other, "Signs")),
+            },
+        )?;
 
         // ---- S1: undo the flip. --------------------------------------------------------
         let outcomes = signs
@@ -246,11 +365,7 @@ impl TwoClouds {
             .map(|(sign, &flip)| {
                 // Without flip we sent α(a−b): a ≤ b ⇔ sign ≤ 0.
                 // With flip we sent α(b−a):   a ≤ b ⇔ sign ≥ 0.
-                let le = if flip {
-                    sign != num_bigint::Sign::Minus
-                } else {
-                    sign != num_bigint::Sign::Plus
-                };
+                let le = if flip { sign >= 0 } else { sign <= 0 };
                 self.s1.ledger.record(LeakageEvent::ComparisonBit {
                     context: context.to_string(),
                     less_or_equal: le,
@@ -273,6 +388,21 @@ impl TwoClouds {
         let pairs: Vec<(Ciphertext, Ciphertext)> =
             values.iter().map(|v| (v.clone(), threshold.clone())).collect();
         self.compare_many(&pairs, context)
+    }
+
+    /// Ship additively blinded operand pairs to S2, which decrypts, multiplies and
+    /// re-encrypts each product — the round trip at the heart of the SkNN baseline's SM
+    /// protocol.  The caller is responsible for the blinding and for stripping the cross
+    /// terms afterwards.
+    pub fn mul_blinded(&mut self, pairs: Vec<(Ciphertext, Ciphertext)>) -> Result<Vec<Ciphertext>> {
+        self.round_elementwise(
+            pairs,
+            |pairs| S1Request::MulBlinded { pairs },
+            |response| match response {
+                S2Response::Products(products) => Ok(products),
+                other => Err(unexpected(&other, "Products")),
+            },
+        )
     }
 
     /// Homomorphically sum a set of encrypted scores (no interaction; exposed here
@@ -319,8 +449,7 @@ mod tests {
         let b = encoder.encode(b"b", pk, &mut rng).unwrap();
 
         let batch = clouds.eq_batch(&[(&a1, &a2), (&a1, &b)], "test", Some(0)).unwrap();
-        assert_eq!(batch.s2_bits, vec![true, false]);
-        // The E2 bits decrypt to 1 / 0.
+        // The E2 bits decrypt to 1 / 0 (only the key holder can check this; S1 cannot).
         let dj_sk = &master.s2_view().dj_secret;
         assert_eq!(dj_sk.decrypt(&batch.e2_bits[0]).unwrap(), BigUint::from(1u32));
         assert_eq!(dj_sk.decrypt(&batch.e2_bits[1]).unwrap(), BigUint::from(0u32));
@@ -328,6 +457,29 @@ mod tests {
         assert!(clouds.channel().bytes > 0);
         assert_eq!(clouds.s2_ledger().count_kind("equality_bit"), 2);
         assert_eq!(clouds.channel().rounds, 1);
+    }
+
+    #[test]
+    fn unbatched_eq_exchange_costs_one_round_per_pair() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let master = MasterKeys::generate(MIN_MODULUS_BITS, 3, &mut rng).unwrap();
+        let mut clouds = TwoClouds::with_transport(
+            &master,
+            99,
+            crate::transport::TransportKind::InProcess,
+            false,
+        )
+        .unwrap();
+        let encoder = EhlEncoder::new(&master.ehl_keys);
+        let pk = &master.paillier_public;
+        let a = encoder.encode(b"a", pk, &mut rng).unwrap();
+        let b = encoder.encode(b"b", pk, &mut rng).unwrap();
+        let c = encoder.encode(b"c", pk, &mut rng).unwrap();
+        let _ = clouds.eq_batch(&[(&a, &b), (&a, &c), (&b, &c)], "test", None).unwrap();
+        // One EqTest round per pair, versus 1 round batched (no aggregates were
+        // requested, so no drain round is needed either).
+        assert_eq!(clouds.channel().rounds, 3);
+        assert_eq!(clouds.s2_ledger().count_kind("equality_bit"), 3);
     }
 
     #[test]
@@ -419,6 +571,7 @@ mod tests {
         assert!(clouds.eq_batch(&[], "t", None).unwrap().e2_bits.is_empty());
         assert!(clouds.recover_enc_batch(&[]).unwrap().is_empty());
         assert!(clouds.compare_many(&[], "t").unwrap().is_empty());
+        assert!(clouds.mul_blinded(Vec::new()).unwrap().is_empty());
         assert_eq!(clouds.channel().total_messages(), 0);
     }
 }

@@ -3,9 +3,11 @@
 //! The paper uses the sorting protocol of Baldimtsi–Ohrimenko [7] as a black box.  This
 //! reproduction realises the same functionality with a **Batcher odd–even merge sorting
 //! network** whose compare-exchange gates call the [`TwoClouds::compare_many`] primitive:
-//! all gates of one network stage are independent, so each stage costs a single round
-//! trip, giving `O(log² n)` rounds and `O(n log² n)` comparisons — the complexity the
-//! paper quotes for EncSort (§10.3).
+//! all gates of one network stage are independent, so with round-trip batching each
+//! stage ships as a single [`crate::transport::S1Request::Compare`] message — one round
+//! trip per stage, giving `O(log² n)` rounds and `O(n log² n)` comparisons, the
+//! complexity the paper quotes for EncSort (§10.3).  With batching disabled every gate
+//! becomes its own round trip (the pattern the bandwidth bench compares against).
 //!
 //! Leakage: S1 learns the outcome of every comparator, i.e. the rank order of the
 //! (anonymous, freshly re-randomized) items — which is exactly the output the
@@ -250,5 +252,27 @@ mod tests {
         let _ = clouds.enc_sort_by_worst_desc(items).unwrap();
         // Batcher on 8 wires has 6 stages → 6 round trips.
         assert_eq!(clouds.channel().rounds, 6);
+    }
+
+    #[test]
+    fn unbatched_sort_pays_one_round_per_gate() {
+        use crate::transport::TransportKind;
+        let mut rng = StdRng::seed_from_u64(78);
+        let master = MasterKeys::generate(MIN_MODULUS_BITS, 2, &mut rng).unwrap();
+        let mut clouds =
+            TwoClouds::with_transport(&master, 2, TransportKind::InProcess, false).unwrap();
+        let encoder = EhlEncoder::new(&master.ehl_keys);
+        let pk = &master.paillier_public;
+        let items: Vec<ScoredItem> = (0..4u64)
+            .map(|i| ScoredItem {
+                ehl: encoder.encode(&i.to_be_bytes(), pk, &mut rng).unwrap(),
+                worst: pk.encrypt_u64(7 - i, &mut rng).unwrap(),
+                best: pk.encrypt_u64(100, &mut rng).unwrap(),
+            })
+            .collect();
+        let sorted = clouds.enc_sort_by_worst_desc(items).unwrap();
+        assert_eq!(sorted.len(), 4);
+        // Batcher on 4 wires has 5 gates across 3 stages → 5 round trips unbatched.
+        assert_eq!(clouds.channel().rounds, 5);
     }
 }

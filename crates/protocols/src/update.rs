@@ -10,14 +10,18 @@
 //!
 //! Only S2 can tell which case applies (it decrypts the `⊖` equality tests — the designed
 //! equality-pattern leakage); all of S1's updates are homomorphic selections driven by
-//! the `E2(t)` bits S2 returns, exactly as in Algorithm 9.
+//! the `E2(t)` bits S2 returns.  The per-row / per-column "matched" selectors Algorithm 9
+//! needs are requested as aggregates of the same
+//! [`crate::transport::S1Request::EqMatrix`] exchange, so the whole fresh × tracked
+//! matrix costs a single round trip.
 //!
 //! Two variants mirror the paper's query modes:
 //! * **keep-length** (`Qry_F`): every fresh item is appended; duplicates are appended as
 //!   neutralised garbage (worst = best = −1, random id), so S1 learns nothing about how
 //!   many objects were new;
-//! * **eliminate** (`Qry_E`, §10.1): duplicates are simply not appended, which keeps `T`
-//!   small but reveals the per-depth uniqueness pattern to S1.
+//! * **eliminate** (`Qry_E`, §10.1): duplicates are simply not appended — S2 disclosing
+//!   the per-row matched bits in plaintext is exactly the uniqueness-pattern leakage
+//!   `UP^d` this variant grants S1.
 
 use num_bigint::BigUint;
 
@@ -30,6 +34,8 @@ use sectopk_ehl::EhlPlus;
 use crate::context::TwoClouds;
 use crate::items::ScoredItem;
 use crate::ledger::LeakageEvent;
+use crate::primitives::EqPlan;
+use crate::transport::EqWants;
 
 /// Which update variant to run (mirrors `SecDedup` vs `SecDupElim`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,15 +68,40 @@ impl TwoClouds {
         let t_len = tracked.len();
         let f_len = fresh.len();
 
-        // ---- S1 → S2: equality tests between every fresh item and every tracked item. --
+        // ---- S1 → S2: the fresh × tracked equality matrix, plus the aggregate
+        //      selectors the update needs, in one exchange. -----------------------------
         let mut pairs: Vec<(&EhlPlus, &EhlPlus)> = Vec::with_capacity(t_len * f_len);
         for fresh_item in fresh {
             for tracked_item in &tracked {
                 pairs.push((&fresh_item.ehl, &tracked_item.ehl));
             }
         }
-        let batch = self.eq_batch(&pairs, "sec_update", Some(depth))?;
-        let bit_at = |i: usize, j: usize| -> &LayeredCiphertext { &batch.e2_bits[i * t_len + j] };
+        let diffs = self.eq_diffs(&pairs);
+        let want = match mode {
+            UpdateMode::KeepLength => EqWants {
+                row_matched: true,
+                row_unmatched: true,
+                col_unmatched: true,
+                row_matched_plain: false,
+            },
+            UpdateMode::Eliminate => EqWants {
+                row_matched: false,
+                row_unmatched: false,
+                col_unmatched: true,
+                row_matched_plain: true,
+            },
+        };
+        let outcome = self
+            .run_eq_plans(vec![EqPlan {
+                diffs,
+                cols: t_len,
+                context: "sec_update",
+                depth: Some(depth),
+                want,
+            }])?
+            .pop()
+            .expect("one plan in, one outcome out");
+        let bit_at = |i: usize, j: usize| -> &LayeredCiphertext { &outcome.bits[i * t_len + j] };
 
         // ---- S1: add the matched fresh worst score into each tracked entry. -------------
         // For tracked entry j: worst_j += Σ_i t_ij · fresh_i.worst.
@@ -85,7 +116,7 @@ impl TwoClouds {
         let selected_worst = self.select_scores(&select_bits, &select_scores)?;
 
         // For the best score: best_j := (Σ_i t_ij · fresh_i.best) + (1 − matched_j) · best_j,
-        // where matched_j is known to S2 (it decrypted every t_ij).
+        // where `1 − matched_j` is the column-unmatched aggregate S2 derived.
         let mut select_best_scores = Vec::with_capacity(t_len * f_len);
         for fresh_item in fresh {
             for _j in 0..t_len {
@@ -94,11 +125,9 @@ impl TwoClouds {
         }
         let selected_best = self.select_scores(&select_bits, &select_best_scores)?;
 
-        let tracked_unmatched: Vec<bool> =
-            (0..t_len).map(|j| !(0..f_len).any(|i| batch.s2_bits[i * t_len + j])).collect();
-        let e2_tracked_unmatched = self.s2_encrypt_bits(&tracked_unmatched)?;
+        let e2_tracked_unmatched = &outcome.aggregates.col_unmatched;
         let old_best: Vec<Ciphertext> = tracked.iter().map(|t| t.best.clone()).collect();
-        let kept_old_best = self.select_scores(&e2_tracked_unmatched, &old_best)?;
+        let kept_old_best = self.select_scores(e2_tracked_unmatched, &old_best)?;
 
         let mut new_tracked = Vec::with_capacity(t_len + f_len);
         for (j, tracked_item) in tracked.iter().enumerate() {
@@ -116,16 +145,13 @@ impl TwoClouds {
         }
 
         // ---- Appending the fresh items. --------------------------------------------------
-        // matched_i (does fresh item i duplicate a tracked entry?) is known to S2.
-        let fresh_matched: Vec<bool> =
-            (0..f_len).map(|i| (0..t_len).any(|j| batch.s2_bits[i * t_len + j])).collect();
-
         match mode {
             UpdateMode::Eliminate => {
+                // S2 disclosed which (already permuted within the depth, re-randomized)
+                // fresh items duplicate a tracked entry — the `UP^d` leakage of §10.1.
+                let fresh_matched = &outcome.aggregates.row_matched_plain;
                 let new_count = fresh_matched.iter().filter(|&&m| !m).count();
                 self.s1.ledger.record(LeakageEvent::UniqueCount { depth, count: new_count });
-                // S2 indicates which (already permuted and re-randomized) fresh items are
-                // new; only those are appended.
                 for (i, fresh_item) in fresh.iter().enumerate() {
                     if !fresh_matched[i] {
                         new_tracked.push(fresh_item.clone());
@@ -136,9 +162,8 @@ impl TwoClouds {
                 // Append every fresh item, but duplicates are neutralised obliviously:
                 //   worst/best := not_matched ? value : Z  (= −1)
                 //   EHL block  += matched · ρ              (random ρ ⇒ garbage id)
-                let fresh_unmatched: Vec<bool> = fresh_matched.iter().map(|&m| !m).collect();
-                let e2_unmatched = self.s2_encrypt_bits(&fresh_unmatched)?;
-                let e2_matched = self.s2_encrypt_bits(&fresh_matched)?;
+                let e2_unmatched = &outcome.aggregates.row_unmatched;
+                let e2_matched = &outcome.aggregates.row_matched;
 
                 let sentinel = pk.encrypt(&pk.sentinel_z(), &mut self.s1.rng)?;
                 let worst_if_new: Vec<Ciphertext> = fresh.iter().map(|f| f.worst.clone()).collect();
@@ -146,14 +171,14 @@ impl TwoClouds {
                 let sentinels: Vec<Ciphertext> = (0..f_len).map(|_| sentinel.clone()).collect();
 
                 let appended_worst =
-                    self.select_between(&e2_unmatched, &worst_if_new, &sentinels)?;
-                let appended_best = self.select_between(&e2_unmatched, &best_if_new, &sentinels)?;
+                    self.select_between(e2_unmatched, &worst_if_new, &sentinels)?;
+                let appended_best = self.select_between(e2_unmatched, &best_if_new, &sentinels)?;
 
                 // Garbage-ify the EHL of matched items: every block gets + (matched · ρ).
                 let ehl_blocks = fresh[0].ehl.len();
                 let mut noise_bits = Vec::with_capacity(f_len * ehl_blocks);
                 let mut noise_values = Vec::with_capacity(f_len * ehl_blocks);
-                for e2_m in &e2_matched {
+                for e2_m in e2_matched {
                     for _ in 0..ehl_blocks {
                         noise_bits.push(e2_m.clone());
                         let rho = random_below(&mut self.s1.rng, pk.n());

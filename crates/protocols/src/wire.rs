@@ -1,0 +1,354 @@
+//! Binary wire codec for the inter-cloud transport.
+//!
+//! Every protocol message that crosses the S1 ↔ S2 boundary is lowered into the serde
+//! [`serde::Value`] tree and encoded with this compact, self-describing binary format.
+//! The [`crate::channel::ChannelMetrics`] byte counts are *measured* from these encoded
+//! buffers — not estimated from `byte_len()` sums — so the bandwidth figures (Table 3 /
+//! Fig. 13) reflect what an actual deployment would put on the wire, including framing
+//! overhead (field names, tags, lengths).
+//!
+//! Format, one tag byte per node:
+//!
+//! | tag | payload |
+//! |-----|---------|
+//! | `0` | null |
+//! | `1` / `2` | bool false / true |
+//! | `3` | u64 as LEB128 varint |
+//! | `4` | i64 zig-zag encoded as LEB128 varint |
+//! | `5` | f64 as 8 big-endian bytes |
+//! | `6` | string: varint length + UTF-8 bytes |
+//! | `7` | byte string: varint length + raw bytes (ciphertexts use this) |
+//! | `8` | sequence: varint count + encoded items |
+//! | `9` | map: varint count + (varint key length + key UTF-8 + encoded value)* |
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Encode any serializable message into its binary wire form.
+pub fn to_bytes<T: Serialize + ?Sized>(message: &T) -> Vec<u8> {
+    let value = message.to_value();
+    let mut out = Vec::with_capacity(encoded_len_value(&value));
+    encode_value(&value, &mut out);
+    out
+}
+
+/// The exact number of bytes [`to_bytes`] would produce, without building the buffer.
+/// The in-process transport uses this to meter messages it never actually serializes.
+pub fn encoded_len<T: Serialize + ?Sized>(message: &T) -> usize {
+    encoded_len_value(&message.to_value())
+}
+
+/// Maximum nesting depth a decoded value may have.  Protocol messages nest a handful of
+/// levels (enum → struct → vec → tuple → bytes); the cap turns a corrupted or hostile
+/// deeply-nested frame into a decode error instead of a stack overflow.
+const MAX_DECODE_DEPTH: u32 = 64;
+
+/// Decode a message from its binary wire form.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, serde::Error> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let value = decode_value(&mut cursor, 0)?;
+    if cursor.pos != bytes.len() {
+        return Err(serde::Error::custom("trailing bytes after wire message"));
+    }
+    T::from_value(&value)
+}
+
+fn varint_len(mut v: u64) -> usize {
+    let mut len = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        len += 1;
+    }
+    len
+}
+
+fn write_varint(mut v: u64, out: &mut Vec<u8>) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn encoded_len_value(v: &Value) -> usize {
+    1 + match v {
+        Value::Null | Value::Bool(_) => 0,
+        Value::U64(n) => varint_len(*n),
+        Value::I64(n) => varint_len(zigzag(*n)),
+        Value::F64(_) => 8,
+        Value::Str(s) => varint_len(s.len() as u64) + s.len(),
+        Value::Bytes(b) => varint_len(b.len() as u64) + b.len(),
+        Value::Seq(items) => {
+            varint_len(items.len() as u64) + items.iter().map(encoded_len_value).sum::<usize>()
+        }
+        Value::Map(entries) => {
+            varint_len(entries.len() as u64)
+                + entries
+                    .iter()
+                    .map(|(k, v)| varint_len(k.len() as u64) + k.len() + encoded_len_value(v))
+                    .sum::<usize>()
+        }
+    }
+}
+
+fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(false) => out.push(1),
+        Value::Bool(true) => out.push(2),
+        Value::U64(n) => {
+            out.push(3);
+            write_varint(*n, out);
+        }
+        Value::I64(n) => {
+            out.push(4);
+            write_varint(zigzag(*n), out);
+        }
+        Value::F64(f) => {
+            out.push(5);
+            out.extend_from_slice(&f.to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(6);
+            write_varint(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(7);
+            write_varint(b.len() as u64, out);
+            out.extend_from_slice(b);
+        }
+        Value::Seq(items) => {
+            out.push(8);
+            write_varint(items.len() as u64, out);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Map(entries) => {
+            out.push(9);
+            write_varint(entries.len() as u64, out);
+            for (k, v) in entries {
+                write_varint(k.len() as u64, out);
+                out.extend_from_slice(k.as_bytes());
+                encode_value(v, out);
+            }
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn byte(&mut self) -> Result<u8, serde::Error> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| serde::Error::custom("truncated wire message"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], serde::Error> {
+        // `pos <= len` always holds; comparing against the remainder avoids the
+        // `pos + n` overflow a pathological length prefix (e.g. u64::MAX) would cause.
+        if n > self.bytes.len() - self.pos {
+            return Err(serde::Error::custom("truncated wire message"));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn varint(&mut self) -> Result<u64, serde::Error> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 || (shift == 63 && (b & 0x7f) > 1) {
+                // The 10th byte may only contribute the single remaining bit; anything
+                // else would be silently shifted out of the u64.
+                return Err(serde::Error::custom("varint overflows u64"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, serde::Error> {
+        let len = self.varint()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| serde::Error::custom("invalid UTF-8 string"))
+    }
+}
+
+fn decode_value(cursor: &mut Cursor<'_>, depth: u32) -> Result<Value, serde::Error> {
+    if depth > MAX_DECODE_DEPTH {
+        return Err(serde::Error::custom("wire message nests too deeply"));
+    }
+    match cursor.byte()? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Bool(false)),
+        2 => Ok(Value::Bool(true)),
+        3 => Ok(Value::U64(cursor.varint()?)),
+        4 => Ok(Value::I64(unzigzag(cursor.varint()?))),
+        5 => {
+            let raw = cursor.take(8)?;
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(raw);
+            Ok(Value::F64(f64::from_be_bytes(buf)))
+        }
+        6 => Ok(Value::Str(cursor.string()?)),
+        7 => {
+            let len = cursor.varint()? as usize;
+            Ok(Value::Bytes(cursor.take(len)?.to_vec()))
+        }
+        8 => {
+            let count = cursor.varint()? as usize;
+            let mut items = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                items.push(decode_value(cursor, depth + 1)?);
+            }
+            Ok(Value::Seq(items))
+        }
+        9 => {
+            let count = cursor.varint()? as usize;
+            let mut entries = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let key = cursor.string()?;
+                entries.push((key, decode_value(cursor, depth + 1)?));
+            }
+            Ok(Value::Map(entries))
+        }
+        tag => Err(serde::Error::custom(format!("unknown wire tag {tag}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: Value) {
+        let mut buf = Vec::new();
+        encode_value(&v, &mut buf);
+        assert_eq!(buf.len(), encoded_len_value(&v), "encoded_len must match: {v:?}");
+        let mut cursor = Cursor { bytes: &buf, pos: 0 };
+        let back = decode_value(&mut cursor, 0).unwrap();
+        assert_eq!(cursor.pos, buf.len());
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(Value::Null);
+        round_trip(Value::Bool(true));
+        round_trip(Value::Bool(false));
+        for n in [0u64, 1, 127, 128, 300, u64::MAX] {
+            round_trip(Value::U64(n));
+        }
+        for n in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            round_trip(Value::I64(n));
+        }
+        round_trip(Value::F64(2.75));
+        round_trip(Value::Str("hello — utf8 ✓".into()));
+        round_trip(Value::Bytes(vec![0, 255, 1, 2, 3]));
+        round_trip(Value::Bytes(Vec::new()));
+    }
+
+    #[test]
+    fn compounds_round_trip() {
+        round_trip(Value::Seq(vec![Value::U64(1), Value::Str("x".into()), Value::Null]));
+        round_trip(Value::Map(vec![
+            ("a".into(), Value::Bytes(vec![9, 9])),
+            ("b".into(), Value::Seq(vec![Value::Bool(true)])),
+        ]));
+    }
+
+    #[test]
+    fn typed_messages_round_trip() {
+        let v: Vec<(usize, usize)> = vec![(0, 1), (7, 3)];
+        let bytes = to_bytes(&v);
+        assert_eq!(bytes.len(), encoded_len(&v));
+        let back: Vec<(usize, usize)> = from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors() {
+        let bytes = to_bytes(&vec![1u64, 2, 3]);
+        assert!(from_bytes::<Vec<u64>>(&bytes[..bytes.len() - 1]).is_err());
+        assert!(from_bytes::<Vec<u64>>(&[250]).is_err(), "unknown tag");
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(from_bytes::<Vec<u64>>(&extended).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // Thousands of [seq-of-one] frames: must be a decode error, not a stack overflow.
+        let deep: Vec<u8> = std::iter::repeat_n([8u8, 1], 50_000).flatten().collect();
+        assert!(from_bytes::<Vec<u64>>(&deep).is_err());
+        // Nesting within the cap still decodes.
+        let mut shallow = vec![8u8, 1, 8, 1];
+        shallow.push(0); // innermost null
+        assert!(from_bytes::<serde::Value>(&shallow).is_ok());
+    }
+
+    #[test]
+    fn huge_length_prefixes_error_instead_of_panicking() {
+        // Bytes tag with a u64::MAX length prefix: must be a decode error, not an
+        // overflow panic in the bounds check.
+        let mut frame = vec![7u8];
+        frame.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]);
+        assert!(from_bytes::<Vec<u8>>(&frame).is_err());
+        // Same for a sequence claiming u64::MAX items.
+        let mut seq = vec![8u8];
+        seq.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]);
+        assert!(from_bytes::<Vec<u64>>(&seq).is_err());
+    }
+
+    #[test]
+    fn overlong_varints_are_rejected() {
+        // Tag 3 (u64) followed by ten continuation bytes whose last byte carries more
+        // than the one bit that still fits in a u64 — must error, not truncate.
+        let mut overlong = vec![3u8];
+        overlong.extend_from_slice(&[0x80; 9]);
+        overlong.push(0x7f);
+        assert!(from_bytes::<u64>(&overlong).is_err());
+        // Eleven bytes of continuation is an error too.
+        let mut too_many = vec![3u8];
+        too_many.extend_from_slice(&[0x80; 10]);
+        too_many.push(0x01);
+        assert!(from_bytes::<u64>(&too_many).is_err());
+        // But u64::MAX itself (10th byte = 0x01) still round-trips.
+        let max = to_bytes(&u64::MAX);
+        assert_eq!(from_bytes::<u64>(&max).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn ciphertext_bytes_dominate_message_size() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sectopk_crypto::paillier::{generate_keypair, MIN_MODULUS_BITS};
+        let mut rng = StdRng::seed_from_u64(5);
+        let (pk, _sk) = generate_keypair(MIN_MODULUS_BITS, &mut rng).unwrap();
+        let c = pk.encrypt_u64(9, &mut rng).unwrap();
+        let encoded = to_bytes(&c);
+        // Tag + varint length + raw bytes: framing overhead is a handful of bytes.
+        assert!(encoded.len() >= c.byte_len());
+        assert!(encoded.len() <= c.byte_len() + 4);
+    }
+}

@@ -9,10 +9,13 @@
 //!
 //! i.e. the sum of the object's scores over every list where it appears at this depth.
 //! S1 cannot evaluate the condition `o_j = o_i` itself; it sends the randomly permuted
-//! `⊖` results to S2, which decrypts them (learning only the equality pattern) and
-//! replies with `E2(t_j)`; S1 then evaluates the Damgård–Jurik selection
-//! `E2(t_j)^{Enc(x_j)} · (E2(1)·E2(t_j)^{-1})^{Enc(0)}` and recovers `Enc(t_j · x_j)`
-//! via `RecoverEnc` — exactly the steps of Algorithm 4.
+//! `⊖` results through the transport, S2 decrypts them (learning only the equality
+//! pattern) and replies with `E2(t_j)`; S1 then evaluates the Damgård–Jurik selection
+//! and recovers `Enc(t_j · x_j)` via `RecoverEnc` — exactly the steps of Algorithm 4.
+//!
+//! With batching enabled, the equality matrices of **all** `m` per-depth items travel in
+//! one [`crate::transport::S1Request::Batch`] and all selections are recovered in a
+//! single `RecoverEnc` round: two round trips per depth instead of `2m`.
 
 use sectopk_crypto::paillier::Ciphertext;
 use sectopk_crypto::prp::RandomPermutation;
@@ -21,6 +24,8 @@ use sectopk_ehl::EhlPlus;
 use sectopk_storage::EncryptedItem;
 
 use crate::context::TwoClouds;
+use crate::primitives::EqPlan;
+use crate::transport::EqWants;
 
 impl TwoClouds {
     /// Compute the encrypted *local* worst score of one item against the other items `h`
@@ -31,30 +36,8 @@ impl TwoClouds {
         others: &[&EncryptedItem],
         depth: usize,
     ) -> Result<Ciphertext> {
-        let pk = self.s1.keys.paillier_public.clone();
-        if others.is_empty() {
-            // No other lists: the worst score is the item's own (re-randomized) score.
-            return Ok(pk.rerandomize(&item.score, &mut self.s1.rng));
-        }
-
-        // ---- S1: permute the comparison targets so S2 cannot attribute equality bits to
-        //      particular lists (Algorithm 4, line 2). -----------------------------------
-        let perm = RandomPermutation::sample(others.len(), &mut self.s1.rng);
-        let permuted: Vec<&EncryptedItem> = perm.permute(others);
-
-        let pairs: Vec<(&EhlPlus, &EhlPlus)> =
-            permuted.iter().map(|other| (&item.ehl, &other.ehl)).collect();
-        let batch = self.eq_batch(&pairs, "sec_worst", Some(depth))?;
-
-        // ---- S1: select each matching score and sum them up (lines 6-8). ----------------
-        let scores: Vec<Ciphertext> = permuted.iter().map(|o| o.score.clone()).collect();
-        let selected = self.select_scores(&batch.e2_bits, &scores)?;
-
-        let mut worst = item.score.clone();
-        for s in &selected {
-            worst = pk.add(&worst, s);
-        }
-        Ok(pk.rerandomize(&worst, &mut self.s1.rng))
+        let jobs = vec![(item, others.to_vec())];
+        Ok(self.worst_many(&jobs, depth)?.pop().expect("one job in, one score out"))
     }
 
     /// Compute the local worst scores of **all** `m` items appearing at depth `d`
@@ -64,11 +47,82 @@ impl TwoClouds {
         depth_items: &[EncryptedItem],
         depth: usize,
     ) -> Result<Vec<Ciphertext>> {
-        let mut worsts = Vec::with_capacity(depth_items.len());
-        for (i, item) in depth_items.iter().enumerate() {
-            let others: Vec<&EncryptedItem> =
-                depth_items.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, it)| it).collect();
-            worsts.push(self.sec_worst(item, &others, depth)?);
+        let jobs: Vec<(&EncryptedItem, Vec<&EncryptedItem>)> = depth_items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let others: Vec<&EncryptedItem> = depth_items
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, it)| it)
+                    .collect();
+                (item, others)
+            })
+            .collect();
+        self.worst_many(&jobs, depth)
+    }
+
+    /// Shared driver: one equality plan per item (all shipped in one batched round),
+    /// then one combined selection/recovery round for every matched score.
+    fn worst_many(
+        &mut self,
+        jobs: &[(&EncryptedItem, Vec<&EncryptedItem>)],
+        depth: usize,
+    ) -> Result<Vec<Ciphertext>> {
+        let pk = self.s1.keys.paillier_public.clone();
+
+        // ---- S1: permute the comparison targets so S2 cannot attribute equality bits to
+        //      particular lists (Algorithm 4, line 2), then build one plan per item. -----
+        let mut plans = Vec::new();
+        let mut job_scores: Vec<Vec<Ciphertext>> = Vec::with_capacity(jobs.len());
+        for (item, others) in jobs {
+            if others.is_empty() {
+                job_scores.push(Vec::new());
+                continue;
+            }
+            let perm = RandomPermutation::sample(others.len(), &mut self.s1.rng);
+            let permuted: Vec<&EncryptedItem> = perm.permute(others);
+            let pairs: Vec<(&EhlPlus, &EhlPlus)> =
+                permuted.iter().map(|other| (&item.ehl, &other.ehl)).collect();
+            let diffs = self.eq_diffs(&pairs);
+            plans.push(EqPlan {
+                cols: diffs.len(),
+                diffs,
+                context: "sec_worst",
+                depth: Some(depth),
+                want: EqWants::none(),
+            });
+            job_scores.push(permuted.iter().map(|o| o.score.clone()).collect());
+        }
+        let outcomes = self.run_eq_plans(plans)?;
+
+        // ---- S1: one combined selection across all items, then slice per item. ---------
+        let mut all_bits = Vec::new();
+        let mut all_scores = Vec::new();
+        let mut outcome_iter = outcomes.into_iter();
+        let mut spans: Vec<usize> = Vec::with_capacity(jobs.len());
+        for scores in &job_scores {
+            if scores.is_empty() {
+                spans.push(0);
+                continue;
+            }
+            let outcome = outcome_iter.next().expect("one outcome per non-empty job");
+            spans.push(scores.len());
+            all_bits.extend(outcome.bits);
+            all_scores.extend(scores.iter().cloned());
+        }
+        let selected = self.select_scores(&all_bits, &all_scores)?;
+
+        let mut worsts = Vec::with_capacity(jobs.len());
+        let mut offset = 0usize;
+        for ((item, _), span) in jobs.iter().zip(spans) {
+            let mut worst = item.score.clone();
+            for s in &selected[offset..offset + span] {
+                worst = pk.add(&worst, s);
+            }
+            offset += span;
+            worsts.push(pk.rerandomize(&worst, &mut self.s1.rng));
         }
         Ok(worsts)
     }
@@ -146,6 +200,20 @@ mod tests {
         let worst = clouds.sec_worst(&item, &[], 0).unwrap();
         assert_eq!(master.paillier_secret.decrypt_u64(&worst).unwrap(), 42);
         assert_eq!(clouds.channel().total_messages(), 0);
+    }
+
+    #[test]
+    fn whole_depth_costs_two_rounds_when_batched() {
+        let (master, mut clouds, encoder, mut rng) = setup();
+        let pk = &master.paillier_public;
+        let items = vec![
+            make_item(ObjectId(1), 1, &encoder, pk, &mut rng),
+            make_item(ObjectId(2), 2, &encoder, pk, &mut rng),
+            make_item(ObjectId(3), 3, &encoder, pk, &mut rng),
+        ];
+        let _ = clouds.sec_worst_depth(&items, 0).unwrap();
+        // One batched equality round + one combined RecoverEnc round.
+        assert_eq!(clouds.channel().rounds, 2);
     }
 
     #[test]

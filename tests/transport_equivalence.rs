@@ -1,0 +1,132 @@
+//! The two transport implementations must be observationally identical: for a fixed
+//! seed, running the same workload over `InProcessTransport` and `ChannelTransport`
+//! (S2 on its own thread, every message serialized through the binary wire codec) must
+//! produce **byte-identical** query results, identical leakage ledgers on both sides,
+//! and identical channel metrics.  Any divergence means the wire format is lossy or S2
+//! state leaked around the message boundary.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_core::{sec_query, DataOwner, QueryConfig, QueryOutcome};
+use sectopk_protocols::{ScoredItem, TransportKind, TwoClouds};
+use sectopk_storage::{ObjectId, Relation, Row, TopKQuery};
+use sectopk_tests::{TEST_EHL_KEYS, TEST_MODULUS_BITS};
+
+fn fixed_relation() -> Relation {
+    Relation::new(
+        vec!["r1".into(), "r2".into(), "r3".into()],
+        vec![
+            Row { id: ObjectId(1), values: vec![10, 3, 2] },
+            Row { id: ObjectId(2), values: vec![8, 8, 0] },
+            Row { id: ObjectId(3), values: vec![5, 7, 6] },
+            Row { id: ObjectId(4), values: vec![3, 2, 8] },
+            Row { id: ObjectId(5), values: vec![1, 1, 1] },
+        ],
+    )
+}
+
+/// Run one fixed-seed query on the given transport and return everything observable.
+fn run_on(kind: TransportKind, config: &QueryConfig) -> (TwoClouds, QueryOutcome) {
+    let mut rng = StdRng::seed_from_u64(0xE9_51);
+    let owner = DataOwner::new(TEST_MODULUS_BITS, TEST_EHL_KEYS, &mut rng).expect("keygen");
+    let relation = fixed_relation();
+    let (er, _) = owner.encrypt(&relation, &mut rng).expect("encryption");
+    let token = owner.authorize_client().token(3, &TopKQuery::sum(vec![0, 1, 2], 2)).unwrap();
+    let mut clouds =
+        TwoClouds::with_transport(owner.keys(), 0xBEEF, kind, true).expect("cloud setup");
+    let outcome = sec_query(&mut clouds, &er, &token, config).expect("query");
+    (clouds, outcome)
+}
+
+fn assert_items_byte_identical(a: &[ScoredItem], b: &[ScoredItem]) {
+    assert_eq!(a.len(), b.len(), "result lengths differ");
+    for (x, y) in a.iter().zip(b.iter()) {
+        // ScoredItem equality is group-element equality: byte-identical ciphertexts.
+        assert_eq!(x, y, "transports produced different ciphertexts");
+    }
+}
+
+fn assert_equivalent(config: &QueryConfig) {
+    let (clouds_ip, outcome_ip) = run_on(TransportKind::InProcess, config);
+    let (clouds_ch, outcome_ch) = run_on(TransportKind::Channel, config);
+
+    assert_items_byte_identical(&outcome_ip.top_k, &outcome_ch.top_k);
+    assert_eq!(
+        clouds_ip.s1_ledger().events(),
+        clouds_ch.s1_ledger().events(),
+        "S1 ledgers diverge"
+    );
+    assert_eq!(
+        clouds_ip.s2_ledger().events(),
+        clouds_ch.s2_ledger().events(),
+        "S2 ledgers diverge"
+    );
+    // Bytes are measured from the same wire encoding on both transports.
+    assert_eq!(clouds_ip.channel(), clouds_ch.channel(), "channel metrics diverge");
+    assert_eq!(outcome_ip.stats.depths_scanned, outcome_ch.stats.depths_scanned);
+    assert_eq!(outcome_ip.stats.halted, outcome_ch.stats.halted);
+}
+
+#[test]
+fn full_privacy_query_is_transport_invariant() {
+    assert_equivalent(&QueryConfig::full());
+}
+
+#[test]
+fn dup_elim_query_is_transport_invariant() {
+    assert_equivalent(&QueryConfig::dup_elim());
+}
+
+#[test]
+fn channel_transport_traffic_is_nonzero_and_round_counted() {
+    let (clouds, outcome) = run_on(TransportKind::Channel, &QueryConfig::full());
+    assert_eq!(clouds.transport_kind(), TransportKind::Channel);
+    let metrics = clouds.channel();
+    assert!(metrics.bytes > 0);
+    assert!(metrics.rounds > 0);
+    // Strict request/response framing: every S1 message is answered exactly once.
+    assert_eq!(metrics.messages_s1_to_s2, metrics.messages_s2_to_s1);
+    assert_eq!(metrics.rounds, metrics.messages_s1_to_s2);
+    assert_eq!(metrics.outstanding_requests, 0);
+    assert!(outcome.stats.depths_scanned > 0);
+}
+
+#[test]
+fn join_pipeline_is_transport_invariant() {
+    use sectopk_core::{encrypt_for_join, join_token, top_k_join, JoinQuery};
+
+    let run = |kind: TransportKind| {
+        let mut rng = StdRng::seed_from_u64(0x0001_0152);
+        let owner = DataOwner::new(TEST_MODULUS_BITS, TEST_EHL_KEYS, &mut rng).expect("keygen");
+        let keys = owner.keys();
+        let left = Relation::new(
+            vec!["A".into(), "C".into()],
+            vec![
+                Row { id: ObjectId(1), values: vec![1, 10] },
+                Row { id: ObjectId(2), values: vec![2, 20] },
+            ],
+        );
+        let right = Relation::new(
+            vec!["B".into(), "D".into()],
+            vec![
+                Row { id: ObjectId(1), values: vec![2, 5] },
+                Row { id: ObjectId(2), values: vec![9, 7] },
+            ],
+        );
+        let enc_left = encrypt_for_join(&left, keys, "join/left", &mut rng).unwrap();
+        let enc_right = encrypt_for_join(&right, keys, "join/right", &mut rng).unwrap();
+        let query = JoinQuery { join_left: 0, join_right: 0, score_left: 1, score_right: 1, k: 2 };
+        let token = join_token(keys, 2, 2, &query, &[1], &[1]).unwrap();
+        let mut clouds = TwoClouds::with_transport(keys, 0xCAFE, kind, true).unwrap();
+        let outcome = top_k_join(&mut clouds, &enc_left, &enc_right, &token).unwrap();
+        (clouds.channel(), clouds.s2_ledger(), outcome)
+    };
+
+    let (metrics_ip, ledger_ip, outcome_ip) = run(TransportKind::InProcess);
+    let (metrics_ch, ledger_ch, outcome_ch) = run(TransportKind::Channel);
+    assert_eq!(metrics_ip, metrics_ch);
+    assert_eq!(ledger_ip.events(), ledger_ch.events());
+    assert_eq!(outcome_ip.matching_pairs, outcome_ch.matching_pairs);
+    assert_eq!(outcome_ip.top_k, outcome_ch.top_k, "joined tuples must be byte-identical");
+}

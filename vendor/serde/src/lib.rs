@@ -29,6 +29,9 @@ pub enum Value {
     F64(f64),
     /// A string.
     Str(String),
+    /// A raw byte string (upstream serde's `bytes` type).  `serde_json` renders it as a
+    /// lowercase hex string; the binary wire codec in `sectopk-protocols` writes it raw.
+    Bytes(Vec<u8>),
     /// An ordered sequence.
     Seq(Vec<Value>),
     /// An ordered string-keyed map (struct fields, map entries, enum tagging).
@@ -68,6 +71,7 @@ impl Error {
             Value::U64(_) | Value::I64(_) => "integer",
             Value::F64(_) => "float",
             Value::Str(_) => "string",
+            Value::Bytes(_) => "bytes",
             Value::Seq(_) => "sequence",
             Value::Map(_) => "map",
         };

@@ -75,6 +75,16 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize)
             }
         }
         Value::Str(s) => write_string(out, s),
+        Value::Bytes(b) => {
+            // JSON has no byte-string type; render as a lowercase hex string (parsing
+            // returns `Value::Str`, which byte-oriented deserializers accept as hex).
+            let mut hex = String::with_capacity(b.len() * 2);
+            for byte in b {
+                hex.push(char::from_digit((byte >> 4) as u32, 16).unwrap());
+                hex.push(char::from_digit((byte & 0xf) as u32, 16).unwrap());
+            }
+            write_string(out, &hex);
+        }
         Value::Seq(items) => {
             if items.is_empty() {
                 out.push_str("[]");
