@@ -1,10 +1,15 @@
 //! Micro-benchmarks of the cryptographic substrate: Paillier, Damgård–Jurik, SHA-256 /
 //! HMAC and the EHL equality test.  These are the unit costs every per-depth figure of
 //! the paper decomposes into.
+//!
+//! The `modpow`-dominated operations (encrypt / decrypt / rerandomize / scalar-mul and
+//! the DJ layered ops) are swept over 256/512/1024-bit moduli; their means are the
+//! source of the committed `BENCH_crypto.json` before/after table.
 
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use num_bigint::BigUint;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,26 +40,10 @@ fn bench_crypto(c: &mut Criterion) {
         let data = [0x5au8; 64];
         b.iter(|| hmac_sha256(b"key", black_box(&data)))
     });
-    group.bench_function("paillier_encrypt_256", |b| {
-        b.iter(|| pk.encrypt_u64(black_box(123_456), &mut rng).unwrap())
-    });
-    group.bench_function("paillier_decrypt_256", |b| {
-        let c = pk.encrypt_u64(987, &mut rng).unwrap();
-        b.iter(|| sk.decrypt_u64(black_box(&c)).unwrap())
-    });
     group.bench_function("paillier_homomorphic_add", |b| {
         let x = pk.encrypt_u64(1, &mut rng).unwrap();
         let y = pk.encrypt_u64(2, &mut rng).unwrap();
         b.iter(|| pk.add(black_box(&x), black_box(&y)))
-    });
-    group.bench_function("dj_layered_encrypt", |b| {
-        let inner = pk.encrypt_u64(42, &mut rng).unwrap();
-        b.iter(|| dj.encrypt_ciphertext(black_box(&inner), &mut rng).unwrap())
-    });
-    group.bench_function("dj_select_exponentiation", |b| {
-        let inner = pk.encrypt_u64(42, &mut rng).unwrap();
-        let layered = dj.encrypt_u64(1, &mut rng).unwrap();
-        b.iter(|| dj.mul_by_ciphertext(black_box(&layered), black_box(&inner)))
     });
     group.bench_function("ehl_plus_encode", |b| {
         b.iter(|| encoder.encode(black_box(b"object-1234"), &pk, &mut rng).unwrap())
@@ -65,6 +54,86 @@ fn bench_crypto(c: &mut Criterion) {
         b.iter(|| x.eq_test(black_box(&y), &pk, &mut rng))
     });
     group.finish();
+
+    // The modpow-dominated core, swept over modulus sizes.  256-bit N is the paper's
+    // EHL+ configuration; 1024-bit N is where the asymptotic wins (Karatsuba over the
+    // DJ `N³` modulus, CRT decryption) show up.
+    let mut group = c.benchmark_group("modpow_core");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    for &bits in &[256usize, 512, 1024] {
+        let mut rng = StdRng::seed_from_u64(bits as u64);
+        let (pk, sk) = generate_keypair(bits, &mut rng).unwrap();
+        let dj = DjPublicKey::from_paillier(&pk);
+        let dj_sk = sectopk_crypto::damgard_jurik::DjSecretKey::from_paillier(&sk);
+
+        group.bench_with_input(BenchmarkId::new("paillier_encrypt", bits), &bits, |b, _| {
+            b.iter(|| pk.encrypt_u64(black_box(123_456), &mut rng).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("paillier_decrypt", bits), &bits, |b, _| {
+            let c = pk.encrypt_u64(987, &mut rng).unwrap();
+            b.iter(|| sk.decrypt_u64(black_box(&c)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("paillier_rerandomize", bits), &bits, |b, _| {
+            let c = pk.encrypt_u64(55, &mut rng).unwrap();
+            b.iter(|| pk.rerandomize(black_box(&c), &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("paillier_scalar_mul", bits), &bits, |b, _| {
+            let c = pk.encrypt_u64(7, &mut rng).unwrap();
+            let k = sectopk_crypto::bigint::random_below(&mut rng, pk.n());
+            b.iter(|| pk.mul_plain(black_box(&c), black_box(&k)))
+        });
+        group.bench_with_input(BenchmarkId::new("dj_layered_encrypt", bits), &bits, |b, _| {
+            let inner = pk.encrypt_u64(42, &mut rng).unwrap();
+            b.iter(|| dj.encrypt_ciphertext(black_box(&inner), &mut rng).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dj_scalar_mul", bits), &bits, |b, _| {
+            let inner = pk.encrypt_u64(42, &mut rng).unwrap();
+            let layered = dj.encrypt_u64(1, &mut rng).unwrap();
+            b.iter(|| dj.mul_by_ciphertext(black_box(&layered), black_box(&inner)))
+        });
+        group.bench_with_input(BenchmarkId::new("dj_rerandomize", bits), &bits, |b, _| {
+            let layered = dj.encrypt_u64(9, &mut rng).unwrap();
+            b.iter(|| dj.rerandomize(black_box(&layered), &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("dj_decrypt", bits), &bits, |b, _| {
+            let inner = pk.encrypt_u64(21, &mut rng).unwrap();
+            let layered = dj.encrypt_ciphertext(&inner, &mut rng).unwrap();
+            b.iter(|| dj_sk.decrypt(black_box(&layered)).unwrap())
+        });
+        // The latency-path cost with a pre-filled RandomnessPool: the exponentiation
+        // (`r^N mod N²` resp. `r^{N²} mod N³`) happened ahead of time, the online
+        // operation is a couple of multiplications.
+        group.bench_with_input(BenchmarkId::new("paillier_encrypt_online", bits), &bits, |b, _| {
+            let r = sectopk_crypto::bigint::random_invertible(&mut rng, pk.n());
+            let nonce = pk.nonce_from_r(&r);
+            b.iter(|| pk.encrypt_with_nonce(black_box(&BigUint::from(123_456u64)), &nonce))
+        });
+        group.bench_with_input(BenchmarkId::new("dj_encrypt_online", bits), &bits, |b, _| {
+            let inner = pk.encrypt_u64(42, &mut rng).unwrap();
+            let r = sectopk_crypto::bigint::random_invertible(&mut rng, pk.n());
+            let nonce = dj.nonce_from_r(&r);
+            b.iter(|| dj.encrypt_with_nonce(black_box(inner.as_biguint()), &nonce))
+        });
+    }
+    group.finish();
+
+    // Key generation (dominated by Miller–Rabin modpows plus the trial-division sieve).
+    let mut group = c.benchmark_group("keygen");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(100));
+    group.measurement_time(Duration::from_secs(3));
+    for &bits in &[256usize, 512] {
+        group.bench_with_input(BenchmarkId::new("paillier_keygen", bits), &bits, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2024);
+            b.iter(|| generate_keypair(black_box(bits), &mut rng).unwrap())
+        });
+    }
+    group.finish();
+
+    drop((dj, sk));
 }
 
 criterion_group!(benches, bench_crypto);

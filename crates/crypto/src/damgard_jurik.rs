@@ -12,10 +12,11 @@
 //! is exercised directly by the sub-protocols SecWorst / SecBest / SecUpdate (Algorithms
 //! 4, 6 and 9) and verified by the unit tests below.
 
-use num_bigint::BigUint;
+use num_bigint::{BigUint, MontgomeryContext};
 use num_traits::{One, Zero};
 use rand::{CryptoRng, RngCore};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use crate::bigint::{factorial, l_function, mod_inverse, random_invertible, to_signed};
 use crate::error::{CryptoError, Result};
@@ -68,13 +69,44 @@ impl Deserialize for LayeredCiphertext {
 
 /// Public (encryption) half of the Damgård–Jurik scheme, derived from a Paillier public
 /// key: same modulus `N`, ciphertexts live in `Z_{N^{s+1}}`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Like [`PaillierPublicKey`], the precomputed quantities — the big moduli and the
+/// [`MontgomeryContext`] for `N³` — live behind one shared [`Arc`], so clones (one per
+/// cloud view, per engine, per pool) are pointer bumps and every exponentiation under
+/// `N³` reuses the same CIOS parameters.
+#[derive(Clone, Debug)]
 pub struct DjPublicKey {
+    inner: Arc<DjInner>,
+}
+
+#[derive(Debug)]
+struct DjInner {
     paillier: PaillierPublicKey,
     /// `N²` — the message-space modulus of the outer layer.
     n_s: BigUint,
     /// `N³` — the ciphertext-space modulus of the outer layer.
     n_s_plus_1: BigUint,
+    /// Montgomery parameters for `N³` (odd for any product of odd primes).
+    ctx_n3: MontgomeryContext,
+    /// `2⁻¹ mod N`, used by the binomial expansion of `(1+N)^m mod N³`.
+    inv2_mod_n: BigUint,
+}
+
+// Everything in `DjInner` is derived from the Paillier public key, so only that key
+// crosses the wire and deserialization rebuilds the caches.
+impl Serialize for DjPublicKey {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![("paillier".to_string(), self.inner.paillier.to_value())])
+    }
+}
+
+impl Deserialize for DjPublicKey {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let paillier = PaillierPublicKey::from_value(
+            v.get("paillier").ok_or_else(|| serde::Error::missing_field("paillier"))?,
+        )?;
+        Ok(DjPublicKey::from_paillier(&paillier))
+    }
 }
 
 impl DjPublicKey {
@@ -83,27 +115,33 @@ impl DjPublicKey {
         let n = pk.n();
         let n_s = n * n;
         let n_s_plus_1 = &n_s * n;
-        DjPublicKey { paillier: pk.clone(), n_s, n_s_plus_1 }
+        let ctx_n3 =
+            MontgomeryContext::new(&n_s_plus_1).expect("N³ is odd for any product of odd primes");
+        // N is odd, so 2⁻¹ mod N = (N+1)/2.
+        let inv2_mod_n = (n + BigUint::one()) >> 1u32;
+        DjPublicKey {
+            inner: Arc::new(DjInner { paillier: pk.clone(), n_s, n_s_plus_1, ctx_n3, inv2_mod_n }),
+        }
     }
 
     /// The shared modulus `N`.
     pub fn n(&self) -> &BigUint {
-        self.paillier.n()
+        self.inner.paillier.n()
     }
 
     /// The outer message-space modulus `N²`.
     pub fn n_s(&self) -> &BigUint {
-        &self.n_s
+        &self.inner.n_s
     }
 
     /// The outer ciphertext-space modulus `N³`.
     pub fn n_s_plus_1(&self) -> &BigUint {
-        &self.n_s_plus_1
+        &self.inner.n_s_plus_1
     }
 
     /// The inner Paillier public key.
     pub fn paillier(&self) -> &PaillierPublicKey {
-        &self.paillier
+        &self.inner.paillier
     }
 
     /// Encrypt an arbitrary message `m ∈ Z_{N²}` under the outer layer:
@@ -113,7 +151,7 @@ impl DjPublicKey {
         m: &BigUint,
         rng: &mut R,
     ) -> Result<LayeredCiphertext> {
-        if m >= &self.n_s {
+        if m >= self.n_s() {
             return Err(CryptoError::PlaintextOutOfRange);
         }
         let r = random_invertible(rng, self.n());
@@ -141,25 +179,54 @@ impl DjPublicKey {
 
     /// Deterministic encryption with caller-supplied randomness.
     pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> LayeredCiphertext {
-        // (1+N)^m mod N^3 — computed by modular exponentiation (the base is small enough
-        // that binary exponentiation over Z_{N^3} is perfectly fast for s = 2).
-        let g = self.n() + BigUint::one();
-        let g_m = g.modpow(m, &self.n_s_plus_1);
-        let r_ns = r.modpow(&self.n_s, &self.n_s_plus_1);
-        LayeredCiphertext((g_m * r_ns) % &self.n_s_plus_1)
+        self.encrypt_with_nonce(m, &self.nonce_from_r(r))
+    }
+
+    /// The encryption nonce `r^{N²} mod N³` for a given `r ∈ Z_N^*` — the expensive
+    /// half of a layered encryption, precomputable ahead of time (see
+    /// [`crate::pool::RandomnessPool`]).
+    pub fn nonce_from_r(&self, r: &BigUint) -> BigUint {
+        self.inner.ctx_n3.modpow(r, self.n_s())
+    }
+
+    /// Encryption given a precomputed nonce `r^{N²} mod N³`.
+    ///
+    /// `(1+N)^m mod N³` is evaluated by the binomial identity
+    /// `1 + mN + (m(m−1)/2 mod N)·N²` — all terms of degree ≥ 3 vanish mod `N³` — so
+    /// the only exponentiation left in an encryption is the nonce itself.
+    pub fn encrypt_with_nonce(&self, m: &BigUint, r_ns: &BigUint) -> LayeredCiphertext {
+        let n3 = self.n_s_plus_1();
+        LayeredCiphertext((self.g_pow(m) * r_ns) % n3)
+    }
+
+    /// `(1+N)^m mod N³` via the closed-form binomial expansion (no exponentiation).
+    fn g_pow(&self, m: &BigUint) -> BigUint {
+        let n = self.n();
+        let n3 = self.n_s_plus_1();
+        if m.is_zero() {
+            return BigUint::one();
+        }
+        // binom = m(m−1)/2 mod N; the division by 2 becomes a multiplication by
+        // 2⁻¹ = (N+1)/2, valid because N is odd.
+        let m_mod_n = m % n;
+        let m_minus_1_mod_n = ((&m_mod_n + n) - BigUint::one()) % n;
+        let binom = ((m_mod_n * m_minus_1_mod_n) % n) * &self.inner.inv2_mod_n % n;
+        // 1 + mN + binom·N²  <  N³ + N³: one reduction suffices.
+        (BigUint::one() + m * n + binom * self.n_s()) % n3
     }
 
     /// Homomorphic addition in the outer layer: `E2(a) · E2(b) = E2(a + b mod N²)`.
     pub fn add(&self, a: &LayeredCiphertext, b: &LayeredCiphertext) -> LayeredCiphertext {
-        LayeredCiphertext((&a.0 * &b.0) % &self.n_s_plus_1)
+        LayeredCiphertext((&a.0 * &b.0) % self.n_s_plus_1())
     }
 
-    /// Scalar multiplication in the outer layer: `E2(a)^k = E2(k · a mod N²)`.
+    /// Scalar multiplication in the outer layer: `E2(a)^k = E2(k · a mod N²)`
+    /// (windowed Montgomery exponentiation under the cached `N³` context).
     ///
     /// This is the operation that realises the paper's layered identity when `k` is an
     /// inner Paillier ciphertext: `E2(Enc(m1))^{Enc(m2)} = E2(Enc(m1+m2))`.
     pub fn mul_plain(&self, a: &LayeredCiphertext, k: &BigUint) -> LayeredCiphertext {
-        LayeredCiphertext(a.0.modpow(k, &self.n_s_plus_1))
+        LayeredCiphertext(self.inner.ctx_n3.modpow(&a.0, k))
     }
 
     /// Scalar multiplication by an inner Paillier ciphertext (sugar over [`Self::mul_plain`]).
@@ -169,7 +236,7 @@ impl DjPublicKey {
 
     /// Homomorphic negation in the outer layer.
     pub fn negate(&self, a: &LayeredCiphertext) -> LayeredCiphertext {
-        let inv = mod_inverse(&a.0, &self.n_s_plus_1)
+        let inv = mod_inverse(&a.0, self.n_s_plus_1())
             .expect("layered ciphertext is invertible for honestly generated keys");
         LayeredCiphertext(inv)
     }
@@ -186,13 +253,21 @@ impl DjPublicKey {
         rng: &mut R,
     ) -> LayeredCiphertext {
         let r = random_invertible(rng, self.n());
-        let r_ns = r.modpow(&self.n_s, &self.n_s_plus_1);
-        LayeredCiphertext((&a.0 * r_ns) % &self.n_s_plus_1)
+        self.rerandomize_with_nonce(a, &self.nonce_from_r(&r))
+    }
+
+    /// Re-randomization given a precomputed nonce `r^{N²} mod N³`.
+    pub fn rerandomize_with_nonce(
+        &self,
+        a: &LayeredCiphertext,
+        r_ns: &BigUint,
+    ) -> LayeredCiphertext {
+        LayeredCiphertext((&a.0 * r_ns) % self.n_s_plus_1())
     }
 
     /// Sanity-check a layered ciphertext received from the network.
     pub fn validate(&self, a: &LayeredCiphertext) -> Result<()> {
-        if a.0.is_zero() || a.0 >= self.n_s_plus_1 {
+        if a.0.is_zero() || a.0 >= *self.n_s_plus_1() {
             Err(CryptoError::CiphertextOutOfRange)
         } else {
             Ok(())
@@ -202,17 +277,104 @@ impl DjPublicKey {
 
 /// Secret (decryption) half of the Damgård–Jurik scheme.  Wraps the Paillier secret key —
 /// the crypto cloud S2 holds both.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Like the Paillier secret key, decryption runs in CRT form: the dominating
+/// exponentiation `c^λ mod N³` becomes two half-width exponentiations modulo `p³` and
+/// `q³`, recombined with Garner's formula before the exponent-extraction recursion.
+/// The CRT parameters are derived from the Paillier key's factors and live behind an
+/// [`Arc`] (cheap clones); serialization ships only the Paillier key and rebuilds them.
+#[derive(Clone, Debug)]
 pub struct DjSecretKey {
     paillier: PaillierSecretKey,
     public: DjPublicKey,
+    crt: Arc<DjCrt>,
+}
+
+/// CRT parameters for the outer-layer modulus `N³ = p³·q³`.
+///
+/// Each branch decrypts with the *half-size* exponent `p−1` (resp. `q−1`) instead of
+/// `λ`: `c^{p−1} mod p³ = (1+N)^{y} mod p³` with `y = m(p−1) mod p²` (the nonce's
+/// contribution vanishes because `N²(p−1) ≡ 0 mod p²(p−1)`, the group order), and `y`
+/// is extracted from the binomial closed form
+/// `1 + y·q·p + (y(y−1)/2 mod p)·q²·p² (mod p³)` with two inversions precomputed here.
+#[derive(Debug)]
+struct DjCrt {
+    p: BigUint,
+    q: BigUint,
+    p_squared: BigUint,
+    q_squared: BigUint,
+    p_cubed: BigUint,
+    q_cubed: BigUint,
+    ctx_p3: MontgomeryContext,
+    ctx_q3: MontgomeryContext,
+    /// Branch exponents `p − 1` and `q − 1`.
+    p_minus_1: BigUint,
+    q_minus_1: BigUint,
+    /// `q⁻¹ mod p²` and `p⁻¹ mod q²` (strip the co-factor from the linear term).
+    q_inv_mod_p2: BigUint,
+    p_inv_mod_q2: BigUint,
+    /// `q mod p` and `p mod q` (the co-factor re-enters the quadratic correction).
+    q_mod_p: BigUint,
+    p_mod_q: BigUint,
+    /// `2⁻¹ mod p` / `2⁻¹ mod q` for the binomial correction term.
+    inv2_mod_p: BigUint,
+    inv2_mod_q: BigUint,
+    /// `(p−1)⁻¹ mod p²` and `(q−1)⁻¹ mod q²` (divide the branch exponent back out).
+    pm1_inv_mod_p2: BigUint,
+    qm1_inv_mod_q2: BigUint,
+    /// Garner coefficient `(p²)⁻¹ mod q²` recombining the branch messages in `Z_{N²}`.
+    p2_inv_mod_q2: BigUint,
+}
+
+impl Serialize for DjSecretKey {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![("paillier".to_string(), self.paillier.to_value())])
+    }
+}
+
+impl Deserialize for DjSecretKey {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let paillier = PaillierSecretKey::from_value(
+            v.get("paillier").ok_or_else(|| serde::Error::missing_field("paillier"))?,
+        )?;
+        Ok(DjSecretKey::from_paillier(&paillier))
+    }
 }
 
 impl DjSecretKey {
     /// Derive the outer-layer secret key from the Paillier secret key.
     pub fn from_paillier(sk: &PaillierSecretKey) -> Self {
         let public = DjPublicKey::from_paillier(sk.public_key());
-        DjSecretKey { paillier: sk.clone(), public }
+        let (p, q) = sk.factors();
+        let p_squared = p * p;
+        let q_squared = q * q;
+        let p_cubed = &p_squared * p;
+        let q_cubed = &q_squared * q;
+        let ctx_p3 = MontgomeryContext::new(&p_cubed).expect("p³ is odd for an odd prime p");
+        let ctx_q3 = MontgomeryContext::new(&q_cubed).expect("q³ is odd for an odd prime q");
+        let invertible = "factors are odd, distinct and coprime to their co-factors";
+        let crt = DjCrt {
+            p_minus_1: p - BigUint::one(),
+            q_minus_1: q - BigUint::one(),
+            q_inv_mod_p2: mod_inverse(q, &p_squared).expect(invertible),
+            p_inv_mod_q2: mod_inverse(p, &q_squared).expect(invertible),
+            q_mod_p: q % p,
+            p_mod_q: p % q,
+            inv2_mod_p: (p + BigUint::one()) >> 1u32,
+            inv2_mod_q: (q + BigUint::one()) >> 1u32,
+            pm1_inv_mod_p2: mod_inverse(&(p - BigUint::one()), &p_squared).expect(invertible),
+            qm1_inv_mod_q2: mod_inverse(&(q - BigUint::one()), &q_squared).expect(invertible),
+            p2_inv_mod_q2: mod_inverse(&p_squared, &q_squared).expect(invertible),
+            p: p.clone(),
+            q: q.clone(),
+            p_squared,
+            q_squared,
+            p_cubed,
+            q_cubed,
+            ctx_p3,
+            ctx_q3,
+        };
+        DjSecretKey { paillier: sk.clone(), public, crt: Arc::new(crt) }
     }
 
     /// The matching public key.
@@ -225,11 +387,83 @@ impl DjSecretKey {
         &self.paillier
     }
 
-    /// Decrypt a layered ciphertext to its message in `Z_{N²}`.
+    /// Decrypt a layered ciphertext to its message in `Z_{N²}`, in CRT form.
     ///
-    /// Uses the standard Damgård–Jurik decryption: raise to `λ`, extract the exponent
-    /// `i = m·λ mod N²` from `(1+N)^{mλ}` by the recursive algorithm, then divide by `λ`.
+    /// Each prime-power branch raises to the *half-size* exponent `p−1` (not `λ`):
+    /// `c^{p−1} mod p³ = (1+N)^{m(p−1) mod p²} mod p³` because the nonce's order
+    /// divides `N²(p−1)`.  The exponent `y = m(p−1) mod p²` falls out of the binomial
+    /// closed form in two steps (no recursion), `m mod p²` follows by multiplying with
+    /// `(p−1)⁻¹ mod p²`, and Garner recombines the halves in `Z_{N²}`.  Bit-for-bit
+    /// equal to [`Self::decrypt_via_lambda`].
     pub fn decrypt(&self, c: &LayeredCiphertext) -> Result<BigUint> {
+        self.public.validate(c)?;
+        let crt = &*self.crt;
+        let m_p = Self::decrypt_branch(
+            &c.0,
+            &crt.p,
+            &crt.p_squared,
+            &crt.p_cubed,
+            &crt.ctx_p3,
+            &crt.p_minus_1,
+            &crt.q_inv_mod_p2,
+            &crt.q_mod_p,
+            &crt.inv2_mod_p,
+            &crt.pm1_inv_mod_p2,
+        )?;
+        let m_q = Self::decrypt_branch(
+            &c.0,
+            &crt.q,
+            &crt.q_squared,
+            &crt.q_cubed,
+            &crt.ctx_q3,
+            &crt.q_minus_1,
+            &crt.p_inv_mod_q2,
+            &crt.p_mod_q,
+            &crt.inv2_mod_q,
+            &crt.qm1_inv_mod_q2,
+        )?;
+        // Garner: m = m_p + p² · ((m_q − m_p) · (p²)⁻¹ mod q²)  ∈ Z_{N²}
+        let diff = ((&crt.q_squared + &m_q) - (&m_p % &crt.q_squared)) % &crt.q_squared;
+        Ok(m_p + &crt.p_squared * ((diff * &crt.p2_inv_mod_q2) % &crt.q_squared))
+    }
+
+    /// One CRT branch of [`Self::decrypt`]: recover `m mod p²` from `c mod p³`.
+    #[allow(clippy::too_many_arguments)]
+    fn decrypt_branch(
+        c: &BigUint,
+        p: &BigUint,
+        p_squared: &BigUint,
+        p_cubed: &BigUint,
+        ctx_p3: &MontgomeryContext,
+        p_minus_1: &BigUint,
+        cofactor_inv: &BigUint, // q⁻¹ mod p²
+        cofactor: &BigUint,     // q mod p
+        inv2: &BigUint,         // 2⁻¹ mod p
+        pm1_inv: &BigUint,      // (p−1)⁻¹ mod p²
+    ) -> Result<BigUint> {
+        // a = c^{p−1} mod p³ = 1 + y·q·p + (y(y−1)/2 mod p)·q²·p²  with y = m(p−1) mod p².
+        let a = ctx_p3.modpow(&(c % p_cubed), p_minus_1);
+        if !(&a % p).is_one() {
+            return Err(CryptoError::DecryptionFailed);
+        }
+        // x = L_p(a) mod p² = y·q + (y(y−1)/2 mod p)·q²·p ;  w = x·q⁻¹ = y + (…)·q·p.
+        let x = l_function(&a, p) % p_squared;
+        let w = (&x * cofactor_inv) % p_squared;
+        // y mod p survives the correction term (it is divisible by p).
+        let y1 = &w % p;
+        let y1_minus_1 = (&y1 + p - BigUint::one()) % p;
+        let half_binom = ((&y1 * y1_minus_1) % p) * inv2 % p;
+        // Undo the correction: w − y = (y(y−1)/2)·q·p, and as a multiple of p only its
+        // factor modulo p matters: correction = ((y(y−1)/2)·q mod p) · p < p².
+        let correction = ((half_binom * cofactor) % p) * p;
+        let y = ((&w + p_squared) - correction) % p_squared;
+        // m mod p² = y · (p−1)⁻¹ mod p².
+        Ok((y * pm1_inv) % p_squared)
+    }
+
+    /// The textbook decryption with a single full-width `c^λ mod N³` — kept as the
+    /// reference implementation the CRT fast path is differentially tested against.
+    pub fn decrypt_via_lambda(&self, c: &LayeredCiphertext) -> Result<BigUint> {
         self.public.validate(c)?;
         let n = self.public.n();
         let n_s = self.public.n_s();

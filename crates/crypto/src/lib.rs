@@ -14,6 +14,8 @@
 //!   layer, providing the `E2(Enc(m1))^{Enc(m2)} = E2(Enc(m1+m2))` identity.
 //! * [`prf`] / [`prp`] — keyed PRFs and (keyed + ephemeral) pseudo-random permutations.
 //! * [`keys`] — the data-owner / S1 / S2 / client key bundles of Algorithm 2.
+//! * [`pool`] — amortizing pools of precomputed encryption nonces (`r^N mod N²`,
+//!   `r^{N²} mod N³`) that take the exponentiation off the encrypt/re-randomize path.
 //!
 //! ## Quick example
 //!
@@ -40,6 +42,7 @@ pub mod error;
 pub mod hmac;
 pub mod keys;
 pub mod paillier;
+pub mod pool;
 pub mod prf;
 pub mod prime;
 pub mod prp;
@@ -52,5 +55,6 @@ pub use paillier::{
     generate_keypair, Ciphertext, PaillierPublicKey, PaillierSecretKey, DEFAULT_MODULUS_BITS,
     MIN_MODULUS_BITS,
 };
+pub use pool::RandomnessPool;
 pub use prf::{Prf, PrfKey, PRF_KEY_LEN};
 pub use prp::{KeyedPrp, RandomPermutation};

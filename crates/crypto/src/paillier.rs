@@ -11,7 +11,7 @@
 //! `Enc(m) = (1 + mN) · r^N mod N²` and decryption is `L(c^λ mod N²) · μ mod N` with
 //! `λ = lcm(p−1, q−1)` and `μ = λ⁻¹ mod N`.
 
-use num_bigint::BigUint;
+use num_bigint::{BigUint, MontgomeryContext};
 use num_integer::Integer;
 use num_traits::{One, Zero};
 use rand::{CryptoRng, RngCore};
@@ -35,26 +35,167 @@ pub const DEFAULT_MODULUS_BITS: usize = 256;
 /// Public parameters of a Paillier key pair: the modulus `N`, `N²`, and `g = N + 1`.
 ///
 /// Cheap to clone (the big integers live behind an [`Arc`]) because every ciphertext
-/// operation needs access to `N²`.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+/// operation needs access to `N²`.  The shared [`Arc`] also owns the precomputed
+/// [`MontgomeryContext`] for `N²`, so every `modpow`-shaped operation (encrypt,
+/// re-randomize, scalar multiplication) reuses the same CIOS parameters instead of
+/// re-deriving them per call; only serialization and equality look at the raw moduli.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PaillierPublicKey {
     inner: Arc<PublicInner>,
 }
 
-#[derive(Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug)]
 struct PublicInner {
     n: BigUint,
     n_squared: BigUint,
+    /// Montgomery parameters for the ciphertext-space modulus `N²`.  `N` is a product
+    /// of odd primes, so `N²` is always odd and the context always exists.
+    ctx_n2: MontgomeryContext,
     /// Bit length requested at key generation time.
     modulus_bits: usize,
 }
 
-/// The Paillier secret key: `λ = lcm(p−1, q−1)` and `μ = λ⁻¹ mod N`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+impl PublicInner {
+    /// Derive every cached quantity from the modulus.
+    fn build(n: BigUint, modulus_bits: usize) -> Self {
+        let n_squared = &n * &n;
+        let ctx_n2 =
+            MontgomeryContext::new(&n_squared).expect("N² is odd for any product of odd primes");
+        PublicInner { n, n_squared, ctx_n2, modulus_bits }
+    }
+}
+
+impl PartialEq for PublicInner {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything else is derived from (n, modulus_bits).
+        self.n == other.n && self.modulus_bits == other.modulus_bits
+    }
+}
+
+impl Eq for PublicInner {}
+
+// The Montgomery context is a pure function of `N`; only the modulus and the requested
+// bit length go over the wire, and deserialization rebuilds the caches.
+impl Serialize for PaillierPublicKey {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("n".to_string(), self.inner.n.to_value()),
+            ("modulus_bits".to_string(), serde::Value::U64(self.inner.modulus_bits as u64)),
+        ])
+    }
+}
+
+impl Deserialize for PaillierPublicKey {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let n = BigUint::from_value(v.get("n").ok_or_else(|| serde::Error::missing_field("n"))?)?;
+        let modulus_bits = usize::from_value(
+            v.get("modulus_bits").ok_or_else(|| serde::Error::missing_field("modulus_bits"))?,
+        )?;
+        if n <= BigUint::one() || n.is_even() {
+            return Err(serde::Error::custom("Paillier modulus must be odd and greater than 1"));
+        }
+        Ok(PaillierPublicKey { inner: Arc::new(PublicInner::build(n, modulus_bits)) })
+    }
+}
+
+/// The Paillier secret key: `λ = lcm(p−1, q−1)`, `μ = λ⁻¹ mod N`, and the CRT
+/// precomputation over the factors `p`, `q`.
+///
+/// Decryption runs in CRT form — two half-width exponentiations `c^{p−1} mod p²` and
+/// `c^{q−1} mod q²` recombined with Garner's formula — which is ~4× less limb work
+/// than the textbook `c^λ mod N²` path (half-size moduli *and* half-size exponents).
+/// The textbook path survives as [`Self::decrypt_via_lambda`], the reference the CRT
+/// path is differentially tested against.  The CRT parameters live behind their own
+/// [`Arc`] so cloning the key (the S2 engine clones per request batch) stays cheap.
+#[derive(Clone, Debug)]
 pub struct PaillierSecretKey {
     lambda: BigUint,
     mu: BigUint,
+    crt: Arc<PaillierCrt>,
     public: PaillierPublicKey,
+}
+
+/// CRT decryption parameters derived from the key's prime factorisation.
+#[derive(Debug)]
+struct PaillierCrt {
+    p: BigUint,
+    q: BigUint,
+    p_squared: BigUint,
+    q_squared: BigUint,
+    /// Montgomery parameters for the half-width ciphertext-space moduli.
+    ctx_p2: MontgomeryContext,
+    ctx_q2: MontgomeryContext,
+    /// CRT exponents `p − 1` and `q − 1`.
+    p_minus_1: BigUint,
+    q_minus_1: BigUint,
+    /// `hp = L_p((1+N)^{p−1} mod p²)⁻¹ mod p = ((p−1)·q)⁻¹ mod p`, and the `q` twin.
+    hp: BigUint,
+    hq: BigUint,
+    /// Garner coefficient `p⁻¹ mod q`.
+    p_inv_mod_q: BigUint,
+}
+
+impl PaillierCrt {
+    fn build(p: BigUint, q: BigUint, n: &BigUint) -> Result<Self> {
+        // A mismatched (p, q, N) triple — e.g. a corrupted serialized key — would make
+        // every decryption silently wrong, and a degenerate factor would panic the
+        // Montgomery setup below; reject both outright.
+        if p <= BigUint::one() || q <= BigUint::one() || &(&p * &q) != n {
+            return Err(CryptoError::DecryptionFailed);
+        }
+        let p_squared = &p * &p;
+        let q_squared = &q * &q;
+        let ctx_p2 = MontgomeryContext::new(&p_squared).expect("p² is odd for an odd prime p");
+        let ctx_q2 = MontgomeryContext::new(&q_squared).expect("q² is odd for an odd prime q");
+        let p_minus_1 = &p - BigUint::one();
+        let q_minus_1 = &q - BigUint::one();
+        // (1+N)^{p−1} mod p² = 1 + (p−1)·N mod p² (binomial; N² ≡ 0 mod p²), so
+        // L_p of it is (p−1)·N/p = (p−1)·q mod p.
+        let hp = mod_inverse(&((&p_minus_1 * &q) % &p), &p)?;
+        let hq = mod_inverse(&((&q_minus_1 * &p) % &q), &q)?;
+        let p_inv_mod_q = mod_inverse(&p, &q)?;
+        Ok(PaillierCrt {
+            p,
+            q,
+            p_squared,
+            q_squared,
+            ctx_p2,
+            ctx_q2,
+            p_minus_1,
+            q_minus_1,
+            hp,
+            hq,
+            p_inv_mod_q,
+        })
+    }
+}
+
+// The secret key serializes its defining quantities (λ, μ, p, q) plus the public key;
+// the CRT caches are rebuilt on deserialization.
+impl Serialize for PaillierSecretKey {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("lambda".to_string(), self.lambda.to_value()),
+            ("mu".to_string(), self.mu.to_value()),
+            ("p".to_string(), self.crt.p.to_value()),
+            ("q".to_string(), self.crt.q.to_value()),
+            ("public".to_string(), self.public.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PaillierSecretKey {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let field = |name: &str| v.get(name).ok_or_else(|| serde::Error::missing_field(name));
+        let lambda = BigUint::from_value(field("lambda")?)?;
+        let mu = BigUint::from_value(field("mu")?)?;
+        let p = BigUint::from_value(field("p")?)?;
+        let q = BigUint::from_value(field("q")?)?;
+        let public = PaillierPublicKey::from_value(field("public")?)?;
+        let crt = PaillierCrt::build(p, q, public.n())
+            .map_err(|e| serde::Error::custom(format!("invalid Paillier factors: {e:?}")))?;
+        Ok(PaillierSecretKey { lambda, mu, crt: Arc::new(crt), public })
+    }
 }
 
 /// A Paillier ciphertext, an element of `Z_{N²}^*`.
@@ -155,11 +296,23 @@ impl PaillierPublicKey {
     /// Deterministic encryption with caller-provided randomness `r ∈ Z_N^*`
     /// (used by the tests that check the homomorphic identities exactly).
     pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
+        self.encrypt_with_nonce(m, &self.nonce_from_r(r))
+    }
+
+    /// The encryption nonce `r^N mod N²` for a given `r ∈ Z_N^*` — the expensive half
+    /// of an encryption, precomputable ahead of time (see
+    /// [`crate::pool::RandomnessPool`]).
+    pub fn nonce_from_r(&self, r: &BigUint) -> BigUint {
+        self.inner.ctx_n2.modpow(r, self.n())
+    }
+
+    /// Encryption given a precomputed nonce `r^N mod N²`: one multiplication, no
+    /// exponentiation.
+    pub fn encrypt_with_nonce(&self, m: &BigUint, r_n: &BigUint) -> Ciphertext {
         let n = self.n();
         let n2 = self.n_squared();
         // g^m = (1 + N)^m = 1 + mN (mod N^2)
         let g_m = (BigUint::one() + m * n) % n2;
-        let r_n = r.modpow(n, n2);
         Ciphertext((g_m * r_n) % n2)
     }
 
@@ -193,9 +346,10 @@ impl PaillierPublicKey {
         Ciphertext(inv)
     }
 
-    /// Scalar multiplication: `Enc(a)^k = Enc(k · a)`.
+    /// Scalar multiplication: `Enc(a)^k = Enc(k · a)` (windowed Montgomery
+    /// exponentiation under the cached `N²` context).
     pub fn mul_plain(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
-        Ciphertext(a.0.modpow(k, self.n_squared()))
+        Ciphertext(self.inner.ctx_n2.modpow(&a.0, k))
     }
 
     /// Re-randomize a ciphertext: multiply by a fresh encryption of zero.  The output
@@ -203,7 +357,11 @@ impl PaillierPublicKey {
     /// which is what the sub-protocols rely on when S2 returns items to S1.
     pub fn rerandomize<R: RngCore + CryptoRng>(&self, a: &Ciphertext, rng: &mut R) -> Ciphertext {
         let r = random_invertible(rng, self.n());
-        let r_n = r.modpow(self.n(), self.n_squared());
+        self.rerandomize_with_nonce(a, &self.nonce_from_r(&r))
+    }
+
+    /// Re-randomization given a precomputed nonce `r^N mod N²`: one multiplication.
+    pub fn rerandomize_with_nonce(&self, a: &Ciphertext, r_n: &BigUint) -> Ciphertext {
         Ciphertext((&a.0 * r_n) % self.n_squared())
     }
 
@@ -224,12 +382,38 @@ impl PaillierSecretKey {
         &self.public
     }
 
-    /// Decrypt a ciphertext to an element of `Z_N`.
+    /// Decrypt a ciphertext to an element of `Z_N`, in CRT form: half-width
+    /// exponentiations modulo `p²` and `q²` with half-size exponents `p−1` / `q−1`,
+    /// recombined with Garner's formula.  Bit-for-bit equal to
+    /// [`Self::decrypt_via_lambda`].
     pub fn decrypt(&self, c: &Ciphertext) -> Result<BigUint> {
         self.public.validate(c)?;
+        let crt = &*self.crt;
+        // m mod p = L_p(c^{p−1} mod p²) · hp mod p.  A ciphertext sharing a factor
+        // with N (never produced honestly) would make L_p's exact division invalid,
+        // so reject anything whose Fermat residue isn't 1.
+        let cp = crt.ctx_p2.modpow(&(&c.0 % &crt.p_squared), &crt.p_minus_1);
+        if !(&cp % &crt.p).is_one() {
+            return Err(CryptoError::DecryptionFailed);
+        }
+        let mp = (l_function(&cp, &crt.p) * &crt.hp) % &crt.p;
+        // m mod q, likewise
+        let cq = crt.ctx_q2.modpow(&(&c.0 % &crt.q_squared), &crt.q_minus_1);
+        if !(&cq % &crt.q).is_one() {
+            return Err(CryptoError::DecryptionFailed);
+        }
+        let mq = (l_function(&cq, &crt.q) * &crt.hq) % &crt.q;
+        // Garner: m = mp + p · ((mq − mp) · p⁻¹ mod q)
+        let diff = ((&crt.q + &mq) - (&mp % &crt.q)) % &crt.q;
+        Ok(mp + &crt.p * ((diff * &crt.p_inv_mod_q) % &crt.q))
+    }
+
+    /// The textbook decryption `L(c^λ mod N²) · μ mod N` — kept as the reference
+    /// implementation the CRT fast path is differentially tested against.
+    pub fn decrypt_via_lambda(&self, c: &Ciphertext) -> Result<BigUint> {
+        self.public.validate(c)?;
         let n = self.public.n();
-        let n2 = self.public.n_squared();
-        let u = c.0.modpow(&self.lambda, n2);
+        let u = self.public.inner.ctx_n2.modpow(&c.0, &self.lambda);
         let l = l_function(&u, n);
         Ok((l * &self.mu) % n)
     }
@@ -261,6 +445,12 @@ impl PaillierSecretKey {
     pub(crate) fn lambda_for_dj(&self) -> &BigUint {
         &self.lambda
     }
+
+    /// Crate-internal: expose the prime factors so the Damgård–Jurik layer can build its
+    /// own CRT parameters over `p³` / `q³`.
+    pub(crate) fn factors(&self) -> (&BigUint, &BigUint) {
+        (&self.crt.p, &self.crt.q)
+    }
 }
 
 /// Generate a Paillier key pair with a modulus of (about) `modulus_bits` bits.
@@ -277,14 +467,14 @@ pub fn generate_keypair<R: RngCore + CryptoRng>(
     let prime_bits = (modulus_bits / 2) as u64;
     let (p, q) = generate_safe_factor_pair(prime_bits, rng)?;
     let n = &p * &q;
-    let n_squared = &n * &n;
     let p_minus = &p - BigUint::one();
     let q_minus = &q - BigUint::one();
     let lambda = p_minus.lcm(&q_minus);
     let mu = mod_inverse(&lambda, &n)?;
+    let crt = PaillierCrt::build(p, q, &n)?;
 
-    let public = PaillierPublicKey { inner: Arc::new(PublicInner { n, n_squared, modulus_bits }) };
-    let secret = PaillierSecretKey { lambda, mu, public: public.clone() };
+    let public = PaillierPublicKey { inner: Arc::new(PublicInner::build(n, modulus_bits)) };
+    let secret = PaillierSecretKey { lambda, mu, crt: Arc::new(crt), public: public.clone() };
     Ok((public, secret))
 }
 
@@ -422,6 +612,41 @@ mod tests {
         assert!(sk.is_zero(&diff).unwrap());
         let c = pk.encrypt_u64(78, &mut rng).unwrap();
         assert!(!sk.is_zero(&pk.sub(&a, &c)).unwrap());
+    }
+
+    #[test]
+    fn deserialize_rejects_degenerate_moduli() {
+        // n = 1 (or 0, or even) must come back as a decode error, not a panic in the
+        // Montgomery setup — these bytes can arrive over the inter-cloud wire.
+        for bad in [0u64, 1, 4096] {
+            let v = serde::Value::Map(vec![
+                ("n".to_string(), serde::Value::U64(bad)),
+                ("modulus_bits".to_string(), serde::Value::U64(8)),
+            ]);
+            assert!(PaillierPublicKey::from_value(&v).is_err(), "n = {bad}");
+        }
+        // Secret key with p = 1, q = N: passes p·q == N but must still be rejected.
+        let (pk, sk, _rng) = setup();
+        let mut sk_value = sk.to_value();
+        if let serde::Value::Map(entries) = &mut sk_value {
+            for (key, value) in entries.iter_mut() {
+                match key.as_str() {
+                    "p" => *value = serde::Value::Str("1".to_string()),
+                    "q" => *value = serde::Value::Str(pk.n().to_string()),
+                    _ => {}
+                }
+            }
+        }
+        assert!(PaillierSecretKey::from_value(&sk_value).is_err());
+    }
+
+    #[test]
+    fn decrypt_rejects_ciphertext_sharing_a_factor_with_n() {
+        // c = N passes the range check but is divisible by both primes; the CRT path
+        // must return an error, not panic in the exact division.
+        let (pk, sk, _rng) = setup();
+        let c = Ciphertext(pk.n().clone());
+        assert_eq!(sk.decrypt(&c), Err(CryptoError::DecryptionFailed));
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! An amortizing pool of precomputed encryption nonces.
+//!
+//! The expensive half of a Paillier encryption (or re-randomization) is the nonce
+//! `r^N mod N²`; for the Damgård–Jurik outer layer it is `r^{N²} mod N³`.  Neither
+//! depends on the message, so they can be computed ahead of time and consumed with a
+//! single multiplication on the latency path — the classic precomputation trick for
+//! Paillier-style schemes, and what lets the S2 engine answer a burst of protocol
+//! requests without paying one full exponentiation per returned ciphertext.
+//!
+//! A [`RandomnessPool`] owns its own deterministic RNG (so a pool seeded identically
+//! produces identical ciphertext streams — the transport-equivalence tests rely on
+//! this) and refills in batches of [`RandomnessPool::batch`] nonces whenever a queue
+//! runs dry.  [`RandomnessPool::refill`] can be called explicitly during idle time to
+//! move the precomputation off the critical path entirely.
+//!
+//! Ownership: pools are *not* part of the shared `Arc` key material — two parties
+//! sharing a public key must not share a nonce stream — so each protocol party
+//! (`S1State`, the S2 engine) owns its pools, seeded from its own seed.
+
+use std::collections::VecDeque;
+
+use num_bigint::BigUint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bigint::random_invertible;
+use crate::damgard_jurik::{DjPublicKey, LayeredCiphertext};
+use crate::error::Result;
+use crate::paillier::{Ciphertext, PaillierPublicKey};
+
+/// Default number of nonces computed per refill.
+pub const DEFAULT_BATCH: usize = 32;
+
+/// A pool of precomputed Paillier (and optionally Damgård–Jurik) encryption nonces
+/// for one public key.
+#[derive(Debug)]
+pub struct RandomnessPool {
+    pk: PaillierPublicKey,
+    dj: Option<DjPublicKey>,
+    rng: StdRng,
+    paillier_nonces: VecDeque<BigUint>,
+    dj_nonces: VecDeque<BigUint>,
+    batch: usize,
+}
+
+impl RandomnessPool {
+    /// A pool for Paillier nonces only.
+    pub fn new(pk: &PaillierPublicKey, seed: u64) -> Self {
+        RandomnessPool {
+            pk: pk.clone(),
+            dj: None,
+            rng: StdRng::seed_from_u64(seed),
+            paillier_nonces: VecDeque::new(),
+            dj_nonces: VecDeque::new(),
+            batch: DEFAULT_BATCH,
+        }
+    }
+
+    /// A pool serving both the Paillier and the Damgård–Jurik layer of one modulus.
+    pub fn with_dj(pk: &PaillierPublicKey, dj: &DjPublicKey, seed: u64) -> Self {
+        let mut pool = Self::new(pk, seed);
+        pool.dj = Some(dj.clone());
+        pool
+    }
+
+    /// Number of nonces computed per batch refill.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Change the refill batch size (minimum 1).
+    pub fn set_batch(&mut self, batch: usize) {
+        self.batch = batch.max(1);
+    }
+
+    /// How many nonces of each kind are currently ready.
+    pub fn ready(&self) -> (usize, usize) {
+        (self.paillier_nonces.len(), self.dj_nonces.len())
+    }
+
+    /// Precompute `paillier` + `dj` nonces now (e.g. during idle time between queries).
+    pub fn refill(&mut self, paillier: usize, dj: usize) {
+        for _ in 0..paillier {
+            let r = random_invertible(&mut self.rng, self.pk.n());
+            self.paillier_nonces.push_back(self.pk.nonce_from_r(&r));
+        }
+        if dj > 0 {
+            let dj_pk = self.dj.clone().expect("refilling DJ nonces on a Paillier-only pool");
+            for _ in 0..dj {
+                let r = random_invertible(&mut self.rng, dj_pk.n());
+                self.dj_nonces.push_back(dj_pk.nonce_from_r(&r));
+            }
+        }
+    }
+
+    /// Pop a Paillier nonce `r^N mod N²`, refilling a batch if the queue is dry.
+    pub fn next_paillier_nonce(&mut self) -> BigUint {
+        if self.paillier_nonces.is_empty() {
+            self.refill(self.batch, 0);
+        }
+        self.paillier_nonces.pop_front().expect("refill produced at least one nonce")
+    }
+
+    /// Pop a DJ nonce `r^{N²} mod N³`, refilling a batch if the queue is dry.
+    ///
+    /// Panics if the pool was built without a DJ key.
+    pub fn next_dj_nonce(&mut self) -> BigUint {
+        if self.dj_nonces.is_empty() {
+            self.refill(0, self.batch);
+        }
+        self.dj_nonces.pop_front().expect("refill produced at least one nonce")
+    }
+
+    /// Encrypt `m` under the pool's Paillier key using a precomputed nonce.
+    pub fn encrypt(&mut self, m: &BigUint) -> Result<Ciphertext> {
+        if m >= self.pk.n() {
+            return Err(crate::error::CryptoError::PlaintextOutOfRange);
+        }
+        let nonce = self.next_paillier_nonce();
+        Ok(self.pk.encrypt_with_nonce(m, &nonce))
+    }
+
+    /// Encrypt a small unsigned integer (convenience for scores and flags).
+    pub fn encrypt_u64(&mut self, m: u64) -> Result<Ciphertext> {
+        self.encrypt(&BigUint::from(m))
+    }
+
+    /// Re-randomize a Paillier ciphertext using a precomputed nonce.
+    pub fn rerandomize(&mut self, a: &Ciphertext) -> Ciphertext {
+        let nonce = self.next_paillier_nonce();
+        self.pk.rerandomize_with_nonce(a, &nonce)
+    }
+
+    /// Encrypt `m ∈ Z_{N²}` under the outer DJ layer using a precomputed nonce.
+    pub fn encrypt_dj(&mut self, m: &BigUint) -> Result<LayeredCiphertext> {
+        let dj = self.dj.clone().expect("DJ encryption on a Paillier-only pool");
+        if m >= dj.n_s() {
+            return Err(crate::error::CryptoError::PlaintextOutOfRange);
+        }
+        let nonce = self.next_dj_nonce();
+        Ok(dj.encrypt_with_nonce(m, &nonce))
+    }
+
+    /// Encrypt a small constant under the outer DJ layer.
+    pub fn encrypt_dj_u64(&mut self, m: u64) -> Result<LayeredCiphertext> {
+        self.encrypt_dj(&BigUint::from(m))
+    }
+
+    /// Encrypt an inner Paillier ciphertext under the outer DJ layer.
+    pub fn encrypt_dj_ciphertext(&mut self, inner: &Ciphertext) -> Result<LayeredCiphertext> {
+        self.encrypt_dj(inner.as_biguint())
+    }
+
+    /// Re-randomize a layered ciphertext using a precomputed nonce.
+    pub fn rerandomize_dj(&mut self, a: &LayeredCiphertext) -> LayeredCiphertext {
+        let dj = self.dj.clone().expect("DJ re-randomization on a Paillier-only pool");
+        let nonce = self.next_dj_nonce();
+        dj.rerandomize_with_nonce(a, &nonce)
+    }
+
+    /// The Paillier public key this pool serves.
+    pub fn public_key(&self) -> &PaillierPublicKey {
+        &self.pk
+    }
+
+    /// The DJ public key this pool serves, if any.
+    pub fn dj_public_key(&self) -> Option<&DjPublicKey> {
+        self.dj.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::MasterKeys;
+    use crate::paillier::MIN_MODULUS_BITS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (MasterKeys, RandomnessPool) {
+        let mut rng = StdRng::seed_from_u64(1717);
+        let master = MasterKeys::generate(MIN_MODULUS_BITS, 2, &mut rng).unwrap();
+        let dj = crate::damgard_jurik::DjPublicKey::from_paillier(&master.paillier_public);
+        let pool = RandomnessPool::with_dj(&master.paillier_public, &dj, 99);
+        (master, pool)
+    }
+
+    #[test]
+    fn pooled_encrypt_round_trips() {
+        let (master, mut pool) = setup();
+        for m in [0u64, 1, 424242, u32::MAX as u64] {
+            let c = pool.encrypt_u64(m).unwrap();
+            assert_eq!(master.paillier_secret.decrypt_u64(&c).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn pooled_rerandomize_preserves_plaintext() {
+        let (master, mut pool) = setup();
+        let c = pool.encrypt_u64(77).unwrap();
+        let c2 = pool.rerandomize(&c);
+        assert_ne!(c, c2);
+        assert_eq!(master.paillier_secret.decrypt_u64(&c2).unwrap(), 77);
+    }
+
+    #[test]
+    fn pooled_dj_round_trips() {
+        let (master, mut pool) = setup();
+        let dj_sk = crate::damgard_jurik::DjSecretKey::from_paillier(&master.paillier_secret);
+        let inner = pool.encrypt_u64(5).unwrap();
+        let layered = pool.encrypt_dj_ciphertext(&inner).unwrap();
+        assert_eq!(dj_sk.decrypt_both_layers(&layered).unwrap(), BigUint::from(5u64));
+        let re = pool.rerandomize_dj(&layered);
+        assert_ne!(layered, re);
+        assert_eq!(dj_sk.decrypt_both_layers(&re).unwrap(), BigUint::from(5u64));
+    }
+
+    #[test]
+    fn explicit_refill_is_consumed_before_new_batches() {
+        let (_master, mut pool) = setup();
+        pool.set_batch(4);
+        pool.refill(3, 2);
+        assert_eq!(pool.ready(), (3, 2));
+        let _ = pool.encrypt_u64(1).unwrap();
+        assert_eq!(pool.ready(), (2, 2));
+        let _ = pool.next_dj_nonce();
+        let _ = pool.next_dj_nonce();
+        assert_eq!(pool.ready().1, 0);
+        // Next DJ draw triggers a batch refill.
+        let _ = pool.next_dj_nonce();
+        assert_eq!(pool.ready().1, pool.batch() - 1);
+    }
+
+    #[test]
+    fn same_seed_same_nonce_stream() {
+        let (master, _pool) = setup();
+        let mut a = RandomnessPool::new(&master.paillier_public, 7);
+        let mut b = RandomnessPool::new(&master.paillier_public, 7);
+        for _ in 0..3 {
+            assert_eq!(a.next_paillier_nonce(), b.next_paillier_nonce());
+        }
+        let mut c = RandomnessPool::new(&master.paillier_public, 8);
+        assert_ne!(a.next_paillier_nonce(), c.next_paillier_nonce());
+    }
+
+    #[test]
+    fn pooled_encrypt_rejects_out_of_range() {
+        let (master, mut pool) = setup();
+        let too_big = master.paillier_public.n().clone();
+        assert!(pool.encrypt(&too_big).is_err());
+    }
+}

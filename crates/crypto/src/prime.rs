@@ -1,12 +1,20 @@
-//! Probabilistic prime generation (trial division + Miller–Rabin) used for Paillier /
-//! Damgård–Jurik key generation.
+//! Probabilistic prime generation (trial-division sieve + Miller–Rabin) used for
+//! Paillier / Damgård–Jurik key generation.
 //!
 //! The paper's experiments use "128-bit security for the Paillier and DJ encryption"
 //! (§11); key sizes in this reproduction are a constructor parameter, so the same code
 //! path generates the small keys used in fast tests and the larger keys used in benches.
+//!
+//! Candidate search is incremental: one random odd starting point, residues against a
+//! sieve of small primes computed once with word-sized divisions, then the search walks
+//! `candidate + 2·Δ` updating only the residues (pure `u64` arithmetic) and runs
+//! Miller–Rabin — whose modpows ride the Montgomery fast path of the vendored bignum —
+//! only on candidates that survive the sieve.
 
-use num_bigint::{BigUint, RandBigInt};
-use num_traits::{One, Zero};
+use std::sync::OnceLock;
+
+use num_bigint::{BigUint, MontgomeryContext, RandBigInt};
+use num_traits::One;
 use rand::{CryptoRng, RngCore};
 
 use crate::bigint::random_exact_bits;
@@ -18,6 +26,36 @@ const SMALL_PRIMES: [u32; 54] = [
     101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
     197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
+
+/// Upper bound (exclusive) of the sieve prime table used by [`generate_prime`].
+const SIEVE_LIMIT: u32 = 1 << 14;
+
+/// How far the incremental search walks (`candidate + 2·Δ`, `Δ < SEARCH_SPAN`) before
+/// drawing a fresh random starting point.  ~2¹³ odd candidates covers many times the
+/// expected prime gap at every key size this library accepts.
+const SEARCH_SPAN: u64 = 1 << 13;
+
+/// The odd sieve primes `3, 5, 7, …` below [`SIEVE_LIMIT`], computed once.
+fn sieve_primes() -> &'static [u32] {
+    static PRIMES: OnceLock<Vec<u32>> = OnceLock::new();
+    PRIMES.get_or_init(|| {
+        let limit = SIEVE_LIMIT as usize;
+        let mut composite = vec![false; limit];
+        let mut primes = Vec::new();
+        // Odd numbers only — generated candidates are always odd, so 2 never divides.
+        for n in (3..limit).step_by(2) {
+            if !composite[n] {
+                primes.push(n as u32);
+                let mut multiple = n * n;
+                while multiple < limit {
+                    composite[multiple] = true;
+                    multiple += 2 * n; // skip even multiples
+                }
+            }
+        }
+        primes
+    })
+}
 
 /// Number of Miller–Rabin rounds.  40 rounds gives an error probability below 2^-80 for
 /// random candidates, which is the conventional choice for RSA-style key generation.
@@ -36,22 +74,26 @@ pub fn is_probable_prime<R: RngCore + CryptoRng>(n: &BigUint, rng: &mut R) -> bo
         return false;
     }
     for &p in SMALL_PRIMES.iter() {
-        let p_big = BigUint::from(p);
-        if n == &p_big {
-            return true;
-        }
-        if (n % &p_big).is_zero() {
-            return false;
+        let p64 = p as u64;
+        if n.rem_u64(p64) == 0 {
+            // Divisible by p: prime exactly when n *is* p.
+            return *n == BigUint::from(p64);
         }
     }
     miller_rabin(n, MILLER_RABIN_ROUNDS, rng)
 }
 
-/// Miller–Rabin primality test with `rounds` random bases.
+/// Miller–Rabin primality test with `rounds` random bases.  All exponentiations share
+/// one Montgomery context for the candidate (the candidate is odd: trial division by 2
+/// already happened).
 fn miller_rabin<R: RngCore + CryptoRng>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
     let one = BigUint::one();
     let two = BigUint::from(2u32);
     let n_minus_one = n - &one;
+    let ctx = match MontgomeryContext::new(n) {
+        Some(ctx) => ctx,
+        None => return false, // even (and > 2, already screened): composite
+    };
 
     // Write n - 1 = 2^s * d with d odd.
     let s = n_minus_one.trailing_zeros().unwrap_or(0);
@@ -65,12 +107,12 @@ fn miller_rabin<R: RngCore + CryptoRng>(n: &BigUint, rounds: usize, rng: &mut R)
                 break a;
             }
         };
-        let mut x = a.modpow(&d, n);
+        let mut x = ctx.modpow(&a, &d);
         if x == one || x == n_minus_one {
             continue 'witness;
         }
         for _ in 0..s.saturating_sub(1) {
-            x = x.modpow(&two, n);
+            x = ctx.modpow(&x, &two);
             if x == n_minus_one {
                 continue 'witness;
             }
@@ -81,15 +123,46 @@ fn miller_rabin<R: RngCore + CryptoRng>(n: &BigUint, rounds: usize, rng: &mut R)
 }
 
 /// Generate a random probable prime with exactly `bits` bits.
+///
+/// Incremental search: from a random odd `bits`-bit starting point, the candidate
+/// residues against every sieve prime are computed once ([`BigUint::rem_u64`]); the
+/// walk to `candidate + 2·Δ` then only checks `(residue + 2·Δ) mod p` in word
+/// arithmetic and reserves Miller–Rabin for candidates no sieve prime divides.
 pub fn generate_prime<R: RngCore + CryptoRng>(bits: u64, rng: &mut R) -> Result<BigUint> {
     if bits < 8 {
         return Err(CryptoError::KeySizeTooSmall { requested: bits as usize, minimum: 8 });
     }
+    // Only sieve by primes whose square is below the candidate range: a larger prime
+    // dividing a `bits`-bit candidate implies a smaller cofactor another sieve prime
+    // already catches — and this keeps tiny test sizes (where a table prime can *be*
+    // the candidate) correct.
+    let max_sieve_prime: u64 = match bits.checked_sub(1).map(|b| b / 2) {
+        Some(half_bits) if half_bits >= 14 => SIEVE_LIMIT as u64,
+        Some(half_bits) => 1u64 << half_bits,
+        None => unreachable!("bits >= 8 checked above"),
+    };
+    let primes: Vec<u64> =
+        sieve_primes().iter().map(|&p| p as u64).take_while(|&p| p < max_sieve_prime).collect();
+
     for _ in 0..MAX_CANDIDATES {
-        let mut candidate = random_exact_bits(rng, bits);
-        candidate.set_bit(0, true); // force odd
-        if is_probable_prime(&candidate, rng) {
-            return Ok(candidate);
+        let mut base = random_exact_bits(rng, bits);
+        base.set_bit(0, true); // force odd
+        let residues: Vec<u64> = primes.iter().map(|&p| base.rem_u64(p)).collect();
+
+        'delta: for delta in 0..SEARCH_SPAN {
+            let offset = 2 * delta;
+            for (&p, &r) in primes.iter().zip(residues.iter()) {
+                if (r + offset) % p == 0 {
+                    continue 'delta; // divisible by a sieve prime
+                }
+            }
+            let candidate = &base + BigUint::from(offset);
+            if candidate.bits() != bits {
+                break; // walked past the top of the `bits`-bit range
+            }
+            if miller_rabin(&candidate, MILLER_RABIN_ROUNDS, rng) {
+                return Ok(candidate);
+            }
         }
     }
     Err(CryptoError::PrimeGenerationFailed)

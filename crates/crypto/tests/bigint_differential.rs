@@ -1,0 +1,203 @@
+//! Differential property tests pinning every fast arithmetic path against its naive
+//! reference implementation, bit for bit:
+//!
+//! * Montgomery fixed-window `modpow` (odd moduli) and the even-modulus fallback vs.
+//!   the bit-at-a-time [`BigUint::modpow_naive`],
+//! * Karatsuba multiplication (above the limb threshold) vs. [`BigUint::mul_schoolbook`],
+//! * CRT Paillier / Damgård–Jurik decryption vs. the textbook `λ` paths,
+//! * the limb-direct `from_bytes_be` vs. an explicit shift-and-add fold.
+//!
+//! Edge operands (0, 1, modulus−1, even moduli) are covered both by dedicated cases and
+//! by pinning random draws to the range boundaries.
+
+use num_bigint::{BigUint, MontgomeryContext, RandBigInt};
+use num_traits::{One, Zero};
+use proptest::proptest;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_crypto::damgard_jurik::{DjPublicKey, DjSecretKey};
+use sectopk_crypto::paillier::{generate_keypair, MIN_MODULUS_BITS};
+
+/// Random value with roughly `bits` bits drawn from a seeded RNG.
+fn random_biguint(rng: &mut StdRng, bits: u64) -> BigUint {
+    rng.gen_biguint(bits)
+}
+
+proptest! {
+    #[test]
+    fn modpow_fast_matches_naive(seed in 0u64..500, base_bits in 1u64..320, exp_bits in 1u64..200, mod_bits in 2u64..320) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = random_biguint(&mut rng, base_bits);
+        let exponent = random_biguint(&mut rng, exp_bits);
+        let mut modulus = random_biguint(&mut rng, mod_bits);
+        if modulus.is_zero() {
+            modulus = BigUint::one() + BigUint::one();
+        }
+        // Covers both parities: odd moduli take the Montgomery path, even ones the
+        // naive fallback — either way `modpow` must agree with `modpow_naive`.
+        assert_eq!(
+            base.modpow(&exponent, &modulus),
+            base.modpow_naive(&exponent, &modulus),
+            "base={base} exp={exponent} mod={modulus}"
+        );
+    }
+
+    #[test]
+    fn montgomery_context_matches_naive_on_edge_operands(seed in 0u64..300, mod_bits in 2u64..260) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+        let mut modulus = random_biguint(&mut rng, mod_bits);
+        modulus.set_bit(0, true); // force odd so the context exists
+        if modulus.is_one() {
+            modulus = BigUint::from(3u32);
+        }
+        let ctx = MontgomeryContext::new(&modulus).expect("odd modulus > 1");
+        let minus_one = &modulus - BigUint::one();
+        let edge_values =
+            [BigUint::zero(), BigUint::one(), minus_one.clone(), random_biguint(&mut rng, mod_bits)];
+        let edge_exponents = [
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::from(2u32),
+            minus_one,
+            random_biguint(&mut rng, 96),
+        ];
+        for base in &edge_values {
+            for exponent in &edge_exponents {
+                assert_eq!(
+                    ctx.modpow(base, exponent),
+                    base.modpow_naive(exponent, &modulus),
+                    "base={base} exp={exponent} mod={modulus}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook(seed in 0u64..300, a_bits in 1u64..6000, b_bits in 1u64..6000) {
+        // 6000 bits ≈ 94 limbs: far above the 32-limb Karatsuba threshold, with
+        // unbalanced operand shapes included.
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(97).wrapping_add(13));
+        let a = random_biguint(&mut rng, a_bits);
+        let b = random_biguint(&mut rng, b_bits);
+        assert_eq!(&a * &b, a.mul_schoolbook(&b));
+        // Edge operands around the split positions.
+        let shifted = BigUint::one() << a_bits;
+        assert_eq!(&shifted * &b, shifted.mul_schoolbook(&b));
+        assert_eq!(&a * BigUint::zero(), BigUint::zero());
+        assert_eq!(&a * BigUint::one(), a);
+    }
+
+    #[test]
+    fn from_bytes_be_matches_shift_and_add(bytes in proptest::collection::vec(0u8..=255, 0..200)) {
+        let mut reference = BigUint::zero();
+        for &b in &bytes {
+            reference = (reference << 8u32) + BigUint::from(b);
+        }
+        assert_eq!(BigUint::from_bytes_be(&bytes), reference);
+    }
+
+    #[test]
+    fn crt_decrypt_matches_lambda_decrypt(seed in 0u64..40, m in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pk, sk) = generate_keypair(MIN_MODULUS_BITS, &mut rng).unwrap();
+        // Plain values, the sentinel −1, and random group elements.
+        let mut plains = vec![
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::from(m),
+            pk.sentinel_z(),
+            pk.n() - BigUint::one(),
+        ];
+        plains.push(sectopk_crypto::bigint::random_below(&mut rng, pk.n()));
+        for plain in &plains {
+            let plain = plain % pk.n();
+            let c = pk.encrypt(&plain, &mut rng).unwrap();
+            assert_eq!(sk.decrypt(&c).unwrap(), plain);
+            assert_eq!(sk.decrypt(&c).unwrap(), sk.decrypt_via_lambda(&c).unwrap());
+        }
+    }
+
+    #[test]
+    fn dj_crt_decrypt_matches_lambda_decrypt(seed in 0u64..25, m in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1000));
+        let (pk, sk) = generate_keypair(MIN_MODULUS_BITS, &mut rng).unwrap();
+        let dj_pk = DjPublicKey::from_paillier(&pk);
+        let dj_sk = DjSecretKey::from_paillier(&sk);
+        // Messages below N, straddling N, and at the top of the space Z_{N²}.
+        let messages = [
+            BigUint::zero(),
+            BigUint::from(m),
+            pk.n() + BigUint::from(m),
+            dj_pk.n_s() - BigUint::one(),
+        ];
+        for message in &messages {
+            let c = dj_pk.encrypt(message, &mut rng).unwrap();
+            assert_eq!(&dj_sk.decrypt(&c).unwrap(), message);
+            assert_eq!(dj_sk.decrypt(&c).unwrap(), dj_sk.decrypt_via_lambda(&c).unwrap());
+        }
+    }
+
+    #[test]
+    fn dj_binomial_g_pow_matches_modpow(seed in 0u64..60) {
+        // encrypt_with_randomness(m, 1) isolates (1+N)^m mod N³; compare the binomial
+        // closed form against a genuine modular exponentiation.
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2000));
+        let (pk, _sk) = generate_keypair(MIN_MODULUS_BITS, &mut rng).unwrap();
+        let dj = DjPublicKey::from_paillier(&pk);
+        let g = pk.n() + BigUint::one();
+        let messages = [
+            BigUint::zero(),
+            BigUint::one(),
+            pk.n().clone(),
+            pk.n() - BigUint::one(),
+            dj.n_s() - BigUint::one(),
+            sectopk_crypto::bigint::random_below(&mut rng, dj.n_s()),
+        ];
+        for m in &messages {
+            let via_binomial = dj.encrypt_with_randomness(m, &BigUint::one());
+            let via_modpow = g.modpow_naive(m, dj.n_s_plus_1());
+            assert_eq!(via_binomial.as_biguint(), &via_modpow, "m = {m}");
+        }
+    }
+}
+
+#[test]
+fn modpow_even_modulus_edge_cases() {
+    // The even-modulus fallback, exercised explicitly (Montgomery cannot serve these).
+    let cases: [(u64, u64, u64); 6] =
+        [(3, 5, 16), (2, 10, 4), (7, 0, 12), (0, 3, 8), (15, 3, 16), (123_456, 789, 1_000_000)];
+    for (b, e, m) in cases {
+        let base = BigUint::from(b);
+        let exponent = BigUint::from(e);
+        let modulus = BigUint::from(m);
+        assert_eq!(
+            base.modpow(&exponent, &modulus),
+            base.modpow_naive(&exponent, &modulus),
+            "{b}^{e} mod {m}"
+        );
+        assert_eq!(
+            base.modpow(&exponent, &modulus),
+            BigUint::from(mod_pow_u64(b, e, m)),
+            "{b}^{e} mod {m} against u64 reference"
+        );
+    }
+}
+
+/// Plain u64 modular exponentiation reference.
+fn mod_pow_u64(base: u64, mut exp: u64, modulus: u64) -> u64 {
+    if modulus == 1 {
+        return 0;
+    }
+    let mut acc: u128 = 1;
+    let m = modulus as u128;
+    let mut b = base as u128 % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * b % m;
+        }
+        b = b * b % m;
+        exp >>= 1;
+    }
+    acc as u64
+}

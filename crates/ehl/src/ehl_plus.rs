@@ -120,6 +120,14 @@ impl EhlPlus {
         let blocks = self.blocks.iter().map(|c| pk.rerandomize(c, rng)).collect();
         EhlPlus { blocks }
     }
+
+    /// [`Self::rerandomize`] drawing precomputed nonces from a
+    /// [`RandomnessPool`](sectopk_crypto::RandomnessPool) — one multiplication per
+    /// block instead of one exponentiation.
+    pub fn rerandomize_pooled(&self, pool: &mut sectopk_crypto::RandomnessPool) -> EhlPlus {
+        let blocks = self.blocks.iter().map(|c| pool.rerandomize(c)).collect();
+        EhlPlus { blocks }
+    }
 }
 
 #[cfg(test)]

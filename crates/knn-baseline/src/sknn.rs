@@ -95,11 +95,9 @@ pub fn sknn_query(
     let k = k.min(n);
 
     // Encrypt the query point (done by the querying client in [21]; S1 only ever holds
-    // ciphertexts of it).
-    let enc_query: Vec<Ciphertext> = query_point
-        .iter()
-        .map(|&q| pk.encrypt_u64(q, &mut clouds.s1.rng))
-        .collect::<Result<Vec<_>>>()?;
+    // ciphertexts of it).  Nonces come from S1's precomputed pool.
+    let enc_query: Vec<Ciphertext> =
+        query_point.iter().map(|&q| clouds.s1.pool.encrypt_u64(q)).collect::<Result<Vec<_>>>()?;
 
     // ---- Per-record encrypted squared distance: Σ_j (x_j − q_j)². ----------------------
     // Every squared difference needs one secure multiplication — n·m of them in total,

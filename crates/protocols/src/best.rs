@@ -129,7 +129,7 @@ impl TwoClouds {
             }
             offset += span;
         }
-        Ok(bests.into_iter().map(|b| pk.rerandomize(&b, &mut self.s1.rng)).collect())
+        Ok(bests.into_iter().map(|b| self.s1.pool.rerandomize(&b)).collect())
     }
 }
 

@@ -18,6 +18,7 @@ use rand::SeedableRng;
 use sectopk_crypto::damgard_jurik::DjPublicKey;
 use sectopk_crypto::keys::{MasterKeys, S1Keys};
 use sectopk_crypto::paillier::{generate_keypair, PaillierPublicKey, PaillierSecretKey};
+use sectopk_crypto::pool::RandomnessPool;
 use sectopk_crypto::Result;
 
 use crate::channel::ChannelMetrics;
@@ -39,6 +40,13 @@ pub struct S1State {
     pub own_secret: PaillierSecretKey,
     /// S1's local randomness.
     pub rng: StdRng,
+    /// S1's pool of precomputed encryption nonces for the *shared* Paillier / DJ keys
+    /// (every fresh-zero, selection constant and re-randomization S1 produces draws
+    /// from here instead of paying a full exponentiation inline).
+    pub pool: RandomnessPool,
+    /// Nonce pool for S1's *own* key pair `pk'` (the encrypted-blinding channel of
+    /// SecDedup / SecFilter / SecJoin).
+    pub own_pool: RandomnessPool,
     /// Everything S1 observed beyond its inputs.
     pub ledger: LeakageLedger,
 }
@@ -89,12 +97,23 @@ impl TwoClouds {
             TransportKind::Channel => Box::new(ChannelTransport::new(engine)),
         };
 
+        let s1_keys = master.s1_view();
+        // S1's nonce pool serves the shared key pair; it owns its own deterministic
+        // stream so the two clouds (and any replay with the same seed) stay reproducible.
+        let pool = RandomnessPool::with_dj(
+            &s1_keys.paillier_public,
+            &s1_keys.dj_public,
+            seed ^ 0x1001_1001_1001_1001,
+        );
+        let own_pool = RandomnessPool::new(&own_public, seed ^ 0x4004_4004_4004_4004);
         Ok(TwoClouds {
             s1: S1State {
-                keys: master.s1_view(),
+                keys: s1_keys,
                 own_public,
                 own_secret,
                 rng: s1_rng,
+                pool,
+                own_pool,
                 ledger: LeakageLedger::new(),
             },
             transport,

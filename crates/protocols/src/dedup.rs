@@ -28,7 +28,9 @@
 use num_bigint::BigUint;
 use serde::{Deserialize, Serialize};
 
-use sectopk_crypto::paillier::{Ciphertext, PaillierPublicKey};
+use sectopk_crypto::paillier::Ciphertext;
+#[cfg(test)]
+use sectopk_crypto::paillier::PaillierPublicKey;
 use sectopk_crypto::prp::RandomPermutation;
 use sectopk_crypto::{CryptoError, Result};
 
@@ -50,19 +52,18 @@ pub struct EncryptedBlinding {
 }
 
 impl EncryptedBlinding {
-    fn encrypt<R: rand::RngCore + rand::CryptoRng>(
+    fn encrypt(
         blinding: &ItemBlinding,
-        own_pk: &PaillierPublicKey,
-        rng: &mut R,
+        own_pool: &mut sectopk_crypto::RandomnessPool,
     ) -> Result<Self> {
         Ok(EncryptedBlinding {
             alphas: blinding
                 .alphas
                 .iter()
-                .map(|a| own_pk.encrypt(a, rng))
+                .map(|a| own_pool.encrypt(a))
                 .collect::<Result<Vec<_>>>()?,
-            beta: own_pk.encrypt(&blinding.beta, rng)?,
-            gamma: own_pk.encrypt(&blinding.gamma, rng)?,
+            beta: own_pool.encrypt(&blinding.beta)?,
+            gamma: own_pool.encrypt(&blinding.gamma)?,
         })
     }
 }
@@ -96,7 +97,6 @@ impl TwoClouds {
             return Ok(items);
         }
         let pk = self.s1.keys.paillier_public.clone();
-        let own_pk = self.s1.own_public.clone();
         let own_sk = self.s1.own_secret.clone();
 
         // ================= S1: matrix, blinding, permutation =========================
@@ -115,11 +115,7 @@ impl TwoClouds {
         for item in &items {
             let blinding = ItemBlinding::sample(item.ehl.len(), &pk, &mut self.s1.rng);
             blinded_items.push(rand_blind(item, &blinding, &pk));
-            encrypted_blindings.push(EncryptedBlinding::encrypt(
-                &blinding,
-                &own_pk,
-                &mut self.s1.rng,
-            )?);
+            encrypted_blindings.push(EncryptedBlinding::encrypt(&blinding, &mut self.s1.own_pool)?);
         }
 
         // Permute items, blindings and the matrix consistently with π.

@@ -12,6 +12,7 @@ use num_bigint::BigUint;
 use sectopk_crypto::bigint::{mod_inverse, random_below, random_invertible};
 use sectopk_crypto::keys::S2Keys;
 use sectopk_crypto::paillier::{Ciphertext, PaillierPublicKey};
+use sectopk_crypto::pool::RandomnessPool;
 use sectopk_crypto::prp::RandomPermutation;
 use sectopk_crypto::{CryptoError, Result};
 use sectopk_ehl::EhlPlus;
@@ -20,11 +21,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::dedup::EncryptedBlinding;
-use crate::items::{rand_blind, rerandomize_item, ItemBlinding, ScoredItem};
+use crate::items::{rand_blind, rerandomize_item_pooled, ItemBlinding, ScoredItem};
 use crate::ledger::{LeakageEvent, LeakageLedger};
 use crate::transport::{DedupRequest, EqAggregates, EqWants, FilterTuple, S1Request, S2Response};
 
-/// The crypto cloud S2: keys, randomness, ledger, and the request handler.
+/// The crypto cloud S2: keys, randomness, nonce pools, ledger, and the request handler.
 #[derive(Debug)]
 pub struct S2Engine {
     keys: S2Keys,
@@ -32,6 +33,11 @@ pub struct S2Engine {
     /// blinding randomness back to S1 in SecDedup / SecFilter (Algorithms 7 and 12).
     s1_own_public: PaillierPublicKey,
     rng: StdRng,
+    /// Precomputed nonces for the *shared* Paillier / DJ keys — every `E2(t)` bit,
+    /// re-encryption and item re-randomization the engine returns draws from here.
+    pool: RandomnessPool,
+    /// Precomputed nonces for S1's own key `pk'` (the encrypted-blinding channel).
+    own_pool: RandomnessPool,
     ledger: LeakageLedger,
     /// Equality bits accumulated from unbatched [`S1Request::EqTest`] rounds, consumed
     /// by the next [`S1Request::EqAggregate`] or matrix-less [`S1Request::Dedup`].
@@ -40,12 +46,22 @@ pub struct S2Engine {
 
 impl S2Engine {
     /// Build the engine from the owner's S2 key view, S1's published own public key, and
-    /// a seed for S2's local randomness.
+    /// a seed for S2's local randomness (the nonce pools derive their streams from the
+    /// same seed, so two engines built alike answer identically — the
+    /// transport-equivalence tests depend on that).
     pub fn new(keys: S2Keys, s1_own_public: PaillierPublicKey, rng_seed: u64) -> Self {
+        let pool = RandomnessPool::with_dj(
+            &keys.paillier_public,
+            &keys.dj_public,
+            rng_seed ^ 0x2002_2002_2002_2002,
+        );
+        let own_pool = RandomnessPool::new(&s1_own_public, rng_seed ^ 0x3003_3003_3003_3003);
         S2Engine {
             keys,
             s1_own_public,
             rng: StdRng::seed_from_u64(rng_seed),
+            pool,
+            own_pool,
             ledger: LeakageLedger::new(),
             pending_eq: Vec::new(),
         }
@@ -71,7 +87,7 @@ impl S2Engine {
                     self.pending_eq.push(bit);
                 }
                 if *reply_bit {
-                    let e2 = self.keys.dj_public.encrypt_u64(u64::from(bit), &mut self.rng)?;
+                    let e2 = self.pool.encrypt_dj_u64(u64::from(bit))?;
                     Ok(S2Response::EqBit(e2))
                 } else {
                     Ok(S2Response::Ack)
@@ -90,7 +106,7 @@ impl S2Engine {
                 }
                 let mut e2_bits = Vec::with_capacity(bits.len());
                 for &bit in &bits {
-                    e2_bits.push(self.keys.dj_public.encrypt_u64(u64::from(bit), &mut self.rng)?);
+                    e2_bits.push(self.pool.encrypt_dj_u64(u64::from(bit))?);
                 }
                 let aggregates = self.derive_aggregates(&bits, *cols, *want)?;
                 Ok(S2Response::EqBits { bits: e2_bits, aggregates })
@@ -143,7 +159,7 @@ impl S2Engine {
                 for (a, b) in pairs {
                     let x = sk.decrypt(a)?;
                     let y = sk.decrypt(b)?;
-                    products.push(pk.encrypt(&((x * y) % pk.n()), &mut self.rng)?);
+                    products.push(self.pool.encrypt(&((x * y) % pk.n()))?);
                 }
                 Ok(S2Response::Products(products))
             }
@@ -193,21 +209,20 @@ impl S2Engine {
         let rows = bits.len() / cols;
         let row_any: Vec<bool> =
             (0..rows).map(|i| bits[i * cols..(i + 1) * cols].iter().any(|&b| b)).collect();
-        let dj_pk = self.keys.dj_public.clone();
         if want.row_matched {
             for &m in &row_any {
-                aggregates.row_matched.push(dj_pk.encrypt_u64(u64::from(m), &mut self.rng)?);
+                aggregates.row_matched.push(self.pool.encrypt_dj_u64(u64::from(m))?);
             }
         }
         if want.row_unmatched {
             for &m in &row_any {
-                aggregates.row_unmatched.push(dj_pk.encrypt_u64(u64::from(!m), &mut self.rng)?);
+                aggregates.row_unmatched.push(self.pool.encrypt_dj_u64(u64::from(!m))?);
             }
         }
         if want.col_unmatched {
             for j in 0..cols {
                 let any = (0..rows).any(|i| bits[i * cols + j]);
-                aggregates.col_unmatched.push(dj_pk.encrypt_u64(u64::from(!any), &mut self.rng)?);
+                aggregates.col_unmatched.push(self.pool.encrypt_dj_u64(u64::from(!any))?);
             }
         }
         if want.row_matched_plain {
@@ -289,20 +304,20 @@ impl S2Engine {
                 let garbage_blocks: Vec<Ciphertext> = (0..received_item.ehl.len())
                     .map(|_| {
                         let garbage = random_below(&mut self.rng, pk.n());
-                        pk.encrypt(&garbage, &mut self.rng)
+                        self.pool.encrypt(&garbage)
                     })
                     .collect::<Result<Vec<_>>>()?;
                 let replaced = ScoredItem {
                     ehl: EhlPlus::from_blocks(garbage_blocks),
-                    worst: pk.encrypt(&((&z + &beta2) % pk.n()), &mut self.rng)?,
-                    best: pk.encrypt(&((&z + &gamma2) % pk.n()), &mut self.rng)?,
+                    worst: self.pool.encrypt(&((&z + &beta2) % pk.n()))?,
+                    best: self.pool.encrypt(&((&z + &gamma2) % pk.n()))?,
                 };
                 let new_blinding = EncryptedBlinding {
                     alphas: (0..received_item.ehl.len())
-                        .map(|_| own_pk.encrypt(&BigUint::from(0u32), &mut self.rng))
+                        .map(|_| self.own_pool.encrypt(&BigUint::from(0u32)))
                         .collect::<Result<Vec<_>>>()?,
-                    beta: own_pk.encrypt(&beta2, &mut self.rng)?,
-                    gamma: own_pk.encrypt(&gamma2, &mut self.rng)?,
+                    beta: self.own_pool.encrypt(&beta2)?,
+                    gamma: self.own_pool.encrypt(&gamma2)?,
                 };
                 processed.push((replaced, new_blinding));
             } else {
@@ -311,23 +326,21 @@ impl S2Engine {
                 let extra = ItemBlinding::sample(received_item.ehl.len(), &pk, &mut self.rng);
                 let mut reblinded = rand_blind(received_item, &extra, &pk);
                 // Fresh ciphertexts so S1 cannot correlate with what it sent.
-                reblinded = rerandomize_item(&reblinded, &pk, &mut self.rng);
+                reblinded = rerandomize_item_pooled(&reblinded, &mut self.pool);
 
                 let updated_blinding = EncryptedBlinding {
                     alphas: received_blinding
                         .alphas
                         .iter()
                         .zip(extra.alphas.iter())
-                        .map(|(c, a)| own_pk.rerandomize(&own_pk.add_plain(c, a), &mut self.rng))
+                        .map(|(c, a)| self.own_pool.rerandomize(&own_pk.add_plain(c, a)))
                         .collect(),
-                    beta: own_pk.rerandomize(
-                        &own_pk.add_plain(&received_blinding.beta, &extra.beta),
-                        &mut self.rng,
-                    ),
-                    gamma: own_pk.rerandomize(
-                        &own_pk.add_plain(&received_blinding.gamma, &extra.gamma),
-                        &mut self.rng,
-                    ),
+                    beta: self
+                        .own_pool
+                        .rerandomize(&own_pk.add_plain(&received_blinding.beta, &extra.beta)),
+                    gamma: self
+                        .own_pool
+                        .rerandomize(&own_pk.add_plain(&received_blinding.gamma, &extra.gamma)),
                 };
                 processed.push((reblinded, updated_blinding));
             }
@@ -357,17 +370,16 @@ impl S2Engine {
             let gamma = random_invertible(&mut self.rng, pk.n());
             let gamma_inv = mod_inverse(&gamma, pk.n())?;
             let score = pk.mul_plain(&t.score, &gamma);
-            let score_unblinder = own_pk
-                .rerandomize(&own_pk.mul_plain(&t.score_unblinder, &gamma_inv), &mut self.rng);
+            let score_unblinder =
+                self.own_pool.rerandomize(&own_pk.mul_plain(&t.score_unblinder, &gamma_inv));
 
             let mut attributes = Vec::with_capacity(t.attributes.len());
             let mut attribute_masks = Vec::with_capacity(t.attributes.len());
             for (a, mask_cipher) in t.attributes.iter().zip(t.attribute_masks.iter()) {
                 let extra = random_below(&mut self.rng, pk.n());
-                attributes.push(pk.rerandomize(&pk.add_plain(a, &extra), &mut self.rng));
-                attribute_masks.push(
-                    own_pk.rerandomize(&own_pk.add_plain(mask_cipher, &extra), &mut self.rng),
-                );
+                attributes.push(self.pool.rerandomize(&pk.add_plain(a, &extra)));
+                attribute_masks
+                    .push(self.own_pool.rerandomize(&own_pk.add_plain(mask_cipher, &extra)));
             }
             survivors.push(FilterTuple { score, attributes, score_unblinder, attribute_masks });
         }

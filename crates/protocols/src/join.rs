@@ -173,7 +173,6 @@ impl TwoClouds {
             return Ok(Vec::new());
         }
         let pk = self.s1.keys.paillier_public.clone();
-        let own_pk = self.s1.own_public.clone();
         let own_sk = self.s1.own_secret.clone();
 
         // ---- S1: blind (score multiplicatively, attributes additively) and permute. ----
@@ -187,12 +186,12 @@ impl TwoClouds {
             for a in &t.attributes {
                 let mask = random_below(&mut self.s1.rng, pk.n());
                 attributes.push(pk.add_plain(a, &mask));
-                attribute_masks.push(own_pk.encrypt(&mask, &mut self.s1.rng)?);
+                attribute_masks.push(self.s1.own_pool.encrypt(&mask)?);
             }
             blinded.push(FilterTuple {
                 score,
                 attributes,
-                score_unblinder: own_pk.encrypt(&r_inv_value, &mut self.s1.rng)?,
+                score_unblinder: self.s1.own_pool.encrypt(&r_inv_value)?,
                 attribute_masks,
             });
         }

@@ -49,7 +49,9 @@ pub use channel::{ChannelMetrics, Direction};
 pub use context::{S1State, TwoClouds};
 pub use dedup::EncryptedBlinding;
 pub use engine::S2Engine;
-pub use items::{rand_blind, rand_unblind, rerandomize_item, ItemBlinding, ScoredItem};
+pub use items::{
+    rand_blind, rand_unblind, rerandomize_item, rerandomize_item_pooled, ItemBlinding, ScoredItem,
+};
 pub use join::{EncryptedTuple, JoinSpec, JoinedTuple};
 pub use ledger::{LeakageEvent, LeakageLedger};
 pub use primitives::EqBatch;

@@ -236,7 +236,7 @@ impl TwoClouds {
         let mut masks = Vec::with_capacity(layered.len());
         for l in layered {
             let r = sectopk_crypto::bigint::random_below(&mut self.s1.rng, pk.n());
-            let enc_r = pk.encrypt(&r, &mut self.s1.rng)?;
+            let enc_r = self.s1.pool.encrypt(&r)?;
             // E2(Enc(c))^{Enc(r)} = E2(Enc(c) · Enc(r)) = E2(Enc(c + r))
             blinded.push(dj_pk.mul_by_ciphertext(l, &enc_r));
             masks.push(r);
@@ -276,14 +276,13 @@ impl TwoClouds {
         if e2_bits.is_empty() {
             return Ok(Vec::new());
         }
-        let pk = self.s1.keys.paillier_public.clone();
         let dj_pk = self.s1.keys.dj_public.clone();
 
         let mut layered = Vec::with_capacity(scores.len());
         for (bit, score) in e2_bits.iter().zip(scores.iter()) {
-            let e2_one = dj_pk.encrypt_u64(1, &mut self.s1.rng)?;
+            let e2_one = self.s1.pool.encrypt_dj_u64(1)?;
             let one_minus_t = dj_pk.sub(&e2_one, bit);
-            let enc_zero = pk.encrypt_u64(0, &mut self.s1.rng)?;
+            let enc_zero = self.s1.pool.encrypt_u64(0)?;
             let chosen = dj_pk.add(
                 &dj_pk.mul_by_ciphertext(bit, score),
                 &dj_pk.mul_by_ciphertext(&one_minus_t, &enc_zero),
@@ -309,7 +308,7 @@ impl TwoClouds {
         let dj_pk = self.s1.keys.dj_public.clone();
         let mut layered = Vec::with_capacity(e2_bits.len());
         for ((bit, x), y) in e2_bits.iter().zip(if_true.iter()).zip(if_false.iter()) {
-            let e2_one = dj_pk.encrypt_u64(1, &mut self.s1.rng)?;
+            let e2_one = self.s1.pool.encrypt_dj_u64(1)?;
             let one_minus_t = dj_pk.sub(&e2_one, bit);
             let chosen = dj_pk
                 .add(&dj_pk.mul_by_ciphertext(bit, x), &dj_pk.mul_by_ciphertext(&one_minus_t, y));
@@ -416,10 +415,9 @@ impl TwoClouds {
         acc
     }
 
-    /// Encrypt a fresh zero under the shared public key with S1's randomness.
+    /// Encrypt a fresh zero under the shared public key (pooled nonce).
     pub fn fresh_zero(&mut self) -> Result<Ciphertext> {
-        let pk = self.s1.keys.paillier_public.clone();
-        pk.encrypt(&BigUint::zero(), &mut self.s1.rng)
+        self.s1.pool.encrypt(&BigUint::zero())
     }
 }
 

@@ -18,7 +18,7 @@ use sectopk_crypto::paillier::Ciphertext;
 use sectopk_crypto::Result;
 
 use crate::context::TwoClouds;
-use crate::items::{rerandomize_item, ScoredItem};
+use crate::items::{rerandomize_item_pooled, ScoredItem};
 
 /// Generate the compare-exchange gates of a Batcher odd–even merge sorting network for
 /// `n = 2^x` wires, grouped into stages of mutually independent gates.
@@ -74,9 +74,9 @@ impl TwoClouds {
         for _ in n..padded_n {
             let z = pk.sentinel_z();
             let sentinel = ScoredItem {
-                ehl: slots[0].1.ehl.rerandomize(&pk, &mut self.s1.rng),
-                worst: pk.encrypt(&z, &mut self.s1.rng)?,
-                best: pk.encrypt(&z, &mut self.s1.rng)?,
+                ehl: slots[0].1.ehl.rerandomize_pooled(&mut self.s1.pool),
+                worst: self.s1.pool.encrypt(&z)?,
+                best: self.s1.pool.encrypt(&z)?,
             };
             slots.push((None, sentinel));
         }
@@ -101,7 +101,7 @@ impl TwoClouds {
         let mut sorted = Vec::with_capacity(n);
         for (tag, item) in slots {
             if tag.is_some() {
-                sorted.push(rerandomize_item(&item, &pk, &mut self.s1.rng));
+                sorted.push(rerandomize_item_pooled(&item, &mut self.s1.pool));
             }
         }
         Ok(sorted)

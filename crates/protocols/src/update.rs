@@ -138,9 +138,9 @@ impl TwoClouds {
                 best = pk.add(&best, &selected_best[i * t_len + j]);
             }
             new_tracked.push(ScoredItem {
-                ehl: tracked_item.ehl.rerandomize(&pk, &mut self.s1.rng),
-                worst: pk.rerandomize(&worst, &mut self.s1.rng),
-                best: pk.rerandomize(&best, &mut self.s1.rng),
+                ehl: tracked_item.ehl.rerandomize_pooled(&mut self.s1.pool),
+                worst: self.s1.pool.rerandomize(&worst),
+                best: self.s1.pool.rerandomize(&best),
             });
         }
 
@@ -165,7 +165,7 @@ impl TwoClouds {
                 let e2_unmatched = &outcome.aggregates.row_unmatched;
                 let e2_matched = &outcome.aggregates.row_matched;
 
-                let sentinel = pk.encrypt(&pk.sentinel_z(), &mut self.s1.rng)?;
+                let sentinel = self.s1.pool.encrypt(&pk.sentinel_z())?;
                 let worst_if_new: Vec<Ciphertext> = fresh.iter().map(|f| f.worst.clone()).collect();
                 let best_if_new: Vec<Ciphertext> = fresh.iter().map(|f| f.best.clone()).collect();
                 let sentinels: Vec<Ciphertext> = (0..f_len).map(|_| sentinel.clone()).collect();
@@ -182,7 +182,7 @@ impl TwoClouds {
                     for _ in 0..ehl_blocks {
                         noise_bits.push(e2_m.clone());
                         let rho = random_below(&mut self.s1.rng, pk.n());
-                        noise_values.push(pk.encrypt(&rho, &mut self.s1.rng)?);
+                        noise_values.push(self.s1.pool.encrypt(&rho)?);
                     }
                 }
                 let noise = self.select_scores(&noise_bits, &noise_values)?;
@@ -196,9 +196,9 @@ impl TwoClouds {
                         .map(|(b, block)| pk.add(block, &noise[i * ehl_blocks + b]))
                         .collect();
                     new_tracked.push(ScoredItem {
-                        ehl: EhlPlus::from_blocks(blocks).rerandomize(&pk, &mut self.s1.rng),
-                        worst: pk.rerandomize(&appended_worst[i], &mut self.s1.rng),
-                        best: pk.rerandomize(&appended_best[i], &mut self.s1.rng),
+                        ehl: EhlPlus::from_blocks(blocks).rerandomize_pooled(&mut self.s1.pool),
+                        worst: self.s1.pool.rerandomize(&appended_worst[i]),
+                        best: self.s1.pool.rerandomize(&appended_best[i]),
                     });
                 }
             }

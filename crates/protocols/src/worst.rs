@@ -122,7 +122,7 @@ impl TwoClouds {
                 worst = pk.add(&worst, s);
             }
             offset += span;
-            worsts.push(pk.rerandomize(&worst, &mut self.s1.rng));
+            worsts.push(self.s1.pool.rerandomize(&worst));
         }
         Ok(worsts)
     }

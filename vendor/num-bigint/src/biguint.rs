@@ -8,6 +8,11 @@ use std::str::FromStr;
 use num_integer::{ExtendedGcd, Integer};
 use num_traits::{One, ToPrimitive, Zero};
 
+/// Limb count above which multiplication switches from schoolbook to Karatsuba.
+/// 32 limbs = 2048 bits: comfortably above the Paillier `N²` widths where schoolbook
+/// still wins, comfortably below the Damgård–Jurik `N^{s+1}` widths where it doesn't.
+const KARATSUBA_THRESHOLD: usize = 32;
+
 /// An arbitrary-precision unsigned integer.
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct BigUint {
@@ -64,12 +69,20 @@ impl BigUint {
     }
 
     /// Interpret big-endian bytes as an integer.
+    ///
+    /// Builds the limbs directly from 8-byte chunks off the little end (like
+    /// [`Self::from_bytes_le`]) — O(n) in the input length, which matters because this
+    /// sits on the wire-decode path of every ciphertext crossing the two-cloud channel.
     pub fn from_bytes_be(bytes: &[u8]) -> Self {
-        let mut acc = BigUint::default();
-        for &b in bytes {
-            acc = (acc << 8u32) + BigUint::from(b);
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        // rchunks walks from the least-significant end; a short (leading) chunk can
+        // only be the last one yielded and right-aligns into the limb.
+        for chunk in bytes.rchunks(8) {
+            let mut limb = [0u8; 8];
+            limb[8 - chunk.len()..].copy_from_slice(chunk);
+            limbs.push(u64::from_be_bytes(limb));
         }
-        acc
+        BigUint::from_limbs(limbs)
     }
 
     /// Interpret little-endian bytes as an integer.
@@ -124,7 +137,25 @@ impl BigUint {
     }
 
     /// Modular exponentiation `self ^ exponent mod modulus`.
+    ///
+    /// Odd moduli take the Montgomery fast path (a throwaway
+    /// [`crate::MontgomeryContext`] with CIOS multiplication and 4-bit-window
+    /// exponentiation); even moduli fall back to [`Self::modpow_naive`], because
+    /// Montgomery reduction requires the modulus to be coprime to the limb radix.
+    /// Callers exponentiating repeatedly under one modulus should build and reuse a
+    /// [`crate::MontgomeryContext`] themselves to amortise the context setup.
     pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow: zero modulus");
+        match crate::MontgomeryContext::new(modulus) {
+            Some(ctx) => ctx.modpow(self, exponent),
+            None => self.modpow_naive(exponent, modulus),
+        }
+    }
+
+    /// Bit-at-a-time square-and-multiply modular exponentiation with a full division
+    /// per step.  This is the reference implementation the Montgomery fast path is
+    /// differentially tested against, and the fallback for even moduli.
+    pub fn modpow_naive(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "modpow: zero modulus");
         if modulus.is_one() {
             return BigUint::zero();
@@ -183,6 +214,18 @@ impl BigUint {
             return (q, BigUint::from(r));
         }
         self.div_rem_knuth(divisor)
+    }
+
+    /// Remainder modulo a word-sized divisor, without materialising the quotient.
+    /// One pass of `u128` divisions — what the prime-generation trial-division sieve
+    /// uses to seed its residue table.
+    pub fn rem_u64(&self, divisor: u64) -> u64 {
+        assert!(divisor != 0, "division by zero");
+        let mut rem: u128 = 0;
+        for &limb in self.limbs.iter().rev() {
+            rem = ((rem << 64) | limb as u128) % divisor as u128;
+        }
+        rem as u64
     }
 
     fn div_rem_small(&self, divisor: u64) -> (BigUint, u64) {
@@ -290,6 +333,16 @@ impl BigUint {
     }
 
     pub(crate) fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.limbs.len().min(other.limbs.len()) >= KARATSUBA_THRESHOLD {
+            return self.mul_karatsuba(other);
+        }
+        self.mul_schoolbook(other)
+    }
+
+    /// Reference O(n²) schoolbook multiplication.  [`Self::mul_ref`] dispatches here
+    /// below the Karatsuba threshold; it stays public so the differential proptests can
+    /// pin the fast path against it.
+    pub fn mul_schoolbook(&self, other: &BigUint) -> BigUint {
         if self.is_zero() || other.is_zero() {
             return BigUint::zero();
         }
@@ -313,6 +366,27 @@ impl BigUint {
             }
         }
         BigUint::from_limbs(out)
+    }
+
+    /// Karatsuba multiplication: split at `m` limbs, three recursive half-size products
+    /// instead of four.  Only reached when both operands have at least
+    /// [`KARATSUBA_THRESHOLD`] limbs — below that the O(n²) schoolbook loop's lower
+    /// constant wins.  The crossover matters for Damgård–Jurik, whose ciphertext space
+    /// `N^{s+1}` pushes multiplications to 3–4× the Paillier width.
+    fn mul_karatsuba(&self, other: &BigUint) -> BigUint {
+        let m = self.limbs.len().min(other.limbs.len()) / 2;
+        let split = |x: &BigUint| {
+            let lo = BigUint::from_limbs(x.limbs[..m].to_vec());
+            let hi = BigUint::from_limbs(x.limbs[m..].to_vec());
+            (lo, hi)
+        };
+        let (a0, a1) = split(self);
+        let (b0, b1) = split(other);
+        let z0 = a0.mul_ref(&b0);
+        let z2 = a1.mul_ref(&b1);
+        // z1 = (a0+a1)(b0+b1) − z0 − z2 = a0·b1 + a1·b0  (never underflows)
+        let z1 = (a0 + a1).mul_ref(&(b0 + b1)) - &z0 - &z2;
+        (z2 << (128 * m as u64)) + (z1 << (64 * m as u64)) + z0
     }
 
     pub(crate) fn shl_bits(&self, bits: u64) -> BigUint {

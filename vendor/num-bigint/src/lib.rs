@@ -2,15 +2,20 @@
 //! (see `vendor/README.md` for the vendoring policy).
 //!
 //! Implements [`BigUint`] / [`BigInt`] from scratch on 64-bit limbs: schoolbook
-//! add/sub/mul, Knuth Algorithm D division, square-and-multiply `modpow`, Euclidean
-//! GCD / extended GCD, decimal formatting/parsing, and the `rand` / `serde`
-//! integrations (`RandBigInt`, string-based serialization) the workspace relies on.
+//! add/sub with Karatsuba multiplication above a limb threshold, Knuth Algorithm D
+//! division, Montgomery (CIOS) fixed-window `modpow` for odd moduli (naive
+//! square-and-multiply fallback for even ones, reusable per-modulus contexts via
+//! [`MontgomeryContext`]), Euclidean GCD / extended GCD, decimal formatting/parsing,
+//! and the `rand` / `serde` integrations (`RandBigInt`, string-based serialization)
+//! the workspace relies on.
 
 mod bigint;
 mod biguint;
+mod montgomery;
 
 pub use bigint::{BigInt, Sign};
 pub use biguint::{BigUint, ParseBigIntError};
+pub use montgomery::MontgomeryContext;
 
 use num_traits::Zero;
 use rand::RngCore;

@@ -1,0 +1,382 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! A [`MontgomeryContext`] owns every quantity that depends only on the modulus `n`
+//! (odd, `n > 1`): the limb count `k`, `n' = -n⁻¹ mod 2⁶⁴` (one Newton iteration chain,
+//! no division), `R mod n` and `R² mod n` for `R = 2^{64k}`.  Building a context costs
+//! two divisions; every subsequent multiplication under the modulus is a CIOS
+//! (Coarsely Integrated Operand Scanning) Montgomery multiplication — no division at
+//! all — and [`MontgomeryContext::modpow`] walks the exponent in fixed 4-bit windows
+//! (a 16-entry table, four squarings per window, one table multiplication).
+//!
+//! Callers that repeatedly exponentiate under one modulus (Paillier's `N²`,
+//! Damgård–Jurik's `N^{s+1}`, a Miller–Rabin candidate) should build the context once
+//! and reuse it; [`crate::BigUint::modpow`] builds a throwaway context per call when
+//! the modulus is odd, and falls back to the naive square-and-multiply path
+//! ([`crate::BigUint::modpow_naive`]) when it is even, because Montgomery reduction
+//! requires `gcd(n, 2⁶⁴) = 1`.
+
+use num_traits::{One, Zero};
+
+use crate::BigUint;
+
+/// Exponent window width in bits (16-entry precomputed table).
+const WINDOW_BITS: u64 = 4;
+
+/// Precomputed Montgomery parameters for one odd modulus.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MontgomeryContext {
+    /// The modulus `n` (odd, > 1), little-endian limbs, length `k` (no padding).
+    n: Vec<u64>,
+    /// The modulus padded to `k + 1` limbs — the operand of the conditional final
+    /// subtraction, precomputed so the hot multiply path never re-allocates it.
+    n_padded: Vec<u64>,
+    /// `-n⁻¹ mod 2⁶⁴`.
+    n0_inv: u64,
+    /// `R mod n`, the Montgomery form of 1, padded to `k` limbs.
+    one_mont: Vec<u64>,
+    /// `R² mod n`, padded to `k` limbs; multiplying by it converts into Montgomery form.
+    r_squared: Vec<u64>,
+}
+
+/// `-x⁻¹ mod 2⁶⁴` for odd `x`, by Newton–Hensel lifting (5 iterations double the
+/// correct low bits from 1 to 64; no division involved).
+fn neg_inv_u64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv: u64 = x; // correct to 3 bits already for odd x
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv.wrapping_neg()
+}
+
+/// Pad `v`'s limbs to exactly `k` entries (the value must fit).
+fn padded(v: &BigUint, k: usize) -> Vec<u64> {
+    let mut limbs = v.limbs.clone();
+    debug_assert!(limbs.len() <= k);
+    limbs.resize(k, 0);
+    limbs
+}
+
+/// `a >= b` over equal-length little-endian limb slices.
+fn limbs_ge(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `a -= b` over equal-length little-endian limb slices (no final borrow allowed).
+fn limbs_sub_assign(a: &mut [u64], b: &[u64]) {
+    let mut borrow: i128 = 0;
+    for i in 0..a.len() {
+        let diff = a[i] as i128 - b[i] as i128 + borrow;
+        a[i] = diff as u64;
+        borrow = diff >> 64;
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+impl MontgomeryContext {
+    /// Build the context for `modulus`, or `None` if the modulus is even or < 3
+    /// (Montgomery reduction needs an odd modulus; 1 has no meaningful residues).
+    pub fn new(modulus: &BigUint) -> Option<Self> {
+        if modulus.is_zero() || modulus.is_one() || modulus.limbs[0] & 1 == 0 {
+            return None;
+        }
+        let k = modulus.limbs.len();
+        let n0_inv = neg_inv_u64(modulus.limbs[0]);
+        // R mod n and R² mod n, via one shift-division each (R = 2^{64k}).
+        let r_mod_n = (BigUint::one() << (64 * k as u64)) % modulus;
+        let r2_mod_n = (&r_mod_n * &r_mod_n) % modulus;
+        let mut n_padded = modulus.limbs.clone();
+        n_padded.push(0);
+        Some(MontgomeryContext {
+            n: modulus.limbs.clone(),
+            n_padded,
+            n0_inv,
+            one_mont: padded(&r_mod_n, k),
+            r_squared: padded(&r2_mod_n, k),
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> BigUint {
+        BigUint::from_limbs(self.n.clone())
+    }
+
+    /// Number of 64-bit limbs of the modulus.
+    fn k(&self) -> usize {
+        self.n.len()
+    }
+
+    /// CIOS Montgomery multiplication: returns `a · b · R⁻¹ mod n` for `a, b < n`
+    /// given as `k`-limb slices; the result is a `k`-limb vector `< n`.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k();
+        let n = &self.n;
+        // t has k+1 limbs plus a one-bit overflow flag folded into t_extra.
+        let mut t = vec![0u64; k + 1];
+        let mut t_extra: u64 = 0; // at most 1
+        for &ai in a.iter() {
+            // t += ai * b
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let cur = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k] = cur as u64;
+            t_extra += (cur >> 64) as u64;
+
+            // m = t[0] · n' mod 2⁶⁴;  t += m · n  (zeroes t[0])
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let cur = t[j] as u128 + m as u128 * n[j] as u128 + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k] = cur as u64;
+            t_extra += (cur >> 64) as u64;
+            debug_assert_eq!(t[0], 0);
+
+            // t /= 2⁶⁴
+            for j in 0..k {
+                t[j] = t[j + 1];
+            }
+            t[k] = t_extra;
+            t_extra = 0;
+        }
+        // t < 2n here; one conditional subtraction normalises into [0, n).
+        if t[k] != 0 || limbs_ge(&t[..k], n) {
+            limbs_sub_assign(&mut t, &self.n_padded);
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Montgomery squaring: `a² · R⁻¹ mod n` via the diagonal trick (half the limb
+    /// products of a general multiplication) followed by a separated Montgomery
+    /// reduction pass.  Squarings are ~80% of the work in a windowed exponentiation,
+    /// which is why they get their own routine.
+    fn mont_sqr(&self, a: &[u64]) -> Vec<u64> {
+        let k = self.k();
+        let n = &self.n;
+        // ---- wide = a², 2k+1 limbs (extra headroom for the doubling carry). ----------
+        let mut wide = vec![0u64; 2 * k + 1];
+        for i in 0..k {
+            // Off-diagonal products a[i]·a[j], j > i.
+            let mut carry: u128 = 0;
+            for j in (i + 1)..k {
+                let cur = wide[i + j] as u128 + a[i] as u128 * a[j] as u128 + carry;
+                wide[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            wide[i + k] = carry as u64; // position i+k was untouched so far
+        }
+        // Double the off-diagonal half...
+        let mut carry = 0u64;
+        for w in wide.iter_mut() {
+            let doubled = (*w as u128) << 1 | carry as u128;
+            *w = doubled as u64;
+            carry = (doubled >> 64) as u64;
+        }
+        // ...and add the diagonal squares a[i]² at positions 2i.
+        let mut carry: u128 = 0;
+        for i in 0..k {
+            let sq = a[i] as u128 * a[i] as u128;
+            let lo = wide[2 * i] as u128 + (sq as u64) as u128 + carry;
+            wide[2 * i] = lo as u64;
+            let hi = wide[2 * i + 1] as u128 + (sq >> 64) + (lo >> 64);
+            wide[2 * i + 1] = hi as u64;
+            carry = hi >> 64;
+        }
+        let mut j = 2 * k;
+        while carry != 0 {
+            let cur = wide[j] as u128 + carry;
+            wide[j] = cur as u64;
+            carry = cur >> 64;
+            j += 1;
+        }
+
+        // ---- Montgomery-reduce the 2k-limb square in place. --------------------------
+        let mut overflow: u64 = 0; // carries that run off wide[i + k]
+        for i in 0..k {
+            let m = wide[i].wrapping_mul(self.n0_inv);
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let cur = wide[i + j] as u128 + m as u128 * n[j] as u128 + carry;
+                wide[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            // Propagate the reduction carry into the upper half.
+            let mut j = i + k;
+            while carry != 0 {
+                if j < wide.len() {
+                    let cur = wide[j] as u128 + carry;
+                    wide[j] = cur as u64;
+                    carry = cur >> 64;
+                } else {
+                    overflow += carry as u64;
+                    carry = 0;
+                }
+                j += 1;
+            }
+        }
+        let mut t: Vec<u64> = wide[k..2 * k + 1].to_vec();
+        t[k] = t[k].wrapping_add(overflow);
+        if t[k] != 0 || limbs_ge(&t[..k], n) {
+            limbs_sub_assign(&mut t, &self.n_padded);
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Convert `x < n` (as a BigUint) into Montgomery form (`k`-limb vector).
+    fn to_mont(&self, x: &BigUint) -> Vec<u64> {
+        self.mont_mul(&padded(x, self.k()), &self.r_squared)
+    }
+
+    /// Convert a `k`-limb Montgomery-form value back to a plain `BigUint`.
+    fn mont_reduce(&self, x: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.k()];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(x, &one))
+    }
+
+    /// `a · b mod n` (plain representation in, plain representation out).
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let a = a % &self.modulus();
+        let b = b % &self.modulus();
+        let am = self.to_mont(&a);
+        let bm = self.to_mont(&b);
+        self.mont_reduce(&self.mont_mul(&am, &bm))
+    }
+
+    /// `base ^ exponent mod n` by fixed 4-bit-window exponentiation over Montgomery
+    /// form.  Agrees bit-for-bit with [`crate::BigUint::modpow_naive`].
+    pub fn modpow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        let modulus = self.modulus();
+        let base = base % &modulus;
+        if exponent.is_zero() {
+            return BigUint::one() % &modulus;
+        }
+
+        let base_m = self.to_mont(&base);
+        let nbits = exponent.bits();
+
+        // Short exponents (e.g. the repeated squarings of Miller–Rabin) don't amortise
+        // a 16-entry table; scan them bit-by-bit in Montgomery form instead.
+        if nbits <= 2 * WINDOW_BITS {
+            let mut acc = base_m.clone();
+            for pos in (0..nbits.saturating_sub(1)).rev() {
+                acc = self.mont_sqr(&acc);
+                if exponent.bit(pos) {
+                    acc = self.mont_mul(&acc, &base_m);
+                }
+            }
+            return self.mont_reduce(&acc);
+        }
+
+        // table[w] = baseᵂ in Montgomery form, w = 0..16.
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(1 << WINDOW_BITS);
+        table.push(self.one_mont.clone());
+        table.push(base_m.clone());
+        for w in 2..(1usize << WINDOW_BITS) {
+            table.push(self.mont_mul(&table[w - 1], &base_m));
+        }
+
+        let nwindows = nbits.div_ceil(WINDOW_BITS);
+        let mut acc = self.one_mont.clone();
+        let mut started = false;
+        for w in (0..nwindows).rev() {
+            if started {
+                for _ in 0..WINDOW_BITS {
+                    acc = self.mont_sqr(&acc);
+                }
+            }
+            let mut window = 0usize;
+            for bit in (0..WINDOW_BITS).rev() {
+                let pos = w * WINDOW_BITS + bit;
+                window <<= 1;
+                if pos < nbits && exponent.bit(pos) {
+                    window |= 1;
+                }
+            }
+            if window != 0 {
+                acc = self.mont_mul(&acc, &table[window]);
+                started = true;
+            }
+        }
+        if !started {
+            // exponent had only zero windows — impossible for a nonzero exponent,
+            // but keep the identity for safety.
+            return BigUint::one() % &modulus;
+        }
+        self.mont_reduce(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(MontgomeryContext::new(&BigUint::zero()).is_none());
+        assert!(MontgomeryContext::new(&BigUint::one()).is_none());
+        assert!(MontgomeryContext::new(&b(4096)).is_none());
+        assert!(MontgomeryContext::new(&b(3)).is_some());
+    }
+
+    #[test]
+    fn neg_inv_is_correct() {
+        for x in [1u64, 3, 5, 0xffff_ffff_ffff_ffff, 0x1234_5678_9abc_def1] {
+            let ninv = neg_inv_u64(x);
+            assert_eq!(x.wrapping_mul(ninv.wrapping_neg()), 1, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn mul_mod_matches_plain() {
+        let n = b(1_000_000_007) * b(998_244_353) * b(2) + BigUint::one(); // odd, multi-limb
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        let a = b(123_456_789_123_456_789);
+        let x = b(987_654_321_987_654_321);
+        assert_eq!(ctx.mul_mod(&a, &x), (&a * &x) % &n);
+    }
+
+    #[test]
+    fn modpow_matches_naive_small() {
+        let n = b(497); // odd
+        let ctx = MontgomeryContext::new(&n).unwrap();
+        assert_eq!(ctx.modpow(&b(4), &b(13)), b(445));
+        assert_eq!(ctx.modpow(&b(0), &b(0)), b(1));
+        assert_eq!(ctx.modpow(&b(0), &b(5)), b(0));
+        assert_eq!(ctx.modpow(&b(496), &b(2)), b(1));
+        let p = b(1_000_000_007);
+        let ctx = MontgomeryContext::new(&p).unwrap();
+        assert_eq!(ctx.modpow(&b(123_456), &(&p - BigUint::one())), b(1));
+    }
+
+    #[test]
+    fn modpow_matches_naive_multi_limb() {
+        // 2^127 - 1 (Mersenne prime, 2 limbs)
+        let p = (BigUint::one() << 127u32) - BigUint::one();
+        let ctx = MontgomeryContext::new(&p).unwrap();
+        for base in [2u128, 3, 65537, u128::MAX - 5] {
+            let base = b(base);
+            let exp = &p - BigUint::one();
+            assert_eq!(ctx.modpow(&base, &exp), base.modpow_naive(&exp, &p));
+        }
+    }
+}
