@@ -89,6 +89,14 @@ pub struct AuthorizedClient {
 }
 
 impl AuthorizedClient {
+    /// Build a client directly from the owner's key bundle — what
+    /// [`DataOwner::authorize_client`] hands out, exposed for serving layers that hold
+    /// the keys themselves (e.g. the multi-session query server generating tokens on
+    /// behalf of its connected clients).
+    pub fn from_keys(keys: MasterKeys) -> Self {
+        AuthorizedClient { keys }
+    }
+
     /// `Token(K, q)`: build the query token for a relation with `num_attributes` columns.
     pub fn token(
         &self,

@@ -55,6 +55,6 @@ pub use paillier::{
     generate_keypair, Ciphertext, PaillierPublicKey, PaillierSecretKey, DEFAULT_MODULUS_BITS,
     MIN_MODULUS_BITS,
 };
-pub use pool::RandomnessPool;
+pub use pool::{shard_seed, RandomnessPool};
 pub use prf::{Prf, PrfKey, PRF_KEY_LEN};
 pub use prp::{KeyedPrp, RandomPermutation};

@@ -31,6 +31,24 @@ use crate::paillier::{Ciphertext, PaillierPublicKey};
 /// Default number of nonces computed per refill.
 pub const DEFAULT_BATCH: usize = 32;
 
+/// Derive the deterministic seed of per-session pool shard `session` from a party's
+/// `base_seed`.
+///
+/// A multi-session server (one S2 engine pool serving many S1 sessions) must give every
+/// session its **own** nonce stream: sessions sharing one pool would consume nonces in
+/// arrival order, making ciphertexts depend on the interleaving of other sessions'
+/// requests — the end of byte-for-byte reproducibility.  Mixing the session id into the
+/// seed with a [SplitMix64](https://prng.di.unimi.it/splitmix64.c) finalizer keeps each
+/// shard deterministic in isolation while decorrelating the streams (a plain
+/// `base_seed ^ session` would make shards of adjacent sessions collide whenever the
+/// base seed already differs in the low bits).
+pub fn shard_seed(base_seed: u64, session: u64) -> u64 {
+    let mut z = base_seed ^ session.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// A pool of precomputed Paillier (and optionally Damgård–Jurik) encryption nonces
 /// for one public key.
 #[derive(Debug)]
@@ -176,6 +194,40 @@ mod tests {
     use crate::paillier::MIN_MODULUS_BITS;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// Concurrency audit: the shared key material must be freely shareable across the
+    /// S2 worker threads (`Send + Sync`; they are `Arc`-backed), while the stateful
+    /// per-session values (pools own a deterministic RNG and nonce queues) only need to
+    /// *move* into a session's engine (`Send`).  Compile-time assertions — a regression
+    /// here breaks the multi-session server's thread model.
+    #[test]
+    fn shared_types_are_send_sync_and_pools_are_send() {
+        fn send_sync<T: Send + Sync>() {}
+        fn send<T: Send>() {}
+        send_sync::<crate::paillier::PaillierPublicKey>();
+        send_sync::<crate::paillier::PaillierSecretKey>();
+        send_sync::<crate::damgard_jurik::DjPublicKey>();
+        send_sync::<crate::damgard_jurik::DjSecretKey>();
+        send_sync::<crate::keys::S1Keys>();
+        send_sync::<crate::keys::S2Keys>();
+        send_sync::<crate::keys::MasterKeys>();
+        send_sync::<num_bigint::MontgomeryContext>();
+        send::<RandomnessPool>();
+    }
+
+    #[test]
+    fn shard_seeds_are_deterministic_and_distinct() {
+        assert_eq!(shard_seed(42, 7), shard_seed(42, 7));
+        // Distinct sessions (and distinct bases) get decorrelated streams.
+        let shards: Vec<u64> = (0..64).map(|s| shard_seed(42, s)).collect();
+        let mut dedup = shards.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), shards.len(), "shard seeds must not collide");
+        assert_ne!(shard_seed(42, 1), shard_seed(43, 1));
+        // Adjacent-session shards differ even when base seeds differ only in low bits.
+        assert_ne!(shard_seed(42, 1), shard_seed(43, 0));
+    }
 
     fn setup() -> (MasterKeys, RandomnessPool) {
         let mut rng = StdRng::seed_from_u64(1717);

@@ -55,6 +55,22 @@ impl QueryWorkload {
         QueryWorkload { queries }
     }
 
+    /// Deal the workload's queries to `sessions` serving sessions round-robin (query
+    /// *i* goes to session `i % sessions`).  This is the assignment the multi-session
+    /// query server uses: it is deterministic, keeps the per-session query streams
+    /// independent of how many other sessions exist beyond their count, and balances
+    /// the load to within one query.  Sessions may come back empty when there are fewer
+    /// queries than sessions.
+    pub fn partition(&self, sessions: usize) -> Vec<Vec<TopKQuery>> {
+        assert!(sessions >= 1, "at least one session required");
+        let mut slices: Vec<Vec<TopKQuery>> =
+            (0..sessions).map(|_| Vec::with_capacity(self.queries.len() / sessions + 1)).collect();
+        for (i, query) in self.queries.iter().enumerate() {
+            slices[i % sessions].push(query.clone());
+        }
+        slices
+    }
+
     /// A fixed-parameter workload (one query with exactly `m` attributes and the given
     /// `k`), the configuration most of the paper's figures sweep over.
     pub fn fixed(num_attributes: usize, m: usize, k: usize, seed: u64) -> TopKQuery {
@@ -114,5 +130,22 @@ mod tests {
     #[should_panic(expected = "m must be in")]
     fn fixed_rejects_oversized_m() {
         let _ = QueryWorkload::fixed(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn partition_deals_round_robin_and_preserves_order() {
+        let spec = WorkloadSpec { queries: 7, m_range: (2, 3), k_range: (2, 4) };
+        let w = QueryWorkload::generate(&spec, 6, 3);
+        let parts = w.partition(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 7);
+        assert_eq!(parts[0].len(), 3);
+        assert_eq!(parts[1].len(), 2);
+        assert_eq!(parts[0][0], w.queries[0]);
+        assert_eq!(parts[1][0], w.queries[1]);
+        assert_eq!(parts[2][1], w.queries[5]);
+        // One session gets everything; surplus sessions stay empty.
+        assert_eq!(w.partition(1)[0], w.queries);
+        assert!(w.partition(9).iter().skip(7).all(Vec::is_empty));
     }
 }

@@ -24,6 +24,7 @@ use sectopk_crypto::Result;
 use crate::channel::ChannelMetrics;
 use crate::engine::S2Engine;
 use crate::ledger::LeakageLedger;
+use crate::multiplex::{LinkProfile, MultiplexServer, MultiplexTransport, SessionId};
 use crate::transport::{
     ChannelTransport, InProcessTransport, S1Request, S2Response, Transport, TransportKind,
 };
@@ -73,11 +74,54 @@ impl TwoClouds {
     }
 
     /// Set up the two clouds with an explicit transport and batching policy.
+    /// [`TransportKind::Multiplex`] gives the session a private single-worker
+    /// [`MultiplexServer`]; to share one server across sessions use
+    /// [`TwoClouds::connect`].
     pub fn with_transport(
         master: &MasterKeys,
         seed: u64,
         kind: TransportKind,
         batching: bool,
+    ) -> Result<Self> {
+        Self::build(master, seed, batching, |engine| {
+            Ok(match kind {
+                TransportKind::InProcess => Box::new(InProcessTransport::new(engine)),
+                TransportKind::Channel => Box::new(ChannelTransport::new(engine)),
+                TransportKind::Multiplex => {
+                    Box::new(MultiplexTransport::private(engine, LinkProfile::ideal())?)
+                }
+            })
+        })
+    }
+
+    /// Set up the two clouds as session `session` of a shared [`MultiplexServer`].
+    ///
+    /// The S1-side state and the session's S2 engine are derived from `seed` exactly as
+    /// in [`TwoClouds::with_transport`], so a session connected with seed *s* is
+    /// byte-identical to a dedicated-transport run with seed *s* — the serving layer
+    /// picks per-session seeds (e.g. [`sectopk_crypto::pool::shard_seed`]) to keep
+    /// concurrent sessions deterministic and decorrelated.
+    pub fn connect(
+        master: &MasterKeys,
+        seed: u64,
+        batching: bool,
+        server: &MultiplexServer,
+        session: SessionId,
+        link: LinkProfile,
+    ) -> Result<Self> {
+        Self::build(master, seed, batching, |engine| {
+            Ok(Box::new(server.connect(session, engine, link)?))
+        })
+    }
+
+    /// The shared S1-side setup: every transport and the multiplexed sessions derive
+    /// S1's keys, RNG and nonce pools from `seed` through this one path, which is what
+    /// makes protocol output byte-identical across transports for a fixed seed.
+    fn build(
+        master: &MasterKeys,
+        seed: u64,
+        batching: bool,
+        make_transport: impl FnOnce(S2Engine) -> Result<Box<dyn Transport>>,
     ) -> Result<Self> {
         let mut s1_rng = StdRng::seed_from_u64(seed ^ 0x5151_5151_5151_5151);
 
@@ -92,10 +136,7 @@ impl TwoClouds {
         // lives behind the transport from here on.
         let engine =
             S2Engine::new(master.s2_view(), own_public.clone(), seed ^ 0x5252_5252_5252_5252);
-        let transport: Box<dyn Transport> = match kind {
-            TransportKind::InProcess => Box::new(InProcessTransport::new(engine)),
-            TransportKind::Channel => Box::new(ChannelTransport::new(engine)),
-        };
+        let transport = make_transport(engine)?;
 
         let s1_keys = master.s1_view();
         // S1's nonce pool serves the shared key pair; it owns its own deterministic

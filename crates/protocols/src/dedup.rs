@@ -41,7 +41,7 @@ use crate::transport::{DedupRequest, S1Request, S2Response};
 
 /// The blinding randomness of one item, encrypted under S1's own key `pk'` so it can
 /// round-trip through S2 (the `H_i` values of Algorithm 7).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EncryptedBlinding {
     /// Encryptions of the per-EHL-block masks `α`.
     pub alphas: Vec<Ciphertext>,

@@ -12,6 +12,9 @@
 //! * [`transport`] — the typed [`transport::S1Request`] / [`transport::S2Response`]
 //!   message layer, round-trip batching, and the in-process / threaded channel
 //!   implementations.
+//! * [`multiplex`] — session-multiplexed serving: one S2 worker pool answering many
+//!   concurrent S1 sessions over session-tagged envelopes, with per-session ledgers,
+//!   metrics and deterministic nonce-pool shards.
 //! * [`engine`] — the crypto cloud S2 as a request-processing engine (all S2-side
 //!   protocol logic, keys and randomness).
 //! * [`wire`] — the binary codec every message is measured (and, on the threaded
@@ -38,6 +41,7 @@ pub mod engine;
 pub mod items;
 pub mod join;
 pub mod ledger;
+pub mod multiplex;
 pub mod primitives;
 pub mod sort;
 pub mod transport;
@@ -54,6 +58,7 @@ pub use items::{
 };
 pub use join::{EncryptedTuple, JoinSpec, JoinedTuple};
 pub use ledger::{LeakageEvent, LeakageLedger};
+pub use multiplex::{Envelope, LinkProfile, MultiplexServer, MultiplexTransport, SessionId};
 pub use primitives::EqBatch;
 pub use transport::{
     ChannelTransport, InProcessTransport, S1Request, S2Response, Transport, TransportKind,

@@ -1,0 +1,650 @@
+//! Session-multiplexed serving: one crypto-cloud S2 worker pool answering many
+//! concurrent S1 sessions over a single byte channel.
+//!
+//! # Why sessions
+//!
+//! The paper's deployment (§3.2) is a *service*: the primary cloud S1 answers top-k
+//! queries for many independent clients, using the crypto cloud S2 as a co-processor.
+//! [`crate::transport::ChannelTransport`] models one S1 talking to one dedicated S2
+//! thread; this module generalises it to the served workload — a [`MultiplexServer`]
+//! owns a pool of S2 worker threads and a registry of per-session state, and every
+//! connected [`MultiplexTransport`] is one S1 session:
+//!
+//! ```text
+//!   session 1  S1 ──┐                               ┌── worker 1 ──┐
+//!   session 2  S1 ──┤   Envelope{session, seq,      ├── worker 2 ──┤   per-session
+//!   session 3  S1 ──┼──  frame bytes}  ───────────▶ ├── …          ├─▶ S2Engine
+//!      …            │   shared mpsc byte channel    └── worker W ──┘   (keys shared
+//!   session N  S1 ──┘                                                   behind Arc)
+//!        ▲                                                 │
+//!        └──────────── per-session reply channel ◀─────────┘
+//! ```
+//!
+//! # Isolation and determinism
+//!
+//! Each session owns an [`S2Engine`] of its own (behind a `Mutex`, because any worker
+//! may pick up its next request): its leakage ledger, accumulated equality bits, RNG
+//! and nonce-pool shards are **per session**, so
+//!
+//! * ledgers never bleed between sessions — "what did S2 observe while serving client
+//!   *i*" stays a well-defined question under concurrency, and
+//! * every session's ciphertext stream is a deterministic function of its own seed
+//!   ([`sectopk_crypto::pool::shard_seed`] decorrelates the shards), which makes *N*
+//!   sessions served concurrently byte-identical to the same *N* sessions served one
+//!   after another (asserted by `tests/concurrent_sessions.rs`).
+//!
+//! The engines share the key material (`S2Keys` is `Arc`-backed, so worker threads
+//! share one copy of the moduli and Montgomery contexts), but no mutable state.
+//!
+//! Because a session's client blocks on [`Transport::round_trip`], at most one request
+//! per session is in flight: workers never contend on a session's engine, only on the
+//! shared inbox.
+//!
+//! # Wire envelope
+//!
+//! Every message on the multiplexed channel is an [`Envelope`]: a fixed 16-byte header
+//! (session id and sequence number, both little-endian `u64`) followed by the same
+//! tag-plus-payload frame [`crate::transport::ChannelTransport`] ships.  The server
+//! echoes the header on the reply, and the transport verifies the echo, so a response
+//! can never be attributed to the wrong session or request.  Metering counts the
+//! payload only (headers and tags are local framing, exactly as on the other
+//! transports), which keeps [`crate::channel::ChannelMetrics`] byte-identical across
+//! all three transport implementations.
+//!
+//! # Simulated link
+//!
+//! A [`LinkProfile`] optionally adds a per-round-trip RTT on the client side, modelling
+//! the inter-cloud WAN of §11.2.5 (the paper assumes a 50 Mbps link between S1 and S2).
+//! Under a latency-bound link, session multiplexing is what buys aggregate throughput:
+//! while one session waits out its RTT, the worker pool serves the others.  The
+//! `throughput` bench sweeps exactly this.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use sectopk_crypto::{CryptoError, Result};
+
+use crate::channel::{ChannelMetrics, Direction};
+use crate::engine::S2Engine;
+use crate::ledger::LeakageLedger;
+use crate::transport::{
+    frame, framed, response_or_error, S1Request, S2Response, Transport, TransportKind,
+};
+use crate::wire;
+
+/// Identifier of one S1 session on a multiplexed channel.  Chosen by the serving layer
+/// (e.g. densely numbered client connections); must be unique per [`MultiplexServer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// Bytes of the fixed envelope header: session id + sequence number, both `u64` LE.
+pub const ENVELOPE_HEADER_LEN: usize = 16;
+
+/// One message on the multiplexed byte channel: the session id, the sender's sequence
+/// number (echoed verbatim on replies), and the tag-plus-payload frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Which session this frame belongs to.
+    pub session: SessionId,
+    /// Request counter within the session; replies echo the request's value.
+    pub seq: u64,
+    /// Frame bytes: one tag byte (see `transport::frame`) followed by the wire payload.
+    pub frame: Vec<u8>,
+}
+
+impl Envelope {
+    /// Encode header + frame into channel bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ENVELOPE_HEADER_LEN + self.frame.len());
+        out.extend_from_slice(&self.session.0.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.frame);
+        out
+    }
+
+    /// Decode channel bytes back into an envelope.  The frame may be empty only for
+    /// control messages that carry no tag; protocol traffic always has at least a tag.
+    pub fn decode(bytes: &[u8]) -> Result<Envelope> {
+        if bytes.len() < ENVELOPE_HEADER_LEN {
+            return Err(CryptoError::Protocol("truncated multiplex envelope".into()));
+        }
+        let mut session = [0u8; 8];
+        session.copy_from_slice(&bytes[..8]);
+        let mut seq = [0u8; 8];
+        seq.copy_from_slice(&bytes[8..16]);
+        Ok(Envelope {
+            session: SessionId(u64::from_le_bytes(session)),
+            seq: u64::from_le_bytes(seq),
+            frame: bytes[ENVELOPE_HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+/// Characteristics of the simulated S1 ↔ S2 link.  [`LinkProfile::ideal`] (the default)
+/// adds nothing; a nonzero RTT makes every protocol round trip cost that much
+/// wall-clock on the client side, modelling the WAN between the two clouds.  Metrics
+/// and ledgers are unaffected — only latency.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkProfile {
+    /// Round-trip time added to every protocol round trip (control traffic excluded).
+    pub rtt: Duration,
+}
+
+impl LinkProfile {
+    /// A zero-latency link (requests cost only their compute).
+    pub fn ideal() -> Self {
+        Self::default()
+    }
+
+    /// A link with the given round-trip time in milliseconds.
+    pub fn with_rtt_ms(rtt_ms: u64) -> Self {
+        LinkProfile { rtt: Duration::from_millis(rtt_ms) }
+    }
+}
+
+/// Per-session server-side state: the session's own engine (ledger, RNG, pool shards,
+/// accumulated equality bits) and the channel its replies travel back on.
+struct SessionSlot {
+    engine: Mutex<S2Engine>,
+    replies: mpsc::Sender<Vec<u8>>,
+}
+
+type Registry = Arc<Mutex<HashMap<SessionId, Arc<SessionSlot>>>>;
+
+/// The crypto cloud S2 as a multi-session service: a worker-thread pool draining one
+/// shared byte channel, routing each [`Envelope`] to its session's engine.
+pub struct MultiplexServer {
+    inbox: mpsc::Sender<Vec<u8>>,
+    registry: Registry,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for MultiplexServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiplexServer")
+            .field("workers", &self.workers.len())
+            .field("active_sessions", &self.active_sessions())
+            .finish()
+    }
+}
+
+impl MultiplexServer {
+    /// Spawn a server with `workers` S2 worker threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (inbox, rx) = mpsc::channel::<Vec<u8>>();
+        let shared_rx = Arc::new(Mutex::new(rx));
+        let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&shared_rx);
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("sectopk-s2-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &registry))
+                    .expect("spawn S2 worker thread")
+            })
+            .collect();
+        MultiplexServer { inbox, registry, workers: handles }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of currently connected sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.registry.lock().expect("session registry poisoned").len()
+    }
+
+    /// Register `session` backed by `engine` and hand back the S1-side transport for
+    /// it.  The engine carries the session's seed (and thereby its deterministic pool
+    /// shards); build it with [`sectopk_crypto::pool::shard_seed`]-derived seeds when
+    /// serving many sessions from one base seed.  Fails if the id is already connected.
+    pub fn connect(
+        &self,
+        session: SessionId,
+        engine: S2Engine,
+        link: LinkProfile,
+    ) -> Result<MultiplexTransport> {
+        let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+        {
+            let mut registry = self.registry.lock().expect("session registry poisoned");
+            if registry.contains_key(&session) {
+                return Err(CryptoError::Protocol(format!("{session} is already connected")));
+            }
+            registry.insert(
+                session,
+                Arc::new(SessionSlot { engine: Mutex::new(engine), replies: reply_tx }),
+            );
+        }
+        Ok(MultiplexTransport {
+            session,
+            seq: 0,
+            to_server: self.inbox.clone(),
+            from_server: reply_rx,
+            link,
+            metrics: ChannelMetrics::new(),
+            private_server: None,
+        })
+    }
+}
+
+impl Drop for MultiplexServer {
+    fn drop(&mut self) {
+        // One shutdown envelope per worker; each worker exits on the first it sees.
+        for _ in 0..self.workers.len() {
+            let shutdown = Envelope { session: SessionId(0), seq: 0, frame: vec![frame::SHUTDOWN] };
+            let _ = self.inbox.send(shutdown.encode());
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Dropping the slots closes every session's reply channel, so a client still
+        // blocked on a response sees a clean "server is gone" error instead of a hang.
+        self.registry.lock().expect("session registry poisoned").clear();
+    }
+}
+
+/// One S2 worker: drain the shared inbox, route each envelope to its session.
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Vec<u8>>>, registry: &Registry) {
+    loop {
+        // Hold the inbox lock only for the dequeue, not while processing.
+        let incoming = match rx.lock().expect("server inbox poisoned").recv() {
+            Ok(bytes) => bytes,
+            Err(_) => return, // every transport and the server handle are gone
+        };
+        let Ok(envelope) = Envelope::decode(&incoming) else {
+            continue; // undecodable channel noise: nothing to route a reply to
+        };
+        let Some((&tag, payload)) = envelope.frame.split_first() else {
+            continue;
+        };
+        if tag == frame::SHUTDOWN {
+            return;
+        }
+        let slot = {
+            let mut registry = registry.lock().expect("session registry poisoned");
+            if tag == frame::DISCONNECT {
+                if let Some(slot) = registry.remove(&envelope.session) {
+                    // Acknowledge so the departing client can block until its id is
+                    // actually free for reuse.
+                    let ack = Envelope {
+                        session: envelope.session,
+                        seq: envelope.seq,
+                        frame: vec![frame::DISCONNECT_DONE],
+                    };
+                    let _ = slot.replies.send(ack.encode());
+                }
+                continue;
+            }
+            match registry.get(&envelope.session) {
+                Some(slot) => Arc::clone(slot),
+                None => continue, // unknown session (e.g. raced with a disconnect)
+            }
+        };
+        let mut engine = slot.engine.lock().expect("session engine poisoned");
+        let reply_frame: Vec<u8> = match tag {
+            frame::REQUEST => {
+                let response = match wire::from_bytes::<S1Request>(payload) {
+                    Ok(request) => {
+                        engine.handle(&request).unwrap_or_else(|e| S2Response::Error(e.to_string()))
+                    }
+                    Err(e) => S2Response::Error(format!("undecodable request: {e}")),
+                };
+                framed(frame::RESPONSE, &response)
+            }
+            frame::FETCH_LEDGER => framed(frame::LEDGER, engine.ledger()),
+            frame::RESET => {
+                engine.reset();
+                vec![frame::RESET_DONE]
+            }
+            _ => framed(frame::RESPONSE, &S2Response::Error(format!("unknown frame tag {tag}"))),
+        };
+        drop(engine);
+        let reply = Envelope { session: envelope.session, seq: envelope.seq, frame: reply_frame };
+        // A send failure means the session's client hung up; drop the reply.
+        let _ = slot.replies.send(reply.encode());
+    }
+}
+
+/// The S1 side of one multiplexed session: a [`Transport`] whose frames travel inside
+/// session-tagged envelopes to a shared [`MultiplexServer`].
+pub struct MultiplexTransport {
+    session: SessionId,
+    seq: u64,
+    to_server: mpsc::Sender<Vec<u8>>,
+    from_server: mpsc::Receiver<Vec<u8>>,
+    link: LinkProfile,
+    metrics: ChannelMetrics,
+    /// When the transport was created through [`TransportKind::Multiplex`] rather than
+    /// by connecting to an explicit server, it owns a private single-worker server that
+    /// must live (and shut down) with it.
+    private_server: Option<Box<MultiplexServer>>,
+}
+
+impl fmt::Debug for MultiplexTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiplexTransport")
+            .field("session", &self.session)
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl MultiplexTransport {
+    /// A self-contained multiplexed transport: spins up a private single-worker
+    /// [`MultiplexServer`] serving only this session.  This is what
+    /// `SECTOPK_TRANSPORT=multiplex` uses, so the whole test suite can exercise the
+    /// envelope path without managing a server.
+    pub fn private(engine: S2Engine, link: LinkProfile) -> Result<Self> {
+        let server = MultiplexServer::new(1);
+        let mut transport = server.connect(SessionId(1), engine, link)?;
+        transport.private_server = Some(Box::new(server));
+        Ok(transport)
+    }
+
+    /// The session this transport speaks for.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Ship one frame under sequence number `seq` and wait for the server's reply,
+    /// verifying the envelope echo.  Protocol traffic uses the transport's incrementing
+    /// counter; control traffic uses the reserved `seq` 0.  Either way the client holds
+    /// at most one request in flight, so the blocking receive always pairs correctly.
+    ///
+    /// `delay` is the simulated link RTT: it runs *between* the send and the receive,
+    /// so it overlaps with S2's compute exactly as propagation overlaps with remote
+    /// work on a real link.
+    fn exchange_with_seq(
+        &self,
+        seq: u64,
+        frame_bytes: Vec<u8>,
+        delay: Duration,
+    ) -> Result<Envelope> {
+        let envelope = Envelope { session: self.session, seq, frame: frame_bytes };
+        self.to_server
+            .send(envelope.encode())
+            .map_err(|_| CryptoError::Protocol("multiplex server is gone".into()))?;
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let incoming = self
+            .from_server
+            .recv()
+            .map_err(|_| CryptoError::Protocol("multiplex server hung up".into()))?;
+        let reply = Envelope::decode(&incoming)?;
+        if reply.session != self.session || reply.seq != seq {
+            return Err(CryptoError::Protocol(format!(
+                "envelope echo mismatch: sent {}#{seq}, got {}#{}",
+                self.session, reply.session, reply.seq
+            )));
+        }
+        Ok(reply)
+    }
+
+    /// Ship one protocol frame under the next sequence number, over the simulated link.
+    fn exchange(&mut self, frame_bytes: Vec<u8>) -> Result<Envelope> {
+        self.seq += 1;
+        self.exchange_with_seq(self.seq, frame_bytes, self.link.rtt)
+    }
+
+    /// One unmetered control-plane exchange (ledger fetch / reset), expecting a reply
+    /// frame starting with `expected_reply`.  Control traffic skips the simulated link.
+    fn control(&self, tag: u8, expected_reply: u8) -> Result<Vec<u8>> {
+        let reply = self.exchange_with_seq(0, vec![tag], Duration::ZERO)?;
+        match reply.frame.split_first() {
+            Some((&t, payload)) if t == expected_reply => Ok(payload.to_vec()),
+            _ => Err(CryptoError::Protocol("unexpected control reply from S2".into())),
+        }
+    }
+}
+
+impl Transport for MultiplexTransport {
+    fn round_trip(&mut self, request: S1Request) -> Result<S2Response> {
+        let out_frame = framed(frame::REQUEST, &request);
+        // Metered size = wire payload only; the tag byte and the 16-byte envelope
+        // header are local framing, keeping metrics identical across transports.
+        self.metrics.record(Direction::S1ToS2, out_frame.len() - 1, request.ciphertext_count());
+        let reply = self.exchange(out_frame)?;
+        let payload = match reply.frame.split_first() {
+            Some((&frame::RESPONSE, payload)) => payload,
+            _ => return Err(CryptoError::Protocol("unexpected reply frame from S2".into())),
+        };
+        let response: S2Response = wire::from_bytes(payload)
+            .map_err(|e| CryptoError::Protocol(format!("undecodable response: {e}")))?;
+        self.metrics.record(Direction::S2ToS1, payload.len(), response.ciphertext_count());
+        response_or_error(response)
+    }
+
+    fn metrics(&self) -> ChannelMetrics {
+        self.metrics
+    }
+
+    fn reset_metrics(&mut self) {
+        self.metrics = ChannelMetrics::new();
+    }
+
+    fn s2_ledger(&self) -> LeakageLedger {
+        // Control traffic is unmetered and skips the simulated link; like the threaded
+        // transport, a dead server must fail loudly rather than return an empty ledger.
+        let payload = self
+            .control(frame::FETCH_LEDGER, frame::LEDGER)
+            .expect("multiplex server unavailable while fetching the session ledger");
+        wire::from_bytes(&payload).expect("undecodable S2 ledger snapshot")
+    }
+
+    fn reset_s2(&mut self) {
+        self.control(frame::RESET, frame::RESET_DONE)
+            .expect("multiplex server unavailable while resetting the session");
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Multiplex
+    }
+}
+
+impl Drop for MultiplexTransport {
+    fn drop(&mut self) {
+        let disconnect =
+            Envelope { session: self.session, seq: self.seq + 1, frame: vec![frame::DISCONNECT] };
+        if self.to_server.send(disconnect.encode()).is_ok() {
+            // Wait for the ack (or the channel closing) so the session id is free for
+            // reuse the moment this drop returns; best effort if the server is gone.
+            let _ = self.from_server.recv();
+        }
+        // A private server (if any) drops afterwards, joining its worker.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sectopk_crypto::keys::MasterKeys;
+    use sectopk_crypto::paillier::{generate_keypair, MIN_MODULUS_BITS};
+    use sectopk_crypto::pool::shard_seed;
+
+    use crate::transport::ChannelTransport;
+
+    fn master(seed: u64) -> MasterKeys {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MasterKeys::generate(MIN_MODULUS_BITS, 2, &mut rng).unwrap()
+    }
+
+    fn engine_for(master: &MasterKeys, engine_seed: u64) -> S2Engine {
+        let mut rng = StdRng::seed_from_u64(engine_seed ^ 0xABCD);
+        let (own_pk, _own_sk) = generate_keypair(MIN_MODULUS_BITS, &mut rng).unwrap();
+        S2Engine::new(master.s2_view(), own_pk, engine_seed)
+    }
+
+    fn compare_request(master: &MasterKeys, value: i64, rng: &mut StdRng) -> S1Request {
+        S1Request::Compare {
+            blinded: vec![master.paillier_public.encrypt_i64(value, rng).unwrap()],
+            context: "test".into(),
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips_and_rejects_truncation() {
+        let envelope =
+            Envelope { session: SessionId(77), seq: 12, frame: vec![frame::REQUEST, 1, 2, 3] };
+        let bytes = envelope.encode();
+        assert_eq!(bytes.len(), ENVELOPE_HEADER_LEN + 4);
+        assert_eq!(Envelope::decode(&bytes).unwrap(), envelope);
+        assert!(Envelope::decode(&bytes[..ENVELOPE_HEADER_LEN - 1]).is_err());
+        // An empty frame decodes (control noise); the worker just skips it.
+        let empty = Envelope { session: SessionId(1), seq: 0, frame: vec![] };
+        assert_eq!(Envelope::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn multiplexed_session_matches_dedicated_channel_transport() {
+        let master = master(21);
+        let server = MultiplexServer::new(2);
+        let mut mux =
+            server.connect(SessionId(5), engine_for(&master, 99), LinkProfile::ideal()).unwrap();
+        let mut channel = ChannelTransport::new(engine_for(&master, 99));
+
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let a = mux.round_trip(compare_request(&master, -4, &mut rng_a)).unwrap();
+        let b = channel.round_trip(compare_request(&master, -4, &mut rng_b)).unwrap();
+        assert_eq!(a, b, "same engine seed must answer identically");
+        assert_eq!(mux.metrics(), channel.metrics(), "metering must be transport-invariant");
+        assert_eq!(mux.s2_ledger().events(), channel.s2_ledger().events());
+        assert_eq!(mux.kind(), TransportKind::Multiplex);
+    }
+
+    #[test]
+    fn sessions_are_isolated_and_ledgers_do_not_bleed() {
+        let master = master(22);
+        let server = MultiplexServer::new(3);
+        let mut s1 = server
+            .connect(SessionId(1), engine_for(&master, shard_seed(7, 1)), LinkProfile::ideal())
+            .unwrap();
+        let mut s2 = server
+            .connect(SessionId(2), engine_for(&master, shard_seed(7, 2)), LinkProfile::ideal())
+            .unwrap();
+        assert_eq!(server.active_sessions(), 2);
+
+        let mut rng = StdRng::seed_from_u64(9);
+        s1.round_trip(compare_request(&master, 1, &mut rng)).unwrap();
+        s1.round_trip(compare_request(&master, -1, &mut rng)).unwrap();
+        s2.round_trip(compare_request(&master, 2, &mut rng)).unwrap();
+
+        assert_eq!(s1.s2_ledger().len(), 2, "session 1 observed its own two signs");
+        assert_eq!(s2.s2_ledger().len(), 1, "session 2 observed exactly its own sign");
+        assert_eq!(s1.metrics().rounds, 2);
+        assert_eq!(s2.metrics().rounds, 1);
+
+        // Resetting one session leaves the other's ledger intact.
+        s1.reset_s2();
+        assert!(s1.s2_ledger().is_empty());
+        assert_eq!(s2.s2_ledger().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_session_ids_are_rejected() {
+        let master = master(23);
+        let server = MultiplexServer::new(1);
+        let _first =
+            server.connect(SessionId(9), engine_for(&master, 1), LinkProfile::ideal()).unwrap();
+        let err =
+            server.connect(SessionId(9), engine_for(&master, 2), LinkProfile::ideal()).unwrap_err();
+        assert!(matches!(err, CryptoError::Protocol(_)));
+        assert_eq!(server.active_sessions(), 1);
+    }
+
+    #[test]
+    fn disconnect_frees_the_session_slot() {
+        let master = master(24);
+        let server = MultiplexServer::new(1);
+        {
+            let mut t =
+                server.connect(SessionId(4), engine_for(&master, 5), LinkProfile::ideal()).unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            t.round_trip(compare_request(&master, 3, &mut rng)).unwrap();
+            assert_eq!(server.active_sessions(), 1);
+        }
+        // Teardown is synchronous (the drop waits for the disconnect ack), so the id is
+        // immediately free for reuse.
+        assert_eq!(server.active_sessions(), 0);
+        let _t =
+            server.connect(SessionId(4), engine_for(&master, 6), LinkProfile::ideal()).unwrap();
+        assert_eq!(server.active_sessions(), 1);
+    }
+
+    #[test]
+    fn dropped_server_errors_cleanly() {
+        let master = master(25);
+        let server = MultiplexServer::new(2);
+        let mut t =
+            server.connect(SessionId(8), engine_for(&master, 5), LinkProfile::ideal()).unwrap();
+        drop(server);
+        let mut rng = StdRng::seed_from_u64(2);
+        let err = t.round_trip(compare_request(&master, 1, &mut rng)).unwrap_err();
+        assert!(matches!(err, CryptoError::Protocol(_)));
+    }
+
+    #[test]
+    fn private_server_backs_a_self_contained_transport() {
+        let master = master(26);
+        let mut t =
+            MultiplexTransport::private(engine_for(&master, 31), LinkProfile::ideal()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let response = t.round_trip(compare_request(&master, -2, &mut rng)).unwrap();
+        assert_eq!(response, S2Response::Signs(vec![-1]));
+        assert_eq!(t.metrics().rounds, 1);
+        assert!(!t.s2_ledger().is_empty());
+    }
+
+    #[test]
+    fn engine_errors_surface_without_killing_the_worker() {
+        let master = master(27);
+        let server = MultiplexServer::new(1);
+        let mut t =
+            server.connect(SessionId(3), engine_for(&master, 2), LinkProfile::ideal()).unwrap();
+        use crate::transport::EqWants;
+        let err = t
+            .round_trip(S1Request::EqAggregate { rows: 2, cols: 2, want: EqWants::none() })
+            .unwrap_err();
+        assert!(matches!(err, CryptoError::Protocol(_)));
+        // The single worker survived and still serves requests.
+        let mut rng = StdRng::seed_from_u64(5);
+        t.round_trip(compare_request(&master, 1, &mut rng)).unwrap();
+    }
+
+    #[test]
+    fn simulated_link_adds_wall_clock_but_not_traffic() {
+        let master = master(28);
+        let server = MultiplexServer::new(1);
+        let mut fast =
+            server.connect(SessionId(1), engine_for(&master, 9), LinkProfile::ideal()).unwrap();
+        let mut slow = server
+            .connect(SessionId(2), engine_for(&master, 9), LinkProfile::with_rtt_ms(30))
+            .unwrap();
+        let mut rng_a = StdRng::seed_from_u64(6);
+        let mut rng_b = StdRng::seed_from_u64(6);
+        fast.round_trip(compare_request(&master, 1, &mut rng_a)).unwrap();
+        let start = std::time::Instant::now();
+        slow.round_trip(compare_request(&master, 1, &mut rng_b)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(30), "RTT must cost wall-clock");
+        assert_eq!(fast.metrics(), slow.metrics(), "the simulated link must not alter metrics");
+    }
+}

@@ -116,7 +116,7 @@ impl EqWants {
 
 /// The aggregates S2 derived from an equality matrix; vectors are empty unless the
 /// corresponding [`EqWants`] flag was set.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct EqAggregates {
     /// `E2(∨_j t_ij)` per row.
     pub row_matched: Vec<LayeredCiphertext>,
@@ -131,7 +131,7 @@ pub struct EqAggregates {
 /// The `SecDedup` / `SecDupElim` exchange payload (Algorithm 7 / §10.1): the blinded,
 /// permuted items, their blinding randomness encrypted under S1's own key `pk'`, and the
 /// pairwise equality matrix over the permuted positions.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DedupRequest {
     /// Blinded items in permuted order.
     pub items: Vec<ScoredItem>,
@@ -152,7 +152,7 @@ pub struct DedupRequest {
 /// One blinded tuple of the `SecFilter` exchange (Algorithm 12).  On the way out the
 /// unblinders are S1's (`Enc_pk'(r⁻¹)`, `Enc_pk'(R_l)`); on the way back they are the
 /// homomorphically updated versions after S2's re-blinding.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FilterTuple {
     /// Multiplicatively blinded score `Enc(r · b · score)`.
     pub score: Ciphertext,
@@ -172,7 +172,7 @@ impl FilterTuple {
 
 /// A typed request from the primary cloud S1 to the crypto cloud S2.  One request and
 /// its [`S2Response`] form one protocol round trip.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum S1Request {
     /// One `⊖` equality ciphertext — the *unbatched* form of the equality exchange.
     /// S2 decrypts it and, depending on the flags, replies `E2(t)` and/or remembers the
@@ -271,7 +271,7 @@ impl S1Request {
 
 /// A typed response from the crypto cloud S2, positionally matching the [`S1Request`]
 /// kind that solicited it.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum S2Response {
     /// Reply to [`S1Request::EqTest`]: the outer-layer encrypted bit `E2(t)`.
     EqBit(LayeredCiphertext),
@@ -354,16 +354,24 @@ pub enum TransportKind {
     InProcess,
     /// S2 runs on its own thread; messages are serialized over an `mpsc` byte channel.
     Channel,
+    /// S2 is a session-multiplexing worker pool ([`crate::multiplex::MultiplexServer`]);
+    /// messages travel in [`crate::multiplex::Envelope`]-framed bytes tagged with a
+    /// session id.  When selected here (rather than by connecting to an explicit
+    /// server), each `TwoClouds` spins up a private single-worker server, so the whole
+    /// test suite can run over the multiplexed path via `SECTOPK_TRANSPORT=multiplex`.
+    Multiplex,
 }
 
-/// Environment variable selecting the default transport (`"channel"` or `"inprocess"`).
+/// Environment variable selecting the default transport (`"channel"`/`"thread"`,
+/// `"multiplex"`/`"mux"`, or anything else — including unset — for in-process).
 pub const TRANSPORT_ENV: &str = "SECTOPK_TRANSPORT";
 
 impl TransportKind {
     /// The transport selected by the `SECTOPK_TRANSPORT` environment variable
-    /// (`"channel"` / `"thread"` ⇒ [`TransportKind::Channel`]; anything else, including
-    /// unset, ⇒ [`TransportKind::InProcess`]).  Lets the CI matrix run the whole test
-    /// suite over the threaded path without code changes.
+    /// (`"channel"` / `"thread"` ⇒ [`TransportKind::Channel`], `"multiplex"` / `"mux"`
+    /// ⇒ [`TransportKind::Multiplex`]; anything else, including unset, ⇒
+    /// [`TransportKind::InProcess`]).  Lets the CI matrix run the whole test suite over
+    /// the threaded and multiplexed paths without code changes.
     pub fn from_env() -> Self {
         Self::parse(std::env::var(TRANSPORT_ENV).ok().as_deref())
     }
@@ -374,6 +382,9 @@ impl TransportKind {
         match value {
             Some(v) if v.eq_ignore_ascii_case("channel") || v.eq_ignore_ascii_case("thread") => {
                 TransportKind::Channel
+            }
+            Some(v) if v.eq_ignore_ascii_case("multiplex") || v.eq_ignore_ascii_case("mux") => {
+                TransportKind::Multiplex
             }
             _ => TransportKind::InProcess,
         }
@@ -406,7 +417,9 @@ pub trait Transport: fmt::Debug + Send {
     fn kind(&self) -> TransportKind;
 }
 
-fn response_or_error(response: S2Response) -> Result<S2Response> {
+/// Surface an `S2Response::Error` as the transport-level protocol error every
+/// implementation maps it to.
+pub(crate) fn response_or_error(response: S2Response) -> Result<S2Response> {
     match response {
         S2Response::Error(message) => Err(CryptoError::Protocol(message)),
         other => Ok(other),
@@ -487,21 +500,29 @@ impl Transport for InProcessTransport {
 // ====================================================================================
 
 /// Frame tags of the byte channel (one leading tag byte, then the wire-encoded payload).
-mod frame {
+/// Shared with the session-multiplexing transport (`crate::multiplex`), whose envelopes
+/// carry exactly these frames prefixed by a session id.
+pub(crate) mod frame {
     /// S1 → S2: a protocol request (payload: [`super::S1Request`]).
     pub const REQUEST: u8 = 0;
     /// S1 → S2: fetch S2's ledger snapshot (control plane, unmetered).
     pub const FETCH_LEDGER: u8 = 1;
     /// S1 → S2: clear S2's ledger and session state (control plane, unmetered).
     pub const RESET: u8 = 2;
-    /// S1 → S2: terminate the S2 thread.
+    /// S1 → S2: terminate the S2 thread (multiplex: one worker of the pool).
     pub const SHUTDOWN: u8 = 3;
+    /// S1 → S2 (multiplex only): close one session, dropping its server-side state.
+    pub const DISCONNECT: u8 = 4;
     /// S2 → S1: a protocol response (payload: [`super::S2Response`]).
     pub const RESPONSE: u8 = 16;
     /// S2 → S1: the requested ledger snapshot.
     pub const LEDGER: u8 = 17;
     /// S2 → S1: acknowledgement of a reset.
     pub const RESET_DONE: u8 = 18;
+    /// S2 → S1 (multiplex only): acknowledgement of a session disconnect.  Makes
+    /// teardown synchronous, so a session id can be reused the moment its previous
+    /// owner is dropped.
+    pub const DISCONNECT_DONE: u8 = 19;
 }
 
 /// The threaded transport: S2's engine runs on a dedicated thread with no shared state;
@@ -566,7 +587,9 @@ impl ChannelTransport {
     }
 }
 
-fn framed<T: Serialize>(tag: u8, payload: &T) -> Vec<u8> {
+/// Prefix the wire encoding of `payload` with a frame tag byte (shared with the
+/// multiplexed transport, whose envelopes carry exactly these frames).
+pub(crate) fn framed<T: Serialize>(tag: u8, payload: &T) -> Vec<u8> {
     let body = wire::to_bytes(payload);
     let mut out = Vec::with_capacity(1 + body.len());
     out.push(tag);
@@ -732,6 +755,8 @@ mod tests {
         assert_eq!(TransportKind::parse(Some("channel")), TransportKind::Channel);
         assert_eq!(TransportKind::parse(Some("CHANNEL")), TransportKind::Channel);
         assert_eq!(TransportKind::parse(Some("thread")), TransportKind::Channel);
+        assert_eq!(TransportKind::parse(Some("multiplex")), TransportKind::Multiplex);
+        assert_eq!(TransportKind::parse(Some("MUX")), TransportKind::Multiplex);
         assert_eq!(TransportKind::parse(Some("inprocess")), TransportKind::InProcess);
         assert_eq!(TransportKind::parse(Some("garbage")), TransportKind::InProcess);
         assert_eq!(TransportKind::parse(None), TransportKind::InProcess);

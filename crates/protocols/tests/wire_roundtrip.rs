@@ -1,0 +1,262 @@
+//! Wire-codec conformance fuzzing: `decode(encode(m)) == m` for *every*
+//! [`S1Request`] / [`S2Response`] variant, including `Batch` nesting and empty-payload
+//! edge cases, with `encoded_len` always agreeing with the actual encoding.
+//!
+//! The protocol messages are the entire S1 ↔ S2 attack/fault surface: a lossy or
+//! ambiguous codec would silently desynchronize the clouds (or leak through framing
+//! differences between transports, which meter these exact bytes).  The generators
+//! below build structurally random messages around random group elements — not just
+//! well-formed encryptions — so the codec is exercised on every byte length and shape.
+
+use proptest::proptest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use num_bigint::BigUint;
+use sectopk_crypto::damgard_jurik::LayeredCiphertext;
+use sectopk_crypto::paillier::Ciphertext;
+use sectopk_ehl::EhlPlus;
+use sectopk_protocols::transport::{DedupRequest, EqAggregates, EqWants, FilterTuple};
+use sectopk_protocols::wire::{encoded_len, from_bytes, to_bytes};
+use sectopk_protocols::{EncryptedBlinding, S1Request, S2Response, ScoredItem};
+
+fn rand_biguint(rng: &mut StdRng) -> BigUint {
+    // 0 to ~33 bytes: covers the empty encoding, single limbs, and multi-limb values.
+    let len = rng.gen_range(0usize..34);
+    let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+    BigUint::from_bytes_be(&bytes)
+}
+
+fn rand_ciphertext(rng: &mut StdRng) -> Ciphertext {
+    Ciphertext::from_bytes_be(&rand_biguint(rng).to_bytes_be())
+}
+
+fn rand_layered(rng: &mut StdRng) -> LayeredCiphertext {
+    LayeredCiphertext::from_bytes_be(&rand_biguint(rng).to_bytes_be())
+}
+
+fn rand_ciphertexts(rng: &mut StdRng, max: usize) -> Vec<Ciphertext> {
+    let n = rng.gen_range(0..=max);
+    (0..n).map(|_| rand_ciphertext(rng)).collect()
+}
+
+fn rand_layereds(rng: &mut StdRng, max: usize) -> Vec<LayeredCiphertext> {
+    let n = rng.gen_range(0..=max);
+    (0..n).map(|_| rand_layered(rng)).collect()
+}
+
+fn rand_context(rng: &mut StdRng) -> String {
+    // Includes the empty string and non-ASCII payloads.
+    let choices = ["", "sec_worst", "sec_dedup", "enc_sort", "⊖-équalité"];
+    choices[rng.gen_range(0..choices.len())].to_string()
+}
+
+fn rand_wants(rng: &mut StdRng) -> EqWants {
+    EqWants {
+        row_matched: rng.gen(),
+        row_unmatched: rng.gen(),
+        col_unmatched: rng.gen(),
+        row_matched_plain: rng.gen(),
+    }
+}
+
+fn rand_item(rng: &mut StdRng) -> ScoredItem {
+    // EHL+ requires at least one block.
+    let blocks = (0..rng.gen_range(1usize..4)).map(|_| rand_ciphertext(rng)).collect();
+    ScoredItem {
+        ehl: EhlPlus::from_blocks(blocks),
+        worst: rand_ciphertext(rng),
+        best: rand_ciphertext(rng),
+    }
+}
+
+fn rand_blinding(rng: &mut StdRng) -> EncryptedBlinding {
+    EncryptedBlinding {
+        alphas: rand_ciphertexts(rng, 3),
+        beta: rand_ciphertext(rng),
+        gamma: rand_ciphertext(rng),
+    }
+}
+
+fn rand_filter_tuple(rng: &mut StdRng) -> FilterTuple {
+    let n = rng.gen_range(0usize..3);
+    FilterTuple {
+        score: rand_ciphertext(rng),
+        attributes: (0..n).map(|_| rand_ciphertext(rng)).collect(),
+        score_unblinder: rand_ciphertext(rng),
+        attribute_masks: (0..n).map(|_| rand_ciphertext(rng)).collect(),
+    }
+}
+
+/// One random non-`Batch` request per variant index (8 leaf variants).
+fn rand_leaf_request(variant: usize, rng: &mut StdRng) -> S1Request {
+    match variant {
+        0 => S1Request::EqTest {
+            diff: rand_ciphertext(rng),
+            context: rand_context(rng),
+            depth: if rng.gen() { Some(rng.gen_range(0..1000)) } else { None },
+            accumulate: rng.gen(),
+            reply_bit: rng.gen(),
+        },
+        1 => {
+            let cols = rng.gen_range(1usize..4);
+            let rows = rng.gen_range(0usize..4);
+            S1Request::EqMatrix {
+                diffs: (0..rows * cols).map(|_| rand_ciphertext(rng)).collect(),
+                cols,
+                context: rand_context(rng),
+                depth: if rng.gen() { Some(rng.gen_range(0..1000)) } else { None },
+                want: rand_wants(rng),
+            }
+        }
+        2 => S1Request::EqAggregate {
+            rows: rng.gen_range(0..100),
+            cols: rng.gen_range(0..100),
+            want: rand_wants(rng),
+        },
+        3 => S1Request::Compare { blinded: rand_ciphertexts(rng, 4), context: rand_context(rng) },
+        4 => S1Request::Recover { blinded: rand_layereds(rng, 4) },
+        5 => {
+            let l = rng.gen_range(0usize..3);
+            let pairs: Vec<(usize, usize)> =
+                (0..l).flat_map(|a| ((a + 1)..l).map(move |b| (a, b))).collect();
+            S1Request::Dedup(DedupRequest {
+                items: (0..l).map(|_| rand_item(rng)).collect(),
+                blindings: (0..l).map(|_| rand_blinding(rng)).collect(),
+                matrix: if rng.gen() {
+                    Some((0..pairs.len()).map(|_| rand_ciphertext(rng)).collect())
+                } else {
+                    None
+                },
+                pair_indices: pairs,
+                eliminate: rng.gen(),
+                depth: rng.gen_range(0..100),
+            })
+        }
+        6 => S1Request::Filter {
+            tuples: (0..rng.gen_range(0usize..3)).map(|_| rand_filter_tuple(rng)).collect(),
+        },
+        _ => S1Request::MulBlinded {
+            pairs: (0..rng.gen_range(0usize..4))
+                .map(|_| (rand_ciphertext(rng), rand_ciphertext(rng)))
+                .collect(),
+        },
+    }
+}
+
+/// One random non-`Batch` response per variant index (9 leaf variants).
+fn rand_leaf_response(variant: usize, rng: &mut StdRng) -> S2Response {
+    match variant {
+        0 => S2Response::EqBit(rand_layered(rng)),
+        1 => S2Response::Ack,
+        2 => S2Response::EqBits { bits: rand_layereds(rng, 4), aggregates: rand_aggregates(rng) },
+        3 => S2Response::EqAggregates(rand_aggregates(rng)),
+        4 => S2Response::Signs(
+            (0..rng.gen_range(0usize..6)).map(|_| rng.gen_range(-1i8..=1)).collect(),
+        ),
+        5 => S2Response::Recovered(rand_ciphertexts(rng, 4)),
+        6 => {
+            let l = rng.gen_range(0usize..3);
+            S2Response::Dedup {
+                items: (0..l).map(|_| rand_item(rng)).collect(),
+                blindings: (0..l).map(|_| rand_blinding(rng)).collect(),
+            }
+        }
+        7 => S2Response::Filter {
+            survivors: (0..rng.gen_range(0usize..3)).map(|_| rand_filter_tuple(rng)).collect(),
+        },
+        _ => S2Response::Products(rand_ciphertexts(rng, 4)),
+    }
+}
+
+fn rand_aggregates(rng: &mut StdRng) -> EqAggregates {
+    EqAggregates {
+        row_matched: rand_layereds(rng, 3),
+        row_unmatched: rand_layereds(rng, 3),
+        col_unmatched: rand_layereds(rng, 3),
+        row_matched_plain: (0..rng.gen_range(0usize..4)).map(|_| rng.gen()).collect(),
+    }
+}
+
+/// Encode, check the length oracle, decode, compare, re-encode, compare bytes.
+fn assert_request_round_trips(request: &S1Request) {
+    let bytes = to_bytes(request);
+    assert_eq!(bytes.len(), encoded_len(request), "encoded_len must match: {request:?}");
+    let back: S1Request = from_bytes(&bytes).expect("decode S1Request");
+    assert_eq!(&back, request, "request round trip must be lossless");
+    assert_eq!(to_bytes(&back), bytes, "re-encoding must be canonical");
+}
+
+fn assert_response_round_trips(response: &S2Response) {
+    let bytes = to_bytes(response);
+    assert_eq!(bytes.len(), encoded_len(response), "encoded_len must match: {response:?}");
+    let back: S2Response = from_bytes(&bytes).expect("decode S2Response");
+    assert_eq!(&back, response, "response round trip must be lossless");
+    assert_eq!(to_bytes(&back), bytes, "re-encoding must be canonical");
+}
+
+proptest! {
+    #[test]
+    fn every_request_variant_round_trips(seed in 0u64..500, variant in 0usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(8).wrapping_add(variant as u64));
+        let request = rand_leaf_request(variant, &mut rng);
+        assert_request_round_trips(&request);
+    }
+
+    #[test]
+    fn every_response_variant_round_trips(seed in 0u64..500, variant in 0usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(9).wrapping_add(variant as u64));
+        let response = rand_leaf_response(variant, &mut rng);
+        assert_response_round_trips(&response);
+    }
+
+    #[test]
+    fn batches_of_random_requests_round_trip(seed in 0u64..200, len in 0usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xBA7C4));
+        let batch = S1Request::Batch(
+            (0..len).map(|_| rand_leaf_request(rng.gen_range(0..8), &mut rng)).collect(),
+        );
+        assert_request_round_trips(&batch);
+        let reply = S2Response::Batch(
+            (0..len).map(|_| rand_leaf_response(rng.gen_range(0..9), &mut rng)).collect(),
+        );
+        assert_response_round_trips(&reply);
+    }
+}
+
+#[test]
+fn empty_payload_edge_cases_round_trip() {
+    // The degenerate shapes protocol code can legitimately produce at boundary depths.
+    assert_request_round_trips(&S1Request::Batch(Vec::new()));
+    assert_request_round_trips(&S1Request::Compare { blinded: Vec::new(), context: String::new() });
+    assert_request_round_trips(&S1Request::Recover { blinded: Vec::new() });
+    assert_request_round_trips(&S1Request::Filter { tuples: Vec::new() });
+    assert_request_round_trips(&S1Request::MulBlinded { pairs: Vec::new() });
+    assert_request_round_trips(&S1Request::Dedup(DedupRequest {
+        items: Vec::new(),
+        blindings: Vec::new(),
+        pair_indices: Vec::new(),
+        matrix: Some(Vec::new()),
+        eliminate: false,
+        depth: 0,
+    }));
+    assert_response_round_trips(&S2Response::Batch(Vec::new()));
+    assert_response_round_trips(&S2Response::Ack);
+    assert_response_round_trips(&S2Response::Signs(Vec::new()));
+    assert_response_round_trips(&S2Response::Error(String::new()));
+    assert_response_round_trips(&S2Response::EqBits {
+        bits: Vec::new(),
+        aggregates: EqAggregates::default(),
+    });
+    // A zero-byte group element (BigUint zero) must survive the byte-string encoding.
+    let zero = Ciphertext::from_bytes_be(&[]);
+    assert_request_round_trips(&S1Request::Recover { blinded: Vec::new() });
+    assert_request_round_trips(&S1Request::Compare { blinded: vec![zero], context: "zero".into() });
+}
+
+#[test]
+fn error_responses_round_trip_with_arbitrary_text() {
+    for text in ["", "plain", "multi\nline", "非 ASCII ✓"] {
+        assert_response_round_trips(&S2Response::Error(text.to_string()));
+    }
+}

@@ -1,0 +1,313 @@
+//! # sectopk-server
+//!
+//! Multi-session top-k query serving: the paper's two-cloud construction run as a
+//! *service* instead of a single-shot protocol.
+//!
+//! A [`QueryServer`] owns the outsourced encrypted relation and a shared
+//! [`MultiplexServer`] — the crypto cloud S2 as a worker-thread pool.  Every client
+//! session is one [`QueryClient`]: an S1-side execution context connected to the shared
+//! S2 over the session-tagged envelope channel, running `sec_query` for a stream of
+//! [`TopKQuery`]s and keeping its own [`ChannelMetrics`] and per-party
+//! [`LeakageLedger`]s.
+//!
+//! ```text
+//!   client 1 ── TopKQuery stream ──▶ QueryClient 1 (S1 state, session 1) ──┐
+//!   client 2 ── TopKQuery stream ──▶ QueryClient 2 (S1 state, session 2) ──┤ envelopes
+//!      …                                   …                               ├──────────▶ S2
+//!   client N ── TopKQuery stream ──▶ QueryClient N (S1 state, session N) ──┘ worker pool
+//! ```
+//!
+//! # Determinism guarantees
+//!
+//! Session *i* derives every random choice (S1 RNG, nonce-pool shards, the session's
+//! S2 engine) from `shard_seed(base_seed, i)`, and all server-side mutable state is
+//! per-session.  Consequently [`QueryServer::serve`] (all sessions concurrently, S2
+//! worker pool) and [`QueryServer::serve_serial`] (same sessions one after another)
+//! produce **byte-identical** per-session results, metrics and ledgers — scheduling
+//! and interleaving are unobservable.  `tests/concurrent_sessions.rs` asserts this for
+//! 16 concurrent sessions.
+//!
+//! # Knobs
+//!
+//! [`ServeConfig`] controls the serving shape: `sessions` (concurrent S1 clients),
+//! `batching` (round-trip batching policy), `link` (simulated inter-cloud RTT — the
+//! §11.2.5 WAN), and the query-processing variant; the S2 pool width is set at
+//! [`QueryServer::new`].  The `throughput` bench sweeps `sessions` ∈ {1, 4, 8, 16}
+//! over a latency-bound link and records `BENCH_throughput.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sectopk_core::{sec_query, AuthorizedClient, QueryConfig, QueryOutcome};
+use sectopk_crypto::keys::MasterKeys;
+use sectopk_crypto::pool::shard_seed;
+use sectopk_crypto::{CryptoError, Result};
+use sectopk_datasets::QueryWorkload;
+use sectopk_protocols::{
+    ChannelMetrics, LeakageLedger, LinkProfile, MultiplexServer, SessionId, TwoClouds,
+};
+use sectopk_storage::{EncryptedRelation, TopKQuery};
+
+/// Shape of one serving run: how many concurrent sessions and how each query executes.
+/// (The S2 worker-pool width is a property of the [`QueryServer`] itself, set at
+/// construction.)
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Number of concurrent S1 sessions (client connections).
+    pub sessions: usize,
+    /// Round-trip batching policy for every session (see `TwoClouds::batching`).
+    pub batching: bool,
+    /// Query-processing variant and depth cap.
+    pub query: QueryConfig,
+    /// Base seed; session `i` runs under `shard_seed(base_seed, i)`.
+    pub base_seed: u64,
+    /// Simulated inter-cloud link (ideal by default; a nonzero RTT models the WAN).
+    pub link: LinkProfile,
+}
+
+impl ServeConfig {
+    /// A serving configuration with `sessions` concurrent sessions, batching on, the
+    /// full-privacy query variant, and an ideal link.
+    pub fn new(sessions: usize, base_seed: u64) -> Self {
+        ServeConfig {
+            sessions,
+            batching: true,
+            query: QueryConfig::full(),
+            base_seed,
+            link: LinkProfile::ideal(),
+        }
+    }
+
+    /// Replace the simulated link profile.
+    pub fn with_link(mut self, link: LinkProfile) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Replace the query configuration.
+    pub fn with_query(mut self, query: QueryConfig) -> Self {
+        self.query = query;
+        self
+    }
+}
+
+/// Everything one session observed and produced over its lifetime.
+#[derive(Debug)]
+pub struct SessionReport {
+    /// The session's id.
+    pub session: SessionId,
+    /// The session's derived seed (for replaying it in isolation).
+    pub seed: u64,
+    /// One outcome per executed query, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// The session's cumulative channel traffic.
+    pub metrics: ChannelMetrics,
+    /// Everything this session's S1 observed.
+    pub s1_ledger: LeakageLedger,
+    /// Everything this session's S2 engine observed (isolated per session).
+    pub s2_ledger: LeakageLedger,
+}
+
+/// The result of serving one workload: per-session reports plus aggregate timing.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-session reports, ordered by session id.
+    pub sessions: Vec<SessionReport>,
+    /// Total number of queries executed across all sessions.
+    pub queries: usize,
+    /// Wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+}
+
+impl ServeReport {
+    /// Aggregate throughput in queries per second.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.queries as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One S1 serving session: a [`TwoClouds`] context connected to the shared S2 pool,
+/// executing a stream of queries and accumulating its own metrics and ledgers.
+#[derive(Debug)]
+pub struct QueryClient {
+    session: SessionId,
+    seed: u64,
+    clouds: TwoClouds,
+    er: Arc<EncryptedRelation>,
+    auth: AuthorizedClient,
+    outcomes: Vec<QueryOutcome>,
+}
+
+impl QueryClient {
+    /// Execute one top-k query on this session and return its outcome (also appended
+    /// to the session's report).  Tokens are generated with the authorized client's key
+    /// material, exactly as a real client would submit them.
+    pub fn run(&mut self, query: &TopKQuery, config: &QueryConfig) -> Result<&QueryOutcome> {
+        let token =
+            self.auth.token(self.er.num_attributes(), query).map_err(CryptoError::Protocol)?;
+        let outcome = sec_query(&mut self.clouds, &self.er, &token, config)?;
+        self.outcomes.push(outcome);
+        Ok(self.outcomes.last().expect("just pushed"))
+    }
+
+    /// The session this client speaks for.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// The session's cumulative channel traffic so far.
+    pub fn metrics(&self) -> ChannelMetrics {
+        self.clouds.channel()
+    }
+
+    /// Close the session and collect its report (metrics, both ledgers, all outcomes).
+    pub fn finish(self) -> SessionReport {
+        let metrics = self.clouds.channel();
+        let s1_ledger = self.clouds.s1_ledger().clone();
+        let s2_ledger = self.clouds.s2_ledger();
+        SessionReport {
+            session: self.session,
+            seed: self.seed,
+            outcomes: self.outcomes,
+            metrics,
+            s1_ledger,
+            s2_ledger,
+        }
+    }
+}
+
+/// The serving front door: the encrypted relation plus the shared S2 worker pool, from
+/// which any number of client sessions can be opened.
+#[derive(Debug)]
+pub struct QueryServer {
+    master: MasterKeys,
+    er: Arc<EncryptedRelation>,
+    s2: MultiplexServer,
+}
+
+impl QueryServer {
+    /// Stand up a server around an already-encrypted relation with `s2_workers` S2
+    /// worker threads.  The master keys play both owner roles: S1 views are handed to
+    /// each session, S2 views to each session's engine (Figure 1 of the paper).
+    pub fn new(master: &MasterKeys, er: EncryptedRelation, s2_workers: usize) -> Self {
+        QueryServer {
+            master: master.clone(),
+            er: Arc::new(er),
+            s2: MultiplexServer::new(s2_workers),
+        }
+    }
+
+    /// The encrypted relation being served.
+    pub fn relation(&self) -> &EncryptedRelation {
+        &self.er
+    }
+
+    /// Number of S2 worker threads.
+    pub fn s2_workers(&self) -> usize {
+        self.s2.workers()
+    }
+
+    /// Open session `session` with an explicit seed (used by the determinism tests to
+    /// replay one session in isolation).
+    pub fn open_session(
+        &self,
+        session: SessionId,
+        seed: u64,
+        batching: bool,
+        link: LinkProfile,
+    ) -> Result<QueryClient> {
+        let clouds = TwoClouds::connect(&self.master, seed, batching, &self.s2, session, link)?;
+        Ok(QueryClient {
+            session,
+            seed,
+            clouds,
+            er: Arc::clone(&self.er),
+            auth: AuthorizedClient::from_keys(self.master.clone()),
+            outcomes: Vec::new(),
+        })
+    }
+
+    /// Open session `i` of a serving run configured by `config` (seed =
+    /// `shard_seed(base_seed, i)`).
+    pub fn open_configured(&self, i: u64, config: &ServeConfig) -> Result<QueryClient> {
+        self.open_session(
+            SessionId(i),
+            shard_seed(config.base_seed, i),
+            config.batching,
+            config.link,
+        )
+    }
+
+    /// The whole lifetime of serving session `i`: open, run its query stream, report.
+    /// Both [`QueryServer::serve`] and [`QueryServer::serve_serial`] execute exactly
+    /// this — which is what makes the serial run a faithful determinism oracle for the
+    /// concurrent one.
+    fn run_session(
+        &self,
+        i: usize,
+        queries: &[TopKQuery],
+        config: &ServeConfig,
+    ) -> Result<SessionReport> {
+        let mut client = self.open_configured(i as u64 + 1, config)?;
+        for query in queries {
+            client.run(query, &config.query)?;
+        }
+        Ok(client.finish())
+    }
+
+    /// Serve `workload` with `config.sessions` concurrent sessions: queries are dealt
+    /// round-robin ([`QueryWorkload::partition`]), each session runs its stream on its
+    /// own thread against the shared S2 pool, and the per-session reports come back in
+    /// session order.
+    pub fn serve(&self, workload: &QueryWorkload, config: &ServeConfig) -> Result<ServeReport> {
+        let partitions = workload.partition(config.sessions.max(1));
+        let start = Instant::now();
+        let mut reports: Vec<SessionReport> = Vec::with_capacity(partitions.len());
+        std::thread::scope(|scope| -> Result<()> {
+            let handles: Vec<_> = partitions
+                .iter()
+                .enumerate()
+                .map(|(i, queries)| scope.spawn(move || self.run_session(i, queries, config)))
+                .collect();
+            for handle in handles {
+                reports.push(handle.join().expect("session thread panicked")?);
+            }
+            Ok(())
+        })?;
+        Ok(ServeReport {
+            sessions: reports,
+            queries: workload.queries.len(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The serial reference execution: the same sessions, seeds and query streams as
+    /// [`QueryServer::serve`], but run one session after another.  Produces
+    /// byte-identical per-session reports — the determinism oracle for the concurrency
+    /// tests, and the 1-way baseline for the throughput bench.
+    pub fn serve_serial(
+        &self,
+        workload: &QueryWorkload,
+        config: &ServeConfig,
+    ) -> Result<ServeReport> {
+        let partitions = workload.partition(config.sessions.max(1));
+        let start = Instant::now();
+        let reports = partitions
+            .iter()
+            .enumerate()
+            .map(|(i, queries)| self.run_session(i, queries, config))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ServeReport {
+            sessions: reports,
+            queries: workload.queries.len(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+}

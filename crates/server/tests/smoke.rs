@@ -1,0 +1,42 @@
+//! Fast standalone smoke test: stand up a query server around a tiny encrypted
+//! relation and serve a 4-query workload over 2 concurrent sessions.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_core::DataOwner;
+use sectopk_datasets::{QueryWorkload, WorkloadSpec};
+use sectopk_server::{QueryServer, ServeConfig};
+use sectopk_storage::{ObjectId, Relation, Row};
+
+#[test]
+fn serve_a_small_workload_over_two_sessions() {
+    let mut rng = StdRng::seed_from_u64(0x5E);
+    let owner = DataOwner::new(128, 2, &mut rng).expect("keygen");
+    let relation = Relation::from_rows(vec![
+        Row { id: ObjectId(1), values: vec![9, 1] },
+        Row { id: ObjectId(2), values: vec![4, 6] },
+        Row { id: ObjectId(3), values: vec![2, 2] },
+    ]);
+    let (er, _) = owner.encrypt(&relation, &mut rng).expect("encryption");
+
+    let spec = WorkloadSpec { queries: 4, m_range: (1, 2), k_range: (1, 2) };
+    let workload = QueryWorkload::generate(&spec, relation.num_attributes(), 11);
+
+    let server = QueryServer::new(owner.keys(), er, 2);
+    let report = server.serve(&workload, &ServeConfig::new(2, 0xFEED)).expect("serve");
+
+    assert_eq!(report.queries, 4);
+    assert_eq!(report.sessions.len(), 2);
+    for session in &report.sessions {
+        assert_eq!(session.outcomes.len(), 2, "round-robin deal: two queries each");
+        assert!(session.metrics.rounds > 0);
+        assert!(!session.s2_ledger.is_empty(), "each session's S2 view is populated");
+        for outcome in &session.outcomes {
+            assert!(!outcome.top_k.is_empty());
+        }
+    }
+    assert!(report.throughput_qps() > 0.0);
+    assert_eq!(server.s2_workers(), 2);
+    assert_eq!(server.relation().num_attributes(), 2);
+}

@@ -1,0 +1,116 @@
+//! Golden leakage-ledger regression tests.
+//!
+//! The leakage profile is a *security contract* (Theorem 9.2): what each cloud observes
+//! during a query is exactly the leakage function's output, nothing more.  The
+//! `leakage_profiles` suite checks the recorded views against the allowed event kinds;
+//! this suite pins the **entire fixed-seed event stream** — kinds, contexts, depths,
+//! bit values, order — as committed JSON snapshots, so any change to what the protocols
+//! reveal (a new event, a reordered exchange, an extra equality bit) fails loudly in
+//! review instead of slipping in silently.
+//!
+//! To re-bless after an *intentional* leakage-profile change:
+//!
+//! ```text
+//! SECTOPK_BLESS=1 cargo test --release --test leakage_golden
+//! ```
+//!
+//! and audit the diff of `tests/golden/*.json` like any other security-relevant change.
+//! The snapshots are transport-invariant (asserted by `transport_equivalence`), so the
+//! same goldens hold on the in-process, channel and multiplex paths.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use sectopk_core::{
+    encrypt_for_join, join_token, sec_query, top_k_join, DataOwner, JoinQuery, QueryConfig,
+};
+use sectopk_datasets::fig3_relation;
+use sectopk_protocols::{LeakageLedger, TransportKind, TwoClouds};
+use sectopk_storage::{ObjectId, Relation, Row, TopKQuery};
+use sectopk_tests::{TEST_EHL_KEYS, TEST_MODULUS_BITS};
+
+/// The committed shape: both parties' full event streams for one fixed-seed execution.
+#[derive(Serialize)]
+struct GoldenLedgers {
+    s1: LeakageLedger,
+    s2: LeakageLedger,
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compare the serialized ledgers against the committed snapshot, or rewrite it when
+/// `SECTOPK_BLESS` is set.
+fn check_golden(name: &str, ledgers: &GoldenLedgers) {
+    let rendered = serde_json::to_string_pretty(ledgers).expect("serialize ledgers") + "\n";
+    let path = golden_path(name);
+    if std::env::var("SECTOPK_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with SECTOPK_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        committed, rendered,
+        "leakage ledger for {name} diverged from the committed snapshot — if this \
+         change is intentional, re-bless with SECTOPK_BLESS=1 and audit the diff"
+    );
+}
+
+#[test]
+fn full_query_ledgers_match_golden_snapshot() {
+    let mut rng = StdRng::seed_from_u64(0x601D);
+    let owner = DataOwner::new(TEST_MODULUS_BITS, TEST_EHL_KEYS, &mut rng).expect("keygen");
+    let relation = fig3_relation();
+    let (er, _) = owner.encrypt(&relation, &mut rng).expect("encryption");
+    let token = owner.authorize_client().token(3, &TopKQuery::sum(vec![0, 1, 2], 2)).unwrap();
+    // Pinned to the in-process transport so the test is independent of the CI
+    // transport matrix; the goldens hold for all transports by equivalence.
+    let mut clouds =
+        TwoClouds::with_transport(owner.keys(), 0x601D_BEEF, TransportKind::InProcess, true)
+            .expect("cloud setup");
+    sec_query(&mut clouds, &er, &token, &QueryConfig::full()).expect("query");
+    check_golden(
+        "ledger_full_query.json",
+        &GoldenLedgers { s1: clouds.s1_ledger().clone(), s2: clouds.s2_ledger() },
+    );
+}
+
+#[test]
+fn join_ledgers_match_golden_snapshot() {
+    let mut rng = StdRng::seed_from_u64(0x601E);
+    let owner = DataOwner::new(TEST_MODULUS_BITS, TEST_EHL_KEYS, &mut rng).expect("keygen");
+    let keys = owner.keys();
+    let left = Relation::new(
+        vec!["A".into(), "C".into()],
+        vec![
+            Row { id: ObjectId(1), values: vec![1, 10] },
+            Row { id: ObjectId(2), values: vec![2, 20] },
+        ],
+    );
+    let right = Relation::new(
+        vec!["B".into(), "D".into()],
+        vec![
+            Row { id: ObjectId(1), values: vec![2, 5] },
+            Row { id: ObjectId(2), values: vec![9, 7] },
+        ],
+    );
+    let enc_left = encrypt_for_join(&left, keys, "join/left", &mut rng).unwrap();
+    let enc_right = encrypt_for_join(&right, keys, "join/right", &mut rng).unwrap();
+    let query = JoinQuery { join_left: 0, join_right: 0, score_left: 1, score_right: 1, k: 2 };
+    let token = join_token(keys, 2, 2, &query, &[1], &[1]).unwrap();
+    let mut clouds =
+        TwoClouds::with_transport(keys, 0x601E_CAFE, TransportKind::InProcess, true).unwrap();
+    top_k_join(&mut clouds, &enc_left, &enc_right, &token).unwrap();
+    check_golden(
+        "ledger_join.json",
+        &GoldenLedgers { s1: clouds.s1_ledger().clone(), s2: clouds.s2_ledger() },
+    );
+}

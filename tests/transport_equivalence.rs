@@ -1,17 +1,27 @@
-//! The two transport implementations must be observationally identical: for a fixed
-//! seed, running the same workload over `InProcessTransport` and `ChannelTransport`
-//! (S2 on its own thread, every message serialized through the binary wire codec) must
-//! produce **byte-identical** query results, identical leakage ledgers on both sides,
-//! and identical channel metrics.  Any divergence means the wire format is lossy or S2
-//! state leaked around the message boundary.
+//! The transport implementations must be observationally identical: for a fixed seed,
+//! running the same workload over `InProcessTransport`, `ChannelTransport` (S2 on its
+//! own thread, every message serialized through the binary wire codec) and
+//! `MultiplexTransport` (S2 as a session-multiplexing worker pool, messages in
+//! session-tagged envelopes) must produce **byte-identical** query results, identical
+//! leakage ledgers on both sides, and identical channel metrics.  Any divergence means
+//! the wire format is lossy, S2 state leaked around the message boundary, or the
+//! multiplexed framing perturbed the protocol.
+//!
+//! Beyond the fixed worked examples, a property-test conformance harness drives random
+//! relations and random `TopKQuery`s through all three transports.
 
+use proptest::proptest;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use sectopk_core::{sec_query, DataOwner, QueryConfig, QueryOutcome};
-use sectopk_protocols::{ScoredItem, TransportKind, TwoClouds};
+use sectopk_protocols::{ChannelMetrics, LeakageLedger, ScoredItem, TransportKind, TwoClouds};
 use sectopk_storage::{ObjectId, Relation, Row, TopKQuery};
 use sectopk_tests::{TEST_EHL_KEYS, TEST_MODULUS_BITS};
+
+/// Every transport implementation under test.
+const ALL_TRANSPORTS: [TransportKind; 3] =
+    [TransportKind::InProcess, TransportKind::Channel, TransportKind::Multiplex];
 
 fn fixed_relation() -> Relation {
     Relation::new(
@@ -39,33 +49,60 @@ fn run_on(kind: TransportKind, config: &QueryConfig) -> (TwoClouds, QueryOutcome
     (clouds, outcome)
 }
 
-fn assert_items_byte_identical(a: &[ScoredItem], b: &[ScoredItem]) {
-    assert_eq!(a.len(), b.len(), "result lengths differ");
+fn assert_items_byte_identical(a: &[ScoredItem], b: &[ScoredItem], kind: TransportKind) {
+    assert_eq!(a.len(), b.len(), "{kind:?}: result lengths differ");
     for (x, y) in a.iter().zip(b.iter()) {
         // ScoredItem equality is group-element equality: byte-identical ciphertexts.
-        assert_eq!(x, y, "transports produced different ciphertexts");
+        assert_eq!(x, y, "{kind:?}: transports produced different ciphertexts");
     }
+}
+
+/// Everything observable from one execution, in comparable form.
+struct Observation {
+    top_k: Vec<ScoredItem>,
+    s1_ledger: LeakageLedger,
+    s2_ledger: LeakageLedger,
+    metrics: ChannelMetrics,
+    depths_scanned: usize,
+    halted: bool,
+}
+
+fn observe(clouds: &TwoClouds, outcome: &QueryOutcome) -> Observation {
+    Observation {
+        top_k: outcome.top_k.clone(),
+        s1_ledger: clouds.s1_ledger().clone(),
+        s2_ledger: clouds.s2_ledger(),
+        metrics: clouds.channel(),
+        depths_scanned: outcome.stats.depths_scanned,
+        halted: outcome.stats.halted,
+    }
+}
+
+fn assert_observations_equal(reference: &Observation, other: &Observation, kind: TransportKind) {
+    assert_items_byte_identical(&reference.top_k, &other.top_k, kind);
+    assert_eq!(
+        reference.s1_ledger.events(),
+        other.s1_ledger.events(),
+        "{kind:?}: S1 ledgers diverge"
+    );
+    assert_eq!(
+        reference.s2_ledger.events(),
+        other.s2_ledger.events(),
+        "{kind:?}: S2 ledgers diverge"
+    );
+    // Bytes are measured from the same wire encoding on every transport.
+    assert_eq!(reference.metrics, other.metrics, "{kind:?}: channel metrics diverge");
+    assert_eq!(reference.depths_scanned, other.depths_scanned);
+    assert_eq!(reference.halted, other.halted);
 }
 
 fn assert_equivalent(config: &QueryConfig) {
     let (clouds_ip, outcome_ip) = run_on(TransportKind::InProcess, config);
-    let (clouds_ch, outcome_ch) = run_on(TransportKind::Channel, config);
-
-    assert_items_byte_identical(&outcome_ip.top_k, &outcome_ch.top_k);
-    assert_eq!(
-        clouds_ip.s1_ledger().events(),
-        clouds_ch.s1_ledger().events(),
-        "S1 ledgers diverge"
-    );
-    assert_eq!(
-        clouds_ip.s2_ledger().events(),
-        clouds_ch.s2_ledger().events(),
-        "S2 ledgers diverge"
-    );
-    // Bytes are measured from the same wire encoding on both transports.
-    assert_eq!(clouds_ip.channel(), clouds_ch.channel(), "channel metrics diverge");
-    assert_eq!(outcome_ip.stats.depths_scanned, outcome_ch.stats.depths_scanned);
-    assert_eq!(outcome_ip.stats.halted, outcome_ch.stats.halted);
+    let reference = observe(&clouds_ip, &outcome_ip);
+    for kind in [TransportKind::Channel, TransportKind::Multiplex] {
+        let (clouds, outcome) = run_on(kind, config);
+        assert_observations_equal(&reference, &observe(&clouds, &outcome), kind);
+    }
 }
 
 #[test]
@@ -86,6 +123,19 @@ fn channel_transport_traffic_is_nonzero_and_round_counted() {
     assert!(metrics.bytes > 0);
     assert!(metrics.rounds > 0);
     // Strict request/response framing: every S1 message is answered exactly once.
+    assert_eq!(metrics.messages_s1_to_s2, metrics.messages_s2_to_s1);
+    assert_eq!(metrics.rounds, metrics.messages_s1_to_s2);
+    assert_eq!(metrics.outstanding_requests, 0);
+    assert!(outcome.stats.depths_scanned > 0);
+}
+
+#[test]
+fn multiplex_transport_traffic_is_nonzero_and_round_counted() {
+    let (clouds, outcome) = run_on(TransportKind::Multiplex, &QueryConfig::full());
+    assert_eq!(clouds.transport_kind(), TransportKind::Multiplex);
+    let metrics = clouds.channel();
+    assert!(metrics.bytes > 0);
+    assert!(metrics.rounds > 0);
     assert_eq!(metrics.messages_s1_to_s2, metrics.messages_s2_to_s1);
     assert_eq!(metrics.rounds, metrics.messages_s1_to_s2);
     assert_eq!(metrics.outstanding_requests, 0);
@@ -124,9 +174,82 @@ fn join_pipeline_is_transport_invariant() {
     };
 
     let (metrics_ip, ledger_ip, outcome_ip) = run(TransportKind::InProcess);
-    let (metrics_ch, ledger_ch, outcome_ch) = run(TransportKind::Channel);
-    assert_eq!(metrics_ip, metrics_ch);
-    assert_eq!(ledger_ip.events(), ledger_ch.events());
-    assert_eq!(outcome_ip.matching_pairs, outcome_ch.matching_pairs);
-    assert_eq!(outcome_ip.top_k, outcome_ch.top_k, "joined tuples must be byte-identical");
+    for kind in [TransportKind::Channel, TransportKind::Multiplex] {
+        let (metrics, ledger, outcome) = run(kind);
+        assert_eq!(metrics_ip, metrics, "{kind:?}: join metrics diverge");
+        assert_eq!(ledger_ip.events(), ledger.events(), "{kind:?}: join ledgers diverge");
+        assert_eq!(outcome_ip.matching_pairs, outcome.matching_pairs);
+        assert_eq!(
+            outcome_ip.top_k, outcome.top_k,
+            "{kind:?}: joined tuples must be byte-identical"
+        );
+    }
+}
+
+// ====================================================================================
+// Property-test conformance harness: random relations × random queries × every
+// transport.  Each case builds a fresh random relation and query workload from the
+// proptest-chosen seed, runs it once per transport, and requires every observable to
+// coincide with the in-process reference.
+// ====================================================================================
+
+fn random_relation(rng: &mut StdRng) -> Relation {
+    let num_attributes = rng.gen_range(2usize..=4);
+    let rows = rng.gen_range(3usize..=6);
+    let names = (0..num_attributes).map(|i| format!("a{i}")).collect();
+    let rows = (1..=rows)
+        .map(|id| Row {
+            id: ObjectId(id as u64),
+            values: (0..num_attributes).map(|_| rng.gen_range(0..16)).collect(),
+        })
+        .collect();
+    Relation::new(names, rows)
+}
+
+fn random_query(rng: &mut StdRng, num_attributes: usize) -> TopKQuery {
+    let m = rng.gen_range(1..=num_attributes);
+    let mut attrs: Vec<usize> = (0..num_attributes).collect();
+    for i in (1..attrs.len()).rev() {
+        attrs.swap(i, rng.gen_range(0..=i));
+    }
+    attrs.truncate(m);
+    attrs.sort_unstable();
+    TopKQuery::sum(attrs, rng.gen_range(1..=3))
+}
+
+proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(4))]
+    #[test]
+    fn random_workloads_are_transport_invariant(case_seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(case_seed ^ 0xC0F0);
+        let relation = random_relation(&mut rng);
+        let query = random_query(&mut rng, relation.num_attributes());
+        let config =
+            if rng.gen() { QueryConfig::full() } else { QueryConfig::dup_elim() };
+        let keygen_seed = rng.gen::<u64>();
+        let cloud_seed = rng.gen::<u64>();
+
+        let run = |kind: TransportKind| {
+            let mut rng = StdRng::seed_from_u64(keygen_seed);
+            let owner =
+                DataOwner::new(TEST_MODULUS_BITS, TEST_EHL_KEYS, &mut rng).expect("keygen");
+            let (er, _) = owner.encrypt(&relation, &mut rng).expect("encryption");
+            let token = owner
+                .authorize_client()
+                .token(relation.num_attributes(), &query)
+                .expect("token");
+            let mut clouds = TwoClouds::with_transport(owner.keys(), cloud_seed, kind, true)
+                .expect("cloud setup");
+            let outcome = sec_query(&mut clouds, &er, &token, &config).expect("query");
+            observe(&clouds, &outcome)
+        };
+
+        let reference = run(TransportKind::InProcess);
+        assert!(reference.metrics.bytes > 0);
+        for kind in ALL_TRANSPORTS {
+            if kind != TransportKind::InProcess {
+                assert_observations_equal(&reference, &run(kind), kind);
+            }
+        }
+    }
 }
