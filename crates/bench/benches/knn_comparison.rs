@@ -43,7 +43,7 @@ fn bench_knn_comparison(c: &mut Criterion) {
         let db = encrypt_for_knn(&relation, owner.keys(), &mut rng).unwrap();
         let upper = vec![2_000u64; relation.num_attributes()];
         group.bench_with_input(BenchmarkId::new("sknn_baseline", rows), &rows, |b, _| {
-            let mut clouds = owner.setup_clouds(113).unwrap();
+            let mut clouds = sectopk_protocols::TwoClouds::new(owner.keys(), 113).unwrap();
             b.iter(|| black_box(sknn_query(&mut clouds, &db, &upper, 3).unwrap()))
         });
     }

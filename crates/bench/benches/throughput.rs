@@ -23,13 +23,23 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use sectopk_core::DataOwner;
+use sectopk_core::{DataOwner, Outsourced, VariantChoice};
 use sectopk_datasets::{fig3_relation, QueryWorkload, WorkloadSpec};
 use sectopk_protocols::LinkProfile;
 use sectopk_server::{QueryServer, ServeConfig};
 
-/// One row of the recorded sweep.
-#[derive(Clone, Copy, Debug, Serialize)]
+/// One variant the planner chose during a sweep point, with how often.
+#[derive(Clone, Debug, Serialize)]
+struct VariantCount {
+    variant: &'static str,
+    p: Option<usize>,
+    queries: usize,
+}
+
+/// One row of the recorded sweep.  `planned_variants` and `errors` make the recorded
+/// baseline self-describing: every row names the variants (and `p`) the adaptive
+/// planner executed and how many queries failed.
+#[derive(Clone, Debug, Serialize)]
 struct ThroughputPoint {
     sessions: usize,
     s2_workers: usize,
@@ -41,32 +51,34 @@ struct ThroughputPoint {
     speedup_vs_one_session: f64,
     rounds_total: u64,
     bytes_total: u64,
+    /// The planner decisions behind the run (`variant(Auto)` serving).
+    planned_variants: Vec<VariantCount>,
+    /// Failed queries across all sessions (serving continues past failures).
+    errors: usize,
 }
 
-fn serving_fixture() -> (DataOwner, sectopk_storage::EncryptedRelation, QueryWorkload) {
+fn serving_fixture() -> (DataOwner, Outsourced, QueryWorkload) {
     let mut rng = StdRng::seed_from_u64(0x7117);
     let owner = DataOwner::new(128, 2, &mut rng).expect("keygen");
     let relation = fig3_relation();
-    let (er, _) = owner.encrypt(&relation, &mut rng).expect("encryption");
+    let (outsourced, _) = owner.outsource(&relation, &mut rng).expect("encryption");
     let spec = WorkloadSpec { queries: 16, m_range: (1, 3), k_range: (1, 3) };
     let workload = QueryWorkload::generate(&spec, 3, 0x7117);
-    (owner, er, workload)
+    (owner, outsourced, workload)
 }
 
 fn measure(
     owner: &DataOwner,
-    er: &sectopk_storage::EncryptedRelation,
+    outsourced: &Outsourced,
     workload: &QueryWorkload,
     sessions: usize,
     rtt_ms: u64,
     one_session_qps: Option<f64>,
 ) -> ThroughputPoint {
-    let server = QueryServer::new(owner.keys(), er.clone(), sessions);
-    let config = ServeConfig::new(sessions, 0xBEA7).with_link(if rtt_ms == 0 {
-        LinkProfile::ideal()
-    } else {
-        LinkProfile::with_rtt_ms(rtt_ms)
-    });
+    let server = QueryServer::new(owner.keys(), outsourced.clone(), sessions);
+    let config = ServeConfig::new(sessions, 0xBEA7).with_variant(VariantChoice::Auto).with_link(
+        if rtt_ms == 0 { LinkProfile::ideal() } else { LinkProfile::with_rtt_ms(rtt_ms) },
+    );
     let report = server.serve(workload, &config).expect("serve");
     let qps = report.throughput_qps();
     ThroughputPoint {
@@ -79,20 +91,26 @@ fn measure(
         speedup_vs_one_session: one_session_qps.map_or(1.0, |base| qps / base),
         rounds_total: report.sessions.iter().map(|s| s.metrics.rounds).sum(),
         bytes_total: report.sessions.iter().map(|s| s.metrics.bytes).sum(),
+        planned_variants: report
+            .variant_histogram()
+            .into_iter()
+            .map(|(variant, p, queries)| VariantCount { variant, p, queries })
+            .collect(),
+        errors: report.error_count(),
     }
 }
 
 /// Sweep 1/4/8/16 concurrent sessions over the WAN and ideal link profiles, print the
 /// comparison, record the baseline, and enforce the ≥3× criterion at 8 sessions.
 fn record_throughput_baseline() {
-    let (owner, er, workload) = serving_fixture();
+    let (owner, outsourced, workload) = serving_fixture();
     let mut results: Vec<ThroughputPoint> = Vec::new();
     println!("\nAggregate serving throughput, 16 queries dealt round-robin:");
     println!("{:>8} {:>7} {:>9} {:>9} {:>9}", "link", "sessions", "wall(s)", "q/s", "speedup");
     for &rtt_ms in &[20u64, 0] {
         let mut one_session_qps = None;
         for &sessions in &[1usize, 4, 8, 16] {
-            let point = measure(&owner, &er, &workload, sessions, rtt_ms, one_session_qps);
+            let point = measure(&owner, &outsourced, &workload, sessions, rtt_ms, one_session_qps);
             if sessions == 1 {
                 one_session_qps = Some(point.qps);
             }
@@ -104,7 +122,7 @@ fn record_throughput_baseline() {
                 point.qps,
                 point.speedup_vs_one_session,
             );
-            results.push(point);
+            results.push(point.clone());
         }
     }
     // The serving criterion: 8 concurrent sessions + 8 S2 workers must deliver at
@@ -139,7 +157,7 @@ fn bench_throughput(c: &mut Criterion) {
         );
     }
 
-    let (owner, er, workload) = serving_fixture();
+    let (owner, outsourced, workload) = serving_fixture();
     let mut group = c.benchmark_group("serving_throughput");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
@@ -152,8 +170,8 @@ fn bench_throughput(c: &mut Criterion) {
             BenchmarkId::new("serve_16_queries_ideal_link", sessions),
             &sessions,
             |b, &sessions| {
-                let server = QueryServer::new(owner.keys(), er.clone(), sessions);
-                let config = ServeConfig::new(sessions, 0xBEA7);
+                let server = QueryServer::new(owner.keys(), outsourced.clone(), sessions);
+                let config = ServeConfig::new(sessions, 0xBEA7).with_variant(VariantChoice::Auto);
                 b.iter(|| black_box(server.serve(&workload, &config).expect("serve")))
             },
         );

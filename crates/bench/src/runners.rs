@@ -10,13 +10,15 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sectopk_core::{sec_query, DataOwner, QueryConfig, QueryVariant};
+use sectopk_core::{
+    DataOwner, Outsourced, Query, QueryConfig, QueryVariant, Session, VariantChoice,
+};
 use sectopk_crypto::MasterKeys;
 use sectopk_datasets::{generate, DatasetKind, QueryWorkload};
 use sectopk_ehl::{EhlEncoder, DEFAULT_BUCKETS};
 use sectopk_knn::{encrypt_for_knn, sknn_query};
 use sectopk_protocols::TwoClouds;
-use sectopk_storage::{EncryptedRelation, Relation, TopKQuery};
+use sectopk_storage::{Relation, TopKQuery};
 
 use crate::report::{fmt_mb, fmt_secs, Table};
 use crate::scale::BenchScale;
@@ -44,40 +46,41 @@ pub struct QueryPerf {
     pub halted: bool,
 }
 
-/// Prepare one dataset: generate the (scaled) relation, the owner keys and the encrypted
-/// relation.  Deterministic in `seed`.
+/// Prepare one dataset: generate the (scaled) relation, the owner keys and the
+/// outsourced encrypted relation.  Deterministic in `seed`.
 pub fn prepare_dataset(
     kind: DatasetKind,
     rows: usize,
     scale: &BenchScale,
     seed: u64,
-) -> (DataOwner, Relation, EncryptedRelation) {
+) -> (DataOwner, Relation, Outsourced) {
     let mut rng = StdRng::seed_from_u64(seed);
     let spec = kind.spec().with_rows(rows);
     let relation = generate(&spec, seed);
     let owner = DataOwner::new(scale.modulus_bits, scale.ehl_keys, &mut rng)
         .expect("key generation succeeds");
-    let (er, _) =
-        owner.encrypt_parallel(&relation, &mut rng).expect("relation encryption succeeds");
-    (owner, relation, er)
+    let (outsourced, _) =
+        owner.outsource_parallel(&relation, &mut rng).expect("relation encryption succeeds");
+    (owner, relation, outsourced)
 }
 
-/// Run one secure query (capped at the scale's `max_depth`) and summarise its cost.
+/// Run one secure query through the `Session` front door (capped at the scale's
+/// `max_depth`) and summarise its cost.
 pub fn measure_query(
     owner: &DataOwner,
     relation: &Relation,
-    er: &EncryptedRelation,
+    outsourced: &Outsourced,
     query: &TopKQuery,
     config: &QueryConfig,
     scale: &BenchScale,
     seed: u64,
 ) -> QueryPerf {
-    let token =
-        owner.authorize_client().token(relation.num_attributes(), query).expect("query validates");
-    let mut clouds = owner.setup_clouds(seed).expect("cloud setup succeeds");
-    let config = config.with_max_depth(scale.max_depth.min(relation.len()));
-    let outcome = sec_query(&mut clouds, er, &token, &config).expect("secure query succeeds");
-    let stats = outcome.stats;
+    let mut session = owner.connect(outsourced, seed).expect("cloud setup succeeds");
+    let query = Query::from_spec(query.clone())
+        .with_variant(VariantChoice::Fixed(config.variant))
+        .with_max_depth(scale.max_depth.min(relation.len()));
+    let resolved = session.execute(&query).expect("secure query succeeds");
+    let stats = &resolved.outcome.stats;
     QueryPerf {
         seconds_per_depth: stats.seconds_per_depth(),
         bytes_per_depth: stats.bytes_per_depth(),
@@ -191,13 +194,13 @@ fn query_figure(
         &["dataset", sweep_label, "time / depth", "depths scanned", "bytes / depth"],
     );
     for kind in DatasetKind::ALL {
-        let (owner, relation, er) = prepare_dataset(kind, scale.query_rows, scale, 9);
+        let (owner, relation, outsourced) = prepare_dataset(kind, scale.query_rows, scale, 9);
         let m_attrs = relation.num_attributes();
         if vary_k {
             let m = 3.min(m_attrs);
             for &k in &K_SWEEP {
                 let query = QueryWorkload::fixed(m_attrs, m, k.min(scale.query_rows), 9);
-                let perf = measure_query(&owner, &relation, &er, &query, &config, scale, 9);
+                let perf = measure_query(&owner, &relation, &outsourced, &query, &config, scale, 9);
                 table.push_row(vec![
                     kind.name().to_string(),
                     k.to_string(),
@@ -211,7 +214,7 @@ fn query_figure(
             for &m in &M_SWEEP {
                 let m = m.min(m_attrs);
                 let query = QueryWorkload::fixed(m_attrs, m, k, 9);
-                let perf = measure_query(&owner, &relation, &er, &query, &config, scale, 9);
+                let perf = measure_query(&owner, &relation, &outsourced, &query, &config, scale, 9);
                 table.push_row(vec![
                     kind.name().to_string(),
                     m.to_string(),
@@ -310,12 +313,19 @@ pub fn fig11c_qry_ba_vary_p(scale: &BenchScale) -> Table {
     let base = batching_parameter(scale);
     let p_values: Vec<usize> = [1usize, 2, 3, 4].iter().map(|mult| (base * mult).max(1)).collect();
     for kind in DatasetKind::ALL {
-        let (owner, relation, er) = prepare_dataset(kind, scale.query_rows, scale, 11);
+        let (owner, relation, outsourced) = prepare_dataset(kind, scale.query_rows, scale, 11);
         let m_attrs = relation.num_attributes();
         let query = QueryWorkload::fixed(m_attrs, 3.min(m_attrs), 5, 11);
         for &p in &p_values {
-            let perf =
-                measure_query(&owner, &relation, &er, &query, &QueryConfig::batched(p), scale, 11);
+            let perf = measure_query(
+                &owner,
+                &relation,
+                &outsourced,
+                &query,
+                &QueryConfig::batched(p),
+                scale,
+                11,
+            );
             table.push_row(vec![
                 kind.name().to_string(),
                 p.to_string(),
@@ -346,14 +356,14 @@ pub fn fig12_variant_comparison(scale: &BenchScale) -> Table {
         &["dataset", "Qry_F / depth", "Qry_E / depth", "Qry_Ba / depth", "speedup F→Ba"],
     );
     for kind in DatasetKind::ALL {
-        let (owner, relation, er) = prepare_dataset(kind, scale.query_rows, scale, 12);
+        let (owner, relation, out) = prepare_dataset(kind, scale.query_rows, scale, 12);
         let m_attrs = relation.num_attributes();
         let query = QueryWorkload::fixed(m_attrs, 3.min(m_attrs), 5, 12);
-        let full = measure_query(&owner, &relation, &er, &query, &QueryConfig::full(), scale, 12);
+        let full = measure_query(&owner, &relation, &out, &query, &QueryConfig::full(), scale, 12);
         let elim =
-            measure_query(&owner, &relation, &er, &query, &QueryConfig::dup_elim(), scale, 12);
+            measure_query(&owner, &relation, &out, &query, &QueryConfig::dup_elim(), scale, 12);
         let batched =
-            measure_query(&owner, &relation, &er, &query, &QueryConfig::batched(p), scale, 12);
+            measure_query(&owner, &relation, &out, &query, &QueryConfig::batched(p), scale, 12);
         let speedup = if batched.seconds_per_depth > 0.0 {
             full.seconds_per_depth / batched.seconds_per_depth
         } else {
@@ -382,10 +392,10 @@ pub fn table3_bandwidth(scale: &BenchScale) -> Table {
         &["dataset", "bandwidth", "latency @50Mbps", "depths"],
     );
     for kind in DatasetKind::ALL {
-        let (owner, relation, er) = prepare_dataset(kind, scale.query_rows, scale, 13);
+        let (owner, relation, out) = prepare_dataset(kind, scale.query_rows, scale, 13);
         let m_attrs = relation.num_attributes();
         let query = QueryWorkload::fixed(m_attrs, 4.min(m_attrs), 20.min(scale.query_rows), 13);
-        let perf = measure_query(&owner, &relation, &er, &query, &QueryConfig::full(), scale, 13);
+        let perf = measure_query(&owner, &relation, &out, &query, &QueryConfig::full(), scale, 13);
         table.push_row(vec![
             kind.name().to_string(),
             fmt_mb(perf.total_bytes),
@@ -404,13 +414,13 @@ pub fn fig13_bandwidth(scale: &BenchScale) -> Table {
         "Communication on the synthetic dataset (Qry_F): per-depth vs m, total vs k",
         &["sweep", "value", "bytes / depth", "total bandwidth"],
     );
-    let (owner, relation, er) =
+    let (owner, relation, out) =
         prepare_dataset(DatasetKind::Synthetic, scale.query_rows, scale, 14);
     let m_attrs = relation.num_attributes();
 
     for &m in &M_SWEEP {
         let query = QueryWorkload::fixed(m_attrs, m.min(m_attrs), 5, 14);
-        let perf = measure_query(&owner, &relation, &er, &query, &QueryConfig::full(), scale, 14);
+        let perf = measure_query(&owner, &relation, &out, &query, &QueryConfig::full(), scale, 14);
         table.push_row(vec![
             "m (k = 5)".to_string(),
             m.to_string(),
@@ -420,7 +430,7 @@ pub fn fig13_bandwidth(scale: &BenchScale) -> Table {
     }
     for &k in &K_SWEEP {
         let query = QueryWorkload::fixed(m_attrs, 4.min(m_attrs), k.min(scale.query_rows), 14);
-        let perf = measure_query(&owner, &relation, &er, &query, &QueryConfig::full(), scale, 14);
+        let perf = measure_query(&owner, &relation, &out, &query, &QueryConfig::full(), scale, 14);
         table.push_row(vec![
             "k (m = 4)".to_string(),
             k.to_string(),
@@ -452,18 +462,18 @@ pub fn knn_comparison(scale: &BenchScale) -> Table {
     let mut rng = StdRng::seed_from_u64(113);
     for &rows in &[scale.knn_rows / 2, scale.knn_rows] {
         let kind = DatasetKind::Synthetic;
-        let (owner, relation, er) = prepare_dataset(kind, rows, scale, 113);
+        let (owner, relation, out) = prepare_dataset(kind, rows, scale, 113);
         let m_attrs = relation.num_attributes();
         let k = 10.min(rows);
         let query = QueryWorkload::fixed(m_attrs, 3.min(m_attrs), k, 113);
 
         let started = Instant::now();
         let topk =
-            measure_query(&owner, &relation, &er, &query, &QueryConfig::dup_elim(), scale, 113);
+            measure_query(&owner, &relation, &out, &query, &QueryConfig::dup_elim(), scale, 113);
         let topk_time = started.elapsed().as_secs_f64();
 
         let db = encrypt_for_knn(&relation, owner.keys(), &mut rng).expect("kNN encryption");
-        let mut clouds = owner.setup_clouds(113).expect("cloud setup");
+        let mut clouds = TwoClouds::new(owner.keys(), 113).expect("cloud setup");
         let upper = vec![2_000u64; relation.num_attributes()];
         let started = Instant::now();
         let knn = sknn_query(&mut clouds, &db, &upper, k).expect("kNN query");
@@ -566,11 +576,11 @@ mod tests {
     #[test]
     fn query_perf_is_measured() {
         let scale = smoke();
-        let (owner, relation, er) =
+        let (owner, relation, out) =
             prepare_dataset(DatasetKind::Insurance, scale.query_rows, &scale, 1);
         let query = QueryWorkload::fixed(relation.num_attributes(), 2, 2, 1);
         let perf =
-            measure_query(&owner, &relation, &er, &query, &QueryConfig::dup_elim(), &scale, 1);
+            measure_query(&owner, &relation, &out, &query, &QueryConfig::dup_elim(), &scale, 1);
         assert!(perf.seconds_per_depth > 0.0);
         assert!(perf.total_bytes > 0);
         assert!(perf.depths >= 1 && perf.depths <= scale.max_depth);

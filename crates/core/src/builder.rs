@@ -1,0 +1,322 @@
+//! The fluent query builder — the single validated entry point for describing a top-k
+//! query against a [`crate::Session`].
+//!
+//! ```text
+//! SELECT * FROM ER ORDER BY w1·a1 + w3·a3 STOP AFTER 5
+//!   ⇔  Query::top_k(5).attributes(["a1", "a3"]).weights([w1, w3]).resolve(&schema)?
+//! ```
+//!
+//! A [`QueryBuilder`] collects the attribute set (by name or by index), optional
+//! weights, the variant choice ([`VariantChoice::Auto`] by default — the
+//! [`crate::planner`] picks `Qry_F`/`Qry_E`/`Qry_Ba` and `p` from the §11 cost model)
+//! and an optional depth cap, then validates everything into an immutable [`Query`].
+//! Range checks against the relation width happen again at execution time, because only
+//! the session knows the outsourced relation's `M`.
+
+use sectopk_storage::{QueryError, Relation, Score, TopKQuery};
+
+use crate::error::Result;
+use crate::query::{QueryConfig, QueryVariant};
+
+/// How the processing variant is chosen for a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VariantChoice {
+    /// Let the [`crate::planner`] pick the variant (and `p`) from the §11 cost model.
+    Auto,
+    /// Run exactly this variant.
+    Fixed(QueryVariant),
+}
+
+/// The attribute selection a builder carries before validation.
+#[derive(Clone, Debug)]
+enum AttrSel {
+    /// Nothing chosen yet.
+    Unset,
+    /// Logical attribute indices.
+    Indices(Vec<usize>),
+    /// Attribute names, to be resolved against a schema.
+    Names(Vec<String>),
+}
+
+/// A validated top-k query plus its execution policy — what [`crate::Session::execute`]
+/// consumes.  Build one with [`Query::top_k`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    spec: TopKQuery,
+    variant: VariantChoice,
+    max_depth: Option<usize>,
+}
+
+impl Query {
+    /// Start building a top-k query for `k` results.
+    pub fn top_k(k: usize) -> QueryBuilder {
+        QueryBuilder {
+            k,
+            attributes: AttrSel::Unset,
+            weights: Vec::new(),
+            variant: VariantChoice::Auto,
+            max_depth: None,
+        }
+    }
+
+    /// Wrap an already-validated [`TopKQuery`] (e.g. one drawn from a generated
+    /// workload) with the adaptive variant choice.
+    pub fn from_spec(spec: TopKQuery) -> Self {
+        Query { spec, variant: VariantChoice::Auto, max_depth: None }
+    }
+
+    /// Replace the variant choice of an existing query.
+    pub fn with_variant(mut self, variant: VariantChoice) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Replace the depth cap of an existing query.
+    pub fn with_max_depth(mut self, depths: usize) -> Self {
+        self.max_depth = Some(depths);
+        self
+    }
+
+    /// The validated query description (attributes, weights, `k`).
+    pub fn spec(&self) -> &TopKQuery {
+        &self.spec
+    }
+
+    /// How the processing variant is chosen.
+    pub fn variant(&self) -> VariantChoice {
+        self.variant
+    }
+
+    /// The optional cap on scanned depths.
+    pub fn max_depth(&self) -> Option<usize> {
+        self.max_depth
+    }
+
+    /// Re-validate the query against a relation with `num_attributes` columns (the
+    /// session-side check; the builder cannot know the outsourced width).  Also guards
+    /// the policy rules for queries assembled without the builder
+    /// ([`Query::from_spec`] + [`Query::with_variant`]), so every execution path
+    /// enforces the same contract.
+    pub fn validate_for(&self, num_attributes: usize) -> Result<()> {
+        self.spec.validate(num_attributes)?;
+        if let VariantChoice::Fixed(QueryVariant::Batched { p: 0 }) = self.variant {
+            return Err(QueryError::ZeroBatchParameter.into());
+        }
+        Ok(())
+    }
+
+    /// The [`QueryConfig`] this query runs under once `variant` has been planned or
+    /// fixed.
+    pub fn config_with(&self, variant: QueryVariant) -> QueryConfig {
+        QueryConfig { variant, max_depth: self.max_depth }
+    }
+}
+
+impl From<TopKQuery> for Query {
+    fn from(spec: TopKQuery) -> Self {
+        Query::from_spec(spec)
+    }
+}
+
+/// Fluent builder for a [`Query`]; created by [`Query::top_k`].
+#[derive(Clone, Debug)]
+pub struct QueryBuilder {
+    k: usize,
+    attributes: AttrSel,
+    weights: Vec<Score>,
+    variant: VariantChoice,
+    max_depth: Option<usize>,
+}
+
+impl QueryBuilder {
+    /// Score by these attribute *names* (resolved against a schema in
+    /// [`QueryBuilder::resolve`]).
+    pub fn attributes<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.attributes = AttrSel::Names(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Score by these logical attribute *indices*.
+    pub fn attribute_indices<I>(mut self, indices: I) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        self.attributes = AttrSel::Indices(indices.into_iter().collect());
+        self
+    }
+
+    /// Weight the chosen attributes (one weight per attribute; omit for a plain sum).
+    pub fn weights<I>(mut self, weights: I) -> Self
+    where
+        I: IntoIterator<Item = Score>,
+    {
+        self.weights = weights.into_iter().collect();
+        self
+    }
+
+    /// Choose the processing variant ([`VariantChoice::Auto`] is the default).
+    pub fn variant(mut self, variant: VariantChoice) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Cap the scan at `depths` depths (benchmark harnesses use this to measure
+    /// time-per-depth without running a large relation to completion).
+    pub fn max_depth(mut self, depths: usize) -> Self {
+        self.max_depth = Some(depths);
+        self
+    }
+
+    /// Validate and finish the query.  Attribute *names* cannot be resolved here — use
+    /// [`QueryBuilder::resolve`] with the relation schema for those.
+    pub fn build(self) -> Result<Query> {
+        let indices = match self.attributes {
+            AttrSel::Unset => return Err(QueryError::NoAttributes.into()),
+            AttrSel::Indices(indices) => indices,
+            AttrSel::Names(_) => return Err(QueryError::NamesRequireSchema.into()),
+        };
+        Self::finish(indices, self.weights, self.k, self.variant, self.max_depth)
+    }
+
+    /// Resolve attribute names against `schema` (index selections pass through
+    /// unchanged), then validate and finish the query.
+    pub fn resolve(self, schema: &Relation) -> Result<Query> {
+        let indices = match self.attributes {
+            AttrSel::Unset => return Err(QueryError::NoAttributes.into()),
+            AttrSel::Indices(indices) => indices,
+            AttrSel::Names(names) => names
+                .into_iter()
+                .map(|name| {
+                    schema.attribute_index(&name).ok_or(QueryError::UnknownAttribute { name })
+                })
+                .collect::<std::result::Result<Vec<usize>, QueryError>>()?,
+        };
+        let query = Self::finish(indices, self.weights, self.k, self.variant, self.max_depth)?;
+        query.validate_for(schema.num_attributes())?;
+        Ok(query)
+    }
+
+    /// Shared validation tail: builds the `TopKQuery` and runs every check that does
+    /// not need the relation width.
+    fn finish(
+        indices: Vec<usize>,
+        weights: Vec<Score>,
+        k: usize,
+        variant: VariantChoice,
+        max_depth: Option<usize>,
+    ) -> Result<Query> {
+        let spec = TopKQuery { attributes: indices, weights, k };
+        // Validate the width-independent rules with a width that admits every index.
+        let width = spec.attributes.iter().max().map_or(1, |&max| max + 1);
+        spec.validate(width)?;
+        if let VariantChoice::Fixed(QueryVariant::Batched { p: 0 }) = variant {
+            return Err(QueryError::ZeroBatchParameter.into());
+        }
+        Ok(Query { spec, variant, max_depth })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SecTopKError;
+    use sectopk_storage::{ObjectId, Row};
+
+    fn schema() -> Relation {
+        Relation::new(
+            vec!["price".into(), "rating".into(), "freshness".into()],
+            vec![Row { id: ObjectId(1), values: vec![1, 2, 3] }],
+        )
+    }
+
+    #[test]
+    fn builds_by_index_and_by_name() {
+        let by_index = Query::top_k(2).attribute_indices([1, 2]).build().unwrap();
+        let by_name =
+            Query::top_k(2).attributes(["rating", "freshness"]).resolve(&schema()).unwrap();
+        assert_eq!(by_index.spec(), by_name.spec());
+        assert_eq!(by_index.spec().k, 2);
+        assert_eq!(by_index.spec().attributes, vec![1, 2]);
+        assert_eq!(by_index.variant(), VariantChoice::Auto);
+    }
+
+    #[test]
+    fn weights_variant_and_depth_cap_flow_through() {
+        let q = Query::top_k(3)
+            .attribute_indices([0, 2])
+            .weights([2, 5])
+            .variant(VariantChoice::Fixed(QueryVariant::DupElim))
+            .max_depth(7)
+            .build()
+            .unwrap();
+        assert_eq!(q.spec().weights, vec![2, 5]);
+        assert_eq!(q.variant(), VariantChoice::Fixed(QueryVariant::DupElim));
+        assert_eq!(q.max_depth(), Some(7));
+        let config = q.config_with(QueryVariant::DupElim);
+        assert_eq!(config.max_depth, Some(7));
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_with_typed_errors() {
+        let err = Query::top_k(1).build().unwrap_err();
+        assert_eq!(err, SecTopKError::Query(QueryError::NoAttributes));
+
+        let err = Query::top_k(0).attribute_indices([0]).build().unwrap_err();
+        assert_eq!(err, SecTopKError::Query(QueryError::ZeroK));
+
+        let err = Query::top_k(1).attribute_indices([0, 0]).build().unwrap_err();
+        assert_eq!(err, SecTopKError::Query(QueryError::DuplicateAttribute { index: 0 }));
+
+        let err = Query::top_k(1).attribute_indices([0, 1]).weights([9]).build().unwrap_err();
+        assert!(matches!(err, SecTopKError::Query(QueryError::WeightArity { .. })));
+
+        let err = Query::top_k(1).attributes(["price"]).build().unwrap_err();
+        assert_eq!(err, SecTopKError::Query(QueryError::NamesRequireSchema));
+
+        let err = Query::top_k(1).attributes(["missing"]).resolve(&schema()).unwrap_err();
+        assert!(matches!(err, SecTopKError::Query(QueryError::UnknownAttribute { .. })));
+
+        let err = Query::top_k(1)
+            .attribute_indices([0])
+            .variant(VariantChoice::Fixed(QueryVariant::Batched { p: 0 }))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SecTopKError::Query(QueryError::ZeroBatchParameter));
+    }
+
+    #[test]
+    fn session_side_width_check_catches_out_of_range_indices() {
+        let q = Query::top_k(1).attribute_indices([4]).build().unwrap();
+        assert!(q.validate_for(5).is_ok());
+        let err = q.validate_for(3).unwrap_err();
+        assert!(matches!(
+            err,
+            SecTopKError::Query(QueryError::AttributeOutOfRange { index: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn with_variant_cannot_smuggle_a_zero_batch_parameter_past_validation() {
+        // `from_spec` + `with_variant` skips the builder, but the session-side
+        // validation every execution path runs still enforces the policy rules.
+        let q = Query::from_spec(sectopk_storage::TopKQuery::sum(vec![0], 1))
+            .with_variant(VariantChoice::Fixed(QueryVariant::Batched { p: 0 }));
+        assert_eq!(
+            q.validate_for(3).unwrap_err(),
+            SecTopKError::Query(QueryError::ZeroBatchParameter)
+        );
+    }
+
+    #[test]
+    fn workload_specs_wrap_into_auto_queries() {
+        let q: Query = TopKQuery::sum(vec![0, 1], 2).into();
+        assert_eq!(q.variant(), VariantChoice::Auto);
+        assert!(q.max_depth().is_none());
+        let pinned = q.with_variant(VariantChoice::Fixed(QueryVariant::Full)).with_max_depth(3);
+        assert_eq!(pinned.max_depth(), Some(3));
+    }
+}

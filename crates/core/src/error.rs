@@ -1,0 +1,135 @@
+//! The unified error model of the SecTopK facade.
+//!
+//! Every fallible operation on the public surface — building a query, generating a
+//! token, executing `SecQuery` through a [`crate::Session`], resolving results — returns
+//! [`SecTopKError`], which folds the layer-specific error types into one enum:
+//!
+//! | Layer | Wrapped type | Typical cause |
+//! |---|---|---|
+//! | query / token | [`sectopk_storage::QueryError`] | invalid attribute set, `k = 0`, unresolved name |
+//! | crypto substrate | [`sectopk_crypto::CryptoError`] | corrupted ciphertext, key too small |
+//! | two-cloud protocol | [`sectopk_protocols::ProtocolError`] | S2 error frame, dead transport |
+//!
+//! `From` impls keep `?` working across the layers, and the structured
+//! [`WireError`](sectopk_protocols::WireError) inside
+//! [`ProtocolError::Remote`] survives the trip
+//! so serving layers can count failure classes without parsing strings.
+
+use std::fmt;
+
+use sectopk_crypto::CryptoError;
+use sectopk_protocols::ProtocolError;
+use sectopk_storage::QueryError;
+
+/// An error from the SecTopK scheme facade.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SecTopKError {
+    /// The query is invalid (builder validation, token generation, schema resolution).
+    Query(QueryError),
+    /// A local cryptographic operation failed (key generation, encryption, resolution).
+    Crypto(CryptoError),
+    /// The two-cloud protocol failed — including typed S2 error frames and transport
+    /// breakdowns.
+    Protocol(ProtocolError),
+    /// The inputs to a query execution disagree structurally (e.g. a token minted for a
+    /// different relation width than the encrypted relation being queried).
+    Malformed(String),
+}
+
+impl SecTopKError {
+    /// Build a [`SecTopKError::Malformed`] from anything displayable.
+    pub fn malformed(what: impl Into<String>) -> Self {
+        SecTopKError::Malformed(what.into())
+    }
+
+    /// True when the failure is a client-side query mistake (fix the query and retry),
+    /// as opposed to a crypto/protocol/infrastructure failure.
+    pub fn is_invalid_query(&self) -> bool {
+        matches!(self, SecTopKError::Query(_))
+    }
+
+    /// True when the remote cloud reported the failure over the wire (the local session
+    /// and its transport are still usable).
+    pub fn is_remote(&self) -> bool {
+        matches!(self, SecTopKError::Protocol(p) if p.is_remote())
+    }
+}
+
+impl fmt::Display for SecTopKError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecTopKError::Query(e) => write!(f, "invalid query: {e}"),
+            SecTopKError::Crypto(e) => write!(f, "crypto failure: {e}"),
+            SecTopKError::Protocol(e) => write!(f, "protocol failure: {e}"),
+            SecTopKError::Malformed(what) => write!(f, "malformed input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SecTopKError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SecTopKError::Query(e) => Some(e),
+            SecTopKError::Crypto(e) => Some(e),
+            SecTopKError::Protocol(e) => Some(e),
+            SecTopKError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<QueryError> for SecTopKError {
+    fn from(e: QueryError) -> Self {
+        SecTopKError::Query(e)
+    }
+}
+
+impl From<CryptoError> for SecTopKError {
+    fn from(e: CryptoError) -> Self {
+        SecTopKError::Crypto(e)
+    }
+}
+
+impl From<ProtocolError> for SecTopKError {
+    fn from(e: ProtocolError) -> Self {
+        SecTopKError::Protocol(e)
+    }
+}
+
+/// Result alias for the SecTopK facade.
+pub type Result<T> = std::result::Result<T, SecTopKError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sectopk_protocols::WireError;
+
+    #[test]
+    fn layers_convert_and_display() {
+        let q: SecTopKError = QueryError::ZeroK.into();
+        assert!(q.is_invalid_query());
+        assert!(q.to_string().contains("invalid query"));
+
+        let c: SecTopKError = CryptoError::DecryptionFailed.into();
+        assert!(!c.is_invalid_query());
+        assert!(c.to_string().contains("crypto failure"));
+
+        let remote: SecTopKError = ProtocolError::Remote(WireError::malformed("arity")).into();
+        assert!(remote.is_remote());
+        assert!(remote.to_string().contains("arity"));
+
+        let transport: SecTopKError = ProtocolError::transport("gone").into();
+        assert!(!transport.is_remote());
+
+        assert!(SecTopKError::malformed("token/relation mismatch")
+            .to_string()
+            .contains("malformed input"));
+    }
+
+    #[test]
+    fn sources_chain_down_to_the_layer_error() {
+        use std::error::Error;
+        let e: SecTopKError = ProtocolError::from(CryptoError::NotInvertible).into();
+        let source = e.source().expect("protocol source");
+        assert!(source.source().is_some(), "crypto error below the protocol error");
+    }
+}

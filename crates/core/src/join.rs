@@ -16,10 +16,11 @@ use sectopk_crypto::keys::MasterKeys;
 use sectopk_crypto::paillier::Ciphertext;
 use sectopk_crypto::prf::PrfKey;
 use sectopk_crypto::prp::KeyedPrp;
-use sectopk_crypto::Result;
 use sectopk_ehl::EhlEncoder;
 use sectopk_protocols::{EncryptedTuple, JoinSpec, JoinedTuple, TwoClouds};
-use sectopk_storage::{EncryptedItem, Relation};
+use sectopk_storage::{EncryptedItem, QueryError, Relation};
+
+use crate::error::Result;
 
 /// A relation encrypted for joining: one [`EncryptedTuple`] per row, attribute positions
 /// permuted by the owner's PRP.
@@ -124,18 +125,18 @@ pub fn join_token(
     query: &JoinQuery,
     carry_left: &[usize],
     carry_right: &[usize],
-) -> std::result::Result<JoinToken, String> {
+) -> Result<JoinToken> {
     if query.k == 0 {
-        return Err("k must be at least 1".into());
+        return Err(QueryError::ZeroK.into());
     }
-    for (&a, side, bound) in [
-        (&query.join_left, "left", left_attributes),
-        (&query.score_left, "left", left_attributes),
-        (&query.join_right, "right", right_attributes),
-        (&query.score_right, "right", right_attributes),
+    for (&index, bound) in [
+        (&query.join_left, left_attributes),
+        (&query.score_left, left_attributes),
+        (&query.join_right, right_attributes),
+        (&query.score_right, right_attributes),
     ] {
-        if a >= bound {
-            return Err(format!("{side} attribute index {a} out of range"));
+        if index >= bound {
+            return Err(QueryError::AttributeOutOfRange { index, num_attributes: bound }.into());
         }
     }
     let left_prp = KeyedPrp::new(&relation_prp_key(keys, "join/left"), left_attributes);

@@ -13,9 +13,37 @@
 //! anonymous items to S1 and blinded signs to S2 — see DESIGN.md — so those kinds are
 //! part of the allowed sets.)
 
-use sectopk_protocols::TwoClouds;
+use std::fmt;
+
+use sectopk_protocols::{LeakageLedger, TwoClouds};
 
 use crate::query::QueryVariant;
+
+/// A recorded observation that falls outside the leakage profile of a variant — the
+/// typed replacement for the earlier `Result<(), String>` check result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeakageViolation {
+    /// Which party over-observed (`"S1"` or `"S2"`).
+    pub party: &'static str,
+    /// The offending event kind.
+    pub kind: String,
+    /// The variant whose profile was violated (paper name, e.g. `"Qry_F"`).
+    pub variant: &'static str,
+    /// Debug rendering of the offending event, for actionable test failures.
+    pub event: String,
+}
+
+impl fmt::Display for LeakageViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} observed a '{}' event, which the {} leakage profile does not allow: {}",
+            self.party, self.kind, self.variant, self.event
+        )
+    }
+}
+
+impl std::error::Error for LeakageViolation {}
 
 /// The event kinds each party is allowed to observe for a query variant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,26 +78,39 @@ pub fn profile_for(variant: QueryVariant) -> LeakageProfile {
 
 /// Check both clouds' recorded views against the profile of `variant`.
 ///
-/// Returns `Err` with a description of the first offending observation, which makes test
-/// failures actionable.
-pub fn check_leakage(clouds: &TwoClouds, variant: QueryVariant) -> Result<(), String> {
+/// Returns the first offending observation as a typed [`LeakageViolation`], which makes
+/// test failures actionable.
+pub fn check_leakage(clouds: &TwoClouds, variant: QueryVariant) -> Result<(), LeakageViolation> {
+    check_ledgers(clouds.s1_ledger(), &clouds.s2_ledger(), variant)
+}
+
+/// Profile check over explicit ledger snapshots — what [`check_leakage`] runs, exposed
+/// for the `Session` abstraction (whose implementations hand out ledger snapshots
+/// rather than a `TwoClouds`).
+pub fn check_ledgers(
+    s1: &LeakageLedger,
+    s2: &LeakageLedger,
+    variant: QueryVariant,
+) -> Result<(), LeakageViolation> {
     let profile = profile_for(variant);
-    for event in clouds.s1_ledger().events() {
+    for event in s1.events() {
         if !profile.s1_allowed.contains(&event.kind()) {
-            return Err(format!(
-                "S1 observed a '{}' event, which the {} leakage profile does not allow: {event:?}",
-                event.kind(),
-                variant.name()
-            ));
+            return Err(LeakageViolation {
+                party: "S1",
+                kind: event.kind().to_string(),
+                variant: variant.name(),
+                event: format!("{event:?}"),
+            });
         }
     }
-    for event in clouds.s2_ledger().events() {
+    for event in s2.events() {
         if !profile.s2_allowed.contains(&event.kind()) {
-            return Err(format!(
-                "S2 observed a '{}' event, which the {} leakage profile does not allow: {event:?}",
-                event.kind(),
-                variant.name()
-            ));
+            return Err(LeakageViolation {
+                party: "S2",
+                kind: event.kind().to_string(),
+                variant: variant.name(),
+                event: format!("{event:?}"),
+            });
         }
     }
     Ok(())

@@ -1,0 +1,357 @@
+//! The adaptive variant planner: the §11 cost model as code.
+//!
+//! The paper evaluates three processing variants that trade privacy for speed
+//! (§10, §11.2): `Qry_F` (full privacy, the tracked list grows by `m` every depth),
+//! `Qry_E` (SecDupElim keeps only distinct objects, leaking the per-depth uniqueness
+//! pattern `UP^d` to S1) and `Qry_Ba` (the expensive de-duplication / sorting / halting
+//! machinery runs only every `p` depths, diluting `UP^d` further).  Picking the variant
+//! and the batching parameter `p` by hand is exactly the kind of knob a serving-grade
+//! API must not expose, so [`plan`] chooses them from the query shape:
+//!
+//! 1. **Estimate the scan depth** `D` from `n` and `k` (NRA-style scans halt after a
+//!    sublinear prefix of the lists; the paper's §11.2.1 runs scan hundreds of depths on
+//!    10⁵–10⁶-row datasets).
+//! 2. **Estimate each variant's total cost** in abstract ciphertext-operation units by
+//!    walking the per-depth recurrence of Algorithm 3: SecWorst/SecBest (`m²`-ish per
+//!    depth plus the seen-list sweep), SecUpdate against the tracked list, `EncSort` as
+//!    a Batcher network (`t·log²t` gates) and the halting comparison, plus a per-round
+//!    latency term when the inter-cloud link has a nonzero RTT (§11.2.5).
+//! 3. **Prefer privacy subject to a budget**: `Qry_F` whenever its estimated cost fits
+//!    [`FULL_PRIVACY_BUDGET`], `Qry_E` while it fits [`DUP_ELIM_BUDGET`], and otherwise
+//!    `Qry_Ba` with the cost-minimising `p` from a geometric candidate sweep (the paper
+//!    suggests `p ≥ k`; the sweep never goes below that).
+//!
+//! The decision is recorded in [`crate::QueryStats::plan`], so every bench run and
+//! `ServeReport` is self-describing about what the planner did.
+
+use serde::{Deserialize, Serialize};
+
+use crate::query::QueryVariant;
+
+/// Cost (in abstract units) below which full privacy (`Qry_F`) is considered
+/// affordable.  Calibrated so the paper's worked examples and the test relations
+/// (tens to a few hundred rows) stay on the maximally private path.
+pub const FULL_PRIVACY_BUDGET: f64 = 50_000.0;
+
+/// Cost budget for `Qry_E`: above this, the planner reaches for batching.
+pub const DUP_ELIM_BUDGET: f64 = 500_000.0;
+
+/// How many cost units one millisecond of link RTT is worth.  Converts the per-round
+/// latency of the §11.2.5 WAN into the same units as the ciphertext-operation counts
+/// (one unit ≈ one modular exponentiation ≈ tens of microseconds at 256-bit keys).
+const RTT_UNITS_PER_MS: f64 = 25.0;
+
+/// Fraction of per-depth items that are new *distinct* objects under `Qry_E` (objects
+/// recur across the `m` lists as the scan deepens, so the distinct count grows slower
+/// than `m·d`).
+const DISTINCT_FRACTION: f64 = 2.0 / 3.0;
+
+/// The query-shape inputs the planner decides from.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlannerInputs {
+    /// Relation size `n = |R|`.
+    pub n: usize,
+    /// Number of scoring attributes `m` of the query.
+    pub m: usize,
+    /// Number of requested results `k`.
+    pub k: usize,
+    /// Round-trip time of the inter-cloud link in milliseconds (0 for an ideal link).
+    pub rtt_ms: f64,
+    /// Whether round-trip batching is enabled on the transport.
+    pub batching: bool,
+}
+
+impl PlannerInputs {
+    /// Bundle the planner inputs.
+    pub fn new(n: usize, m: usize, k: usize, rtt_ms: f64, batching: bool) -> Self {
+        PlannerInputs { n, m: m.max(1), k: k.max(1), rtt_ms, batching }
+    }
+}
+
+/// Estimated total cost of each variant, in abstract ciphertext-operation units.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VariantCosts {
+    /// Estimated cost of `Qry_F`.
+    pub full: f64,
+    /// Estimated cost of `Qry_E`.
+    pub dup_elim: f64,
+    /// Estimated cost of `Qry_Ba` at the best candidate `p`.
+    pub batched: f64,
+    /// The batching parameter the `batched` estimate used.
+    pub batched_p: usize,
+}
+
+/// The planner's decision for one query, recorded in [`crate::QueryStats`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlanDecision {
+    /// The chosen variant (with `p` filled in for `Qry_Ba`).
+    pub variant: QueryVariant,
+    /// `true` when the planner chose the variant (`variant(Auto)`); `false` when the
+    /// caller fixed it and the costs are recorded for reference only.
+    pub auto: bool,
+    /// The inputs the decision was made from.
+    pub inputs: PlannerInputs,
+    /// The estimated halting depth `D` used by the cost model.
+    pub estimated_depths: usize,
+    /// The per-variant cost estimates behind the decision.
+    pub costs: VariantCosts,
+}
+
+impl PlanDecision {
+    /// The paper's name of the chosen variant (`Qry_F` / `Qry_E` / `Qry_Ba`).
+    pub fn variant_name(&self) -> &'static str {
+        self.variant.name()
+    }
+
+    /// The chosen batching parameter, when the decision is `Qry_Ba`.
+    pub fn batching_parameter(&self) -> Option<usize> {
+        match self.variant {
+            QueryVariant::Batched { p } => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// Estimated halting depth: `k` depths to fill the top-k plus a sublinear tail of the
+/// lists (NRA halts once the unseen upper bound is dominated, which empirically happens
+/// after an `O(n^0.6)`-ish prefix on the §11 score distributions).
+pub fn estimated_depths(n: usize, k: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let tail = (n as f64).powf(0.6).ceil() as usize;
+    (k + tail).clamp(1, n)
+}
+
+/// Gates of a Batcher odd-even merge sort over `t` items (the `EncSort` realisation):
+/// `t · log²(t)` up to constants.
+fn sort_cost(t: f64) -> f64 {
+    if t <= 1.0 {
+        return 0.0;
+    }
+    let log = (t + 2.0).log2();
+    t * log * log
+}
+
+/// Per-check halting cost: one comparison per tracked item outside the top-k plus the
+/// unseen-bound comparison.
+fn halt_cost(t: f64) -> f64 {
+    t + 1.0
+}
+
+/// Rounds one depth costs on the wire with batching enabled (sorted access is local;
+/// SecWorst+SecBest, dedup, update, and — on check depths — sort plus halting check).
+fn rounds_per_depth(batching: bool, m: f64) -> f64 {
+    if batching {
+        4.0
+    } else {
+        // Unbatched, every pairwise exchange is its own round trip.
+        4.0 * m * m
+    }
+}
+
+fn latency_units(rounds: f64, rtt_ms: f64) -> f64 {
+    rounds * rtt_ms * RTT_UNITS_PER_MS
+}
+
+/// Cost of `Qry_F` over `depths` scanned depths: the tracked list `T` grows by `m`
+/// every depth (duplicates are neutralised in place, never removed), and every depth
+/// pays a full sort and halting check over it.
+fn cost_full(inputs: &PlannerInputs, depths: usize) -> f64 {
+    let m = inputs.m as f64;
+    let mut cost = 0.0;
+    let mut rounds = 0.0;
+    for d in 1..=depths {
+        let df = d as f64;
+        let tracked = m * df;
+        // SecWorst (m² eq tests) + SecBest (per list, the seen prefix sweep).
+        cost += m * m + m * m * df.min(inputs.n as f64);
+        // SecDedup over the per-depth items + SecUpdate against T + sort + halt.
+        cost += m * m + m * tracked + sort_cost(tracked) + halt_cost(tracked);
+        rounds += rounds_per_depth(inputs.batching, m) + 2.0;
+    }
+    cost + latency_units(rounds, inputs.rtt_ms)
+}
+
+/// Cost of `Qry_E`: like `Qry_F`, but the tracked list holds only distinct objects
+/// (`≈ DISTINCT_FRACTION · m · d`, capped at `n`).
+fn cost_dup_elim(inputs: &PlannerInputs, depths: usize) -> f64 {
+    let m = inputs.m as f64;
+    let n = inputs.n as f64;
+    let mut cost = 0.0;
+    let mut rounds = 0.0;
+    for d in 1..=depths {
+        let df = d as f64;
+        let tracked = (DISTINCT_FRACTION * m * df).min(n);
+        cost += m * m + m * m * df.min(n);
+        cost += m * m + m * tracked + sort_cost(tracked) + halt_cost(tracked);
+        rounds += rounds_per_depth(inputs.batching, m) + 2.0;
+    }
+    cost + latency_units(rounds, inputs.rtt_ms)
+}
+
+/// Cost of `Qry_Ba` with parameter `p`: between checks only the cheap within-batch
+/// accumulator is maintained; every `p`-th depth pays the batch merge, the sort and the
+/// halting check over the distinct tracked list.
+fn cost_batched(inputs: &PlannerInputs, depths: usize, p: usize) -> f64 {
+    let m = inputs.m as f64;
+    let n = inputs.n as f64;
+    let p = p.max(1);
+    let mut cost = 0.0;
+    let mut rounds = 0.0;
+    for d in 1..=depths {
+        let df = d as f64;
+        let in_batch = (((d - 1) % p) + 1) as f64;
+        cost += m * m + m * m * df.min(n); // SecWorst + SecBest
+        cost += m * m + m * (m * in_batch); // per-depth dedup + batch update
+        rounds += rounds_per_depth(inputs.batching, m);
+        if d % p == 0 || d == depths {
+            let tracked = (DISTINCT_FRACTION * m * df).min(n);
+            cost += m * (p as f64) + m * tracked; // merge the batch into T
+            cost += sort_cost(tracked) + halt_cost(tracked);
+            rounds += 3.0;
+        }
+    }
+    cost + latency_units(rounds, inputs.rtt_ms)
+}
+
+/// The geometric `p` candidates the planner sweeps: `max(2, k) · 2^i`, capped at the
+/// estimated scan depth (the paper suggests `p ≥ k`).
+fn p_candidates(k: usize, depths: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut p = k.max(2);
+    let cap = depths.max(k.max(2));
+    while p <= cap {
+        out.push(p);
+        p *= 2;
+    }
+    if out.is_empty() {
+        out.push(k.max(2));
+    }
+    out
+}
+
+/// Run the cost model and pick the variant: the most private option whose estimated
+/// cost fits its budget, falling back to `Qry_Ba` at the cost-minimising `p`.
+pub fn plan(inputs: &PlannerInputs) -> PlanDecision {
+    let depths = estimated_depths(inputs.n, inputs.k);
+    let full = cost_full(inputs, depths);
+    let dup_elim = cost_dup_elim(inputs, depths);
+    let (batched_p, batched) = p_candidates(inputs.k, depths)
+        .into_iter()
+        .map(|p| (p, cost_batched(inputs, depths, p)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one p candidate");
+
+    let variant = if full <= FULL_PRIVACY_BUDGET {
+        QueryVariant::Full
+    } else if dup_elim <= DUP_ELIM_BUDGET {
+        QueryVariant::DupElim
+    } else {
+        QueryVariant::Batched { p: batched_p }
+    };
+    PlanDecision {
+        variant,
+        auto: true,
+        inputs: *inputs,
+        estimated_depths: depths,
+        costs: VariantCosts { full, dup_elim, batched, batched_p },
+    }
+}
+
+/// Record the cost model's view of a *caller-fixed* variant choice (the `auto: false`
+/// decision stored in [`crate::QueryStats`] when the builder pinned the variant).
+pub fn record_fixed(inputs: &PlannerInputs, variant: QueryVariant) -> PlanDecision {
+    let mut decision = plan(inputs);
+    decision.variant = variant;
+    decision.auto = false;
+    decision
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal(n: usize, m: usize, k: usize) -> PlannerInputs {
+        PlannerInputs::new(n, m, k, 0.0, true)
+    }
+
+    #[test]
+    fn small_relations_stay_fully_private() {
+        // The Fig. 3 worked example (n = 5) and test-sized relations afford Qry_F.
+        for n in [5, 10, 50] {
+            let decision = plan(&ideal(n, 3, 2));
+            assert_eq!(decision.variant, QueryVariant::Full, "n = {n}");
+            assert!(decision.auto);
+        }
+    }
+
+    #[test]
+    fn midsize_relations_pick_dup_elim() {
+        let decision = plan(&ideal(1_000, 3, 5));
+        assert_eq!(decision.variant, QueryVariant::DupElim);
+        assert!(decision.costs.full > FULL_PRIVACY_BUDGET);
+    }
+
+    #[test]
+    fn section_11_dataset_sizes_pick_batched_with_p_at_least_k() {
+        // The §11.2.1 datasets: 10⁵ rows (insurance/forest-shaped) up to 10⁶ (synthetic).
+        for n in [100_000, 500_000, 1_000_000] {
+            let decision = plan(&ideal(n, 3, 5));
+            match decision.variant {
+                QueryVariant::Batched { p } => {
+                    assert!(p >= 5, "p = {p} must be at least k");
+                    assert_eq!(decision.batching_parameter(), Some(p));
+                    assert_eq!(decision.variant_name(), "Qry_Ba");
+                }
+                other => panic!("n = {n}: expected Qry_Ba, planner chose {other:?}"),
+            }
+            assert!(decision.costs.batched <= decision.costs.dup_elim);
+            assert!(decision.costs.dup_elim <= decision.costs.full);
+        }
+    }
+
+    #[test]
+    fn costs_are_monotone_in_the_relation_size() {
+        let small = plan(&ideal(100, 3, 5));
+        let large = plan(&ideal(10_000, 3, 5));
+        assert!(large.costs.full > small.costs.full);
+        assert!(large.estimated_depths > small.estimated_depths);
+    }
+
+    #[test]
+    fn latency_raises_costs_and_never_shrinks_the_batching_parameter() {
+        // A WAN RTT (§11.2.5) makes every round trip expensive: all estimates grow, and
+        // the cost-minimising p can only move up (each extra depth in the batch saves
+        // check rounds that now cost real wall-clock).
+        let ideal_plan = plan(&ideal(100_000, 3, 5));
+        let wan_plan = plan(&PlannerInputs::new(100_000, 3, 5, 20.0, true));
+        assert!(wan_plan.costs.full > ideal_plan.costs.full);
+        assert!(wan_plan.costs.dup_elim > ideal_plan.costs.dup_elim);
+        assert!(wan_plan.costs.batched > ideal_plan.costs.batched);
+        assert!(wan_plan.costs.batched_p >= ideal_plan.costs.batched_p);
+    }
+
+    #[test]
+    fn estimated_depths_are_clamped_to_the_relation() {
+        assert_eq!(estimated_depths(0, 3), 0);
+        assert_eq!(estimated_depths(5, 3), 5);
+        assert!(estimated_depths(100_000, 5) < 100_000);
+        assert!(estimated_depths(100_000, 5) >= 5);
+    }
+
+    #[test]
+    fn fixed_choices_are_recorded_with_auto_false() {
+        let decision = record_fixed(&ideal(5, 3, 2), QueryVariant::DupElim);
+        assert!(!decision.auto);
+        assert_eq!(decision.variant, QueryVariant::DupElim);
+        // The cost estimates are still those of the model, for reference.
+        assert!(decision.costs.full > 0.0);
+    }
+
+    #[test]
+    fn p_candidates_respect_k() {
+        assert!(p_candidates(5, 1000).iter().all(|&p| p >= 5));
+        assert!(!p_candidates(5, 3).is_empty());
+    }
+}

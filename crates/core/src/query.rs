@@ -22,9 +22,11 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use sectopk_crypto::paillier::Ciphertext;
-use sectopk_crypto::Result;
 use sectopk_protocols::{ChannelMetrics, LeakageEvent, ScoredItem, TwoClouds, UpdateMode};
 use sectopk_storage::{EncryptedItem, EncryptedRelation, QueryToken};
+
+use crate::error::{Result, SecTopKError};
+use crate::planner::PlanDecision;
 
 /// Which processing variant to run (§11.2.1 names them Qry_F, Qry_E and Qry_Ba).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -106,6 +108,10 @@ pub struct QueryStats {
     pub halting_checks: usize,
     /// Size of the tracked list `T` when the query finished.
     pub final_tracked_len: usize,
+    /// The variant decision this execution ran under (set by the `Session` facade:
+    /// `auto: true` when the planner chose, `auto: false` when the caller fixed the
+    /// variant).  `None` for direct `sec_query` calls.
+    pub plan: Option<PlanDecision>,
 }
 
 impl QueryStats {
@@ -154,7 +160,16 @@ pub fn sec_query(
     let m = token.num_attributes();
     let k = token.k.max(1);
     let n = er.num_objects();
-    assert!(m > 0, "token must name at least one list");
+    if m == 0 {
+        return Err(SecTopKError::malformed("token must name at least one list"));
+    }
+    if let Some(&bad) = token.permuted_lists.iter().find(|&&l| l >= er.num_attributes()) {
+        return Err(SecTopKError::malformed(format!(
+            "token names list {bad}, but the encrypted relation has only {} lists \
+             (was the token minted for a different relation?)",
+            er.num_attributes()
+        )));
+    }
 
     // The query pattern leakage: S1 learns that (and which) token was issued.
     let fingerprint = token_fingerprint(token);
@@ -185,7 +200,15 @@ pub fn sec_query(
         //      homomorphically as §7 prescribes). -----------------------------------------
         let mut depth_items: Vec<EncryptedItem> = Vec::with_capacity(m);
         for (j, &list_idx) in token.permuted_lists.iter().enumerate() {
-            let raw = er.list(list_idx).item(depth).expect("depth < n for every list").clone();
+            let raw = er
+                .list(list_idx)
+                .item(depth)
+                .ok_or_else(|| {
+                    SecTopKError::malformed(format!(
+                        "encrypted list {list_idx} is shorter than the relation size {n}"
+                    ))
+                })?
+                .clone();
             let weighted_score = if token.weight(j) == 1 {
                 raw.score.clone()
             } else {

@@ -12,10 +12,11 @@ use num_bigint::BigInt;
 use rand::{CryptoRng, RngCore};
 
 use sectopk_crypto::keys::MasterKeys;
-use sectopk_crypto::Result;
 use sectopk_ehl::EhlEncoder;
 use sectopk_protocols::ScoredItem;
 use sectopk_storage::ObjectId;
+
+use crate::error::Result;
 
 /// A decrypted query answer: the object and the worst/best bounds the protocol reported
 /// for it at halting time (signed: neutralised placeholder entries decode to −1).
@@ -49,7 +50,7 @@ pub fn resolve_results<R: RngCore + CryptoRng>(
     let encoded: Vec<(ObjectId, sectopk_ehl::EhlPlus)> = candidates
         .iter()
         .map(|&id| Ok((id, encoder.encode(&id.to_bytes(), pk, rng)?)))
-        .collect::<Result<Vec<_>>>()?;
+        .collect::<sectopk_crypto::Result<Vec<_>>>()?;
 
     let mut out = Vec::with_capacity(items.len());
     for item in items {

@@ -13,12 +13,14 @@ use rand::{CryptoRng, RngCore};
 
 use sectopk_crypto::keys::MasterKeys;
 use sectopk_crypto::paillier::DEFAULT_MODULUS_BITS;
-use sectopk_crypto::{Result, DEFAULT_EHL_KEYS};
+use sectopk_crypto::DEFAULT_EHL_KEYS;
 use sectopk_protocols::TwoClouds;
 use sectopk_storage::{
     encrypt_relation, encrypt_relation_parallel, generate_token, EncryptedRelation,
     EncryptionStats, QueryToken, Relation, TopKQuery,
 };
+
+use crate::error::Result;
 
 /// The data owner: holds the master keys, encrypts relations, and authorises clients.
 #[derive(Clone, Debug)]
@@ -40,6 +42,12 @@ impl DataOwner {
         Ok(DataOwner { keys: MasterKeys::generate(modulus_bits, ehl_keys, rng)? })
     }
 
+    /// Build a data owner around existing key material (e.g. keys restored from a
+    /// serving deployment's key store).
+    pub fn from_keys(keys: MasterKeys) -> Self {
+        DataOwner { keys }
+    }
+
     /// Create a data owner with the library defaults (256-bit modulus, `s = 5`).
     pub fn with_defaults<R: RngCore + CryptoRng>(rng: &mut R) -> Result<Self> {
         Self::new(DEFAULT_MODULUS_BITS, DEFAULT_EHL_KEYS, rng)
@@ -56,7 +64,7 @@ impl DataOwner {
         relation: &Relation,
         rng: &mut R,
     ) -> Result<(EncryptedRelation, EncryptionStats)> {
-        encrypt_relation(relation, &self.keys, rng)
+        Ok(encrypt_relation(relation, &self.keys, rng)?)
     }
 
     /// `Enc(λ, R)` with one worker thread per attribute list (the setup measured in
@@ -66,7 +74,7 @@ impl DataOwner {
         relation: &Relation,
         rng: &mut R,
     ) -> Result<(EncryptedRelation, EncryptionStats)> {
-        encrypt_relation_parallel(relation, &self.keys, rng)
+        Ok(encrypt_relation_parallel(relation, &self.keys, rng)?)
     }
 
     /// Hand an authorized client the key material it needs for token generation.
@@ -76,8 +84,13 @@ impl DataOwner {
 
     /// Instantiate the two-cloud execution context: S1 receives the public keys, S2 the
     /// decryption keys (Figure 1).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DataOwner::connect` for a `Session`, or `TwoClouds::new` for \
+                protocol-level access"
+    )]
     pub fn setup_clouds(&self, seed: u64) -> Result<TwoClouds> {
-        TwoClouds::new(&self.keys, seed)
+        Ok(TwoClouds::new(&self.keys, seed)?)
     }
 }
 
@@ -98,12 +111,8 @@ impl AuthorizedClient {
     }
 
     /// `Token(K, q)`: build the query token for a relation with `num_attributes` columns.
-    pub fn token(
-        &self,
-        num_attributes: usize,
-        query: &TopKQuery,
-    ) -> std::result::Result<QueryToken, String> {
-        generate_token(&self.keys.prp_key, num_attributes, query)
+    pub fn token(&self, num_attributes: usize, query: &TopKQuery) -> Result<QueryToken> {
+        Ok(generate_token(&self.keys.prp_key, num_attributes, query)?)
     }
 }
 
@@ -133,7 +142,7 @@ mod tests {
         assert_eq!(token.num_attributes(), 2);
         assert!(client.token(2, &TopKQuery::sum(vec![5], 1)).is_err());
 
-        let clouds = owner.setup_clouds(3).unwrap();
+        let clouds = TwoClouds::new(owner.keys(), 3).unwrap();
         assert_eq!(clouds.pk().n(), owner.keys().paillier_public.n());
     }
 }

@@ -1,29 +1,31 @@
-//! Fast standalone smoke test: one `sec_query` end to end on a 3-row relation.
+//! Fast standalone smoke test: one query end to end through the `Session` /
+//! `QueryBuilder` front door on a 3-row relation.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sectopk_core::{resolve_results, sec_query, DataOwner, QueryConfig};
-use sectopk_storage::{ObjectId, Relation, Row, TopKQuery};
+use sectopk_core::{DataOwner, Query, Session};
+use sectopk_storage::{ObjectId, Relation, Row};
 
 #[test]
-fn sec_query_top_1_on_three_rows() {
+fn session_executes_top_1_on_three_rows() {
     let mut rng = StdRng::seed_from_u64(0xC04E);
     let owner = DataOwner::new(128, 3, &mut rng).expect("owner setup");
-    let relation = Relation::from_rows(vec![
-        Row { id: ObjectId(1), values: vec![10, 3] },
-        Row { id: ObjectId(2), values: vec![8, 8] },
-        Row { id: ObjectId(3), values: vec![5, 7] },
-    ]);
-    let (er, _) = owner.encrypt(&relation, &mut rng).expect("encrypt");
+    let relation = Relation::new(
+        vec!["a".into(), "b".into()],
+        vec![
+            Row { id: ObjectId(1), values: vec![10, 3] },
+            Row { id: ObjectId(2), values: vec![8, 8] },
+            Row { id: ObjectId(3), values: vec![5, 7] },
+        ],
+    );
+    let (outsourced, _) = owner.outsource(&relation, &mut rng).expect("encrypt");
 
-    let client = owner.authorize_client();
-    let token = client.token(2, &TopKQuery::sum(vec![0, 1], 1)).expect("token");
+    let query = Query::top_k(1).attributes(["a", "b"]).resolve(&relation).expect("query");
+    let mut session = owner.connect(&outsourced, 42).expect("clouds");
+    let answer = session.execute(&query).expect("query");
 
-    let mut clouds = owner.setup_clouds(42).expect("clouds");
-    let outcome = sec_query(&mut clouds, &er, &token, &QueryConfig::dup_elim()).expect("query");
-
-    let ids: Vec<ObjectId> = relation.rows().iter().map(|r| r.id).collect();
-    let resolved = resolve_results(&outcome.top_k, &ids, owner.keys(), &mut rng).expect("resolve");
-    // 8 + 8 = 16 is the highest aggregate score.
-    assert_eq!(resolved[0].object, Some(ObjectId(2)));
+    // 8 + 8 = 16 is the highest aggregate score; the planner keeps tiny relations on
+    // the fully private path and records its decision.
+    assert_eq!(answer.object_ids(), vec![ObjectId(2)]);
+    assert!(answer.plan().expect("plan recorded").auto);
 }

@@ -3,7 +3,7 @@
 //! The secure k-nearest-neighbour comparator baseline used in §11.3 of the paper.
 //!
 //! The paper compares SecTopK against the SkNN protocol of Elmehdwi, Samanthula and
-//! Jiang (ICDE'14, reference [21]): a two-cloud protocol in which, **for every query**,
+//! Jiang (ICDE'14, reference \[21\]): a two-cloud protocol in which, **for every query**,
 //! S1 and S2 jointly compute an encrypted distance for *every* record (O(n·m) secure
 //! multiplications and the corresponding communication) and then select the k smallest
 //! distances with secure comparisons (O(n·k)).  The point of the comparison is the cost

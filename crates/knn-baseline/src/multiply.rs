@@ -12,8 +12,7 @@ use num_bigint::BigUint;
 
 use sectopk_crypto::bigint::random_below;
 use sectopk_crypto::paillier::Ciphertext;
-use sectopk_crypto::Result;
-use sectopk_protocols::TwoClouds;
+use sectopk_protocols::{Result, TwoClouds};
 
 /// Compute `Enc(a · b)` from `Enc(a)` and `Enc(b)` (both under the shared public key),
 /// with S2's help.  S2 sees only uniformly blinded values.

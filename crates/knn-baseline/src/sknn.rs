@@ -6,8 +6,7 @@ use serde::{Deserialize, Serialize};
 use rand::{CryptoRng, RngCore};
 use sectopk_crypto::keys::MasterKeys;
 use sectopk_crypto::paillier::Ciphertext;
-use sectopk_crypto::Result;
-use sectopk_protocols::{ChannelMetrics, TwoClouds};
+use sectopk_protocols::{ChannelMetrics, Result, TwoClouds};
 use sectopk_storage::Relation;
 
 use crate::multiply::secure_multiply_batch;
@@ -51,8 +50,11 @@ pub fn encrypt_for_knn<R: RngCore + CryptoRng>(
     let pk = &keys.paillier_public;
     let mut records = Vec::with_capacity(relation.len());
     for row in relation.rows() {
-        let encrypted: Vec<Ciphertext> =
-            row.values.iter().map(|&v| pk.encrypt_u64(v, rng)).collect::<Result<Vec<_>>>()?;
+        let encrypted: Vec<Ciphertext> = row
+            .values
+            .iter()
+            .map(|&v| pk.encrypt_u64(v, rng))
+            .collect::<sectopk_crypto::Result<Vec<_>>>()?;
         records.push(encrypted);
     }
     Ok(KnnEncryptedDatabase { records })
@@ -96,8 +98,10 @@ pub fn sknn_query(
 
     // Encrypt the query point (done by the querying client in [21]; S1 only ever holds
     // ciphertexts of it).  Nonces come from S1's precomputed pool.
-    let enc_query: Vec<Ciphertext> =
-        query_point.iter().map(|&q| clouds.s1.pool.encrypt_u64(q)).collect::<Result<Vec<_>>>()?;
+    let enc_query: Vec<Ciphertext> = query_point
+        .iter()
+        .map(|&q| clouds.s1.pool.encrypt_u64(q))
+        .collect::<sectopk_crypto::Result<Vec<_>>>()?;
 
     // ---- Per-record encrypted squared distance: Σ_j (x_j − q_j)². ----------------------
     // Every squared difference needs one secure multiplication — n·m of them in total,

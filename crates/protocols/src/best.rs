@@ -16,10 +16,10 @@
 //! round.  With batching, all lists and all items of one depth share one equality round
 //! and one `RecoverEnc` round.
 
+use crate::error::Result;
 use sectopk_crypto::damgard_jurik::LayeredCiphertext;
 use sectopk_crypto::paillier::Ciphertext;
 use sectopk_crypto::prp::RandomPermutation;
-use sectopk_crypto::Result;
 use sectopk_ehl::EhlPlus;
 use sectopk_storage::EncryptedItem;
 

@@ -5,8 +5,8 @@
 //! secret keys, stores no data).  Both parties are semi-honest and non-colluding.
 //!
 //! A [`TwoClouds`] value holds S1's state directly and reaches S2 **only** through a
-//! [`Transport`](crate::transport::Transport): every S1 ↔ S2 exchange is a typed,
-//! serializable [`S1Request`] / [`S2Response`](crate::transport::S2Response) round trip,
+//! [`Transport`]: every S1 ↔ S2 exchange is a typed,
+//! serializable [`S1Request`] / [`S2Response`] round trip,
 //! metered in the transport's [`ChannelMetrics`] and reflected in the per-party
 //! [`LeakageLedger`]s.  The transport is selected by [`TransportKind`] (or the
 //! `SECTOPK_TRANSPORT` environment variable): in-process for speed, or a real
@@ -15,11 +15,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::error::Result;
 use sectopk_crypto::damgard_jurik::DjPublicKey;
 use sectopk_crypto::keys::{MasterKeys, S1Keys};
 use sectopk_crypto::paillier::{generate_keypair, PaillierPublicKey, PaillierSecretKey};
 use sectopk_crypto::pool::RandomnessPool;
-use sectopk_crypto::Result;
 
 use crate::channel::ChannelMetrics;
 use crate::engine::S2Engine;
@@ -182,6 +182,13 @@ impl TwoClouds {
         self.batching
     }
 
+    /// The simulated inter-cloud link the transport runs over (ideal for dedicated
+    /// transports; the connected RTT for multiplexed sessions).  Feeds the adaptive
+    /// query planner's §11 cost model.
+    pub fn link_profile(&self) -> LinkProfile {
+        self.transport.link()
+    }
+
     /// Communication statistics accumulated so far (metered at the transport boundary).
     pub fn channel(&self) -> ChannelMetrics {
         self.transport.metrics()
@@ -207,6 +214,13 @@ impl TwoClouds {
     /// Ship one request to S2 and return its response (one metered round trip).
     pub(crate) fn round(&mut self, request: S1Request) -> Result<S2Response> {
         self.transport.round_trip(request)
+    }
+
+    /// Ship one *raw* request to S2 — the escape hatch the conformance and
+    /// failure-injection suites use to exercise the engine's typed error frames.
+    /// Regular callers speak through the sub-protocol methods, never this.
+    pub fn raw_round_trip(&mut self, request: S1Request) -> Result<S2Response> {
+        self.round(request)
     }
 }
 

@@ -28,11 +28,11 @@
 use num_bigint::BigUint;
 use serde::{Deserialize, Serialize};
 
+use crate::error::{ProtocolError, Result};
 use sectopk_crypto::paillier::Ciphertext;
 #[cfg(test)]
 use sectopk_crypto::paillier::PaillierPublicKey;
 use sectopk_crypto::prp::RandomPermutation;
-use sectopk_crypto::{CryptoError, Result};
 
 use crate::context::TwoClouds;
 use crate::items::{rand_blind, ItemBlinding, ScoredItem};
@@ -61,7 +61,7 @@ impl EncryptedBlinding {
                 .alphas
                 .iter()
                 .map(|a| own_pool.encrypt(a))
-                .collect::<Result<Vec<_>>>()?,
+                .collect::<sectopk_crypto::Result<Vec<_>>>()?,
             beta: own_pool.encrypt(&blinding.beta)?,
             gamma: own_pool.encrypt(&blinding.gamma)?,
         })
@@ -171,7 +171,7 @@ impl TwoClouds {
             other => return Err(crate::primitives::unexpected(&other, "Dedup")),
         };
         if returned_items.len() != returned_blindings.len() {
-            return Err(CryptoError::Protocol("dedup reply arity mismatch".into()));
+            return Err(ProtocolError::transport("dedup reply arity mismatch"));
         }
 
         if eliminate {
@@ -182,8 +182,11 @@ impl TwoClouds {
         // ================= S1: unblind ================================================
         let mut output = Vec::with_capacity(returned_items.len());
         for (item, blinding) in returned_items.iter().zip(returned_blindings.iter()) {
-            let alphas: Vec<BigUint> =
-                blinding.alphas.iter().map(|c| own_sk.decrypt(c)).collect::<Result<Vec<_>>>()?;
+            let alphas: Vec<BigUint> = blinding
+                .alphas
+                .iter()
+                .map(|c| own_sk.decrypt(c))
+                .collect::<sectopk_crypto::Result<Vec<_>>>()?;
             let beta = own_sk.decrypt(&blinding.beta)?;
             let gamma = own_sk.decrypt(&blinding.gamma)?;
             let restored =

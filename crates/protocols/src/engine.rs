@@ -14,7 +14,7 @@ use sectopk_crypto::keys::S2Keys;
 use sectopk_crypto::paillier::{Ciphertext, PaillierPublicKey};
 use sectopk_crypto::pool::RandomnessPool;
 use sectopk_crypto::prp::RandomPermutation;
-use sectopk_crypto::{CryptoError, Result};
+use sectopk_crypto::Result;
 use sectopk_ehl::EhlPlus;
 
 use rand::rngs::StdRng;
@@ -24,6 +24,12 @@ use crate::dedup::EncryptedBlinding;
 use crate::items::{rand_blind, rerandomize_item_pooled, ItemBlinding, ScoredItem};
 use crate::ledger::{LeakageEvent, LeakageLedger};
 use crate::transport::{DedupRequest, EqAggregates, EqWants, FilterTuple, S1Request, S2Response};
+use crate::wire::WireError;
+
+/// Result alias for the request handler: engine failures are [`WireError`] frames,
+/// shipped back to S1 as typed `S2Response::Error` messages instead of panicking the
+/// serving thread.
+pub type EngineResult<T> = std::result::Result<T, WireError>;
 
 /// The crypto cloud S2: keys, randomness, nonce pools, ledger, and the request handler.
 #[derive(Debug)]
@@ -79,7 +85,11 @@ impl S2Engine {
     }
 
     /// Process one request and produce the response that travels back to S1.
-    pub fn handle(&mut self, request: &S1Request) -> Result<S2Response> {
+    ///
+    /// Failures are typed [`WireError`]s: the transport encodes them as
+    /// `S2Response::Error` frames, so a malformed or mis-sequenced request is answered,
+    /// not panicked on, and the engine keeps serving subsequent requests.
+    pub fn handle(&mut self, request: &S1Request) -> EngineResult<S2Response> {
         match request {
             S1Request::EqTest { diff, context, depth, accumulate, reply_bit } => {
                 let bit = self.observe_eq_bit(diff, context, *depth)?;
@@ -95,7 +105,7 @@ impl S2Engine {
             }
             S1Request::EqMatrix { diffs, cols, context, depth, want } => {
                 if *cols == 0 || diffs.len() % cols != 0 {
-                    return Err(CryptoError::Protocol(format!(
+                    return Err(WireError::malformed(format!(
                         "equality matrix of {} entries is not a multiple of {cols} columns",
                         diffs.len()
                     )));
@@ -113,13 +123,11 @@ impl S2Engine {
             }
             S1Request::EqAggregate { rows, cols, want } => {
                 if *cols == 0 {
-                    return Err(CryptoError::Protocol(
-                        "EqAggregate over a zero-column matrix".into(),
-                    ));
+                    return Err(WireError::malformed("EqAggregate over a zero-column matrix"));
                 }
                 let count = rows * cols;
                 if self.pending_eq.len() != count {
-                    return Err(CryptoError::Protocol(format!(
+                    return Err(WireError::bad_sequence(format!(
                         "EqAggregate over {count} bits but {} were streamed",
                         self.pending_eq.len()
                     )));
@@ -169,7 +177,7 @@ impl S2Engine {
                     if matches!(req, S1Request::Batch(_)) {
                         // One level of batching is all the protocols need; rejecting
                         // nesting keeps the handler's recursion bounded.
-                        return Err(CryptoError::Protocol("nested Batch requests".into()));
+                        return Err(WireError::malformed("nested Batch requests"));
                     }
                     responses.push(self.handle(req)?);
                 }
@@ -234,10 +242,10 @@ impl S2Engine {
     /// The S2 phase of `SecDedup` / `SecDupElim` (Algorithm 7 / §10.1): decrypt the
     /// permuted equality matrix, neutralise (or drop) duplicates, layer fresh blinding
     /// and a second permutation on the survivors.
-    fn handle_dedup(&mut self, request: &DedupRequest) -> Result<S2Response> {
+    fn handle_dedup(&mut self, request: &DedupRequest) -> EngineResult<S2Response> {
         let l = request.items.len();
         if request.blindings.len() != l {
-            return Err(CryptoError::Protocol("one blinding per dedup item required".into()));
+            return Err(WireError::malformed("one blinding per dedup item required"));
         }
 
         // Obtain the equality bits: inline matrix (batched) or the bits streamed ahead
@@ -245,7 +253,7 @@ impl S2Engine {
         let bits: Vec<bool> = match &request.matrix {
             Some(matrix) => {
                 if matrix.len() != request.pair_indices.len() {
-                    return Err(CryptoError::Protocol("dedup matrix arity mismatch".into()));
+                    return Err(WireError::malformed("dedup matrix arity mismatch"));
                 }
                 let mut bits = Vec::with_capacity(matrix.len());
                 for diff in matrix {
@@ -255,7 +263,7 @@ impl S2Engine {
             }
             None => {
                 if self.pending_eq.len() != request.pair_indices.len() {
-                    return Err(CryptoError::Protocol(format!(
+                    return Err(WireError::bad_sequence(format!(
                         "dedup expects {} streamed equality bits, found {}",
                         request.pair_indices.len(),
                         self.pending_eq.len()
@@ -268,7 +276,7 @@ impl S2Engine {
         let mut equal = vec![vec![false; l]; l];
         for (&(a, b), &is_eq) in request.pair_indices.iter().zip(bits.iter()) {
             if a >= l || b >= l {
-                return Err(CryptoError::Protocol("dedup pair index out of range".into()));
+                return Err(WireError::malformed("dedup pair index out of range"));
             }
             equal[a][b] = is_eq;
             equal[b][a] = is_eq;
@@ -355,7 +363,7 @@ impl S2Engine {
 
     /// The S2 phase of `SecFilter` (Algorithm 12): drop blinded all-zero tuples,
     /// re-blind and re-permute the survivors, updating S1's encrypted unblinders.
-    fn handle_filter(&mut self, tuples: &[FilterTuple]) -> Result<S2Response> {
+    fn handle_filter(&mut self, tuples: &[FilterTuple]) -> EngineResult<S2Response> {
         let pk = self.keys.paillier_public.clone();
         let own_pk = self.s1_own_public.clone();
         let sk = self.keys.paillier_secret.clone();

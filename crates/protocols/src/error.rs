@@ -1,0 +1,110 @@
+//! The protocol layer's error model.
+//!
+//! Everything that can go wrong between the two clouds falls into one of three classes,
+//! and [`ProtocolError`] keeps them apart so callers can react differently to each:
+//!
+//! * [`ProtocolError::Crypto`] — a *local* cryptographic operation failed on the S1 side
+//!   (corrupted ciphertext, value out of range, …).
+//! * [`ProtocolError::Remote`] — S2 answered with a typed
+//!   [`WireError`] frame instead of a response.  The frame
+//!   crosses the transport as a first-class message, so a malformed or mis-sequenced
+//!   request never kills the S2 worker — the engine keeps serving and the caller gets a
+//!   structured failure.
+//! * [`ProtocolError::Transport`] — the channel itself broke down (thread gone, frame
+//!   undecodable, envelope echo mismatch) or was misused (duplicate session id).
+//!
+//! `From<CryptoError>` lets every sub-protocol keep using `?` on the crypto substrate,
+//! and `sectopk-core` folds the whole enum into its `SecTopKError` the same way.
+
+use std::fmt;
+
+use sectopk_crypto::CryptoError;
+
+use crate::wire::WireError;
+
+/// An error raised by the two-cloud protocol layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A local cryptographic operation failed on the caller's (S1's) side.
+    Crypto(CryptoError),
+    /// The crypto cloud S2 reported a typed failure over the wire.
+    Remote(WireError),
+    /// The transport broke down or was misused (channel closed, undecodable frame,
+    /// envelope mismatch, duplicate session id).
+    Transport(String),
+}
+
+impl ProtocolError {
+    /// Build a transport-layer error from anything displayable.
+    pub fn transport(what: impl Into<String>) -> Self {
+        ProtocolError::Transport(what.into())
+    }
+
+    /// True when the failure was reported by the remote party (S2), i.e. the local
+    /// session and transport are still healthy and can keep issuing requests.
+    pub fn is_remote(&self) -> bool {
+        matches!(self, ProtocolError::Remote(_))
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Crypto(e) => write!(f, "crypto failure: {e}"),
+            ProtocolError::Remote(e) => write!(f, "S2 reported: {e}"),
+            ProtocolError::Transport(what) => write!(f, "transport failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Crypto(e) => Some(e),
+            ProtocolError::Remote(e) => Some(e),
+            ProtocolError::Transport(_) => None,
+        }
+    }
+}
+
+impl From<CryptoError> for ProtocolError {
+    fn from(e: CryptoError) -> Self {
+        ProtocolError::Crypto(e)
+    }
+}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> Self {
+        ProtocolError::Remote(e)
+    }
+}
+
+/// Result alias for the protocol layer.
+pub type Result<T> = std::result::Result<T, ProtocolError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{WireError, WireErrorCode};
+
+    #[test]
+    fn display_distinguishes_the_classes() {
+        let c = ProtocolError::from(CryptoError::NotInvertible);
+        assert!(c.to_string().contains("crypto failure"));
+        let r = ProtocolError::from(WireError::malformed("bad arity"));
+        assert!(r.to_string().contains("S2 reported"));
+        assert!(r.to_string().contains("bad arity"));
+        assert!(r.is_remote());
+        let t = ProtocolError::transport("channel closed");
+        assert!(t.to_string().contains("transport failure"));
+        assert!(!t.is_remote());
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        use std::error::Error;
+        let r = ProtocolError::Remote(WireError::new(WireErrorCode::BadSequence, "x"));
+        assert!(r.source().is_some());
+        assert!(ProtocolError::transport("y").source().is_none());
+    }
+}

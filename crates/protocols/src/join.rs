@@ -19,10 +19,10 @@
 use num_bigint::BigUint;
 use serde::{Deserialize, Serialize};
 
+use crate::error::Result;
 use sectopk_crypto::bigint::{mod_inverse, random_below, random_invertible};
 use sectopk_crypto::paillier::Ciphertext;
 use sectopk_crypto::prp::RandomPermutation;
-use sectopk_crypto::Result;
 use sectopk_ehl::EhlPlus;
 use sectopk_storage::EncryptedItem;
 

@@ -38,6 +38,7 @@ pub mod channel;
 pub mod context;
 pub mod dedup;
 pub mod engine;
+pub mod error;
 pub mod items;
 pub mod join;
 pub mod ledger;
@@ -52,7 +53,8 @@ pub mod worst;
 pub use channel::{ChannelMetrics, Direction};
 pub use context::{S1State, TwoClouds};
 pub use dedup::EncryptedBlinding;
-pub use engine::S2Engine;
+pub use engine::{EngineResult, S2Engine};
+pub use error::{ProtocolError, Result};
 pub use items::{
     rand_blind, rand_unblind, rerandomize_item, rerandomize_item_pooled, ItemBlinding, ScoredItem,
 };
@@ -65,3 +67,4 @@ pub use transport::{
     TRANSPORT_ENV,
 };
 pub use update::UpdateMode;
+pub use wire::{WireError, WireErrorCode};

@@ -68,15 +68,15 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use sectopk_crypto::{CryptoError, Result};
-
 use crate::channel::{ChannelMetrics, Direction};
 use crate::engine::S2Engine;
+use crate::error::{ProtocolError, Result};
 use crate::ledger::LeakageLedger;
 use crate::transport::{
     frame, framed, response_or_error, S1Request, S2Response, Transport, TransportKind,
 };
 use crate::wire;
+use crate::wire::WireError;
 
 /// Identifier of one S1 session on a multiplexed channel.  Chosen by the serving layer
 /// (e.g. densely numbered client connections); must be unique per [`MultiplexServer`].
@@ -118,7 +118,7 @@ impl Envelope {
     /// control messages that carry no tag; protocol traffic always has at least a tag.
     pub fn decode(bytes: &[u8]) -> Result<Envelope> {
         if bytes.len() < ENVELOPE_HEADER_LEN {
-            return Err(CryptoError::Protocol("truncated multiplex envelope".into()));
+            return Err(ProtocolError::transport("truncated multiplex envelope"));
         }
         let mut session = [0u8; 8];
         session.copy_from_slice(&bytes[..8]);
@@ -224,7 +224,7 @@ impl MultiplexServer {
         {
             let mut registry = self.registry.lock().expect("session registry poisoned");
             if registry.contains_key(&session) {
-                return Err(CryptoError::Protocol(format!("{session} is already connected")));
+                return Err(ProtocolError::transport(format!("{session} is already connected")));
             }
             registry.insert(
                 session,
@@ -300,10 +300,10 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Vec<u8>>>, registry: &Registry) {
         let reply_frame: Vec<u8> = match tag {
             frame::REQUEST => {
                 let response = match wire::from_bytes::<S1Request>(payload) {
-                    Ok(request) => {
-                        engine.handle(&request).unwrap_or_else(|e| S2Response::Error(e.to_string()))
+                    Ok(request) => engine.handle(&request).unwrap_or_else(S2Response::Error),
+                    Err(e) => {
+                        S2Response::Error(WireError::codec(format!("undecodable request: {e}")))
                     }
-                    Err(e) => S2Response::Error(format!("undecodable request: {e}")),
                 };
                 framed(frame::RESPONSE, &response)
             }
@@ -312,7 +312,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Vec<u8>>>, registry: &Registry) {
                 engine.reset();
                 vec![frame::RESET_DONE]
             }
-            _ => framed(frame::RESPONSE, &S2Response::Error(format!("unknown frame tag {tag}"))),
+            _ => framed(frame::RESPONSE, &S2Response::Error(WireError::unknown_frame(tag))),
         };
         drop(engine);
         let reply = Envelope { session: envelope.session, seq: envelope.seq, frame: reply_frame };
@@ -379,17 +379,17 @@ impl MultiplexTransport {
         let envelope = Envelope { session: self.session, seq, frame: frame_bytes };
         self.to_server
             .send(envelope.encode())
-            .map_err(|_| CryptoError::Protocol("multiplex server is gone".into()))?;
+            .map_err(|_| ProtocolError::transport("multiplex server is gone"))?;
         if !delay.is_zero() {
             std::thread::sleep(delay);
         }
         let incoming = self
             .from_server
             .recv()
-            .map_err(|_| CryptoError::Protocol("multiplex server hung up".into()))?;
+            .map_err(|_| ProtocolError::transport("multiplex server hung up"))?;
         let reply = Envelope::decode(&incoming)?;
         if reply.session != self.session || reply.seq != seq {
-            return Err(CryptoError::Protocol(format!(
+            return Err(ProtocolError::transport(format!(
                 "envelope echo mismatch: sent {}#{seq}, got {}#{}",
                 self.session, reply.session, reply.seq
             )));
@@ -409,7 +409,7 @@ impl MultiplexTransport {
         let reply = self.exchange_with_seq(0, vec![tag], Duration::ZERO)?;
         match reply.frame.split_first() {
             Some((&t, payload)) if t == expected_reply => Ok(payload.to_vec()),
-            _ => Err(CryptoError::Protocol("unexpected control reply from S2".into())),
+            _ => Err(ProtocolError::transport("unexpected control reply from S2")),
         }
     }
 }
@@ -423,10 +423,10 @@ impl Transport for MultiplexTransport {
         let reply = self.exchange(out_frame)?;
         let payload = match reply.frame.split_first() {
             Some((&frame::RESPONSE, payload)) => payload,
-            _ => return Err(CryptoError::Protocol("unexpected reply frame from S2".into())),
+            _ => return Err(ProtocolError::transport("unexpected reply frame from S2")),
         };
         let response: S2Response = wire::from_bytes(payload)
-            .map_err(|e| CryptoError::Protocol(format!("undecodable response: {e}")))?;
+            .map_err(|e| ProtocolError::transport(format!("undecodable response: {e}")))?;
         self.metrics.record(Direction::S2ToS1, payload.len(), response.ciphertext_count());
         response_or_error(response)
     }
@@ -455,6 +455,10 @@ impl Transport for MultiplexTransport {
 
     fn kind(&self) -> TransportKind {
         TransportKind::Multiplex
+    }
+
+    fn link(&self) -> LinkProfile {
+        self.link
     }
 }
 
@@ -567,7 +571,7 @@ mod tests {
             server.connect(SessionId(9), engine_for(&master, 1), LinkProfile::ideal()).unwrap();
         let err =
             server.connect(SessionId(9), engine_for(&master, 2), LinkProfile::ideal()).unwrap_err();
-        assert!(matches!(err, CryptoError::Protocol(_)));
+        assert!(matches!(err, ProtocolError::Transport(_)));
         assert_eq!(server.active_sessions(), 1);
     }
 
@@ -599,7 +603,7 @@ mod tests {
         drop(server);
         let mut rng = StdRng::seed_from_u64(2);
         let err = t.round_trip(compare_request(&master, 1, &mut rng)).unwrap_err();
-        assert!(matches!(err, CryptoError::Protocol(_)));
+        assert!(matches!(err, ProtocolError::Transport(_)));
     }
 
     #[test]
@@ -624,7 +628,7 @@ mod tests {
         let err = t
             .round_trip(S1Request::EqAggregate { rows: 2, cols: 2, want: EqWants::none() })
             .unwrap_err();
-        assert!(matches!(err, CryptoError::Protocol(_)));
+        assert!(matches!(err, ProtocolError::Remote(_)));
         // The single worker survived and still serves requests.
         let mut rng = StdRng::seed_from_u64(5);
         t.round_trip(compare_request(&master, 1, &mut rng)).unwrap();

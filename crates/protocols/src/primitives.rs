@@ -8,20 +8,20 @@
 //! * `RecoverEnc` (Algorithm 5) — stripping the outer Damgård–Jurik layer without letting
 //!   S2 see the inner plaintext,
 //! * encrypted selection `Enc(t·x)` from `E2(t)` and `Enc(x)`,
-//! * `EncCompare` — the encrypted comparison of [11], realised here as a
+//! * `EncCompare` — the encrypted comparison of \[11\], realised here as a
 //!   blind-flip-and-scale protocol (see the SECURITY note below),
 //! * a batched comparison against a common threshold (used by the halting check),
 //! * the blinded-product exchange the SkNN baseline builds its SM protocol from.
 //!
 //! # SECURITY note on the comparison realisation
 //!
-//! The paper treats EncCompare as a black box from Bost et al. [11].  Our realisation has
+//! The paper treats EncCompare as a black box from Bost et al. \[11\].  Our realisation has
 //! S1 send `Enc(±α·(a−b))` for a fresh random sign flip and a fresh random positive
 //! scale `α`; S2 decrypts and reports only the sign of the blinded value.  S2 therefore
 //! observes a sign bit that is uniform thanks to the flip (plus, for exact ties, the fact
 //! that the two values are equal), and a magnitude scaled by an unknown α.  S1 learns the
 //! comparison outcome, which is what the functionality is supposed to deliver.  This
-//! keeps the message pattern, round count and asymptotic cost of [11] while remaining a
+//! keeps the message pattern, round count and asymptotic cost of \[11\] while remaining a
 //! few hundred lines; the residual leakage is recorded in the ledgers and called out in
 //! DESIGN.md.
 
@@ -29,9 +29,9 @@ use num_bigint::BigUint;
 use num_traits::Zero;
 use rand::Rng;
 
+use crate::error::{ProtocolError, Result};
 use sectopk_crypto::damgard_jurik::LayeredCiphertext;
 use sectopk_crypto::paillier::Ciphertext;
-use sectopk_crypto::{CryptoError, Result};
 use sectopk_ehl::EhlPlus;
 
 use crate::context::TwoClouds;
@@ -79,8 +79,8 @@ pub(crate) struct EqOutcome {
 
 /// The error raised when S2 answers with the wrong response kind (shared by every
 /// request site in the crate).
-pub(crate) fn unexpected(response: &S2Response, expected: &str) -> CryptoError {
-    CryptoError::Protocol(format!("expected {expected} response, got {response:?}"))
+pub(crate) fn unexpected(response: &S2Response, expected: &str) -> ProtocolError {
+    ProtocolError::transport(format!("expected {expected} response, got {response:?}"))
 }
 
 impl TwoClouds {
@@ -182,7 +182,7 @@ impl TwoClouds {
             out
         };
         if out.len() != expected {
-            return Err(CryptoError::Protocol(format!(
+            return Err(ProtocolError::transport(format!(
                 "element-wise exchange arity mismatch: sent {expected}, received {}",
                 out.len()
             )));
@@ -417,7 +417,7 @@ impl TwoClouds {
 
     /// Encrypt a fresh zero under the shared public key (pooled nonce).
     pub fn fresh_zero(&mut self) -> Result<Ciphertext> {
-        self.s1.pool.encrypt(&BigUint::zero())
+        Ok(self.s1.pool.encrypt(&BigUint::zero())?)
     }
 }
 

@@ -1,6 +1,6 @@
 //! `EncSort` — sorting a list of encrypted scored items by their (encrypted) worst score.
 //!
-//! The paper uses the sorting protocol of Baldimtsi–Ohrimenko [7] as a black box.  This
+//! The paper uses the sorting protocol of Baldimtsi–Ohrimenko \[7\] as a black box.  This
 //! reproduction realises the same functionality with a **Batcher odd–even merge sorting
 //! network** whose compare-exchange gates call the [`TwoClouds::compare_many`] primitive:
 //! all gates of one network stage are independent, so with round-trip batching each
@@ -14,8 +14,8 @@
 //! functionality hands to S1 anyway.  S2 sees only uniformly flipped, scaled signs.  See
 //! DESIGN.md for the discussion of this substitution.
 
+use crate::error::Result;
 use sectopk_crypto::paillier::Ciphertext;
-use sectopk_crypto::Result;
 
 use crate::context::TwoClouds;
 use crate::items::{rerandomize_item_pooled, ScoredItem};

@@ -72,14 +72,16 @@ use serde::{Deserialize, Serialize};
 
 use sectopk_crypto::damgard_jurik::LayeredCiphertext;
 use sectopk_crypto::paillier::Ciphertext;
-use sectopk_crypto::{CryptoError, Result};
 
 use crate::channel::{ChannelMetrics, Direction};
 use crate::dedup::EncryptedBlinding;
 use crate::engine::S2Engine;
+use crate::error::{ProtocolError, Result};
 use crate::items::ScoredItem;
 use crate::ledger::LeakageLedger;
+use crate::multiplex::LinkProfile;
 use crate::wire;
+use crate::wire::WireError;
 
 // ====================================================================================
 // Message types
@@ -309,8 +311,9 @@ pub enum S2Response {
     Products(Vec<Ciphertext>),
     /// Replies to a [`S1Request::Batch`], in request order.
     Batch(Vec<S2Response>),
-    /// S2 failed to process the request; the transport surfaces this as an error.
-    Error(String),
+    /// S2 failed to process the request: a typed [`WireError`] frame.  The transport
+    /// surfaces it as [`ProtocolError::Remote`]; the S2 worker keeps serving.
+    Error(WireError),
 }
 
 impl S2Response {
@@ -415,13 +418,20 @@ pub trait Transport: fmt::Debug + Send {
 
     /// Which implementation this is.
     fn kind(&self) -> TransportKind;
+
+    /// The simulated link profile the transport runs over.  Dedicated transports run on
+    /// an ideal link; the multiplexed transport reports the RTT it was connected with,
+    /// which is what the adaptive query planner feeds into the §11 cost model.
+    fn link(&self) -> LinkProfile {
+        LinkProfile::ideal()
+    }
 }
 
-/// Surface an `S2Response::Error` as the transport-level protocol error every
-/// implementation maps it to.
+/// Surface an `S2Response::Error` frame as the [`ProtocolError::Remote`] every
+/// transport implementation maps it to.
 pub(crate) fn response_or_error(response: S2Response) -> Result<S2Response> {
     match response {
-        S2Response::Error(message) => Err(CryptoError::Protocol(message)),
+        S2Response::Error(e) => Err(ProtocolError::Remote(e)),
         other => Ok(other),
     }
 }
@@ -461,11 +471,11 @@ impl Transport for InProcessTransport {
             wire::encoded_len(&request),
             request.ciphertext_count(),
         );
-        // Engine failures become an `S2Response::Error` exactly as on the threaded
-        // transport, so the reply is metered identically on both implementations and
-        // the caller sees the same `CryptoError::Protocol` either way.
-        let response =
-            self.engine.handle(&request).unwrap_or_else(|e| S2Response::Error(e.to_string()));
+        // Engine failures become an `S2Response::Error` frame exactly as on the
+        // threaded transport, so the reply is metered identically on both
+        // implementations and the caller sees the same `ProtocolError::Remote` either
+        // way.
+        let response = self.engine.handle(&request).unwrap_or_else(S2Response::Error);
         self.metrics.record(
             Direction::S2ToS1,
             wire::encoded_len(&response),
@@ -548,10 +558,12 @@ impl ChannelTransport {
                 let reply: Vec<u8> = match tag {
                     frame::REQUEST => {
                         let response = match wire::from_bytes::<S1Request>(payload) {
-                            Ok(request) => engine
-                                .handle(&request)
-                                .unwrap_or_else(|e| S2Response::Error(e.to_string())),
-                            Err(e) => S2Response::Error(format!("undecodable request: {e}")),
+                            Ok(request) => {
+                                engine.handle(&request).unwrap_or_else(S2Response::Error)
+                            }
+                            Err(e) => S2Response::Error(WireError::codec(format!(
+                                "undecodable request: {e}"
+                            ))),
                         };
                         framed(frame::RESPONSE, &response)
                     }
@@ -561,10 +573,7 @@ impl ChannelTransport {
                         vec![frame::RESET_DONE]
                     }
                     frame::SHUTDOWN => break,
-                    _ => framed(
-                        frame::RESPONSE,
-                        &S2Response::Error(format!("unknown frame tag {tag}")),
-                    ),
+                    _ => framed(frame::RESPONSE, &S2Response::Error(WireError::unknown_frame(tag))),
                 };
                 if s2_outbox.send(reply).is_err() {
                     break; // S1 hung up.
@@ -575,14 +584,12 @@ impl ChannelTransport {
     }
 
     fn control(&self, tag: u8, expected_reply: u8) -> Result<Vec<u8>> {
-        self.to_s2
-            .send(vec![tag])
-            .map_err(|_| CryptoError::Protocol("S2 thread is gone".into()))?;
+        self.to_s2.send(vec![tag]).map_err(|_| ProtocolError::transport("S2 thread is gone"))?;
         let reply =
-            self.from_s2.recv().map_err(|_| CryptoError::Protocol("S2 thread hung up".into()))?;
+            self.from_s2.recv().map_err(|_| ProtocolError::transport("S2 thread hung up"))?;
         match reply.split_first() {
             Some((&t, payload)) if t == expected_reply => Ok(payload.to_vec()),
-            _ => Err(CryptoError::Protocol("unexpected control reply from S2".into())),
+            _ => Err(ProtocolError::transport("unexpected control reply from S2")),
         }
     }
 }
@@ -608,15 +615,15 @@ impl Transport for ChannelTransport {
         let outgoing = framed(frame::REQUEST, &request);
         // Metered size = payload only (the tag byte is local framing, not the message).
         self.metrics.record(Direction::S1ToS2, outgoing.len() - 1, request.ciphertext_count());
-        self.to_s2.send(outgoing).map_err(|_| CryptoError::Protocol("S2 thread is gone".into()))?;
+        self.to_s2.send(outgoing).map_err(|_| ProtocolError::transport("S2 thread is gone"))?;
         let incoming =
-            self.from_s2.recv().map_err(|_| CryptoError::Protocol("S2 thread hung up".into()))?;
+            self.from_s2.recv().map_err(|_| ProtocolError::transport("S2 thread hung up"))?;
         let payload = match incoming.split_first() {
             Some((&frame::RESPONSE, payload)) => payload,
-            _ => return Err(CryptoError::Protocol("unexpected reply frame from S2".into())),
+            _ => return Err(ProtocolError::transport("unexpected reply frame from S2")),
         };
         let response: S2Response = wire::from_bytes(payload)
-            .map_err(|e| CryptoError::Protocol(format!("undecodable response: {e}")))?;
+            .map_err(|e| ProtocolError::transport(format!("undecodable response: {e}")))?;
         self.metrics.record(Direction::S2ToS1, payload.len(), response.ciphertext_count());
         response_or_error(response)
     }
@@ -736,16 +743,24 @@ mod tests {
     fn engine_errors_surface_as_protocol_errors() {
         let (_master, eng) = engine(12);
         let mut transport = ChannelTransport::new(eng);
-        // An EqAggregate with no accumulated bits is a protocol violation.
+        use crate::wire::WireErrorCode;
+        // An EqAggregate with no accumulated bits is a sequencing violation.
         let err = transport
             .round_trip(S1Request::EqAggregate { rows: 2, cols: 2, want: EqWants::none() })
             .unwrap_err();
-        assert!(matches!(err, CryptoError::Protocol(_)));
-        // So is a zero-column matrix (would divide by zero in the aggregate derivation).
+        assert!(
+            matches!(&err, ProtocolError::Remote(e) if e.code == WireErrorCode::BadSequence),
+            "unexpected error {err:?}"
+        );
+        // A zero-column matrix is structurally malformed (would divide by zero in the
+        // aggregate derivation).
         let err = transport
             .round_trip(S1Request::EqAggregate { rows: 0, cols: 0, want: EqWants::none() })
             .unwrap_err();
-        assert!(matches!(err, CryptoError::Protocol(_)));
+        assert!(
+            matches!(&err, ProtocolError::Remote(e) if e.code == WireErrorCode::MalformedRequest),
+            "unexpected error {err:?}"
+        );
         // The engine survives both rejections: the thread is still serving requests.
         assert!(transport.s2_ledger().is_empty());
     }

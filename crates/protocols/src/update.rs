@@ -25,10 +25,10 @@
 
 use num_bigint::BigUint;
 
+use crate::error::Result;
 use sectopk_crypto::bigint::random_below;
 use sectopk_crypto::damgard_jurik::LayeredCiphertext;
 use sectopk_crypto::paillier::Ciphertext;
-use sectopk_crypto::Result;
 use sectopk_ehl::EhlPlus;
 
 use crate::context::TwoClouds;

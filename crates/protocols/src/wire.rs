@@ -21,7 +21,104 @@
 //! | `8` | sequence: varint count + encoded items |
 //! | `9` | map: varint count + (varint key length + key UTF-8 + encoded value)* |
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize, Value};
+
+use sectopk_crypto::CryptoError;
+
+// ====================================================================================
+// The typed error frame
+// ====================================================================================
+
+/// Machine-readable failure class of a [`WireError`] frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireErrorCode {
+    /// The request decoded, but its contents are structurally invalid (arity mismatch,
+    /// index out of range, nested batch, zero-column matrix, …).
+    MalformedRequest,
+    /// The request is well-formed but arrived out of sequence with respect to the
+    /// engine's per-session state (e.g. an aggregate over bits that were never
+    /// streamed).
+    BadSequence,
+    /// The request bytes could not be decoded by the wire codec.
+    Codec,
+    /// The frame carried an unknown tag byte.
+    UnknownFrame,
+    /// A cryptographic operation failed while processing the request (corrupted
+    /// ciphertext, wrong key, value out of range).
+    Crypto,
+}
+
+impl WireErrorCode {
+    /// Stable lowercase name, used in `Display` and log output.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireErrorCode::MalformedRequest => "malformed_request",
+            WireErrorCode::BadSequence => "bad_sequence",
+            WireErrorCode::Codec => "codec",
+            WireErrorCode::UnknownFrame => "unknown_frame",
+            WireErrorCode::Crypto => "crypto",
+        }
+    }
+}
+
+/// A structured error frame: how S2 reports a failure back across the transport.
+///
+/// Engine failures never panic the serving thread; they are encoded as an
+/// `S2Response::Error(WireError)` message, metered and shipped like any other reply, and
+/// surfaced to the caller as
+/// [`ProtocolError::Remote`](crate::error::ProtocolError::Remote).  The `code` lets
+/// callers (and the serving layer's failure accounting) distinguish "your request was
+/// garbage" from "the session state is out of sync" without parsing strings.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable failure class.
+    pub code: WireErrorCode,
+    /// Human-readable context for logs and test failure messages.
+    pub message: String,
+}
+
+impl WireError {
+    /// Build an error frame from a code and a message.
+    pub fn new(code: WireErrorCode, message: impl Into<String>) -> Self {
+        WireError { code, message: message.into() }
+    }
+
+    /// A structurally invalid request.
+    pub fn malformed(message: impl Into<String>) -> Self {
+        Self::new(WireErrorCode::MalformedRequest, message)
+    }
+
+    /// A request that is inconsistent with the engine's per-session state.
+    pub fn bad_sequence(message: impl Into<String>) -> Self {
+        Self::new(WireErrorCode::BadSequence, message)
+    }
+
+    /// A frame whose payload could not be decoded.
+    pub fn codec(message: impl Into<String>) -> Self {
+        Self::new(WireErrorCode::Codec, message)
+    }
+
+    /// A frame with an unknown tag byte.
+    pub fn unknown_frame(tag: u8) -> Self {
+        Self::new(WireErrorCode::UnknownFrame, format!("unknown frame tag {tag}"))
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code.name(), self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CryptoError> for WireError {
+    fn from(e: CryptoError) -> Self {
+        WireError::new(WireErrorCode::Crypto, e.to_string())
+    }
+}
 
 /// Encode any serializable message into its binary wire form.
 pub fn to_bytes<T: Serialize + ?Sized>(message: &T) -> Vec<u8> {
@@ -336,6 +433,25 @@ mod tests {
         // But u64::MAX itself (10th byte = 0x01) still round-trips.
         let max = to_bytes(&u64::MAX);
         assert_eq!(from_bytes::<u64>(&max).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn wire_error_frames_round_trip_and_display() {
+        for code in [
+            WireErrorCode::MalformedRequest,
+            WireErrorCode::BadSequence,
+            WireErrorCode::Codec,
+            WireErrorCode::UnknownFrame,
+            WireErrorCode::Crypto,
+        ] {
+            let e = WireError::new(code, "context");
+            let back: WireError = from_bytes(&to_bytes(&e)).unwrap();
+            assert_eq!(back, e);
+            assert!(e.to_string().contains(code.name()));
+        }
+        let crypto: WireError = CryptoError::NotInvertible.into();
+        assert_eq!(crypto.code, WireErrorCode::Crypto);
+        assert_eq!(WireError::unknown_frame(7).code, WireErrorCode::UnknownFrame);
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //! one [`crate::transport::S1Request::Batch`] and all selections are recovered in a
 //! single `RecoverEnc` round: two round trips per depth instead of `2m`.
 
+use crate::error::Result;
 use sectopk_crypto::paillier::Ciphertext;
 use sectopk_crypto::prp::RandomPermutation;
-use sectopk_crypto::Result;
 use sectopk_ehl::EhlPlus;
 use sectopk_storage::EncryptedItem;
 

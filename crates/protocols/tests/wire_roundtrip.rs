@@ -18,7 +18,9 @@ use sectopk_crypto::paillier::Ciphertext;
 use sectopk_ehl::EhlPlus;
 use sectopk_protocols::transport::{DedupRequest, EqAggregates, EqWants, FilterTuple};
 use sectopk_protocols::wire::{encoded_len, from_bytes, to_bytes};
-use sectopk_protocols::{EncryptedBlinding, S1Request, S2Response, ScoredItem};
+use sectopk_protocols::{
+    EncryptedBlinding, S1Request, S2Response, ScoredItem, WireError, WireErrorCode,
+};
 
 fn rand_biguint(rng: &mut StdRng) -> BigUint {
     // 0 to ~33 bytes: covers the empty encoding, single limbs, and multi-limb values.
@@ -144,7 +146,18 @@ fn rand_leaf_request(variant: usize, rng: &mut StdRng) -> S1Request {
     }
 }
 
-/// One random non-`Batch` response per variant index (9 leaf variants).
+fn rand_wire_error(rng: &mut StdRng) -> WireError {
+    let codes = [
+        WireErrorCode::MalformedRequest,
+        WireErrorCode::BadSequence,
+        WireErrorCode::Codec,
+        WireErrorCode::UnknownFrame,
+        WireErrorCode::Crypto,
+    ];
+    WireError::new(codes[rng.gen_range(0..codes.len())], rand_context(rng))
+}
+
+/// One random non-`Batch` response per variant index (10 leaf variants).
 fn rand_leaf_response(variant: usize, rng: &mut StdRng) -> S2Response {
     match variant {
         0 => S2Response::EqBit(rand_layered(rng)),
@@ -165,6 +178,7 @@ fn rand_leaf_response(variant: usize, rng: &mut StdRng) -> S2Response {
         7 => S2Response::Filter {
             survivors: (0..rng.gen_range(0usize..3)).map(|_| rand_filter_tuple(rng)).collect(),
         },
+        8 => S2Response::Error(rand_wire_error(rng)),
         _ => S2Response::Products(rand_ciphertexts(rng, 4)),
     }
 }
@@ -204,8 +218,8 @@ proptest! {
     }
 
     #[test]
-    fn every_response_variant_round_trips(seed in 0u64..500, variant in 0usize..9) {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(9).wrapping_add(variant as u64));
+    fn every_response_variant_round_trips(seed in 0u64..500, variant in 0usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(10).wrapping_add(variant as u64));
         let response = rand_leaf_response(variant, &mut rng);
         assert_response_round_trips(&response);
     }
@@ -218,7 +232,7 @@ proptest! {
         );
         assert_request_round_trips(&batch);
         let reply = S2Response::Batch(
-            (0..len).map(|_| rand_leaf_response(rng.gen_range(0..9), &mut rng)).collect(),
+            (0..len).map(|_| rand_leaf_response(rng.gen_range(0..10), &mut rng)).collect(),
         );
         assert_response_round_trips(&reply);
     }
@@ -243,7 +257,7 @@ fn empty_payload_edge_cases_round_trip() {
     assert_response_round_trips(&S2Response::Batch(Vec::new()));
     assert_response_round_trips(&S2Response::Ack);
     assert_response_round_trips(&S2Response::Signs(Vec::new()));
-    assert_response_round_trips(&S2Response::Error(String::new()));
+    assert_response_round_trips(&S2Response::Error(WireError::malformed(String::new())));
     assert_response_round_trips(&S2Response::EqBits {
         bits: Vec::new(),
         aggregates: EqAggregates::default(),
@@ -257,6 +271,8 @@ fn empty_payload_edge_cases_round_trip() {
 #[test]
 fn error_responses_round_trip_with_arbitrary_text() {
     for text in ["", "plain", "multi\nline", "非 ASCII ✓"] {
-        assert_response_round_trips(&S2Response::Error(text.to_string()));
+        for code in [WireErrorCode::MalformedRequest, WireErrorCode::Crypto] {
+            assert_response_round_trips(&S2Response::Error(WireError::new(code, text)));
+        }
     }
 }

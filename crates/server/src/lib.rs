@@ -6,45 +6,57 @@
 //! A [`QueryServer`] owns the outsourced encrypted relation and a shared
 //! [`MultiplexServer`] — the crypto cloud S2 as a worker-thread pool.  Every client
 //! session is one [`QueryClient`]: an S1-side execution context connected to the shared
-//! S2 over the session-tagged envelope channel, running `sec_query` for a stream of
-//! [`TopKQuery`]s and keeping its own [`ChannelMetrics`] and per-party
-//! [`LeakageLedger`]s.
+//! S2 over the session-tagged envelope channel.  `QueryClient` implements the
+//! [`Session`] trait from `sectopk-core`, so the serving path and the direct two-cloud
+//! path expose the same `execute(Query) → ResolvedTopK` front door, including the
+//! adaptive variant planner.
 //!
 //! ```text
-//!   client 1 ── TopKQuery stream ──▶ QueryClient 1 (S1 state, session 1) ──┐
-//!   client 2 ── TopKQuery stream ──▶ QueryClient 2 (S1 state, session 2) ──┤ envelopes
-//!      …                                   …                               ├──────────▶ S2
-//!   client N ── TopKQuery stream ──▶ QueryClient N (S1 state, session N) ──┘ worker pool
+//!   client 1 ── Query stream ──▶ QueryClient 1 (S1 state, session 1) ──┐
+//!   client 2 ── Query stream ──▶ QueryClient 2 (S1 state, session 2) ──┤ envelopes
+//!      …                               …                               ├──────────▶ S2
+//!   client N ── Query stream ──▶ QueryClient N (S1 state, session N) ──┘ worker pool
 //! ```
 //!
 //! # Determinism guarantees
 //!
 //! Session *i* derives every random choice (S1 RNG, nonce-pool shards, the session's
-//! S2 engine) from `shard_seed(base_seed, i)`, and all server-side mutable state is
-//! per-session.  Consequently [`QueryServer::serve`] (all sessions concurrently, S2
-//! worker pool) and [`QueryServer::serve_serial`] (same sessions one after another)
-//! produce **byte-identical** per-session results, metrics and ledgers — scheduling
-//! and interleaving are unobservable.  `tests/concurrent_sessions.rs` asserts this for
-//! 16 concurrent sessions.
+//! S2 engine, the resolution RNG) from `shard_seed(base_seed, i)`, and all server-side
+//! mutable state is per-session.  Consequently [`QueryServer::serve`] (all sessions
+//! concurrently, S2 worker pool) and [`QueryServer::serve_serial`] (same sessions one
+//! after another) produce **byte-identical** per-session results, metrics and ledgers —
+//! scheduling and interleaving are unobservable.  `tests/concurrent_sessions.rs`
+//! asserts this for 16 concurrent sessions.
+//!
+//! # Failure isolation
+//!
+//! A query that fails — an invalid attribute set, a malformed request answered by S2
+//! with a typed error frame — is recorded in the session's [`SessionReport::failures`]
+//! and serving continues; one misbehaving session can never take down the worker pool
+//! or its neighbours (`tests/concurrent_sessions.rs` has the regression test).
 //!
 //! # Knobs
 //!
 //! [`ServeConfig`] controls the serving shape: `sessions` (concurrent S1 clients),
 //! `batching` (round-trip batching policy), `link` (simulated inter-cloud RTT — the
-//! §11.2.5 WAN), and the query-processing variant; the S2 pool width is set at
-//! [`QueryServer::new`].  The `throughput` bench sweeps `sessions` ∈ {1, 4, 8, 16}
-//! over a latency-bound link and records `BENCH_throughput.json`.
+//! §11.2.5 WAN), and `variant` — [`VariantChoice::Auto`] lets the planner pick
+//! `Qry_F`/`Qry_E`/`Qry_Ba` per query; the decision lands in each outcome's
+//! [`QueryStats::plan`](sectopk_core::QueryStats) so `BENCH_throughput.json` runs are
+//! self-describing.  The S2 pool width is set at [`QueryServer::new`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::Arc;
 use std::time::Instant;
 
-use sectopk_core::{sec_query, AuthorizedClient, QueryConfig, QueryOutcome};
+use rand::rngs::StdRng;
+
+use sectopk_core::{
+    execute_with_clouds, AuthorizedClient, Outsourced, PlanDecision, Query, QueryConfig,
+    QueryOutcome, ResolvedTopK, Result, SecTopKError, Session, VariantChoice,
+};
 use sectopk_crypto::keys::MasterKeys;
 use sectopk_crypto::pool::shard_seed;
-use sectopk_crypto::{CryptoError, Result};
 use sectopk_datasets::QueryWorkload;
 use sectopk_protocols::{
     ChannelMetrics, LeakageLedger, LinkProfile, MultiplexServer, SessionId, TwoClouds,
@@ -60,8 +72,10 @@ pub struct ServeConfig {
     pub sessions: usize,
     /// Round-trip batching policy for every session (see `TwoClouds::batching`).
     pub batching: bool,
-    /// Query-processing variant and depth cap.
-    pub query: QueryConfig,
+    /// How the processing variant is chosen for every query of the run.
+    pub variant: VariantChoice,
+    /// Optional cap on scanned depths per query.
+    pub max_depth: Option<usize>,
     /// Base seed; session `i` runs under `shard_seed(base_seed, i)`.
     pub base_seed: u64,
     /// Simulated inter-cloud link (ideal by default; a nonzero RTT models the WAN).
@@ -75,7 +89,8 @@ impl ServeConfig {
         ServeConfig {
             sessions,
             batching: true,
-            query: QueryConfig::full(),
+            variant: VariantChoice::Fixed(sectopk_core::QueryVariant::Full),
+            max_depth: None,
             base_seed,
             link: LinkProfile::ideal(),
         }
@@ -87,11 +102,38 @@ impl ServeConfig {
         self
     }
 
-    /// Replace the query configuration.
-    pub fn with_query(mut self, query: QueryConfig) -> Self {
-        self.query = query;
+    /// Replace the variant choice ([`VariantChoice::Auto`] hands every query to the
+    /// planner).
+    pub fn with_variant(mut self, variant: VariantChoice) -> Self {
+        self.variant = variant;
         self
     }
+
+    /// Replace the variant choice and depth cap from a legacy [`QueryConfig`].
+    #[deprecated(since = "0.2.0", note = "use `ServeConfig::with_variant` (and `max_depth`)")]
+    pub fn with_query(mut self, query: QueryConfig) -> Self {
+        self.variant = VariantChoice::Fixed(query.variant);
+        self.max_depth = query.max_depth;
+        self
+    }
+
+    /// The per-query [`Query`] policy this configuration applies to a workload spec.
+    fn query_for(&self, spec: &TopKQuery) -> Query {
+        let mut query = Query::from_spec(spec.clone()).with_variant(self.variant);
+        if let Some(depths) = self.max_depth {
+            query = query.with_max_depth(depths);
+        }
+        query
+    }
+}
+
+/// One query that failed during a serving run, with its typed error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryFailure {
+    /// Index of the query within the session's stream.
+    pub index: usize,
+    /// What went wrong.
+    pub error: SecTopKError,
 }
 
 /// Everything one session observed and produced over its lifetime.
@@ -101,8 +143,10 @@ pub struct SessionReport {
     pub session: SessionId,
     /// The session's derived seed (for replaying it in isolation).
     pub seed: u64,
-    /// One outcome per executed query, in submission order.
+    /// One outcome per successfully executed query, in submission order.
     pub outcomes: Vec<QueryOutcome>,
+    /// Queries that failed, with their typed errors; serving continues past them.
+    pub failures: Vec<QueryFailure>,
     /// The session's cumulative channel traffic.
     pub metrics: ChannelMetrics,
     /// Everything this session's S1 observed.
@@ -111,12 +155,19 @@ pub struct SessionReport {
     pub s2_ledger: LeakageLedger,
 }
 
+impl SessionReport {
+    /// The planner decisions of the session's executed queries, in submission order.
+    pub fn plans(&self) -> Vec<&PlanDecision> {
+        self.outcomes.iter().filter_map(|o| o.stats.plan.as_ref()).collect()
+    }
+}
+
 /// The result of serving one workload: per-session reports plus aggregate timing.
 #[derive(Debug)]
 pub struct ServeReport {
     /// Per-session reports, ordered by session id.
     pub sessions: Vec<SessionReport>,
-    /// Total number of queries executed across all sessions.
+    /// Total number of queries submitted across all sessions.
     pub queries: usize,
     /// Wall-clock seconds for the whole run.
     pub wall_seconds: f64,
@@ -131,30 +182,57 @@ impl ServeReport {
             0.0
         }
     }
+
+    /// Total number of failed queries across all sessions.
+    pub fn error_count(&self) -> usize {
+        self.sessions.iter().map(|s| s.failures.len()).sum()
+    }
+
+    /// Histogram of the variants the executed queries ran under, as
+    /// `(paper name, batching parameter, count)` rows — what makes a recorded bench run
+    /// self-describing about the planner's choices.
+    pub fn variant_histogram(&self) -> Vec<(&'static str, Option<usize>, usize)> {
+        let mut rows: Vec<(&'static str, Option<usize>, usize)> = Vec::new();
+        for session in &self.sessions {
+            for plan in session.plans() {
+                let key = (plan.variant_name(), plan.batching_parameter());
+                match rows.iter_mut().find(|(n, p, _)| (*n, *p) == key) {
+                    Some(row) => row.2 += 1,
+                    None => rows.push((key.0, key.1, 1)),
+                }
+            }
+        }
+        rows
+    }
 }
 
 /// One S1 serving session: a [`TwoClouds`] context connected to the shared S2 pool,
-/// executing a stream of queries and accumulating its own metrics and ledgers.
+/// executing queries through the [`Session`] front door and accumulating its own
+/// metrics, ledgers and failures.
 #[derive(Debug)]
 pub struct QueryClient {
     session: SessionId,
     seed: u64,
     clouds: TwoClouds,
-    er: Arc<EncryptedRelation>,
-    auth: AuthorizedClient,
+    outsourced: Outsourced,
+    keys: MasterKeys,
+    rng: StdRng,
     outcomes: Vec<QueryOutcome>,
+    failures: Vec<QueryFailure>,
+    submitted: usize,
 }
 
 impl QueryClient {
-    /// Execute one top-k query on this session and return its outcome (also appended
-    /// to the session's report).  Tokens are generated with the authorized client's key
-    /// material, exactly as a real client would submit them.
+    /// Execute one workload query under a legacy `(TopKQuery, QueryConfig)` pair.
+    #[deprecated(since = "0.2.0", note = "build a `Query` and use `Session::execute`")]
     pub fn run(&mut self, query: &TopKQuery, config: &QueryConfig) -> Result<&QueryOutcome> {
-        let token =
-            self.auth.token(self.er.num_attributes(), query).map_err(CryptoError::Protocol)?;
-        let outcome = sec_query(&mut self.clouds, &self.er, &token, config)?;
-        self.outcomes.push(outcome);
-        Ok(self.outcomes.last().expect("just pushed"))
+        let mut q =
+            Query::from_spec(query.clone()).with_variant(VariantChoice::Fixed(config.variant));
+        if let Some(depths) = config.max_depth {
+            q = q.with_max_depth(depths);
+        }
+        self.execute(&q)?;
+        Ok(self.outcomes.last().expect("execute pushed an outcome"))
     }
 
     /// The session this client speaks for.
@@ -162,12 +240,18 @@ impl QueryClient {
         self.session
     }
 
-    /// The session's cumulative channel traffic so far.
-    pub fn metrics(&self) -> ChannelMetrics {
-        self.clouds.channel()
+    /// Ship one raw protocol request through this session's transport — the hook the
+    /// failure-isolation suite uses to prove that a malformed or mis-sequenced request
+    /// comes back as a typed error frame without killing the shared S2 worker pool.
+    pub fn send_raw_request(
+        &mut self,
+        request: sectopk_protocols::S1Request,
+    ) -> sectopk_protocols::Result<sectopk_protocols::S2Response> {
+        self.clouds.raw_round_trip(request)
     }
 
-    /// Close the session and collect its report (metrics, both ledgers, all outcomes).
+    /// Close the session and collect its report (metrics, both ledgers, all outcomes
+    /// and failures).
     pub fn finish(self) -> SessionReport {
         let metrics = self.clouds.channel();
         let s1_ledger = self.clouds.s1_ledger().clone();
@@ -176,6 +260,7 @@ impl QueryClient {
             session: self.session,
             seed: self.seed,
             outcomes: self.outcomes,
+            failures: self.failures,
             metrics,
             s1_ledger,
             s2_ledger,
@@ -183,35 +268,100 @@ impl QueryClient {
     }
 }
 
-/// The serving front door: the encrypted relation plus the shared S2 worker pool, from
+impl Session for QueryClient {
+    fn num_objects(&self) -> usize {
+        self.outsourced.num_objects()
+    }
+
+    fn num_attributes(&self) -> usize {
+        self.outsourced.num_attributes()
+    }
+
+    fn link(&self) -> LinkProfile {
+        self.clouds.link_profile()
+    }
+
+    fn batching(&self) -> bool {
+        self.clouds.batching()
+    }
+
+    fn execute(&mut self, query: &Query) -> Result<ResolvedTopK> {
+        let index = self.submitted;
+        self.submitted += 1;
+        let outsourced = self.outsourced.clone();
+        let resolved = execute_with_clouds(
+            &mut self.clouds,
+            outsourced.er(),
+            outsourced.object_ids(),
+            &self.keys,
+            &mut self.rng,
+            query,
+        );
+        match resolved {
+            Ok(resolved) => {
+                self.outcomes.push(resolved.outcome.clone());
+                Ok(resolved)
+            }
+            Err(error) => {
+                self.failures.push(QueryFailure { index, error: error.clone() });
+                Err(error)
+            }
+        }
+    }
+
+    fn metrics(&self) -> ChannelMetrics {
+        self.clouds.channel()
+    }
+
+    fn s1_ledger(&self) -> LeakageLedger {
+        self.clouds.s1_ledger().clone()
+    }
+
+    fn s2_ledger(&self) -> LeakageLedger {
+        self.clouds.s2_ledger()
+    }
+
+    fn reset_accounting(&mut self) {
+        self.clouds.reset_accounting();
+    }
+}
+
+/// The serving front door: the outsourced relation plus the shared S2 worker pool, from
 /// which any number of client sessions can be opened.
 #[derive(Debug)]
 pub struct QueryServer {
     master: MasterKeys,
-    er: Arc<EncryptedRelation>,
+    outsourced: Outsourced,
     s2: MultiplexServer,
 }
 
 impl QueryServer {
-    /// Stand up a server around an already-encrypted relation with `s2_workers` S2
-    /// worker threads.  The master keys play both owner roles: S1 views are handed to
-    /// each session, S2 views to each session's engine (Figure 1 of the paper).
-    pub fn new(master: &MasterKeys, er: EncryptedRelation, s2_workers: usize) -> Self {
-        QueryServer {
-            master: master.clone(),
-            er: Arc::new(er),
-            s2: MultiplexServer::new(s2_workers),
-        }
+    /// Stand up a server around an outsourced relation with `s2_workers` S2 worker
+    /// threads.  The master keys play both owner roles: S1 views are handed to each
+    /// session, S2 views to each session's engine (Figure 1 of the paper).
+    pub fn new(master: &MasterKeys, outsourced: Outsourced, s2_workers: usize) -> Self {
+        QueryServer { master: master.clone(), outsourced, s2: MultiplexServer::new(s2_workers) }
     }
 
     /// The encrypted relation being served.
     pub fn relation(&self) -> &EncryptedRelation {
-        &self.er
+        self.outsourced.er()
+    }
+
+    /// The outsourced bundle (encrypted relation plus resolution universe).
+    pub fn outsourced(&self) -> &Outsourced {
+        &self.outsourced
     }
 
     /// Number of S2 worker threads.
     pub fn s2_workers(&self) -> usize {
         self.s2.workers()
+    }
+
+    /// An authorized client bound to this server's key material (token generation on
+    /// behalf of connected clients).
+    pub fn authorize_client(&self) -> AuthorizedClient {
+        AuthorizedClient::from_keys(self.master.clone())
     }
 
     /// Open session `session` with an explicit seed (used by the determinism tests to
@@ -228,9 +378,12 @@ impl QueryServer {
             session,
             seed,
             clouds,
-            er: Arc::clone(&self.er),
-            auth: AuthorizedClient::from_keys(self.master.clone()),
+            outsourced: self.outsourced.clone(),
+            keys: self.master.clone(),
+            rng: sectopk_core::resolution_rng(seed),
             outcomes: Vec::new(),
+            failures: Vec::new(),
+            submitted: 0,
         })
     }
 
@@ -245,10 +398,10 @@ impl QueryServer {
         )
     }
 
-    /// The whole lifetime of serving session `i`: open, run its query stream, report.
-    /// Both [`QueryServer::serve`] and [`QueryServer::serve_serial`] execute exactly
-    /// this — which is what makes the serial run a faithful determinism oracle for the
-    /// concurrent one.
+    /// The whole lifetime of serving session `i`: open, run its query stream (failures
+    /// are recorded, not fatal), report.  Both [`QueryServer::serve`] and
+    /// [`QueryServer::serve_serial`] execute exactly this — which is what makes the
+    /// serial run a faithful determinism oracle for the concurrent one.
     fn run_session(
         &self,
         i: usize,
@@ -256,8 +409,10 @@ impl QueryServer {
         config: &ServeConfig,
     ) -> Result<SessionReport> {
         let mut client = self.open_configured(i as u64 + 1, config)?;
-        for query in queries {
-            client.run(query, &config.query)?;
+        for spec in queries {
+            // A failed query is recorded in the client's failure list; the session (and
+            // the rest of the serving run) keeps going.
+            let _ = client.execute(&config.query_for(spec));
         }
         Ok(client.finish())
     }
@@ -309,5 +464,20 @@ impl QueryServer {
             queries: workload.queries.len(),
             wall_seconds: start.elapsed().as_secs_f64(),
         })
+    }
+}
+
+/// Extension trait putting the serving constructor on [`sectopk_core::DataOwner`]
+/// itself, so the quickstart reads `owner.outsource(…)` → `owner.serve_relation(…)` →
+/// `server.open_session(…)`.
+pub trait ServeExt {
+    /// Stand up a [`QueryServer`] around an outsourced relation with `s2_workers` S2
+    /// worker threads.
+    fn serve_relation(&self, outsourced: &Outsourced, s2_workers: usize) -> QueryServer;
+}
+
+impl ServeExt for sectopk_core::DataOwner {
+    fn serve_relation(&self, outsourced: &Outsourced, s2_workers: usize) -> QueryServer {
+        QueryServer::new(self.keys(), outsourced.clone(), s2_workers)
     }
 }

@@ -18,12 +18,12 @@ fn serve_a_small_workload_over_two_sessions() {
         Row { id: ObjectId(2), values: vec![4, 6] },
         Row { id: ObjectId(3), values: vec![2, 2] },
     ]);
-    let (er, _) = owner.encrypt(&relation, &mut rng).expect("encryption");
+    let (outsourced, _) = owner.outsource(&relation, &mut rng).expect("encryption");
 
     let spec = WorkloadSpec { queries: 4, m_range: (1, 2), k_range: (1, 2) };
     let workload = QueryWorkload::generate(&spec, relation.num_attributes(), 11);
 
-    let server = QueryServer::new(owner.keys(), er, 2);
+    let server = QueryServer::new(owner.keys(), outsourced, 2);
     let report = server.serve(&workload, &ServeConfig::new(2, 0xFEED)).expect("serve");
 
     assert_eq!(report.queries, 4);

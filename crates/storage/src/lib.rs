@@ -38,4 +38,4 @@ pub mod token;
 pub use encrypt::{encrypt_relation, encrypt_relation_parallel, EncryptionStats};
 pub use encrypted::{EncryptedItem, EncryptedList, EncryptedRelation};
 pub use relation::{DataItem, ObjectId, Relation, Row, Score, SortedLists};
-pub use token::{generate_token, QueryToken, TopKQuery};
+pub use token::{generate_token, QueryError, QueryToken, TopKQuery};

@@ -5,12 +5,86 @@
 //! chosen attribute index `i` through the data owner's PRP `P_K` so that S1 learns *which
 //! encrypted lists to scan* but not which logical attributes they correspond to.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use sectopk_crypto::prf::PrfKey;
 use sectopk_crypto::prp::KeyedPrp;
 
 use crate::relation::Score;
+
+/// Why a top-k query (or a query under construction in the `sectopk-core` builder) is
+/// invalid.  Replaces the earlier stringly-typed `Result<_, String>` signatures so
+/// callers can match on the failure class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query names no scoring attributes.
+    NoAttributes,
+    /// The query asks for zero results.
+    ZeroK,
+    /// An attribute index is out of range for the queried relation.
+    AttributeOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of attributes of the relation the query was validated against.
+        num_attributes: usize,
+    },
+    /// The same attribute is named more than once.
+    DuplicateAttribute {
+        /// The repeated index.
+        index: usize,
+    },
+    /// Weights were given but their count does not match the attribute count.
+    WeightArity {
+        /// Number of weights supplied.
+        weights: usize,
+        /// Number of scoring attributes.
+        attributes: usize,
+    },
+    /// An attribute name could not be resolved against the relation's schema.
+    UnknownAttribute {
+        /// The unresolved name.
+        name: String,
+    },
+    /// Attribute names were used without a schema to resolve them against.
+    NamesRequireSchema,
+    /// An explicit batching parameter `p = 0` was requested.
+    ZeroBatchParameter,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NoAttributes => {
+                write!(f, "query must name at least one scoring attribute")
+            }
+            QueryError::ZeroK => write!(f, "k must be at least 1"),
+            QueryError::AttributeOutOfRange { index, num_attributes } => write!(
+                f,
+                "attribute index {index} out of range for a relation with {num_attributes} attributes"
+            ),
+            QueryError::DuplicateAttribute { index } => {
+                write!(f, "query names attribute {index} twice")
+            }
+            QueryError::WeightArity { weights, attributes } => write!(
+                f,
+                "weights, when given, must match the number of attributes ({weights} weights for {attributes} attributes)"
+            ),
+            QueryError::UnknownAttribute { name } => {
+                write!(f, "relation has no attribute named {name:?}")
+            }
+            QueryError::NamesRequireSchema => {
+                write!(f, "attribute names can only be resolved against a relation schema")
+            }
+            QueryError::ZeroBatchParameter => {
+                write!(f, "batching parameter p must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// A client-side top-k query over a subset of attributes.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,26 +129,26 @@ impl TopKQuery {
     }
 
     /// Basic sanity checks against a relation with `num_attributes` columns.
-    pub fn validate(&self, num_attributes: usize) -> Result<(), String> {
+    pub fn validate(&self, num_attributes: usize) -> Result<(), QueryError> {
         if self.attributes.is_empty() {
-            return Err("query must name at least one scoring attribute".into());
+            return Err(QueryError::NoAttributes);
         }
         if self.k == 0 {
-            return Err("k must be at least 1".into());
+            return Err(QueryError::ZeroK);
         }
         if let Some(&bad) = self.attributes.iter().find(|&&a| a >= num_attributes) {
-            return Err(format!(
-                "attribute index {bad} out of range for a relation with {num_attributes} attributes"
-            ));
+            return Err(QueryError::AttributeOutOfRange { index: bad, num_attributes });
         }
         let mut sorted = self.attributes.clone();
         sorted.sort_unstable();
-        sorted.dedup();
-        if sorted.len() != self.attributes.len() {
-            return Err("query names the same attribute twice".into());
+        if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(QueryError::DuplicateAttribute { index: w[0] });
         }
         if !self.weights.is_empty() && self.weights.len() != self.attributes.len() {
-            return Err("weights, when given, must match the number of attributes".into());
+            return Err(QueryError::WeightArity {
+                weights: self.weights.len(),
+                attributes: self.attributes.len(),
+            });
         }
         Ok(())
     }
@@ -115,7 +189,7 @@ pub fn generate_token(
     prp_key: &PrfKey,
     num_attributes: usize,
     query: &TopKQuery,
-) -> Result<QueryToken, String> {
+) -> Result<QueryToken, QueryError> {
     query.validate(num_attributes)?;
     let prp = KeyedPrp::new(prp_key, num_attributes);
     let permuted_lists = query.attributes.iter().map(|&i| prp.apply(i)).collect();
@@ -144,13 +218,30 @@ mod tests {
     #[test]
     fn validation_rules() {
         assert!(TopKQuery::sum(vec![0], 1).validate(3).is_ok());
-        assert!(TopKQuery::sum(vec![], 1).validate(3).is_err());
-        assert!(TopKQuery::sum(vec![0], 0).validate(3).is_err());
-        assert!(TopKQuery::sum(vec![5], 1).validate(3).is_err());
-        assert!(TopKQuery::sum(vec![0, 0], 1).validate(3).is_err());
+        assert_eq!(TopKQuery::sum(vec![], 1).validate(3), Err(QueryError::NoAttributes));
+        assert_eq!(TopKQuery::sum(vec![0], 0).validate(3), Err(QueryError::ZeroK));
+        assert_eq!(
+            TopKQuery::sum(vec![5], 1).validate(3),
+            Err(QueryError::AttributeOutOfRange { index: 5, num_attributes: 3 })
+        );
+        assert_eq!(
+            TopKQuery::sum(vec![0, 0], 1).validate(3),
+            Err(QueryError::DuplicateAttribute { index: 0 })
+        );
         let mut bad = TopKQuery::sum(vec![0, 1], 1);
         bad.weights = vec![2];
-        assert!(bad.validate(3).is_err());
+        assert_eq!(bad.validate(3), Err(QueryError::WeightArity { weights: 1, attributes: 2 }));
+    }
+
+    #[test]
+    fn query_errors_render_their_context() {
+        assert!(QueryError::AttributeOutOfRange { index: 5, num_attributes: 3 }
+            .to_string()
+            .contains('5'));
+        assert!(QueryError::UnknownAttribute { name: "price".into() }
+            .to_string()
+            .contains("price"));
+        assert!(QueryError::WeightArity { weights: 1, attributes: 2 }.to_string().contains('2'));
     }
 
     #[test]

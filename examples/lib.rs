@@ -3,7 +3,7 @@
 //! Each example is a small, self-contained binary; the only thing they share is the
 //! pretty-printing of query outcomes, which lives here.
 
-use sectopk_core::{QueryOutcome, ResolvedResult};
+use sectopk_core::{PlanDecision, QueryOutcome, ResolvedResult};
 
 /// Render a resolved result list as a small table.
 pub fn format_results(results: &[ResolvedResult]) -> String {
@@ -36,11 +36,37 @@ bandwidth: {:.3} MB over {} messages ({} rounds), tracked list size: {}",
     )
 }
 
+/// Render the planner's decision for one query execution.
+pub fn format_plan(plan: &PlanDecision) -> String {
+    let chooser = if plan.auto { "planner chose" } else { "caller fixed" };
+    let p = match plan.batching_parameter() {
+        Some(p) => format!(" (p = {p})"),
+        None => String::new(),
+    };
+    format!(
+        "{chooser} {}{p} for n = {}, m = {}, k = {} (estimated {} depths)",
+        plan.variant_name(),
+        plan.inputs.n,
+        plan.inputs.m,
+        plan.inputs.k,
+        plan.estimated_depths,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sectopk_core::ResolvedResult;
     use sectopk_storage::ObjectId;
+
+    #[test]
+    fn plan_formatting_names_the_variant() {
+        use sectopk_core::{plan, PlannerInputs};
+        let decision = plan(&PlannerInputs::new(5, 3, 2, 0.0, true));
+        let text = format_plan(&decision);
+        assert!(text.contains("planner chose"));
+        assert!(text.contains("Qry_F"));
+    }
 
     #[test]
     fn formatting_includes_objects_and_placeholders() {

@@ -11,10 +11,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sectopk_core::{resolve_results, sec_query, DataOwner, QueryConfig, QueryVariant};
+use sectopk_core::{DataOwner, Query, QueryVariant, Session, VariantChoice};
 use sectopk_datasets::{patient_name, patients_relation};
-use sectopk_examples::format_stats;
-use sectopk_storage::{ObjectId, TopKQuery};
+use sectopk_examples::{format_plan, format_stats};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2024);
@@ -28,37 +27,38 @@ fn main() {
 
     // The hospital (data owner) encrypts the table before outsourcing it (HIPAA!).
     let owner = DataOwner::new(128, 5, &mut rng).expect("key generation");
-    let (er, _) = owner.encrypt(&relation, &mut rng).expect("encryption");
-    println!("outsourced: the cloud sees only {:?} = (n, M)\n", er.setup_leakage());
+    let (outsourced, _) = owner.outsource(&relation, &mut rng).expect("encryption");
+    println!("outsourced: the cloud sees only {:?} = (n, M)\n", outsourced.er().setup_leakage());
 
     // Alice, an authorized doctor:
-    // SELECT * FROM patients ORDER BY chol + thalach STOP AFTER 2.
-    let chol = relation.attribute_index("chol").unwrap();
-    let thalach = relation.attribute_index("thalach").unwrap();
-    let query = TopKQuery::sum(vec![chol, thalach], 2);
-    let token = owner.authorize_client().token(relation.num_attributes(), &query).unwrap();
+    // SELECT * FROM patients ORDER BY chol + thalach STOP AFTER 2 — by attribute name,
+    // under each processing variant (Auto first, so the planner shows its choice).
+    let variants = [
+        VariantChoice::Auto,
+        VariantChoice::Fixed(QueryVariant::Full),
+        VariantChoice::Fixed(QueryVariant::DupElim),
+        VariantChoice::Fixed(QueryVariant::Batched { p: 2 }),
+    ];
+    for variant in variants {
+        let query = Query::top_k(2)
+            .attributes(["chol", "thalach"])
+            .variant(variant)
+            .resolve(&relation)
+            .expect("query validates");
 
-    // The clouds answer the query under each of the three processing variants.
-    for config in [QueryConfig::full(), QueryConfig::dup_elim(), QueryConfig::batched(2)] {
-        let mut clouds = owner.setup_clouds(1).expect("cloud setup");
-        let outcome = sec_query(&mut clouds, &er, &token, &config).expect("secure query");
+        let mut session = owner.connect(&outsourced, 1).expect("cloud setup");
+        let answer = session.execute(&query).expect("secure query");
 
-        let candidates: Vec<ObjectId> = relation.rows().iter().map(|r| r.id).collect();
-        let resolved =
-            resolve_results(&outcome.top_k, &candidates, owner.keys(), &mut rng).expect("resolve");
-        let names: Vec<String> = resolved
+        let names: Vec<String> = answer
+            .results
             .iter()
             .filter(|r| r.object.is_some())
             .map(|r| format!("{} (chol+thalach ≥ {})", patient_name(r.object.unwrap()), r.worst))
             .collect();
 
-        let variant = match config.variant {
-            QueryVariant::Full => "Qry_F (full privacy)",
-            QueryVariant::DupElim => "Qry_E (SecDupElim)",
-            QueryVariant::Batched { .. } => "Qry_Ba (batched)",
-        };
-        println!("{variant}\n  top-2: {}\n  {}", names.join(", "), format_stats(&outcome));
+        println!("{}", format_plan(answer.plan().expect("plan recorded")));
+        println!("  top-2: {}\n  {}\n", names.join(", "), format_stats(&answer.outcome));
     }
 
-    println!("\nexpected (Example 1.1): David and Emma");
+    println!("expected (Example 1.1): David and Emma");
 }

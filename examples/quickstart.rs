@@ -1,4 +1,5 @@
-//! Quickstart: outsource a small relation and run one secure top-k query.
+//! Quickstart: outsource a small relation and run one secure top-k query through the
+//! `Session` / `QueryBuilder` front door.
 //!
 //! ```text
 //! cargo run --release -p sectopk-examples --example quickstart
@@ -7,16 +8,16 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sectopk_core::{resolve_results, sec_query, DataOwner, QueryConfig};
-use sectopk_examples::{format_results, format_stats};
-use sectopk_storage::{ObjectId, Relation, Row, TopKQuery};
+use sectopk_core::{DataOwner, Query, Session};
+use sectopk_examples::{format_plan, format_results, format_stats};
+use sectopk_storage::{ObjectId, Relation, Row};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
 
     // --- Data owner ---------------------------------------------------------------------
     // Generate keys (a small 128-bit modulus keeps the example instant; production
-    // deployments would use 2048+ bits) and encrypt the relation.
+    // deployments would use 2048+ bits) and outsource the encrypted relation.
     println!("[owner]   generating keys and encrypting the relation…");
     let owner = DataOwner::new(128, 4, &mut rng).expect("key generation");
     let relation = Relation::new(
@@ -30,34 +31,29 @@ fn main() {
             Row { id: ObjectId(6), values: vec![40, 6, 7] },
         ],
     );
-    let (er, stats) = owner.encrypt(&relation, &mut rng).expect("relation encryption");
+    let (outsourced, stats) = owner.outsource(&relation, &mut rng).expect("relation encryption");
     println!(
         "[owner]   outsourced {} objects × {} attributes ({} bytes of ciphertext)",
         stats.num_objects, stats.num_attributes, stats.encrypted_bytes
     );
 
     // --- Authorized client ---------------------------------------------------------------
-    // SELECT * FROM ER ORDER BY rating + freshness STOP AFTER 3
-    let client = owner.authorize_client();
-    let query = TopKQuery::sum(vec![1, 2], 3);
-    let token = client.token(relation.num_attributes(), &query).expect("token generation");
-    println!(
-        "[client]  token generated for top-{} over {} attributes",
-        token.k,
-        token.num_attributes()
-    );
+    // SELECT * FROM ER ORDER BY rating + freshness STOP AFTER 3 — described fluently;
+    // the default variant(Auto) hands the Qry_F / Qry_E / Qry_Ba choice to the planner.
+    let query = Query::top_k(3)
+        .attributes(["rating", "freshness"])
+        .resolve(&relation)
+        .expect("query validates against the schema");
+    println!("[client]  query built: top-{} over {} attributes", 3, 2);
 
-    // --- The two clouds -------------------------------------------------------------------
-    let mut clouds = owner.setup_clouds(42).expect("cloud setup");
-    let outcome =
-        sec_query(&mut clouds, &er, &token, &QueryConfig::dup_elim()).expect("secure query");
-    println!("[clouds]  {}", format_stats(&outcome));
+    // --- One front door ------------------------------------------------------------------
+    // A session runs the whole pipeline: token → plan → SecQuery → resolution.
+    let mut session = owner.connect(&outsourced, 42).expect("cloud setup");
+    let answer = session.execute(&query).expect("secure query");
+    println!("[planner] {}", format_plan(answer.plan().expect("plan recorded")));
+    println!("[clouds]  {}", format_stats(&answer.outcome));
 
-    // --- Result interpretation by the key holder -----------------------------------------
-    let candidates: Vec<ObjectId> = relation.rows().iter().map(|r| r.id).collect();
-    let resolved =
-        resolve_results(&outcome.top_k, &candidates, owner.keys(), &mut rng).expect("resolution");
-    println!("\nTop-3 by rating + freshness:\n{}", format_results(&resolved));
+    println!("\nTop-3 by rating + freshness:\n{}", format_results(&answer.results));
 
     // Cross-check against the plaintext answer (only possible because this example owns
     // the plaintext; the clouds never see it).

@@ -1,5 +1,6 @@
 //! Serving: one shared S2 worker pool answering a workload of top-k queries for many
-//! concurrent client sessions, with per-session metrics and leakage ledgers.
+//! concurrent client sessions, with per-session metrics, leakage ledgers, and the
+//! adaptive planner choosing the processing variant per query.
 //!
 //! ```text
 //! cargo run --release -p sectopk-examples --example serving
@@ -8,9 +9,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sectopk_core::DataOwner;
+use sectopk_core::{DataOwner, VariantChoice};
 use sectopk_datasets::{QueryWorkload, WorkloadSpec};
-use sectopk_server::{QueryServer, ServeConfig};
+use sectopk_server::{ServeConfig, ServeExt};
 use sectopk_storage::{ObjectId, Relation, Row};
 
 fn main() {
@@ -30,25 +31,26 @@ fn main() {
             Row { id: ObjectId(6), values: vec![40, 6, 7] },
         ],
     );
-    let (er, _) = owner.encrypt(&relation, &mut rng).expect("relation encryption");
+    let (outsourced, _) = owner.outsource(&relation, &mut rng).expect("relation encryption");
 
     // --- A workload of independent client queries (§11.2.1 methodology) -----------------
     let spec = WorkloadSpec { queries: 12, m_range: (1, 3), k_range: (1, 3) };
     let workload = QueryWorkload::generate(&spec, relation.num_attributes(), 41);
     println!("[clients] generated a {}-query workload", workload.queries.len());
 
-    // --- Serve it: 4 concurrent sessions sharing one 4-worker S2 pool -------------------
+    // --- Serve it: 4 concurrent sessions sharing one 4-worker S2 pool, planner on -------
     let sessions = 4;
-    let server = QueryServer::new(owner.keys(), er, sessions);
-    let config = ServeConfig::new(sessions, 0xACE);
-    println!("[server]  serving with {sessions} sessions over {} S2 workers…", sessions);
+    let server = owner.serve_relation(&outsourced, sessions);
+    let config = ServeConfig::new(sessions, 0xACE).with_variant(VariantChoice::Auto);
+    println!("[server]  serving with {sessions} sessions over {sessions} S2 workers…");
     let report = server.serve(&workload, &config).expect("serve");
 
     println!(
-        "[server]  {} queries in {:.2}s  →  {:.2} queries/s aggregate\n",
+        "[server]  {} queries in {:.2}s  →  {:.2} queries/s aggregate, {} failures\n",
         report.queries,
         report.wall_seconds,
-        report.throughput_qps()
+        report.throughput_qps(),
+        report.error_count(),
     );
     println!("session | queries | rounds | bytes    | S2 ledger events");
     println!("--------+---------+--------+----------+-----------------");
@@ -61,6 +63,14 @@ fn main() {
             s.metrics.bytes,
             s.s2_ledger.len(),
         );
+    }
+
+    println!("\nplanner decisions across the workload:");
+    for (variant, p, count) in report.variant_histogram() {
+        match p {
+            Some(p) => println!("  {variant} (p = {p}): {count} queries"),
+            None => println!("  {variant}: {count} queries"),
+        }
     }
 
     // The serial reference run is byte-identical per session — scheduling is

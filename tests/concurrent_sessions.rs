@@ -7,24 +7,29 @@
 //! These properties are what make the serving layer analyzable: the paper's leakage
 //! profiles are stated per query/client, so "what did S2 observe while serving client
 //! i" must stay a deterministic, isolation-respecting question under concurrency.
+//!
+//! The suite also covers failure isolation: one session submitting garbage (an invalid
+//! query, or a raw mis-sequenced protocol request answered by S2's typed error frame)
+//! must not take down the worker pool or perturb its neighbours.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sectopk_core::{DataOwner, QueryConfig};
+use sectopk_core::{
+    DataOwner, Outsourced, Query, QueryVariant, SecTopKError, Session, VariantChoice,
+};
 use sectopk_datasets::{fig3_relation, QueryWorkload, WorkloadSpec};
 use sectopk_server::{QueryServer, ServeConfig, ServeReport, SessionReport};
-use sectopk_storage::EncryptedRelation;
 use sectopk_tests::TEST_MODULUS_BITS;
 
-fn fixture(seed: u64) -> (DataOwner, EncryptedRelation, QueryWorkload) {
+fn fixture(seed: u64) -> (DataOwner, Outsourced, QueryWorkload) {
     let mut rng = StdRng::seed_from_u64(seed);
     let owner = DataOwner::new(TEST_MODULUS_BITS, 2, &mut rng).expect("keygen");
     let relation = fig3_relation();
-    let (er, _) = owner.encrypt(&relation, &mut rng).expect("encryption");
+    let (outsourced, _) = owner.outsource(&relation, &mut rng).expect("encryption");
     let spec = WorkloadSpec { queries: 16, m_range: (1, 3), k_range: (1, 3) };
     let workload = QueryWorkload::generate(&spec, 3, seed ^ 0x77);
-    (owner, er, workload)
+    (owner, outsourced, workload)
 }
 
 /// Compare two per-session reports on everything deterministic (wall-clock excluded).
@@ -32,6 +37,7 @@ fn assert_sessions_identical(a: &SessionReport, b: &SessionReport, context: &str
     assert_eq!(a.session, b.session, "{context}: session ids diverge");
     assert_eq!(a.seed, b.seed, "{context}: session seeds diverge");
     assert_eq!(a.outcomes.len(), b.outcomes.len(), "{context}: query counts diverge");
+    assert_eq!(a.failures, b.failures, "{context}: failure lists diverge");
     for (i, (x, y)) in a.outcomes.iter().zip(b.outcomes.iter()).enumerate() {
         // ScoredItem equality is group-element equality: byte-identical ciphertexts.
         assert_eq!(x.top_k, y.top_k, "{context}: query {i} ciphertexts diverge");
@@ -40,6 +46,7 @@ fn assert_sessions_identical(a: &SessionReport, b: &SessionReport, context: &str
             "{context}: query {i} scan depths diverge"
         );
         assert_eq!(x.stats.halted, y.stats.halted, "{context}: query {i} halting diverges");
+        assert_eq!(x.stats.plan, y.stats.plan, "{context}: query {i} planner decisions diverge");
     }
     assert_eq!(a.metrics, b.metrics, "{context}: channel metrics diverge");
     assert_eq!(a.s1_ledger.events(), b.s1_ledger.events(), "{context}: S1 ledgers diverge");
@@ -55,15 +62,17 @@ fn assert_reports_identical(parallel: &ServeReport, serial: &ServeReport) {
 
 #[test]
 fn sixteen_concurrent_sessions_match_serial_execution() {
-    let (owner, er, workload) = fixture(0xC0C0);
-    let server = QueryServer::new(owner.keys(), er, 4);
-    let config = ServeConfig::new(16, 0xBA5E).with_query(QueryConfig::full());
+    let (owner, outsourced, workload) = fixture(0xC0C0);
+    let server = QueryServer::new(owner.keys(), outsourced, 4);
+    let config =
+        ServeConfig::new(16, 0xBA5E).with_variant(VariantChoice::Fixed(QueryVariant::Full));
 
     let parallel = server.serve(&workload, &config).expect("concurrent serve");
     let serial = server.serve_serial(&workload, &config).expect("serial serve");
 
     assert_eq!(parallel.queries, 16);
     assert_eq!(parallel.sessions.len(), 16);
+    assert_eq!(parallel.error_count(), 0);
     assert_reports_identical(&parallel, &serial);
 
     // The sessions really did distinct work (distinct queries ⇒ distinct S2 views for
@@ -74,23 +83,34 @@ fn sixteen_concurrent_sessions_match_serial_execution() {
 }
 
 #[test]
-fn dup_elim_variant_is_also_schedule_invariant() {
-    let (owner, er, workload) = fixture(0xD0D0);
-    let server = QueryServer::new(owner.keys(), er, 3);
-    let config = ServeConfig::new(8, 0x1CE).with_query(QueryConfig::dup_elim());
+fn auto_planned_serving_is_also_schedule_invariant() {
+    // The adaptive planner is deterministic in the query shape, so `variant(Auto)`
+    // serving must stay byte-identical between concurrent and serial execution, and
+    // every outcome must record its decision.
+    let (owner, outsourced, workload) = fixture(0xD0D0);
+    let server = QueryServer::new(owner.keys(), outsourced, 3);
+    let config = ServeConfig::new(8, 0x1CE).with_variant(VariantChoice::Auto);
 
     let parallel = server.serve(&workload, &config).expect("concurrent serve");
     let serial = server.serve_serial(&workload, &config).expect("serial serve");
     assert_reports_identical(&parallel, &serial);
+
+    for session in &parallel.sessions {
+        for plan in session.plans() {
+            assert!(plan.auto, "Auto serving must record planner-made decisions");
+            // fig3 is five rows: the planner must keep full privacy.
+            assert_eq!(plan.variant, QueryVariant::Full);
+        }
+    }
 }
 
 #[test]
 fn session_views_match_isolated_replay_so_ledgers_cannot_bleed() {
-    let (owner, er, workload) = fixture(0xE0E0);
+    let (owner, outsourced, workload) = fixture(0xE0E0);
     let config = ServeConfig::new(4, 0xF00D);
 
     // Serve the whole workload with 4 concurrent sessions sharing one S2 pool...
-    let server = QueryServer::new(owner.keys(), er.clone(), 4);
+    let server = QueryServer::new(owner.keys(), outsourced.clone(), 4);
     let report = server.serve(&workload, &config).expect("concurrent serve");
 
     // ...then replay each session *alone* on a fresh server (same id, same derived
@@ -98,12 +118,13 @@ fn session_views_match_isolated_replay_so_ledgers_cannot_bleed() {
     // nonce streams — leaked between concurrent sessions, the lone replay would differ.
     let partitions = workload.partition(4);
     for (session, queries) in report.sessions.iter().zip(partitions.iter()) {
-        let lone_server = QueryServer::new(owner.keys(), er.clone(), 1);
+        let lone_server = QueryServer::new(owner.keys(), outsourced.clone(), 1);
         let mut client = lone_server
             .open_session(session.session, session.seed, config.batching, config.link)
             .expect("isolated session");
         for query in queries {
-            client.run(query, &config.query).expect("isolated query");
+            let built = Query::from_spec(query.clone()).with_variant(config.variant);
+            client.execute(&built).expect("isolated query");
         }
         let lone = client.finish();
         assert_sessions_identical(session, &lone, &format!("isolated {}", session.session));
@@ -120,4 +141,64 @@ fn session_views_match_isolated_replay_so_ledgers_cannot_bleed() {
         distinct.len() > 1 || report.sessions.is_empty(),
         "all sessions recorded identical ledgers — isolation test is vacuous"
     );
+}
+
+#[test]
+fn a_failing_session_does_not_disturb_its_neighbours() {
+    // Session 1 sends an invalid query mid-stream *and* a raw mis-sequenced protocol
+    // request (which S2 answers with a typed error frame); session 2 runs a clean
+    // stream concurrently.  The server must keep serving, record the failures in
+    // session 1's report, and leave session 2 byte-identical to a run without the
+    // misbehaving neighbour.
+    let (owner, outsourced, workload) = fixture(0xF1F1);
+    let queries = workload.partition(2);
+    let config = ServeConfig::new(2, 0xABAD);
+
+    let run_clean_neighbour = |with_bad_session: bool| {
+        let server = QueryServer::new(owner.keys(), outsourced.clone(), 2);
+        let mut bad = server.open_configured(1, &config).expect("open session 1");
+        let mut good = server.open_configured(2, &config).expect("open session 2");
+
+        if with_bad_session {
+            // An invalid query: attribute index out of range for the 3-column relation.
+            let invalid = Query::top_k(1).attribute_indices([9]).build().expect("builds");
+            let err = bad.execute(&invalid).expect_err("must fail");
+            assert!(matches!(err, SecTopKError::Query(_)), "typed query error, got {err:?}");
+
+            // A mis-sequenced raw protocol request: S2 replies with a typed error frame
+            // instead of panicking its worker.
+            use sectopk_protocols::{ProtocolError, S1Request, WireErrorCode};
+            let err = bad
+                .send_raw_request(S1Request::EqAggregate {
+                    rows: 2,
+                    cols: 2,
+                    want: Default::default(),
+                })
+                .expect_err("must fail");
+            assert!(
+                matches!(&err, ProtocolError::Remote(e) if e.code == WireErrorCode::BadSequence),
+                "typed wire error, got {err:?}"
+            );
+
+            // The session itself is still usable after both failures.
+            let valid = Query::from_spec(queries[0][0].clone()).with_variant(config.variant);
+            bad.execute(&valid).expect("session survives its own failures");
+        }
+
+        for query in &queries[1] {
+            let built = Query::from_spec(query.clone()).with_variant(config.variant);
+            good.execute(&built).expect("clean session query");
+        }
+        (bad.finish(), good.finish())
+    };
+
+    let (bad_report, good_with_noise) = run_clean_neighbour(true);
+    let (_, good_alone) = run_clean_neighbour(false);
+
+    assert_eq!(bad_report.failures.len(), 1, "the invalid query is recorded");
+    assert_eq!(bad_report.failures[0].index, 0);
+    assert!(bad_report.failures[0].error.is_invalid_query());
+    assert_eq!(bad_report.outcomes.len(), 1, "the recovery query succeeded");
+
+    assert_sessions_identical(&good_with_noise, &good_alone, "clean neighbour");
 }

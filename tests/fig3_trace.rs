@@ -8,6 +8,7 @@ use sectopk_core::DataOwner;
 use sectopk_crypto::paillier::PaillierPublicKey;
 use sectopk_datasets::fig3_relation;
 use sectopk_ehl::EhlEncoder;
+use sectopk_protocols::TwoClouds;
 use sectopk_storage::{EncryptedItem, ObjectId};
 use sectopk_tests::{TEST_EHL_KEYS, TEST_MODULUS_BITS};
 
@@ -43,7 +44,7 @@ fn fig3_per_depth_bounds_match_the_paper() {
     let encoder = EhlEncoder::new(&keys.ehl_keys);
     let pk = keys.paillier_public.clone();
     let sk = &keys.paillier_secret;
-    let mut clouds = owner.setup_clouds(3).unwrap();
+    let mut clouds = TwoClouds::new(owner.keys(), 3).unwrap();
 
     // ---- Depth 1 (Fig. 3a): items X1/10, X2/8, X4/8; lower bounds 10, 8, 8; upper 26. --
     let seen1 = fig3_encrypted_prefixes(1, &encoder, &pk, &mut rng);
@@ -92,7 +93,7 @@ fn fig3_dedup_keeps_one_copy_per_object_at_depth_two() {
     let encoder = EhlEncoder::new(&keys.ehl_keys);
     let pk = keys.paillier_public.clone();
     let sk = &keys.paillier_secret;
-    let mut clouds = owner.setup_clouds(4).unwrap();
+    let mut clouds = TwoClouds::new(owner.keys(), 4).unwrap();
 
     let seen2 = fig3_encrypted_prefixes(2, &encoder, &pk, &mut rng);
     let depth2: Vec<EncryptedItem> = seen2.iter().map(|l| l[1].clone()).collect();

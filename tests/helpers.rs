@@ -1,17 +1,18 @@
 //! Shared helpers for the cross-crate integration tests.
 //!
-//! Every end-to-end test follows the same pattern: a data owner encrypts a small
-//! relation, the clouds run one of the secure query variants, the owner resolves the
-//! encrypted result, and the resolved object ids are checked to form a *valid* top-k set
-//! (same score multiset as the exact plaintext answer — NRA only guarantees set validity,
-//! not a particular tie-break order).
+//! Every end-to-end test follows the same pattern: a data owner outsources a small
+//! relation, a [`Session`] executes queries built with the `QueryBuilder` front door,
+//! and the resolved object ids are checked to form a *valid* top-k set (same score
+//! multiset as the exact plaintext answer — NRA only guarantees set validity, not a
+//! particular tie-break order).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sectopk_core::{resolve_results, resolved_object_ids, sec_query, DataOwner, QueryConfig};
-use sectopk_protocols::TwoClouds;
-use sectopk_storage::{EncryptedRelation, ObjectId, Relation, Score, TopKQuery};
+use sectopk_core::{
+    DataOwner, DirectSession, Outsourced, Query, QueryConfig, QueryOutcome, Session, VariantChoice,
+};
+use sectopk_storage::{ObjectId, Relation, Score, TopKQuery};
 
 /// Paillier modulus size used by the integration tests (small = fast; the protocols are
 /// parameterised over it, see DESIGN.md).
@@ -26,10 +27,10 @@ pub struct Harness {
     pub owner: DataOwner,
     /// The plaintext relation (kept for oracle comparisons).
     pub relation: Relation,
-    /// The outsourced encrypted relation.
-    pub er: EncryptedRelation,
-    /// The two-cloud execution context.
-    pub clouds: TwoClouds,
+    /// The outsourced encrypted relation plus its resolution universe.
+    pub outsourced: Outsourced,
+    /// The session executing queries (a dedicated two-cloud deployment).
+    pub session: DirectSession,
     /// Test-local randomness.
     pub rng: StdRng,
 }
@@ -39,27 +40,35 @@ pub fn harness(relation: Relation, seed: u64) -> Harness {
     let mut rng = StdRng::seed_from_u64(seed);
     let owner = DataOwner::new(TEST_MODULUS_BITS, TEST_EHL_KEYS, &mut rng)
         .expect("key generation succeeds");
-    let (er, _) = owner.encrypt(&relation, &mut rng).expect("relation encryption succeeds");
-    let clouds = owner.setup_clouds(seed ^ 0xABCD).expect("cloud setup succeeds");
-    Harness { owner, relation, er, clouds, rng }
+    let (outsourced, _) =
+        owner.outsource(&relation, &mut rng).expect("relation encryption succeeds");
+    let session = owner.connect(&outsourced, seed ^ 0xABCD).expect("cloud setup succeeds");
+    Harness { owner, relation, outsourced, session, rng }
 }
 
-/// Run a secure query end to end and return the resolved object ids (plus the outcome).
+/// Run a secure query end to end through the `Session` front door and return the
+/// resolved object ids (plus the outcome).  The legacy `(TopKQuery, QueryConfig)` shape
+/// is kept so the suites can keep sweeping explicit variants.
 pub fn run_query(
     h: &mut Harness,
     query: &TopKQuery,
     config: &QueryConfig,
-) -> (Vec<ObjectId>, sectopk_core::QueryOutcome) {
-    h.clouds.reset_accounting();
-    let client = h.owner.authorize_client();
-    let token = client
-        .token(h.relation.num_attributes(), query)
-        .expect("query validates against the relation");
-    let outcome = sec_query(&mut h.clouds, &h.er, &token, config).expect("secure query succeeds");
-    let candidates: Vec<ObjectId> = h.relation.rows().iter().map(|r| r.id).collect();
-    let resolved = resolve_results(&outcome.top_k, &candidates, h.owner.keys(), &mut h.rng)
-        .expect("result resolution succeeds");
-    (resolved_object_ids(&resolved), outcome)
+) -> (Vec<ObjectId>, QueryOutcome) {
+    h.session.reset_accounting();
+    let mut built =
+        Query::from_spec(query.clone()).with_variant(VariantChoice::Fixed(config.variant));
+    if let Some(depths) = config.max_depth {
+        built = built.with_max_depth(depths);
+    }
+    let resolved = h.session.execute(&built).expect("secure query succeeds");
+    (resolved.object_ids(), resolved.outcome)
+}
+
+/// Run a builder-described query as-is (e.g. with `variant(Auto)`) and return the full
+/// resolved answer.
+pub fn run_built_query(h: &mut Harness, query: &Query) -> sectopk_core::ResolvedTopK {
+    h.session.reset_accounting();
+    h.session.execute(query).expect("secure query succeeds")
 }
 
 /// Assert that `returned` is a valid top-k answer for the query: it must contain `k`

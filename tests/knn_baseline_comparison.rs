@@ -48,7 +48,7 @@ fn baseline_and_sectopk_agree_on_sum_scores() {
 
     // Baseline answer: k nearest to the upper bound (50, 50).
     let db = encrypt_for_knn(&relation, h.owner.keys(), &mut rng).unwrap();
-    let knn = sknn_query(&mut h.clouds, &db, &[50, 50], k).unwrap();
+    let knn = sknn_query(h.session.clouds_mut(), &db, &[50, 50], k).unwrap();
     let knn_ids: Vec<ObjectId> = knn.nearest.iter().map(|&i| relation.rows()[i].id).collect();
 
     let mut a = topk_ids.clone();
@@ -69,10 +69,10 @@ fn baseline_cost_scales_linearly_with_the_relation() {
 
     let mut h = harness(small_rel.clone(), 56);
     let small_db = encrypt_for_knn(&small_rel, h.owner.keys(), &mut rng).unwrap();
-    let small = sknn_query(&mut h.clouds, &small_db, &[50, 50, 50], 2).unwrap();
+    let small = sknn_query(h.session.clouds_mut(), &small_db, &[50, 50, 50], 2).unwrap();
 
     let large_db = encrypt_for_knn(&large_rel, h.owner.keys(), &mut rng).unwrap();
-    let large = sknn_query(&mut h.clouds, &large_db, &[50, 50, 50], 2).unwrap();
+    let large = sknn_query(h.session.clouds_mut(), &large_db, &[50, 50, 50], 2).unwrap();
 
     assert_eq!(small.secure_multiplications, 4 * 3);
     assert_eq!(large.secure_multiplications, 8 * 3);

@@ -15,16 +15,16 @@ fn full_privacy_view_matches_the_profile() {
     let query = TopKQuery::sum(vec![0, 1, 2], 2);
     let (_, _) = run_query(&mut h, &query, &QueryConfig::full());
 
-    check_leakage(&h.clouds, QueryVariant::Full).expect("Qry_F leakage profile");
+    check_leakage(h.session.clouds(), QueryVariant::Full).expect("Qry_F leakage profile");
 
     // S1 must not have learned the uniqueness pattern under full privacy.
-    assert_eq!(h.clouds.s1_ledger().count_kind("unique_count"), 0);
+    assert_eq!(h.session.clouds().s1_ledger().count_kind("unique_count"), 0);
     // S1 learned the query pattern and the halting depth exactly once each.
-    assert_eq!(h.clouds.s1_ledger().count_kind("query_issued"), 1);
-    assert_eq!(h.clouds.s1_ledger().count_kind("halting_depth"), 1);
+    assert_eq!(h.session.clouds().s1_ledger().count_kind("query_issued"), 1);
+    assert_eq!(h.session.clouds().s1_ledger().count_kind("halting_depth"), 1);
     // S2 learned equality bits (the EP^d pattern) and nothing that identifies objects.
-    assert!(h.clouds.s2_ledger().count_kind("equality_bit") > 0);
-    assert_eq!(h.clouds.s2_ledger().count_kind("unique_count"), 0);
+    assert!(h.session.clouds().s2_ledger().count_kind("equality_bit") > 0);
+    assert_eq!(h.session.clouds().s2_ledger().count_kind("unique_count"), 0);
 }
 
 #[test]
@@ -34,13 +34,13 @@ fn dup_elim_reveals_the_uniqueness_pattern_to_s1_only() {
     let query = TopKQuery::sum(vec![0, 1, 2], 2);
     let (_, outcome) = run_query(&mut h, &query, &QueryConfig::dup_elim());
 
-    check_leakage(&h.clouds, QueryVariant::DupElim).expect("Qry_E leakage profile");
-    assert!(h.clouds.s1_ledger().count_kind("unique_count") > 0);
-    assert_eq!(h.clouds.s2_ledger().count_kind("unique_count"), 0);
+    check_leakage(h.session.clouds(), QueryVariant::DupElim).expect("Qry_E leakage profile");
+    assert!(h.session.clouds().s1_ledger().count_kind("unique_count") > 0);
+    assert_eq!(h.session.clouds().s2_ledger().count_kind("unique_count"), 0);
     assert!(outcome.stats.depths_scanned > 0);
 
     // The same execution would violate the stricter full-privacy profile.
-    assert!(check_leakage(&h.clouds, QueryVariant::Full).is_err());
+    assert!(check_leakage(h.session.clouds(), QueryVariant::Full).is_err());
 }
 
 #[test]
@@ -50,9 +50,9 @@ fn batched_profile_holds_and_checks_are_sparser() {
     let query = TopKQuery::sum(vec![0, 1, 2], 2);
 
     let (_, every_depth) = run_query(&mut h, &query, &QueryConfig::dup_elim());
-    check_leakage(&h.clouds, QueryVariant::DupElim).expect("Qry_E profile");
+    check_leakage(h.session.clouds(), QueryVariant::DupElim).expect("Qry_E profile");
     let (_, batched) = run_query(&mut h, &query, &QueryConfig::batched(4));
-    check_leakage(&h.clouds, QueryVariant::Batched { p: 4 }).expect("Qry_Ba profile");
+    check_leakage(h.session.clouds(), QueryVariant::Batched { p: 4 }).expect("Qry_Ba profile");
 
     // Batching runs at most ⌈d/p⌉ halting checks instead of one per depth.
     assert!(batched.stats.halting_checks <= every_depth.stats.halting_checks);
@@ -71,7 +71,7 @@ fn s2_equality_pattern_counts_are_bounded_by_the_scan() {
     let (_, outcome) = run_query(&mut h, &query, &QueryConfig::full());
     let d = outcome.stats.depths_scanned;
 
-    let (equal, total) = sectopk_core::leakage::s2_equality_pattern_summary(&h.clouds);
+    let (equal, total) = sectopk_core::leakage::s2_equality_pattern_summary(h.session.clouds());
     assert!(equal <= total);
     // Per depth: SecWorst m(m−1), SecBest ≤ m(m−1)·d, SecDedup m(m−1)/2, SecUpdate ≤ m·|T|
     // with |T| ≤ m·d.  A generous global bound:

@@ -14,7 +14,9 @@ use proptest::proptest;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use sectopk_core::{sec_query, DataOwner, QueryConfig, QueryOutcome};
+use sectopk_core::{
+    DataOwner, DirectSession, Query, QueryConfig, QueryOutcome, Session, VariantChoice,
+};
 use sectopk_protocols::{ChannelMetrics, LeakageLedger, ScoredItem, TransportKind, TwoClouds};
 use sectopk_storage::{ObjectId, Relation, Row, TopKQuery};
 use sectopk_tests::{TEST_EHL_KEYS, TEST_MODULUS_BITS};
@@ -36,17 +38,18 @@ fn fixed_relation() -> Relation {
     )
 }
 
-/// Run one fixed-seed query on the given transport and return everything observable.
-fn run_on(kind: TransportKind, config: &QueryConfig) -> (TwoClouds, QueryOutcome) {
+/// Run one fixed-seed query on the given transport, through the `Session` front door,
+/// and return everything observable.
+fn run_on(kind: TransportKind, config: &QueryConfig) -> (DirectSession, QueryOutcome) {
     let mut rng = StdRng::seed_from_u64(0xE9_51);
     let owner = DataOwner::new(TEST_MODULUS_BITS, TEST_EHL_KEYS, &mut rng).expect("keygen");
     let relation = fixed_relation();
-    let (er, _) = owner.encrypt(&relation, &mut rng).expect("encryption");
-    let token = owner.authorize_client().token(3, &TopKQuery::sum(vec![0, 1, 2], 2)).unwrap();
-    let mut clouds =
-        TwoClouds::with_transport(owner.keys(), 0xBEEF, kind, true).expect("cloud setup");
-    let outcome = sec_query(&mut clouds, &er, &token, config).expect("query");
-    (clouds, outcome)
+    let (outsourced, _) = owner.outsource(&relation, &mut rng).expect("encryption");
+    let query = Query::from_spec(TopKQuery::sum(vec![0, 1, 2], 2))
+        .with_variant(VariantChoice::Fixed(config.variant));
+    let mut session = owner.connect_with(&outsourced, 0xBEEF, kind, true).expect("cloud setup");
+    let outcome = session.execute(&query).expect("query").outcome;
+    (session, outcome)
 }
 
 fn assert_items_byte_identical(a: &[ScoredItem], b: &[ScoredItem], kind: TransportKind) {
@@ -67,12 +70,12 @@ struct Observation {
     halted: bool,
 }
 
-fn observe(clouds: &TwoClouds, outcome: &QueryOutcome) -> Observation {
+fn observe(session: &DirectSession, outcome: &QueryOutcome) -> Observation {
     Observation {
         top_k: outcome.top_k.clone(),
-        s1_ledger: clouds.s1_ledger().clone(),
-        s2_ledger: clouds.s2_ledger(),
-        metrics: clouds.channel(),
+        s1_ledger: session.s1_ledger(),
+        s2_ledger: session.s2_ledger(),
+        metrics: session.metrics(),
         depths_scanned: outcome.stats.depths_scanned,
         halted: outcome.stats.halted,
     }
@@ -97,11 +100,11 @@ fn assert_observations_equal(reference: &Observation, other: &Observation, kind:
 }
 
 fn assert_equivalent(config: &QueryConfig) {
-    let (clouds_ip, outcome_ip) = run_on(TransportKind::InProcess, config);
-    let reference = observe(&clouds_ip, &outcome_ip);
+    let (session_ip, outcome_ip) = run_on(TransportKind::InProcess, config);
+    let reference = observe(&session_ip, &outcome_ip);
     for kind in [TransportKind::Channel, TransportKind::Multiplex] {
-        let (clouds, outcome) = run_on(kind, config);
-        assert_observations_equal(&reference, &observe(&clouds, &outcome), kind);
+        let (session, outcome) = run_on(kind, config);
+        assert_observations_equal(&reference, &observe(&session, &outcome), kind);
     }
 }
 
@@ -117,9 +120,9 @@ fn dup_elim_query_is_transport_invariant() {
 
 #[test]
 fn channel_transport_traffic_is_nonzero_and_round_counted() {
-    let (clouds, outcome) = run_on(TransportKind::Channel, &QueryConfig::full());
-    assert_eq!(clouds.transport_kind(), TransportKind::Channel);
-    let metrics = clouds.channel();
+    let (session, outcome) = run_on(TransportKind::Channel, &QueryConfig::full());
+    assert_eq!(session.clouds().transport_kind(), TransportKind::Channel);
+    let metrics = session.metrics();
     assert!(metrics.bytes > 0);
     assert!(metrics.rounds > 0);
     // Strict request/response framing: every S1 message is answered exactly once.
@@ -131,9 +134,9 @@ fn channel_transport_traffic_is_nonzero_and_round_counted() {
 
 #[test]
 fn multiplex_transport_traffic_is_nonzero_and_round_counted() {
-    let (clouds, outcome) = run_on(TransportKind::Multiplex, &QueryConfig::full());
-    assert_eq!(clouds.transport_kind(), TransportKind::Multiplex);
-    let metrics = clouds.channel();
+    let (session, outcome) = run_on(TransportKind::Multiplex, &QueryConfig::full());
+    assert_eq!(session.clouds().transport_kind(), TransportKind::Multiplex);
+    let metrics = session.metrics();
     assert!(metrics.bytes > 0);
     assert!(metrics.rounds > 0);
     assert_eq!(metrics.messages_s1_to_s2, metrics.messages_s2_to_s1);
@@ -233,15 +236,14 @@ proptest! {
             let mut rng = StdRng::seed_from_u64(keygen_seed);
             let owner =
                 DataOwner::new(TEST_MODULUS_BITS, TEST_EHL_KEYS, &mut rng).expect("keygen");
-            let (er, _) = owner.encrypt(&relation, &mut rng).expect("encryption");
-            let token = owner
-                .authorize_client()
-                .token(relation.num_attributes(), &query)
-                .expect("token");
-            let mut clouds = TwoClouds::with_transport(owner.keys(), cloud_seed, kind, true)
+            let (outsourced, _) = owner.outsource(&relation, &mut rng).expect("encryption");
+            let built = Query::from_spec(query.clone())
+                .with_variant(VariantChoice::Fixed(config.variant));
+            let mut session = owner
+                .connect_with(&outsourced, cloud_seed, kind, true)
                 .expect("cloud setup");
-            let outcome = sec_query(&mut clouds, &er, &token, &config).expect("query");
-            observe(&clouds, &outcome)
+            let outcome = session.execute(&built).expect("query").outcome;
+            observe(&session, &outcome)
         };
 
         let reference = run(TransportKind::InProcess);
