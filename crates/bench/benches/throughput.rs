@@ -15,17 +15,22 @@
 //! `SECTOPK_RECORD_BASELINE=1 cargo bench -p sectopk-bench --bench throughput` re-runs
 //! the sweep at 1/4/8/16 sessions and rewrites `BENCH_throughput.json` at the
 //! workspace root, asserting the ≥3× aggregate-throughput criterion at 8 sessions.
+//! The sweep also records a `tcp-loopback` column — the same workload over real
+//! sockets to a loopback `TcpCloudServer` — and asserts its aggregate q/s stays
+//! within a 5× sanity bound of the multiplex ideal-link rows in both directions.
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use sectopk_core::{DataOwner, Outsourced, VariantChoice};
+use sectopk_core::{DataOwner, Outsourced, Query, Session, VariantChoice};
+use sectopk_crypto::pool::shard_seed;
 use sectopk_datasets::{fig3_relation, QueryWorkload, WorkloadSpec};
-use sectopk_protocols::LinkProfile;
+use sectopk_protocols::{LinkProfile, MultiplexServer, TcpCloudServer, TcpServerConfig};
 use sectopk_server::{QueryServer, ServeConfig};
 
 /// One variant the planner chose during a sweep point, with how often.
@@ -41,6 +46,9 @@ struct VariantCount {
 /// planner executed and how many queries failed.
 #[derive(Clone, Debug, Serialize)]
 struct ThroughputPoint {
+    /// Link column: `wan-20ms` / `ideal` (simulated `LinkProfile`s over the multiplex
+    /// transport) or `tcp-loopback` (real sockets to a loopback `TcpCloudServer`).
+    link: String,
     sessions: usize,
     s2_workers: usize,
     queries: usize,
@@ -82,6 +90,7 @@ fn measure(
     let report = server.serve(workload, &config).expect("serve");
     let qps = report.throughput_qps();
     ThroughputPoint {
+        link: if rtt_ms == 0 { "ideal".into() } else { format!("wan-{rtt_ms}ms") },
         sessions,
         s2_workers: sessions,
         queries: report.queries,
@@ -97,6 +106,102 @@ fn measure(
             .map(|(variant, p, queries)| VariantCount { variant, p, queries })
             .collect(),
         errors: report.error_count(),
+    }
+}
+
+/// Serve the workload over **real TCP sockets**: a loopback `TcpCloudServer` with a
+/// `sessions`-wide worker pool, one `RemoteSession` per session thread, the same
+/// round-robin query deal as `QueryServer::serve`.  Real sockets give real-socket
+/// numbers; the simulated `LinkProfile` rows stay the reproducible baseline.
+fn measure_tcp(
+    owner: &DataOwner,
+    outsourced: &Outsourced,
+    workload: &QueryWorkload,
+    sessions: usize,
+    one_session_qps: Option<f64>,
+) -> ThroughputPoint {
+    let listener = TcpCloudServer::serve_pool(
+        "127.0.0.1:0",
+        Arc::new(MultiplexServer::new(sessions)),
+        TcpServerConfig::default(),
+    )
+    .expect("bind loopback listener");
+    let addr = listener.local_addr().to_string();
+    let parts = workload.partition(sessions);
+
+    struct SessionTally {
+        queries: usize,
+        errors: usize,
+        rounds: u64,
+        bytes: u64,
+        plans: Vec<(&'static str, Option<usize>)>,
+    }
+
+    let start = Instant::now();
+    let tallies: Vec<SessionTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, queries)| {
+                let addr = addr.as_str();
+                scope.spawn(move || {
+                    let mut session = owner
+                        .connect_remote(outsourced, addr, shard_seed(0xBEA7, i as u64))
+                        .expect("remote session connects");
+                    let mut tally = SessionTally {
+                        queries: queries.len(),
+                        errors: 0,
+                        rounds: 0,
+                        bytes: 0,
+                        plans: Vec::new(),
+                    };
+                    for query in queries {
+                        let built =
+                            Query::from_spec(query.clone()).with_variant(VariantChoice::Auto);
+                        match session.execute(&built) {
+                            Ok(resolved) => {
+                                if let Some(plan) = resolved.plan() {
+                                    tally
+                                        .plans
+                                        .push((plan.variant_name(), plan.batching_parameter()));
+                                }
+                            }
+                            Err(_) => tally.errors += 1,
+                        }
+                    }
+                    let metrics = session.metrics();
+                    tally.rounds = metrics.rounds;
+                    tally.bytes = metrics.bytes;
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("session thread")).collect()
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let queries: usize = tallies.iter().map(|t| t.queries).sum();
+    let qps = queries as f64 / wall_seconds;
+    let mut planned_variants: Vec<VariantCount> = Vec::new();
+    for (variant, p) in tallies.iter().flat_map(|t| t.plans.iter().copied()) {
+        match planned_variants.iter_mut().find(|v| (v.variant, v.p) == (variant, p)) {
+            Some(row) => row.queries += 1,
+            None => planned_variants.push(VariantCount { variant, p, queries: 1 }),
+        }
+    }
+    ThroughputPoint {
+        link: "tcp-loopback".into(),
+        sessions,
+        s2_workers: sessions,
+        queries,
+        rtt_ms: 0,
+        wall_seconds,
+        qps,
+        speedup_vs_one_session: one_session_qps.map_or(1.0, |base| qps / base),
+        rounds_total: tallies.iter().map(|t| t.rounds).sum(),
+        bytes_total: tallies.iter().map(|t| t.bytes).sum(),
+        planned_variants,
+        errors: tallies.iter().map(|t| t.errors).sum(),
     }
 }
 
@@ -124,6 +229,38 @@ fn record_throughput_baseline() {
             );
             results.push(point.clone());
         }
+    }
+    // The tcp-loopback column: the same sweep over real sockets.
+    let mut one_session_qps = None;
+    for &sessions in &[1usize, 4, 8, 16] {
+        let point = measure_tcp(&owner, &outsourced, &workload, sessions, one_session_qps);
+        if sessions == 1 {
+            one_session_qps = Some(point.qps);
+        }
+        println!(
+            "{:>8} {:>7} {:>9.3} {:>9.2} {:>8.2}x",
+            "tcp", point.sessions, point.wall_seconds, point.qps, point.speedup_vs_one_session,
+        );
+        results.push(point.clone());
+    }
+    // Sanity bound on the real-socket overhead: loopback TCP serves the same workload
+    // within 5× of the multiplex ideal-link aggregate throughput, in both directions
+    // (a collapse or an implausible speedup both indicate a metering/transport bug).
+    for &sessions in &[1usize, 4, 8, 16] {
+        let ideal = results
+            .iter()
+            .find(|p| p.link == "ideal" && p.sessions == sessions)
+            .expect("ideal point");
+        let tcp = results
+            .iter()
+            .find(|p| p.link == "tcp-loopback" && p.sessions == sessions)
+            .expect("tcp point");
+        let ratio = tcp.qps / ideal.qps;
+        assert!(
+            (0.2..=5.0).contains(&ratio),
+            "tcp-loopback vs multiplex-ideal q/s at {sessions} sessions out of sanity \
+             bounds: {ratio:.2}x"
+        );
     }
     // The serving criterion: 8 concurrent sessions + 8 S2 workers must deliver at
     // least 3× the aggregate throughput of the single-session baseline on the

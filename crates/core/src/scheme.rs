@@ -14,7 +14,6 @@ use rand::{CryptoRng, RngCore};
 use sectopk_crypto::keys::MasterKeys;
 use sectopk_crypto::paillier::DEFAULT_MODULUS_BITS;
 use sectopk_crypto::DEFAULT_EHL_KEYS;
-use sectopk_protocols::TwoClouds;
 use sectopk_storage::{
     encrypt_relation, encrypt_relation_parallel, generate_token, EncryptedRelation,
     EncryptionStats, QueryToken, Relation, TopKQuery,
@@ -81,17 +80,6 @@ impl DataOwner {
     pub fn authorize_client(&self) -> AuthorizedClient {
         AuthorizedClient { keys: self.keys.clone() }
     }
-
-    /// Instantiate the two-cloud execution context: S1 receives the public keys, S2 the
-    /// decryption keys (Figure 1).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `DataOwner::connect` for a `Session`, or `TwoClouds::new` for \
-                protocol-level access"
-    )]
-    pub fn setup_clouds(&self, seed: u64) -> Result<TwoClouds> {
-        Ok(TwoClouds::new(&self.keys, seed)?)
-    }
 }
 
 /// An authorized client: can turn queries into tokens (and, in this reproduction, asks
@@ -122,6 +110,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sectopk_crypto::paillier::MIN_MODULUS_BITS;
+    use sectopk_protocols::TwoClouds;
     use sectopk_storage::{ObjectId, Row};
 
     #[test]

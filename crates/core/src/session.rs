@@ -22,7 +22,9 @@ use rand::rngs::StdRng;
 use rand::{CryptoRng, RngCore, SeedableRng};
 
 use sectopk_crypto::keys::MasterKeys;
-use sectopk_protocols::{ChannelMetrics, LeakageLedger, LinkProfile, TransportKind, TwoClouds};
+use sectopk_protocols::{
+    ChannelMetrics, LeakageLedger, LinkProfile, TcpOptions, TransportKind, TwoClouds,
+};
 use sectopk_storage::{encrypt_relation, EncryptedRelation, EncryptionStats, ObjectId, Relation};
 
 use crate::builder::{Query, VariantChoice};
@@ -321,6 +323,111 @@ impl DataOwner {
     ) -> Result<DirectSession> {
         let clouds = TwoClouds::with_transport(self.keys(), seed, kind, batching)?;
         Ok(DirectSession::new(clouds, outsourced.clone(), self.keys().clone(), seed))
+    }
+}
+
+/// A networked two-cloud session: S1 runs locally, the crypto cloud S2 is a remote
+/// `sectopk-s2d` process reached over a real TCP socket.  Create one with
+/// [`DataOwner::connect_remote`]; it mirrors [`DataOwner::connect`], so callers switch
+/// from in-process to networked execution by changing one constructor — everything
+/// downstream is the same [`Session`] front door.
+///
+/// Determinism carries over the wire: a remote session with seed *s* produces results,
+/// ledgers and metrics byte-identical to a [`DirectSession`] with seed *s* (the
+/// connection handshake provisions the remote S2 engine from the same seed derivation).
+#[derive(Debug)]
+pub struct RemoteSession {
+    inner: DirectSession,
+    addr: String,
+}
+
+impl RemoteSession {
+    /// The `host:port` address of the S2 process this session is connected to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The underlying two-cloud context — the protocol-level escape hatch the
+    /// failure-injection suite uses to drive raw round trips over the socket.
+    pub fn clouds(&self) -> &TwoClouds {
+        self.inner.clouds()
+    }
+
+    /// Mutable access to the underlying two-cloud context.
+    pub fn clouds_mut(&mut self) -> &mut TwoClouds {
+        self.inner.clouds_mut()
+    }
+
+    /// The outsourced relation this session queries.
+    pub fn outsourced(&self) -> &Outsourced {
+        self.inner.outsourced()
+    }
+}
+
+impl Session for RemoteSession {
+    fn num_objects(&self) -> usize {
+        self.inner.num_objects()
+    }
+
+    fn num_attributes(&self) -> usize {
+        self.inner.num_attributes()
+    }
+
+    fn link(&self) -> LinkProfile {
+        self.inner.link()
+    }
+
+    fn batching(&self) -> bool {
+        self.inner.batching()
+    }
+
+    fn execute(&mut self, query: &Query) -> Result<ResolvedTopK> {
+        self.inner.execute(query)
+    }
+
+    fn metrics(&self) -> ChannelMetrics {
+        self.inner.metrics()
+    }
+
+    fn s1_ledger(&self) -> LeakageLedger {
+        self.inner.s1_ledger()
+    }
+
+    fn s2_ledger(&self) -> LeakageLedger {
+        self.inner.s2_ledger()
+    }
+
+    fn reset_accounting(&mut self) {
+        self.inner.reset_accounting();
+    }
+}
+
+impl DataOwner {
+    /// Open a networked two-cloud session on `outsourced` against the `sectopk-s2d`
+    /// process listening at `addr` (`"host:port"`), with batching enabled and default
+    /// connection policy.  Mirrors [`DataOwner::connect`].
+    pub fn connect_remote(
+        &self,
+        outsourced: &Outsourced,
+        addr: &str,
+        seed: u64,
+    ) -> Result<RemoteSession> {
+        self.connect_remote_with(outsourced, addr, seed, true, TcpOptions::default())
+    }
+
+    /// [`DataOwner::connect_remote`] with an explicit batching policy and connection
+    /// options (retry budget, timeouts, proposed session id).
+    pub fn connect_remote_with(
+        &self,
+        outsourced: &Outsourced,
+        addr: &str,
+        seed: u64,
+        batching: bool,
+        options: TcpOptions,
+    ) -> Result<RemoteSession> {
+        let clouds = TwoClouds::connect_tcp(self.keys(), seed, batching, addr, options)?;
+        let inner = DirectSession::new(clouds, outsourced.clone(), self.keys().clone(), seed);
+        Ok(RemoteSession { inner, addr: addr.to_string() })
     }
 }
 

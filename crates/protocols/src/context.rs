@@ -22,9 +22,10 @@ use sectopk_crypto::paillier::{generate_keypair, PaillierPublicKey, PaillierSecr
 use sectopk_crypto::pool::RandomnessPool;
 
 use crate::channel::ChannelMetrics;
-use crate::engine::S2Engine;
+use crate::engine::EngineProvision;
 use crate::ledger::LeakageLedger;
 use crate::multiplex::{LinkProfile, MultiplexServer, MultiplexTransport, SessionId};
+use crate::tcp::{TcpOptions, TcpTransport};
 use crate::transport::{
     ChannelTransport, InProcessTransport, S1Request, S2Response, Transport, TransportKind,
 };
@@ -83,14 +84,34 @@ impl TwoClouds {
         kind: TransportKind,
         batching: bool,
     ) -> Result<Self> {
-        Self::build(master, seed, batching, |engine| {
+        Self::build(master, seed, batching, |provision| {
             Ok(match kind {
-                TransportKind::InProcess => Box::new(InProcessTransport::new(engine)),
-                TransportKind::Channel => Box::new(ChannelTransport::new(engine)),
+                TransportKind::InProcess => Box::new(InProcessTransport::new(provision.build())),
+                TransportKind::Channel => Box::new(ChannelTransport::new(provision.build())),
                 TransportKind::Multiplex => {
-                    Box::new(MultiplexTransport::private(engine, LinkProfile::ideal())?)
+                    Box::new(MultiplexTransport::private(provision.build(), LinkProfile::ideal())?)
+                }
+                TransportKind::Tcp => {
+                    Box::new(TcpTransport::private(provision, TcpOptions::default())?)
                 }
             })
+        })
+    }
+
+    /// Set up the two clouds against a remote [`crate::tcp::TcpCloudServer`] at `addr`
+    /// (e.g. a `sectopk-s2d` process): the S2 engine is provisioned over the connection
+    /// handshake, and every protocol round trip crosses the real socket.  S1-side state
+    /// derives from `seed` exactly as in [`TwoClouds::with_transport`], so a TCP run
+    /// with seed *s* is byte-identical to an in-process run with seed *s*.
+    pub fn connect_tcp(
+        master: &MasterKeys,
+        seed: u64,
+        batching: bool,
+        addr: &str,
+        options: TcpOptions,
+    ) -> Result<Self> {
+        Self::build(master, seed, batching, |provision| {
+            Ok(Box::new(TcpTransport::connect(addr, provision, options)?))
         })
     }
 
@@ -109,8 +130,8 @@ impl TwoClouds {
         session: SessionId,
         link: LinkProfile,
     ) -> Result<Self> {
-        Self::build(master, seed, batching, |engine| {
-            Ok(Box::new(server.connect(session, engine, link)?))
+        Self::build(master, seed, batching, |provision| {
+            Ok(Box::new(server.connect(session, provision.build(), link)?))
         })
     }
 
@@ -121,7 +142,7 @@ impl TwoClouds {
         master: &MasterKeys,
         seed: u64,
         batching: bool,
-        make_transport: impl FnOnce(S2Engine) -> Result<Box<dyn Transport>>,
+        make_transport: impl FnOnce(EngineProvision) -> Result<Box<dyn Transport>>,
     ) -> Result<Self> {
         let mut s1_rng = StdRng::seed_from_u64(seed ^ 0x5151_5151_5151_5151);
 
@@ -133,10 +154,15 @@ impl TwoClouds {
         let (own_public, own_secret) = generate_keypair(own_bits, &mut s1_rng)?;
 
         // S2 receives the owner's secret-key view and S1's published own public key; it
-        // lives behind the transport from here on.
-        let engine =
-            S2Engine::new(master.s2_view(), own_public.clone(), seed ^ 0x5252_5252_5252_5252);
-        let transport = make_transport(engine)?;
+        // lives behind the transport from here on.  The provision is the serializable
+        // form of that hand-over — local transports build the engine in place, the TCP
+        // transport ships it over the connection handshake.
+        let provision = EngineProvision::new(
+            master.s2_view(),
+            own_public.clone(),
+            seed ^ 0x5252_5252_5252_5252,
+        );
+        let transport = make_transport(provision)?;
 
         let s1_keys = master.s1_view();
         // S1's nonce pool serves the shared key pair; it owns its own deterministic

@@ -19,6 +19,7 @@ use sectopk_ehl::EhlPlus;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use crate::dedup::EncryptedBlinding;
 use crate::items::{rand_blind, rerandomize_item_pooled, ItemBlinding, ScoredItem};
@@ -30,6 +31,38 @@ use crate::wire::WireError;
 /// shipped back to S1 as typed `S2Response::Error` messages instead of panicking the
 /// serving thread.
 pub type EngineResult<T> = std::result::Result<T, WireError>;
+
+/// Everything needed to stand up an [`S2Engine`]: the owner's S2 key view, S1's
+/// published own public key, and the seed of S2's deterministic randomness.
+///
+/// This is the *provisioning payload* of the crypto cloud.  In-process transports build
+/// the engine directly from it; the TCP transport ships it to the remote `sectopk-s2d`
+/// listener during the connection handshake (Figure 1 of the paper: the data owner
+/// uploads `(pk_p, sk_p)` to S2 — in a hardened deployment this handshake would run
+/// over an authenticated, encrypted channel such as TLS; the reproduction ships it in
+/// the clear).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EngineProvision {
+    /// The owner's S2 key view (decryption keys; S2 stores no data).
+    pub keys: S2Keys,
+    /// S1's own public key `pk'` (the encrypted-blinding channel of SecDedup/SecFilter).
+    pub s1_own_public: PaillierPublicKey,
+    /// Seed of S2's local randomness and nonce-pool streams.
+    pub seed: u64,
+}
+
+impl EngineProvision {
+    /// Bundle the engine's constituents.
+    pub fn new(keys: S2Keys, s1_own_public: PaillierPublicKey, seed: u64) -> Self {
+        EngineProvision { keys, s1_own_public, seed }
+    }
+
+    /// Build the engine.  Two engines built from equal provisions answer identically —
+    /// the transport-equivalence suite depends on that.
+    pub fn build(&self) -> S2Engine {
+        S2Engine::new(self.keys.clone(), self.s1_own_public.clone(), self.seed)
+    }
+}
 
 /// The crypto cloud S2: keys, randomness, nonce pools, ledger, and the request handler.
 #[derive(Debug)]

@@ -15,6 +15,9 @@
 //! * [`multiplex`] — session-multiplexed serving: one S2 worker pool answering many
 //!   concurrent S1 sessions over session-tagged envelopes, with per-session ledgers,
 //!   metrics and deterministic nonce-pool shards.
+//! * [`tcp`] — the real-socket deployment: the same envelopes length-prefix-framed over
+//!   TCP, with a connection handshake that provisions the session's engine, and the
+//!   listener ([`tcp::TcpCloudServer`]) feeding connections into the multiplex pool.
 //! * [`engine`] — the crypto cloud S2 as a request-processing engine (all S2-side
 //!   protocol logic, keys and randomness).
 //! * [`wire`] — the binary codec every message is measured (and, on the threaded
@@ -45,6 +48,8 @@ pub mod ledger;
 pub mod multiplex;
 pub mod primitives;
 pub mod sort;
+#[deny(missing_docs)]
+pub mod tcp;
 pub mod transport;
 pub mod update;
 pub mod wire;
@@ -53,7 +58,7 @@ pub mod worst;
 pub use channel::{ChannelMetrics, Direction};
 pub use context::{S1State, TwoClouds};
 pub use dedup::EncryptedBlinding;
-pub use engine::{EngineResult, S2Engine};
+pub use engine::{EngineProvision, EngineResult, S2Engine};
 pub use error::{ProtocolError, Result};
 pub use items::{
     rand_blind, rand_unblind, rerandomize_item, rerandomize_item_pooled, ItemBlinding, ScoredItem,
@@ -62,6 +67,9 @@ pub use join::{EncryptedTuple, JoinSpec, JoinedTuple};
 pub use ledger::{LeakageEvent, LeakageLedger};
 pub use multiplex::{Envelope, LinkProfile, MultiplexServer, MultiplexTransport, SessionId};
 pub use primitives::EqBatch;
+pub use tcp::{
+    TcpCloudServer, TcpOptions, TcpServerConfig, TcpTransport, MAX_FRAME_LEN, TCP_PROTOCOL_VERSION,
+};
 pub use transport::{
     ChannelTransport, InProcessTransport, S1Request, S2Response, Transport, TransportKind,
     TRANSPORT_ENV,

@@ -154,11 +154,26 @@ impl LinkProfile {
     }
 }
 
+/// Depth of each session's bounded reply queue.  The protocol is strictly
+/// request/reply (a client or gateway bridge holds at most one envelope in flight per
+/// session), so the queue never fills in correct operation; the bound is backpressure —
+/// a worker facing a stalled session blocks instead of buffering replies without limit.
+const REPLY_QUEUE_DEPTH: usize = 2;
+
 /// Per-session server-side state: the session's own engine (ledger, RNG, pool shards,
-/// accumulated equality bits) and the channel its replies travel back on.
+/// accumulated equality bits) and the bounded channel its replies travel back on.
 struct SessionSlot {
     engine: Mutex<S2Engine>,
-    replies: mpsc::Sender<Vec<u8>>,
+    replies: mpsc::SyncSender<Vec<u8>>,
+}
+
+/// Raw channel endpoints of one registered session: the shared server inbox plus the
+/// session's private reply queue.  Gateway bridges (the TCP listener's per-connection
+/// threads) forward envelope bytes through these; local in-process clients use the
+/// [`MultiplexTransport`] built on the same endpoints by [`MultiplexServer::connect`].
+pub(crate) struct SessionConduit {
+    pub(crate) to_server: mpsc::Sender<Vec<u8>>,
+    pub(crate) from_server: mpsc::Receiver<Vec<u8>>,
 }
 
 type Registry = Arc<Mutex<HashMap<SessionId, Arc<SessionSlot>>>>;
@@ -220,26 +235,47 @@ impl MultiplexServer {
         engine: S2Engine,
         link: LinkProfile,
     ) -> Result<MultiplexTransport> {
-        let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
-        {
-            let mut registry = self.registry.lock().expect("session registry poisoned");
-            if registry.contains_key(&session) {
-                return Err(ProtocolError::transport(format!("{session} is already connected")));
-            }
-            registry.insert(
-                session,
-                Arc::new(SessionSlot { engine: Mutex::new(engine), replies: reply_tx }),
-            );
-        }
+        let conduit = self
+            .attach(session, engine)
+            .map_err(|_| ProtocolError::transport(format!("{session} is already connected")))?;
         Ok(MultiplexTransport {
             session,
             seq: 0,
-            to_server: self.inbox.clone(),
-            from_server: reply_rx,
+            to_server: conduit.to_server,
+            from_server: conduit.from_server,
             link,
             metrics: ChannelMetrics::new(),
             private_server: None,
         })
+    }
+
+    /// The shared server inbox — the channel every envelope enters the pool through.
+    /// The TCP listener uses it to inject reaping disconnects for dead connections.
+    pub(crate) fn inbox(&self) -> &mpsc::Sender<Vec<u8>> {
+        &self.inbox
+    }
+
+    /// Register `session` backed by `engine` and hand back the raw channel endpoints.
+    /// On an id collision the engine is handed back so the caller can retry under a
+    /// different id (the TCP listener's session negotiation does exactly that).
+    // The large Err *is* the point: the caller gets its engine back by value instead
+    // of rebuilding it, and this is a cold, crate-internal path.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn attach(
+        &self,
+        session: SessionId,
+        engine: S2Engine,
+    ) -> std::result::Result<SessionConduit, S2Engine> {
+        let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<u8>>(REPLY_QUEUE_DEPTH);
+        let mut registry = self.registry.lock().expect("session registry poisoned");
+        if registry.contains_key(&session) {
+            return Err(engine);
+        }
+        registry.insert(
+            session,
+            Arc::new(SessionSlot { engine: Mutex::new(engine), replies: reply_tx }),
+        );
+        Ok(SessionConduit { to_server: self.inbox.clone(), from_server: reply_rx })
     }
 }
 

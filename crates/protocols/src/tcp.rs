@@ -1,0 +1,1010 @@
+//! Real-socket transport: the crypto cloud S2 as a networked process.
+//!
+//! The other three transports keep both clouds in one process; this module makes the
+//! §3.2 deployment literal.  A [`TcpCloudServer`] (the `sectopk-s2d` binary) listens on
+//! a socket and feeds accepted connections into a [`crate::multiplex::MultiplexServer`]
+//! worker pool; a [`TcpTransport`] is the S1 side of one connection, speaking the *same*
+//! session-tagged [`Envelope`]s as the multiplexed transport, length-prefix-framed onto
+//! the stream:
+//!
+//! ```text
+//!    S1 process                                        S2 process (sectopk-s2d)
+//!   ┌──────────────┐   frame = u32 LE length ‖ bytes  ┌────────────────────────────┐
+//!   │ TcpTransport │ ───────────────────────────────▶ │ accept loop ─ bridge thread │
+//!   │  (one conn = │   bytes = Envelope{session,seq,  │      │ per connection       │
+//!   │  one session)│            tag ‖ wire payload}   │      ▼                      │
+//!   │              │ ◀─────────────────────────────── │ MultiplexServer worker pool │
+//!   └──────────────┘                                  └────────────────────────────┘
+//! ```
+//!
+//! # Connection lifecycle
+//!
+//! 1. **Connect** with bounded retry and exponential backoff ([`TcpOptions`]).
+//! 2. **Handshake**: the client sends a [`ClientHello`] — magic, protocol version
+//!    ([`TCP_PROTOCOL_VERSION`]), a proposed session id (0 = server assigns), and the
+//!    [`EngineProvision`] that boots its S2 engine.  The server answers accept (with
+//!    the negotiated id) or reject (version mismatch, id in use, server full).
+//! 3. **Serve**: strict request/reply — the bridge thread forwards each envelope to the
+//!    worker pool and ships the session's reply back.  At most one frame per connection
+//!    is in flight, and the pool's bounded per-session reply queues give
+//!    per-connection backpressure.
+//! 4. **Teardown**: the client's `Drop` ships a `DISCONNECT` frame and blocks for the
+//!    ack, exactly like the multiplexed transport.  A connection that dies without the
+//!    handshake (socket error, EOF, cross-session injection) is *reaped*: the bridge
+//!    disconnects the session from the pool so its id frees up and clean neighbours
+//!    keep being served.
+//!
+//! # Metering
+//!
+//! Byte accounting excludes all framing — the 4-byte length prefix, the 16-byte
+//! envelope header and the tag byte — so [`ChannelMetrics`] stays byte-identical with
+//! the other three transports (asserted by `tests/transport_equivalence.rs`).  Errors
+//! of the socket itself (timeout, reset, EOF) surface as
+//! [`ProtocolError::Transport`]; a provisioning payload this size is key material, so
+//! production deployments would wrap the socket in TLS — the handshake is factored so
+//! that swap stays local to this module.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::{ChannelMetrics, Direction};
+use crate::engine::EngineProvision;
+use crate::error::{ProtocolError, Result};
+use crate::ledger::LeakageLedger;
+use crate::multiplex::{Envelope, MultiplexServer, SessionId};
+use crate::transport::TransportKind;
+use crate::transport::{frame, framed, response_or_error, S1Request, S2Response, Transport};
+use crate::wire;
+
+/// Version of the TCP handshake and framing.  Bumped on any incompatible change; the
+/// server rejects hellos carrying a different version.
+pub const TCP_PROTOCOL_VERSION: u64 = 1;
+
+/// Magic string opening every [`ClientHello`]; lets the server reject a stray client
+/// of some other protocol before trying to decode key material.
+const TCP_MAGIC: &str = "sectopk";
+
+/// Upper bound on one length-prefixed frame.  Generous for the protocol's largest
+/// batched exchanges while turning a corrupted length prefix into a clean transport
+/// error instead of an attempted multi-gigabyte allocation.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Session ids the server assigns start here, far above anything clients propose
+/// densely, so negotiated and proposed ids never collide by accident.
+const ASSIGNED_SESSION_BASE: u64 = 1 << 32;
+
+// ====================================================================================
+// Length-prefixed framing
+// ====================================================================================
+
+fn transport_io_error(context: &str, e: &std::io::Error) -> ProtocolError {
+    use std::io::ErrorKind;
+    let detail = match e.kind() {
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => "timed out".to_string(),
+        ErrorKind::UnexpectedEof => "connection closed".to_string(),
+        _ => e.to_string(),
+    };
+    ProtocolError::transport(format!("{context}: {detail}"))
+}
+
+/// Write one `u32 LE length ‖ bytes` frame in a single buffer (one syscall in the
+/// common case, and no interleaving hazard if a writer is ever shared).
+fn write_frame(mut w: impl Write, bytes: &[u8]) -> Result<()> {
+    debug_assert!(bytes.len() <= MAX_FRAME_LEN);
+    let mut out = Vec::with_capacity(4 + bytes.len());
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+    w.write_all(&out).map_err(|e| transport_io_error("writing frame", &e))?;
+    w.flush().map_err(|e| transport_io_error("flushing frame", &e))
+}
+
+/// Read one length-prefixed frame.
+fn read_frame(mut r: impl Read) -> Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len).map_err(|e| transport_io_error("reading frame header", &e))?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::transport(format!(
+            "oversized frame: {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf).map_err(|e| transport_io_error("reading frame body", &e))?;
+    Ok(buf)
+}
+
+// ====================================================================================
+// Handshake messages
+// ====================================================================================
+
+/// First frame on every connection: identifies the protocol, negotiates the session id
+/// and provisions the session's S2 engine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ClientHello {
+    /// Must be [`TCP_MAGIC`].
+    magic: String,
+    /// Must be [`TCP_PROTOCOL_VERSION`].
+    version: u64,
+    /// Proposed session id; 0 asks the server to assign one.
+    session: u64,
+    /// Everything the server needs to boot this session's [`crate::engine::S2Engine`].
+    provision: EngineProvision,
+}
+
+/// The server's answer to a [`ClientHello`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum ServerHello {
+    /// Connection admitted under the negotiated session id.
+    Accept {
+        /// The server's protocol version (equals the client's on accept).
+        version: u64,
+        /// The session id all subsequent envelopes must carry.
+        session: u64,
+    },
+    /// Connection refused; the socket closes after this frame.
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+}
+
+// ====================================================================================
+// Client options
+// ====================================================================================
+
+/// Connection policy of a [`TcpTransport`]: bounded connect retry with exponential
+/// backoff, socket timeouts, and an optional explicit session id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TcpOptions {
+    /// Connection attempts before giving up (at least 1).
+    pub connect_attempts: u32,
+    /// Delay after the first failed attempt; doubles per retry.
+    pub connect_backoff: Duration,
+    /// Socket read timeout; a server silent for longer yields
+    /// [`ProtocolError::Transport`].
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Session id to propose; `None` lets the server assign one.
+    pub session: Option<SessionId>,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            connect_attempts: 5,
+            connect_backoff: Duration::from_millis(25),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            session: None,
+        }
+    }
+}
+
+impl TcpOptions {
+    /// Propose an explicit session id instead of letting the server assign one.
+    pub fn with_session(mut self, session: SessionId) -> Self {
+        self.session = Some(session);
+        self
+    }
+
+    /// Set the connect retry budget.
+    pub fn with_connect_attempts(mut self, attempts: u32) -> Self {
+        self.connect_attempts = attempts.max(1);
+        self
+    }
+
+    /// Set both socket timeouts.
+    pub fn with_timeouts(mut self, read: Duration, write: Duration) -> Self {
+        self.read_timeout = read;
+        self.write_timeout = write;
+        self
+    }
+}
+
+// ====================================================================================
+// Client transport
+// ====================================================================================
+
+/// The S1 side of one TCP connection to a [`TcpCloudServer`]: a [`Transport`] whose
+/// envelopes travel length-prefix-framed over a real socket.
+pub struct TcpTransport {
+    stream: TcpStream,
+    peer: SocketAddr,
+    session: SessionId,
+    seq: u64,
+    metrics: ChannelMetrics,
+    /// Set once teardown (or an unrecoverable socket error) happened, so `Drop` does
+    /// not try to disconnect twice or over a dead socket.
+    disconnected: bool,
+    /// When the transport was created through [`TransportKind::Tcp`] rather than by
+    /// connecting to an explicit listener, it owns a private loopback server that must
+    /// live (and shut down) with it.
+    private_server: Option<Box<TcpCloudServer>>,
+}
+
+impl fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("peer", &self.peer)
+            .field("session", &self.session)
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl TcpTransport {
+    /// Connect to a [`TcpCloudServer`] at `addr`, retrying with exponential backoff,
+    /// and run the handshake that provisions this session's S2 engine.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        provision: EngineProvision,
+        options: TcpOptions,
+    ) -> Result<Self> {
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| ProtocolError::transport(format!("resolving S2 address: {e}")))?
+            .collect();
+        if addrs.is_empty() {
+            return Err(ProtocolError::transport("S2 address resolved to nothing"));
+        }
+        let stream = Self::connect_with_retry(&addrs, &options)?;
+        let peer =
+            stream.peer_addr().map_err(|e| transport_io_error("reading peer address", &e))?;
+        stream.set_nodelay(true).map_err(|e| transport_io_error("configuring socket", &e))?;
+        stream
+            .set_read_timeout(Some(options.read_timeout))
+            .map_err(|e| transport_io_error("configuring socket", &e))?;
+        stream
+            .set_write_timeout(Some(options.write_timeout))
+            .map_err(|e| transport_io_error("configuring socket", &e))?;
+
+        let hello = ClientHello {
+            magic: TCP_MAGIC.into(),
+            version: TCP_PROTOCOL_VERSION,
+            session: options.session.map_or(0, |s| s.0),
+            provision,
+        };
+        write_frame(&stream, &wire::to_bytes(&hello))?;
+        let reply = read_frame(&stream)?;
+        let reply: ServerHello = wire::from_bytes(&reply)
+            .map_err(|e| ProtocolError::transport(format!("undecodable server hello: {e}")))?;
+        let session = match reply {
+            ServerHello::Accept { version, session } => {
+                if version != TCP_PROTOCOL_VERSION {
+                    return Err(ProtocolError::transport(format!(
+                        "server speaks protocol v{version}, client v{TCP_PROTOCOL_VERSION}"
+                    )));
+                }
+                SessionId(session)
+            }
+            ServerHello::Reject { reason } => {
+                return Err(ProtocolError::transport(format!(
+                    "S2 at {peer} refused the connection: {reason}"
+                )));
+            }
+        };
+        Ok(TcpTransport {
+            stream,
+            peer,
+            session,
+            seq: 0,
+            metrics: ChannelMetrics::new(),
+            disconnected: false,
+            private_server: None,
+        })
+    }
+
+    /// A self-contained TCP transport: spins up a private single-worker loopback
+    /// [`TcpCloudServer`] on an ephemeral port serving only this session.  This is what
+    /// `SECTOPK_TRANSPORT=tcp` uses, so the whole test suite can exercise the real
+    /// socket path without managing a server process.
+    pub fn private(provision: EngineProvision, options: TcpOptions) -> Result<Self> {
+        let server = TcpCloudServer::bind("127.0.0.1:0", 1)
+            .map_err(|e| ProtocolError::transport(format!("binding loopback S2: {e}")))?;
+        let mut transport = Self::connect(server.local_addr(), provision, options)?;
+        transport.private_server = Some(Box::new(server));
+        Ok(transport)
+    }
+
+    fn connect_with_retry(addrs: &[SocketAddr], options: &TcpOptions) -> Result<TcpStream> {
+        let attempts = options.connect_attempts.max(1);
+        let mut backoff = options.connect_backoff;
+        let mut last_error = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            for addr in addrs {
+                match TcpStream::connect(addr) {
+                    Ok(stream) => return Ok(stream),
+                    Err(e) => last_error = format!("{addr}: {e}"),
+                }
+            }
+        }
+        Err(ProtocolError::transport(format!(
+            "connecting to S2 failed after {attempts} attempts: {last_error}"
+        )))
+    }
+
+    /// The session id negotiated at connect time.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// The server address this transport is connected to.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Ship one frame under sequence number `seq` and block for the reply, verifying
+    /// the envelope echo.  `&TcpStream` implements `Read`/`Write`, which is what lets
+    /// the `&self` control plane (`s2_ledger`) share this path with `round_trip`.
+    fn exchange_with_seq(&self, seq: u64, frame_bytes: Vec<u8>) -> Result<Envelope> {
+        let envelope = Envelope { session: self.session, seq, frame: frame_bytes };
+        write_frame(&self.stream, &envelope.encode())?;
+        let incoming = read_frame(&self.stream)?;
+        let reply = Envelope::decode(&incoming)?;
+        if reply.session != self.session || reply.seq != seq {
+            return Err(ProtocolError::transport(format!(
+                "envelope echo mismatch: sent {}#{seq}, got {}#{}",
+                self.session, reply.session, reply.seq
+            )));
+        }
+        Ok(reply)
+    }
+
+    /// Ship one protocol frame under the next sequence number.
+    fn exchange(&mut self, frame_bytes: Vec<u8>) -> Result<Envelope> {
+        self.seq += 1;
+        let reply = self.exchange_with_seq(self.seq, frame_bytes);
+        if reply.is_err() {
+            // The socket (or the strict request/reply pairing) is broken; don't try to
+            // run a disconnect handshake over it during drop.
+            self.disconnected = true;
+        }
+        reply
+    }
+
+    /// One unmetered control-plane exchange (ledger fetch / reset) under the reserved
+    /// sequence number 0.
+    fn control(&self, tag: u8, expected_reply: u8) -> Result<Vec<u8>> {
+        let reply = self.exchange_with_seq(0, vec![tag])?;
+        match reply.frame.split_first() {
+            Some((&t, payload)) if t == expected_reply => Ok(payload.to_vec()),
+            _ => Err(ProtocolError::transport("unexpected control reply from S2")),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn round_trip(&mut self, request: S1Request) -> Result<S2Response> {
+        let out_frame = framed(frame::REQUEST, &request);
+        // Metered size = wire payload only; the tag byte, the 16-byte envelope header
+        // and the 4-byte length prefix are framing, keeping metrics identical across
+        // all four transports.
+        self.metrics.record(Direction::S1ToS2, out_frame.len() - 1, request.ciphertext_count());
+        let reply = self.exchange(out_frame)?;
+        let payload = match reply.frame.split_first() {
+            Some((&frame::RESPONSE, payload)) => payload,
+            _ => return Err(ProtocolError::transport("unexpected reply frame from S2")),
+        };
+        let response: S2Response = wire::from_bytes(payload)
+            .map_err(|e| ProtocolError::transport(format!("undecodable response: {e}")))?;
+        self.metrics.record(Direction::S2ToS1, payload.len(), response.ciphertext_count());
+        response_or_error(response)
+    }
+
+    fn metrics(&self) -> ChannelMetrics {
+        self.metrics
+    }
+
+    fn reset_metrics(&mut self) {
+        self.metrics = ChannelMetrics::new();
+    }
+
+    fn s2_ledger(&self) -> LeakageLedger {
+        let payload = self
+            .control(frame::FETCH_LEDGER, frame::LEDGER)
+            .expect("S2 server unavailable while fetching the session ledger");
+        wire::from_bytes(&payload).expect("undecodable S2 ledger snapshot")
+    }
+
+    fn reset_s2(&mut self) {
+        self.control(frame::RESET, frame::RESET_DONE)
+            .expect("S2 server unavailable while resetting the session");
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Tcp
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        if !self.disconnected {
+            // Graceful teardown: ship DISCONNECT and block for the ack so the session
+            // id is free for reuse the moment this drop returns; best effort if the
+            // server is already gone.
+            let disconnect = Envelope {
+                session: self.session,
+                seq: self.seq + 1,
+                frame: vec![frame::DISCONNECT],
+            };
+            if write_frame(&self.stream, &disconnect.encode()).is_ok() {
+                let _ = read_frame(&self.stream);
+            }
+        }
+        let _ = self.stream.shutdown(Shutdown::Both);
+        // A private server (if any) drops afterwards, joining its threads.
+    }
+}
+
+// ====================================================================================
+// Server
+// ====================================================================================
+
+/// Admission and pool policy of a [`TcpCloudServer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcpServerConfig {
+    /// Maximum concurrently connected sessions; further hellos are rejected with
+    /// "server full".
+    pub max_sessions: usize,
+}
+
+impl Default for TcpServerConfig {
+    fn default() -> Self {
+        TcpServerConfig { max_sessions: 1024 }
+    }
+}
+
+/// Per-connection bookkeeping the listener keeps for failure injection and teardown.
+struct ConnRegistry {
+    /// Session id → the connection's stream (a `try_clone`), so the server can sever
+    /// one session ([`TcpCloudServer::drop_session`]) or all of them on shutdown.
+    streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+/// The crypto cloud S2 as a network listener: an accept loop feeding per-connection
+/// bridge threads into a shared [`MultiplexServer`] worker pool.  This is the engine of
+/// the `sectopk-s2d` binary; tests bind it on a loopback ephemeral port.
+pub struct TcpCloudServer {
+    local_addr: SocketAddr,
+    pool: Arc<MultiplexServer>,
+    config: TcpServerConfig,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<ConnRegistry>,
+    accept_thread: Option<JoinHandle<()>>,
+    bridge_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl fmt::Debug for TcpCloudServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpCloudServer")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.pool.workers())
+            .field("active_sessions", &self.active_sessions())
+            .finish()
+    }
+}
+
+impl TcpCloudServer {
+    /// Bind a listener at `addr` with its own `workers`-thread S2 pool and default
+    /// admission policy.  `"127.0.0.1:0"` binds an ephemeral loopback port (read it
+    /// back with [`Self::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, workers: usize) -> std::io::Result<Self> {
+        Self::serve_pool(addr, Arc::new(MultiplexServer::new(workers)), TcpServerConfig::default())
+    }
+
+    /// Bind a listener at `addr` feeding an existing (possibly shared) worker pool —
+    /// the path `QueryServer::listen` uses so networked and in-process sessions are
+    /// served by the same S2 workers.
+    pub fn serve_pool(
+        addr: impl ToSocketAddrs,
+        pool: Arc<MultiplexServer>,
+        config: TcpServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(ConnRegistry { streams: Mutex::new(HashMap::new()) });
+        let bridge_threads = Arc::new(Mutex::new(Vec::new()));
+        let next_session = Arc::new(AtomicU64::new(ASSIGNED_SESSION_BASE));
+
+        let accept_thread = {
+            let pool = Arc::clone(&pool);
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            let bridge_threads = Arc::clone(&bridge_threads);
+            std::thread::Builder::new()
+                .name("sectopk-s2d-accept".into())
+                .spawn(move || {
+                    accept_loop(
+                        &listener,
+                        &pool,
+                        config,
+                        &shutdown,
+                        &conns,
+                        &bridge_threads,
+                        &next_session,
+                    );
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(TcpCloudServer {
+            local_addr,
+            pool,
+            config,
+            shutdown,
+            conns,
+            accept_thread: Some(accept_thread),
+            bridge_threads,
+        })
+    }
+
+    /// The bound listening address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The worker pool serving this listener's sessions.
+    pub fn pool(&self) -> &Arc<MultiplexServer> {
+        &self.pool
+    }
+
+    /// The admission policy this listener runs under.
+    pub fn config(&self) -> TcpServerConfig {
+        self.config
+    }
+
+    /// Number of currently connected TCP sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.conns.streams.lock().expect("connection registry poisoned").len()
+    }
+
+    /// Failure injection: sever the socket of `session` mid-flight, as a crashed
+    /// client or cut link would.  The bridge thread observes the dead socket and reaps
+    /// the session from the pool; clean neighbours are unaffected.  Returns whether the
+    /// session was connected.
+    pub fn drop_session(&self, session: SessionId) -> bool {
+        let streams = self.conns.streams.lock().expect("connection registry poisoned");
+        match streams.get(&session.0) {
+            Some(stream) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Drop for TcpCloudServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Sever every live connection; bridges observe the dead sockets and reap.
+        for stream in self.conns.streams.lock().expect("connection registry poisoned").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let bridges: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.bridge_threads.lock().expect("bridge registry poisoned"));
+        for handle in bridges {
+            let _ = handle.join();
+        }
+        // The pool itself (if privately owned) drops afterwards, joining its workers.
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: &TcpListener,
+    pool: &Arc<MultiplexServer>,
+    config: TcpServerConfig,
+    shutdown: &Arc<AtomicBool>,
+    conns: &Arc<ConnRegistry>,
+    bridge_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    next_session: &Arc<AtomicU64>,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return; // the wake-up connection (or anything racing it)
+        }
+        let pool = Arc::clone(pool);
+        let conns = Arc::clone(conns);
+        let next_session = Arc::clone(next_session);
+        let handle = std::thread::Builder::new()
+            .name("sectopk-s2d-conn".into())
+            .spawn(move || serve_connection(stream, &pool, config, &conns, &next_session))
+            .expect("spawn connection bridge thread");
+        bridge_threads.lock().expect("bridge registry poisoned").push(handle);
+    }
+}
+
+/// Run the handshake, then bridge envelopes between one socket and the worker pool.
+fn serve_connection(
+    stream: TcpStream,
+    pool: &MultiplexServer,
+    config: TcpServerConfig,
+    conns: &ConnRegistry,
+    next_session: &AtomicU64,
+) {
+    if stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let reject = |reason: &str| {
+        let hello = ServerHello::Reject { reason: reason.into() };
+        let _ = write_frame(&stream, &wire::to_bytes(&hello));
+    };
+
+    // --- Handshake -----------------------------------------------------------------
+    let Ok(hello_bytes) = read_frame(&stream) else { return };
+    let Ok(hello) = wire::from_bytes::<ClientHello>(&hello_bytes) else {
+        reject("undecodable hello");
+        return;
+    };
+    if hello.magic != TCP_MAGIC {
+        reject("bad magic");
+        return;
+    }
+    if hello.version != TCP_PROTOCOL_VERSION {
+        reject(&format!(
+            "protocol version mismatch: client v{}, server v{TCP_PROTOCOL_VERSION}",
+            hello.version
+        ));
+        return;
+    }
+    {
+        let streams = conns.streams.lock().expect("connection registry poisoned");
+        if streams.len() >= config.max_sessions {
+            reject("server full");
+            return;
+        }
+    }
+
+    // Negotiate the session id: try the client's proposal (if any), else assign from
+    // the server-reserved range; `attach` hands the engine back on a collision.
+    let mut engine = hello.provision.build();
+    let (session, conduit) = if hello.session != 0 {
+        match pool.attach(SessionId(hello.session), engine) {
+            Ok(conduit) => (SessionId(hello.session), conduit),
+            Err(_) => {
+                reject(&format!("session id {} is already connected", hello.session));
+                return;
+            }
+        }
+    } else {
+        loop {
+            let candidate = SessionId(next_session.fetch_add(1, Ordering::SeqCst));
+            match pool.attach(candidate, engine) {
+                Ok(conduit) => break (candidate, conduit),
+                Err(returned) => engine = returned,
+            }
+        }
+    };
+
+    {
+        let mut streams = conns.streams.lock().expect("connection registry poisoned");
+        match stream.try_clone() {
+            Ok(clone) => {
+                streams.insert(session.0, clone);
+            }
+            Err(_) => {
+                drop(streams);
+                reap_session(pool, session);
+                return;
+            }
+        }
+    }
+    let accept = ServerHello::Accept { version: TCP_PROTOCOL_VERSION, session: session.0 };
+    if write_frame(&stream, &wire::to_bytes(&accept)).is_err() {
+        conns.streams.lock().expect("connection registry poisoned").remove(&session.0);
+        reap_session(pool, session);
+        return;
+    }
+
+    // --- Bridge loop ----------------------------------------------------------------
+    // Strict request/reply: at most one envelope of this connection is in the pool at
+    // any time, so the session's bounded reply queue never fills and a stalled socket
+    // back-pressures right here instead of buffering.
+    let mut clean_exit = false;
+    while let Ok(incoming) = read_frame(&stream) {
+        let Ok(envelope) = Envelope::decode(&incoming) else { break };
+        if envelope.session != session {
+            // Cross-session injection: a connection may only speak for the session it
+            // negotiated.  Kill the connection rather than forward.
+            break;
+        }
+        let is_disconnect = envelope.frame.first() == Some(&frame::DISCONNECT);
+        if conduit.to_server.send(incoming).is_err() {
+            break; // the pool is gone
+        }
+        let Ok(reply) = conduit.from_server.recv() else { break };
+        if write_frame(&stream, &reply).is_err() {
+            if is_disconnect {
+                clean_exit = true; // the pool already removed the session
+            }
+            break;
+        }
+        if is_disconnect {
+            clean_exit = true;
+            break;
+        }
+    }
+
+    conns.streams.lock().expect("connection registry poisoned").remove(&session.0);
+    if !clean_exit {
+        // The client vanished without a DISCONNECT: reap its session so the id frees
+        // up and the pool drops the engine (ledger, pending state) with it.
+        reap_session(pool, session);
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Disconnect `session` from the pool on behalf of a dead client.
+fn reap_session(pool: &MultiplexServer, session: SessionId) {
+    let disconnect = Envelope { session, seq: 0, frame: vec![frame::DISCONNECT] };
+    // The ack lands in the session's reply queue, which drops with the conduit.
+    let _ = pool.inbox().send(disconnect.encode());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplex::LinkProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sectopk_crypto::keys::MasterKeys;
+    use sectopk_crypto::paillier::{generate_keypair, MIN_MODULUS_BITS};
+
+    use crate::transport::ChannelTransport;
+
+    fn master(seed: u64) -> MasterKeys {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MasterKeys::generate(MIN_MODULUS_BITS, 2, &mut rng).unwrap()
+    }
+
+    fn provision_for(master: &MasterKeys, engine_seed: u64) -> EngineProvision {
+        let mut rng = StdRng::seed_from_u64(engine_seed ^ 0xABCD);
+        let (own_pk, _own_sk) = generate_keypair(MIN_MODULUS_BITS, &mut rng).unwrap();
+        EngineProvision::new(master.s2_view(), own_pk, engine_seed)
+    }
+
+    fn compare_request(master: &MasterKeys, value: i64, rng: &mut StdRng) -> S1Request {
+        S1Request::Compare {
+            blinded: vec![master.paillier_public.encrypt_i64(value, rng).unwrap()],
+            context: "test".into(),
+        }
+    }
+
+    #[test]
+    fn loopback_session_matches_dedicated_channel_transport() {
+        let master = master(41);
+        let server = TcpCloudServer::bind("127.0.0.1:0", 2).unwrap();
+        let mut tcp = TcpTransport::connect(
+            server.local_addr(),
+            provision_for(&master, 99),
+            TcpOptions::default(),
+        )
+        .unwrap();
+        let mut channel = ChannelTransport::new(provision_for(&master, 99).build());
+
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let a = tcp.round_trip(compare_request(&master, -4, &mut rng_a)).unwrap();
+        let b = channel.round_trip(compare_request(&master, -4, &mut rng_b)).unwrap();
+        assert_eq!(a, b, "same engine seed must answer identically over TCP");
+        assert_eq!(tcp.metrics(), channel.metrics(), "metering must be transport-invariant");
+        assert_eq!(tcp.s2_ledger().events(), channel.s2_ledger().events());
+        assert_eq!(tcp.kind(), TransportKind::Tcp);
+        assert_eq!(tcp.link(), LinkProfile::ideal());
+    }
+
+    #[test]
+    fn server_assigns_session_ids_and_honours_proposals() {
+        let master = master(42);
+        let server = TcpCloudServer::bind("127.0.0.1:0", 1).unwrap();
+        let assigned = TcpTransport::connect(
+            server.local_addr(),
+            provision_for(&master, 1),
+            TcpOptions::default(),
+        )
+        .unwrap();
+        assert!(assigned.session().0 >= ASSIGNED_SESSION_BASE);
+
+        let proposed = TcpTransport::connect(
+            server.local_addr(),
+            provision_for(&master, 2),
+            TcpOptions::default().with_session(SessionId(7)),
+        )
+        .unwrap();
+        assert_eq!(proposed.session(), SessionId(7));
+        assert_eq!(server.active_sessions(), 2);
+
+        // A second client proposing the same id is refused.
+        let err = TcpTransport::connect(
+            server.local_addr(),
+            provision_for(&master, 3),
+            TcpOptions::default().with_session(SessionId(7)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtocolError::Transport(_)), "unexpected error {err:?}");
+    }
+
+    #[test]
+    fn disconnect_frees_the_session_and_its_id() {
+        let master = master(43);
+        let server = TcpCloudServer::bind("127.0.0.1:0", 1).unwrap();
+        {
+            let mut t = TcpTransport::connect(
+                server.local_addr(),
+                provision_for(&master, 5),
+                TcpOptions::default().with_session(SessionId(4)),
+            )
+            .unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            t.round_trip(compare_request(&master, 3, &mut rng)).unwrap();
+            assert_eq!(server.active_sessions(), 1);
+        }
+        // Teardown is synchronous on the client side (drop waits for the ack), so the
+        // bridge has already removed the id by the time the drop returns — poll only
+        // for the bridge thread's own registry cleanup.
+        for _ in 0..200 {
+            if server.active_sessions() == 0 && server.pool().active_sessions() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.pool().active_sessions(), 0);
+        let _t = TcpTransport::connect(
+            server.local_addr(),
+            provision_for(&master, 6),
+            TcpOptions::default().with_session(SessionId(4)),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn handshake_rejects_bad_magic_and_version() {
+        let server = TcpCloudServer::bind("127.0.0.1:0", 1).unwrap();
+        let master = master(44);
+
+        let refusal = |hello: &ClientHello| -> ServerHello {
+            let stream = TcpStream::connect(server.local_addr()).unwrap();
+            write_frame(&stream, &wire::to_bytes(hello)).unwrap();
+            wire::from_bytes(&read_frame(&stream).unwrap()).unwrap()
+        };
+
+        let good = ClientHello {
+            magic: TCP_MAGIC.into(),
+            version: TCP_PROTOCOL_VERSION,
+            session: 0,
+            provision: provision_for(&master, 1),
+        };
+        let bad_magic = ClientHello { magic: "not-sectopk".into(), ..good.clone() };
+        assert!(
+            matches!(refusal(&bad_magic), ServerHello::Reject { reason } if reason == "bad magic")
+        );
+        let bad_version = ClientHello { version: TCP_PROTOCOL_VERSION + 1, ..good };
+        assert!(matches!(
+            refusal(&bad_version),
+            ServerHello::Reject { reason } if reason.contains("version mismatch")
+        ));
+        assert_eq!(server.active_sessions(), 0);
+    }
+
+    #[test]
+    fn admission_control_rejects_when_full() {
+        let master = master(45);
+        let server = TcpCloudServer::serve_pool(
+            "127.0.0.1:0",
+            Arc::new(MultiplexServer::new(1)),
+            TcpServerConfig { max_sessions: 1 },
+        )
+        .unwrap();
+        let _first = TcpTransport::connect(
+            server.local_addr(),
+            provision_for(&master, 1),
+            TcpOptions::default(),
+        )
+        .unwrap();
+        let err = TcpTransport::connect(
+            server.local_addr(),
+            provision_for(&master, 2),
+            TcpOptions::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, ProtocolError::Transport(msg) if msg.contains("server full")),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn connect_retries_with_backoff_then_fails_typed() {
+        // Bind-then-drop gives an ephemeral port that is (almost surely) not listening.
+        let dead = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let master = master(46);
+        let options = TcpOptions {
+            connect_attempts: 3,
+            connect_backoff: Duration::from_millis(1),
+            ..TcpOptions::default()
+        };
+        let err = TcpTransport::connect(dead, provision_for(&master, 1), options).unwrap_err();
+        assert!(
+            matches!(&err, ProtocolError::Transport(msg) if msg.contains("after 3 attempts")),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn severed_socket_surfaces_transport_error_and_is_reaped() {
+        let master = master(47);
+        let server = TcpCloudServer::bind("127.0.0.1:0", 1).unwrap();
+        let mut t = TcpTransport::connect(
+            server.local_addr(),
+            provision_for(&master, 9),
+            TcpOptions::default().with_session(SessionId(9)),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        t.round_trip(compare_request(&master, 1, &mut rng)).unwrap();
+
+        assert!(server.drop_session(SessionId(9)));
+        let err = t.round_trip(compare_request(&master, 1, &mut rng)).unwrap_err();
+        assert!(matches!(err, ProtocolError::Transport(_)), "unexpected error {err:?}");
+        // The bridge reaps the pool session; the id becomes reusable.
+        for _ in 0..200 {
+            if server.pool().active_sessions() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.pool().active_sessions(), 0);
+        assert!(!server.drop_session(SessionId(9)), "already severed");
+    }
+
+    #[test]
+    fn private_loopback_server_backs_a_self_contained_transport() {
+        let master = master(48);
+        let mut t =
+            TcpTransport::private(provision_for(&master, 31), TcpOptions::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let response = t.round_trip(compare_request(&master, -2, &mut rng)).unwrap();
+        assert_eq!(response, S2Response::Signs(vec![-1]));
+        assert_eq!(t.metrics().rounds, 1);
+        assert!(!t.s2_ledger().is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_cleanly() {
+        let mut encoded = Vec::new();
+        encoded.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        let err = read_frame(&encoded[..]).unwrap_err();
+        assert!(matches!(&err, ProtocolError::Transport(msg) if msg.contains("oversized")));
+    }
+}

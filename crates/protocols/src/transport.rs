@@ -26,7 +26,7 @@
 //!          1 round per request/response pair (Batch counts as one)
 //! ```
 //!
-//! Two implementations:
+//! Four implementations:
 //!
 //! * [`InProcessTransport`] — the fast path: the request value is handed to the engine
 //!   without copying the payload; messages are still *metered* at their exact wire size
@@ -34,9 +34,14 @@
 //! * [`ChannelTransport`] — S2 runs on its own thread; every message is actually
 //!   serialized with [`crate::wire`], shipped over an `mpsc` byte channel, and
 //!   deserialized on the far side.  Nothing but bytes crosses the boundary.
+//! * [`crate::multiplex::MultiplexTransport`] — S2 as a session-multiplexing worker
+//!   pool; frames travel inside session-tagged envelopes.
+//! * [`crate::tcp::TcpTransport`] — S2 as a real networked process: the same envelopes,
+//!   length-prefix-framed over a TCP socket to a [`crate::tcp::TcpCloudServer`].
 //!
-//! Both transports produce byte-identical protocol outputs and identical leakage
-//! ledgers for the same seed (asserted by `tests/transport_equivalence.rs`).
+//! All four produce byte-identical protocol outputs, identical leakage ledgers and
+//! identical [`ChannelMetrics`] for the same seed (asserted by
+//! `tests/transport_equivalence.rs`).
 //!
 //! # Batching rules
 //!
@@ -363,10 +368,17 @@ pub enum TransportKind {
     /// server), each `TwoClouds` spins up a private single-worker server, so the whole
     /// test suite can run over the multiplexed path via `SECTOPK_TRANSPORT=multiplex`.
     Multiplex,
+    /// S2 is a real networked process: envelopes travel length-prefix-framed over a TCP
+    /// socket to a [`crate::tcp::TcpCloudServer`] listener (the `sectopk-s2d` binary).
+    /// When selected here, each `TwoClouds` spins up a private loopback listener on an
+    /// ephemeral port, so the whole test suite can run over real sockets via
+    /// `SECTOPK_TRANSPORT=tcp`.
+    Tcp,
 }
 
 /// Environment variable selecting the default transport (`"channel"`/`"thread"`,
-/// `"multiplex"`/`"mux"`, or anything else — including unset — for in-process).
+/// `"multiplex"`/`"mux"`, `"tcp"`/`"socket"`, or anything else — including unset — for
+/// in-process).
 pub const TRANSPORT_ENV: &str = "SECTOPK_TRANSPORT";
 
 impl TransportKind {
@@ -388,6 +400,9 @@ impl TransportKind {
             }
             Some(v) if v.eq_ignore_ascii_case("multiplex") || v.eq_ignore_ascii_case("mux") => {
                 TransportKind::Multiplex
+            }
+            Some(v) if v.eq_ignore_ascii_case("tcp") || v.eq_ignore_ascii_case("socket") => {
+                TransportKind::Tcp
             }
             _ => TransportKind::InProcess,
         }

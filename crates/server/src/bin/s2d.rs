@@ -1,0 +1,79 @@
+//! `sectopk-s2d` — the crypto cloud S2 as a standalone network daemon.
+//!
+//! Holds **no keys and no data** at startup: every accepted connection provisions its
+//! own session engine over the handshake (the S2 key view travels from the client, as
+//! the owner's setup hands S2 its decryption keys in Figure 1 of the paper), and all
+//! sessions share one `MultiplexServer` worker pool.
+//!
+//! ```text
+//! sectopk-s2d --listen 127.0.0.1:7171 --workers 4
+//! ```
+//!
+//! The bound address is printed on stdout (`listening on ADDR`) so scripts can grep
+//! the resolved port when binding `:0`.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use sectopk_protocols::{MultiplexServer, TcpCloudServer, TcpServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sectopk-s2d [--listen ADDR] [--workers N] [--max-sessions N]\n\
+         \n\
+         --listen ADDR        address to bind (default 127.0.0.1:7171; port 0 = ephemeral)\n\
+         --workers N          S2 worker threads in the pool (default 4)\n\
+         --max-sessions N     admission cap on concurrent sessions (default 1024)"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut listen = String::from("127.0.0.1:7171");
+    let mut workers = 4usize;
+    let mut max_sessions = 1024usize;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" if i + 1 < args.len() => {
+                listen = args[i + 1].clone();
+                i += 2;
+            }
+            "--workers" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else { return usage() };
+                workers = n;
+                i += 2;
+            }
+            "--max-sessions" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else { return usage() };
+                max_sessions = n;
+                i += 2;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let pool = Arc::new(MultiplexServer::new(workers));
+    let server = match TcpCloudServer::serve_pool(&listen, pool, TcpServerConfig { max_sessions }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("sectopk-s2d: binding {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("sectopk-s2d listening on {}", server.local_addr());
+    println!("workers={workers} max-sessions={max_sessions}");
+    let _ = std::io::stdout().flush();
+
+    // Serve until killed; all work happens on the accept and bridge threads.
+    loop {
+        std::thread::park();
+    }
+}

@@ -47,19 +47,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 
 use sectopk_core::{
-    execute_with_clouds, AuthorizedClient, Outsourced, PlanDecision, Query, QueryConfig,
-    QueryOutcome, ResolvedTopK, Result, SecTopKError, Session, VariantChoice,
+    execute_with_clouds, AuthorizedClient, Outsourced, PlanDecision, Query, QueryOutcome,
+    ResolvedTopK, Result, SecTopKError, Session, VariantChoice,
 };
 use sectopk_crypto::keys::MasterKeys;
 use sectopk_crypto::pool::shard_seed;
 use sectopk_datasets::QueryWorkload;
 use sectopk_protocols::{
-    ChannelMetrics, LeakageLedger, LinkProfile, MultiplexServer, SessionId, TwoClouds,
+    ChannelMetrics, LeakageLedger, LinkProfile, MultiplexServer, ProtocolError, SessionId,
+    TcpCloudServer, TcpServerConfig, TwoClouds,
 };
 use sectopk_storage::{EncryptedRelation, TopKQuery};
 
@@ -106,14 +108,6 @@ impl ServeConfig {
     /// planner).
     pub fn with_variant(mut self, variant: VariantChoice) -> Self {
         self.variant = variant;
-        self
-    }
-
-    /// Replace the variant choice and depth cap from a legacy [`QueryConfig`].
-    #[deprecated(since = "0.2.0", note = "use `ServeConfig::with_variant` (and `max_depth`)")]
-    pub fn with_query(mut self, query: QueryConfig) -> Self {
-        self.variant = VariantChoice::Fixed(query.variant);
-        self.max_depth = query.max_depth;
         self
     }
 
@@ -223,18 +217,6 @@ pub struct QueryClient {
 }
 
 impl QueryClient {
-    /// Execute one workload query under a legacy `(TopKQuery, QueryConfig)` pair.
-    #[deprecated(since = "0.2.0", note = "build a `Query` and use `Session::execute`")]
-    pub fn run(&mut self, query: &TopKQuery, config: &QueryConfig) -> Result<&QueryOutcome> {
-        let mut q =
-            Query::from_spec(query.clone()).with_variant(VariantChoice::Fixed(config.variant));
-        if let Some(depths) = config.max_depth {
-            q = q.with_max_depth(depths);
-        }
-        self.execute(&q)?;
-        Ok(self.outcomes.last().expect("execute pushed an outcome"))
-    }
-
     /// The session this client speaks for.
     pub fn session(&self) -> SessionId {
         self.session
@@ -332,7 +314,7 @@ impl Session for QueryClient {
 pub struct QueryServer {
     master: MasterKeys,
     outsourced: Outsourced,
-    s2: MultiplexServer,
+    s2: Arc<MultiplexServer>,
 }
 
 impl QueryServer {
@@ -340,7 +322,23 @@ impl QueryServer {
     /// threads.  The master keys play both owner roles: S1 views are handed to each
     /// session, S2 views to each session's engine (Figure 1 of the paper).
     pub fn new(master: &MasterKeys, outsourced: Outsourced, s2_workers: usize) -> Self {
-        QueryServer { master: master.clone(), outsourced, s2: MultiplexServer::new(s2_workers) }
+        QueryServer {
+            master: master.clone(),
+            outsourced,
+            s2: Arc::new(MultiplexServer::new(s2_workers)),
+        }
+    }
+
+    /// Expose this server's S2 worker pool on a TCP listener at `addr` (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port) — the `sectopk-s2d` serving shape.
+    /// Networked sessions ([`sectopk_core::RemoteSession`] /
+    /// `DataOwner::connect_remote`) and in-process sessions ([`Self::open_session`])
+    /// are served by the *same* worker pool, so mixing them is safe and their ledgers
+    /// stay per session.
+    pub fn listen(&self, addr: &str) -> Result<TcpCloudServer> {
+        TcpCloudServer::serve_pool(addr, Arc::clone(&self.s2), TcpServerConfig::default()).map_err(
+            |e| ProtocolError::transport(format!("binding S2 listener at {addr}: {e}")).into(),
+        )
     }
 
     /// The encrypted relation being served.

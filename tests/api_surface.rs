@@ -30,6 +30,7 @@ const FACADE_FILES: &[&str] = &[
     "crates/core/src/results.rs",
     "crates/core/src/leakage.rs",
     "crates/core/src/join.rs",
+    "crates/protocols/src/tcp.rs",
 ];
 
 /// True when `line` (already trimmed) declares a public item we track.
