@@ -5,13 +5,19 @@
 //! The `modpow`-dominated operations (encrypt / decrypt / rerandomize / scalar-mul and
 //! the DJ layered ops) are swept over 256/512/1024-bit moduli; their means are the
 //! source of the committed `BENCH_crypto.json` before/after table.
+//!
+//! `SECTOPK_RECORD_BASELINE=1 cargo bench -p sectopk-bench --bench crypto_primitives`
+//! re-measures the nonce-precomputation rows (textbook `r^N` exponentiation vs the
+//! amortized fixed-base window tables), asserts the fixed-base path is ≥1.5× faster at
+//! every modulus size, and merges the rows into `BENCH_crypto.json` in place.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use num_bigint::BigUint;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Serialize, Value};
 
 use sectopk_crypto::damgard_jurik::DjPublicKey;
 use sectopk_crypto::hmac::hmac_sha256;
@@ -20,7 +26,133 @@ use sectopk_crypto::prf::PrfKey;
 use sectopk_crypto::sha256::sha256;
 use sectopk_ehl::EhlEncoder;
 
+/// One before/after row of `BENCH_crypto.json`.
+#[derive(Serialize)]
+struct FixedBaseRow {
+    bench: String,
+    n_bits: usize,
+    before_us: f64,
+    after_us: f64,
+    speedup: f64,
+    note: String,
+}
+
+/// Median wall-clock microseconds of `f` over the given inputs.
+fn median_us_over<T>(inputs: &[T], mut f: impl FnMut(&T)) -> f64 {
+    let mut samples: Vec<f64> = inputs
+        .iter()
+        .map(|x| {
+            let start = Instant::now();
+            f(x);
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// Measure the nonce-precomputation speedup of the fixed-base window tables over the
+/// textbook exponentiation, assert it is ≥1.5× at every modulus size, and merge the
+/// rows into the committed `BENCH_crypto.json` (replacing any previous recording of
+/// the same rows, leaving every other row untouched).
+fn record_fixed_base_baseline() {
+    const ITERS: usize = 9;
+    let mut rows: Vec<FixedBaseRow> = Vec::new();
+    println!("\nNonce precomputation, textbook exponentiation vs fixed-base tables:");
+    println!(
+        "{:>26} {:>6} {:>13} {:>11} {:>9}",
+        "bench", "bits", "textbook(us)", "fixed(us)", "speedup"
+    );
+    for &bits in &[256usize, 512, 1024] {
+        let mut rng = StdRng::seed_from_u64(bits as u64);
+        let (pk, _sk) = generate_keypair(bits, &mut rng).unwrap();
+        let dj = DjPublicKey::from_paillier(&pk);
+
+        let rs: Vec<BigUint> = (0..ITERS)
+            .map(|_| sectopk_crypto::bigint::random_invertible(&mut rng, pk.n()))
+            .collect();
+        let exps: Vec<BigUint> =
+            (0..ITERS).map(|_| sectopk_crypto::bigint::random_below(&mut rng, pk.n())).collect();
+        let dj_exps: Vec<BigUint> =
+            (0..ITERS).map(|_| sectopk_crypto::bigint::random_below(&mut rng, dj.n())).collect();
+        // One untimed call per path so any lazily built table is excluded.
+        let _ = (pk.nonce_from_r(&rs[0]), pk.nonce_from_exponent(&exps[0]));
+        let _ = (dj.nonce_from_r(&rs[0]), dj.nonce_from_exponent(&dj_exps[0]));
+
+        let cases: [(&str, f64, f64, &str); 2] = [
+            (
+                "paillier_nonce_fixed_base",
+                median_us_over(&rs, |r| {
+                    black_box(pk.nonce_from_r(r));
+                }),
+                median_us_over(&exps, |a| {
+                    black_box(pk.nonce_from_exponent(a));
+                }),
+                "nonce r^N mod N^2; before = textbook exponentiation, after = H^a over \
+                 the key's fixed-base window table",
+            ),
+            (
+                "dj_nonce_fixed_base",
+                median_us_over(&rs, |r| {
+                    black_box(dj.nonce_from_r(r));
+                }),
+                median_us_over(&dj_exps, |a| {
+                    black_box(dj.nonce_from_exponent(a));
+                }),
+                "nonce r^{N^2} mod N^3; before = textbook exponentiation, after = H^a \
+                 over the key's fixed-base window table",
+            ),
+        ];
+        for (bench, before_us, after_us, note) in cases {
+            let speedup = before_us / after_us;
+            println!("{bench:>26} {bits:>6} {before_us:>13.1} {after_us:>11.1} {speedup:>8.2}x");
+            assert!(
+                speedup >= 1.5,
+                "{bench} at {bits} bits: fixed-base must be ≥1.5× the textbook \
+                 exponentiation (got {speedup:.2}×)"
+            );
+            rows.push(FixedBaseRow {
+                bench: bench.into(),
+                n_bits: bits,
+                before_us: round3(before_us),
+                after_us: round3(after_us),
+                speedup: round3(speedup),
+                note: note.into(),
+            });
+        }
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_crypto.json");
+    let existing = std::fs::read_to_string(path).unwrap_or_else(|_| "[]".into());
+    let parsed: Value = serde_json::from_str(&existing).expect("parse BENCH_crypto.json");
+    let Value::Seq(mut entries) = parsed else {
+        panic!("BENCH_crypto.json is not a JSON array");
+    };
+    let recorded: Vec<&str> = rows.iter().map(|r| r.bench.as_str()).collect();
+    entries.retain(|entry| {
+        let Value::Map(fields) = entry else { return true };
+        !fields.iter().any(
+            |(k, v)| matches!((k.as_str(), v), ("bench", Value::Str(s)) if recorded.contains(&s.as_str())),
+        )
+    });
+    entries.extend(rows.iter().map(|r| r.to_value()));
+    let json = serde_json::to_string_pretty(&Value::Seq(entries)).expect("serialize baseline");
+    if let Err(e) = std::fs::write(path, json + "\n") {
+        eprintln!("could not record BENCH_crypto.json: {e}");
+    } else {
+        println!("fixed-base rows merged into BENCH_crypto.json\n");
+    }
+}
+
 fn bench_crypto(c: &mut Criterion) {
+    if std::env::var("SECTOPK_RECORD_BASELINE").is_ok() {
+        record_fixed_base_baseline();
+    }
+
     let mut rng = StdRng::seed_from_u64(1);
     let (pk, sk) = generate_keypair(256, &mut rng).unwrap();
     let dj = DjPublicKey::from_paillier(&pk);
@@ -102,6 +234,37 @@ fn bench_crypto(c: &mut Criterion) {
             let inner = pk.encrypt_u64(21, &mut rng).unwrap();
             let layered = dj.encrypt_ciphertext(&inner, &mut rng).unwrap();
             b.iter(|| dj_sk.decrypt(black_box(&layered)).unwrap())
+        });
+        // Nonce precomputation itself: the textbook `r^N mod N²` (resp. `r^{N²} mod
+        // N³`) exponentiation vs the amortized fixed-base path `H^a` over the key's
+        // precomputed window table — the cost a RandomnessPool refill actually pays.
+        group.bench_with_input(BenchmarkId::new("paillier_nonce_textbook", bits), &bits, |b, _| {
+            b.iter(|| {
+                let r = sectopk_crypto::bigint::random_invertible(&mut rng, pk.n());
+                pk.nonce_from_r(black_box(&r))
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("paillier_nonce_fixed_base", bits),
+            &bits,
+            |b, _| {
+                b.iter(|| {
+                    let a = sectopk_crypto::bigint::random_below(&mut rng, pk.n());
+                    pk.nonce_from_exponent(black_box(&a))
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dj_nonce_textbook", bits), &bits, |b, _| {
+            b.iter(|| {
+                let r = sectopk_crypto::bigint::random_invertible(&mut rng, pk.n());
+                dj.nonce_from_r(black_box(&r))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dj_nonce_fixed_base", bits), &bits, |b, _| {
+            b.iter(|| {
+                let a = sectopk_crypto::bigint::random_below(&mut rng, dj.n());
+                dj.nonce_from_exponent(black_box(&a))
+            })
         });
         // The latency-path cost with a pre-filled RandomnessPool: the exponentiation
         // (`r^N mod N²` resp. `r^{N²} mod N³`) happened ahead of time, the online

@@ -90,6 +90,11 @@ struct DjInner {
     ctx_n3: MontgomeryContext,
     /// `2⁻¹ mod N`, used by the binomial expansion of `(1+N)^m mod N³`.
     inv2_mod_n: BigUint,
+    /// `H₃ = h^{N²} mod N³`, the fixed base of the precomputed-nonce subgroup
+    /// (same `h =` [`crate::paillier::NONCE_BASE_H`] as the inner layer).
+    nonce_base: BigUint,
+    /// Fixed-base power table of `H₃` covering exponents up to `|N|` bits.
+    nonce_table: num_bigint::FixedBaseTable,
 }
 
 // Everything in `DjInner` is derived from the Paillier public key, so only that key
@@ -119,8 +124,19 @@ impl DjPublicKey {
             MontgomeryContext::new(&n_s_plus_1).expect("N³ is odd for any product of odd primes");
         // N is odd, so 2⁻¹ mod N = (N+1)/2.
         let inv2_mod_n = (n + BigUint::one()) >> 1u32;
+        let h = BigUint::from(crate::paillier::NONCE_BASE_H);
+        let nonce_base = ctx_n3.modpow(&h, &n_s);
+        let nonce_table = ctx_n3.precompute_fixed_base(&nonce_base, n.bits());
         DjPublicKey {
-            inner: Arc::new(DjInner { paillier: pk.clone(), n_s, n_s_plus_1, ctx_n3, inv2_mod_n }),
+            inner: Arc::new(DjInner {
+                paillier: pk.clone(),
+                n_s,
+                n_s_plus_1,
+                ctx_n3,
+                inv2_mod_n,
+                nonce_base,
+                nonce_table,
+            }),
         }
     }
 
@@ -189,6 +205,21 @@ impl DjPublicKey {
         self.inner.ctx_n3.modpow(r, self.n_s())
     }
 
+    /// `H₃ = h^{N²} mod N³` for `h =` [`crate::paillier::NONCE_BASE_H`] — the fixed
+    /// base of the amortized nonce subgroup, and the differential reference for
+    /// [`Self::nonce_from_exponent`].
+    pub fn nonce_base(&self) -> &BigUint {
+        &self.inner.nonce_base
+    }
+
+    /// The encryption nonce `H₃^a mod N³` for a pool-drawn random exponent `a < N`,
+    /// evaluated over the key's cached fixed-base table (one Montgomery multiplication
+    /// per nonzero 4-bit window, no squarings) — the outer-layer twin of
+    /// [`crate::paillier::PaillierPublicKey::nonce_from_exponent`].
+    pub fn nonce_from_exponent(&self, a: &BigUint) -> BigUint {
+        self.inner.ctx_n3.fixed_base_modpow(&self.inner.nonce_table, a)
+    }
+
     /// Encryption given a precomputed nonce `r^{N²} mod N³`.
     ///
     /// `(1+N)^m mod N³` is evaluated by the binomial identity
@@ -232,6 +263,27 @@ impl DjPublicKey {
     /// Scalar multiplication by an inner Paillier ciphertext (sugar over [`Self::mul_plain`]).
     pub fn mul_by_ciphertext(&self, a: &LayeredCiphertext, k: &Ciphertext) -> LayeredCiphertext {
         self.mul_plain(a, k.as_biguint())
+    }
+
+    /// Fused double scalar multiplication `a^{k_a} · b^{k_b} mod N³` by Strauss–Shamir
+    /// joint exponentiation ([`num_bigint::MontgomeryContext::multi_modpow`]): one
+    /// shared squaring chain instead of two, ~2× over
+    /// `add(mul_by_ciphertext(a, k_a), mul_by_ciphertext(b, k_b))` — the exact shape of
+    /// the oblivious-select steps (`E2(x)^{E(t)} · E2(y)^{E(1−t)}`).  Bit-for-bit equal
+    /// to the unfused path, which stays as the differential reference.
+    pub fn mul_add_ciphertexts(
+        &self,
+        a: &LayeredCiphertext,
+        k_a: &Ciphertext,
+        b: &LayeredCiphertext,
+        k_b: &Ciphertext,
+    ) -> LayeredCiphertext {
+        LayeredCiphertext(self.inner.ctx_n3.multi_modpow(
+            &a.0,
+            k_a.as_biguint(),
+            &b.0,
+            k_b.as_biguint(),
+        ))
     }
 
     /// Homomorphic negation in the outer layer.
@@ -647,6 +699,47 @@ mod tests {
             let value = dj_sk.decrypt_both_layers(&selected).unwrap();
             let expected = if t == 1 { 555u64 } else { 0 };
             assert_eq!(value, BigUint::from(expected), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn fixed_base_nonce_matches_naive_exponentiation() {
+        let (dj_pk, dj_sk, pk, _sk, mut rng) = setup();
+        let h = BigUint::from(crate::paillier::NONCE_BASE_H);
+        assert_eq!(dj_pk.nonce_base(), &h.modpow(dj_pk.n_s(), dj_pk.n_s_plus_1()));
+        for a in [
+            BigUint::zero(),
+            BigUint::one(),
+            pk.n() - BigUint::one(),
+            crate::bigint::random_below(&mut rng, pk.n()),
+        ] {
+            assert_eq!(
+                dj_pk.nonce_from_exponent(&a),
+                dj_pk.nonce_base().modpow_naive(&a, dj_pk.n_s_plus_1()),
+            );
+        }
+        let a = crate::bigint::random_below(&mut rng, pk.n());
+        let c = dj_pk.encrypt_with_nonce(&BigUint::from(31337u64), &dj_pk.nonce_from_exponent(&a));
+        assert_eq!(dj_sk.decrypt(&c).unwrap(), BigUint::from(31337u64));
+    }
+
+    #[test]
+    fn fused_mul_add_matches_unfused_path() {
+        // The oblivious-select shape: E2(t)^{Enc(x)} · E2(1−t)^{Enc(y)}.  The fused
+        // Strauss–Shamir path must be bit-for-bit equal to the two-modpow reference.
+        let (dj_pk, _dj_sk, pk, _sk, mut rng) = setup();
+        let enc_x = pk.encrypt_u64(555, &mut rng).unwrap();
+        let enc_y = pk.encrypt_u64(77, &mut rng).unwrap();
+        for t in [0u64, 1] {
+            let e2_t = dj_pk.encrypt_u64(t, &mut rng).unwrap();
+            let e2_one = dj_pk.encrypt_u64(1, &mut rng).unwrap();
+            let one_minus_t = dj_pk.sub(&e2_one, &e2_t);
+            let unfused = dj_pk.add(
+                &dj_pk.mul_by_ciphertext(&e2_t, &enc_x),
+                &dj_pk.mul_by_ciphertext(&one_minus_t, &enc_y),
+            );
+            let fused = dj_pk.mul_add_ciphertexts(&e2_t, &enc_x, &one_minus_t, &enc_y);
+            assert_eq!(fused, unfused, "t = {t}");
         }
     }
 

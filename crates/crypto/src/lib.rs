@@ -42,6 +42,7 @@ pub mod error;
 pub mod hmac;
 pub mod keys;
 pub mod paillier;
+pub mod par;
 pub mod pool;
 pub mod prf;
 pub mod prime;
@@ -55,6 +56,7 @@ pub use paillier::{
     generate_keypair, Ciphertext, PaillierPublicKey, PaillierSecretKey, DEFAULT_MODULUS_BITS,
     MIN_MODULUS_BITS,
 };
+pub use par::par_map;
 pub use pool::{shard_seed, RandomnessPool};
 pub use prf::{Prf, PrfKey, PRF_KEY_LEN};
 pub use prp::{KeyedPrp, RandomPermutation};

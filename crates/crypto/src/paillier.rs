@@ -11,7 +11,7 @@
 //! `Enc(m) = (1 + mN) · r^N mod N²` and decryption is `L(c^λ mod N²) · μ mod N` with
 //! `λ = lcm(p−1, q−1)` and `μ = λ⁻¹ mod N`.
 
-use num_bigint::{BigUint, MontgomeryContext};
+use num_bigint::{BigUint, FixedBaseTable, MontgomeryContext};
 use num_integer::Integer;
 use num_traits::{One, Zero};
 use rand::{CryptoRng, RngCore};
@@ -44,6 +44,13 @@ pub struct PaillierPublicKey {
     inner: Arc<PublicInner>,
 }
 
+/// The fixed generator `h` of the precomputed-nonce subgroup: nonces are sampled as
+/// `H^a` for `H = h^N mod N²` and a random exponent `a < N` (the precomputation
+/// variant of Damgård–Jurik '01 §4.2).  Any small constant coprime to `N` works — `N`
+/// is a product of large odd primes, so 2 always qualifies — and a *fixed* `h` is the
+/// whole point: it makes `H` a per-key constant whose power table can be built once.
+pub const NONCE_BASE_H: u64 = 2;
+
 #[derive(Debug)]
 struct PublicInner {
     n: BigUint,
@@ -51,6 +58,12 @@ struct PublicInner {
     /// Montgomery parameters for the ciphertext-space modulus `N²`.  `N` is a product
     /// of odd primes, so `N²` is always odd and the context always exists.
     ctx_n2: MontgomeryContext,
+    /// `H = h^N mod N²`, the fixed base of the precomputed-nonce subgroup.
+    nonce_base: BigUint,
+    /// Fixed-base power table of `H` covering exponents up to `|N|` bits: evaluating
+    /// `H^a` costs one Montgomery multiplication per nonzero 4-bit window of `a`, no
+    /// squarings (~5× fewer operations than a fresh windowed `modpow`).
+    nonce_table: FixedBaseTable,
     /// Bit length requested at key generation time.
     modulus_bits: usize,
 }
@@ -61,7 +74,9 @@ impl PublicInner {
         let n_squared = &n * &n;
         let ctx_n2 =
             MontgomeryContext::new(&n_squared).expect("N² is odd for any product of odd primes");
-        PublicInner { n, n_squared, ctx_n2, modulus_bits }
+        let nonce_base = ctx_n2.modpow(&BigUint::from(NONCE_BASE_H), &n);
+        let nonce_table = ctx_n2.precompute_fixed_base(&nonce_base, n.bits());
+        PublicInner { n, n_squared, ctx_n2, nonce_base, nonce_table, modulus_bits }
     }
 }
 
@@ -304,6 +319,22 @@ impl PaillierPublicKey {
     /// [`crate::pool::RandomnessPool`]).
     pub fn nonce_from_r(&self, r: &BigUint) -> BigUint {
         self.inner.ctx_n2.modpow(r, self.n())
+    }
+
+    /// `H = h^N mod N²` for the fixed constant `h =` [`NONCE_BASE_H`] — the base of
+    /// the amortized nonce subgroup, and the differential reference for
+    /// [`Self::nonce_from_exponent`] (`nonce_from_exponent(a) == H.modpow(a, N²)`).
+    pub fn nonce_base(&self) -> &BigUint {
+        &self.inner.nonce_base
+    }
+
+    /// The encryption nonce `H^a mod N²` for a pool-drawn random exponent `a < N`,
+    /// evaluated over the key's cached fixed-base table: one Montgomery multiplication
+    /// per nonzero 4-bit window of `a`, no squarings.  This is the amortized
+    /// Damgård–Jurik '01 §4.2 nonce path [`crate::pool::RandomnessPool`] draws from;
+    /// [`Self::nonce_from_r`] remains the textbook `r^N` path.
+    pub fn nonce_from_exponent(&self, a: &BigUint) -> BigUint {
+        self.inner.ctx_n2.fixed_base_modpow(&self.inner.nonce_table, a)
     }
 
     /// Encryption given a precomputed nonce `r^N mod N²`: one multiplication, no
@@ -612,6 +643,30 @@ mod tests {
         assert!(sk.is_zero(&diff).unwrap());
         let c = pk.encrypt_u64(78, &mut rng).unwrap();
         assert!(!sk.is_zero(&pk.sub(&a, &c)).unwrap());
+    }
+
+    #[test]
+    fn fixed_base_nonce_matches_naive_exponentiation() {
+        let (pk, sk, mut rng) = setup();
+        assert_eq!(pk.nonce_base(), &BigUint::from(NONCE_BASE_H).modpow(pk.n(), pk.n_squared()));
+        for _ in 0..8 {
+            let a = crate::bigint::random_below(&mut rng, pk.n());
+            assert_eq!(
+                pk.nonce_from_exponent(&a),
+                pk.nonce_base().modpow_naive(&a, pk.n_squared())
+            );
+        }
+        // Edge exponents.
+        for a in [BigUint::zero(), BigUint::one(), pk.n() - BigUint::one()] {
+            assert_eq!(
+                pk.nonce_from_exponent(&a),
+                pk.nonce_base().modpow_naive(&a, pk.n_squared()),
+            );
+        }
+        // A fixed-base nonce encrypts like any other nonce.
+        let a = crate::bigint::random_below(&mut rng, pk.n());
+        let c = pk.encrypt_with_nonce(&BigUint::from(4321u64), &pk.nonce_from_exponent(&a));
+        assert_eq!(sk.decrypt_u64(&c).unwrap(), 4321);
     }
 
     #[test]

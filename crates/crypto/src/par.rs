@@ -1,0 +1,59 @@
+//! Deterministic data-parallel mapping over scoped threads.
+//!
+//! [`par_map`] is the one parallel primitive the intra-query fan-out is built on: it
+//! applies a pure function to every item of a slice across up to `workers` threads and
+//! returns the results **in input order**.  Because the function is pure (no RNG, no
+//! ledger, no pool access — callers pre-draw any randomness serially first), the output
+//! is byte-identical to a serial map regardless of worker count or scheduling.  That is
+//! the "parallel compute, serial commit" contract the protocol layers rely on to keep
+//! transports and leakage ledgers deterministic while a single query scales with cores.
+
+/// Apply `f` to every item of `items` using up to `workers` scoped threads, returning
+/// the results in input order.  `workers <= 1` (or a short input) runs serially on the
+/// caller's thread — the parallel path introduces no other observable difference.
+pub fn par_map<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Contiguous chunks, sized so every worker gets within one item of the others.
+    let chunk = items.len().div_ceil(workers);
+    let mut results: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("par_map worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for part in results.iter_mut() {
+        out.append(part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_for_any_worker_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for workers in [0usize, 1, 2, 3, 4, 8, 97, 200] {
+            assert_eq!(par_map(workers, &items, |x| x * x + 1), expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let empty: Vec<u64> = vec![];
+        assert!(par_map(4, &empty, |x| *x).is_empty());
+        assert_eq!(par_map(4, &[42u64], |x| *x), vec![42]);
+    }
+}

@@ -7,10 +7,10 @@
 //! Paillier-style schemes, and what lets the S2 engine answer a burst of protocol
 //! requests without paying one full exponentiation per returned ciphertext.
 //!
-//! A [`RandomnessPool`] owns its own deterministic RNG (so a pool seeded identically
-//! produces identical ciphertext streams — the transport-equivalence tests rely on
-//! this) and refills in batches of [`RandomnessPool::batch`] nonces whenever a queue
-//! runs dry.  [`RandomnessPool::refill`] can be called explicitly during idle time to
+//! A [`RandomnessPool`] owns its own deterministic RNG streams, one per nonce kind
+//! (so a pool seeded identically produces identical ciphertext streams — the
+//! transport-equivalence tests rely on this), and refills in batches of
+//! [`RandomnessPool::batch`] nonces whenever a queue runs dry.  [`RandomnessPool::refill`] can be called explicitly during idle time to
 //! move the precomputation off the critical path entirely.
 //!
 //! Ownership: pools are *not* part of the shared `Arc` key material — two parties
@@ -23,7 +23,7 @@ use num_bigint::BigUint;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::bigint::random_invertible;
+use crate::bigint::random_below;
 use crate::damgard_jurik::{DjPublicKey, LayeredCiphertext};
 use crate::error::Result;
 use crate::paillier::{Ciphertext, PaillierPublicKey};
@@ -49,13 +49,23 @@ pub fn shard_seed(base_seed: u64, session: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Stream tag mixed into a pool's seed to derive the Damgård–Jurik exponent stream.
+///
+/// Each nonce kind draws its exponents from its **own** RNG stream: with a single
+/// shared RNG, the value of Paillier nonce *k* would depend on how many DJ draws
+/// happened before it — i.e. on the `(paillier, dj)` split of every refill call — and
+/// an upper-bound prefill (which splits differently than lazy consumption) would
+/// silently shift both streams.
+const DJ_STREAM_TAG: u64 = 0xD1;
+
 /// A pool of precomputed Paillier (and optionally Damgård–Jurik) encryption nonces
 /// for one public key.
 #[derive(Debug)]
 pub struct RandomnessPool {
     pk: PaillierPublicKey,
     dj: Option<DjPublicKey>,
-    rng: StdRng,
+    paillier_rng: StdRng,
+    dj_rng: StdRng,
     paillier_nonces: VecDeque<BigUint>,
     dj_nonces: VecDeque<BigUint>,
     batch: usize,
@@ -67,7 +77,8 @@ impl RandomnessPool {
         RandomnessPool {
             pk: pk.clone(),
             dj: None,
-            rng: StdRng::seed_from_u64(seed),
+            paillier_rng: StdRng::seed_from_u64(seed),
+            dj_rng: StdRng::seed_from_u64(shard_seed(seed, DJ_STREAM_TAG)),
             paillier_nonces: VecDeque::new(),
             dj_nonces: VecDeque::new(),
             batch: DEFAULT_BATCH,
@@ -97,18 +108,65 @@ impl RandomnessPool {
     }
 
     /// Precompute `paillier` + `dj` nonces now (e.g. during idle time between queries).
+    ///
+    /// Nonces come from the keys' amortized fixed-base path
+    /// ([`PaillierPublicKey::nonce_from_exponent`] /
+    /// [`DjPublicKey::nonce_from_exponent`]): draw a random exponent `a < N`, evaluate
+    /// `H^a` over the precomputed power table — no squarings, ~5× fewer Montgomery
+    /// operations than the textbook `r^N` exponentiation.
+    ///
+    /// Each nonce kind has its **own** RNG stream, consumed only by that kind's
+    /// exponent draws (one draw per nonce), so nonce *k* of a kind is a function of
+    /// the pool seed, the kind and *k* alone — never of refill timing, batch
+    /// boundaries, or the `(paillier, dj)` split of earlier refill calls.  That
+    /// invariant is what lets [`Self::prefill_parallel`] and idle-time refills of any
+    /// size (including upper-bound prefills that overshoot one kind) leave the
+    /// ciphertext stream byte-identical.
     pub fn refill(&mut self, paillier: usize, dj: usize) {
         for _ in 0..paillier {
-            let r = random_invertible(&mut self.rng, self.pk.n());
-            self.paillier_nonces.push_back(self.pk.nonce_from_r(&r));
+            let a = random_below(&mut self.paillier_rng, self.pk.n());
+            self.paillier_nonces.push_back(self.pk.nonce_from_exponent(&a));
         }
         if dj > 0 {
             let dj_pk = self.dj.clone().expect("refilling DJ nonces on a Paillier-only pool");
             for _ in 0..dj {
-                let r = random_invertible(&mut self.rng, dj_pk.n());
-                self.dj_nonces.push_back(dj_pk.nonce_from_r(&r));
+                let a = random_below(&mut self.dj_rng, dj_pk.n());
+                self.dj_nonces.push_back(dj_pk.nonce_from_exponent(&a));
             }
         }
+    }
+
+    /// Precompute `paillier` + `dj` nonces using up to `workers` threads: exponents are
+    /// drawn serially (preserving the draw-order invariant of [`Self::refill`] exactly),
+    /// the table evaluations run data-parallel, and the results are queued in draw
+    /// order — so the nonce stream is byte-identical to a serial refill of the same
+    /// counts.  With `workers <= 1` this *is* a serial refill.
+    pub fn prefill_parallel(&mut self, paillier: usize, dj: usize, workers: usize) {
+        if workers <= 1 || paillier + dj < 2 {
+            self.refill(paillier, dj);
+            return;
+        }
+        let dj_pk = if dj > 0 {
+            Some(self.dj.clone().expect("refilling DJ nonces on a Paillier-only pool"))
+        } else {
+            None
+        };
+        let paillier_exps: Vec<BigUint> =
+            (0..paillier).map(|_| random_below(&mut self.paillier_rng, self.pk.n())).collect();
+        let dj_exps: Vec<BigUint> = match &dj_pk {
+            Some(dj_pk) => (0..dj).map(|_| random_below(&mut self.dj_rng, dj_pk.n())).collect(),
+            None => Vec::new(),
+        };
+
+        let pk = &self.pk;
+        let paillier_nonces =
+            crate::par::par_map(workers, &paillier_exps, |a| pk.nonce_from_exponent(a));
+        let dj_nonces = match &dj_pk {
+            Some(dj_pk) => crate::par::par_map(workers, &dj_exps, |a| dj_pk.nonce_from_exponent(a)),
+            None => Vec::new(),
+        };
+        self.paillier_nonces.extend(paillier_nonces);
+        self.dj_nonces.extend(dj_nonces);
     }
 
     /// Pop a Paillier nonce `r^N mod N²`, refilling a batch if the queue is dry.
@@ -293,6 +351,63 @@ mod tests {
         }
         let mut c = RandomnessPool::new(&master.paillier_public, 8);
         assert_ne!(a.next_paillier_nonce(), c.next_paillier_nonce());
+    }
+
+    #[test]
+    fn prefill_parallel_matches_serial_refill_byte_for_byte() {
+        let (master, _pool) = setup();
+        let dj = crate::damgard_jurik::DjPublicKey::from_paillier(&master.paillier_public);
+        for workers in [1usize, 2, 4, 7] {
+            let mut serial = RandomnessPool::with_dj(&master.paillier_public, &dj, 1234);
+            let mut parallel = RandomnessPool::with_dj(&master.paillier_public, &dj, 1234);
+            serial.refill(9, 5);
+            parallel.prefill_parallel(9, 5, workers);
+            assert_eq!(serial.ready(), parallel.ready());
+            for _ in 0..9 {
+                assert_eq!(
+                    serial.next_paillier_nonce(),
+                    parallel.next_paillier_nonce(),
+                    "workers = {workers}"
+                );
+            }
+            for _ in 0..5 {
+                assert_eq!(serial.next_dj_nonce(), parallel.next_dj_nonce());
+            }
+        }
+    }
+
+    #[test]
+    fn overfilling_never_changes_the_nonce_stream() {
+        // The RNG is consumed only by exponent draws (one per nonce), so prefetching
+        // any amount ahead of time must leave the stream position-deterministic.
+        let (master, _pool) = setup();
+        let mut lazy = RandomnessPool::new(&master.paillier_public, 5);
+        let mut eager = RandomnessPool::new(&master.paillier_public, 5);
+        eager.refill(40, 0);
+        lazy.set_batch(3);
+        for _ in 0..40 {
+            assert_eq!(lazy.next_paillier_nonce(), eager.next_paillier_nonce());
+        }
+    }
+
+    #[test]
+    fn cross_kind_prefill_never_changes_either_stream() {
+        // Regression: with one shared RNG, an upper-bound prefill (all Paillier draws,
+        // then all DJ draws) assigned RNG outputs to nonce kinds differently than lazy
+        // interleaved consumption, shifting both streams.  Per-kind RNG streams make
+        // nonce k of each kind a function of (seed, kind, k) alone.
+        let (master, _pool) = setup();
+        let dj = crate::damgard_jurik::DjPublicKey::from_paillier(&master.paillier_public);
+        let mut lazy = RandomnessPool::with_dj(&master.paillier_public, &dj, 21);
+        lazy.set_batch(2);
+        let mut eager = RandomnessPool::with_dj(&master.paillier_public, &dj, 21);
+        eager.prefill_parallel(10, 10, 4);
+        for _ in 0..10 {
+            // Lazy draws interleave the kinds (refilling 2-at-a-time on dry queues);
+            // eager precomputed everything up front.  Streams must still match.
+            assert_eq!(lazy.next_paillier_nonce(), eager.next_paillier_nonce());
+            assert_eq!(lazy.next_dj_nonce(), eager.next_dj_nonce());
+        }
     }
 
     #[test]

@@ -162,6 +162,111 @@ proptest! {
     }
 }
 
+proptest! {
+    #[test]
+    fn fixed_base_table_matches_naive_modpow(seed in 0u64..200, mod_bits in 2u64..260, cover_bits in 1u64..160) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(53).wrapping_add(11));
+        let mut modulus = random_biguint(&mut rng, mod_bits);
+        modulus.set_bit(0, true);
+        if modulus.is_one() {
+            modulus = BigUint::from(3u32);
+        }
+        let ctx = MontgomeryContext::new(&modulus).expect("odd modulus > 1");
+        let base = random_biguint(&mut rng, mod_bits);
+        let table = ctx.precompute_fixed_base(&base, cover_bits);
+        // In-coverage exponents, including both range boundaries.
+        let mut exponents = vec![
+            BigUint::zero(),
+            BigUint::one(),
+            (BigUint::one() << cover_bits) - BigUint::one(),
+            random_biguint(&mut rng, cover_bits),
+        ];
+        // Past-coverage exponent: the table must fall back to the generic path and
+        // still agree (the nonce-pool contract when a caller overshoots its sizing).
+        exponents.push((BigUint::one() << cover_bits) + random_biguint(&mut rng, 40));
+        for exponent in &exponents {
+            assert_eq!(
+                ctx.fixed_base_modpow(&table, exponent),
+                base.modpow_naive(exponent, &modulus),
+                "base={base} exp={exponent} mod={modulus} coverage={cover_bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_modpow_matches_two_naive_modpows(seed in 0u64..200, mod_bits in 2u64..260, e_bits in 1u64..160) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(71).wrapping_add(3));
+        let mut modulus = random_biguint(&mut rng, mod_bits);
+        modulus.set_bit(0, true);
+        if modulus.is_one() {
+            modulus = BigUint::from(3u32);
+        }
+        let ctx = MontgomeryContext::new(&modulus).expect("odd modulus > 1");
+        let b1 = random_biguint(&mut rng, mod_bits);
+        let b2 = random_biguint(&mut rng, mod_bits);
+        let minus_one = &modulus - BigUint::one();
+        // Asymmetric exponent shapes: zero on either side degenerates the joint
+        // recoding to a single-base walk, modulus−1 maxes the shared squaring chain.
+        let exponent_pairs = [
+            (BigUint::zero(), BigUint::zero()),
+            (BigUint::zero(), random_biguint(&mut rng, e_bits)),
+            (random_biguint(&mut rng, e_bits), BigUint::zero()),
+            (BigUint::one(), minus_one.clone()),
+            (minus_one.clone(), BigUint::one()),
+            (random_biguint(&mut rng, e_bits), random_biguint(&mut rng, e_bits)),
+        ];
+        for (e1, e2) in &exponent_pairs {
+            let reference =
+                (b1.modpow_naive(e1, &modulus) * b2.modpow_naive(e2, &modulus)) % &modulus;
+            assert_eq!(
+                ctx.multi_modpow(&b1, e1, &b2, e2),
+                reference,
+                "b1={b1} e1={e1} b2={b2} e2={e2} mod={modulus}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_modpow_wrapper_matches_naive_any_parity(seed in 0u64..200, mod_bits in 2u64..200, force_even in 0u8..2) {
+        let force_even = force_even == 1;
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(13).wrapping_add(29));
+        let mut modulus = random_biguint(&mut rng, mod_bits);
+        modulus.set_bit(0, !force_even);
+        if modulus.is_zero() || modulus.is_one() {
+            modulus = if force_even { BigUint::from(2u32) } else { BigUint::from(3u32) };
+        }
+        let b1 = random_biguint(&mut rng, mod_bits);
+        let b2 = random_biguint(&mut rng, mod_bits);
+        let e1 = random_biguint(&mut rng, 96);
+        let e2 = random_biguint(&mut rng, 96);
+        assert_eq!(
+            b1.multi_modpow(&e1, &b2, &e2, &modulus),
+            b1.multi_modpow_naive(&e1, &b2, &e2, &modulus),
+            "b1={b1} e1={e1} b2={b2} e2={e2} mod={modulus}"
+        );
+    }
+
+    #[test]
+    fn paillier_pooled_nonce_matches_naive_exponentiation(seed in 0u64..12) {
+        // The amortized nonce H^a (fixed-base table over H = h^N mod N²) against the
+        // from-scratch h^{N·a}, including the exponent edges 0, 1 and n−1.
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7).wrapping_add(77));
+        let (pk, _sk) = generate_keypair(MIN_MODULUS_BITS, &mut rng).unwrap();
+        let h = BigUint::from(sectopk_crypto::paillier::NONCE_BASE_H);
+        let n2 = pk.n() * pk.n();
+        let exponents = [
+            BigUint::zero(),
+            BigUint::one(),
+            pk.n() - BigUint::one(),
+            sectopk_crypto::bigint::random_below(&mut rng, pk.n()),
+        ];
+        for a in &exponents {
+            let naive = h.modpow_naive(&(pk.n() * a), &n2);
+            assert_eq!(pk.nonce_from_exponent(a), naive, "a = {a}");
+        }
+    }
+}
+
 #[test]
 fn modpow_even_modulus_edge_cases() {
     // The even-modulus fallback, exercised explicitly (Montgomery cannot serve these).

@@ -67,11 +67,31 @@ impl EhlPlus {
             other.len(),
             "EHL+ structures under comparison must use the same number of PRF keys"
         );
+        let rs: Vec<BigUint> = (0..self.len()).map(|_| random_invertible(rng, pk.n())).collect();
+        self.eq_test_with_randomness(other, pk, &rs)
+    }
+
+    /// [`Self::eq_test`] with the per-block masking randomness `r_i` drawn by the
+    /// caller.  Splitting the draw from the arithmetic makes the expensive part *pure*,
+    /// so batched callers can pre-draw every `r_i` in serial order (keeping the RNG
+    /// stream position-deterministic) and evaluate the `⊖`s on worker threads; the
+    /// result is byte-identical to [`Self::eq_test`] with the same randomness.
+    pub fn eq_test_with_randomness(
+        &self,
+        other: &EhlPlus,
+        pk: &PaillierPublicKey,
+        rs: &[BigUint],
+    ) -> Ciphertext {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "EHL+ structures under comparison must use the same number of PRF keys"
+        );
+        assert_eq!(rs.len(), self.len(), "one masking scalar per block required");
         let mut acc = pk.one_ciphertext();
-        for (a, b) in self.blocks.iter().zip(other.blocks.iter()) {
+        for ((a, b), r) in self.blocks.iter().zip(other.blocks.iter()).zip(rs.iter()) {
             let diff = pk.sub(a, b);
-            let r = random_invertible(rng, pk.n());
-            let masked = pk.mul_plain(&diff, &r);
+            let masked = pk.mul_plain(&diff, r);
             acc = pk.add(&acc, &masked);
         }
         acc

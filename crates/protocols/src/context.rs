@@ -51,6 +51,10 @@ pub struct S1State {
     pub own_pool: RandomnessPool,
     /// Everything S1 observed beyond its inputs.
     pub ledger: LeakageLedger,
+    /// Worker threads S1's batched client loops may use for the pure crypto of one
+    /// query (1 = serial; default from `SECTOPK_INTRA_PARALLEL`).  Randomness is always
+    /// drawn serially first, so protocol bytes never depend on this value.
+    pub intra_workers: usize,
 }
 
 /// The two non-colluding clouds: S1's state plus the metered transport to the S2 engine.
@@ -130,9 +134,37 @@ impl TwoClouds {
         session: SessionId,
         link: LinkProfile,
     ) -> Result<Self> {
-        Self::build(master, seed, batching, |provision| {
-            Ok(Box::new(server.connect(session, provision.build(), link)?))
-        })
+        Self::connect_with_workers(
+            master,
+            seed,
+            batching,
+            server,
+            session,
+            link,
+            crate::engine::intra_workers_from_env(),
+        )
+    }
+
+    /// [`TwoClouds::connect`] with an explicit intra-query worker count applied to
+    /// *both* sides — S1's client loops and the session's S2 engine — instead of the
+    /// `SECTOPK_INTRA_PARALLEL` default.  Worker count never affects protocol bytes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_with_workers(
+        master: &MasterKeys,
+        seed: u64,
+        batching: bool,
+        server: &MultiplexServer,
+        session: SessionId,
+        link: LinkProfile,
+        intra_workers: usize,
+    ) -> Result<Self> {
+        let mut clouds = Self::build(master, seed, batching, |provision| {
+            let mut engine = provision.build();
+            engine.set_intra_workers(intra_workers);
+            Ok(Box::new(server.connect(session, engine, link)?))
+        })?;
+        clouds.set_intra_workers(intra_workers);
+        Ok(clouds)
     }
 
     /// The shared S1-side setup: every transport and the multiplexed sessions derive
@@ -182,10 +214,43 @@ impl TwoClouds {
                 pool,
                 own_pool,
                 ledger: LeakageLedger::new(),
+                intra_workers: crate::engine::intra_workers_from_env(),
             },
             transport,
             batching,
         })
+    }
+
+    /// Worker threads S1's batched client loops may use for one query's pure crypto.
+    pub fn intra_workers(&self) -> usize {
+        self.s1.intra_workers
+    }
+
+    /// Set the S1-side intra-query worker count (minimum 1; 1 = fully serial).  The S2
+    /// engine behind the transport has its own knob
+    /// ([`crate::engine::S2Engine::set_intra_workers`]); both default to the
+    /// `SECTOPK_INTRA_PARALLEL` environment variable.  Protocol bytes, ledgers and
+    /// metrics are identical for every value.
+    pub fn set_intra_workers(&mut self, workers: usize) {
+        self.s1.intra_workers = workers.max(1);
+    }
+
+    /// Use transport idle time to top S1's nonce pools up to `paillier` / `dj` / `own`
+    /// ready nonces (e.g. between queries, while no request is in flight).  Pool streams
+    /// are position-deterministic, so eager refilling never changes protocol bytes.
+    pub fn idle_refill(&mut self, paillier: usize, dj: usize, own: usize) {
+        let workers = self.s1.intra_workers;
+        let (ready_p, ready_dj) = self.s1.pool.ready();
+        let need_p = paillier.saturating_sub(ready_p);
+        let need_dj = dj.saturating_sub(ready_dj);
+        if need_p + need_dj > 0 {
+            self.s1.pool.prefill_parallel(need_p, need_dj, workers);
+        }
+        let (ready_own, _) = self.s1.own_pool.ready();
+        let need_own = own.saturating_sub(ready_own);
+        if need_own > 0 {
+            self.s1.own_pool.prefill_parallel(need_own, 0, workers);
+        }
     }
 
     /// The shared Paillier public key (every score and EHL block is encrypted under it).

@@ -6,12 +6,36 @@
 //! the S1 side can only reach it through a [`crate::transport::Transport`], so
 //! everything S2 observes is an explicit message — the executable counterpart of the
 //! paper's non-collusion assumption (§3.2).
+//!
+//! # Parallel compute, serial commit
+//!
+//! Every request is processed in three phases so a single (possibly batched) request
+//! can use multiple cores without changing a single observable byte:
+//!
+//! 1. **Validate** — structural checks for *every* item of the request (batches
+//!    included, simulating the pending-equality-bit bookkeeping) run before anything
+//!    executes, so a malformed item mid-batch can no longer leave earlier items'
+//!    ledger entries committed: batches are all-or-nothing.
+//! 2. **Compute** — the expensive, *pure* work (every decryption the request needs) is
+//!    collected into an ordered op list and executed data-parallel over the shared
+//!    `Arc`-backed keys ([`sectopk_crypto::par::par_map`]); results come back in op
+//!    order, and the first failed op in that order wins, exactly as in a serial sweep.
+//! 3. **Commit** — all effects (leakage-ledger records, pending-eq state, RNG draws,
+//!    nonce-pool consumption, response assembly) run serially in original item order.
+//!
+//! Because phase 2 is pure and phase 3 is byte-identical to the old serial handler,
+//! ledgers, metrics and ciphertext streams do not depend on the worker count — the
+//! `SECTOPK_INTRA_PARALLEL` suite run asserts exactly that.  The worker count comes
+//! from [`S2Engine::set_intra_workers`] (default: the `SECTOPK_INTRA_PARALLEL`
+//! environment variable, else 1).
 
 use num_bigint::BigUint;
 
 use sectopk_crypto::bigint::{mod_inverse, random_below, random_invertible};
+use sectopk_crypto::damgard_jurik::LayeredCiphertext;
 use sectopk_crypto::keys::S2Keys;
 use sectopk_crypto::paillier::{Ciphertext, PaillierPublicKey};
+use sectopk_crypto::par::par_map;
 use sectopk_crypto::pool::RandomnessPool;
 use sectopk_crypto::prp::RandomPermutation;
 use sectopk_crypto::Result;
@@ -64,6 +88,46 @@ impl EngineProvision {
     }
 }
 
+/// Read the default intra-query worker count from `SECTOPK_INTRA_PARALLEL` (≥ 1).
+pub fn intra_workers_from_env() -> usize {
+    std::env::var("SECTOPK_INTRA_PARALLEL")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1)
+}
+
+/// One pure decryption the compute phase must perform, in request order.
+enum DecOp<'a> {
+    /// Paillier `is_zero` (equality bits of EqTest / EqMatrix / Dedup / Filter).
+    IsZero(&'a Ciphertext),
+    /// Paillier signed decryption (Compare).
+    Signed(&'a Ciphertext),
+    /// Paillier plain decryption (MulBlinded operands).
+    Plain(&'a Ciphertext),
+    /// Damgård–Jurik outer-layer decryption back to an inner ciphertext (Recover).
+    DjInner(&'a LayeredCiphertext),
+}
+
+/// The result of one [`DecOp`], same order as the op list.
+enum DecOut {
+    Bit(bool),
+    Sign(i8),
+    Plain(BigUint),
+    Inner(Ciphertext),
+}
+
+/// Precomputable nonce consumption of one request: (shared Paillier, shared DJ,
+/// S1-own-key Paillier) counts.  Dedup/Filter are upper bounds (every item kept /
+/// every tuple surviving); overfilling is harmless because the pool's nonce stream is
+/// position-deterministic — nonce *k* never depends on when it was precomputed.
+#[derive(Default)]
+struct NonceDemand {
+    paillier: usize,
+    dj: usize,
+    own: usize,
+}
+
 /// The crypto cloud S2: keys, randomness, nonce pools, ledger, and the request handler.
 #[derive(Debug)]
 pub struct S2Engine {
@@ -81,6 +145,8 @@ pub struct S2Engine {
     /// Equality bits accumulated from unbatched [`S1Request::EqTest`] rounds, consumed
     /// by the next [`S1Request::EqAggregate`] or matrix-less [`S1Request::Dedup`].
     pending_eq: Vec<bool>,
+    /// Worker threads the compute phase may use (1 = serial).
+    intra_workers: usize,
 }
 
 impl S2Engine {
@@ -103,7 +169,20 @@ impl S2Engine {
             own_pool,
             ledger: LeakageLedger::new(),
             pending_eq: Vec::new(),
+            intra_workers: intra_workers_from_env(),
         }
+    }
+
+    /// Number of worker threads the compute phase may use for one request.
+    pub fn intra_workers(&self) -> usize {
+        self.intra_workers
+    }
+
+    /// Set the intra-query worker count (minimum 1; 1 = fully serial).  Results,
+    /// ledgers and metrics are byte-identical for every value — only wall-clock
+    /// changes.
+    pub fn set_intra_workers(&mut self, workers: usize) {
+        self.intra_workers = workers.max(1);
     }
 
     /// Everything S2 has observed beyond its inputs.
@@ -122,10 +201,259 @@ impl S2Engine {
     /// Failures are typed [`WireError`]s: the transport encodes them as
     /// `S2Response::Error` frames, so a malformed or mis-sequenced request is answered,
     /// not panicked on, and the engine keeps serving subsequent requests.
+    ///
+    /// Runs the three-phase pipeline of the module doc: validate everything first
+    /// (batches are all-or-nothing — no item executes, and no ledger entry commits,
+    /// unless the whole request is well-formed), compute all decryptions data-parallel
+    /// over [`Self::intra_workers`] threads, then commit every effect serially in
+    /// original item order.  Byte-identical to serial execution for any worker count.
     pub fn handle(&mut self, request: &S1Request) -> EngineResult<S2Response> {
+        self.validate(request)?;
+        let mut ops = Vec::new();
+        Self::collect_ops(request, &mut ops);
+        let outs = self.run_ops(&ops)?;
+        self.prefill_pools(request);
+        let mut outs = outs.into_iter();
         match request {
-            S1Request::EqTest { diff, context, depth, accumulate, reply_bit } => {
-                let bit = self.observe_eq_bit(diff, context, *depth)?;
+            S1Request::Batch(requests) => {
+                let mut responses = Vec::with_capacity(requests.len());
+                for req in requests {
+                    responses.push(self.commit(req, &mut outs)?);
+                }
+                Ok(S2Response::Batch(responses))
+            }
+            single => self.commit(single, &mut outs),
+        }
+    }
+
+    /// Phase 1: structural validation of the whole request before anything executes.
+    /// `pending` simulates the pending-equality-bit count across batch items so a
+    /// mis-sequenced aggregate anywhere in a batch is caught up front.
+    fn validate(&self, request: &S1Request) -> EngineResult<()> {
+        let mut pending = self.pending_eq.len();
+        match request {
+            S1Request::Batch(requests) => {
+                for req in requests {
+                    if matches!(req, S1Request::Batch(_)) {
+                        // One level of batching is all the protocols need; rejecting
+                        // nesting keeps the handler's recursion bounded.
+                        return Err(WireError::malformed("nested Batch requests"));
+                    }
+                    Self::validate_one(req, &mut pending)?;
+                }
+                Ok(())
+            }
+            single => Self::validate_one(single, &mut pending),
+        }
+    }
+
+    /// Validate one non-batch request, updating the simulated pending-eq count.
+    fn validate_one(request: &S1Request, pending: &mut usize) -> EngineResult<()> {
+        match request {
+            S1Request::EqTest { accumulate, .. } => {
+                if *accumulate {
+                    *pending += 1;
+                }
+                Ok(())
+            }
+            S1Request::EqMatrix { diffs, cols, .. } => {
+                if *cols == 0 || diffs.len() % cols != 0 {
+                    return Err(WireError::malformed(format!(
+                        "equality matrix of {} entries is not a multiple of {cols} columns",
+                        diffs.len()
+                    )));
+                }
+                Ok(())
+            }
+            S1Request::EqAggregate { rows, cols, .. } => {
+                if *cols == 0 {
+                    return Err(WireError::malformed("EqAggregate over a zero-column matrix"));
+                }
+                let count = rows * cols;
+                if *pending != count {
+                    return Err(WireError::bad_sequence(format!(
+                        "EqAggregate over {count} bits but {pending} were streamed"
+                    )));
+                }
+                *pending = 0;
+                Ok(())
+            }
+            S1Request::Compare { .. }
+            | S1Request::Recover { .. }
+            | S1Request::MulBlinded { .. } => Ok(()),
+            S1Request::Dedup(dedup) => {
+                let l = dedup.items.len();
+                if dedup.blindings.len() != l {
+                    return Err(WireError::malformed("one blinding per dedup item required"));
+                }
+                match &dedup.matrix {
+                    Some(matrix) => {
+                        if matrix.len() != dedup.pair_indices.len() {
+                            return Err(WireError::malformed("dedup matrix arity mismatch"));
+                        }
+                    }
+                    None => {
+                        if *pending != dedup.pair_indices.len() {
+                            return Err(WireError::bad_sequence(format!(
+                                "dedup expects {} streamed equality bits, found {pending}",
+                                dedup.pair_indices.len()
+                            )));
+                        }
+                        *pending = 0;
+                    }
+                }
+                if dedup.pair_indices.iter().any(|&(a, b)| a >= l || b >= l) {
+                    return Err(WireError::malformed("dedup pair index out of range"));
+                }
+                Ok(())
+            }
+            S1Request::Filter { .. } => Ok(()),
+            S1Request::Batch(_) => Err(WireError::malformed("nested Batch requests")),
+        }
+    }
+
+    /// Collect the ordered decryption op list of a (validated) request.
+    fn collect_ops<'a>(request: &'a S1Request, ops: &mut Vec<DecOp<'a>>) {
+        match request {
+            S1Request::EqTest { diff, .. } => ops.push(DecOp::IsZero(diff)),
+            S1Request::EqMatrix { diffs, .. } => {
+                ops.extend(diffs.iter().map(DecOp::IsZero));
+            }
+            S1Request::EqAggregate { .. } => {}
+            S1Request::Compare { blinded, .. } => {
+                ops.extend(blinded.iter().map(DecOp::Signed));
+            }
+            S1Request::Recover { blinded } => {
+                ops.extend(blinded.iter().map(DecOp::DjInner));
+            }
+            S1Request::Dedup(dedup) => {
+                if let Some(matrix) = &dedup.matrix {
+                    ops.extend(matrix.iter().map(DecOp::IsZero));
+                }
+            }
+            S1Request::Filter { tuples } => {
+                ops.extend(tuples.iter().map(|t| DecOp::IsZero(&t.score)));
+            }
+            S1Request::MulBlinded { pairs } => {
+                for (a, b) in pairs {
+                    ops.push(DecOp::Plain(a));
+                    ops.push(DecOp::Plain(b));
+                }
+            }
+            S1Request::Batch(requests) => {
+                for req in requests {
+                    Self::collect_ops(req, ops);
+                }
+            }
+        }
+    }
+
+    /// Phase 2: run every decryption op, data-parallel when [`Self::intra_workers`]
+    /// allows.  Ops are pure (shared `Arc`-backed keys, no mutable engine state), so
+    /// results are independent of scheduling; the first failed op *in op order* wins,
+    /// matching what a serial sweep would have returned.
+    fn run_ops(&self, ops: &[DecOp<'_>]) -> EngineResult<Vec<DecOut>> {
+        let keys = &self.keys;
+        let results: Vec<Result<DecOut>> = par_map(self.intra_workers, ops, |op| match op {
+            DecOp::IsZero(c) => keys.paillier_secret.is_zero(c).map(DecOut::Bit),
+            DecOp::Signed(c) => keys.paillier_secret.decrypt_signed(c).map(|v| {
+                DecOut::Sign(match v.sign() {
+                    num_bigint::Sign::Minus => -1i8,
+                    num_bigint::Sign::NoSign => 0,
+                    num_bigint::Sign::Plus => 1,
+                })
+            }),
+            DecOp::Plain(c) => keys.paillier_secret.decrypt(c).map(DecOut::Plain),
+            DecOp::DjInner(b) => keys.dj_secret.decrypt_to_ciphertext(b).map(DecOut::Inner),
+        });
+        results.into_iter().collect::<Result<Vec<_>>>().map_err(WireError::from)
+    }
+
+    /// Top the nonce pools up to the request's precomputable demand, generating the
+    /// missing nonces data-parallel.  Only runs with more than one worker: the serial
+    /// path keeps the classic lazy batch refills.  Either way the consumed nonce
+    /// stream is identical (see [`RandomnessPool::prefill_parallel`]).
+    fn prefill_pools(&mut self, request: &S1Request) {
+        if self.intra_workers <= 1 {
+            return;
+        }
+        let mut demand = NonceDemand::default();
+        Self::nonce_demand(request, &mut demand);
+        let (ready_p, ready_dj) = self.pool.ready();
+        let (ready_own, _) = self.own_pool.ready();
+        let need_p = demand.paillier.saturating_sub(ready_p);
+        let need_dj = demand.dj.saturating_sub(ready_dj);
+        let need_own = demand.own.saturating_sub(ready_own);
+        if need_p + need_dj > 0 {
+            self.pool.prefill_parallel(need_p, need_dj, self.intra_workers);
+        }
+        if need_own > 0 {
+            self.own_pool.prefill_parallel(need_own, 0, self.intra_workers);
+        }
+    }
+
+    /// Accumulate the nonce demand of a request (exact for the encrypt-reply shapes,
+    /// an upper bound for Dedup/Filter whose consumption depends on decrypted bits).
+    fn nonce_demand(request: &S1Request, demand: &mut NonceDemand) {
+        let wants_dj = |want: &EqWants, rows: usize, cols: usize| {
+            let mut dj = 0;
+            if want.row_matched {
+                dj += rows;
+            }
+            if want.row_unmatched {
+                dj += rows;
+            }
+            if want.col_unmatched {
+                dj += cols;
+            }
+            dj
+        };
+        match request {
+            S1Request::EqTest { reply_bit, .. } => {
+                if *reply_bit {
+                    demand.dj += 1;
+                }
+            }
+            S1Request::EqMatrix { diffs, cols, want, .. } => {
+                demand.dj += diffs.len() + wants_dj(want, diffs.len() / cols, *cols);
+            }
+            S1Request::EqAggregate { rows, cols, want } => {
+                demand.dj += wants_dj(want, *rows, *cols);
+            }
+            S1Request::Compare { .. } | S1Request::Recover { .. } => {}
+            S1Request::Dedup(dedup) => {
+                for (item, blinding) in dedup.items.iter().zip(dedup.blindings.iter()) {
+                    demand.paillier += item.ehl.len() + 2;
+                    demand.own += item.ehl.len().max(blinding.alphas.len()) + 2;
+                }
+            }
+            S1Request::Filter { tuples } => {
+                for t in tuples {
+                    demand.paillier += t.attributes.len();
+                    demand.own += t.attributes.len() + 1;
+                }
+            }
+            S1Request::MulBlinded { pairs } => demand.paillier += pairs.len(),
+            S1Request::Batch(requests) => {
+                for req in requests {
+                    Self::nonce_demand(req, demand);
+                }
+            }
+        }
+    }
+
+    /// Phase 3: commit one (validated) non-batch request serially, consuming its
+    /// decryption results from `outs` in op order.  This is where every observable
+    /// effect happens — ledger records, pending-eq pushes/takes, RNG draws, pool
+    /// consumption — in exactly the order the serial handler produced them.
+    fn commit(
+        &mut self,
+        request: &S1Request,
+        outs: &mut std::vec::IntoIter<DecOut>,
+    ) -> EngineResult<S2Response> {
+        match request {
+            S1Request::EqTest { context, depth, accumulate, reply_bit, .. } => {
+                let bit = self.record_eq_bit(next_bit(outs), context, *depth);
                 if *accumulate {
                     self.pending_eq.push(bit);
                 }
@@ -137,15 +465,9 @@ impl S2Engine {
                 }
             }
             S1Request::EqMatrix { diffs, cols, context, depth, want } => {
-                if *cols == 0 || diffs.len() % cols != 0 {
-                    return Err(WireError::malformed(format!(
-                        "equality matrix of {} entries is not a multiple of {cols} columns",
-                        diffs.len()
-                    )));
-                }
                 let mut bits = Vec::with_capacity(diffs.len());
-                for diff in diffs {
-                    bits.push(self.observe_eq_bit(diff, context, *depth)?);
+                for _ in 0..diffs.len() {
+                    bits.push(self.record_eq_bit(next_bit(outs), context, *depth));
                 }
                 let mut e2_bits = Vec::with_capacity(bits.len());
                 for &bit in &bits {
@@ -154,86 +476,49 @@ impl S2Engine {
                 let aggregates = self.derive_aggregates(&bits, *cols, *want)?;
                 Ok(S2Response::EqBits { bits: e2_bits, aggregates })
             }
-            S1Request::EqAggregate { rows, cols, want } => {
-                if *cols == 0 {
-                    return Err(WireError::malformed("EqAggregate over a zero-column matrix"));
-                }
-                let count = rows * cols;
-                if self.pending_eq.len() != count {
-                    return Err(WireError::bad_sequence(format!(
-                        "EqAggregate over {count} bits but {} were streamed",
-                        self.pending_eq.len()
-                    )));
-                }
+            S1Request::EqAggregate { cols, want, .. } => {
                 let bits = std::mem::take(&mut self.pending_eq);
                 let aggregates = self.derive_aggregates(&bits, *cols, *want)?;
                 Ok(S2Response::EqAggregates(aggregates))
             }
             S1Request::Compare { blinded, context } => {
-                let sk = self.keys.paillier_secret.clone();
                 let mut signs = Vec::with_capacity(blinded.len());
-                for c in blinded {
-                    let v = sk.decrypt_signed(c)?;
+                for _ in 0..blinded.len() {
+                    let sign = next_sign(outs);
                     self.ledger.record(LeakageEvent::BlindedSign { context: context.clone() });
-                    signs.push(match v.sign() {
-                        num_bigint::Sign::Minus => -1i8,
-                        num_bigint::Sign::NoSign => 0,
-                        num_bigint::Sign::Plus => 1,
-                    });
+                    signs.push(sign);
                 }
                 Ok(S2Response::Signs(signs))
             }
             S1Request::Recover { blinded } => {
-                let dj_sk = self.keys.dj_secret.clone();
-                let mut inner = Vec::with_capacity(blinded.len());
-                for b in blinded {
-                    inner.push(dj_sk.decrypt_to_ciphertext(b)?);
-                }
+                let inner = (0..blinded.len()).map(|_| next_inner(outs)).collect();
                 Ok(S2Response::Recovered(inner))
             }
-            S1Request::Dedup(dedup) => self.handle_dedup(dedup),
-            S1Request::Filter { tuples } => self.handle_filter(tuples),
+            S1Request::Dedup(dedup) => self.commit_dedup(dedup, outs),
+            S1Request::Filter { tuples } => self.commit_filter(tuples, outs),
             S1Request::MulBlinded { pairs } => {
                 let pk = self.keys.paillier_public.clone();
-                let sk = self.keys.paillier_secret.clone();
                 let mut products = Vec::with_capacity(pairs.len());
-                for (a, b) in pairs {
-                    let x = sk.decrypt(a)?;
-                    let y = sk.decrypt(b)?;
+                for _ in 0..pairs.len() {
+                    let x = next_plain(outs);
+                    let y = next_plain(outs);
                     products.push(self.pool.encrypt(&((x * y) % pk.n()))?);
                 }
                 Ok(S2Response::Products(products))
             }
-            S1Request::Batch(requests) => {
-                let mut responses = Vec::with_capacity(requests.len());
-                for req in requests {
-                    if matches!(req, S1Request::Batch(_)) {
-                        // One level of batching is all the protocols need; rejecting
-                        // nesting keeps the handler's recursion bounded.
-                        return Err(WireError::malformed("nested Batch requests"));
-                    }
-                    responses.push(self.handle(req)?);
-                }
-                Ok(S2Response::Batch(responses))
-            }
+            S1Request::Batch(_) => Err(WireError::malformed("nested Batch requests")),
         }
     }
 
-    /// Decrypt one `⊖` equality ciphertext and record the observation (the equality
-    /// pattern `EP^d` is S2's designed leakage).
-    fn observe_eq_bit(
-        &mut self,
-        diff: &Ciphertext,
-        context: &str,
-        depth: Option<usize>,
-    ) -> Result<bool> {
-        let equal = self.keys.paillier_secret.is_zero(diff)?;
+    /// Record one already-decrypted `⊖` equality bit (the equality pattern `EP^d` is
+    /// S2's designed leakage) and hand it back.
+    fn record_eq_bit(&mut self, equal: bool, context: &str, depth: Option<usize>) -> bool {
         self.ledger.record(LeakageEvent::EqualityBit {
             context: context.to_string(),
             depth,
             equal,
         });
-        Ok(equal)
+        equal
     }
 
     /// Derive the requested row/column aggregates of a row-major bit matrix.
@@ -272,45 +557,27 @@ impl S2Engine {
         Ok(aggregates)
     }
 
-    /// The S2 phase of `SecDedup` / `SecDupElim` (Algorithm 7 / §10.1): decrypt the
-    /// permuted equality matrix, neutralise (or drop) duplicates, layer fresh blinding
-    /// and a second permutation on the survivors.
-    fn handle_dedup(&mut self, request: &DedupRequest) -> EngineResult<S2Response> {
+    /// The S2 phase of `SecDedup` / `SecDupElim` (Algorithm 7 / §10.1): observe the
+    /// (pre-decrypted) permuted equality matrix, neutralise (or drop) duplicates, layer
+    /// fresh blinding and a second permutation on the survivors.
+    fn commit_dedup(
+        &mut self,
+        request: &DedupRequest,
+        outs: &mut std::vec::IntoIter<DecOut>,
+    ) -> EngineResult<S2Response> {
         let l = request.items.len();
-        if request.blindings.len() != l {
-            return Err(WireError::malformed("one blinding per dedup item required"));
-        }
 
-        // Obtain the equality bits: inline matrix (batched) or the bits streamed ahead
-        // through per-pair EqTest rounds (unbatched).
+        // Obtain the equality bits: inline matrix (batched, decrypted in the compute
+        // phase) or the bits streamed ahead through per-pair EqTest rounds (unbatched).
         let bits: Vec<bool> = match &request.matrix {
-            Some(matrix) => {
-                if matrix.len() != request.pair_indices.len() {
-                    return Err(WireError::malformed("dedup matrix arity mismatch"));
-                }
-                let mut bits = Vec::with_capacity(matrix.len());
-                for diff in matrix {
-                    bits.push(self.observe_eq_bit(diff, "sec_dedup", Some(request.depth))?);
-                }
-                bits
-            }
-            None => {
-                if self.pending_eq.len() != request.pair_indices.len() {
-                    return Err(WireError::bad_sequence(format!(
-                        "dedup expects {} streamed equality bits, found {}",
-                        request.pair_indices.len(),
-                        self.pending_eq.len()
-                    )));
-                }
-                std::mem::take(&mut self.pending_eq)
-            }
+            Some(matrix) => (0..matrix.len())
+                .map(|_| self.record_eq_bit(next_bit(outs), "sec_dedup", Some(request.depth)))
+                .collect(),
+            None => std::mem::take(&mut self.pending_eq),
         };
 
         let mut equal = vec![vec![false; l]; l];
         for (&(a, b), &is_eq) in request.pair_indices.iter().zip(bits.iter()) {
-            if a >= l || b >= l {
-                return Err(WireError::malformed("dedup pair index out of range"));
-            }
             equal[a][b] = is_eq;
             equal[b][a] = is_eq;
         }
@@ -394,17 +661,21 @@ impl S2Engine {
         Ok(S2Response::Dedup { items, blindings })
     }
 
-    /// The S2 phase of `SecFilter` (Algorithm 12): drop blinded all-zero tuples,
-    /// re-blind and re-permute the survivors, updating S1's encrypted unblinders.
-    fn handle_filter(&mut self, tuples: &[FilterTuple]) -> EngineResult<S2Response> {
+    /// The S2 phase of `SecFilter` (Algorithm 12): drop blinded all-zero tuples (their
+    /// scores were decrypted in the compute phase), re-blind and re-permute the
+    /// survivors, updating S1's encrypted unblinders.
+    fn commit_filter(
+        &mut self,
+        tuples: &[FilterTuple],
+        outs: &mut std::vec::IntoIter<DecOut>,
+    ) -> EngineResult<S2Response> {
         let pk = self.keys.paillier_public.clone();
         let own_pk = self.s1_own_public.clone();
-        let sk = self.keys.paillier_secret.clone();
 
         let mut survivors: Vec<FilterTuple> = Vec::new();
         for t in tuples {
-            if sk.is_zero(&t.score)? {
-                continue; // did not satisfy the join condition
+            if next_bit(outs) {
+                continue; // blinded score was zero: did not satisfy the join condition
             }
             // Multiplicative re-blinding of the score with γ; additive re-blinding of the
             // attributes with Γ; the unblinders under pk' are updated homomorphically.
@@ -430,5 +701,37 @@ impl S2Engine {
             survivors = pi_prime.permute(&survivors);
         }
         Ok(S2Response::Filter { survivors })
+    }
+}
+
+// Commit-phase extractors: `collect_ops` and `commit` walk the same request in the same
+// order, so the next result always has the expected variant — a mismatch is an engine
+// bug, not a wire condition, hence the panic.
+
+fn next_bit(outs: &mut std::vec::IntoIter<DecOut>) -> bool {
+    match outs.next() {
+        Some(DecOut::Bit(b)) => b,
+        _ => unreachable!("compute/commit op order mismatch: expected equality bit"),
+    }
+}
+
+fn next_sign(outs: &mut std::vec::IntoIter<DecOut>) -> i8 {
+    match outs.next() {
+        Some(DecOut::Sign(s)) => s,
+        _ => unreachable!("compute/commit op order mismatch: expected sign"),
+    }
+}
+
+fn next_plain(outs: &mut std::vec::IntoIter<DecOut>) -> BigUint {
+    match outs.next() {
+        Some(DecOut::Plain(v)) => v,
+        _ => unreachable!("compute/commit op order mismatch: expected plaintext"),
+    }
+}
+
+fn next_inner(outs: &mut std::vec::IntoIter<DecOut>) -> Ciphertext {
+    match outs.next() {
+        Some(DecOut::Inner(c)) => c,
+        _ => unreachable!("compute/commit op order mismatch: expected inner ciphertext"),
     }
 }

@@ -58,7 +58,7 @@ pub mod worst;
 pub use channel::{ChannelMetrics, Direction};
 pub use context::{S1State, TwoClouds};
 pub use dedup::EncryptedBlinding;
-pub use engine::{EngineProvision, EngineResult, S2Engine};
+pub use engine::{intra_workers_from_env, EngineProvision, EngineResult, S2Engine};
 pub use error::{ProtocolError, Result};
 pub use items::{
     rand_blind, rand_unblind, rerandomize_item, rerandomize_item_pooled, ItemBlinding, ScoredItem,

@@ -32,6 +32,7 @@ use rand::Rng;
 use crate::error::{ProtocolError, Result};
 use sectopk_crypto::damgard_jurik::LayeredCiphertext;
 use sectopk_crypto::paillier::Ciphertext;
+use sectopk_crypto::par::par_map;
 use sectopk_ehl::EhlPlus;
 
 use crate::context::TwoClouds;
@@ -191,9 +192,24 @@ impl TwoClouds {
     }
 
     /// Compute the randomized `⊖` differences of `pairs` with S1's randomness.
+    ///
+    /// The masking scalars are drawn serially in pair-major, block-minor order (exactly
+    /// the order the one-pair-at-a-time path consumes S1's RNG in), then the pure `⊖`
+    /// arithmetic runs data-parallel over [`TwoClouds::intra_workers`] threads — the
+    /// ciphertexts are byte-identical for every worker count.
     pub(crate) fn eq_diffs(&mut self, pairs: &[(&EhlPlus, &EhlPlus)]) -> Vec<Ciphertext> {
         let pk = self.s1.keys.paillier_public.clone();
-        pairs.iter().map(|(a, b)| a.eq_test(b, &pk, &mut self.s1.rng)).collect()
+        let randomness: Vec<Vec<BigUint>> = pairs
+            .iter()
+            .map(|(a, _)| {
+                (0..a.len())
+                    .map(|_| sectopk_crypto::bigint::random_invertible(&mut self.s1.rng, pk.n()))
+                    .collect()
+            })
+            .collect();
+        let jobs: Vec<((&EhlPlus, &EhlPlus), Vec<BigUint>)> =
+            pairs.iter().copied().zip(randomness).collect();
+        par_map(self.s1.intra_workers, &jobs, |((a, b), rs)| a.eq_test_with_randomness(b, &pk, rs))
     }
 
     /// Batched EHL equality test: for every pair `(a_i, b_i)` S1 computes the randomized
@@ -232,15 +248,21 @@ impl TwoClouds {
         let dj_pk = self.s1.keys.dj_public.clone();
 
         // ---- S1: blind each inner plaintext with a fresh random r. --------------------
-        let mut blinded = Vec::with_capacity(layered.len());
+        // Draws (S1's RNG, then the nonce pool) happen serially up front; the big
+        // `E2(·)^{Enc(r)}` exponentiations then run data-parallel.  Both RNG streams are
+        // consumed in the same per-purpose order as the one-item-at-a-time loop, so the
+        // wire bytes do not depend on the worker count.
         let mut masks = Vec::with_capacity(layered.len());
-        for l in layered {
+        let mut enc_masks = Vec::with_capacity(layered.len());
+        for _ in layered {
             let r = sectopk_crypto::bigint::random_below(&mut self.s1.rng, pk.n());
-            let enc_r = self.s1.pool.encrypt(&r)?;
-            // E2(Enc(c))^{Enc(r)} = E2(Enc(c) · Enc(r)) = E2(Enc(c + r))
-            blinded.push(dj_pk.mul_by_ciphertext(l, &enc_r));
+            enc_masks.push(self.s1.pool.encrypt(&r)?);
             masks.push(r);
         }
+        let jobs: Vec<(&LayeredCiphertext, Ciphertext)> = layered.iter().zip(enc_masks).collect();
+        // E2(Enc(c))^{Enc(r)} = E2(Enc(c) · Enc(r)) = E2(Enc(c + r))
+        let blinded: Vec<LayeredCiphertext> =
+            par_map(self.s1.intra_workers, &jobs, |(l, enc_r)| dj_pk.mul_by_ciphertext(l, enc_r));
 
         // ---- transport: S2 strips the outer layer from the (blinded) ciphertexts. ----
         let inner: Vec<Ciphertext> = self.round_elementwise(
@@ -252,15 +274,12 @@ impl TwoClouds {
             },
         )?;
 
-        // ---- S1: remove the blinding homomorphically. ----------------------------------
-        let recovered = inner
-            .into_iter()
-            .zip(masks.iter())
-            .map(|(c, r)| {
-                let neg_r = (pk.n() - (r % pk.n())) % pk.n();
-                pk.add_plain(&c, &neg_r)
-            })
-            .collect();
+        // ---- S1: remove the blinding homomorphically (pure, data-parallel). -----------
+        let jobs: Vec<(Ciphertext, BigUint)> = inner.into_iter().zip(masks).collect();
+        let recovered = par_map(self.s1.intra_workers, &jobs, |(c, r)| {
+            let neg_r = (pk.n() - (r % pk.n())) % pk.n();
+            pk.add_plain(c, &neg_r)
+        });
         Ok(recovered)
     }
 
@@ -278,17 +297,19 @@ impl TwoClouds {
         }
         let dj_pk = self.s1.keys.dj_public.clone();
 
-        let mut layered = Vec::with_capacity(scores.len());
+        // Pool draws first (serial, position-deterministic), then the two-base
+        // exponentiations `E2(t)^{Enc(x)} · E2(1−t)^{Enc(0)}` run data-parallel as one
+        // fused Strauss–Shamir double-exponentiation each.
+        let mut jobs = Vec::with_capacity(scores.len());
         for (bit, score) in e2_bits.iter().zip(scores.iter()) {
             let e2_one = self.s1.pool.encrypt_dj_u64(1)?;
-            let one_minus_t = dj_pk.sub(&e2_one, bit);
             let enc_zero = self.s1.pool.encrypt_u64(0)?;
-            let chosen = dj_pk.add(
-                &dj_pk.mul_by_ciphertext(bit, score),
-                &dj_pk.mul_by_ciphertext(&one_minus_t, &enc_zero),
-            );
-            layered.push(chosen);
+            jobs.push((bit, score, e2_one, enc_zero));
         }
+        let layered = par_map(self.s1.intra_workers, &jobs, |(bit, score, e2_one, enc_zero)| {
+            let one_minus_t = dj_pk.sub(e2_one, bit);
+            dj_pk.mul_add_ciphertexts(bit, score, &one_minus_t, enc_zero)
+        });
         self.recover_enc_batch(&layered)
     }
 
@@ -306,14 +327,15 @@ impl TwoClouds {
             return Ok(Vec::new());
         }
         let dj_pk = self.s1.keys.dj_public.clone();
-        let mut layered = Vec::with_capacity(e2_bits.len());
+        let mut jobs = Vec::with_capacity(e2_bits.len());
         for ((bit, x), y) in e2_bits.iter().zip(if_true.iter()).zip(if_false.iter()) {
             let e2_one = self.s1.pool.encrypt_dj_u64(1)?;
-            let one_minus_t = dj_pk.sub(&e2_one, bit);
-            let chosen = dj_pk
-                .add(&dj_pk.mul_by_ciphertext(bit, x), &dj_pk.mul_by_ciphertext(&one_minus_t, y));
-            layered.push(chosen);
+            jobs.push((bit, x, y, e2_one));
         }
+        let layered = par_map(self.s1.intra_workers, &jobs, |(bit, x, y, e2_one)| {
+            let one_minus_t = dj_pk.sub(e2_one, bit);
+            dj_pk.mul_add_ciphertexts(bit, x, &one_minus_t, y)
+        });
         self.recover_enc_batch(&layered)
     }
 
@@ -337,15 +359,24 @@ impl TwoClouds {
         let pk = self.s1.keys.paillier_public.clone();
 
         // ---- S1: blind each difference with a random flip and scale. ------------------
-        let mut blinded = Vec::with_capacity(pairs.len());
+        // Flips and scales are drawn serially (same RNG order as the per-pair loop);
+        // the `Enc(±α·(a−b))` arithmetic runs data-parallel.
         let mut flips = Vec::with_capacity(pairs.len());
-        for (a, b) in pairs {
-            let flip: bool = self.s1.rng.gen();
-            let diff = if flip { pk.sub(b, a) } else { pk.sub(a, b) };
-            let alpha = BigUint::from(self.s1.rng.gen_range(1..COMPARE_SCALE_BOUND));
-            blinded.push(pk.mul_plain(&diff, &alpha));
-            flips.push(flip);
+        let mut alphas = Vec::with_capacity(pairs.len());
+        for _ in pairs {
+            flips.push(self.s1.rng.gen::<bool>());
+            alphas.push(BigUint::from(self.s1.rng.gen_range(1..COMPARE_SCALE_BOUND)));
         }
+        let jobs: Vec<(&(Ciphertext, Ciphertext), bool, &BigUint)> = pairs
+            .iter()
+            .zip(flips.iter())
+            .zip(alphas.iter())
+            .map(|((pair, &flip), alpha)| (pair, flip, alpha))
+            .collect();
+        let blinded = par_map(self.s1.intra_workers, &jobs, |((a, b), flip, alpha)| {
+            let diff = if *flip { pk.sub(b, a) } else { pk.sub(a, b) };
+            pk.mul_plain(&diff, alpha)
+        });
 
         // ---- transport: S2 decrypts each blinded difference and returns its sign. -----
         let signs: Vec<i8> = self.round_elementwise(

@@ -20,7 +20,7 @@
 //! # Connection lifecycle
 //!
 //! 1. **Connect** with bounded retry and exponential backoff ([`TcpOptions`]).
-//! 2. **Handshake**: the client sends a [`ClientHello`] — magic, protocol version
+//! 2. **Handshake**: the client sends a `ClientHello` — magic, protocol version
 //!    ([`TCP_PROTOCOL_VERSION`]), a proposed session id (0 = server assigns), and the
 //!    [`EngineProvision`] that boots its S2 engine.  The server answers accept (with
 //!    the negotiated id) or reject (version mismatch, id in use, server full).
@@ -685,6 +685,9 @@ fn serve_connection(
 
     // Negotiate the session id: try the client's proposal (if any), else assign from
     // the server-reserved range; `attach` hands the engine back on a collision.
+    // The engine's intra-query worker count comes from SECTOPK_INTRA_PARALLEL in the
+    // *server* process's environment (the provision wire format carries no worker
+    // knob: worker count is a local resource decision, never protocol state).
     let mut engine = hello.provision.build();
     let (session, conduit) = if hello.session != 0 {
         match pool.attach(SessionId(hello.session), engine) {

@@ -43,6 +43,13 @@
 //! identical [`ChannelMetrics`] for the same seed (asserted by
 //! `tests/transport_equivalence.rs`).
 //!
+//! Intra-query parallelism never leaks into this layer: S2 executes a request as
+//! parallel compute + serial commit (see [`crate::engine`]) and S1 parallelizes only
+//! pure ciphertext arithmetic after drawing its randomness serially, so transcripts,
+//! metrics and ledgers are byte-identical for any `SECTOPK_INTRA_PARALLEL` worker
+//! count.  Worker count is a local resource decision of each party — it is not
+//! protocol state and is never carried in these messages.
+//!
 //! # Batching rules
 //!
 //! [`S1Request::Batch`] wraps any number of *independent* requests into a single round

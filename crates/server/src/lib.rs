@@ -65,6 +65,14 @@ use sectopk_protocols::{
 };
 use sectopk_storage::{EncryptedRelation, TopKQuery};
 
+/// How many ready nonces of each kind the between-queries idle refill tops a session's
+/// S1 pools up to.  Sized for the opening rounds of a typical query (fresh zeros,
+/// selection constants, `E2(t)` re-encryptions) without making the idle gap itself a
+/// bottleneck.
+const IDLE_REFILL_PAILLIER_NONCES: usize = 16;
+const IDLE_REFILL_DJ_NONCES: usize = 8;
+const IDLE_REFILL_OWN_NONCES: usize = 8;
+
 /// Shape of one serving run: how many concurrent sessions and how each query executes.
 /// (The S2 worker-pool width is a property of the [`QueryServer`] itself, set at
 /// construction.)
@@ -82,6 +90,10 @@ pub struct ServeConfig {
     pub base_seed: u64,
     /// Simulated inter-cloud link (ideal by default; a nonzero RTT models the WAN).
     pub link: LinkProfile,
+    /// Intra-query worker threads for each session's S1 loops *and* its S2 engine
+    /// (default: the `SECTOPK_INTRA_PARALLEL` environment variable, else 1).  Worker
+    /// count only changes wall-clock: results, ledgers and metrics are byte-identical.
+    pub intra_workers: usize,
 }
 
 impl ServeConfig {
@@ -95,12 +107,19 @@ impl ServeConfig {
             max_depth: None,
             base_seed,
             link: LinkProfile::ideal(),
+            intra_workers: sectopk_protocols::intra_workers_from_env(),
         }
     }
 
     /// Replace the simulated link profile.
     pub fn with_link(mut self, link: LinkProfile) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Replace the intra-query worker count (minimum 1; 1 = fully serial).
+    pub fn with_intra_workers(mut self, workers: usize) -> Self {
+        self.intra_workers = workers.max(1);
         self
     }
 
@@ -230,6 +249,17 @@ impl QueryClient {
         request: sectopk_protocols::S1Request,
     ) -> sectopk_protocols::Result<sectopk_protocols::S2Response> {
         self.clouds.raw_round_trip(request)
+    }
+
+    /// Top this session's S1 nonce pools back up while no query is in flight.  Called
+    /// by the serving loop between queries; harmless to call at any time (pool streams
+    /// are position-deterministic, so eager refilling never changes protocol bytes).
+    pub fn idle_refill(&mut self) {
+        self.clouds.idle_refill(
+            IDLE_REFILL_PAILLIER_NONCES,
+            IDLE_REFILL_DJ_NONCES,
+            IDLE_REFILL_OWN_NONCES,
+        );
     }
 
     /// Close the session and collect its report (metrics, both ledgers, all outcomes
@@ -371,7 +401,34 @@ impl QueryServer {
         batching: bool,
         link: LinkProfile,
     ) -> Result<QueryClient> {
-        let clouds = TwoClouds::connect(&self.master, seed, batching, &self.s2, session, link)?;
+        self.open_session_with_workers(
+            session,
+            seed,
+            batching,
+            link,
+            sectopk_protocols::intra_workers_from_env(),
+        )
+    }
+
+    /// [`Self::open_session`] with an explicit intra-query worker count applied to both
+    /// the session's S1 loops and its S2 engine.
+    pub fn open_session_with_workers(
+        &self,
+        session: SessionId,
+        seed: u64,
+        batching: bool,
+        link: LinkProfile,
+        intra_workers: usize,
+    ) -> Result<QueryClient> {
+        let clouds = TwoClouds::connect_with_workers(
+            &self.master,
+            seed,
+            batching,
+            &self.s2,
+            session,
+            link,
+            intra_workers,
+        )?;
         Ok(QueryClient {
             session,
             seed,
@@ -388,11 +445,12 @@ impl QueryServer {
     /// Open session `i` of a serving run configured by `config` (seed =
     /// `shard_seed(base_seed, i)`).
     pub fn open_configured(&self, i: u64, config: &ServeConfig) -> Result<QueryClient> {
-        self.open_session(
+        self.open_session_with_workers(
             SessionId(i),
             shard_seed(config.base_seed, i),
             config.batching,
             config.link,
+            config.intra_workers,
         )
     }
 
@@ -407,10 +465,18 @@ impl QueryServer {
         config: &ServeConfig,
     ) -> Result<SessionReport> {
         let mut client = self.open_configured(i as u64 + 1, config)?;
-        for spec in queries {
+        let mut queries = queries.iter().peekable();
+        while let Some(spec) = queries.next() {
             // A failed query is recorded in the client's failure list; the session (and
             // the rest of the serving run) keeps going.
             let _ = client.execute(&config.query_for(spec));
+            if queries.peek().is_some() {
+                // The session is idle between queries: use the gap to top up S1's nonce
+                // pools, so the next query's encryptions pop precomputed nonces instead
+                // of paying the exponentiations inline.  Pool streams are
+                // position-deterministic, so this never changes protocol bytes.
+                client.idle_refill();
+            }
         }
         Ok(client.finish())
     }

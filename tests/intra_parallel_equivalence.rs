@@ -1,0 +1,158 @@
+//! Intra-query parallelism must be unobservable: for a fixed seed, a query executed
+//! with `intra_workers = 4` must produce **byte-identical** results, leakage ledgers
+//! (both parties) and channel metrics as the same query executed fully serially — on
+//! every transport.  Worker count is a local resource decision, never protocol state;
+//! any divergence means randomness was drawn in a scheduling-dependent order or the
+//! parallel compute phase leaked into the serial commit order.
+//!
+//! The serving layer gets the same treatment: a `ServeConfig` with intra-query workers
+//! must reproduce the serial run's per-session reports exactly (the engine-side knob is
+//! exercised through `TwoClouds::connect_with_workers`, which parallelizes S2's compute
+//! phase as well as S1's client loops).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sectopk_core::{DataOwner, Query, QueryConfig, Session, VariantChoice};
+use sectopk_datasets::QueryWorkload;
+use sectopk_protocols::{ChannelMetrics, LeakageLedger, ScoredItem, TransportKind};
+use sectopk_server::{ServeConfig, ServeExt};
+use sectopk_storage::{ObjectId, Relation, Row, TopKQuery};
+use sectopk_tests::{TEST_EHL_KEYS, TEST_MODULUS_BITS};
+
+const ALL_TRANSPORTS: [TransportKind; 4] = [
+    TransportKind::InProcess,
+    TransportKind::Channel,
+    TransportKind::Multiplex,
+    TransportKind::Tcp,
+];
+
+fn relation_with_duplicates() -> Relation {
+    // Duplicate score rows so the dup-elim variant exercises SecDedup's replace/keep
+    // paths (the upper-bound nonce prefill and the parallel dedup decrypts).
+    Relation::new(
+        vec!["r1".into(), "r2".into(), "r3".into()],
+        vec![
+            Row { id: ObjectId(1), values: vec![10, 3, 2] },
+            Row { id: ObjectId(2), values: vec![8, 8, 0] },
+            Row { id: ObjectId(3), values: vec![5, 7, 6] },
+            Row { id: ObjectId(4), values: vec![5, 7, 6] },
+            Row { id: ObjectId(5), values: vec![3, 2, 8] },
+            Row { id: ObjectId(6), values: vec![1, 1, 1] },
+        ],
+    )
+}
+
+struct Observation {
+    top_k: Vec<ScoredItem>,
+    s1_ledger: LeakageLedger,
+    s2_ledger: LeakageLedger,
+    metrics: ChannelMetrics,
+}
+
+fn run_with_workers(kind: TransportKind, config: &QueryConfig, workers: usize) -> Observation {
+    let mut rng = StdRng::seed_from_u64(0x1A7A);
+    let owner = DataOwner::new(TEST_MODULUS_BITS, TEST_EHL_KEYS, &mut rng).expect("keygen");
+    let relation = relation_with_duplicates();
+    let (outsourced, _) = owner.outsource(&relation, &mut rng).expect("encryption");
+    let query = Query::from_spec(TopKQuery::sum(vec![0, 1, 2], 2))
+        .with_variant(VariantChoice::Fixed(config.variant));
+    let mut session = owner.connect_with(&outsourced, 0xF00D, kind, true).expect("cloud setup");
+    session.clouds_mut().set_intra_workers(workers);
+    let outcome = session.execute(&query).expect("query").outcome;
+    Observation {
+        top_k: outcome.top_k,
+        s1_ledger: session.s1_ledger(),
+        s2_ledger: session.s2_ledger(),
+        metrics: session.metrics(),
+    }
+}
+
+fn assert_byte_identical(serial: &Observation, parallel: &Observation, label: &str) {
+    assert_eq!(
+        serial.top_k, parallel.top_k,
+        "{label}: parallel execution changed result ciphertexts"
+    );
+    assert_eq!(
+        serial.s1_ledger.events(),
+        parallel.s1_ledger.events(),
+        "{label}: S1 ledgers diverge"
+    );
+    assert_eq!(
+        serial.s2_ledger.events(),
+        parallel.s2_ledger.events(),
+        "{label}: S2 ledgers diverge"
+    );
+    assert_eq!(serial.metrics, parallel.metrics, "{label}: channel metrics diverge");
+}
+
+#[test]
+fn intra_parallelism_is_byte_invariant_on_every_transport() {
+    for config in [QueryConfig::full(), QueryConfig::dup_elim()] {
+        for kind in ALL_TRANSPORTS {
+            let serial = run_with_workers(kind, &config, 1);
+            for workers in [2, 4, 7] {
+                let parallel = run_with_workers(kind, &config, workers);
+                assert_byte_identical(
+                    &serial,
+                    &parallel,
+                    &format!("{kind:?} / {:?} / {workers} workers", config.variant),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn serving_with_intra_workers_matches_serial_reports() {
+    // ServeConfig::with_intra_workers (through TwoClouds::connect_with_workers) sets
+    // the worker count on BOTH the S1 loops and each session's S2 engine, so this
+    // covers the engine's parallel compute / serial commit pipeline end to end.
+    let mut rng = StdRng::seed_from_u64(0x5E11);
+    let owner = DataOwner::new(TEST_MODULUS_BITS, TEST_EHL_KEYS, &mut rng).expect("keygen");
+    let relation = relation_with_duplicates();
+    let (outsourced, _) = owner.outsource(&relation, &mut rng).expect("encryption");
+    let server = owner.serve_relation(&outsourced, 2);
+    let workload = QueryWorkload {
+        queries: vec![
+            TopKQuery::sum(vec![0, 1, 2], 2),
+            TopKQuery::sum(vec![0, 1], 3),
+            TopKQuery::sum(vec![1, 2], 1),
+            TopKQuery::sum(vec![0, 2], 2),
+        ],
+    };
+    let base = ServeConfig::new(2, 0xD00D).with_variant(VariantChoice::Auto);
+
+    let serial = server.serve(&workload, &base.with_intra_workers(1)).expect("serial serve");
+    let parallel = server.serve(&workload, &base.with_intra_workers(4)).expect("parallel serve");
+
+    assert_eq!(serial.sessions.len(), parallel.sessions.len());
+    for (s, p) in serial.sessions.iter().zip(parallel.sessions.iter()) {
+        assert_eq!(s.session, p.session);
+        assert_eq!(s.seed, p.seed);
+        assert_eq!(s.failures.len(), p.failures.len(), "failure counts diverge");
+        assert_eq!(s.metrics, p.metrics, "session {:?}: channel metrics diverge", s.session);
+        assert_eq!(
+            s.s1_ledger.events(),
+            p.s1_ledger.events(),
+            "session {:?}: S1 ledgers diverge",
+            s.session
+        );
+        assert_eq!(
+            s.s2_ledger.events(),
+            p.s2_ledger.events(),
+            "session {:?}: S2 ledgers diverge",
+            s.session
+        );
+        assert_eq!(s.outcomes.len(), p.outcomes.len());
+        for (so, po) in s.outcomes.iter().zip(p.outcomes.iter()) {
+            assert_eq!(
+                so.top_k, po.top_k,
+                "session {:?}: worker count changed result ciphertexts",
+                s.session
+            );
+            assert_eq!(so.stats.depths_scanned, po.stats.depths_scanned);
+            assert_eq!(so.stats.halted, po.stats.halted);
+        }
+    }
+}

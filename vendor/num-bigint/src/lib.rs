@@ -15,7 +15,7 @@ mod montgomery;
 
 pub use bigint::{BigInt, Sign};
 pub use biguint::{BigUint, ParseBigIntError};
-pub use montgomery::MontgomeryContext;
+pub use montgomery::{FixedBaseTable, MontgomeryContext};
 
 use num_traits::Zero;
 use rand::RngCore;

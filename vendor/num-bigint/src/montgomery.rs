@@ -22,6 +22,38 @@ use crate::BigUint;
 /// Exponent window width in bits (16-entry precomputed table).
 const WINDOW_BITS: u64 = 4;
 
+/// Window width of the joint [`MontgomeryContext::multi_modpow`] table: 2 bits per
+/// exponent, so the combined table has 4 × 4 = 16 entries.
+const MULTI_WINDOW_BITS: u64 = 2;
+
+/// Precomputed powers of one fixed base under one [`MontgomeryContext`], built once
+/// and reused across many exponentiations of that base.
+///
+/// `rows[i][d - 1]` holds `base^(d · 2^(4·i))` in Montgomery form for digit
+/// `d = 1..=15`, one row per 4-bit exponent window up to `max_bits`.  Evaluating
+/// `base^e` with [`MontgomeryContext::fixed_base_modpow`] then costs one Montgomery
+/// multiplication per **nonzero** window of `e` — no squarings at all — versus four
+/// squarings plus a table multiplication per window for the sliding-window
+/// [`MontgomeryContext::modpow`].  For the nonce exponentiations of Paillier /
+/// Damgård–Jurik (same base `H`, thousands of random exponents) that is roughly a
+/// 5× operation-count reduction once the one-time table build (15 multiplications
+/// per row) is amortised.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixedBaseTable {
+    /// `rows[i][d - 1] = base^(d · 2^(4i))` in Montgomery form, `d = 1..=15`.
+    rows: Vec<Vec<Vec<u64>>>,
+    /// Largest exponent bit-length the rows cover.
+    max_bits: u64,
+}
+
+impl FixedBaseTable {
+    /// Largest exponent bit-length this table covers; longer exponents make
+    /// [`MontgomeryContext::fixed_base_modpow`] fall back to the generic window path.
+    pub fn max_bits(&self) -> u64 {
+        self.max_bits
+    }
+}
+
 /// Precomputed Montgomery parameters for one odd modulus.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MontgomeryContext {
@@ -320,6 +352,134 @@ impl MontgomeryContext {
         }
         self.mont_reduce(&acc)
     }
+
+    /// Build a [`FixedBaseTable`] of `base`'s powers covering exponents up to
+    /// `max_exponent_bits` bits.  One-time cost: 15 Montgomery multiplications plus one
+    /// advance multiplication per 4-bit window (`⌈max_exponent_bits / 4⌉` windows).
+    pub fn precompute_fixed_base(&self, base: &BigUint, max_exponent_bits: u64) -> FixedBaseTable {
+        let max_bits = max_exponent_bits.max(1);
+        let nwindows = max_bits.div_ceil(WINDOW_BITS);
+        let mut cur = self.to_mont(&(base % &self.modulus()));
+        let mut rows = Vec::with_capacity(nwindows as usize);
+        for _ in 0..nwindows {
+            // row = [cur¹, cur², …, cur¹⁵]
+            let mut row = Vec::with_capacity((1 << WINDOW_BITS) - 1);
+            row.push(cur.clone());
+            for d in 2..(1usize << WINDOW_BITS) {
+                let next = self.mont_mul(&row[d - 2], &cur);
+                row.push(next);
+            }
+            // Advance to the next window's unit: cur ← cur¹⁶ = cur¹⁵ · cur.
+            cur = self.mont_mul(row.last().expect("nonempty row"), &cur);
+            rows.push(row);
+        }
+        FixedBaseTable { rows, max_bits }
+    }
+
+    /// `base ^ exponent mod n` using a [`FixedBaseTable`] built for `base` by
+    /// [`Self::precompute_fixed_base`]: one Montgomery multiplication per nonzero 4-bit
+    /// window of the exponent, no squarings.  Exponents longer than the table's
+    /// coverage fall back to the generic window path so the result is always correct.
+    /// Agrees bit-for-bit with [`crate::BigUint::modpow_naive`] on the table's base.
+    pub fn fixed_base_modpow(&self, table: &FixedBaseTable, exponent: &BigUint) -> BigUint {
+        if exponent.bits() > table.max_bits {
+            // Out of table coverage: reconstruct the base (row 0, digit 1) and take the
+            // generic path.  Cold by construction — callers size tables to their draws.
+            let base = self.mont_reduce(&table.rows[0][0]);
+            return self.modpow(&base, exponent);
+        }
+        if exponent.is_zero() {
+            return BigUint::one() % &self.modulus();
+        }
+        let mut acc: Option<Vec<u64>> = None;
+        let nbits = exponent.bits();
+        let nwindows = nbits.div_ceil(WINDOW_BITS);
+        for w in 0..nwindows {
+            let mut digit = 0usize;
+            for bit in (0..WINDOW_BITS).rev() {
+                let pos = w * WINDOW_BITS + bit;
+                digit <<= 1;
+                if pos < nbits && exponent.bit(pos) {
+                    digit |= 1;
+                }
+            }
+            if digit != 0 {
+                let entry = &table.rows[w as usize][digit - 1];
+                acc = Some(match acc {
+                    Some(acc) => self.mont_mul(&acc, entry),
+                    None => entry.clone(),
+                });
+            }
+        }
+        match acc {
+            Some(acc) => self.mont_reduce(&acc),
+            None => BigUint::one() % &self.modulus(),
+        }
+    }
+
+    /// Joint exponentiation `b1^e1 · b2^e2 mod n` by Strauss–Shamir interleaving: one
+    /// shared squaring chain over `max(bits(e1), bits(e2))` bits and a 16-entry
+    /// `b1^i·b2^j` table (2-bit windows per base), roughly halving the work of two
+    /// separate [`Self::modpow`] calls.  Agrees bit-for-bit with
+    /// [`crate::BigUint::multi_modpow_naive`].
+    pub fn multi_modpow(&self, b1: &BigUint, e1: &BigUint, b2: &BigUint, e2: &BigUint) -> BigUint {
+        let modulus = self.modulus();
+        if e1.is_zero() && e2.is_zero() {
+            return BigUint::one() % &modulus;
+        }
+        let b1m = self.to_mont(&(b1 % &modulus));
+        let b2m = self.to_mont(&(b2 % &modulus));
+
+        // table[(i << 2) | j] = b1^i · b2^j in Montgomery form, i, j = 0..4.
+        let side = 1usize << MULTI_WINDOW_BITS;
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(side * side);
+        for i in 0..side {
+            for j in 0..side {
+                let entry = match (i, j) {
+                    (0, 0) => self.one_mont.clone(),
+                    (0, 1) => b2m.clone(),
+                    (1, 0) => b1m.clone(),
+                    (_, 0) => self.mont_mul(&table[(i - 1) << MULTI_WINDOW_BITS], &b1m),
+                    _ => self.mont_mul(&table[(i << MULTI_WINDOW_BITS as usize) | (j - 1)], &b2m),
+                };
+                table.push(entry);
+            }
+        }
+
+        let nbits = e1.bits().max(e2.bits());
+        let nwindows = nbits.div_ceil(MULTI_WINDOW_BITS);
+        let mut acc = self.one_mont.clone();
+        let mut started = false;
+        for w in (0..nwindows).rev() {
+            if started {
+                for _ in 0..MULTI_WINDOW_BITS {
+                    acc = self.mont_sqr(&acc);
+                }
+            }
+            let mut w1 = 0usize;
+            let mut w2 = 0usize;
+            for bit in (0..MULTI_WINDOW_BITS).rev() {
+                let pos = w * MULTI_WINDOW_BITS + bit;
+                w1 <<= 1;
+                w2 <<= 1;
+                if pos < nbits && e1.bit(pos) {
+                    w1 |= 1;
+                }
+                if pos < nbits && e2.bit(pos) {
+                    w2 |= 1;
+                }
+            }
+            let idx = (w1 << MULTI_WINDOW_BITS as usize) | w2;
+            if idx != 0 {
+                acc = self.mont_mul(&acc, &table[idx]);
+                started = true;
+            }
+        }
+        if !started {
+            return BigUint::one() % &modulus;
+        }
+        self.mont_reduce(&acc)
+    }
 }
 
 #[cfg(test)]
@@ -378,5 +538,76 @@ mod tests {
             let exp = &p - BigUint::one();
             assert_eq!(ctx.modpow(&base, &exp), base.modpow_naive(&exp, &p));
         }
+    }
+
+    #[test]
+    fn fixed_base_table_matches_naive() {
+        let p = (BigUint::one() << 127u32) - BigUint::one();
+        let ctx = MontgomeryContext::new(&p).unwrap();
+        let base = b(0xDEAD_BEEF_1234_5678);
+        let table = ctx.precompute_fixed_base(&base, 128);
+        assert_eq!(table.max_bits(), 128);
+        for exp in [0u128, 1, 2, 15, 16, 17, 255, 1 << 64, u128::MAX - 3] {
+            let exp = b(exp);
+            assert_eq!(
+                ctx.fixed_base_modpow(&table, &exp),
+                base.modpow_naive(&exp, &p),
+                "exp = {exp:?}"
+            );
+        }
+        // Sparse exponent: only zero windows except one high digit.
+        let sparse = BigUint::one() << 120u32;
+        assert_eq!(ctx.fixed_base_modpow(&table, &sparse), base.modpow_naive(&sparse, &p));
+    }
+
+    #[test]
+    fn fixed_base_table_falls_back_past_coverage() {
+        let p = b(1_000_000_007);
+        let ctx = MontgomeryContext::new(&p).unwrap();
+        let base = b(123_456_789);
+        let table = ctx.precompute_fixed_base(&base, 16);
+        // A 40-bit exponent exceeds the 16-bit table; the fallback must still agree.
+        let exp = b(0xAB_CDEF_0123);
+        assert_eq!(ctx.fixed_base_modpow(&table, &exp), base.modpow_naive(&exp, &p));
+    }
+
+    #[test]
+    fn multi_modpow_matches_naive() {
+        let p = (BigUint::one() << 127u32) - BigUint::one();
+        let ctx = MontgomeryContext::new(&p).unwrap();
+        let b1 = b(987_654_321_123);
+        let b2 = b(0xFEED_FACE_CAFE);
+        for (e1, e2) in [
+            (0u128, 0u128),
+            (0, 5),
+            (5, 0),
+            (1, 1),
+            (3, 200),
+            (u128::MAX - 1, 17),
+            (1 << 100, (1 << 90) + 3),
+        ] {
+            let (e1, e2) = (b(e1), b(e2));
+            assert_eq!(
+                ctx.multi_modpow(&b1, &e1, &b2, &e2),
+                b1.multi_modpow_naive(&e1, &b2, &e2, &p),
+                "e1 = {e1:?}, e2 = {e2:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_modpow_biguint_wrapper_handles_even_modulus() {
+        let even = b(1 << 20);
+        let (b1, b2) = (b(123_457), b(76_543));
+        let (e1, e2) = (b(12_345), b(67_891));
+        assert_eq!(
+            b1.multi_modpow(&e1, &b2, &e2, &even),
+            b1.multi_modpow_naive(&e1, &b2, &e2, &even)
+        );
+        let odd = b(1_000_000_007);
+        assert_eq!(
+            b1.multi_modpow(&e1, &b2, &e2, &odd),
+            b1.multi_modpow_naive(&e1, &b2, &e2, &odd)
+        );
     }
 }
