@@ -17,7 +17,11 @@
 //! workspace root, asserting the ≥3× aggregate-throughput criterion at 8 sessions.
 //! The sweep also records a `tcp-loopback` column — the same workload over real
 //! sockets to a loopback `TcpCloudServer` — and asserts its aggregate q/s stays
-//! within a 5× sanity bound of the multiplex ideal-link rows in both directions.
+//! within a 5× sanity bound of the multiplex ideal-link rows in both directions,
+//! plus a `tcp-faults-*` column pricing fault-tolerant serving: q/s and p99 query
+//! latency at 0% / 1% / 5% injected connection drops, retry and resumption riding
+//! out every fault (`tests/chaos_soak.rs` proves those runs byte-identical; the
+//! bench prices them).
 //!
 //! A second sweep (`intra-*` rows) measures **intra-query** parallelism: one session,
 //! one query, 1/2/4/8 `SECTOPK_INTRA_PARALLEL`-style workers threading S2's
@@ -34,7 +38,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use sectopk_core::{DataOwner, Outsourced, Query, Session, VariantChoice};
+use sectopk_core::{DataOwner, FaultPlan, Outsourced, Query, RetryPolicy, Session, VariantChoice};
 use sectopk_crypto::pool::shard_seed;
 use sectopk_datasets::{fig3_relation, QueryWorkload, WorkloadSpec};
 use sectopk_protocols::{LinkProfile, MultiplexServer, TcpCloudServer, TcpServerConfig};
@@ -67,7 +71,9 @@ struct ThroughputPoint {
     wall_seconds: f64,
     qps: f64,
     /// Aggregate-throughput speedup over the 1-session run of the same link profile
-    /// (for `intra-*` rows: single-query speedup over the 1-worker run).
+    /// (for `intra-*` rows: single-query speedup over the 1-worker run; for
+    /// `tcp-faults-*` rows: throughput relative to the fault-free control row, so a
+    /// value below 1 is the price of the injected faults).
     speedup_vs_one_session: f64,
     /// Cores available on the recording host — ideal-link scaling (and whether the
     /// intra-query ≥2× assertion was armed) depends on it.
@@ -78,6 +84,13 @@ struct ThroughputPoint {
     planned_variants: Vec<VariantCount>,
     /// Failed queries across all sessions (serving continues past failures).
     errors: usize,
+    /// For the `tcp-faults-*` rows: the injected fault period (a connection is severed
+    /// after every Nth frame send; `0` = fault-free control row).  `null` elsewhere.
+    fault_drop_every: Option<u64>,
+    /// For the `tcp-faults-*` rows: p99 per-query latency in seconds — the tail cost
+    /// of riding out reconnect-resume-resend under the injected fault rate.  `null`
+    /// elsewhere.
+    p99_seconds: Option<f64>,
 }
 
 fn available_cores() -> usize {
@@ -126,6 +139,8 @@ fn measure(
             .map(|(variant, p, queries)| VariantCount { variant, p, queries })
             .collect(),
         errors: report.error_count(),
+        fault_drop_every: None,
+        p99_seconds: None,
     }
 }
 
@@ -171,6 +186,8 @@ fn measure_intra(
             .map(|(variant, p, queries)| VariantCount { variant, p, queries })
             .collect(),
         errors: report.error_count(),
+        fault_drop_every: None,
+        p99_seconds: None,
     }
 }
 
@@ -268,6 +285,69 @@ fn measure_tcp(
         bytes_total: tallies.iter().map(|t| t.bytes).sum(),
         planned_variants,
         errors: tallies.iter().map(|t| t.errors).sum(),
+        fault_drop_every: None,
+        p99_seconds: None,
+    }
+}
+
+/// Serve the workload through [`QueryServer::serve_tcp`] — real loopback sockets with
+/// session resumption and a patient [`RetryPolicy`] — while a deterministic
+/// [`FaultPlan`] severs each session's connection after every `drop_every`th frame
+/// send (`0` = fault-free control).  Records aggregate q/s plus the p99 per-query
+/// latency: the throughput and tail cost of riding out reconnect-resume-resend at the
+/// injected fault rate.  `tests/chaos_soak.rs` proves these runs are byte-identical to
+/// fault-free serving; this row prices them.
+fn measure_tcp_faults(
+    owner: &DataOwner,
+    outsourced: &Outsourced,
+    workload: &QueryWorkload,
+    sessions: usize,
+    drop_every: u64,
+    fault_free_qps: Option<f64>,
+) -> ThroughputPoint {
+    let server = QueryServer::new(owner.keys(), outsourced.clone(), sessions);
+    let retry = RetryPolicy {
+        attempts: 12,
+        backoff: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(20),
+        deadline: Duration::from_secs(120),
+    };
+    let mut config =
+        ServeConfig::new(sessions, 0xBEA7).with_variant(VariantChoice::Auto).with_retry(retry);
+    if drop_every > 0 {
+        config = config.with_faults(FaultPlan::none().with_drop_after_send_every(drop_every));
+    }
+    let report = server.serve_tcp(workload, &config).expect("fault-injected TCP serve");
+    let qps = report.throughput_qps();
+    let mut latencies: Vec<f64> = report
+        .sessions
+        .iter()
+        .flat_map(|s| s.outcomes.iter().map(|o| o.stats.total_seconds))
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p99 =
+        latencies.get(((latencies.len() as f64 * 0.99).ceil() as usize).saturating_sub(1)).copied();
+    let drop_pct = if drop_every == 0 { 0.0 } else { 100.0 / drop_every as f64 };
+    ThroughputPoint {
+        link: format!("tcp-faults-{drop_pct}pct"),
+        sessions,
+        s2_workers: sessions,
+        queries: report.queries,
+        rtt_ms: 0,
+        wall_seconds: report.wall_seconds,
+        qps,
+        speedup_vs_one_session: fault_free_qps.map_or(1.0, |base| qps / base),
+        cores: available_cores(),
+        rounds_total: report.sessions.iter().map(|s| s.metrics.rounds).sum(),
+        bytes_total: report.sessions.iter().map(|s| s.metrics.bytes).sum(),
+        planned_variants: report
+            .variant_histogram()
+            .into_iter()
+            .map(|(variant, p, queries)| VariantCount { variant, p, queries })
+            .collect(),
+        errors: report.error_count(),
+        fault_drop_every: Some(drop_every),
+        p99_seconds: p99,
     }
 }
 
@@ -309,6 +389,50 @@ fn record_throughput_baseline() {
         );
         results.push(point.clone());
     }
+    // The fault-tolerance column: the same workload through `serve_tcp` with retry and
+    // resumption enabled, at 0% / 1% / 5% injected connection drops (a drop after
+    // every 100th / 20th frame send).  Every row must come back clean — the retry
+    // layer, not the caller, absorbs the faults — and p99 prices the recovery tail.
+    println!("\nFault-tolerant TCP serving, 4 sessions, retry + resumption enabled:");
+    println!(
+        "{:>16} {:>7} {:>9} {:>9} {:>10} {:>9}",
+        "link", "drop", "wall(s)", "q/s", "p99(ms)", "vs 0%"
+    );
+    let mut fault_free_qps = None;
+    for &drop_every in &[0u64, 100, 20] {
+        let point =
+            measure_tcp_faults(&owner, &outsourced, &workload, 4, drop_every, fault_free_qps);
+        if drop_every == 0 {
+            fault_free_qps = Some(point.qps);
+        }
+        assert_eq!(
+            point.errors, 0,
+            "every injected fault must be absorbed by retry (drop_every={drop_every})"
+        );
+        println!(
+            "{:>16} {:>6}% {:>9.3} {:>9.2} {:>10.2} {:>8.2}x",
+            point.link,
+            if drop_every == 0 { 0.0 } else { 100.0 / drop_every as f64 },
+            point.wall_seconds,
+            point.qps,
+            point.p99_seconds.unwrap_or(0.0) * 1e3,
+            point.speedup_vs_one_session,
+        );
+        results.push(point.clone());
+    }
+    // A loose floor: on loopback, riding out a 5% drop rate costs reconnects and
+    // millisecond backoffs, not order-of-magnitude collapse.  A steeper fall means the
+    // retry path is rebuilding more than the severed connection.
+    let worst = results
+        .iter()
+        .filter(|p| p.fault_drop_every.is_some_and(|d| d > 0))
+        .map(|p| p.speedup_vs_one_session)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        worst >= 0.05,
+        "faulted serving fell more than 20x below the fault-free control ({worst:.3}x)"
+    );
+
     // Intra-query parallelism: one session, ONE query, sweeping the worker count that
     // threads S2's parallel-compute/serial-commit pipeline and S1's client loops.
     let single = QueryWorkload { queries: vec![workload.queries[0].clone()] };

@@ -53,6 +53,15 @@ impl SecTopKError {
     pub fn is_remote(&self) -> bool {
         matches!(self, SecTopKError::Protocol(p) if p.is_remote())
     }
+
+    /// True when the failure is transient — a dead connection, a timeout, or a request
+    /// shed under load — so retrying the same query (after the transport reconnects or
+    /// the load subsides) can succeed.  Invalid queries, crypto failures and protocol
+    /// violations are permanent: see
+    /// [`ProtocolError::is_retryable`] for the underlying classification.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SecTopKError::Protocol(p) if p.is_retryable())
+    }
 }
 
 impl fmt::Display for SecTopKError {
@@ -119,6 +128,14 @@ mod tests {
 
         let transport: SecTopKError = ProtocolError::transport("gone").into();
         assert!(!transport.is_remote());
+
+        // Transience follows the protocol layer's typed classification.
+        let dead: SecTopKError = ProtocolError::transport_io("socket reset").into();
+        assert!(dead.is_transient());
+        let shed: SecTopKError = ProtocolError::Remote(WireError::overloaded("full")).into();
+        assert!(shed.is_transient());
+        assert!(!transport.is_transient(), "protocol violations are permanent");
+        assert!(!q.is_transient(), "invalid queries are permanent");
 
         assert!(SecTopKError::malformed("token/relation mismatch")
             .to_string()

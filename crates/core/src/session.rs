@@ -23,7 +23,7 @@ use rand::{CryptoRng, RngCore, SeedableRng};
 
 use sectopk_crypto::keys::MasterKeys;
 use sectopk_protocols::{
-    ChannelMetrics, LeakageLedger, LinkProfile, TcpOptions, TransportKind, TwoClouds,
+    ChannelMetrics, LeakageLedger, LinkProfile, RetryPolicy, TcpOptions, TransportKind, TwoClouds,
 };
 use sectopk_storage::{encrypt_relation, EncryptedRelation, EncryptionStats, ObjectId, Relation};
 
@@ -339,12 +339,23 @@ impl DataOwner {
 pub struct RemoteSession {
     inner: DirectSession,
     addr: String,
+    retry: RetryPolicy,
 }
 
 impl RemoteSession {
     /// The `host:port` address of the S2 process this session is connected to.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// The transparent-retry budget this session's transport runs under: how it
+    /// reconnects, resumes its server-side session and re-sends the unacknowledged
+    /// exchange after a transient failure.  [`RetryPolicy::none`] (the default) fails
+    /// fast; failures that outlive the budget surface as transient
+    /// [`SecTopKError`](crate::SecTopKError)s — see
+    /// [`SecTopKError::is_transient`](crate::SecTopKError::is_transient).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The underlying two-cloud context — the protocol-level escape hatch the
@@ -425,9 +436,10 @@ impl DataOwner {
         batching: bool,
         options: TcpOptions,
     ) -> Result<RemoteSession> {
+        let retry = options.retry;
         let clouds = TwoClouds::connect_tcp(self.keys(), seed, batching, addr, options)?;
         let inner = DirectSession::new(clouds, outsourced.clone(), self.keys().clone(), seed);
-        Ok(RemoteSession { inner, addr: addr.to_string() })
+        Ok(RemoteSession { inner, addr: addr.to_string(), retry })
     }
 }
 

@@ -59,16 +59,19 @@ pub use channel::{ChannelMetrics, Direction};
 pub use context::{S1State, TwoClouds};
 pub use dedup::EncryptedBlinding;
 pub use engine::{intra_workers_from_env, EngineProvision, EngineResult, S2Engine};
-pub use error::{ProtocolError, Result};
+pub use error::{ProtocolError, Result, TransportError, TransportErrorKind};
 pub use items::{
     rand_blind, rand_unblind, rerandomize_item, rerandomize_item_pooled, ItemBlinding, ScoredItem,
 };
 pub use join::{EncryptedTuple, JoinSpec, JoinedTuple};
 pub use ledger::{LeakageEvent, LeakageLedger};
-pub use multiplex::{Envelope, LinkProfile, MultiplexServer, MultiplexTransport, SessionId};
+pub use multiplex::{
+    Envelope, LinkProfile, MultiplexServer, MultiplexTransport, PoolLimits, SessionId,
+};
 pub use primitives::EqBatch;
 pub use tcp::{
-    TcpCloudServer, TcpOptions, TcpServerConfig, TcpTransport, MAX_FRAME_LEN, TCP_PROTOCOL_VERSION,
+    FaultPlan, RetryPolicy, TcpCloudServer, TcpOptions, TcpServerConfig, TcpTransport,
+    MAX_FRAME_LEN, TCP_PROTOCOL_VERSION,
 };
 pub use transport::{
     ChannelTransport, InProcessTransport, S1Request, S2Response, Transport, TransportKind,

@@ -58,9 +58,44 @@
 //! Under a latency-bound link, session multiplexing is what buys aggregate throughput:
 //! while one session waits out its RTT, the worker pool serves the others.  The
 //! `throughput` bench sweeps exactly this.
+//!
+//! # Fault tolerance: the session slot lifecycle
+//!
+//! A session's engine state (ledger, nonce shards, pending equality bits) must survive
+//! the *connection* that carries its envelopes — the TCP listener parks a dropped
+//! connection's slot and a resuming client reattaches to it:
+//!
+//! ```text
+//!              attach()                    connection drops
+//!   (free) ──────────────▶ ACTIVE ─────────────────────────────▶ PARKED
+//!                            ▲                                   │    │
+//!                            │            reattach()             │    │ TTL expires /
+//!                            └───────────────────────────────────┘    │ drain
+//!                                    (RESUMED: same slot,             ▼
+//!                                     fresh reply channel)         EXPIRED
+//!                                                              (DISCONNECT reaps
+//!                                                               the slot; id free)
+//! ```
+//!
+//! Exactly-once across the drop is guaranteed by a per-slot **last-reply cache**: every
+//! request reply is remembered under its sequence number, and a retried `seq` (the
+//! resumed client re-sending the envelope it never saw answered) is served from the
+//! cache *without re-executing* — the engine's ledger and nonce streams advance exactly
+//! once no matter how many times the frame is delivered.  The strict one-in-flight
+//! discipline means a one-deep cache suffices.
+//!
+//! # Admission control
+//!
+//! [`PoolLimits`] bounds the pool: `max_sessions` caps the registry, and
+//! `session_queue_depth` bounds each session's share of the shared inbox.  Work beyond
+//! either bound is *shed* — rejected with a typed
+//! [`WireErrorCode::Overloaded`](crate::wire::WireErrorCode) frame before touching any
+//! engine state — so overload degrades into clean, retryable refusals instead of
+//! unbounded queueing.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -160,11 +195,81 @@ impl LinkProfile {
 /// a worker facing a stalled session blocks instead of buffering replies without limit.
 const REPLY_QUEUE_DEPTH: usize = 2;
 
+/// Default per-session inbox bound (see [`PoolLimits::session_queue_depth`]): one
+/// in-flight request, one duplicate from a resumed client's retry, plus slack for
+/// control traffic.
+const DEFAULT_SESSION_QUEUE_DEPTH: usize = 4;
+
+/// Admission-control bounds of a [`MultiplexServer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolLimits {
+    /// Maximum number of simultaneously registered sessions (attachment beyond this is
+    /// shed with a typed overload rejection).
+    pub max_sessions: usize,
+    /// Maximum envelopes one session may have waiting in the shared
+    /// inbox; submissions beyond it are shed with a
+    /// [`WireErrorCode::Overloaded`](crate::wire::WireErrorCode) error frame instead of
+    /// queueing without bound.
+    pub session_queue_depth: usize,
+}
+
+impl Default for PoolLimits {
+    fn default() -> Self {
+        PoolLimits { max_sessions: usize::MAX, session_queue_depth: DEFAULT_SESSION_QUEUE_DEPTH }
+    }
+}
+
+/// Pool-wide fault-tolerance counters (monotonic, observability only — never part of
+/// the protocol state).
+#[derive(Debug, Default)]
+struct PoolStats {
+    /// Replies served from a session's last-reply cache instead of re-execution.
+    replayed: AtomicU64,
+    /// Submissions shed because a session exceeded its inbox bound.
+    shed: AtomicU64,
+}
+
 /// Per-session server-side state: the session's own engine (ledger, RNG, pool shards,
-/// accumulated equality bits) and the bounded channel its replies travel back on.
+/// accumulated equality bits), the bounded channel its replies travel back on, the
+/// count of submitted-but-not-yet-picked-up envelopes, and the last-reply cache that
+/// makes
+/// retried sequence numbers idempotent.
 struct SessionSlot {
+    /// Unique per *attachment* (not per session id): every inbox message is tagged
+    /// with the epoch of the slot it was submitted through, and a worker drops
+    /// messages whose epoch disagrees with the registered slot's.  Without this, a
+    /// duplicate envelope lingering in the shared inbox past a session's teardown —
+    /// e.g. a resumed client's re-send whose original was still queued — could be
+    /// routed to a *new* session that re-attached under the same id, executing on the
+    /// wrong engine and corrupting its inflight accounting.
+    epoch: u64,
     engine: Mutex<S2Engine>,
-    replies: mpsc::SyncSender<Vec<u8>>,
+    /// Swapped by [`MultiplexServer::reattach`] when a resumed connection takes over
+    /// the session — the engine and cache survive, only the reply path changes.
+    replies: Mutex<mpsc::SyncSender<Vec<u8>>>,
+    /// Envelopes submitted through [`SessionConduit::submit`] and not yet answered.
+    inflight: AtomicUsize,
+    /// `(seq, encoded reply envelope)` of the most recent request reply.  A re-sent
+    /// `seq` is answered from here without touching the engine (exactly-once effects).
+    last_reply: Mutex<Option<(u64, Vec<u8>)>>,
+}
+
+impl SessionSlot {
+    /// Send `bytes` down the session's *current* reply channel (best effort: a send
+    /// failure means the session's client hung up and the reply is dropped).
+    fn send_reply(&self, bytes: Vec<u8>) {
+        let replies = self.replies.lock().expect("session reply sender poisoned").clone();
+        let _ = replies.send(bytes);
+    }
+}
+
+/// Why a submission was refused by [`SessionConduit::submit`].
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum SubmitError {
+    /// The session already has `session_queue_depth` envelopes waiting in the inbox.
+    QueueFull,
+    /// The server (and its inbox) is gone.
+    ServerGone,
 }
 
 /// Raw channel endpoints of one registered session: the shared server inbox plus the
@@ -174,6 +279,42 @@ struct SessionSlot {
 pub(crate) struct SessionConduit {
     pub(crate) to_server: mpsc::Sender<Vec<u8>>,
     pub(crate) from_server: mpsc::Receiver<Vec<u8>>,
+    slot: Arc<SessionSlot>,
+    queue_depth: usize,
+    stats: Arc<PoolStats>,
+}
+
+impl SessionConduit {
+    /// Submit one encoded envelope, enforcing the session's inbox bound.  DISCONNECT
+    /// frames must go through [`SessionConduit::disconnect`] instead — teardown is
+    /// never shed.
+    pub(crate) fn submit(&self, bytes: Vec<u8>) -> std::result::Result<(), SubmitError> {
+        let previous = self.slot.inflight.fetch_add(1, Ordering::SeqCst);
+        if previous >= self.queue_depth {
+            self.slot.inflight.fetch_sub(1, Ordering::SeqCst);
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull);
+        }
+        self.to_server.send(tag_epoch(self.slot.epoch, &bytes)).map_err(|_| {
+            self.slot.inflight.fetch_sub(1, Ordering::SeqCst);
+            SubmitError::ServerGone
+        })
+    }
+
+    /// Submit a teardown envelope, bypassing the inbox bound (reaping a session frees
+    /// capacity and must never be refused for lack of it).
+    pub(crate) fn disconnect(&self, bytes: Vec<u8>) -> std::result::Result<(), SubmitError> {
+        self.to_server.send(tag_epoch(self.slot.epoch, &bytes)).map_err(|_| SubmitError::ServerGone)
+    }
+}
+
+/// Prefix an encoded envelope with the epoch of the slot it is being submitted
+/// through; [`worker_loop`] strips and checks it (see [`SessionSlot::epoch`]).
+fn tag_epoch(epoch: u64, bytes: &[u8]) -> Vec<u8> {
+    let mut tagged = Vec::with_capacity(8 + bytes.len());
+    tagged.extend_from_slice(&epoch.to_le_bytes());
+    tagged.extend_from_slice(bytes);
+    tagged
 }
 
 type Registry = Arc<Mutex<HashMap<SessionId, Arc<SessionSlot>>>>;
@@ -184,6 +325,10 @@ pub struct MultiplexServer {
     inbox: mpsc::Sender<Vec<u8>>,
     registry: Registry,
     workers: Vec<JoinHandle<()>>,
+    limits: PoolLimits,
+    stats: Arc<PoolStats>,
+    /// Source of [`SessionSlot::epoch`] values; each attachment gets a fresh one.
+    epochs: AtomicU64,
 }
 
 impl fmt::Debug for MultiplexServer {
@@ -195,24 +340,61 @@ impl fmt::Debug for MultiplexServer {
     }
 }
 
+/// Why [`MultiplexServer::attach`] refused a session (the engine is handed back so the
+/// caller can retry without rebuilding it).
+#[derive(Debug)]
+pub(crate) struct AttachError {
+    pub(crate) engine: S2Engine,
+    pub(crate) reason: AttachReason,
+}
+
+/// Refusal class of an [`AttachError`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AttachReason {
+    /// The session id is already registered.
+    InUse,
+    /// The session table is at [`PoolLimits::max_sessions`] — a transient overload.
+    Full,
+}
+
 impl MultiplexServer {
-    /// Spawn a server with `workers` S2 worker threads (at least one).
+    /// Spawn a server with `workers` S2 worker threads (at least one) and no admission
+    /// bounds beyond the [`PoolLimits`] defaults.
     pub fn new(workers: usize) -> Self {
+        Self::with_limits(workers, PoolLimits::default())
+    }
+
+    /// Spawn a server with `workers` S2 worker threads (at least one) and explicit
+    /// admission-control bounds.
+    pub fn with_limits(workers: usize, limits: PoolLimits) -> Self {
         let workers = workers.max(1);
+        let limits = PoolLimits {
+            max_sessions: limits.max_sessions.max(1),
+            session_queue_depth: limits.session_queue_depth.max(1),
+        };
         let (inbox, rx) = mpsc::channel::<Vec<u8>>();
         let shared_rx = Arc::new(Mutex::new(rx));
         let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+        let stats = Arc::new(PoolStats::default());
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&shared_rx);
                 let registry = Arc::clone(&registry);
+                let stats = Arc::clone(&stats);
                 std::thread::Builder::new()
                     .name(format!("sectopk-s2-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &registry))
+                    .spawn(move || worker_loop(&rx, &registry, &stats))
                     .expect("spawn S2 worker thread")
             })
             .collect();
-        MultiplexServer { inbox, registry, workers: handles }
+        MultiplexServer {
+            inbox,
+            registry,
+            workers: handles,
+            limits,
+            stats,
+            epochs: AtomicU64::new(0),
+        }
     }
 
     /// Number of worker threads in the pool.
@@ -225,39 +407,70 @@ impl MultiplexServer {
         self.registry.lock().expect("session registry poisoned").len()
     }
 
+    /// The admission-control bounds this pool runs under.
+    pub fn limits(&self) -> PoolLimits {
+        self.limits
+    }
+
+    /// Replies served from a session's last-reply cache instead of re-executing the
+    /// request — each one is a retry made idempotent.
+    pub fn replayed_replies(&self) -> u64 {
+        self.stats.replayed.load(Ordering::Relaxed)
+    }
+
+    /// Submissions shed because a session exceeded its inbox bound.
+    pub fn shed_requests(&self) -> u64 {
+        self.stats.shed.load(Ordering::Relaxed)
+    }
+
     /// Register `session` backed by `engine` and hand back the S1-side transport for
     /// it.  The engine carries the session's seed (and thereby its deterministic pool
     /// shards); build it with [`sectopk_crypto::pool::shard_seed`]-derived seeds when
-    /// serving many sessions from one base seed.  Fails if the id is already connected.
+    /// serving many sessions from one base seed.  Fails if the id is already connected
+    /// or the session table is full.
     pub fn connect(
         &self,
         session: SessionId,
         engine: S2Engine,
         link: LinkProfile,
     ) -> Result<MultiplexTransport> {
-        let conduit = self
-            .attach(session, engine)
-            .map_err(|_| ProtocolError::transport(format!("{session} is already connected")))?;
+        let conduit = self.attach(session, engine).map_err(|e| match e.reason {
+            AttachReason::InUse => {
+                ProtocolError::transport_rejected(format!("{session} is already connected"))
+            }
+            AttachReason::Full => ProtocolError::transport_overloaded(format!(
+                "session table full ({} sessions)",
+                self.limits.max_sessions
+            )),
+        })?;
         Ok(MultiplexTransport {
             session,
             seq: 0,
-            to_server: conduit.to_server,
-            from_server: conduit.from_server,
+            conduit,
             link,
             metrics: ChannelMetrics::new(),
             private_server: None,
         })
     }
 
-    /// The shared server inbox — the channel every envelope enters the pool through.
-    /// The TCP listener uses it to inject reaping disconnects for dead connections.
-    pub(crate) fn inbox(&self) -> &mpsc::Sender<Vec<u8>> {
-        &self.inbox
+    /// Drop `session`'s slot from the registry immediately — the TCP listener's
+    /// reaping path for dead or expired connections.  Safe to call only while no new
+    /// attachment of the same id can exist (which holds for every listener call site:
+    /// a fresh hello cannot claim an id while it is still registered).  A worker
+    /// mid-request on the slot finishes against its own `Arc` and drops the reply.
+    pub(crate) fn evict(&self, session: SessionId) {
+        self.registry.lock().expect("session registry poisoned").remove(&session);
+    }
+
+    /// Whether `session` is currently registered (active or parked — the pool does not
+    /// distinguish; parking is the TCP listener's bookkeeping).
+    pub(crate) fn has_session(&self, session: SessionId) -> bool {
+        self.registry.lock().expect("session registry poisoned").contains_key(&session)
     }
 
     /// Register `session` backed by `engine` and hand back the raw channel endpoints.
-    /// On an id collision the engine is handed back so the caller can retry under a
-    /// different id (the TCP listener's session negotiation does exactly that).
+    /// On refusal the engine is handed back so the caller can retry under a different
+    /// id (the TCP listener's session negotiation does exactly that).
     // The large Err *is* the point: the caller gets its engine back by value instead
     // of rebuilding it, and this is a cold, crate-internal path.
     #[allow(clippy::result_large_err)]
@@ -265,17 +478,67 @@ impl MultiplexServer {
         &self,
         session: SessionId,
         engine: S2Engine,
-    ) -> std::result::Result<SessionConduit, S2Engine> {
+    ) -> std::result::Result<SessionConduit, AttachError> {
         let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<u8>>(REPLY_QUEUE_DEPTH);
         let mut registry = self.registry.lock().expect("session registry poisoned");
         if registry.contains_key(&session) {
-            return Err(engine);
+            return Err(AttachError { engine, reason: AttachReason::InUse });
         }
-        registry.insert(
-            session,
-            Arc::new(SessionSlot { engine: Mutex::new(engine), replies: reply_tx }),
-        );
-        Ok(SessionConduit { to_server: self.inbox.clone(), from_server: reply_rx })
+        if registry.len() >= self.limits.max_sessions {
+            return Err(AttachError { engine, reason: AttachReason::Full });
+        }
+        let slot = Arc::new(SessionSlot {
+            epoch: 1 + self.epochs.fetch_add(1, Ordering::Relaxed),
+            engine: Mutex::new(engine),
+            replies: Mutex::new(reply_tx),
+            inflight: AtomicUsize::new(0),
+            last_reply: Mutex::new(None),
+        });
+        registry.insert(session, Arc::clone(&slot));
+        Ok(SessionConduit {
+            to_server: self.inbox.clone(),
+            from_server: reply_rx,
+            slot,
+            queue_depth: self.limits.session_queue_depth,
+            stats: Arc::clone(&self.stats),
+        })
+    }
+
+    /// Take over an existing (parked) session: swap in a fresh reply channel and hand
+    /// back conduit endpoints for the *same* slot — engine, ledger, nonce shards and
+    /// last-reply cache all survive.  Returns `None` when the session is not
+    /// registered (it was reaped, e.g. after its park TTL expired).
+    pub(crate) fn reattach(&self, session: SessionId) -> Option<SessionConduit> {
+        let registry = self.registry.lock().expect("session registry poisoned");
+        let slot = Arc::clone(registry.get(&session)?);
+        let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<u8>>(REPLY_QUEUE_DEPTH);
+        *slot.replies.lock().expect("session reply sender poisoned") = reply_tx;
+        Some(SessionConduit {
+            to_server: self.inbox.clone(),
+            from_server: reply_rx,
+            slot,
+            queue_depth: self.limits.session_queue_depth,
+            stats: Arc::clone(&self.stats),
+        })
+    }
+
+    /// Drop `session`'s cached last reply if the client has already acknowledged it
+    /// (`seq <= acked`): a resumed client that saw the reply will never re-send that
+    /// sequence number, so the cache can be freed early.
+    pub(crate) fn prune_replay(&self, session: SessionId, acked: u64) {
+        let slot = {
+            let registry = self.registry.lock().expect("session registry poisoned");
+            match registry.get(&session) {
+                Some(slot) => Arc::clone(slot),
+                None => return,
+            }
+        };
+        let mut cached = slot.last_reply.lock().expect("session reply cache poisoned");
+        if let Some((seq, _)) = cached.as_ref() {
+            if *seq <= acked {
+                *cached = None;
+            }
+        }
     }
 }
 
@@ -284,7 +547,7 @@ impl Drop for MultiplexServer {
         // One shutdown envelope per worker; each worker exits on the first it sees.
         for _ in 0..self.workers.len() {
             let shutdown = Envelope { session: SessionId(0), seq: 0, frame: vec![frame::SHUTDOWN] };
-            let _ = self.inbox.send(shutdown.encode());
+            let _ = self.inbox.send(tag_epoch(0, &shutdown.encode()));
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -296,14 +559,22 @@ impl Drop for MultiplexServer {
 }
 
 /// One S2 worker: drain the shared inbox, route each envelope to its session.
-fn worker_loop(rx: &Mutex<mpsc::Receiver<Vec<u8>>>, registry: &Registry) {
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Vec<u8>>>, registry: &Registry, stats: &PoolStats) {
     loop {
         // Hold the inbox lock only for the dequeue, not while processing.
         let incoming = match rx.lock().expect("server inbox poisoned").recv() {
             Ok(bytes) => bytes,
             Err(_) => return, // every transport and the server handle are gone
         };
-        let Ok(envelope) = Envelope::decode(&incoming) else {
+        // Every inbox message is `[8-byte LE slot epoch][encoded envelope]` (see
+        // `tag_epoch`); a message whose epoch disagrees with the registered slot is a
+        // leftover from a previous life of the session id and must be dropped, not
+        // routed — its inflight accounting belongs to the dead slot.
+        let Some((epoch_bytes, envelope_bytes)) = incoming.split_first_chunk::<8>() else {
+            continue;
+        };
+        let epoch = u64::from_le_bytes(*epoch_bytes);
+        let Ok(envelope) = Envelope::decode(envelope_bytes) else {
             continue; // undecodable channel noise: nothing to route a reply to
         };
         let Some((&tag, payload)) = envelope.frame.split_first() else {
@@ -315,7 +586,8 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Vec<u8>>>, registry: &Registry) {
         let slot = {
             let mut registry = registry.lock().expect("session registry poisoned");
             if tag == frame::DISCONNECT {
-                if let Some(slot) = registry.remove(&envelope.session) {
+                if registry.get(&envelope.session).is_some_and(|slot| slot.epoch == epoch) {
+                    let slot = registry.remove(&envelope.session).expect("entry just checked");
                     // Acknowledge so the departing client can block until its id is
                     // actually free for reuse.
                     let ack = Envelope {
@@ -323,37 +595,81 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Vec<u8>>>, registry: &Registry) {
                         seq: envelope.seq,
                         frame: vec![frame::DISCONNECT_DONE],
                     };
-                    let _ = slot.replies.send(ack.encode());
+                    slot.send_reply(ack.encode());
                 }
                 continue;
             }
             match registry.get(&envelope.session) {
-                Some(slot) => Arc::clone(slot),
-                None => continue, // unknown session (e.g. raced with a disconnect)
+                Some(slot) if slot.epoch == epoch => Arc::clone(slot),
+                // Unknown session or a stale epoch (raced with a disconnect, or a
+                // duplicate outliving its session's life): nothing to execute.
+                _ => continue,
             }
         };
+        // Release the inbox slot at pickup, not after the reply: `inflight` counts the
+        // session's share of the *queue*.  Releasing after reply delivery would let a
+        // compliant one-in-flight client be spuriously shed whenever worker decrements
+        // lag behind reply sends; releasing here keeps the shed bound precise — a
+        // session only hits it when its submissions genuinely outpace the pool (e.g.
+        // its replies back up and block the workers).
+        slot.inflight.fetch_sub(1, Ordering::SeqCst);
         let mut engine = slot.engine.lock().expect("session engine poisoned");
-        let reply_frame: Vec<u8> = match tag {
+        let reply_bytes: Vec<u8> = match tag {
             frame::REQUEST => {
-                let response = match wire::from_bytes::<S1Request>(payload) {
-                    Ok(request) => engine.handle(&request).unwrap_or_else(S2Response::Error),
-                    Err(e) => {
-                        S2Response::Error(WireError::codec(format!("undecodable request: {e}")))
+                // Replay check, under the engine lock so the cache and the execution
+                // serialize: a re-delivered sequence number (a resumed client
+                // re-sending the envelope it never saw answered, or a duplicate still
+                // in the inbox) is answered from the cache without touching the
+                // engine — ledger and nonce streams advance exactly once.
+                let mut cached = slot.last_reply.lock().expect("session reply cache poisoned");
+                if envelope.seq != 0 && matches!(&*cached, Some((seq, _)) if *seq == envelope.seq) {
+                    let (_, bytes) = cached.as_ref().expect("matched cache entry").clone();
+                    stats.replayed.fetch_add(1, Ordering::Relaxed);
+                    bytes
+                } else {
+                    let response = match wire::from_bytes::<S1Request>(payload) {
+                        Ok(request) => engine.handle(&request).unwrap_or_else(S2Response::Error),
+                        Err(e) => {
+                            S2Response::Error(WireError::codec(format!("undecodable request: {e}")))
+                        }
+                    };
+                    let reply = Envelope {
+                        session: envelope.session,
+                        seq: envelope.seq,
+                        frame: framed(frame::RESPONSE, &response),
                     }
-                };
-                framed(frame::RESPONSE, &response)
+                    .encode();
+                    if envelope.seq != 0 {
+                        *cached = Some((envelope.seq, reply.clone()));
+                    }
+                    reply
+                }
             }
-            frame::FETCH_LEDGER => framed(frame::LEDGER, engine.ledger()),
+            frame::FETCH_LEDGER => Envelope {
+                session: envelope.session,
+                seq: envelope.seq,
+                frame: framed(frame::LEDGER, engine.ledger()),
+            }
+            .encode(),
             frame::RESET => {
                 engine.reset();
-                vec![frame::RESET_DONE]
+                Envelope {
+                    session: envelope.session,
+                    seq: envelope.seq,
+                    frame: vec![frame::RESET_DONE],
+                }
+                .encode()
             }
-            _ => framed(frame::RESPONSE, &S2Response::Error(WireError::unknown_frame(tag))),
+            _ => Envelope {
+                session: envelope.session,
+                seq: envelope.seq,
+                frame: framed(frame::RESPONSE, &S2Response::Error(WireError::unknown_frame(tag))),
+            }
+            .encode(),
         };
         drop(engine);
-        let reply = Envelope { session: envelope.session, seq: envelope.seq, frame: reply_frame };
         // A send failure means the session's client hung up; drop the reply.
-        let _ = slot.replies.send(reply.encode());
+        slot.send_reply(reply_bytes);
     }
 }
 
@@ -362,8 +678,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Vec<u8>>>, registry: &Registry) {
 pub struct MultiplexTransport {
     session: SessionId,
     seq: u64,
-    to_server: mpsc::Sender<Vec<u8>>,
-    from_server: mpsc::Receiver<Vec<u8>>,
+    conduit: SessionConduit,
     link: LinkProfile,
     metrics: ChannelMetrics,
     /// When the transport was created through [`TransportKind::Multiplex`] rather than
@@ -413,16 +728,24 @@ impl MultiplexTransport {
         delay: Duration,
     ) -> Result<Envelope> {
         let envelope = Envelope { session: self.session, seq, frame: frame_bytes };
-        self.to_server
-            .send(envelope.encode())
-            .map_err(|_| ProtocolError::transport("multiplex server is gone"))?;
+        self.conduit.submit(envelope.encode()).map_err(|e| match e {
+            // A compliant client holds one request in flight, so its own submissions
+            // are only ever shed under a pathological queue-depth configuration; the
+            // typed overload error keeps even that case retryable.
+            SubmitError::QueueFull => ProtocolError::Remote(WireError::overloaded(format!(
+                "{} inbox full, request shed",
+                self.session
+            ))),
+            SubmitError::ServerGone => ProtocolError::transport_io("multiplex server is gone"),
+        })?;
         if !delay.is_zero() {
             std::thread::sleep(delay);
         }
         let incoming = self
+            .conduit
             .from_server
             .recv()
-            .map_err(|_| ProtocolError::transport("multiplex server hung up"))?;
+            .map_err(|_| ProtocolError::transport_io("multiplex server hung up"))?;
         let reply = Envelope::decode(&incoming)?;
         if reply.session != self.session || reply.seq != seq {
             return Err(ProtocolError::transport(format!(
@@ -502,10 +825,10 @@ impl Drop for MultiplexTransport {
     fn drop(&mut self) {
         let disconnect =
             Envelope { session: self.session, seq: self.seq + 1, frame: vec![frame::DISCONNECT] };
-        if self.to_server.send(disconnect.encode()).is_ok() {
+        if self.conduit.disconnect(disconnect.encode()).is_ok() {
             // Wait for the ack (or the channel closing) so the session id is free for
             // reuse the moment this drop returns; best effort if the server is gone.
-            let _ = self.from_server.recv();
+            let _ = self.conduit.from_server.recv();
         }
         // A private server (if any) drops afterwards, joining its worker.
     }
@@ -668,6 +991,135 @@ mod tests {
         // The single worker survived and still serves requests.
         let mut rng = StdRng::seed_from_u64(5);
         t.round_trip(compare_request(&master, 1, &mut rng)).unwrap();
+    }
+
+    #[test]
+    fn retried_sequence_is_replayed_from_cache_not_reexecuted() {
+        let master = master(31);
+        let server = MultiplexServer::new(1);
+        let conduit = server.attach(SessionId(6), engine_for(&master, 44)).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let request = compare_request(&master, 5, &mut rng);
+        let env =
+            Envelope { session: SessionId(6), seq: 1, frame: framed(frame::REQUEST, &request) };
+        conduit.submit(env.encode()).unwrap();
+        let first = conduit.from_server.recv().unwrap();
+        // Deliver the exact same envelope again, as a resumed client's retry would.
+        conduit.submit(env.encode()).unwrap();
+        let second = conduit.from_server.recv().unwrap();
+        assert_eq!(first, second, "replayed reply must be byte-identical");
+        assert_eq!(server.replayed_replies(), 1);
+        // The engine executed once: the session ledger holds exactly one sign event.
+        let ledger_env =
+            Envelope { session: SessionId(6), seq: 0, frame: vec![frame::FETCH_LEDGER] };
+        conduit.submit(ledger_env.encode()).unwrap();
+        let reply = Envelope::decode(&conduit.from_server.recv().unwrap()).unwrap();
+        let (tag, payload) = reply.frame.split_first().unwrap();
+        assert_eq!(*tag, frame::LEDGER);
+        let ledger: LeakageLedger = wire::from_bytes(payload).unwrap();
+        assert_eq!(ledger.len(), 1, "the compare must have executed exactly once");
+    }
+
+    #[test]
+    fn pruned_replay_cache_reexecutes_a_resent_sequence() {
+        // prune_replay models the client having ACKed the reply: the cache entry is
+        // freed and a (protocol-violating) re-send executes afresh.
+        let master = master(33);
+        let server = MultiplexServer::new(1);
+        let conduit = server.attach(SessionId(2), engine_for(&master, 11)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let request = compare_request(&master, -7, &mut rng);
+        let env =
+            Envelope { session: SessionId(2), seq: 1, frame: framed(frame::REQUEST, &request) };
+        conduit.submit(env.encode()).unwrap();
+        conduit.from_server.recv().unwrap();
+        server.prune_replay(SessionId(2), 1);
+        conduit.submit(env.encode()).unwrap();
+        conduit.from_server.recv().unwrap();
+        assert_eq!(server.replayed_replies(), 0, "pruned entry cannot replay");
+        // Pruning an unknown session is a no-op.
+        server.prune_replay(SessionId(99), 5);
+    }
+
+    #[test]
+    fn submissions_beyond_the_inbox_bound_are_shed() {
+        let master = master(32);
+        let server =
+            MultiplexServer::with_limits(1, PoolLimits { max_sessions: 8, session_queue_depth: 1 });
+        assert_eq!(server.limits().session_queue_depth, 1);
+        let conduit = server.attach(SessionId(1), engine_for(&master, 7)).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        // Submit without ever reading replies: once the bounded reply queue fills, the
+        // worker blocks mid-reply, the inbox stops draining, and the session's
+        // inflight count pins above the bound, so a later submission must be shed.
+        let mut shed = false;
+        for seq in 1..=10u64 {
+            let request = compare_request(&master, seq as i64, &mut rng);
+            let env =
+                Envelope { session: SessionId(1), seq, frame: framed(frame::REQUEST, &request) };
+            match conduit.submit(env.encode()) {
+                Ok(()) => {}
+                Err(SubmitError::QueueFull) => {
+                    shed = true;
+                    break;
+                }
+                Err(SubmitError::ServerGone) => panic!("server vanished"),
+            }
+        }
+        assert!(shed, "the inbox bound must shed before 10 unanswered submissions");
+        assert!(server.shed_requests() >= 1);
+    }
+
+    #[test]
+    fn session_table_full_is_a_typed_retryable_overload() {
+        use crate::error::TransportErrorKind;
+        let master = master(34);
+        let server =
+            MultiplexServer::with_limits(1, PoolLimits { max_sessions: 1, ..Default::default() });
+        let _a =
+            server.connect(SessionId(1), engine_for(&master, 1), LinkProfile::ideal()).unwrap();
+        let err =
+            server.connect(SessionId(2), engine_for(&master, 2), LinkProfile::ideal()).unwrap_err();
+        assert!(err.is_retryable(), "a full session table is transient");
+        assert!(
+            matches!(&err, ProtocolError::Transport(e) if e.kind == TransportErrorKind::Overloaded),
+            "unexpected error {err:?}"
+        );
+        // A duplicate id is permanent, not an overload.
+        let dup =
+            server.connect(SessionId(1), engine_for(&master, 3), LinkProfile::ideal()).unwrap_err();
+        assert!(!dup.is_retryable());
+    }
+
+    #[test]
+    fn reattach_preserves_engine_state_and_swaps_the_reply_channel() {
+        let master = master(35);
+        let server = MultiplexServer::new(1);
+        let conduit = server.attach(SessionId(9), engine_for(&master, 21)).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let first = compare_request(&master, 2, &mut rng);
+        let env = Envelope { session: SessionId(9), seq: 1, frame: framed(frame::REQUEST, &first) };
+        conduit.submit(env.encode()).unwrap();
+        conduit.from_server.recv().unwrap();
+
+        // The connection "drops" (conduit kept alive to model a dying bridge); a new
+        // conduit takes over the same slot.
+        let resumed = server.reattach(SessionId(9)).expect("session is registered");
+        let second = compare_request(&master, -3, &mut rng);
+        let env =
+            Envelope { session: SessionId(9), seq: 2, frame: framed(frame::REQUEST, &second) };
+        resumed.submit(env.encode()).unwrap();
+        resumed.from_server.recv().unwrap();
+
+        // Both requests landed in the same engine: the ledger saw both signs.
+        let ledger_env =
+            Envelope { session: SessionId(9), seq: 0, frame: vec![frame::FETCH_LEDGER] };
+        resumed.submit(ledger_env.encode()).unwrap();
+        let reply = Envelope::decode(&resumed.from_server.recv().unwrap()).unwrap();
+        let ledger: LeakageLedger = wire::from_bytes(&reply.frame[1..]).unwrap();
+        assert_eq!(ledger.len(), 2, "the resumed slot kept its ledger");
+
+        assert!(server.reattach(SessionId(99)).is_none(), "unknown sessions cannot reattach");
     }
 
     #[test]

@@ -48,9 +48,23 @@ pub enum WireErrorCode {
     /// A cryptographic operation failed while processing the request (corrupted
     /// ciphertext, wrong key, value out of range).
     Crypto,
+    /// The serving side shed the request under load (session inbox full, session
+    /// table full, or the server is draining).  Unlike every other code this one is
+    /// *transient*: the request was never executed and may safely be retried.
+    Overloaded,
 }
 
 impl WireErrorCode {
+    /// Every code, in declaration order — for exhaustive tests and log tooling.
+    pub const ALL: [WireErrorCode; 6] = [
+        WireErrorCode::MalformedRequest,
+        WireErrorCode::BadSequence,
+        WireErrorCode::Codec,
+        WireErrorCode::UnknownFrame,
+        WireErrorCode::Crypto,
+        WireErrorCode::Overloaded,
+    ];
+
     /// Stable lowercase name, used in `Display` and log output.
     pub fn name(self) -> &'static str {
         match self {
@@ -59,7 +73,14 @@ impl WireErrorCode {
             WireErrorCode::Codec => "codec",
             WireErrorCode::UnknownFrame => "unknown_frame",
             WireErrorCode::Crypto => "crypto",
+            WireErrorCode::Overloaded => "overloaded",
         }
+    }
+
+    /// True when a request failing with this code was *not* executed and may be
+    /// retried verbatim (currently only [`WireErrorCode::Overloaded`]).
+    pub fn is_retryable(self) -> bool {
+        matches!(self, WireErrorCode::Overloaded)
     }
 }
 
@@ -103,6 +124,16 @@ impl WireError {
     /// A frame with an unknown tag byte.
     pub fn unknown_frame(tag: u8) -> Self {
         Self::new(WireErrorCode::UnknownFrame, format!("unknown frame tag {tag}"))
+    }
+
+    /// A request shed under load before execution (safe to retry).
+    pub fn overloaded(message: impl Into<String>) -> Self {
+        Self::new(WireErrorCode::Overloaded, message)
+    }
+
+    /// True when the failed request was never executed and may be retried verbatim.
+    pub fn is_retryable(&self) -> bool {
+        self.code.is_retryable()
     }
 }
 
@@ -437,21 +468,18 @@ mod tests {
 
     #[test]
     fn wire_error_frames_round_trip_and_display() {
-        for code in [
-            WireErrorCode::MalformedRequest,
-            WireErrorCode::BadSequence,
-            WireErrorCode::Codec,
-            WireErrorCode::UnknownFrame,
-            WireErrorCode::Crypto,
-        ] {
+        for code in WireErrorCode::ALL {
             let e = WireError::new(code, "context");
             let back: WireError = from_bytes(&to_bytes(&e)).unwrap();
             assert_eq!(back, e);
             assert!(e.to_string().contains(code.name()));
+            // Only a shed request is safe to retry verbatim.
+            assert_eq!(e.is_retryable(), code == WireErrorCode::Overloaded);
         }
         let crypto: WireError = CryptoError::NotInvertible.into();
         assert_eq!(crypto.code, WireErrorCode::Crypto);
         assert_eq!(WireError::unknown_frame(7).code, WireErrorCode::UnknownFrame);
+        assert_eq!(WireError::overloaded("full").code, WireErrorCode::Overloaded);
     }
 
     #[test]

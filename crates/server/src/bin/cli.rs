@@ -303,7 +303,11 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
     }
     let pool = Arc::new(MultiplexServer::new(workers));
-    let server = match TcpCloudServer::serve_pool(&listen, pool, TcpServerConfig { max_sessions }) {
+    let server = match TcpCloudServer::serve_pool(
+        &listen,
+        pool,
+        TcpServerConfig::default().with_max_sessions(max_sessions),
+    ) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("sectopk-cli serve: binding {listen}: {e}");

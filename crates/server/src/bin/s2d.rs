@@ -11,20 +11,32 @@
 //!
 //! The bound address is printed on stdout (`listening on ADDR`) so scripts can grep
 //! the resolved port when binding `:0`.
+//!
+//! A session whose connection drops is *parked* for `--park-ttl` seconds so the client
+//! can resume it transparently (see `sectopk_protocols::tcp`); `--park-ttl 0` reaps
+//! dropped sessions immediately.  With `--drain-on-stdin`, the daemon stops accepting
+//! connections when its stdin reaches end-of-file, lets in-flight sessions finish
+//! (bounded by `--drain-grace`), and exits — the shape an orchestrator uses for
+//! graceful rollouts.
 
-use std::io::Write;
+use std::io::{Read, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use sectopk_protocols::{MultiplexServer, TcpCloudServer, TcpServerConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sectopk-s2d [--listen ADDR] [--workers N] [--max-sessions N]\n\
+         \x20                  [--park-ttl SECS] [--drain-on-stdin] [--drain-grace SECS]\n\
          \n\
          --listen ADDR        address to bind (default 127.0.0.1:7171; port 0 = ephemeral)\n\
          --workers N          S2 worker threads in the pool (default 4)\n\
-         --max-sessions N     admission cap on concurrent sessions (default 1024)"
+         --max-sessions N     admission cap on concurrent sessions, active + parked (default 1024)\n\
+         --park-ttl SECS      how long a dropped session stays resumable (default 30; 0 = reap immediately)\n\
+         --drain-on-stdin     stop accepting, finish in-flight sessions and exit when stdin hits EOF\n\
+         --drain-grace SECS   how long --drain-on-stdin waits for live sessions (default 5)"
     );
     ExitCode::FAILURE
 }
@@ -33,6 +45,9 @@ fn main() -> ExitCode {
     let mut listen = String::from("127.0.0.1:7171");
     let mut workers = 4usize;
     let mut max_sessions = 1024usize;
+    let mut park_ttl = 30u64;
+    let mut drain_on_stdin = false;
+    let mut drain_grace = 5u64;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -52,6 +67,20 @@ fn main() -> ExitCode {
                 max_sessions = n;
                 i += 2;
             }
+            "--park-ttl" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else { return usage() };
+                park_ttl = n;
+                i += 2;
+            }
+            "--drain-on-stdin" => {
+                drain_on_stdin = true;
+                i += 1;
+            }
+            "--drain-grace" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else { return usage() };
+                drain_grace = n;
+                i += 2;
+            }
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -60,8 +89,11 @@ fn main() -> ExitCode {
         }
     }
 
+    let config = TcpServerConfig::default()
+        .with_max_sessions(max_sessions)
+        .with_park_ttl(Duration::from_secs(park_ttl));
     let pool = Arc::new(MultiplexServer::new(workers));
-    let server = match TcpCloudServer::serve_pool(&listen, pool, TcpServerConfig { max_sessions }) {
+    let server = match TcpCloudServer::serve_pool(&listen, pool, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("sectopk-s2d: binding {listen}: {e}");
@@ -69,8 +101,20 @@ fn main() -> ExitCode {
         }
     };
     println!("sectopk-s2d listening on {}", server.local_addr());
-    println!("workers={workers} max-sessions={max_sessions}");
+    println!("workers={workers} max-sessions={max_sessions} park-ttl={park_ttl}s");
     let _ = std::io::stdout().flush();
+
+    if drain_on_stdin {
+        // Swallow stdin until the orchestrator closes it, then drain: new hellos are
+        // answered with a typed retryable `Draining` reject, parked sessions are
+        // reaped, and live sessions get `drain_grace` to finish before being severed.
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().read_to_end(&mut sink);
+        println!("sectopk-s2d draining (grace {drain_grace}s)");
+        let _ = std::io::stdout().flush();
+        server.drain(Duration::from_secs(drain_grace));
+        return ExitCode::SUCCESS;
+    }
 
     // Serve until killed; all work happens on the accept and bridge threads.
     loop {

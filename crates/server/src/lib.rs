@@ -60,8 +60,8 @@ use sectopk_crypto::keys::MasterKeys;
 use sectopk_crypto::pool::shard_seed;
 use sectopk_datasets::QueryWorkload;
 use sectopk_protocols::{
-    ChannelMetrics, LeakageLedger, LinkProfile, MultiplexServer, ProtocolError, SessionId,
-    TcpCloudServer, TcpServerConfig, TwoClouds,
+    ChannelMetrics, FaultPlan, LeakageLedger, LinkProfile, MultiplexServer, ProtocolError,
+    RetryPolicy, SessionId, TcpCloudServer, TcpOptions, TcpServerConfig, TwoClouds,
 };
 use sectopk_storage::{EncryptedRelation, TopKQuery};
 
@@ -94,6 +94,13 @@ pub struct ServeConfig {
     /// (default: the `SECTOPK_INTRA_PARALLEL` environment variable, else 1).  Worker
     /// count only changes wall-clock: results, ledgers and metrics are byte-identical.
     pub intra_workers: usize,
+    /// Transparent reconnect-resume-resend policy for [`QueryServer::serve_tcp`]
+    /// sessions (ignored by the in-process paths, which cannot lose a connection).
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection for [`QueryServer::serve_tcp`] sessions — the
+    /// chaos-soak knob.  With a matching [`RetryPolicy`] enabled, an injected drop is
+    /// recovered transparently and the run's reports stay byte-identical.
+    pub faults: FaultPlan,
 }
 
 impl ServeConfig {
@@ -108,7 +115,22 @@ impl ServeConfig {
             base_seed,
             link: LinkProfile::ideal(),
             intra_workers: sectopk_protocols::intra_workers_from_env(),
+            retry: RetryPolicy::none(),
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Enable transparent retry for networked ([`QueryServer::serve_tcp`]) sessions.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Inject connection faults on `faults`' schedule into networked
+    /// ([`QueryServer::serve_tcp`]) sessions.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Replace the simulated link profile.
@@ -454,17 +476,49 @@ impl QueryServer {
         )
     }
 
-    /// The whole lifetime of serving session `i`: open, run its query stream (failures
-    /// are recorded, not fatal), report.  Both [`QueryServer::serve`] and
-    /// [`QueryServer::serve_serial`] execute exactly this — which is what makes the
-    /// serial run a faithful determinism oracle for the concurrent one.
-    fn run_session(
+    /// Open session `i` of a serving run over a real TCP connection to a
+    /// [`TcpCloudServer`] at `addr`, with the same session id, seed and intra-query
+    /// worker count [`Self::open_configured`] would use — and with `config`'s
+    /// [`RetryPolicy`] and [`FaultPlan`] applied to the connection.  The TCP transport
+    /// runs over an ideal link, so with `config.link` left ideal the session's reports
+    /// are byte-identical to the in-process session of the same index.
+    pub fn open_remote_session(
         &self,
-        i: usize,
+        addr: &str,
+        i: u64,
+        config: &ServeConfig,
+    ) -> Result<QueryClient> {
+        let seed = shard_seed(config.base_seed, i);
+        let options = TcpOptions::default()
+            .with_session(SessionId(i))
+            .with_retry(config.retry)
+            .with_faults(config.faults);
+        let mut clouds =
+            TwoClouds::connect_tcp(&self.master, seed, config.batching, addr, options)?;
+        clouds.set_intra_workers(config.intra_workers);
+        Ok(QueryClient {
+            session: SessionId(i),
+            seed,
+            clouds,
+            outsourced: self.outsourced.clone(),
+            keys: self.master.clone(),
+            rng: sectopk_core::resolution_rng(seed),
+            outcomes: Vec::new(),
+            failures: Vec::new(),
+            submitted: 0,
+        })
+    }
+
+    /// The whole lifetime of one serving session: run its query stream (failures are
+    /// recorded, not fatal) and report.  Every serving shape — [`QueryServer::serve`],
+    /// [`QueryServer::serve_serial`] and [`QueryServer::serve_tcp`] — executes exactly
+    /// this loop, which is what makes each of them a faithful determinism oracle for
+    /// the others.
+    fn run_client(
+        mut client: QueryClient,
         queries: &[TopKQuery],
         config: &ServeConfig,
-    ) -> Result<SessionReport> {
-        let mut client = self.open_configured(i as u64 + 1, config)?;
+    ) -> SessionReport {
         let mut queries = queries.iter().peekable();
         while let Some(spec) = queries.next() {
             // A failed query is recorded in the client's failure list; the session (and
@@ -478,7 +532,17 @@ impl QueryServer {
                 client.idle_refill();
             }
         }
-        Ok(client.finish())
+        client.finish()
+    }
+
+    fn run_session(
+        &self,
+        i: usize,
+        queries: &[TopKQuery],
+        config: &ServeConfig,
+    ) -> Result<SessionReport> {
+        let client = self.open_configured(i as u64 + 1, config)?;
+        Ok(Self::run_client(client, queries, config))
     }
 
     /// Serve `workload` with `config.sessions` concurrent sessions: queries are dealt
@@ -523,6 +587,45 @@ impl QueryServer {
             .enumerate()
             .map(|(i, queries)| self.run_session(i, queries, config))
             .collect::<Result<Vec<_>>>()?;
+        Ok(ServeReport {
+            sessions: reports,
+            queries: workload.queries.len(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// [`QueryServer::serve`], but with every session crossing a real TCP socket: the
+    /// server's S2 pool is exposed on an ephemeral loopback listener, each session runs
+    /// as a [`Self::open_remote_session`] client, and `config`'s [`RetryPolicy`] and
+    /// [`FaultPlan`] govern the connections.  With `config.link` left ideal the
+    /// per-session reports are byte-identical to [`QueryServer::serve`] — and, with
+    /// faults injected but retry enabled, byte-identical to the fault-free run (the
+    /// chaos-soak invariant).
+    pub fn serve_tcp(&self, workload: &QueryWorkload, config: &ServeConfig) -> Result<ServeReport> {
+        let listener = self.listen("127.0.0.1:0")?;
+        let addr = listener.local_addr().to_string();
+        let partitions = workload.partition(config.sessions.max(1));
+        let start = Instant::now();
+        let mut reports: Vec<SessionReport> = Vec::with_capacity(partitions.len());
+        std::thread::scope(|scope| -> Result<()> {
+            let handles: Vec<_> = partitions
+                .iter()
+                .enumerate()
+                .map(|(i, queries)| {
+                    let addr = addr.as_str();
+                    scope.spawn(move || {
+                        let client = self.open_remote_session(addr, i as u64 + 1, config)?;
+                        Ok(Self::run_client(client, queries, config))
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let report: Result<SessionReport> = handle.join().expect("session thread panicked");
+                reports.push(report?);
+            }
+            Ok(())
+        })?;
+        drop(listener);
         Ok(ServeReport {
             sessions: reports,
             queries: workload.queries.len(),

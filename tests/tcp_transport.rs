@@ -48,10 +48,13 @@ fn fixture(seed: u64) -> (DataOwner, Outsourced) {
 }
 
 fn bind_server(workers: usize) -> TcpCloudServer {
+    // `park_ttl` zero: these tests assert the *fail-fast* contract (no retry policy on
+    // the clients), so a severed session must be reaped immediately rather than parked
+    // for resumption — `tests/tcp_resume.rs` covers the parking path.
     TcpCloudServer::serve_pool(
         "127.0.0.1:0",
         Arc::new(MultiplexServer::new(workers)),
-        TcpServerConfig::default(),
+        TcpServerConfig::default().with_park_ttl(Duration::ZERO),
     )
     .expect("bind ephemeral loopback listener")
 }
