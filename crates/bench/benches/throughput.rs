@@ -89,9 +89,21 @@ struct ThroughputPoint {
     fault_drop_every: Option<u64>,
     /// For the `tcp-faults-*` rows: p99 per-query latency in seconds — the tail cost
     /// of riding out reconnect-resume-resend under the injected fault rate.  `null`
-    /// elsewhere.
+    /// elsewhere, and `null` whenever the run produced fewer than [`MIN_P99_SAMPLES`]
+    /// latency samples (a 99th percentile of 16 queries is just the max, so small runs
+    /// report nothing rather than a mislabeled number).
     p99_seconds: Option<f64>,
+    /// Transport-level faults absorbed invisibly by retry (reconnect-resume
+    /// recoveries, shed-retry successes) across all sessions.  Nonzero on the
+    /// fault-injected rows, zero elsewhere — kept separate from `errors`, which counts
+    /// failed *queries*.
+    transport_failures: u64,
 }
+
+/// Minimum latency samples before a p99 is reported.  Below this the 99th percentile
+/// degenerates to the sample maximum (for n ≤ 100, `ceil(0.99·n) == n`), which is a
+/// different — and much noisier — statistic, so small runs record `null` instead.
+const MIN_P99_SAMPLES: usize = 100;
 
 fn available_cores() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -141,6 +153,7 @@ fn measure(
         errors: report.error_count(),
         fault_drop_every: None,
         p99_seconds: None,
+        transport_failures: report.transport_failures(),
     }
 }
 
@@ -188,6 +201,7 @@ fn measure_intra(
         errors: report.error_count(),
         fault_drop_every: None,
         p99_seconds: None,
+        transport_failures: report.transport_failures(),
     }
 }
 
@@ -287,6 +301,7 @@ fn measure_tcp(
         errors: tallies.iter().map(|t| t.errors).sum(),
         fault_drop_every: None,
         p99_seconds: None,
+        transport_failures: 0,
     }
 }
 
@@ -325,8 +340,14 @@ fn measure_tcp_faults(
         .flat_map(|s| s.outcomes.iter().map(|o| o.stats.total_seconds))
         .collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let p99 =
-        latencies.get(((latencies.len() as f64 * 0.99).ceil() as usize).saturating_sub(1)).copied();
+    // Below MIN_P99_SAMPLES the "p99" index degenerates to the last element — the
+    // sample max, not a percentile — so report None uniformly instead of a number
+    // that changes meaning with the sample count.
+    let p99 = if latencies.len() >= MIN_P99_SAMPLES {
+        latencies.get(((latencies.len() as f64 * 0.99).ceil() as usize).saturating_sub(1)).copied()
+    } else {
+        None
+    };
     let drop_pct = if drop_every == 0 { 0.0 } else { 100.0 / drop_every as f64 };
     ThroughputPoint {
         link: format!("tcp-faults-{drop_pct}pct"),
@@ -348,6 +369,7 @@ fn measure_tcp_faults(
         errors: report.error_count(),
         fault_drop_every: Some(drop_every),
         p99_seconds: p99,
+        transport_failures: report.transport_failures(),
     }
 }
 
@@ -409,14 +431,22 @@ fn record_throughput_baseline() {
             point.errors, 0,
             "every injected fault must be absorbed by retry (drop_every={drop_every})"
         );
+        if drop_every > 0 {
+            assert!(
+                point.transport_failures > 0,
+                "faults were injected (drop_every={drop_every}) but none were absorbed — \
+                 the FaultPlan is not reaching the transport"
+            );
+        }
         println!(
-            "{:>16} {:>6}% {:>9.3} {:>9.2} {:>10.2} {:>8.2}x",
+            "{:>16} {:>6}% {:>9.3} {:>9.2} {:>10} {:>8.2}x  ({} faults absorbed)",
             point.link,
             if drop_every == 0 { 0.0 } else { 100.0 / drop_every as f64 },
             point.wall_seconds,
             point.qps,
-            point.p99_seconds.unwrap_or(0.0) * 1e3,
+            point.p99_seconds.map_or_else(|| "n/a".to_string(), |p| format!("{:.2}", p * 1e3)),
             point.speedup_vs_one_session,
+            point.transport_failures,
         );
         results.push(point.clone());
     }

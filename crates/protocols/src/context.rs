@@ -12,8 +12,12 @@
 //! `SECTOPK_TRANSPORT` environment variable): in-process for speed, or a real
 //! thread-backed message channel.
 
+use std::fmt;
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sectopk_metrics::{Counter, Histogram, Registry as MetricsRegistry, TraceHook};
 
 use crate::error::Result;
 use sectopk_crypto::damgard_jurik::DjPublicKey;
@@ -58,7 +62,6 @@ pub struct S1State {
 }
 
 /// The two non-colluding clouds: S1's state plus the metered transport to the S2 engine.
-#[derive(Debug)]
 pub struct TwoClouds {
     /// The primary cloud S1.
     pub s1: S1State,
@@ -68,6 +71,25 @@ pub struct TwoClouds {
     /// batching).  `false` degrades to one message per pair — the pre-batching wire
     /// pattern, kept for the bandwidth benchmarks.
     batching: bool,
+    /// Per-round latency histogram (`session.{label}.round_nanos`); a no-op until
+    /// [`TwoClouds::set_metrics`] installs a registry.  Observes wall-clock only —
+    /// never protocol state — so ledgers and [`ChannelMetrics`] are unaffected.
+    round_nanos: Histogram,
+    /// Rounds completed (`session.{label}.rounds`), mirroring
+    /// [`ChannelMetrics::rounds`] into the registry for cross-checking.
+    rounds_counter: Counter,
+    /// Optional span hook notified at entry/exit of every protocol round.
+    trace: Option<Arc<dyn TraceHook>>,
+}
+
+impl fmt::Debug for TwoClouds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TwoClouds")
+            .field("s1", &self.s1)
+            .field("transport", &self.transport)
+            .field("batching", &self.batching)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TwoClouds {
@@ -224,7 +246,35 @@ impl TwoClouds {
             },
             transport,
             batching,
+            round_nanos: Histogram::noop(),
+            rounds_counter: Counter::noop(),
+            trace: None,
         })
+    }
+
+    /// Report this context's protocol rounds into `registry`: a per-round latency
+    /// histogram (`session.{label}.round_nanos`), a round counter
+    /// (`session.{label}.rounds`), and the transport's own client-side handles
+    /// (`tcp.client.*` on the TCP transport).  A disabled registry leaves every
+    /// instrument a no-op; protocol bytes, ledgers and [`ChannelMetrics`] are
+    /// unaffected either way.
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry, label: &str) {
+        self.round_nanos = registry.histogram(&format!("session.{label}.round_nanos"));
+        self.rounds_counter = registry.counter(&format!("session.{label}.rounds"));
+        self.transport.set_metrics_registry(registry);
+    }
+
+    /// Install a hook notified at entry and exit of every protocol round; the span
+    /// name is the request's [`S1Request::kind_name`] (e.g. `"compare"`).  Hooks run
+    /// on the query thread — keep them cheap.
+    pub fn set_trace_hook(&mut self, hook: Arc<dyn TraceHook>) {
+        self.trace = Some(hook);
+    }
+
+    /// Transport faults absorbed without surfacing an error (reconnect-resume cycles,
+    /// shed requests retried to success); see [`Transport::faults_absorbed`].
+    pub fn faults_absorbed(&self) -> u64 {
+        self.transport.faults_absorbed()
     }
 
     /// Worker threads S1's batched client loops may use for one query's pure crypto.
@@ -308,9 +358,21 @@ impl TwoClouds {
         self.s1.ledger.clear();
     }
 
-    /// Ship one request to S2 and return its response (one metered round trip).
+    /// Ship one request to S2 and return its response (one metered round trip),
+    /// timed into the round-latency histogram and bracketed by the trace hook.
     pub(crate) fn round(&mut self, request: S1Request) -> Result<S2Response> {
-        self.transport.round_trip(request)
+        let span = request.kind_name();
+        if let Some(trace) = &self.trace {
+            trace.enter(span);
+        }
+        let timer = self.round_nanos.start();
+        let result = self.transport.round_trip(request);
+        self.round_nanos.stop(timer);
+        self.rounds_counter.incr();
+        if let Some(trace) = &self.trace {
+            trace.exit(span);
+        }
+        result
     }
 
     /// Ship one *raw* request to S2 — the escape hatch the conformance and

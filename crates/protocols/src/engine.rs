@@ -43,6 +43,7 @@ use sectopk_ehl::EhlPlus;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sectopk_metrics::{Counter, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 
 use crate::dedup::EncryptedBlinding;
@@ -128,6 +129,74 @@ struct NonceDemand {
     own: usize,
 }
 
+/// Cached metric handles of one engine — resolved once in
+/// [`S2Engine::set_metrics_registry`], recorded lock-free in the handler.  All
+/// defaults are no-ops, so an un-instrumented engine records nothing and never reads
+/// the clock (see the `sectopk-metrics` crate docs for the determinism contract).
+///
+/// What lands where:
+/// * `engine.requests.<kind>` counters — one per [`S1Request`] variant, deterministic
+///   (a batch counts its wrapper *and* each inner request).
+/// * `engine.batch_size` — histogram of inner-request counts per [`S1Request::Batch`].
+/// * `engine.compute_ops` — histogram of decryption ops per request: the occupancy
+///   the parallel compute phase fans out over the intra-query workers.
+/// * `engine.handle_nanos` — wall-clock of [`S2Engine::handle`] (timing: asserted
+///   structurally only, never on values).
+#[derive(Clone, Debug, Default)]
+struct EngineMetrics {
+    eq_test: Counter,
+    eq_matrix: Counter,
+    eq_aggregate: Counter,
+    compare: Counter,
+    recover: Counter,
+    dedup: Counter,
+    filter: Counter,
+    mul_blinded: Counter,
+    batch: Counter,
+    batch_size: Histogram,
+    compute_ops: Histogram,
+    handle_nanos: Histogram,
+}
+
+impl EngineMetrics {
+    fn from_registry(registry: &Registry) -> Self {
+        EngineMetrics {
+            eq_test: registry.counter("engine.requests.eq_test"),
+            eq_matrix: registry.counter("engine.requests.eq_matrix"),
+            eq_aggregate: registry.counter("engine.requests.eq_aggregate"),
+            compare: registry.counter("engine.requests.compare"),
+            recover: registry.counter("engine.requests.recover"),
+            dedup: registry.counter("engine.requests.dedup"),
+            filter: registry.counter("engine.requests.filter"),
+            mul_blinded: registry.counter("engine.requests.mul_blinded"),
+            batch: registry.counter("engine.requests.batch"),
+            batch_size: registry.histogram("engine.batch_size"),
+            compute_ops: registry.histogram("engine.compute_ops"),
+            handle_nanos: registry.histogram("engine.handle_nanos"),
+        }
+    }
+
+    fn count_request(&self, request: &S1Request) {
+        match request {
+            S1Request::EqTest { .. } => self.eq_test.incr(),
+            S1Request::EqMatrix { .. } => self.eq_matrix.incr(),
+            S1Request::EqAggregate { .. } => self.eq_aggregate.incr(),
+            S1Request::Compare { .. } => self.compare.incr(),
+            S1Request::Recover { .. } => self.recover.incr(),
+            S1Request::Dedup(_) => self.dedup.incr(),
+            S1Request::Filter { .. } => self.filter.incr(),
+            S1Request::MulBlinded { .. } => self.mul_blinded.incr(),
+            S1Request::Batch(requests) => {
+                self.batch.incr();
+                self.batch_size.observe(requests.len() as u64);
+                for req in requests {
+                    self.count_request(req);
+                }
+            }
+        }
+    }
+}
+
 /// The crypto cloud S2: keys, randomness, nonce pools, ledger, and the request handler.
 #[derive(Debug)]
 pub struct S2Engine {
@@ -147,6 +216,8 @@ pub struct S2Engine {
     pending_eq: Vec<bool>,
     /// Worker threads the compute phase may use (1 = serial).
     intra_workers: usize,
+    /// Cached metric handles (all no-ops until [`S2Engine::set_metrics_registry`]).
+    metrics: EngineMetrics,
 }
 
 impl S2Engine {
@@ -170,7 +241,16 @@ impl S2Engine {
             ledger: LeakageLedger::new(),
             pending_eq: Vec::new(),
             intra_workers: intra_workers_from_env(),
+            metrics: EngineMetrics::default(),
         }
+    }
+
+    /// Install metric handles from `registry` (per-request-kind counters, batch-size
+    /// and compute-occupancy histograms, handler timing).  Metrics are observe-only:
+    /// responses, ledgers and nonce streams are byte-identical with or without them
+    /// (pinned by `tests/metrics_invariance.rs`).
+    pub fn set_metrics_registry(&mut self, registry: &Registry) {
+        self.metrics = EngineMetrics::from_registry(registry);
     }
 
     /// Number of worker threads the compute phase may use for one request.
@@ -208,9 +288,22 @@ impl S2Engine {
     /// over [`Self::intra_workers`] threads, then commit every effect serially in
     /// original item order.  Byte-identical to serial execution for any worker count.
     pub fn handle(&mut self, request: &S1Request) -> EngineResult<S2Response> {
+        // Observability wrapper: count the request (deterministic) and time the
+        // handler (only when a registry is installed — `start` returns `None`, and
+        // reads no clock, otherwise).  Nothing below reads a metric back, so the
+        // instrumented handler is byte-identical to the bare one.
+        let timer = self.metrics.handle_nanos.start();
+        self.metrics.count_request(request);
+        let result = self.handle_inner(request);
+        self.metrics.handle_nanos.stop(timer);
+        result
+    }
+
+    fn handle_inner(&mut self, request: &S1Request) -> EngineResult<S2Response> {
         self.validate(request)?;
         let mut ops = Vec::new();
         Self::collect_ops(request, &mut ops);
+        self.metrics.compute_ops.observe(ops.len() as u64);
         let outs = self.run_ops(&ops)?;
         self.prefill_pools(request);
         let mut outs = outs.into_iter();

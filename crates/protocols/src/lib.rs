@@ -32,6 +32,22 @@
 //! * [`join`] — `SecJoin` and `SecFilter` (Algorithms 11 and 12) for top-k joins (§12).
 //!
 //! All of these are usable as stand-alone building blocks, as the paper points out.
+//!
+//! # Observability
+//!
+//! The serving path reports into a [`sectopk_metrics::Registry`] when one is
+//! installed: the engine counts requests by kind and times its compute
+//! (`engine.*`), the multiplex pool counts sheds/replays/attachments and samples
+//! inbox depth and per-worker busy time (`pool.*`), the TCP client and listener
+//! count reconnects, rejects, resumes, parks and sheds (`tcp.client.*` /
+//! `tcp.server.*`), and [`context::TwoClouds::set_metrics`] adds per-session
+//! round-latency histograms (`session.*`).  Instrumentation is strictly
+//! observational: a disabled registry makes every handle a no-op, and enabled or
+//! not, protocol bytes, [`ledger::LeakageLedger`]s and
+//! [`channel::ChannelMetrics`] are byte-identical (asserted by
+//! `tests/metrics_invariance.rs`).  [`sectopk_metrics::TraceHook`] offers span
+//! enter/exit callbacks per protocol round via
+//! [`context::TwoClouds::set_trace_hook`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -101,6 +101,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use sectopk_metrics::{Counter, Histogram, Registry as MetricsRegistry};
 use serde::{Deserialize, Serialize};
 
 use crate::channel::{ChannelMetrics, Direction};
@@ -227,6 +228,44 @@ struct PoolStats {
     replayed: AtomicU64,
     /// Submissions shed because a session exceeded its inbox bound.
     shed: AtomicU64,
+    /// Envelopes submitted to the shared inbox and not yet picked up by a worker.
+    /// Approximate under teardown (shutdown frames are uncounted, decrements
+    /// saturate); used only to sample inbox depth into the metrics histogram.
+    pending: AtomicUsize,
+}
+
+/// Cached metric handles for the pool-level counters (see [`sectopk_metrics`]).  All
+/// handles are no-ops when the server was built without a registry, so the hot path
+/// pays one branch per event and the deterministic [`PoolStats`] stay the source of
+/// truth either way.
+#[derive(Clone, Debug, Default)]
+struct PoolMetrics {
+    /// Mirrors [`PoolStats::shed`] (`pool.shed`).
+    shed: Counter,
+    /// Mirrors [`PoolStats::replayed`] (`pool.replayed`).
+    replayed: Counter,
+    /// Sessions registered through [`MultiplexServer::attach`] (`pool.attached`).
+    attached: Counter,
+    /// Parked sessions taken over through [`MultiplexServer::reattach`]
+    /// (`pool.reattached`).
+    reattached: Counter,
+    /// Sessions reaped through [`MultiplexServer::evict`] (`pool.evicted`).
+    evicted: Counter,
+    /// Inbox depth sampled at each submission (`pool.inbox_depth`).
+    inbox_depth: Histogram,
+}
+
+impl PoolMetrics {
+    fn from_registry(registry: &MetricsRegistry) -> Self {
+        PoolMetrics {
+            shed: registry.counter("pool.shed"),
+            replayed: registry.counter("pool.replayed"),
+            attached: registry.counter("pool.attached"),
+            reattached: registry.counter("pool.reattached"),
+            evicted: registry.counter("pool.evicted"),
+            inbox_depth: registry.histogram("pool.inbox_depth"),
+        }
+    }
 }
 
 /// Per-session server-side state: the session's own engine (ledger, RNG, pool shards,
@@ -282,6 +321,7 @@ pub(crate) struct SessionConduit {
     slot: Arc<SessionSlot>,
     queue_depth: usize,
     stats: Arc<PoolStats>,
+    metrics: PoolMetrics,
 }
 
 impl SessionConduit {
@@ -293,18 +333,26 @@ impl SessionConduit {
         if previous >= self.queue_depth {
             self.slot.inflight.fetch_sub(1, Ordering::SeqCst);
             self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            self.metrics.shed.incr();
             return Err(SubmitError::QueueFull);
         }
         self.to_server.send(tag_epoch(self.slot.epoch, &bytes)).map_err(|_| {
             self.slot.inflight.fetch_sub(1, Ordering::SeqCst);
             SubmitError::ServerGone
-        })
+        })?;
+        let depth = self.stats.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.inbox_depth.observe(depth as u64);
+        Ok(())
     }
 
     /// Submit a teardown envelope, bypassing the inbox bound (reaping a session frees
     /// capacity and must never be refused for lack of it).
     pub(crate) fn disconnect(&self, bytes: Vec<u8>) -> std::result::Result<(), SubmitError> {
-        self.to_server.send(tag_epoch(self.slot.epoch, &bytes)).map_err(|_| SubmitError::ServerGone)
+        self.to_server
+            .send(tag_epoch(self.slot.epoch, &bytes))
+            .map_err(|_| SubmitError::ServerGone)?;
+        self.stats.pending.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -327,6 +375,8 @@ pub struct MultiplexServer {
     workers: Vec<JoinHandle<()>>,
     limits: PoolLimits,
     stats: Arc<PoolStats>,
+    metrics: PoolMetrics,
+    metrics_registry: MetricsRegistry,
     /// Source of [`SessionSlot::epoch`] values; each attachment gets a fresh one.
     epochs: AtomicU64,
 }
@@ -367,6 +417,21 @@ impl MultiplexServer {
     /// Spawn a server with `workers` S2 worker threads (at least one) and explicit
     /// admission-control bounds.
     pub fn with_limits(workers: usize, limits: PoolLimits) -> Self {
+        Self::with_limits_and_metrics(workers, limits, MetricsRegistry::disabled())
+    }
+
+    /// Spawn a server that additionally reports into `metrics_registry` (see
+    /// [`sectopk_metrics::Registry`]): pool counters (`pool.shed`, `pool.replayed`,
+    /// `pool.attached`, `pool.reattached`, `pool.evicted`), an inbox-depth histogram
+    /// (`pool.inbox_depth`), per-worker busy-time histograms
+    /// (`pool.worker.{i}.busy_nanos`), and every attached session engine's request
+    /// counters.  A disabled registry makes every instrument a no-op; either way the
+    /// protocol bytes, ledgers and [`ChannelMetrics`] are unaffected.
+    pub fn with_limits_and_metrics(
+        workers: usize,
+        limits: PoolLimits,
+        metrics_registry: MetricsRegistry,
+    ) -> Self {
         let workers = workers.max(1);
         let limits = PoolLimits {
             max_sessions: limits.max_sessions.max(1),
@@ -376,14 +441,17 @@ impl MultiplexServer {
         let shared_rx = Arc::new(Mutex::new(rx));
         let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
         let stats = Arc::new(PoolStats::default());
+        let metrics = PoolMetrics::from_registry(&metrics_registry);
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&shared_rx);
                 let registry = Arc::clone(&registry);
                 let stats = Arc::clone(&stats);
+                let pool_metrics = metrics.clone();
+                let busy = metrics_registry.histogram(&format!("pool.worker.{i}.busy_nanos"));
                 std::thread::Builder::new()
                     .name(format!("sectopk-s2-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &registry, &stats))
+                    .spawn(move || worker_loop(&rx, &registry, &stats, &pool_metrics, &busy))
                     .expect("spawn S2 worker thread")
             })
             .collect();
@@ -393,6 +461,8 @@ impl MultiplexServer {
             workers: handles,
             limits,
             stats,
+            metrics,
+            metrics_registry,
             epochs: AtomicU64::new(0),
         }
     }
@@ -421,6 +491,13 @@ impl MultiplexServer {
     /// Submissions shed because a session exceeded its inbox bound.
     pub fn shed_requests(&self) -> u64 {
         self.stats.shed.load(Ordering::Relaxed)
+    }
+
+    /// The metrics registry this pool reports into.  Disabled (all instruments no-ops)
+    /// unless the server was built with [`MultiplexServer::with_limits_and_metrics`];
+    /// snapshot it at any time with [`sectopk_metrics::Registry::snapshot`].
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics_registry
     }
 
     /// Register `session` backed by `engine` and hand back the S1-side transport for
@@ -459,7 +536,9 @@ impl MultiplexServer {
     /// a fresh hello cannot claim an id while it is still registered).  A worker
     /// mid-request on the slot finishes against its own `Arc` and drops the reply.
     pub(crate) fn evict(&self, session: SessionId) {
-        self.registry.lock().expect("session registry poisoned").remove(&session);
+        if self.registry.lock().expect("session registry poisoned").remove(&session).is_some() {
+            self.metrics.evicted.incr();
+        }
     }
 
     /// Whether `session` is currently registered (active or parked — the pool does not
@@ -477,7 +556,7 @@ impl MultiplexServer {
     pub(crate) fn attach(
         &self,
         session: SessionId,
-        engine: S2Engine,
+        mut engine: S2Engine,
     ) -> std::result::Result<SessionConduit, AttachError> {
         let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<u8>>(REPLY_QUEUE_DEPTH);
         let mut registry = self.registry.lock().expect("session registry poisoned");
@@ -487,6 +566,10 @@ impl MultiplexServer {
         if registry.len() >= self.limits.max_sessions {
             return Err(AttachError { engine, reason: AttachReason::Full });
         }
+        // Every engine served by this pool reports into the pool's registry (request
+        // counters, compute-time histograms); a disabled registry makes that a no-op.
+        engine.set_metrics_registry(&self.metrics_registry);
+        self.metrics.attached.incr();
         let slot = Arc::new(SessionSlot {
             epoch: 1 + self.epochs.fetch_add(1, Ordering::Relaxed),
             engine: Mutex::new(engine),
@@ -501,6 +584,7 @@ impl MultiplexServer {
             slot,
             queue_depth: self.limits.session_queue_depth,
             stats: Arc::clone(&self.stats),
+            metrics: self.metrics.clone(),
         })
     }
 
@@ -513,12 +597,14 @@ impl MultiplexServer {
         let slot = Arc::clone(registry.get(&session)?);
         let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<u8>>(REPLY_QUEUE_DEPTH);
         *slot.replies.lock().expect("session reply sender poisoned") = reply_tx;
+        self.metrics.reattached.incr();
         Some(SessionConduit {
             to_server: self.inbox.clone(),
             from_server: reply_rx,
             slot,
             queue_depth: self.limits.session_queue_depth,
             stats: Arc::clone(&self.stats),
+            metrics: self.metrics.clone(),
         })
     }
 
@@ -559,13 +645,23 @@ impl Drop for MultiplexServer {
 }
 
 /// One S2 worker: drain the shared inbox, route each envelope to its session.
-fn worker_loop(rx: &Mutex<mpsc::Receiver<Vec<u8>>>, registry: &Registry, stats: &PoolStats) {
+fn worker_loop(
+    rx: &Mutex<mpsc::Receiver<Vec<u8>>>,
+    registry: &Registry,
+    stats: &PoolStats,
+    metrics: &PoolMetrics,
+    busy: &Histogram,
+) {
     loop {
         // Hold the inbox lock only for the dequeue, not while processing.
         let incoming = match rx.lock().expect("server inbox poisoned").recv() {
             Ok(bytes) => bytes,
             Err(_) => return, // every transport and the server handle are gone
         };
+        // Saturating: shutdown frames bypass the conduits and are never counted in.
+        let _ = stats
+            .pending
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
         // Every inbox message is `[8-byte LE slot epoch][encoded envelope]` (see
         // `tag_epoch`); a message whose epoch disagrees with the registered slot is a
         // leftover from a previous life of the session id and must be dropped, not
@@ -613,6 +709,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Vec<u8>>>, registry: &Registry, stats: 
         // session only hits it when its submissions genuinely outpace the pool (e.g.
         // its replies back up and block the workers).
         slot.inflight.fetch_sub(1, Ordering::SeqCst);
+        let timer = busy.start();
         let mut engine = slot.engine.lock().expect("session engine poisoned");
         let reply_bytes: Vec<u8> = match tag {
             frame::REQUEST => {
@@ -625,6 +722,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Vec<u8>>>, registry: &Registry, stats: 
                 if envelope.seq != 0 && matches!(&*cached, Some((seq, _)) if *seq == envelope.seq) {
                     let (_, bytes) = cached.as_ref().expect("matched cache entry").clone();
                     stats.replayed.fetch_add(1, Ordering::Relaxed);
+                    metrics.replayed.incr();
                     bytes
                 } else {
                     let response = match wire::from_bytes::<S1Request>(payload) {
@@ -668,6 +766,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Vec<u8>>>, registry: &Registry, stats: 
             .encode(),
         };
         drop(engine);
+        busy.stop(timer);
         // A send failure means the session's client hung up; drop the reply.
         slot.send_reply(reply_bytes);
     }

@@ -91,6 +91,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sectopk_crypto::pool::shard_seed;
+use sectopk_metrics::{Counter, Histogram as MetricsHistogram, Registry as MetricsRegistry};
 use serde::{Deserialize, Serialize};
 
 use crate::channel::{ChannelMetrics, Direction};
@@ -387,14 +388,30 @@ impl Default for FaultPlan {
 /// Exponential backoff for `attempt` (0-based): `base * 2^attempt`, saturated at
 /// `cap`, with deterministic jitter in [50%, 100%] drawn from `seed` — seeded runs
 /// back off identically, and a fleet sharing a base schedule decorrelates by seed.
+///
+/// The doubling is computed in saturating 128-bit nanoseconds *before* the cap is
+/// applied, so a large `attempt` (or an uncapped policy, `cap == 0`) pins at the
+/// representable maximum instead of wrapping around to a tiny delay.
 fn backoff_delay(base: Duration, cap: Duration, attempt: u32, seed: u64) -> Duration {
     if base.is_zero() {
         return Duration::ZERO;
     }
-    let exponential = base.saturating_mul(1u32 << attempt.min(20));
-    let capped = if cap.is_zero() { exponential } else { exponential.min(cap) };
+    let exponential = base.as_nanos().saturating_mul(1u128 << attempt.min(127));
+    let capped = if cap.is_zero() { exponential } else { exponential.min(cap.as_nanos()) };
+    // Integer jitter: floor(capped / 100) * percent never overflows (the division
+    // comes first) and agrees exactly with the real-valued percentage whenever
+    // `capped` is a multiple of 100ns.
     let percent = 50 + shard_seed(seed, u64::from(attempt) + 1) % 51;
-    capped.mul_f64(percent as f64 / 100.0)
+    duration_from_nanos_saturating((capped / 100).saturating_mul(u128::from(percent)))
+}
+
+/// A `Duration` from 128-bit nanoseconds, pinned at `Duration::MAX` on overflow.
+fn duration_from_nanos_saturating(nanos: u128) -> Duration {
+    const NANOS_PER_SEC: u128 = 1_000_000_000;
+    match u64::try_from(nanos / NANOS_PER_SEC) {
+        Ok(secs) => Duration::new(secs, (nanos % NANOS_PER_SEC) as u32),
+        Err(_) => Duration::MAX,
+    }
 }
 
 // ====================================================================================
@@ -498,6 +515,43 @@ fn configure_stream(stream: &TcpStream, options: &TcpOptions) -> Result<()> {
 // Client transport
 // ====================================================================================
 
+/// Cached client-side metric handles (`tcp.client.*`).  All no-ops until
+/// [`TcpTransport::set_metrics_registry`] installs an enabled registry; the
+/// deterministic fault accounting ([`TcpTransport::faults_absorbed`]) is counted
+/// separately and is always on.
+#[derive(Clone, Debug, Default)]
+struct TcpClientMetrics {
+    /// Dial attempts made while recovering a dropped connection
+    /// (`tcp.client.connect_attempts`).
+    connect_attempts: Counter,
+    /// Successful reconnect-resume recoveries (`tcp.client.reconnects`).
+    reconnects: Counter,
+    /// Shed (typed-overload) replies absorbed by re-submission
+    /// (`tcp.client.shed_retries`).
+    shed_retries: Counter,
+    /// Total nanoseconds slept in recovery backoff (`tcp.client.backoff_nanos`).
+    backoff_nanos: Counter,
+    /// Encoded envelope bytes per logical exchange (`tcp.client.frame_bytes`).
+    frame_bytes: MetricsHistogram,
+}
+
+impl TcpClientMetrics {
+    fn from_registry(registry: &MetricsRegistry) -> Self {
+        TcpClientMetrics {
+            connect_attempts: registry.counter("tcp.client.connect_attempts"),
+            reconnects: registry.counter("tcp.client.reconnects"),
+            shed_retries: registry.counter("tcp.client.shed_retries"),
+            backoff_nanos: registry.counter("tcp.client.backoff_nanos"),
+            frame_bytes: registry.histogram("tcp.client.frame_bytes"),
+        }
+    }
+}
+
+/// Clamp a [`Duration`] to whole nanoseconds for counter accounting.
+fn nanos_u64(duration: Duration) -> u64 {
+    u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// The S1 side of one TCP connection to a [`TcpCloudServer`]: a [`Transport`] whose
 /// envelopes travel length-prefix-framed over a real socket, with opt-in transparent
 /// reconnect-resume-resend recovery (see the module docs).
@@ -523,6 +577,13 @@ pub struct TcpTransport {
     frames: Cell<u64>,
     /// Successful reconnect-resume recoveries performed so far.
     reconnects: Cell<u64>,
+    /// Transport faults absorbed without surfacing to the caller: reconnect-resume
+    /// recoveries plus shed requests retried to success.  Always counted (independent
+    /// of any metrics registry), so serving reports can split query failures from
+    /// faults the retry machinery hid.
+    faults_absorbed: Cell<u64>,
+    /// Cached `tcp.client.*` metric handles (no-ops until a registry is installed).
+    client_metrics: TcpClientMetrics,
     metrics: ChannelMetrics,
     /// Set once teardown (or an unrecoverable socket error) happened, so `Drop` does
     /// not try to disconnect twice or over a dead socket.
@@ -588,6 +649,8 @@ impl TcpTransport {
             acked: Cell::new(0),
             frames: Cell::new(0),
             reconnects: Cell::new(0),
+            faults_absorbed: Cell::new(0),
+            client_metrics: TcpClientMetrics::default(),
             metrics: ChannelMetrics::new(),
             disconnected: Cell::new(false),
             private_server: None,
@@ -637,6 +700,7 @@ impl TcpTransport {
         let mut last_error = String::new();
         let stream = 'dial: {
             for addr in &self.addrs {
+                self.client_metrics.connect_attempts.incr();
                 match TcpStream::connect(addr) {
                     Ok(stream) => break 'dial stream,
                     Err(e) => last_error = format!("{addr}: {e}"),
@@ -684,16 +748,16 @@ impl TcpTransport {
                     policy.deadline, *attempt
                 )));
             }
-            std::thread::sleep(backoff_delay(
-                policy.backoff,
-                policy.backoff_cap,
-                *attempt,
-                self.jitter_seed,
-            ));
+            let delay =
+                backoff_delay(policy.backoff, policy.backoff_cap, *attempt, self.jitter_seed);
+            self.client_metrics.backoff_nanos.add(nanos_u64(delay));
+            std::thread::sleep(delay);
             *attempt += 1;
             match self.resume_once() {
                 Ok(()) => {
                     self.reconnects.set(self.reconnects.get() + 1);
+                    self.faults_absorbed.set(self.faults_absorbed.get() + 1);
+                    self.client_metrics.reconnects.incr();
                     return Ok(());
                 }
                 Err(e) if e.is_retryable() => last = e,
@@ -719,6 +783,13 @@ impl TcpTransport {
     /// Successful transparent reconnect-resume recoveries performed so far.
     pub fn reconnects(&self) -> u64 {
         self.reconnects.get()
+    }
+
+    /// Install `tcp.client.*` metric handles from `registry` (see
+    /// [`sectopk_metrics::Registry`]).  A disabled registry leaves every instrument a
+    /// no-op; either way the protocol bytes and [`ChannelMetrics`] are unaffected.
+    pub fn set_metrics_registry(&mut self, registry: &MetricsRegistry) {
+        self.client_metrics = TcpClientMetrics::from_registry(registry);
     }
 
     /// Sever our own socket (fault injection).
@@ -784,6 +855,7 @@ impl TcpTransport {
     fn exchange_with_seq(&self, seq: u64, frame_bytes: Vec<u8>) -> Result<Envelope> {
         let envelope = Envelope { session: self.session, seq, frame: frame_bytes };
         let encoded = envelope.encode();
+        self.client_metrics.frame_bytes.observe(encoded.len() as u64);
         let started = Instant::now();
         let mut attempt: u32 = 0;
         let mut first_attempt = true;
@@ -872,13 +944,17 @@ impl Transport for TcpTransport {
                 // the same sequence number after a backoff is safe and invisible to
                 // the caller, up to the retry budget.
                 if e.is_retryable() && shed_attempt < self.options.retry.attempts {
-                    std::thread::sleep(backoff_delay(
+                    let delay = backoff_delay(
                         self.options.retry.backoff,
                         self.options.retry.backoff_cap,
                         shed_attempt,
                         self.jitter_seed,
-                    ));
+                    );
+                    self.client_metrics.backoff_nanos.add(nanos_u64(delay));
+                    std::thread::sleep(delay);
                     shed_attempt += 1;
+                    self.faults_absorbed.set(self.faults_absorbed.get() + 1);
+                    self.client_metrics.shed_retries.incr();
                     continue;
                 }
             }
@@ -909,6 +985,14 @@ impl Transport for TcpTransport {
 
     fn kind(&self) -> TransportKind {
         TransportKind::Tcp
+    }
+
+    fn faults_absorbed(&self) -> u64 {
+        self.faults_absorbed.get()
+    }
+
+    fn set_metrics_registry(&mut self, registry: &MetricsRegistry) {
+        TcpTransport::set_metrics_registry(self, registry);
     }
 }
 
@@ -982,6 +1066,59 @@ fn mint_token(session: u64, nonce: u64) -> u64 {
     hasher.finish() | 1 // never 0, so "no token" is unambiguous
 }
 
+/// Cached server-side metric handles (`tcp.server.*`), resolved from the worker
+/// pool's registry — see [`MultiplexServer::metrics_registry`].  All no-ops when the
+/// pool was built without one.
+#[derive(Clone, Debug, Default)]
+struct TcpServerMetrics {
+    /// Handshakes accepted (fresh and resume) — `tcp.server.accepts`.
+    accepts: Counter,
+    /// Sessions taken over by a resume handshake — `tcp.server.resumed`.
+    resumed: Counter,
+    /// Sessions parked after a dirty disconnect — `tcp.server.parked`.
+    parked: Counter,
+    /// Sessions reaped (TTL expiry, drain, dead socket) — `tcp.server.reaped`.
+    reaped: Counter,
+    /// Requests answered with a typed overload error — `tcp.server.sheds`.
+    sheds: Counter,
+    /// Rejected hellos by [`RejectCode`] — `tcp.server.rejects.{code}`.
+    reject_full: Counter,
+    reject_draining: Counter,
+    reject_malformed: Counter,
+    reject_version_mismatch: Counter,
+    reject_session_in_use: Counter,
+    reject_resume_denied: Counter,
+}
+
+impl TcpServerMetrics {
+    fn from_registry(registry: &MetricsRegistry) -> Self {
+        TcpServerMetrics {
+            accepts: registry.counter("tcp.server.accepts"),
+            resumed: registry.counter("tcp.server.resumed"),
+            parked: registry.counter("tcp.server.parked"),
+            reaped: registry.counter("tcp.server.reaped"),
+            sheds: registry.counter("tcp.server.sheds"),
+            reject_full: registry.counter("tcp.server.rejects.full"),
+            reject_draining: registry.counter("tcp.server.rejects.draining"),
+            reject_malformed: registry.counter("tcp.server.rejects.malformed"),
+            reject_version_mismatch: registry.counter("tcp.server.rejects.version_mismatch"),
+            reject_session_in_use: registry.counter("tcp.server.rejects.session_in_use"),
+            reject_resume_denied: registry.counter("tcp.server.rejects.resume_denied"),
+        }
+    }
+
+    fn reject(&self, code: RejectCode) -> &Counter {
+        match code {
+            RejectCode::Full => &self.reject_full,
+            RejectCode::Draining => &self.reject_draining,
+            RejectCode::Malformed => &self.reject_malformed,
+            RejectCode::VersionMismatch => &self.reject_version_mismatch,
+            RejectCode::SessionInUse => &self.reject_session_in_use,
+            RejectCode::ResumeDenied => &self.reject_resume_denied,
+        }
+    }
+}
+
 /// Everything the accept loop, bridges and sweeper share.
 struct Shared {
     pool: Arc<MultiplexServer>,
@@ -1004,12 +1141,15 @@ struct Shared {
     next_session: AtomicU64,
     /// Nonce feed for token minting.
     token_nonce: AtomicU64,
+    /// Cached `tcp.server.*` metric handles (no-ops when the pool has no registry).
+    metrics: TcpServerMetrics,
 }
 
 impl Shared {
     fn reap(&self, session: SessionId) {
         self.tokens.lock().expect("token registry poisoned").remove(&session.0);
         reap_session(&self.pool, session);
+        self.metrics.reaped.incr();
     }
 }
 
@@ -1054,6 +1194,10 @@ impl TcpCloudServer {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        // The listener reports into the same registry as the worker pool it feeds, so
+        // one snapshot covers the whole serving stack; a pool built without a registry
+        // makes every handle a no-op.
+        let metrics = TcpServerMetrics::from_registry(pool.metrics_registry());
         let shared = Arc::new(Shared {
             pool,
             config,
@@ -1065,6 +1209,7 @@ impl TcpCloudServer {
             resumed: AtomicU64::new(0),
             next_session: AtomicU64::new(ASSIGNED_SESSION_BASE),
             token_nonce: AtomicU64::new(1),
+            metrics,
         });
         let bridge_threads = Arc::new(Mutex::new(Vec::new()));
 
@@ -1260,6 +1405,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
         return;
     }
     let reject = |code: RejectCode, reason: &str| {
+        shared.metrics.reject(code).incr();
         let hello = ServerHello::Reject { code, reason: reason.into() };
         let _ = write_frame(&stream, &wire::to_bytes(&hello));
     };
@@ -1329,6 +1475,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
         shared.reap(session);
         return;
     }
+    shared.metrics.accepts.incr();
 
     bridge_loop(&stream, shared, session, &conduit);
 }
@@ -1443,6 +1590,7 @@ fn admit_resume(
     };
     shared.pool.prune_replay(session, resume.last_acked_seq);
     shared.resumed.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.resumed.incr();
     Some((session, conduit))
 }
 
@@ -1491,6 +1639,7 @@ fn bridge_loop(
                         ))),
                     ),
                 };
+                shared.metrics.sheds.incr();
                 if write_frame(stream, &shed.encode()).is_err() {
                     break;
                 }
@@ -1531,6 +1680,7 @@ fn bridge_loop(
             .checked_add(shared.config.park_ttl)
             .unwrap_or_else(|| Instant::now() + Duration::from_secs(365 * 24 * 3600));
         shared.parked.lock().expect("parked registry poisoned").insert(session.0, deadline);
+        shared.metrics.parked.incr();
     } else {
         // The client vanished without a DISCONNECT and parking is off (or we are
         // draining): reap its session so the id frees up and the pool drops the
@@ -1880,6 +2030,29 @@ mod tests {
         // Huge attempt counts must not overflow.
         let _ = backoff_delay(Duration::from_secs(1), Duration::ZERO, u32::MAX, 1);
         assert_eq!(backoff_delay(Duration::ZERO, cap, 3, 7), Duration::ZERO);
+    }
+
+    #[test]
+    fn uncapped_backoff_is_monotone_and_saturates_instead_of_wrapping() {
+        // Regression: the doubling used to run in u32 `Duration::saturating_mul`
+        // after a 20-bit shift clamp, so an uncapped policy stopped growing early,
+        // and a nanosecond-domain overflow could wrap to a tiny delay.  Uncapped
+        // delays must now be monotone nondecreasing across the whole attempt range.
+        let base = Duration::from_millis(10);
+        let mut prev = Duration::ZERO;
+        for attempt in 0..=63 {
+            let d = backoff_delay(base, Duration::ZERO, attempt, 7);
+            assert!(
+                d >= prev,
+                "uncapped backoff regressed at attempt {attempt}: {d:?} after {prev:?}"
+            );
+            prev = d;
+        }
+        // Far past any representable doubling the delay pins at the saturated
+        // maximum; it must never fall back below an earlier attempt's delay.
+        let huge = backoff_delay(Duration::from_secs(1), Duration::ZERO, u32::MAX, 1);
+        let earlier = backoff_delay(Duration::from_secs(1), Duration::ZERO, 40, 1);
+        assert!(huge >= earlier, "saturated backoff wrapped: {huge:?} < {earlier:?}");
     }
 
     #[test]

@@ -281,6 +281,22 @@ impl S1Request {
             S1Request::Batch(requests) => requests.iter().map(Self::ciphertext_count).sum(),
         }
     }
+
+    /// Stable lower-snake-case name of this request kind, used as the metric and trace
+    /// span label for the protocol round that ships it.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            S1Request::EqTest { .. } => "eq_test",
+            S1Request::EqMatrix { .. } => "eq_matrix",
+            S1Request::EqAggregate { .. } => "eq_aggregate",
+            S1Request::Compare { .. } => "compare",
+            S1Request::Recover { .. } => "recover",
+            S1Request::Dedup(_) => "dedup",
+            S1Request::Filter { .. } => "filter",
+            S1Request::MulBlinded { .. } => "mul_blinded",
+            S1Request::Batch(_) => "batch",
+        }
+    }
 }
 
 /// A typed response from the crypto cloud S2, positionally matching the [`S1Request`]
@@ -447,6 +463,22 @@ pub trait Transport: fmt::Debug + Send {
     fn link(&self) -> LinkProfile {
         LinkProfile::ideal()
     }
+
+    /// Transport-level faults this connection absorbed without surfacing an error to
+    /// the caller: reconnect-and-resume cycles after a dropped connection and shed
+    /// requests retried to success.  Zero for transports that cannot fault (the
+    /// in-process, threaded and multiplexed paths); the TCP transport counts every
+    /// absorbed fault so serving reports can separate "queries that failed" from
+    /// "faults that were retried away".
+    fn faults_absorbed(&self) -> u64 {
+        0
+    }
+
+    /// Install client-side metric handles from `registry` (see
+    /// [`sectopk_metrics::Registry`]).  Default: no instrumentation — only the TCP
+    /// transport currently reports client-side metrics (`tcp.client.*`).  Never
+    /// affects protocol bytes, ledgers or [`ChannelMetrics`].
+    fn set_metrics_registry(&mut self, _registry: &sectopk_metrics::Registry) {}
 }
 
 /// Surface an `S2Response::Error` frame as the [`ProtocolError::Remote`] every

@@ -18,25 +18,33 @@
 //! connections when its stdin reaches end-of-file, lets in-flight sessions finish
 //! (bounded by `--drain-grace`), and exits — the shape an orchestrator uses for
 //! graceful rollouts.
+//!
+//! With `--metrics-period SECS`, the daemon enables the `sectopk-metrics` registry on
+//! its worker pool and dumps a human-readable rendering of every counter and histogram
+//! to stderr each period — request mix, pool sheds/replays, accepts/rejects/resumes,
+//! worker busy time.  Metrics are off (zero-cost no-op handles) without the flag.
 
 use std::io::{Read, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use sectopk_protocols::{MultiplexServer, TcpCloudServer, TcpServerConfig};
+use sectopk_metrics::Registry;
+use sectopk_protocols::{MultiplexServer, PoolLimits, TcpCloudServer, TcpServerConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sectopk-s2d [--listen ADDR] [--workers N] [--max-sessions N]\n\
          \x20                  [--park-ttl SECS] [--drain-on-stdin] [--drain-grace SECS]\n\
+         \x20                  [--metrics-period SECS]\n\
          \n\
          --listen ADDR        address to bind (default 127.0.0.1:7171; port 0 = ephemeral)\n\
          --workers N          S2 worker threads in the pool (default 4)\n\
          --max-sessions N     admission cap on concurrent sessions, active + parked (default 1024)\n\
          --park-ttl SECS      how long a dropped session stays resumable (default 30; 0 = reap immediately)\n\
          --drain-on-stdin     stop accepting, finish in-flight sessions and exit when stdin hits EOF\n\
-         --drain-grace SECS   how long --drain-on-stdin waits for live sessions (default 5)"
+         --drain-grace SECS   how long --drain-on-stdin waits for live sessions (default 5)\n\
+         --metrics-period SECS  enable metrics and dump the registry to stderr every SECS seconds"
     );
     ExitCode::FAILURE
 }
@@ -48,6 +56,7 @@ fn main() -> ExitCode {
     let mut park_ttl = 30u64;
     let mut drain_on_stdin = false;
     let mut drain_grace = 5u64;
+    let mut metrics_period = 0u64;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -81,6 +90,11 @@ fn main() -> ExitCode {
                 drain_grace = n;
                 i += 2;
             }
+            "--metrics-period" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else { return usage() };
+                metrics_period = n;
+                i += 2;
+            }
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -92,7 +106,24 @@ fn main() -> ExitCode {
     let config = TcpServerConfig::default()
         .with_max_sessions(max_sessions)
         .with_park_ttl(Duration::from_secs(park_ttl));
-    let pool = Arc::new(MultiplexServer::new(workers));
+    let registry = if metrics_period > 0 { Registry::enabled() } else { Registry::disabled() };
+    let pool = Arc::new(MultiplexServer::with_limits_and_metrics(
+        workers,
+        PoolLimits::default(),
+        registry.clone(),
+    ));
+    if metrics_period > 0 {
+        // Periodic observability dump: render every counter and histogram to stderr so
+        // the daemon's stdout stays reserved for the scriptable `listening on` lines.
+        let registry = registry.clone();
+        std::thread::Builder::new()
+            .name(String::from("sectopk-s2d-metrics"))
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_secs(metrics_period));
+                eprintln!("{}", registry.render());
+            })
+            .expect("spawning metrics reporter thread");
+    }
     let server = match TcpCloudServer::serve_pool(&listen, pool, config) {
         Ok(server) => server,
         Err(e) => {

@@ -59,9 +59,10 @@ use sectopk_core::{
 use sectopk_crypto::keys::MasterKeys;
 use sectopk_crypto::pool::shard_seed;
 use sectopk_datasets::QueryWorkload;
+use sectopk_metrics::{Counter, Histogram, MetricsSnapshot, Registry};
 use sectopk_protocols::{
-    ChannelMetrics, FaultPlan, LeakageLedger, LinkProfile, MultiplexServer, ProtocolError,
-    RetryPolicy, SessionId, TcpCloudServer, TcpOptions, TcpServerConfig, TwoClouds,
+    ChannelMetrics, FaultPlan, LeakageLedger, LinkProfile, MultiplexServer, PoolLimits,
+    ProtocolError, RetryPolicy, SessionId, TcpCloudServer, TcpOptions, TcpServerConfig, TwoClouds,
 };
 use sectopk_storage::{EncryptedRelation, TopKQuery};
 
@@ -188,6 +189,11 @@ pub struct SessionReport {
     pub s1_ledger: LeakageLedger,
     /// Everything this session's S2 engine observed (isolated per session).
     pub s2_ledger: LeakageLedger,
+    /// Transport-level faults this session's connection absorbed without surfacing an
+    /// error (reconnect-resume recoveries, shed requests retried to success).  Always
+    /// zero for in-process sessions; deterministic under an injected [`FaultPlan`].
+    /// Distinct from [`SessionReport::failures`], which are *query* failures.
+    pub transport_failures: u64,
 }
 
 impl SessionReport {
@@ -206,6 +212,11 @@ pub struct ServeReport {
     pub queries: usize,
     /// Wall-clock seconds for the whole run.
     pub wall_seconds: f64,
+    /// Snapshot of the server's metrics registry at the end of the run (request
+    /// counters, latency histograms, pool and transport counters — see the
+    /// `sectopk-metrics` crate).  Empty when the server was built with a disabled
+    /// registry.  Serializable, so recorded bench runs can carry it.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ServeReport {
@@ -218,9 +229,25 @@ impl ServeReport {
         }
     }
 
-    /// Total number of failed queries across all sessions.
+    /// Total number of failed *queries* across all sessions.  Transport faults that
+    /// were absorbed by retry are deliberately excluded — a recovered run reports zero
+    /// here; see [`ServeReport::transport_failures`] for the absorbed-fault count.
     pub fn error_count(&self) -> usize {
+        self.query_failures()
+    }
+
+    /// Total number of failed queries across all sessions ([`QueryFailure`] entries).
+    /// The explicit name of what [`ServeReport::error_count`] has always counted,
+    /// paired with [`ServeReport::transport_failures`] so the two failure classes can
+    /// no longer be conflated.
+    pub fn query_failures(&self) -> usize {
         self.sessions.iter().map(|s| s.failures.len()).sum()
+    }
+
+    /// Total transport-level faults absorbed invisibly by retry across all sessions
+    /// (reconnect-resume recoveries, shed requests retried to success).
+    pub fn transport_failures(&self) -> u64 {
+        self.sessions.iter().map(|s| s.transport_failures).sum()
     }
 
     /// Histogram of the variants the executed queries ran under, as
@@ -241,6 +268,33 @@ impl ServeReport {
     }
 }
 
+/// The serving-layer metric handles one [`QueryClient`] reports into: planner-variant
+/// counters are resolved lazily by name (the variant set is open-ended), idle-refill
+/// counts and timings through pre-resolved handles.  All no-ops when the server's
+/// registry is disabled.
+#[derive(Clone, Debug)]
+struct ClientMetrics {
+    registry: Registry,
+    idle_refills: Counter,
+    idle_refill_nanos: Histogram,
+}
+
+impl ClientMetrics {
+    fn from_registry(registry: &Registry) -> Self {
+        ClientMetrics {
+            registry: registry.clone(),
+            idle_refills: registry.counter("serve.idle_refills"),
+            idle_refill_nanos: registry.histogram("serve.idle_refill_nanos"),
+        }
+    }
+
+    fn count_plan(&self, plan: &PlanDecision) {
+        if self.registry.is_enabled() {
+            self.registry.counter(&format!("serve.planner.{}", plan.variant_name())).incr();
+        }
+    }
+}
+
 /// One S1 serving session: a [`TwoClouds`] context connected to the shared S2 pool,
 /// executing queries through the [`Session`] front door and accumulating its own
 /// metrics, ledgers and failures.
@@ -255,6 +309,7 @@ pub struct QueryClient {
     outcomes: Vec<QueryOutcome>,
     failures: Vec<QueryFailure>,
     submitted: usize,
+    client_metrics: ClientMetrics,
 }
 
 impl QueryClient {
@@ -277,11 +332,14 @@ impl QueryClient {
     /// by the serving loop between queries; harmless to call at any time (pool streams
     /// are position-deterministic, so eager refilling never changes protocol bytes).
     pub fn idle_refill(&mut self) {
+        let timer = self.client_metrics.idle_refill_nanos.start();
         self.clouds.idle_refill(
             IDLE_REFILL_PAILLIER_NONCES,
             IDLE_REFILL_DJ_NONCES,
             IDLE_REFILL_OWN_NONCES,
         );
+        self.client_metrics.idle_refill_nanos.stop(timer);
+        self.client_metrics.idle_refills.incr();
     }
 
     /// Close the session and collect its report (metrics, both ledgers, all outcomes
@@ -290,6 +348,7 @@ impl QueryClient {
         let metrics = self.clouds.channel();
         let s1_ledger = self.clouds.s1_ledger().clone();
         let s2_ledger = self.clouds.s2_ledger();
+        let transport_failures = self.clouds.faults_absorbed();
         SessionReport {
             session: self.session,
             seed: self.seed,
@@ -298,6 +357,7 @@ impl QueryClient {
             metrics,
             s1_ledger,
             s2_ledger,
+            transport_failures,
         }
     }
 }
@@ -333,6 +393,9 @@ impl Session for QueryClient {
         );
         match resolved {
             Ok(resolved) => {
+                if let Some(plan) = resolved.outcome.stats.plan.as_ref() {
+                    self.client_metrics.count_plan(plan);
+                }
                 self.outcomes.push(resolved.outcome.clone());
                 Ok(resolved)
             }
@@ -367,18 +430,52 @@ pub struct QueryServer {
     master: MasterKeys,
     outsourced: Outsourced,
     s2: Arc<MultiplexServer>,
+    metrics: Registry,
 }
 
 impl QueryServer {
     /// Stand up a server around an outsourced relation with `s2_workers` S2 worker
     /// threads.  The master keys play both owner roles: S1 views are handed to each
-    /// session, S2 views to each session's engine (Figure 1 of the paper).
+    /// session, S2 views to each session's engine (Figure 1 of the paper).  Serving
+    /// metrics are on by default; use [`Self::with_metrics`] with a disabled
+    /// [`Registry`] to strip all instrumentation.
     pub fn new(master: &MasterKeys, outsourced: Outsourced, s2_workers: usize) -> Self {
+        Self::with_metrics(master, outsourced, s2_workers, Registry::enabled())
+    }
+
+    /// [`Self::new`] with an explicit metrics [`Registry`].  The registry is shared by
+    /// the S2 worker pool, every session's transport and the serving loop itself, so a
+    /// single [`Self::metrics_snapshot`] covers the whole stack.  Instrumentation is
+    /// strictly observational: enabled or not, protocol bytes, ledgers and
+    /// [`ChannelMetrics`] are byte-identical (see `tests/metrics_invariance.rs`).
+    pub fn with_metrics(
+        master: &MasterKeys,
+        outsourced: Outsourced,
+        s2_workers: usize,
+        metrics: Registry,
+    ) -> Self {
         QueryServer {
             master: master.clone(),
             outsourced,
-            s2: Arc::new(MultiplexServer::new(s2_workers)),
+            s2: Arc::new(MultiplexServer::with_limits_and_metrics(
+                s2_workers,
+                PoolLimits::default(),
+                metrics.clone(),
+            )),
+            metrics,
         }
+    }
+
+    /// The live metrics registry — poll it mid-run, or hand it to other components
+    /// that should report into the same snapshot.
+    pub fn metrics_registry(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of every counter, gauge and histogram — safe to call
+    /// concurrently with serving (the live polling API).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Expose this server's S2 worker pool on a TCP listener at `addr` (e.g.
@@ -442,7 +539,7 @@ impl QueryServer {
         link: LinkProfile,
         intra_workers: usize,
     ) -> Result<QueryClient> {
-        let clouds = TwoClouds::connect_with_workers(
+        let mut clouds = TwoClouds::connect_with_workers(
             &self.master,
             seed,
             batching,
@@ -451,6 +548,7 @@ impl QueryServer {
             link,
             intra_workers,
         )?;
+        clouds.set_metrics(&self.metrics, &session.0.to_string());
         Ok(QueryClient {
             session,
             seed,
@@ -461,6 +559,7 @@ impl QueryServer {
             outcomes: Vec::new(),
             failures: Vec::new(),
             submitted: 0,
+            client_metrics: ClientMetrics::from_registry(&self.metrics),
         })
     }
 
@@ -496,6 +595,7 @@ impl QueryServer {
         let mut clouds =
             TwoClouds::connect_tcp(&self.master, seed, config.batching, addr, options)?;
         clouds.set_intra_workers(config.intra_workers);
+        clouds.set_metrics(&self.metrics, &i.to_string());
         Ok(QueryClient {
             session: SessionId(i),
             seed,
@@ -506,6 +606,7 @@ impl QueryServer {
             outcomes: Vec::new(),
             failures: Vec::new(),
             submitted: 0,
+            client_metrics: ClientMetrics::from_registry(&self.metrics),
         })
     }
 
@@ -568,6 +669,7 @@ impl QueryServer {
             sessions: reports,
             queries: workload.queries.len(),
             wall_seconds: start.elapsed().as_secs_f64(),
+            metrics: self.metrics.snapshot(),
         })
     }
 
@@ -591,6 +693,7 @@ impl QueryServer {
             sessions: reports,
             queries: workload.queries.len(),
             wall_seconds: start.elapsed().as_secs_f64(),
+            metrics: self.metrics.snapshot(),
         })
     }
 
@@ -630,6 +733,7 @@ impl QueryServer {
             sessions: reports,
             queries: workload.queries.len(),
             wall_seconds: start.elapsed().as_secs_f64(),
+            metrics: self.metrics.snapshot(),
         })
     }
 }
