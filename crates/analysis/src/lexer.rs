@@ -1,0 +1,437 @@
+//! A minimal Rust lexer — just enough fidelity for token-level invariant rules.
+//!
+//! The analyzer deliberately does not parse Rust (no `syn` in an offline workspace, and
+//! the rules only need token shapes): this module turns source text into a stream of
+//! identifier / number / string / punctuation tokens with line numbers, handling the
+//! lexical constructs that would otherwise produce false matches — nested block
+//! comments, cooked and raw (byte) strings, char literals vs. lifetimes.  Two
+//! post-passes provide the structure the rules need: [`strip_test_code`] removes
+//! `#[cfg(test)]` / `#[test]` items, and [`fn_spans`] recovers function-body extents so
+//! rules can reason about "in the same function".
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A numeric literal (integer part only; `1.5` lexes as `1`, `.`, `5`).
+    Number,
+    /// A string literal; `text` holds the contents without quotes or prefix.
+    Str,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (contents only, for strings).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the given punctuation character.
+    pub fn is_punct(&self, p: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(p)
+    }
+
+    /// True when this token is an identifier with exactly the given text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// Lex `src` into tokens, discarding comments and whitespace.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let len = chars.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < len {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments (line, and nested block).
+        if c == '/' && i + 1 < len {
+            if chars[i + 1] == '/' {
+                while i < len && chars[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let mut depth = 1;
+                i += 2;
+                while i < len && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < len && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < len && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        // Raw / byte string prefixes: r"", r#""#, b"", br"", br#""# — and byte chars b''.
+        if c == 'r' || c == 'b' {
+            if let Some(next) = try_lex_prefixed_literal(&chars, i, &mut line, &mut toks) {
+                i = next;
+                continue;
+            }
+        }
+        // Cooked strings.
+        if c == '"' {
+            i = lex_cooked_string(&chars, i, &mut line, &mut toks);
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            i = lex_quote(&chars, i, &mut line);
+            continue;
+        }
+        // Identifiers.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < len && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, text: chars[start..i].iter().collect(), line });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < len && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Number, text: chars[start..i].iter().collect(), line });
+            continue;
+        }
+        toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    toks
+}
+
+/// Try to lex a literal starting with an `r` / `b` / `br` prefix at `i`; returns the
+/// index just past the literal, or `None` when `i` starts a plain identifier.
+fn try_lex_prefixed_literal(
+    chars: &[char],
+    i: usize,
+    line: &mut u32,
+    toks: &mut Vec<Tok>,
+) -> Option<usize> {
+    let len = chars.len();
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        // Byte char literal b'x'.
+        if j < len && chars[j] == '\'' {
+            return Some(lex_quote(chars, j, line));
+        }
+        if j < len && chars[j] == '"' {
+            return Some(lex_cooked_string(chars, j, line, toks));
+        }
+    }
+    if j < len && chars[j] == 'r' {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < len && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < len && chars[j] == '"' {
+            // Raw string: scan for `"` followed by `hashes` hash marks.
+            let start_line = *line;
+            j += 1;
+            let content_start = j;
+            while j < len {
+                if chars[j] == '\n' {
+                    *line += 1;
+                    j += 1;
+                    continue;
+                }
+                if chars[j] == '"'
+                    && chars[j + 1..].iter().take(hashes).filter(|&&h| h == '#').count() == hashes
+                {
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: chars[content_start..j].iter().collect(),
+                        line: start_line,
+                    });
+                    return Some(j + 1 + hashes);
+                }
+                j += 1;
+            }
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// Lex a cooked (escaped) string literal whose opening quote is at `i`; returns the
+/// index just past the closing quote.
+fn lex_cooked_string(chars: &[char], i: usize, line: &mut u32, toks: &mut Vec<Tok>) -> usize {
+    let len = chars.len();
+    let start_line = *line;
+    let mut j = i + 1;
+    let content_start = j;
+    while j < len {
+        match chars[j] {
+            '\\' => {
+                // A string line-continuation escapes the newline itself; keep counting.
+                if j + 1 < len && chars[j + 1] == '\n' {
+                    *line += 1;
+                }
+                j += 2;
+            }
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => {
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: chars[content_start..j].iter().collect(),
+                    line: start_line,
+                });
+                return j + 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Lex a `'`-introduced construct (char literal or lifetime) starting at `i`; returns
+/// the index just past it.  Lifetimes and char literals produce no token — no rule
+/// needs them.
+fn lex_quote(chars: &[char], i: usize, line: &mut u32) -> usize {
+    let len = chars.len();
+    // Escaped char literal: '\n', '\'', '\u{..}', '\x41'.  The char after the
+    // backslash is always part of the escape — skip it before looking for the
+    // closing quote (it may itself be a quote, as in '\'').
+    if i + 1 < len && chars[i + 1] == '\\' {
+        let mut j = i + 3;
+        while j < len && chars[j] != '\'' {
+            if chars[j] == '\n' {
+                *line += 1;
+            }
+            j += 1;
+        }
+        return j + 1;
+    }
+    // Lifetime: 'a not followed by a closing quote.
+    if i + 2 < len
+        && (chars[i + 1].is_alphanumeric() || chars[i + 1] == '_')
+        && chars[i + 2] != '\''
+    {
+        let mut j = i + 1;
+        while j < len && (chars[j].is_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+        return j;
+    }
+    // Plain char literal 'x'.
+    (i + 2).min(len) + 1
+}
+
+/// Remove `#[cfg(test)]` / `#[test]`-gated items from a token stream, so rules only see
+/// code that ships in a release build.
+pub fn strip_test_code(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            let end = match_bracket(toks, i + 1);
+            if is_test_attr(&toks[i + 2..end]) {
+                i = end + 1;
+                // Skip any stacked attributes on the same item, then the item itself.
+                while i + 1 < toks.len() && toks[i].is_punct('#') && toks[i + 1].is_punct('[') {
+                    i = match_bracket(toks, i + 1) + 1;
+                }
+                i = skip_item(toks, i);
+                continue;
+            }
+            out.extend(toks[i..=end.min(toks.len() - 1)].iter().cloned());
+            i = end + 1;
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// True when the attribute tokens (between `#[` and `]`) gate the item to test builds.
+fn is_test_attr(inner: &[Tok]) -> bool {
+    match inner.first() {
+        Some(first) if first.is_ident("test") => true,
+        Some(first) if first.is_ident("cfg") => inner.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Index of the `]` matching the `[` at `open` (or the last token when unbalanced).
+fn match_bracket(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len() - 1
+}
+
+/// Skip one item starting at `i`: to the `;` ending a braceless item, or past the `}`
+/// matching the item's first `{`.  Returns the index just past the item.
+fn skip_item(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// A function body recovered from the token stream.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the body's opening `{`.
+    pub start: usize,
+    /// Token index of the body's closing `}`.
+    pub end: usize,
+}
+
+/// Recover every function body extent in a (test-stripped) token stream.  Nested
+/// functions produce nested spans; callers wanting "the enclosing function" should pick
+/// the innermost span containing their token (see [`innermost_fn`]).
+pub fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else { continue };
+        if name_tok.kind != TokKind::Ident {
+            continue; // `fn(` pointer type, not a definition
+        }
+        // The next `{` before a `;` opens the body (trait signatures have none).
+        let mut j = i + 2;
+        let mut body = None;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                body = Some(j);
+                break;
+            }
+            if toks[j].is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(start) = body else { continue };
+        let mut depth = 0i32;
+        let mut end = start;
+        for (k, t) in toks.iter().enumerate().skip(start) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    end = k;
+                    break;
+                }
+            }
+        }
+        spans.push(FnSpan { name: name_tok.text.clone(), start, end });
+    }
+    spans
+}
+
+/// The innermost function span containing token index `i`, if any.
+pub fn innermost_fn(spans: &[FnSpan], i: usize) -> Option<&FnSpan> {
+    spans.iter().filter(|s| s.start <= i && i <= s.end).min_by_key(|s| s.end - s.start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_skipped() {
+        let toks = lex("let x = 1; // unwrap()\n/* .expect( */ let s = \".unwrap()\";");
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap") || t.is_ident("expect")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str && t.text == ".unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let toks = lex("fn f<'a>(x: &'a str) { let r = r#\"panic!()\"#; let c = 'x'; }");
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str && t.text == "panic!()"));
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let toks = lex("/* a\nb */\nlet y = \"s1\ns2\";\nlet z = 3;");
+        let z = toks.iter().find(|t| t.is_ident("z")).unwrap();
+        assert_eq!(z.line, 5);
+    }
+
+    #[test]
+    fn cfg_test_items_are_stripped() {
+        let toks =
+            lex("fn keep() {}\n#[cfg(test)]\nmod tests { fn bad() { x.unwrap(); } }\nfn also() {}");
+        let stripped = strip_test_code(&toks);
+        assert!(stripped.iter().any(|t| t.is_ident("keep")));
+        assert!(stripped.iter().any(|t| t.is_ident("also")));
+        assert!(!stripped.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn fn_spans_find_innermost() {
+        let toks = lex("fn outer() { fn inner() { mark(); } }");
+        let spans = fn_spans(&toks);
+        assert_eq!(spans.len(), 2);
+        let mark = toks.iter().position(|t| t.is_ident("mark")).unwrap();
+        assert_eq!(innermost_fn(&spans, mark).unwrap().name, "inner");
+    }
+}

@@ -1,0 +1,75 @@
+//! The `sectopk-lint` CLI: run the workspace invariant analyzer and gate CI.
+//!
+//! Usage: `cargo run -p sectopk-lint --release [-- --json] [--root DIR] [--config FILE]`.
+//! Exits 0 when the tree is clean (no non-allowlisted findings and no stale allowlist
+//! entries), 1 on violations, 2 on configuration or I/O errors.
+
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "sectopk-lint: workspace invariant analyzer\n\n\
+                     Options:\n  --json           emit findings as JSON\n  \
+                     --root DIR       workspace root (default: auto-detected)\n  \
+                     --config FILE    config path (default: <root>/lints.toml)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sectopk-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let config_path = config.unwrap_or_else(|| root.join("lints.toml"));
+    let cfg = match sectopk_lint::Config::load(&config_path) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("sectopk-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match sectopk_lint::run(&root, &cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sectopk-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: the current directory if it holds `lints.toml`, else the
+/// manifest's grandparent (`crates/analysis/../..`), else the current directory.
+fn default_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("lints.toml").is_file() {
+        return cwd;
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or(cwd)
+}

@@ -1,0 +1,116 @@
+//! Findings, allowlist application, and the text / JSON renderers.
+
+use serde::Serialize;
+
+use crate::config::AllowEntry;
+
+/// One rule violation at a specific source location.
+#[derive(Clone, Debug, Serialize)]
+pub struct Finding {
+    /// Rule id (`decrypt-confinement`, `determinism`, `panic-freedom`,
+    /// `secret-hygiene`, `wire-exhaustiveness`).
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The trimmed source line.
+    pub snippet: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// A finding suppressed by a justified allowlist entry.
+#[derive(Clone, Debug, Serialize)]
+pub struct AllowedFinding {
+    /// The suppressed finding.
+    pub finding: Finding,
+    /// The allowlist entry's justification.
+    pub justification: String,
+}
+
+/// The full result of an analyzer run.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Non-allowlisted violations — any entry here fails the run.
+    pub findings: Vec<Finding>,
+    /// Violations suppressed by a justified allowlist entry.
+    pub allowed: Vec<AllowedFinding>,
+    /// Allowlist entries that matched nothing — stale exemptions fail the run too.
+    pub unused_allow_entries: Vec<AllowEntry>,
+    /// Number of source files analyzed.
+    pub files_analyzed: usize,
+}
+
+impl Report {
+    /// Split raw findings into violations and allowlisted sites, and record any
+    /// allowlist entry that matched nothing (a stale exemption is itself an error:
+    /// it means the hazard it documented no longer exists, so the justification is
+    /// dead weight — or worse, masking a typo that lets real findings through).
+    pub fn assemble(mut raw: Vec<Finding>, allow: &[AllowEntry], files_analyzed: usize) -> Report {
+        raw.sort_by(|a, b| {
+            (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+        });
+        let mut findings = Vec::new();
+        let mut allowed = Vec::new();
+        let mut used = vec![false; allow.len()];
+        for finding in raw {
+            let hit = allow.iter().position(|e| {
+                e.rule == finding.rule
+                    && e.file == finding.file
+                    && finding.snippet.contains(&e.pattern)
+            });
+            match hit {
+                Some(idx) => {
+                    used[idx] = true;
+                    allowed.push(AllowedFinding {
+                        finding,
+                        justification: allow[idx].justification.clone(),
+                    });
+                }
+                None => findings.push(finding),
+            }
+        }
+        let unused_allow_entries =
+            allow.iter().zip(&used).filter(|(_, &u)| !u).map(|(e, _)| e.clone()).collect();
+        Report { findings, allowed, unused_allow_entries, files_analyzed }
+    }
+
+    /// True when the run passes: no violations and no stale allowlist entries.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.unused_allow_entries.is_empty()
+    }
+
+    /// Render the report as stable JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+
+    /// Render the report as human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!("{}:{}: [{}] {}\n", f.file, f.line, f.rule, f.message));
+            if !f.snippet.is_empty() {
+                out.push_str(&format!("    {}\n", f.snippet));
+            }
+        }
+        for e in &self.unused_allow_entries {
+            out.push_str(&format!(
+                "lints.toml: unused allowlist entry [{}] {} (pattern `{}`) — remove it or fix \
+                 the pattern\n",
+                e.rule, e.file, e.pattern
+            ));
+        }
+        out.push_str(&format!(
+            "sectopk-lint: {} file(s) analyzed, {} violation(s), {} allowlisted site(s), {} \
+             unused allowlist entr{}\n",
+            self.files_analyzed,
+            self.findings.len(),
+            self.allowed.len(),
+            self.unused_allow_entries.len(),
+            if self.unused_allow_entries.len() == 1 { "y" } else { "ies" },
+        ));
+        out
+    }
+}

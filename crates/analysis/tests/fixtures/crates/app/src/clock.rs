@@ -1,0 +1,8 @@
+//! Fixture: a wall-clock read in a deterministic scope (rule 2 violation at line 5).
+
+pub fn stamp() -> Instant {
+    // VIOLATION[determinism]: ambient clock read in a compute path.
+    Instant::now()
+}
+
+pub fn from_instant_now() {} // an ident mentioning the segments is not a path match

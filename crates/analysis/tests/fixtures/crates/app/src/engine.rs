@@ -1,0 +1,13 @@
+//! Fixture: the audited engine file.  `reveal_paired` records its reveal and is
+//! clean; `reveal_unpaired` does not (rule 1 engine-pairing violation at line 12).
+
+pub fn reveal_paired(&mut self, c: &Ciphertext) -> u64 {
+    let v = self.keys.decrypt(c);
+    self.ledger.record(Event::Reveal);
+    v
+}
+
+pub fn reveal_unpaired(&mut self, c: &Ciphertext) -> u64 {
+    // VIOLATION[decrypt-confinement]: engine-side reveal with no ledger record.
+    self.keys.decrypt(c)
+}

@@ -1,0 +1,7 @@
+//! Fixture: the handler that answers only `Req::Ping`.
+
+pub fn handle(req: &Req) -> Reply {
+    match req {
+        Req::Ping => Reply::Pong,
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: a decrypt call outside the audited modules (rule 1 violation at line 5).
+
+pub fn peek(sk: &SecretKey, c: &Ciphertext) -> u64 {
+    // VIOLATION[decrypt-confinement]: plaintext revealed outside the audited modules.
+    sk.decrypt(c)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is stripped: this decrypt must NOT be reported.
+    fn in_tests(sk: &super::SecretKey, c: &super::Ciphertext) -> u64 {
+        sk.decrypt(c)
+    }
+}

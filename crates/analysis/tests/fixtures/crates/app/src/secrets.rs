@@ -1,0 +1,10 @@
+//! Fixture: a secret-key type deriving Debug (rule 4 violation at line 4).
+
+// VIOLATION[secret-hygiene]: key material must never be formatted.
+#[derive(Clone, Debug)]
+pub struct TestSecretKey {
+    pub bytes: [u8; 32],
+}
+
+#[derive(Clone, Debug)]
+pub struct PublicThing; // non-secret types may derive Debug freely

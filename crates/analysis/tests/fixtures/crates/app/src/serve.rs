@@ -1,0 +1,10 @@
+//! Fixture: a panic site on the serving path (rule 3 violation at line 5).
+
+pub fn route(table: &Table, key: u64) -> Reply {
+    // VIOLATION[panic-freedom]: `.unwrap()` on the serving path.
+    table.lookup(key).unwrap()
+}
+
+pub fn safe(table: &Table, key: u64) -> Option<Reply> {
+    table.lookup(key) // returning the Option is fine
+}

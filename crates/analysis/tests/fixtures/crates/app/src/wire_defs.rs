@@ -1,0 +1,24 @@
+//! Fixture: the request and error-code enums for the wire-exhaustiveness rule.
+//! `Req::Pong` has no handler arm in handler.rs (rule 5 violation at line 7).
+
+pub enum Req {
+    Ping,
+    // VIOLATION[wire-exhaustiveness]: no handler arm for this variant.
+    Pong,
+}
+
+pub enum Code {
+    Alpha,
+    Beta,
+}
+
+impl Code {
+    pub const ALL: [Code; 2] = [Code::Alpha, Code::Beta];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Code::Alpha => "alpha",
+            Code::Beta => "beta",
+        }
+    }
+}

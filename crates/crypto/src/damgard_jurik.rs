@@ -335,11 +335,18 @@ impl DjPublicKey {
 /// `q³`, recombined with Garner's formula before the exponent-extraction recursion.
 /// The CRT parameters are derived from the Paillier key's factors and live behind an
 /// [`Arc`] (cheap clones); serialization ships only the Paillier key and rebuilds them.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct DjSecretKey {
     paillier: PaillierSecretKey,
     public: DjPublicKey,
     crt: Arc<DjCrt>,
+}
+
+impl std::fmt::Debug for DjSecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material; the public half identifies the key for debugging.
+        f.debug_struct("DjSecretKey").field("public", &self.public).finish_non_exhaustive()
+    }
 }
 
 /// CRT parameters for the outer-layer modulus `N³ = p³·q³`.
@@ -349,7 +356,7 @@ pub struct DjSecretKey {
 /// contribution vanishes because `N²(p−1) ≡ 0 mod p²(p−1)`, the group order), and `y`
 /// is extracted from the binomial closed form
 /// `1 + y·q·p + (y(y−1)/2 mod p)·q²·p² (mod p³)` with two inversions precomputed here.
-#[derive(Debug)]
+/// No `Debug`: the fields are the factors themselves and must never be formatted.
 struct DjCrt {
     p: BigUint,
     q: BigUint,

@@ -122,7 +122,7 @@ impl Deserialize for PaillierPublicKey {
 /// The textbook path survives as [`Self::decrypt_via_lambda`], the reference the CRT
 /// path is differentially tested against.  The CRT parameters live behind their own
 /// [`Arc`] so cloning the key (the S2 engine clones per request batch) stays cheap.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct PaillierSecretKey {
     lambda: BigUint,
     mu: BigUint,
@@ -130,8 +130,15 @@ pub struct PaillierSecretKey {
     public: PaillierPublicKey,
 }
 
-/// CRT decryption parameters derived from the key's prime factorisation.
-#[derive(Debug)]
+impl std::fmt::Debug for PaillierSecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material; the public half identifies the key for debugging.
+        f.debug_struct("PaillierSecretKey").field("public", &self.public).finish_non_exhaustive()
+    }
+}
+
+/// CRT decryption parameters derived from the key's prime factorisation.  No `Debug`:
+/// the fields are the factors themselves and must never be formatted.
 struct PaillierCrt {
     p: BigUint,
     q: BigUint,

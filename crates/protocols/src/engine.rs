@@ -546,7 +546,7 @@ impl S2Engine {
     ) -> EngineResult<S2Response> {
         match request {
             S1Request::EqTest { context, depth, accumulate, reply_bit, .. } => {
-                let bit = self.record_eq_bit(next_bit(outs), context, *depth);
+                let bit = self.record_eq_bit(next_bit(outs)?, context, *depth);
                 if *accumulate {
                     self.pending_eq.push(bit);
                 }
@@ -560,7 +560,7 @@ impl S2Engine {
             S1Request::EqMatrix { diffs, cols, context, depth, want } => {
                 let mut bits = Vec::with_capacity(diffs.len());
                 for _ in 0..diffs.len() {
-                    bits.push(self.record_eq_bit(next_bit(outs), context, *depth));
+                    bits.push(self.record_eq_bit(next_bit(outs)?, context, *depth));
                 }
                 let mut e2_bits = Vec::with_capacity(bits.len());
                 for &bit in &bits {
@@ -577,14 +577,15 @@ impl S2Engine {
             S1Request::Compare { blinded, context } => {
                 let mut signs = Vec::with_capacity(blinded.len());
                 for _ in 0..blinded.len() {
-                    let sign = next_sign(outs);
+                    let sign = next_sign(outs)?;
                     self.ledger.record(LeakageEvent::BlindedSign { context: context.clone() });
                     signs.push(sign);
                 }
                 Ok(S2Response::Signs(signs))
             }
             S1Request::Recover { blinded } => {
-                let inner = (0..blinded.len()).map(|_| next_inner(outs)).collect();
+                let inner =
+                    (0..blinded.len()).map(|_| next_inner(outs)).collect::<EngineResult<_>>()?;
                 Ok(S2Response::Recovered(inner))
             }
             S1Request::Dedup(dedup) => self.commit_dedup(dedup, outs),
@@ -593,8 +594,8 @@ impl S2Engine {
                 let pk = self.keys.paillier_public.clone();
                 let mut products = Vec::with_capacity(pairs.len());
                 for _ in 0..pairs.len() {
-                    let x = next_plain(outs);
-                    let y = next_plain(outs);
+                    let x = next_plain(outs)?;
+                    let y = next_plain(outs)?;
                     products.push(self.pool.encrypt(&((x * y) % pk.n()))?);
                 }
                 Ok(S2Response::Products(products))
@@ -664,8 +665,8 @@ impl S2Engine {
         // phase) or the bits streamed ahead through per-pair EqTest rounds (unbatched).
         let bits: Vec<bool> = match &request.matrix {
             Some(matrix) => (0..matrix.len())
-                .map(|_| self.record_eq_bit(next_bit(outs), "sec_dedup", Some(request.depth)))
-                .collect(),
+                .map(|_| Ok(self.record_eq_bit(next_bit(outs)?, "sec_dedup", Some(request.depth))))
+                .collect::<EngineResult<_>>()?,
             None => std::mem::take(&mut self.pending_eq),
         };
 
@@ -767,7 +768,7 @@ impl S2Engine {
 
         let mut survivors: Vec<FilterTuple> = Vec::new();
         for t in tuples {
-            if next_bit(outs) {
+            if next_bit(outs)? {
                 continue; // blinded score was zero: did not satisfy the join condition
             }
             // Multiplicative re-blinding of the score with γ; additive re-blinding of the
@@ -799,32 +800,35 @@ impl S2Engine {
 
 // Commit-phase extractors: `collect_ops` and `commit` walk the same request in the same
 // order, so the next result always has the expected variant — a mismatch is an engine
-// bug, not a wire condition, hence the panic.
+// bug, not a wire condition.  It still must not kill the session: the serving path is
+// panic-free, so the mismatch becomes a typed `Internal` error frame for this request.
 
-fn next_bit(outs: &mut std::vec::IntoIter<DecOut>) -> bool {
+fn next_bit(outs: &mut std::vec::IntoIter<DecOut>) -> EngineResult<bool> {
     match outs.next() {
-        Some(DecOut::Bit(b)) => b,
-        _ => unreachable!("compute/commit op order mismatch: expected equality bit"),
+        Some(DecOut::Bit(b)) => Ok(b),
+        _ => Err(WireError::internal("compute/commit op order mismatch: expected equality bit")),
     }
 }
 
-fn next_sign(outs: &mut std::vec::IntoIter<DecOut>) -> i8 {
+fn next_sign(outs: &mut std::vec::IntoIter<DecOut>) -> EngineResult<i8> {
     match outs.next() {
-        Some(DecOut::Sign(s)) => s,
-        _ => unreachable!("compute/commit op order mismatch: expected sign"),
+        Some(DecOut::Sign(s)) => Ok(s),
+        _ => Err(WireError::internal("compute/commit op order mismatch: expected sign")),
     }
 }
 
-fn next_plain(outs: &mut std::vec::IntoIter<DecOut>) -> BigUint {
+fn next_plain(outs: &mut std::vec::IntoIter<DecOut>) -> EngineResult<BigUint> {
     match outs.next() {
-        Some(DecOut::Plain(v)) => v,
-        _ => unreachable!("compute/commit op order mismatch: expected plaintext"),
+        Some(DecOut::Plain(v)) => Ok(v),
+        _ => Err(WireError::internal("compute/commit op order mismatch: expected plaintext")),
     }
 }
 
-fn next_inner(outs: &mut std::vec::IntoIter<DecOut>) -> Ciphertext {
+fn next_inner(outs: &mut std::vec::IntoIter<DecOut>) -> EngineResult<Ciphertext> {
     match outs.next() {
-        Some(DecOut::Inner(c)) => c,
-        _ => unreachable!("compute/commit op order mismatch: expected inner ciphertext"),
+        Some(DecOut::Inner(c)) => Ok(c),
+        _ => {
+            Err(WireError::internal("compute/commit op order mismatch: expected inner ciphertext"))
+        }
     }
 }

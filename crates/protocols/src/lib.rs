@@ -62,6 +62,7 @@ pub mod items;
 pub mod join;
 pub mod ledger;
 pub mod multiplex;
+mod plock;
 pub mod primitives;
 pub mod sort;
 #[deny(missing_docs)]

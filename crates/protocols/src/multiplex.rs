@@ -108,6 +108,7 @@ use crate::channel::{ChannelMetrics, Direction};
 use crate::engine::S2Engine;
 use crate::error::{ProtocolError, Result};
 use crate::ledger::LeakageLedger;
+use crate::plock::PoisonFree;
 use crate::transport::{
     frame, framed, response_or_error, S1Request, S2Response, Transport, TransportKind,
 };
@@ -153,17 +154,16 @@ impl Envelope {
     /// Decode channel bytes back into an envelope.  The frame may be empty only for
     /// control messages that carry no tag; protocol traffic always has at least a tag.
     pub fn decode(bytes: &[u8]) -> Result<Envelope> {
-        if bytes.len() < ENVELOPE_HEADER_LEN {
+        let Some((session, rest)) = bytes.split_first_chunk::<8>() else {
             return Err(ProtocolError::transport("truncated multiplex envelope"));
-        }
-        let mut session = [0u8; 8];
-        session.copy_from_slice(&bytes[..8]);
-        let mut seq = [0u8; 8];
-        seq.copy_from_slice(&bytes[8..16]);
+        };
+        let Some((seq, frame)) = rest.split_first_chunk::<8>() else {
+            return Err(ProtocolError::transport("truncated multiplex envelope"));
+        };
         Ok(Envelope {
-            session: SessionId(u64::from_le_bytes(session)),
-            seq: u64::from_le_bytes(seq),
-            frame: bytes[ENVELOPE_HEADER_LEN..].to_vec(),
+            session: SessionId(u64::from_le_bytes(*session)),
+            seq: u64::from_le_bytes(*seq),
+            frame: frame.to_vec(),
         })
     }
 }
@@ -297,7 +297,7 @@ impl SessionSlot {
     /// Send `bytes` down the session's *current* reply channel (best effort: a send
     /// failure means the session's client hung up and the reply is dropped).
     fn send_reply(&self, bytes: Vec<u8>) {
-        let replies = self.replies.lock().expect("session reply sender poisoned").clone();
+        let replies = self.replies.plock().clone();
         let _ = replies.send(bytes);
     }
 }
@@ -474,7 +474,7 @@ impl MultiplexServer {
 
     /// Number of currently connected sessions.
     pub fn active_sessions(&self) -> usize {
-        self.registry.lock().expect("session registry poisoned").len()
+        self.registry.plock().len()
     }
 
     /// The admission-control bounds this pool runs under.
@@ -536,7 +536,7 @@ impl MultiplexServer {
     /// a fresh hello cannot claim an id while it is still registered).  A worker
     /// mid-request on the slot finishes against its own `Arc` and drops the reply.
     pub(crate) fn evict(&self, session: SessionId) {
-        if self.registry.lock().expect("session registry poisoned").remove(&session).is_some() {
+        if self.registry.plock().remove(&session).is_some() {
             self.metrics.evicted.incr();
         }
     }
@@ -544,7 +544,7 @@ impl MultiplexServer {
     /// Whether `session` is currently registered (active or parked — the pool does not
     /// distinguish; parking is the TCP listener's bookkeeping).
     pub(crate) fn has_session(&self, session: SessionId) -> bool {
-        self.registry.lock().expect("session registry poisoned").contains_key(&session)
+        self.registry.plock().contains_key(&session)
     }
 
     /// Register `session` backed by `engine` and hand back the raw channel endpoints.
@@ -559,7 +559,7 @@ impl MultiplexServer {
         mut engine: S2Engine,
     ) -> std::result::Result<SessionConduit, AttachError> {
         let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<u8>>(REPLY_QUEUE_DEPTH);
-        let mut registry = self.registry.lock().expect("session registry poisoned");
+        let mut registry = self.registry.plock();
         if registry.contains_key(&session) {
             return Err(AttachError { engine, reason: AttachReason::InUse });
         }
@@ -593,10 +593,10 @@ impl MultiplexServer {
     /// last-reply cache all survive.  Returns `None` when the session is not
     /// registered (it was reaped, e.g. after its park TTL expired).
     pub(crate) fn reattach(&self, session: SessionId) -> Option<SessionConduit> {
-        let registry = self.registry.lock().expect("session registry poisoned");
+        let registry = self.registry.plock();
         let slot = Arc::clone(registry.get(&session)?);
         let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<u8>>(REPLY_QUEUE_DEPTH);
-        *slot.replies.lock().expect("session reply sender poisoned") = reply_tx;
+        *slot.replies.plock() = reply_tx;
         self.metrics.reattached.incr();
         Some(SessionConduit {
             to_server: self.inbox.clone(),
@@ -613,13 +613,13 @@ impl MultiplexServer {
     /// sequence number, so the cache can be freed early.
     pub(crate) fn prune_replay(&self, session: SessionId, acked: u64) {
         let slot = {
-            let registry = self.registry.lock().expect("session registry poisoned");
+            let registry = self.registry.plock();
             match registry.get(&session) {
                 Some(slot) => Arc::clone(slot),
                 None => return,
             }
         };
-        let mut cached = slot.last_reply.lock().expect("session reply cache poisoned");
+        let mut cached = slot.last_reply.plock();
         if let Some((seq, _)) = cached.as_ref() {
             if *seq <= acked {
                 *cached = None;
@@ -640,7 +640,7 @@ impl Drop for MultiplexServer {
         }
         // Dropping the slots closes every session's reply channel, so a client still
         // blocked on a response sees a clean "server is gone" error instead of a hang.
-        self.registry.lock().expect("session registry poisoned").clear();
+        self.registry.plock().clear();
     }
 }
 
@@ -654,7 +654,7 @@ fn worker_loop(
 ) {
     loop {
         // Hold the inbox lock only for the dequeue, not while processing.
-        let incoming = match rx.lock().expect("server inbox poisoned").recv() {
+        let incoming = match rx.plock().recv() {
             Ok(bytes) => bytes,
             Err(_) => return, // every transport and the server handle are gone
         };
@@ -680,18 +680,19 @@ fn worker_loop(
             return;
         }
         let slot = {
-            let mut registry = registry.lock().expect("session registry poisoned");
+            let mut registry = registry.plock();
             if tag == frame::DISCONNECT {
                 if registry.get(&envelope.session).is_some_and(|slot| slot.epoch == epoch) {
-                    let slot = registry.remove(&envelope.session).expect("entry just checked");
-                    // Acknowledge so the departing client can block until its id is
-                    // actually free for reuse.
-                    let ack = Envelope {
-                        session: envelope.session,
-                        seq: envelope.seq,
-                        frame: vec![frame::DISCONNECT_DONE],
-                    };
-                    slot.send_reply(ack.encode());
+                    if let Some(slot) = registry.remove(&envelope.session) {
+                        // Acknowledge so the departing client can block until its id is
+                        // actually free for reuse.
+                        let ack = Envelope {
+                            session: envelope.session,
+                            seq: envelope.seq,
+                            frame: vec![frame::DISCONNECT_DONE],
+                        };
+                        slot.send_reply(ack.encode());
+                    }
                 }
                 continue;
             }
@@ -710,7 +711,7 @@ fn worker_loop(
         // its replies back up and block the workers).
         slot.inflight.fetch_sub(1, Ordering::SeqCst);
         let timer = busy.start();
-        let mut engine = slot.engine.lock().expect("session engine poisoned");
+        let mut engine = slot.engine.plock();
         let reply_bytes: Vec<u8> = match tag {
             frame::REQUEST => {
                 // Replay check, under the engine lock so the cache and the execution
@@ -718,9 +719,11 @@ fn worker_loop(
                 // re-sending the envelope it never saw answered, or a duplicate still
                 // in the inbox) is answered from the cache without touching the
                 // engine — ledger and nonce streams advance exactly once.
-                let mut cached = slot.last_reply.lock().expect("session reply cache poisoned");
-                if envelope.seq != 0 && matches!(&*cached, Some((seq, _)) if *seq == envelope.seq) {
-                    let (_, bytes) = cached.as_ref().expect("matched cache entry").clone();
+                let mut cached = slot.last_reply.plock();
+                if let Some((_, bytes)) =
+                    cached.as_ref().filter(|(seq, _)| envelope.seq != 0 && *seq == envelope.seq)
+                {
+                    let bytes = bytes.clone();
                     stats.replayed.fetch_add(1, Ordering::Relaxed);
                     metrics.replayed.incr();
                     bytes

@@ -1,0 +1,22 @@
+//! Poison-recovering mutex locking for the serving path.
+//!
+//! A poisoned mutex means some other thread panicked while holding the guard.  On
+//! the serving path that must not cascade: every shared structure guarded here
+//! (session registries, reply caches, connection tables) is kept consistent by
+//! value-level invariants rather than by guard scope, so the recovered guard is
+//! safe to use and the session layer can convert the *original* failure into a
+//! typed error frame instead of tearing down the whole process.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Extension trait adding a poison-recovering [`Mutex::lock`].
+pub(crate) trait PoisonFree<T> {
+    /// Lock the mutex, recovering the guard if a previous holder panicked.
+    fn plock(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> PoisonFree<T> for Mutex<T> {
+    fn plock(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -101,6 +101,7 @@ use crate::ledger::LeakageLedger;
 use crate::multiplex::{
     AttachReason, Envelope, MultiplexServer, SessionConduit, SessionId, SubmitError,
 };
+use crate::plock::PoisonFree;
 use crate::transport::TransportKind;
 use crate::transport::{frame, framed, response_or_error, S1Request, S2Response, Transport};
 use crate::wire::{self, WireError};
@@ -1147,7 +1148,7 @@ struct Shared {
 
 impl Shared {
     fn reap(&self, session: SessionId) {
-        self.tokens.lock().expect("token registry poisoned").remove(&session.0);
+        self.tokens.plock().remove(&session.0);
         reap_session(&self.pool, session);
         self.metrics.reaped.incr();
     }
@@ -1258,12 +1259,12 @@ impl TcpCloudServer {
 
     /// Number of currently connected TCP sessions.
     pub fn active_sessions(&self) -> usize {
-        self.shared.streams.lock().expect("connection registry poisoned").len()
+        self.shared.streams.plock().len()
     }
 
     /// Number of sessions parked after a dirty disconnect, awaiting resume.
     pub fn parked_sessions(&self) -> usize {
-        self.shared.parked.lock().expect("parked registry poisoned").len()
+        self.shared.parked.plock().len()
     }
 
     /// Number of sessions successfully taken over by a resume handshake so far.
@@ -1281,7 +1282,7 @@ impl TcpCloudServer {
     /// parks (or, with a zero [`TcpServerConfig::park_ttl`], reaps) the session;
     /// clean neighbours are unaffected.  Returns whether the session was connected.
     pub fn drop_session(&self, session: SessionId) -> bool {
-        let streams = self.shared.streams.lock().expect("connection registry poisoned");
+        let streams = self.shared.streams.plock();
         match streams.get(&session.0) {
             Some(stream) => {
                 let _ = stream.shutdown(Shutdown::Both);
@@ -1298,7 +1299,7 @@ impl TcpCloudServer {
     pub fn drain(&self, grace: Duration) {
         self.shared.draining.store(true, Ordering::SeqCst);
         let parked: Vec<u64> = {
-            let mut parked = self.shared.parked.lock().expect("parked registry poisoned");
+            let mut parked = self.shared.parked.plock();
             parked.drain().map(|(session, _)| session).collect()
         };
         for session in parked {
@@ -1306,12 +1307,12 @@ impl TcpCloudServer {
         }
         let started = Instant::now();
         while started.elapsed() < grace {
-            if self.shared.streams.lock().expect("connection registry poisoned").is_empty() {
+            if self.shared.streams.plock().is_empty() {
                 return;
             }
             std::thread::sleep(POLL_TICK);
         }
-        for stream in self.shared.streams.lock().expect("connection registry poisoned").values() {
+        for stream in self.shared.streams.plock().values() {
             let _ = stream.shutdown(Shutdown::Both);
         }
     }
@@ -1323,7 +1324,7 @@ impl Drop for TcpCloudServer {
         self.shared.draining.store(true, Ordering::SeqCst);
         // Reap every parked session so the pool releases their engines.
         let parked: Vec<u64> = {
-            let mut parked = self.shared.parked.lock().expect("parked registry poisoned");
+            let mut parked = self.shared.parked.plock();
             parked.drain().map(|(session, _)| session).collect()
         };
         for session in parked {
@@ -1331,7 +1332,7 @@ impl Drop for TcpCloudServer {
         }
         // Sever every live connection; bridges observe the dead sockets and reap
         // (draining is set, so nothing re-parks).
-        for stream in self.shared.streams.lock().expect("connection registry poisoned").values() {
+        for stream in self.shared.streams.plock().values() {
             let _ = stream.shutdown(Shutdown::Both);
         }
         // Wake the blocking accept with a throwaway connection.
@@ -1342,8 +1343,7 @@ impl Drop for TcpCloudServer {
         if let Some(handle) = self.sweeper_thread.take() {
             let _ = handle.join();
         }
-        let bridges: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.bridge_threads.lock().expect("bridge registry poisoned"));
+        let bridges: Vec<JoinHandle<()>> = std::mem::take(&mut *self.bridge_threads.plock());
         for handle in bridges {
             let _ = handle.join();
         }
@@ -1370,11 +1370,15 @@ fn accept_loop(
             return; // the wake-up connection (or anything racing it)
         }
         let shared = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("sectopk-s2d-conn".into())
-            .spawn(move || serve_connection(stream, &shared))
-            .expect("spawn connection bridge thread");
-        bridge_threads.lock().expect("bridge registry poisoned").push(handle);
+            .spawn(move || serve_connection(stream, &shared));
+        match spawned {
+            Ok(handle) => bridge_threads.plock().push(handle),
+            // Thread exhaustion: dropping the stream resets the connection, and a
+            // well-behaved client retries under its policy.  The listener survives.
+            Err(_) => continue,
+        }
     }
 }
 
@@ -1385,14 +1389,13 @@ fn sweeper_loop(shared: &Arc<Shared>) {
         let now = Instant::now();
         let expired: Vec<u64> = shared
             .parked
-            .lock()
-            .expect("parked registry poisoned")
+            .plock()
             .iter()
             .filter(|(_, deadline)| **deadline <= now)
             .map(|(session, _)| *session)
             .collect();
         for session in expired {
-            if shared.parked.lock().expect("parked registry poisoned").remove(&session).is_some() {
+            if shared.parked.plock().remove(&session).is_some() {
                 shared.reap(SessionId(session));
             }
         }
@@ -1451,9 +1454,9 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     // Mint (or rotate) this session's resume token and register the live stream
     // before accepting, so drop_session / shutdown can always reach it.
     let token = mint_token(session.0, shared.token_nonce.fetch_add(1, Ordering::Relaxed));
-    shared.tokens.lock().expect("token registry poisoned").insert(session.0, token);
+    shared.tokens.plock().insert(session.0, token);
     {
-        let mut streams = shared.streams.lock().expect("connection registry poisoned");
+        let mut streams = shared.streams.plock();
         match stream.try_clone() {
             Ok(clone) => {
                 streams.insert(session.0, clone);
@@ -1471,7 +1474,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
         resume_token: token,
     };
     if write_frame(&stream, &wire::to_bytes(&accept)).is_err() {
-        shared.streams.lock().expect("connection registry poisoned").remove(&session.0);
+        shared.streams.plock().remove(&session.0);
         shared.reap(session);
         return;
     }
@@ -1488,8 +1491,7 @@ fn admit_fresh(
     provision: EngineProvision,
     reject: &dyn Fn(RejectCode, &str),
 ) -> Option<(SessionId, SessionConduit)> {
-    let held = shared.streams.lock().expect("connection registry poisoned").len()
-        + shared.parked.lock().expect("parked registry poisoned").len();
+    let held = shared.streams.plock().len() + shared.parked.plock().len();
     if held >= shared.config.max_sessions {
         reject(RejectCode::Full, "server full");
         return None;
@@ -1538,7 +1540,7 @@ fn admit_resume(
     let session = SessionId(resume.session);
     let started = Instant::now();
     let claimed = loop {
-        match shared.tokens.lock().expect("token registry poisoned").get(&resume.session) {
+        match shared.tokens.plock().get(&resume.session) {
             None => {
                 reject(RejectCode::ResumeDenied, "unknown or expired session");
                 return None;
@@ -1549,15 +1551,10 @@ fn admit_resume(
             }
             Some(_) => {}
         }
-        if shared.parked.lock().expect("parked registry poisoned").remove(&resume.session).is_some()
-        {
+        if shared.parked.plock().remove(&resume.session).is_some() {
             break true;
         }
-        if !shared
-            .streams
-            .lock()
-            .expect("connection registry poisoned")
-            .contains_key(&resume.session)
+        if !shared.streams.plock().contains_key(&resume.session)
             && !shared.pool.has_session(session)
         {
             // Not live, not parked, not in the pool: it was reaped between our token
@@ -1572,12 +1569,7 @@ fn admit_resume(
         std::thread::sleep(POLL_TICK);
     };
     if !claimed {
-        if shared
-            .streams
-            .lock()
-            .expect("connection registry poisoned")
-            .contains_key(&resume.session)
-        {
+        if shared.streams.plock().contains_key(&resume.session) {
             reject(RejectCode::SessionInUse, "session is still connected");
         } else {
             reject(RejectCode::ResumeDenied, "session was not parked");
@@ -1666,9 +1658,9 @@ fn bridge_loop(
         }
     }
 
-    shared.streams.lock().expect("connection registry poisoned").remove(&session.0);
+    shared.streams.plock().remove(&session.0);
     if clean_exit {
-        shared.tokens.lock().expect("token registry poisoned").remove(&session.0);
+        shared.tokens.plock().remove(&session.0);
     } else if !shared.config.park_ttl.is_zero()
         && !shared.draining.load(Ordering::SeqCst)
         && shared.pool.has_session(session)
@@ -1679,7 +1671,7 @@ fn bridge_loop(
         let deadline = Instant::now()
             .checked_add(shared.config.park_ttl)
             .unwrap_or_else(|| Instant::now() + Duration::from_secs(365 * 24 * 3600));
-        shared.parked.lock().expect("parked registry poisoned").insert(session.0, deadline);
+        shared.parked.plock().insert(session.0, deadline);
         shared.metrics.parked.incr();
     } else {
         // The client vanished without a DISCONNECT and parking is off (or we are

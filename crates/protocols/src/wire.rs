@@ -52,17 +52,24 @@ pub enum WireErrorCode {
     /// table full, or the server is draining).  Unlike every other code this one is
     /// *transient*: the request was never executed and may safely be retried.
     Overloaded,
+    /// The engine detected an internal inconsistency while processing the request
+    /// (e.g. the parallel compute phase produced outputs whose order disagrees with
+    /// the serial commit phase).  The session survives, but the request failed for a
+    /// reason that is S2's fault rather than the caller's; not retryable, because the
+    /// inconsistency is deterministic for the request that exposed it.
+    Internal,
 }
 
 impl WireErrorCode {
     /// Every code, in declaration order — for exhaustive tests and log tooling.
-    pub const ALL: [WireErrorCode; 6] = [
+    pub const ALL: [WireErrorCode; 7] = [
         WireErrorCode::MalformedRequest,
         WireErrorCode::BadSequence,
         WireErrorCode::Codec,
         WireErrorCode::UnknownFrame,
         WireErrorCode::Crypto,
         WireErrorCode::Overloaded,
+        WireErrorCode::Internal,
     ];
 
     /// Stable lowercase name, used in `Display` and log output.
@@ -74,6 +81,7 @@ impl WireErrorCode {
             WireErrorCode::UnknownFrame => "unknown_frame",
             WireErrorCode::Crypto => "crypto",
             WireErrorCode::Overloaded => "overloaded",
+            WireErrorCode::Internal => "internal",
         }
     }
 
@@ -129,6 +137,11 @@ impl WireError {
     /// A request shed under load before execution (safe to retry).
     pub fn overloaded(message: impl Into<String>) -> Self {
         Self::new(WireErrorCode::Overloaded, message)
+    }
+
+    /// An internal engine inconsistency surfaced while processing the request.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(WireErrorCode::Internal, message)
     }
 
     /// True when the failed request was never executed and may be retried verbatim.
@@ -288,12 +301,13 @@ impl Cursor<'_> {
     }
 
     fn take(&mut self, n: usize) -> Result<&[u8], serde::Error> {
-        // `pos <= len` always holds; comparing against the remainder avoids the
-        // `pos + n` overflow a pathological length prefix (e.g. u64::MAX) would cause.
-        if n > self.bytes.len() - self.pos {
-            return Err(serde::Error::custom("truncated wire message"));
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
+        // Indexing `pos..` first keeps every arithmetic step in-bounds; a pathological
+        // length prefix (e.g. u64::MAX) fails the `get` instead of overflowing `pos + n`.
+        let slice = self
+            .bytes
+            .get(self.pos..)
+            .and_then(|rest| rest.get(..n))
+            .ok_or_else(|| serde::Error::custom("truncated wire message"))?;
         self.pos += n;
         Ok(slice)
     }

@@ -153,6 +153,8 @@ fn rand_wire_error(rng: &mut StdRng) -> WireError {
         WireErrorCode::Codec,
         WireErrorCode::UnknownFrame,
         WireErrorCode::Crypto,
+        WireErrorCode::Overloaded,
+        WireErrorCode::Internal,
     ];
     WireError::new(codes[rng.gen_range(0..codes.len())], rand_context(rng))
 }

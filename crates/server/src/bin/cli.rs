@@ -71,8 +71,8 @@ fn parse_usize(args: &[String], i: usize) -> Option<usize> {
 fn cmd_outsource(args: &[String]) -> ExitCode {
     let mut owner_args = OwnerArgs::defaults();
     let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    while let Some(arg) = args.get(i) {
+        match arg.as_str() {
             "--seed" => match parse_u64(args, i + 1) {
                 Some(v) => {
                     owner_args.seed = v;
@@ -148,8 +148,8 @@ fn cmd_query(args: &[String]) -> ExitCode {
     let mut query_attrs: Option<Vec<usize>> = None;
     let mut variant = VariantChoice::Fixed(QueryVariant::Full);
     let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    while let Some(arg) = args.get(i) {
+        match arg.as_str() {
             "--server" => match args.get(i + 1) {
                 Some(v) => {
                     server = v.clone();
@@ -276,8 +276,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut workers = 4usize;
     let mut max_sessions = 1024usize;
     let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    while let Some(arg) = args.get(i) {
+        match arg.as_str() {
             "--listen" => match args.get(i + 1) {
                 Some(v) => {
                     listen = v.clone();
@@ -323,11 +323,12 @@ fn cmd_serve(args: &[String]) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("outsource") => cmd_outsource(&args[1..]),
-        Some("query") => cmd_query(&args[1..]),
-        Some("serve") => cmd_serve(&args[1..]),
-        Some("--help" | "-h") => {
+    let Some((command, rest)) = args.split_first() else { return usage() };
+    match command.as_str() {
+        "outsource" => cmd_outsource(rest),
+        "query" => cmd_query(rest),
+        "serve" => cmd_serve(rest),
+        "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS
         }

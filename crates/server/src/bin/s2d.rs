@@ -58,42 +58,33 @@ fn main() -> ExitCode {
     let mut drain_grace = 5u64;
     let mut metrics_period = 0u64;
 
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--listen" if i + 1 < args.len() => {
-                listen = args[i + 1].clone();
-                i += 2;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                let Some(v) = args.next() else { return usage() };
+                listen = v;
             }
-            "--workers" if i + 1 < args.len() => {
-                let Ok(n) = args[i + 1].parse() else { return usage() };
+            "--workers" => {
+                let Some(Ok(n)) = args.next().map(|v| v.parse()) else { return usage() };
                 workers = n;
-                i += 2;
             }
-            "--max-sessions" if i + 1 < args.len() => {
-                let Ok(n) = args[i + 1].parse() else { return usage() };
+            "--max-sessions" => {
+                let Some(Ok(n)) = args.next().map(|v| v.parse()) else { return usage() };
                 max_sessions = n;
-                i += 2;
             }
-            "--park-ttl" if i + 1 < args.len() => {
-                let Ok(n) = args[i + 1].parse() else { return usage() };
+            "--park-ttl" => {
+                let Some(Ok(n)) = args.next().map(|v| v.parse()) else { return usage() };
                 park_ttl = n;
-                i += 2;
             }
-            "--drain-on-stdin" => {
-                drain_on_stdin = true;
-                i += 1;
-            }
-            "--drain-grace" if i + 1 < args.len() => {
-                let Ok(n) = args[i + 1].parse() else { return usage() };
+            "--drain-on-stdin" => drain_on_stdin = true,
+            "--drain-grace" => {
+                let Some(Ok(n)) = args.next().map(|v| v.parse()) else { return usage() };
                 drain_grace = n;
-                i += 2;
             }
-            "--metrics-period" if i + 1 < args.len() => {
-                let Ok(n) = args[i + 1].parse() else { return usage() };
+            "--metrics-period" => {
+                let Some(Ok(n)) = args.next().map(|v| v.parse()) else { return usage() };
                 metrics_period = n;
-                i += 2;
             }
             "--help" | "-h" => {
                 usage();
@@ -116,13 +107,16 @@ fn main() -> ExitCode {
         // Periodic observability dump: render every counter and histogram to stderr so
         // the daemon's stdout stays reserved for the scriptable `listening on` lines.
         let registry = registry.clone();
-        std::thread::Builder::new()
-            .name(String::from("sectopk-s2d-metrics"))
-            .spawn(move || loop {
+        let spawned = std::thread::Builder::new().name(String::from("sectopk-s2d-metrics")).spawn(
+            move || loop {
                 std::thread::sleep(Duration::from_secs(metrics_period));
                 eprintln!("{}", registry.render());
-            })
-            .expect("spawning metrics reporter thread");
+            },
+        );
+        if let Err(e) = spawned {
+            eprintln!("sectopk-s2d: cannot spawn metrics reporter: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     let server = match TcpCloudServer::serve_pool(&listen, pool, config) {
         Ok(server) => server,

@@ -661,7 +661,10 @@ impl QueryServer {
                 .map(|(i, queries)| scope.spawn(move || self.run_session(i, queries, config)))
                 .collect();
             for handle in handles {
-                reports.push(handle.join().expect("session thread panicked")?);
+                let report = handle
+                    .join()
+                    .map_err(|_| ProtocolError::transport("session thread panicked"))?;
+                reports.push(report?);
             }
             Ok(())
         })?;
@@ -723,7 +726,9 @@ impl QueryServer {
                 })
                 .collect();
             for handle in handles {
-                let report: Result<SessionReport> = handle.join().expect("session thread panicked");
+                let report: Result<SessionReport> = handle
+                    .join()
+                    .map_err(|_| ProtocolError::transport("session thread panicked"))?;
                 reports.push(report?);
             }
             Ok(())
